@@ -1,0 +1,235 @@
+// Benchmarks regenerating every exhibit of the paper. Each benchmark wraps
+// the corresponding internal/experiments entry point so `go test -bench=.`
+// and `cmd/benchrunner` measure exactly the same code. Custom metrics
+// (egress bytes, reduction factors, information loss) are attached via
+// b.ReportMetric so the paper's qualitative shapes are visible straight
+// from the bench output.
+package paradise
+
+import (
+	"testing"
+	"time"
+
+	"paradise/internal/experiments"
+	"paradise/internal/fragment"
+	"paradise/internal/network"
+	"paradise/internal/policy"
+	"paradise/internal/rewrite"
+	"paradise/internal/sqlparser"
+)
+
+const benchSeed = 2016
+
+// BenchmarkTable1_CapabilityLadder measures one representative query per
+// rung of the Table 1 ladder on a 10k-row database.
+func BenchmarkTable1_CapabilityLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(10_000, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("want 5 ladder probes, got %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure1_SmartLabTraceGeneration measures the full device-ensemble
+// simulation of the Smart Appliance Lab.
+func BenchmarkFigure1_SmartLabTraceGeneration(b *testing.B) {
+	var rows float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(5, 60*time.Second, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = float64(res.TotalRows)
+	}
+	b.ReportMetric(rows, "trace-rows")
+}
+
+// BenchmarkFigure2_ProcessorPipeline measures the end-to-end Figure 2
+// pipeline (parse -> rewrite -> fragment -> chain execution -> anonymize).
+func BenchmarkFigure2_ProcessorPipeline(b *testing.B) {
+	var rewriteUs float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2(10_000, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rewriteUs = float64(res.Rewrite.Microseconds())
+	}
+	b.ReportMetric(rewriteUs, "rewrite-us")
+}
+
+// BenchmarkFigure3_VerticalFragmentation measures the headline experiment:
+// bytes leaving the apartment with and without fragmentation, at 20k rows.
+func BenchmarkFigure3_VerticalFragmentation(b *testing.B) {
+	var reduction, egress float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure3([]int{20_000}, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = rows[0].Reduction
+		egress = float64(rows[0].FragEgress)
+		if rows[0].FragEgress >= rows[0].NaiveEgress {
+			b.Fatal("fragmentation failed to reduce egress")
+		}
+	}
+	b.ReportMetric(reduction, "reduction-x")
+	b.ReportMetric(egress, "egress-bytes")
+}
+
+// BenchmarkFigure4_PolicyRewrite measures parsing the Figure 4 policy and
+// rewriting the §4.2 query under it (the preprocessor hot path).
+func BenchmarkFigure4_PolicyRewrite(b *testing.B) {
+	st := experiments.SyntheticDB(1_000, benchSeed)
+	mod, _ := policy.Figure4().ModuleByID("ActionFilter")
+	rw := rewrite.New(st.Catalog(), rewrite.Options{})
+	sel, err := sqlparser.Parse(experiments.OriginalUseCaseQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rw.Rewrite(sel, mod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUseCase_StagedPushdown fragments the rewritten §4.2 query,
+// verifies every stage against the paper's listing and checks equivalence
+// with monolithic evaluation.
+func BenchmarkUseCase_StagedPushdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.UseCase(10_000, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Equivalent {
+			b.Fatal("fragmented execution diverged from monolithic")
+		}
+		for _, s := range res.Stages {
+			if s.PaperSQL != "" && !s.Match {
+				b.Fatalf("stage %d does not match the paper: %s", s.Stage, s.OurSQL)
+			}
+		}
+	}
+}
+
+// BenchmarkSec32_InformationLoss sweeps the postprocessing operators and
+// reports the k=20 Direct Distance ratio and the eps=0.1 KL loss.
+func BenchmarkSec32_InformationLoss(b *testing.B) {
+	var dd20, kl01 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sec32(4_000, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "mondrian" && r.Param == "k=20" {
+				dd20 = r.DDRatio
+			}
+			if r.Method == "dp" && r.Param == "eps=0.1" {
+				kl01 = r.KLIntended
+			}
+		}
+	}
+	b.ReportMetric(dd20, "dd-ratio-k20")
+	b.ReportMetric(kl01, "kl-eps0.1")
+}
+
+// BenchmarkGoldenPath_IntendedAnalysis scores the activity classifier on
+// raw and privacy-processed positions (the §3.2 Golden Path dial),
+// reporting the raw and k=5 accuracies.
+func BenchmarkGoldenPath_IntendedAnalysis(b *testing.B) {
+	var rawAcc, k5Acc float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.GoldenPath(40*time.Second, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.FallDetected {
+				b.Fatalf("%s lost the fall", r.Variant)
+			}
+			switch r.Variant {
+			case "raw":
+				rawAcc = r.Accuracy
+			case "mondrian k=5":
+				k5Acc = r.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(rawAcc, "raw-accuracy")
+	b.ReportMetric(k5Acc, "k5-accuracy")
+}
+
+// BenchmarkAblation_ConditionPlacement measures the innermost-vs-outermost
+// condition placement decision (§4.2 "innermost possible part").
+func BenchmarkAblation_ConditionPlacement(b *testing.B) {
+	var savedRows float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationConditionPlacement(10_000, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		savedRows = float64(rows[1].SensorOut - rows[0].SensorOut)
+	}
+	b.ReportMetric(savedRows, "rows-saved-at-sensor")
+}
+
+// BenchmarkAblation_WeakNodeFallback measures the §3.2 fallback: raw data
+// shipping one hop further when a node lacks memory.
+func BenchmarkAblation_WeakNodeFallback(b *testing.B) {
+	var extraBytes float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationWeakNode(10_000, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		extraBytes = float64(rows[1].MidLinkBytes - rows[0].MidLinkBytes)
+		if !rows[1].FallbackUsed {
+			b.Fatal("fallback not triggered")
+		}
+	}
+	b.ReportMetric(extraBytes, "extra-midlink-bytes")
+}
+
+// BenchmarkFragmentation_PlanOnly isolates the planner itself (no data).
+func BenchmarkFragmentation_PlanOnly(b *testing.B) {
+	sel, err := sqlparser.Parse(experiments.UseCaseQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fr := fragment.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fr.Fragment(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetwork_ChainExecution isolates the simulated chain run at 10k
+// rows (the execution component of Figures 2 and 3).
+func BenchmarkNetwork_ChainExecution(b *testing.B) {
+	st := experiments.SyntheticDB(10_000, benchSeed)
+	sel, err := sqlparser.Parse(experiments.UseCaseQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := fragment.New().Fragment(sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := network.DefaultApartment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := network.Run(topo, plan, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

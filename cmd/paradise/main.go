@@ -1,0 +1,174 @@
+// Command paradise is the CLI front end of the privacy-aware query
+// processor: it loads (or simulates) a smart-environment database, applies a
+// privacy policy to a SQL query, prints the rewrite, the vertical fragment
+// plan and the simulated chain execution, and optionally anonymizes the
+// result.
+//
+// Usage:
+//
+//	paradise -query "SELECT x, y, z, t FROM d" [flags]
+//
+// Flags:
+//
+//	-query     SQL query to process (required)
+//	-module    policy module to apply (default ActionFilter)
+//	-policy    path to a policy XML file (default: the paper's Figure 4)
+//	-scenario  apartment | meeting | lecture (default apartment)
+//	-duration  simulated trace duration (default 60s)
+//	-seed      simulation seed (default 2016)
+//	-anon      none | mondrian | fulldomain | slicing | dp (default none)
+//	-k         k for the k-anonymity methods (default 5)
+//	-epsilon   epsilon for dp (default 1.0)
+//	-rows      print up to N result rows (default 10)
+//	-audit     violating query to check against the released d'
+//	-journal   write the audit journal as JSON to this file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"paradise/internal/audit"
+	"paradise/internal/core"
+	"paradise/internal/policy"
+	"paradise/internal/sensors"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		query    = flag.String("query", "", "SQL query to process (required)")
+		module   = flag.String("module", "ActionFilter", "policy module to apply")
+		polPath  = flag.String("policy", "", "policy XML file (default: paper Figure 4)")
+		scenario = flag.String("scenario", "apartment", "apartment | meeting | lecture")
+		duration = flag.Duration("duration", 60*time.Second, "simulated trace duration")
+		seed     = flag.Int64("seed", 2016, "simulation seed")
+		anon     = flag.String("anon", "none", "none | mondrian | fulldomain | slicing | dp")
+		k        = flag.Int("k", 5, "k for k-anonymity methods")
+		epsilon  = flag.Float64("epsilon", 1.0, "epsilon for differential privacy")
+		rows     = flag.Int("rows", 10, "print up to N result rows")
+		auditQ   = flag.String("audit", "", "violating query to audit against the released d' (query containment)")
+		journalP = flag.String("journal", "", "write the audit journal as JSON to this file")
+	)
+	flag.Parse()
+	if *query == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sc, err := buildScenario(*scenario, *duration, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := sensors.Generate(sc)
+	if err != nil {
+		log.Fatalf("generate trace: %v", err)
+	}
+	store, err := sensors.BuildStore(trace)
+	if err != nil {
+		log.Fatalf("build store: %v", err)
+	}
+
+	pol := policy.Figure4()
+	if *polPath != "" {
+		f, err := os.Open(*polPath)
+		if err != nil {
+			log.Fatalf("open policy: %v", err)
+		}
+		pol, err = policy.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse policy: %v", err)
+		}
+	}
+
+	journal := audit.NewJournal()
+	proc, err := core.New(core.Config{
+		Store:  store,
+		Policy: pol,
+		Anon: core.AnonConfig{
+			Method:  core.AnonMethod(*anon),
+			K:       *k,
+			Epsilon: *epsilon,
+			Seed:    *seed,
+		},
+		Journal: journal,
+	})
+	if err != nil {
+		log.Fatalf("processor: %v", err)
+	}
+
+	out, err := proc.Process(*query, *module)
+	if err != nil {
+		writeJournal(journal, *journalP)
+		log.Fatalf("process: %v", err)
+	}
+
+	fmt.Print(out.Summary())
+	fmt.Println()
+	printResult(out, *rows)
+
+	if *auditQ != "" {
+		v, err := proc.ResidualRisk(*auditQ, out)
+		if err != nil {
+			log.Fatalf("audit: %v", err)
+		}
+		fmt.Printf("\nresidual-risk audit of %q:\n  %s\n", *auditQ, v)
+	}
+	writeJournal(journal, *journalP)
+}
+
+func writeJournal(j *audit.Journal, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("journal: %v", err)
+	}
+	defer f.Close()
+	if err := j.WriteJSON(f); err != nil {
+		log.Fatalf("journal: %v", err)
+	}
+	fmt.Printf("\naudit journal (%d entries) written to %s\n", j.Len(), path)
+}
+
+func buildScenario(name string, dur time.Duration, seed int64) (*sensors.Scenario, error) {
+	switch name {
+	case "apartment":
+		sc := sensors.Apartment(dur, true, seed)
+		sc.PositionGridM = 0.25
+		return sc, nil
+	case "meeting":
+		sc := sensors.Meeting(5, dur, seed)
+		sc.PositionGridM = 0.25
+		return sc, nil
+	case "lecture":
+		sc := sensors.Lecture(8, dur, seed)
+		sc.PositionGridM = 0.25
+		return sc, nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (apartment | meeting | lecture)", name)
+	}
+}
+
+func printResult(out *core.Outcome, limit int) {
+	res := out.Result
+	names := res.Schema.ColumnNames()
+	fmt.Printf("result (%d rows):\n  %s\n", len(res.Rows), strings.Join(names, " | "))
+	for i, r := range res.Rows {
+		if i >= limit {
+			fmt.Printf("  ... %d more rows\n", len(res.Rows)-limit)
+			break
+		}
+		vals := make([]string, len(r))
+		for j, v := range r {
+			vals[j] = v.Format()
+		}
+		fmt.Println("  " + strings.Join(vals, " | "))
+	}
+}

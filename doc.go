@@ -1,0 +1,25 @@
+// Package paradise is a from-scratch Go reproduction of "Privacy Protection
+// through Query Rewriting in Smart Environments" (Grunert & Heuer, EDBT
+// 2016; long version: University of Rostock TR CS-01-16) — the PArADISE
+// privacy-aware query processor.
+//
+// The implementation lives under internal/:
+//
+//   - sqlparser, schema, storage, engine: a SQL subset (nested SELECT,
+//     joins, grouping, window functions) over in-memory relations
+//   - sensors, stream: the simulated Smart Appliance Lab and sensor-level
+//     stream processing
+//   - policy, rewrite: Figure 4 privacy policies and the preprocessor that
+//     rewrites queries against them
+//   - fragment, network: vertical query fragmentation (Table 1 capability
+//     ladder) and the simulated peer chain of Figure 3
+//   - anonymize, privmetrics: the postprocessor (k-anonymity, slicing,
+//     differential privacy) and the paper's information-loss metrics
+//   - recognition: the R-pipeline substrate (Kalman filter, filterByClass)
+//   - core: the assembled processor of Figure 2
+//   - experiments: the reproduction harness behind cmd/benchrunner and the
+//     benchmarks in bench_test.go
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package paradise

@@ -1,0 +1,84 @@
+// Quickstart runs the paper's §4.2 use case end to end: the Poodle cloud's
+// activity-recognition pipeline — an R Kalman-filter analysis with an
+// embedded SQL query — is checked against the Figure 4 privacy policy,
+// rewritten, vertically fragmented across sensor → appliance → media center
+// → PC, and executed; only the reduced, policy-compliant d′ leaves the
+// apartment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"paradise/internal/core"
+	"paradise/internal/policy"
+	"paradise/internal/recognition"
+	"paradise/internal/sensors"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Simulate the apartment: a resident moving through a daily routine.
+	// Positions snap to a 25 cm UbiSense grid so GROUP BY x, y forms real
+	// grouping sets (the Figure 4 HAVING safeguard presumes that).
+	scenario := sensors.Apartment(120*time.Second, false, 2016)
+	scenario.PositionGridM = 0.25
+	trace, err := sensors.Generate(scenario)
+	if err != nil {
+		log.Fatalf("generate trace: %v", err)
+	}
+	store, err := sensors.BuildStore(trace)
+	if err != nil {
+		log.Fatalf("build store: %v", err)
+	}
+	fmt.Printf("apartment database d: %d position samples\n\n", len(trace.Integrated))
+
+	// 2. Assemble the PArADISE processor with the paper's Figure 4 policy.
+	proc, err := core.New(core.Config{
+		Store:  store,
+		Policy: policy.Figure4(),
+	})
+	if err != nil {
+		log.Fatalf("processor: %v", err)
+	}
+
+	// 3. The provider's analysis pipeline (the paper's R excerpt).
+	pipeline, err := recognition.PaperPipeline()
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+	fmt.Println("provider analysis:")
+	fmt.Println("  " + pipeline.Describe())
+	fmt.Println()
+
+	// 4. Process: policy rewrite, vertical fragmentation, chain execution,
+	// residual R on the cloud.
+	out, err := proc.ProcessPipeline(pipeline, "ActionFilter")
+	if err != nil {
+		log.Fatalf("process: %v", err)
+	}
+
+	fmt.Println("== preprocessing (policy rewrite) ==")
+	fmt.Printf("rewritten SQL:\n  %s\n", out.RewrittenSQL)
+	fmt.Printf("transformations: %s\n\n", out.RewriteReport.Summary())
+
+	fmt.Println("== vertical fragmentation (Figure 3) ==")
+	fmt.Print(out.Plan.String())
+	fmt.Println()
+
+	fmt.Println("== chain execution ==")
+	fmt.Print(out.Net.Summary())
+	fmt.Println()
+
+	fmt.Println("== cloud-side residual ==")
+	fmt.Printf("  %s\n", out.ResidualR)
+	fmt.Printf("  rows flagged as walking: %d (of %d rows in d')\n",
+		len(out.Final.Rows), len(out.Result.Rows))
+	fmt.Println()
+	fmt.Println("note: the strict Figure 4 policy aggregates z per (x, y) cell and only")
+	fmt.Println("releases cells with SUM(z) > 100 — i.e. places the resident dwelled at.")
+	fmt.Println("The cloud learns dwell cells, not movement paths: high loss for the")
+	fmt.Println("unintended profiling, bounded loss for the intended occupancy analysis.")
+}

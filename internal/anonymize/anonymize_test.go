@@ -1,0 +1,361 @@
+package anonymize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paradise/internal/schema"
+)
+
+func positionsRelation() *schema.Relation {
+	return schema.NewRelation("r",
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.SensitiveCol("user", schema.TypeString),
+	)
+}
+
+func positionsRows(n int, seed int64) schema.Rows {
+	rng := rand.New(rand.NewSource(seed))
+	users := []string{"alice", "bob", "carol"}
+	rows := make(schema.Rows, n)
+	for i := range rows {
+		rows[i] = schema.Row{
+			schema.Float(math.Round(rng.Float64()*80) / 10),
+			schema.Float(math.Round(rng.Float64()*60) / 10),
+			schema.Float(math.Round(rng.Float64()*20) / 10),
+			schema.String(users[rng.Intn(len(users))]),
+		}
+	}
+	return rows
+}
+
+func TestMondrianKAnonymity(t *testing.T) {
+	rel := positionsRelation()
+	rows := positionsRows(200, 1)
+	qi := []string{"x", "y"}
+	for _, k := range []int{2, 5, 10, 25} {
+		anon, err := Mondrian(rel, rows, qi, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(anon) != len(rows) {
+			t.Fatalf("k=%d: cardinality changed", k)
+		}
+		ok, err := IsKAnonymous(rel, anon, qi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("k=%d: result not k-anonymous", k)
+		}
+		// Non-QI columns untouched.
+		for i := range rows {
+			if !rows[i][3].Identical(anon[i][3]) {
+				t.Fatalf("k=%d: non-QI column modified", k)
+			}
+		}
+	}
+}
+
+func TestMondrianDoesNotMutateInput(t *testing.T) {
+	rel := positionsRelation()
+	rows := positionsRows(50, 2)
+	before := rows.Clone()
+	if _, err := Mondrian(rel, rows, []string{"x", "y"}, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if !rows[i][j].Identical(before[i][j]) {
+				t.Fatal("input mutated")
+			}
+		}
+	}
+}
+
+func TestMondrianUtilityGrowsWithSmallerK(t *testing.T) {
+	rel := positionsRelation()
+	rows := positionsRows(300, 3)
+	qi := []string{"x", "y", "z"}
+	changed := func(k int) int {
+		anon, err := Mondrian(rel, rows, qi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := range rows {
+			for j := range rows[i] {
+				if !rows[i][j].Identical(anon[i][j]) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if c2, c25 := changed(2), changed(25); c2 > c25 {
+		t.Fatalf("k=2 should change fewer cells than k=25: %d vs %d", c2, c25)
+	}
+}
+
+func TestMondrianErrors(t *testing.T) {
+	rel := positionsRelation()
+	rows := positionsRows(3, 4)
+	if _, err := Mondrian(rel, rows, []string{"x"}, 0); !errors.Is(err, ErrAnonymize) {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Mondrian(rel, rows, []string{"x"}, 10); !errors.Is(err, ErrAnonymize) {
+		t.Fatal("k > n should error")
+	}
+	if _, err := Mondrian(rel, rows, []string{"nope"}, 2); !errors.Is(err, ErrAnonymize) {
+		t.Fatal("unknown column should error")
+	}
+	empty, err := Mondrian(rel, nil, []string{"x"}, 2)
+	if err != nil || len(empty) != 0 {
+		t.Fatal("empty input should yield empty output")
+	}
+}
+
+func TestFullDomainKAnonymity(t *testing.T) {
+	rel := positionsRelation()
+	rows := positionsRows(200, 5)
+	qi := []string{"x", "y"}
+	anon, suppressed, err := FullDomain(rel, rows, qi, 5, len(rows)/5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suppressed != len(rows)-len(anon) {
+		t.Fatalf("suppression accounting: %d vs %d", suppressed, len(rows)-len(anon))
+	}
+	ok, err := IsKAnonymous(rel, anon, qi, 5)
+	if err != nil || !ok {
+		t.Fatalf("not 5-anonymous after full-domain: %v", err)
+	}
+}
+
+func TestFullDomainBudgetExceeded(t *testing.T) {
+	rel := schema.NewRelation("u", schema.Col("id", schema.TypeString))
+	// All-distinct strings cannot be generalized below level 3 and the
+	// budget forbids suppressing everything.
+	rows := schema.Rows{}
+	for _, s := range []string{"a", "b", "c", "d"} {
+		rows = append(rows, schema.Row{schema.String(s)})
+	}
+	// Strings suppress to "*" at level 3, making them all one class — so
+	// this actually succeeds. Verify that.
+	anon, _, err := FullDomain(rel, rows, []string{"id"}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range anon {
+		if r[0].AsString() != "*" {
+			t.Fatal("strings should be suppressed at the top level")
+		}
+	}
+}
+
+func TestIsKAnonymousTrivialK(t *testing.T) {
+	rel := positionsRelation()
+	ok, err := IsKAnonymous(rel, positionsRows(5, 6), []string{"x"}, 1)
+	if err != nil || !ok {
+		t.Fatal("k=1 is always satisfied")
+	}
+}
+
+func TestEquivalenceClasses(t *testing.T) {
+	rel := schema.NewRelation("r", schema.Col("a", schema.TypeInt))
+	rows := schema.Rows{
+		{schema.Int(1)}, {schema.Int(1)}, {schema.Int(2)},
+	}
+	classes, err := EquivalenceClasses(rel, rows, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("classes = %d", len(classes))
+	}
+}
+
+func TestSlicePreservesColumnMultisets(t *testing.T) {
+	rel := positionsRelation()
+	rows := positionsRows(100, 7)
+	rng := rand.New(rand.NewSource(1))
+	sliced, err := Slice(rel, rows, [][]string{{"x", "y"}}, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sliced) != len(rows) {
+		t.Fatal("cardinality changed")
+	}
+	// Per-column multisets must be identical (slicing only permutes).
+	for col := 0; col < rel.Arity(); col++ {
+		orig := map[string]int{}
+		got := map[string]int{}
+		for i := range rows {
+			orig[rows[i][col].GroupKey()]++
+			got[sliced[i][col].GroupKey()]++
+		}
+		for k, v := range orig {
+			if got[k] != v {
+				t.Fatalf("column %d multiset changed", col)
+			}
+		}
+	}
+	// The (x, y) pair must stay intact (same group), i.e. every output
+	// pair exists in the input.
+	pairs := map[string]int{}
+	for _, r := range rows {
+		pairs[r[0].GroupKey()+"/"+r[1].GroupKey()]++
+	}
+	for _, r := range sliced {
+		if pairs[r[0].GroupKey()+"/"+r[1].GroupKey()] == 0 {
+			t.Fatal("slicing broke an intra-group pair")
+		}
+	}
+}
+
+func TestSliceBreaksLinkage(t *testing.T) {
+	rel := positionsRelation()
+	rows := positionsRows(200, 8)
+	rng := rand.New(rand.NewSource(2))
+	sliced, err := Slice(rel, rows, [][]string{{"x", "y"}}, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range rows {
+		if !rows[i][0].Identical(sliced[i][0]) || !rows[i][1].Identical(sliced[i][1]) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("slicing should move tuples between rows")
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	rel := positionsRelation()
+	rows := positionsRows(10, 9)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Slice(rel, rows, [][]string{{"x"}}, 1, rng); !errors.Is(err, ErrAnonymize) {
+		t.Fatal("bucket size 1 should error")
+	}
+	if _, err := Slice(rel, rows, [][]string{{"x"}, {"x"}}, 4, rng); !errors.Is(err, ErrAnonymize) {
+		t.Fatal("overlapping groups should error")
+	}
+	if _, err := Slice(rel, rows, [][]string{{"nope"}}, 4, rng); !errors.Is(err, ErrAnonymize) {
+		t.Fatal("unknown column should error")
+	}
+}
+
+func TestLaplaceMechanismStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 20000
+	eps := 1.0
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := LaplaceMechanism(0, 1, eps, rng)
+		sum += v
+		sumsq += v * v
+	}
+	meanV := sum / float64(n)
+	variance := sumsq/float64(n) - meanV*meanV
+	// Laplace(b=1): mean 0, variance 2b² = 2.
+	if math.Abs(meanV) > 0.05 {
+		t.Fatalf("mean = %v", meanV)
+	}
+	if math.Abs(variance-2) > 0.2 {
+		t.Fatalf("variance = %v, want ~2", variance)
+	}
+	// No noise for disabled epsilon.
+	if LaplaceMechanism(5, 1, 0, rng) != 5 {
+		t.Fatal("epsilon<=0 must be a no-op")
+	}
+}
+
+func TestNoisyRowsEpsilonScalesNoise(t *testing.T) {
+	rel := positionsRelation()
+	rows := positionsRows(500, 10)
+	noise := func(eps float64) float64 {
+		rng := rand.New(rand.NewSource(5))
+		noisy, err := NoisyRows(rel, rows, []string{"x"}, 1, eps, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for i := range rows {
+			total += math.Abs(noisy[i][0].AsFloat() - rows[i][0].AsFloat())
+		}
+		return total / float64(len(rows))
+	}
+	if noise(0.1) <= noise(10) {
+		t.Fatalf("smaller epsilon must add more noise: eps=0.1 -> %v, eps=10 -> %v",
+			noise(0.1), noise(10))
+	}
+}
+
+func TestDetectQuasiIdentifiers(t *testing.T) {
+	rel := schema.NewRelation("r",
+		schema.Col("zip", schema.TypeInt),
+		schema.Col("age", schema.TypeInt),
+		schema.Col("flag", schema.TypeBool),
+		schema.SensitiveCol("name", schema.TypeString),
+	)
+	rng := rand.New(rand.NewSource(11))
+	rows := schema.Rows{}
+	for i := 0; i < 200; i++ {
+		rows = append(rows, schema.Row{
+			schema.Int(int64(10000 + rng.Intn(5000))), // near-unique
+			schema.Int(int64(20 + rng.Intn(60))),
+			schema.Bool(rng.Intn(2) == 0),
+			schema.String("p"),
+		})
+	}
+	qi := DetectQuasiIdentifiers(rel, rows, 0.2)
+	if len(qi) == 0 {
+		t.Fatal("zip+age should be detected as quasi-identifying")
+	}
+	for _, q := range qi {
+		if q == "name" {
+			t.Fatal("sensitive columns are direct identifiers, not QI candidates")
+		}
+	}
+	// A relation of constants has no QI.
+	flat := schema.Rows{}
+	for i := 0; i < 50; i++ {
+		flat = append(flat, schema.Row{schema.Int(1), schema.Int(2), schema.Bool(true), schema.String("p")})
+	}
+	if qi := DetectQuasiIdentifiers(rel, flat, 0.2); qi != nil {
+		t.Fatalf("constant data has no QI, got %v", qi)
+	}
+}
+
+func TestMondrianKAnonymityProperty(t *testing.T) {
+	rel := schema.NewRelation("r",
+		schema.Col("a", schema.TypeFloat), schema.Col("b", schema.TypeFloat))
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%8) + 2
+		rng := rand.New(rand.NewSource(seed))
+		n := k*3 + rng.Intn(60)
+		rows := make(schema.Rows, n)
+		for i := range rows {
+			rows[i] = schema.Row{
+				schema.Float(float64(rng.Intn(50))),
+				schema.Float(float64(rng.Intn(50))),
+			}
+		}
+		anon, err := Mondrian(rel, rows, []string{"a", "b"}, k)
+		if err != nil {
+			return false
+		}
+		ok, err := IsKAnonymous(rel, anon, []string{"a", "b"}, k)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package anonymize
+
+import (
+	"math/rand"
+	"testing"
+
+	"paradise/internal/schema"
+)
+
+func benchRows(n int) (*schema.Relation, schema.Rows) {
+	rng := rand.New(rand.NewSource(7))
+	rel := schema.NewRelation("r",
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	)
+	rows := make(schema.Rows, n)
+	for i := range rows {
+		rows[i] = schema.Row{
+			schema.Float(rng.Float64() * 8),
+			schema.Float(rng.Float64() * 6),
+			schema.Float(rng.Float64() * 2),
+			schema.Int(int64(i)),
+		}
+	}
+	return rel, rows
+}
+
+func BenchmarkMondrianK5(b *testing.B) {
+	rel, rows := benchRows(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mondrian(rel, rows, []string{"x", "y"}, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMondrianK50(b *testing.B) {
+	rel, rows := benchRows(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mondrian(rel, rows, []string{"x", "y"}, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullDomainK5(b *testing.B) {
+	rel, rows := benchRows(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FullDomain(rel, rows, []string{"x", "y"}, 5, len(rows)/10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlice(b *testing.B) {
+	rel, rows := benchRows(10_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Slice(rel, rows, [][]string{{"x", "y"}}, 4, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaplaceNoise(b *testing.B) {
+	rel, rows := benchRows(10_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NoisyRows(rel, rows, []string{"x", "y", "z"}, 0.5, 1.0, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectQuasiIdentifiers(b *testing.B) {
+	rel, rows := benchRows(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DetectQuasiIdentifiers(rel, rows, 0.2)
+	}
+}

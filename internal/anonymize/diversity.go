@@ -1,0 +1,213 @@
+package anonymize
+
+import (
+	"fmt"
+	"math"
+
+	"paradise/internal/schema"
+)
+
+// This file implements the "similar concepts" beyond plain k-anonymity the
+// paper alludes to in §3.2: l-diversity (Machanavajjhala et al.) and
+// t-closeness (Li et al.) as checks and as suppression-based enforcement.
+// k-anonymity alone leaves the homogeneity attack open — an equivalence
+// class whose sensitive values are all equal reveals them despite k ≥ 2.
+
+// IsLDiverse reports whether every equivalence class under the
+// quasi-identifiers contains at least l distinct values of the sensitive
+// column.
+func IsLDiverse(rel *schema.Relation, rows schema.Rows, qi []string, sensitive string, l int) (bool, error) {
+	if l <= 1 {
+		return true, nil
+	}
+	classes, sIdx, err := classesWithSensitive(rel, rows, qi, sensitive)
+	if err != nil {
+		return false, err
+	}
+	for _, members := range classes {
+		if distinctSensitive(rows, members, sIdx) < l {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EnforceLDiversity suppresses (drops) every equivalence class with fewer
+// than l distinct sensitive values. It returns the surviving rows and the
+// number suppressed. Suppression is the conservative remedy the paper's
+// postprocessor can always apply when a more powerful node is unavailable.
+func EnforceLDiversity(rel *schema.Relation, rows schema.Rows, qi []string, sensitive string, l int) (schema.Rows, int, error) {
+	if l <= 1 {
+		return rows.Clone(), 0, nil
+	}
+	classes, sIdx, err := classesWithSensitive(rel, rows, qi, sensitive)
+	if err != nil {
+		return nil, 0, err
+	}
+	keep := make([]bool, len(rows))
+	for _, members := range classes {
+		ok := distinctSensitive(rows, members, sIdx) >= l
+		for _, m := range members {
+			keep[m] = ok
+		}
+	}
+	var out schema.Rows
+	for i, r := range rows {
+		if keep[i] {
+			out = append(out, r.Clone())
+		}
+	}
+	return out, len(rows) - len(out), nil
+}
+
+// TCloseness computes, for every equivalence class, the distance between
+// the class's sensitive-value distribution and the global one, returning
+// the maximum. For numeric sensitive columns the distance is the
+// earth-mover's distance over the sorted domain (the t-closeness paper's
+// choice for ordered attributes); for categorical columns it is total
+// variation distance.
+func TCloseness(rel *schema.Relation, rows schema.Rows, qi []string, sensitive string) (float64, error) {
+	classes, sIdx, err := classesWithSensitive(rel, rows, qi, sensitive)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) == 0 {
+		return 0, nil
+	}
+
+	numeric := rel.Columns[sIdx].Type.Numeric()
+	// Build the global domain.
+	domain, globalDist := sensitiveDistribution(rows, allRowIndexes(len(rows)), sIdx)
+	maxDist := 0.0
+	for _, members := range classes {
+		_, classDist := sensitiveDistributionOver(rows, members, sIdx, domain)
+		var d float64
+		if numeric {
+			d = emd(globalDist, classDist)
+		} else {
+			d = totalVariation(globalDist, classDist)
+		}
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	return maxDist, nil
+}
+
+// IsTClose reports whether the relation satisfies t-closeness.
+func IsTClose(rel *schema.Relation, rows schema.Rows, qi []string, sensitive string, t float64) (bool, error) {
+	d, err := TCloseness(rel, rows, qi, sensitive)
+	if err != nil {
+		return false, err
+	}
+	return d <= t, nil
+}
+
+func classesWithSensitive(rel *schema.Relation, rows schema.Rows, qi []string, sensitive string) (map[string][]int, int, error) {
+	classes, err := EquivalenceClasses(rel, rows, qi)
+	if err != nil {
+		return nil, 0, err
+	}
+	sIdx, err := rel.Index(sensitive)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrAnonymize, err)
+	}
+	return classes, sIdx, nil
+}
+
+func distinctSensitive(rows schema.Rows, members []int, sIdx int) int {
+	seen := map[string]bool{}
+	for _, m := range members {
+		seen[rows[m][sIdx].GroupKey()] = true
+	}
+	return len(seen)
+}
+
+// sensitiveDistribution builds the ordered domain and the normalized
+// distribution of the sensitive column over the given rows.
+func sensitiveDistribution(rows schema.Rows, members []int, sIdx int) ([]schema.Value, []float64) {
+	counts := map[string]int{}
+	rep := map[string]schema.Value{}
+	var order []string
+	for _, m := range members {
+		k := rows[m][sIdx].GroupKey()
+		if _, ok := counts[k]; !ok {
+			order = append(order, k)
+			rep[k] = rows[m][sIdx]
+		}
+		counts[k]++
+	}
+	// Order numerically when possible for the EMD ground distance.
+	sortKeys(order, rep)
+	domain := make([]schema.Value, len(order))
+	dist := make([]float64, len(order))
+	total := float64(len(members))
+	for i, k := range order {
+		domain[i] = rep[k]
+		dist[i] = float64(counts[k]) / total
+	}
+	return domain, dist
+}
+
+// sensitiveDistributionOver projects the members' distribution onto an
+// existing domain (bins absent from the class get probability 0).
+func sensitiveDistributionOver(rows schema.Rows, members []int, sIdx int, domain []schema.Value) ([]schema.Value, []float64) {
+	index := map[string]int{}
+	for i, v := range domain {
+		index[v.GroupKey()] = i
+	}
+	dist := make([]float64, len(domain))
+	total := float64(len(members))
+	for _, m := range members {
+		if i, ok := index[rows[m][sIdx].GroupKey()]; ok {
+			dist[i] += 1 / total
+		}
+	}
+	return domain, dist
+}
+
+func sortKeys(order []string, rep map[string]schema.Value) {
+	lessVal := func(a, b schema.Value) bool {
+		if c, ok := a.Compare(b); ok {
+			return c < 0
+		}
+		return a.GroupKey() < b.GroupKey()
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && lessVal(rep[order[j]], rep[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+// emd computes the earth-mover's distance between two distributions over
+// the same ordered domain with unit ground distance between adjacent bins,
+// normalized by the domain span (so 0 <= emd <= 1).
+func emd(p, q []float64) float64 {
+	if len(p) <= 1 {
+		return 0
+	}
+	carry, total := 0.0, 0.0
+	for i := range p {
+		carry += p[i] - q[i]
+		total += math.Abs(carry)
+	}
+	return total / float64(len(p)-1)
+}
+
+// totalVariation is ½ Σ |p - q|.
+func totalVariation(p, q []float64) float64 {
+	d := 0.0
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2
+}
+
+func allRowIndexes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package anonymize
+
+import (
+	"math"
+	"testing"
+
+	"paradise/internal/schema"
+)
+
+// diversityFixture: two equivalence classes under qi=cell; class A has a
+// homogeneous sensitive value (the l-diversity failure case), class B is
+// diverse.
+func diversityFixture() (*schema.Relation, schema.Rows) {
+	rel := schema.NewRelation("r",
+		schema.Col("cell", schema.TypeInt),
+		schema.Col("activity", schema.TypeString),
+	)
+	rows := schema.Rows{
+		{schema.Int(1), schema.String("sleep")},
+		{schema.Int(1), schema.String("sleep")},
+		{schema.Int(1), schema.String("sleep")},
+		{schema.Int(2), schema.String("walk")},
+		{schema.Int(2), schema.String("cook")},
+		{schema.Int(2), schema.String("sleep")},
+	}
+	return rel, rows
+}
+
+func TestIsLDiverse(t *testing.T) {
+	rel, rows := diversityFixture()
+	ok, err := IsLDiverse(rel, rows, []string{"cell"}, "activity", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("class 1 is homogeneous; not 2-diverse")
+	}
+	ok, err = IsLDiverse(rel, rows[3:], []string{"cell"}, "activity", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("class 2 has 3 distinct activities")
+	}
+	// l=1 is trivially satisfied.
+	if ok, _ := IsLDiverse(rel, rows, []string{"cell"}, "activity", 1); !ok {
+		t.Fatal("l=1 always holds")
+	}
+}
+
+func TestEnforceLDiversity(t *testing.T) {
+	rel, rows := diversityFixture()
+	out, suppressed, err := EnforceLDiversity(rel, rows, []string{"cell"}, "activity", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suppressed != 3 {
+		t.Fatalf("suppressed = %d, want 3 (the homogeneous class)", suppressed)
+	}
+	ok, _ := IsLDiverse(rel, out, []string{"cell"}, "activity", 2)
+	if !ok {
+		t.Fatal("result should be 2-diverse")
+	}
+	// Input untouched.
+	if len(rows) != 6 {
+		t.Fatal("input mutated")
+	}
+	// Unknown sensitive column errors.
+	if _, _, err := EnforceLDiversity(rel, rows, []string{"cell"}, "nope", 2); err == nil {
+		t.Fatal("unknown sensitive column should error")
+	}
+}
+
+func TestTClosenessCategorical(t *testing.T) {
+	rel, rows := diversityFixture()
+	// Class 1 is all-sleep vs global 4/6 sleep, 1/6 walk, 1/6 cook:
+	// TV distance = (|1-4/6| + |0-1/6| + |0-1/6|)/2 = 1/3.
+	d, err := TCloseness(rel, rows, []string{"cell"}, "activity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1.0/3.0) > 1e-9 {
+		t.Fatalf("t-closeness = %v, want 1/3", d)
+	}
+	ok, _ := IsTClose(rel, rows, []string{"cell"}, "activity", 0.5)
+	if !ok {
+		t.Fatal("0.34 < 0.5 should satisfy t=0.5")
+	}
+	ok, _ = IsTClose(rel, rows, []string{"cell"}, "activity", 0.2)
+	if ok {
+		t.Fatal("1/3 > 0.2 should violate t=0.2")
+	}
+}
+
+func TestTClosenessNumericEMD(t *testing.T) {
+	rel := schema.NewRelation("r",
+		schema.Col("cell", schema.TypeInt),
+		schema.Col("age", schema.TypeInt),
+	)
+	// Global ages: 20, 30, 40 uniform; class 1 concentrated at 20.
+	rows := schema.Rows{
+		{schema.Int(1), schema.Int(20)},
+		{schema.Int(1), schema.Int(20)},
+		{schema.Int(2), schema.Int(30)},
+		{schema.Int(2), schema.Int(40)},
+		{schema.Int(2), schema.Int(30)},
+		{schema.Int(2), schema.Int(40)},
+	}
+	d, err := TCloseness(rel, rows, []string{"cell"}, "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > 1 {
+		t.Fatalf("EMD out of range: %v", d)
+	}
+	// A perfectly mirrored relation has closeness 0.
+	uniform := schema.Rows{
+		{schema.Int(1), schema.Int(20)},
+		{schema.Int(1), schema.Int(30)},
+		{schema.Int(2), schema.Int(20)},
+		{schema.Int(2), schema.Int(30)},
+	}
+	d0, err := TCloseness(rel, uniform, []string{"cell"}, "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 > 1e-9 {
+		t.Fatalf("identical distributions should have closeness 0, got %v", d0)
+	}
+}
+
+func TestHomogeneityAttackScenario(t *testing.T) {
+	// The classic k-anonymity failure: a class is 3-anonymous yet leaks
+	// the sensitive value. l-diversity catches it, k-anonymity does not.
+	rel, rows := diversityFixture()
+	kOK, err := IsKAnonymous(rel, rows, []string{"cell"}, 3)
+	if err != nil || !kOK {
+		t.Fatalf("fixture should be 3-anonymous: %v", err)
+	}
+	lOK, _ := IsLDiverse(rel, rows, []string{"cell"}, "activity", 2)
+	if lOK {
+		t.Fatal("fixture must fail 2-diversity (homogeneity attack)")
+	}
+}
+
+func TestTClosenessEmpty(t *testing.T) {
+	rel, _ := diversityFixture()
+	d, err := TCloseness(rel, nil, []string{"cell"}, "activity")
+	if err != nil || d != 0 {
+		t.Fatalf("empty relation: %v %v", d, err)
+	}
+}

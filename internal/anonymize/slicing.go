@@ -1,0 +1,152 @@
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"paradise/internal/schema"
+)
+
+// Slice implements the column-wise anonymization of Li, Li, Zhang & Molloy
+// (SIGMOD 2012) the paper cites for attribute-wise processing: the columns
+// are partitioned into groups, the rows into buckets of bucketSize, and
+// within each bucket the value tuples of every column group are permuted
+// independently. Attribute correlations *within* a group survive; linkage
+// *across* groups is broken, which is exactly the privacy/utility trade the
+// technique offers.
+//
+// The column groups must cover disjoint subsets of the relation; columns not
+// mentioned form an implicit final group (kept in original row order — they
+// anchor the bucket like Li et al.'s sensitive column).
+func Slice(rel *schema.Relation, rows schema.Rows, colGroups [][]string, bucketSize int, rng *rand.Rand) (schema.Rows, error) {
+	if bucketSize < 2 {
+		return nil, fmt.Errorf("%w: bucket size must be >= 2, got %d", ErrAnonymize, bucketSize)
+	}
+	seen := map[int]bool{}
+	groups := make([][]int, 0, len(colGroups))
+	for _, g := range colGroups {
+		idx, err := columnIndexes(rel, g)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range idx {
+			if seen[i] {
+				return nil, fmt.Errorf("%w: column %s in more than one slice group",
+					ErrAnonymize, rel.Columns[i].Name)
+			}
+			seen[i] = true
+		}
+		groups = append(groups, idx)
+	}
+
+	out := rows.Clone()
+	for start := 0; start < len(out); start += bucketSize {
+		end := start + bucketSize
+		if end > len(out) {
+			end = len(out)
+		}
+		n := end - start
+		if n < 2 {
+			continue
+		}
+		for _, g := range groups {
+			perm := rng.Perm(n)
+			// Extract the group's value tuples, then write them back
+			// permuted.
+			tuples := make([][]schema.Value, n)
+			for i := 0; i < n; i++ {
+				t := make([]schema.Value, len(g))
+				for j, c := range g {
+					t[j] = out[start+i][c]
+				}
+				tuples[i] = t
+			}
+			for i := 0; i < n; i++ {
+				src := tuples[perm[i]]
+				for j, c := range g {
+					out[start+i][c] = src[j]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// DetectQuasiIdentifiers finds a minimal (greedy) set of columns whose value
+// combination re-identifies more than riskThreshold of the rows (fraction of
+// rows in singleton equivalence classes). Columns already flagged Sensitive
+// are direct identifiers and excluded — they must be removed or masked, not
+// generalized. This implements the "detecting quasi-identifiers" step of the
+// paper's postprocessing summary (§5).
+func DetectQuasiIdentifiers(rel *schema.Relation, rows schema.Rows, riskThreshold float64) []string {
+	if len(rows) == 0 {
+		return nil
+	}
+	var candidates []int
+	for i, c := range rel.Columns {
+		if !c.Sensitive {
+			candidates = append(candidates, i)
+		}
+	}
+	// Order candidates by decreasing distinctness: the most identifying
+	// columns first, so the greedy set stays small.
+	sort.SliceStable(candidates, func(a, b int) bool {
+		return distinctness(rows, candidates[a]) > distinctness(rows, candidates[b])
+	})
+
+	var chosen []int
+	for _, c := range candidates {
+		if singletonFraction(rows, chosen) > riskThreshold {
+			break
+		}
+		chosen = append(chosen, c)
+	}
+	if singletonFraction(rows, chosen) <= riskThreshold {
+		// Even all quasi-columns together do not re-identify: no QI set.
+		return nil
+	}
+	// Shrink greedily: drop columns that are not needed to stay above the
+	// threshold.
+	for i := 0; i < len(chosen); {
+		trial := append(append([]int{}, chosen[:i]...), chosen[i+1:]...)
+		if len(trial) > 0 && singletonFraction(rows, trial) > riskThreshold {
+			chosen = trial
+		} else {
+			i++
+		}
+	}
+	names := make([]string, len(chosen))
+	for i, c := range chosen {
+		names[i] = rel.Columns[c].Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+func distinctness(rows schema.Rows, col int) float64 {
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r[col].GroupKey()] = true
+	}
+	return float64(len(seen)) / float64(len(rows))
+}
+
+// singletonFraction computes the fraction of rows that are unique under the
+// given column combination.
+func singletonFraction(rows schema.Rows, cols []int) float64 {
+	if len(cols) == 0 || len(rows) == 0 {
+		return 0
+	}
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r.GroupKey(cols)]++
+	}
+	singles := 0
+	for _, c := range counts {
+		if c == 1 {
+			singles++
+		}
+	}
+	return float64(singles) / float64(len(rows))
+}

@@ -1,0 +1,143 @@
+// Package audit keeps a provenance journal of every query the PArADISE
+// processor answers: who asked (module), what was asked, what the privacy
+// machinery did to it, and how much data left the apartment. The paper's
+// companion work (METIS in PArADISE, [Heu15]) motivates exactly this —
+// provenance management for sensor-data evaluations; the journal is the
+// minimal end a user needs to audit their assistive system.
+package audit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrJournal wraps journal errors.
+var ErrJournal = errors.New("audit: error")
+
+// Entry is the audit record of one processed query.
+type Entry struct {
+	// Seq is the 1-based position in the journal.
+	Seq int `json:"seq"`
+	// Module is the policy module the query ran under.
+	Module string `json:"module"`
+	// OriginalSQL and RewrittenSQL document the preprocessing.
+	OriginalSQL  string `json:"original_sql"`
+	RewrittenSQL string `json:"rewritten_sql"`
+	// RewriteSummary is the human-readable transformation digest.
+	RewriteSummary string `json:"rewrite_summary"`
+	// Denied marks queries the policy refused entirely.
+	Denied bool `json:"denied,omitempty"`
+	// DenyReason carries the refusal cause.
+	DenyReason string `json:"deny_reason,omitempty"`
+	// RawBytes and EgressBytes quantify the Figure 3 reduction.
+	RawBytes    int `json:"raw_bytes"`
+	EgressBytes int `json:"egress_bytes"`
+	// ResultRows is the cardinality the requester received.
+	ResultRows int `json:"result_rows"`
+	// AnonMethod names the postprocessing, empty when none ran.
+	AnonMethod string `json:"anon_method,omitempty"`
+	// DDRatio is the §3.2 quality ratio of the anonymization.
+	DDRatio float64 `json:"dd_ratio,omitempty"`
+	// Satisfactory mirrors the §3.1 information-loss check.
+	Satisfactory bool `json:"satisfactory"`
+}
+
+// Journal is an append-only, concurrency-safe audit log.
+type Journal struct {
+	mu      sync.RWMutex
+	entries []Entry
+}
+
+// NewJournal creates an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Append records one entry, assigning its sequence number.
+func (j *Journal) Append(e Entry) Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e.Seq = len(j.entries) + 1
+	j.entries = append(j.entries, e)
+	return e
+}
+
+// Len returns the number of entries.
+func (j *Journal) Len() int {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	return len(j.entries)
+}
+
+// All returns a copy of every entry in order.
+func (j *Journal) All() []Entry {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	out := make([]Entry, len(j.entries))
+	copy(out, j.entries)
+	return out
+}
+
+// ByModule returns the entries of one module, in order.
+func (j *Journal) ByModule(module string) []Entry {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	var out []Entry
+	for _, e := range j.entries {
+		if e.Module == module {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Denials returns every refused query.
+func (j *Journal) Denials() []Entry {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	var out []Entry
+	for _, e := range j.entries {
+		if e.Denied {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalEgress sums the bytes that left the apartment across all entries.
+func (j *Journal) TotalEgress() int {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	total := 0
+	for _, e := range j.entries {
+		total += e.EgressBytes
+	}
+	return total
+}
+
+// WriteJSON streams the journal as a JSON array.
+func (j *Journal) WriteJSON(w io.Writer) error {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(j.entries); err != nil {
+		return fmt.Errorf("%w: encode: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// ReadJSON loads a journal previously written with WriteJSON. Sequence
+// numbers are reassigned to keep the append-only invariant.
+func ReadJSON(r io.Reader) (*Journal, error) {
+	var entries []Entry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrJournal, err)
+	}
+	j := NewJournal()
+	for _, e := range entries {
+		j.Append(e)
+	}
+	return j, nil
+}

@@ -1,0 +1,101 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAppendAssignsSequence(t *testing.T) {
+	j := NewJournal()
+	e1 := j.Append(Entry{Module: "m1", OriginalSQL: "SELECT 1"})
+	e2 := j.Append(Entry{Module: "m2", OriginalSQL: "SELECT 2"})
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Fatalf("seqs = %d, %d", e1.Seq, e2.Seq)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("len = %d", j.Len())
+	}
+}
+
+func TestByModuleAndDenials(t *testing.T) {
+	j := NewJournal()
+	j.Append(Entry{Module: "a", EgressBytes: 10})
+	j.Append(Entry{Module: "b", Denied: true, DenyReason: "policy"})
+	j.Append(Entry{Module: "a", EgressBytes: 5})
+	if n := len(j.ByModule("a")); n != 2 {
+		t.Fatalf("ByModule(a) = %d", n)
+	}
+	den := j.Denials()
+	if len(den) != 1 || den[0].Module != "b" {
+		t.Fatalf("denials = %v", den)
+	}
+	if j.TotalEgress() != 15 {
+		t.Fatalf("egress = %d", j.TotalEgress())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	j := NewJournal()
+	j.Append(Entry{Module: "ActionFilter", OriginalSQL: "SELECT x FROM d",
+		RewrittenSQL: "SELECT x FROM d WHERE x > y", EgressBytes: 42,
+		AnonMethod: "mondrian", DDRatio: 0.5, Satisfactory: true})
+	j.Append(Entry{Module: "Evil", OriginalSQL: "SELECT user FROM d",
+		Denied: true, DenyReason: "denied attribute"})
+
+	var buf bytes.Buffer
+	if err := j.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mondrian") {
+		t.Fatal("JSON lacks content")
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("restored len = %d", back.Len())
+	}
+	if len(back.Denials()) != 1 {
+		t.Fatal("denial lost in round trip")
+	}
+	if back.All()[0].DDRatio != 0.5 {
+		t.Fatal("fields lost")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	j := NewJournal()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j.Append(Entry{Module: "m"})
+				_ = j.All()
+				_ = j.TotalEgress()
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Len() != 400 {
+		t.Fatalf("len = %d", j.Len())
+	}
+	// Sequence numbers are unique and dense.
+	seen := map[int]bool{}
+	for _, e := range j.All() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

@@ -1,0 +1,534 @@
+// Package containment addresses the open problem the paper closes with
+// (§4.1/§5): "decide whether a privacy-violating query Q↓ can be performed
+// even on d′ instead of d. In this case, we have to extend the anonymization
+// step A already performed. This open problem results in a query containment
+// problem."
+//
+// Full query containment is undecidable for the SQL the engine supports, so
+// this package implements a *conservative* answerability test in the style
+// of view-based query answering over a single released view d′ (the output
+// of the rewritten, fragmented query):
+//
+//   - attribute coverage — every attribute Q↓ needs must survive into d′
+//     (an attribute replaced by its mandated aggregate is gone in raw form);
+//   - tuple coverage — the region Q↓ selects must be contained in the
+//     region d′ retains, checked by per-attribute interval implication over
+//     the conjunctive constant predicates;
+//   - aggregation compatibility — if d′ is grouped, Q↓ may only use the
+//     grouping attributes and aggregates derivable from the released ones.
+//
+// The test errs on the safe side in the *privacy* direction required here:
+// it may report "answerable" although a clever rewriting is impossible
+// (over-approximation), never the reverse. A privacy checker must
+// over-approximate the attacker.
+package containment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// ErrContainment wraps analysis errors.
+var ErrContainment = errors.New("containment: error")
+
+// Verdict is the result of an answerability check.
+type Verdict struct {
+	// Answerable: the violating query can (conservatively) be computed
+	// from the released view — the anonymization step A must be extended.
+	Answerable bool
+	// Reasons lists, when not answerable, which guard blocked each path;
+	// when answerable, what the attacker can use.
+	Reasons []string
+}
+
+// String renders the verdict.
+func (v *Verdict) String() string {
+	s := "NOT answerable on d'"
+	if v.Answerable {
+		s = "ANSWERABLE on d'"
+	}
+	if len(v.Reasons) > 0 {
+		s += ": " + strings.Join(v.Reasons, "; ")
+	}
+	return s
+}
+
+// Checker decides answerability of queries against one released view.
+type Checker struct {
+	cat *schema.Catalog
+}
+
+// New builds a checker over the base catalog (needed to resolve the view's
+// base relations).
+func New(cat *schema.Catalog) *Checker {
+	return &Checker{cat: cat}
+}
+
+// viewProfile is the analyzed shape of the released query d′ = view(d).
+type viewProfile struct {
+	// columns maps released output names to the expression they carry:
+	// "" for a raw base column, else the SQL of the deriving expression.
+	columns map[string]string
+	// rawOf maps a released name to the base column when it is raw.
+	rawOf map[string]string
+	// intervals are the per-base-column retained ranges from conjunctive
+	// constant predicates over the whole spine.
+	intervals map[string]interval
+	// baseCols are the columns of the underlying base relation.
+	baseCols map[string]bool
+	// grouped reports whether the view aggregates.
+	grouped bool
+	// groupBy lists base columns the view groups by (raw only).
+	groupBy []string
+	// attrFilters are non-constant predicates the view applies (their SQL,
+	// lower-cased); a containing query must repeat them or select within.
+	attrFilters map[string]bool
+}
+
+// interval is a closed/open numeric range with optional bounds.
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+	hasLo, hasHi   bool
+}
+
+func fullInterval() interval {
+	return interval{lo: math.Inf(-1), hi: math.Inf(1)}
+}
+
+// contains reports whether i contains o (o ⊆ i).
+func (i interval) contains(o interval) bool {
+	if i.hasLo {
+		if !o.hasLo {
+			return false
+		}
+		if o.lo < i.lo || (o.lo == i.lo && i.loOpen && !o.loOpen) {
+			return false
+		}
+	}
+	if i.hasHi {
+		if !o.hasHi {
+			return false
+		}
+		if o.hi > i.hi || (o.hi == i.hi && i.hiOpen && !o.hiOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// intersect narrows i by o.
+func (i interval) intersect(o interval) interval {
+	out := i
+	if o.hasLo && (!out.hasLo || o.lo > out.lo || (o.lo == out.lo && o.loOpen)) {
+		out.lo, out.loOpen, out.hasLo = o.lo, o.loOpen, true
+	}
+	if o.hasHi && (!out.hasHi || o.hi < out.hi || (o.hi == out.hi && o.hiOpen)) {
+		out.hi, out.hiOpen, out.hasHi = o.hi, o.hiOpen, true
+	}
+	return out
+}
+
+// Answerable checks whether violating can be computed from the released
+// view. Both queries must read the same base relation (the integrated d);
+// anything else is reported as not comparable.
+func (c *Checker) Answerable(violating, view *sqlparser.Select) (*Verdict, error) {
+	vp, err := c.profileView(view)
+	if err != nil {
+		return nil, err
+	}
+	qp, err := c.profileQuery(violating)
+	if err != nil {
+		return nil, err
+	}
+
+	verdict := &Verdict{Answerable: true}
+	blocked := func(reason string) {
+		verdict.Answerable = false
+		verdict.Reasons = append(verdict.Reasons, reason)
+	}
+
+	// Conjuncts the view already enforces are free; the rest needs
+	// released attributes and raw access.
+	live := effectiveConds(qp, vp)
+	attrs := append([]string{}, qp.attrs...)
+	rawNeeded := append([]string{}, qp.rawNeeded...)
+	for _, cu := range live {
+		attrs = append(attrs, cu.cols...)
+		rawNeeded = append(rawNeeded, cu.cols...)
+	}
+
+	// 1. Attribute coverage.
+	for _, a := range dedupe(attrs) {
+		if _, ok := vp.rawOf[a]; ok {
+			continue
+		}
+		if _, ok := vp.columns[a]; ok && !vp.grouped {
+			continue
+		}
+		if vp.grouped {
+			if inStrings(vp.groupBy, a) {
+				continue
+			}
+			if _, ok := vp.columns[a]; ok {
+				// A derived aggregate column: usable as such, raw is gone.
+				continue
+			}
+		}
+		blocked(fmt.Sprintf("attribute %q is not released", a))
+	}
+
+	// 2. Raw-value access under aggregation: a query touching a column
+	// that only survives as an aggregate cannot see raw values.
+	if vp.grouped {
+		for _, a := range dedupe(rawNeeded) {
+			if !vp.baseCols[a] {
+				continue // derived released column; its values ARE d′
+			}
+			if !inStrings(vp.groupBy, a) {
+				if _, isRaw := vp.rawOf[a]; !isRaw {
+					blocked(fmt.Sprintf("raw values of %q are aggregated away", a))
+				}
+			}
+		}
+	}
+
+	// 3. Tuple coverage: the query's selected region must lie inside the
+	// view's retained region.
+	for col, vi := range vp.intervals {
+		qi, ok := qp.intervals[col]
+		if !ok {
+			qi = fullInterval()
+		}
+		if !vi.contains(qi) {
+			blocked(fmt.Sprintf("query selects %s outside the released range", col))
+		}
+	}
+
+	// 4. Non-constant view filters must be implied by the query: the view
+	// dropped those tuples, so an answerable query must not need them.
+	// Conservative test: the query repeats the filter verbatim.
+	qConj := map[string]bool{}
+	for _, cu := range qp.conds {
+		qConj[cu.sql] = true
+	}
+	for f := range vp.attrFilters {
+		if !qConj[f] {
+			blocked(fmt.Sprintf("query does not imply released filter %q", f))
+		}
+	}
+
+	if verdict.Answerable {
+		verdict.Reasons = append(verdict.Reasons,
+			"all needed attributes and tuples survive into d'")
+	}
+	return verdict, nil
+}
+
+// profileView analyzes the released query.
+func (c *Checker) profileView(view *sqlparser.Select) (*viewProfile, error) {
+	vp := &viewProfile{
+		columns:     map[string]string{},
+		rawOf:       map[string]string{},
+		baseCols:    map[string]bool{},
+		intervals:   map[string]interval{},
+		attrFilters: map[string]bool{},
+	}
+
+	// Walk the spine innermost-out, tracking renames raw->alias.
+	var spine []*sqlparser.Select
+	cur := view
+	for {
+		spine = append(spine, cur)
+		sq, ok := cur.From.(*sqlparser.Subquery)
+		if !ok {
+			break
+		}
+		cur = sq.Select
+	}
+	inner := spine[len(spine)-1]
+	baseRel, err := c.baseRelation(inner.From)
+	if err != nil {
+		return nil, err
+	}
+
+	// Raw columns visible at the innermost level.
+	current := map[string]string{} // output name -> base column ("" if derived)
+	for _, col := range baseRel.ColumnNames() {
+		current[col] = col
+		vp.baseCols[col] = true
+	}
+
+	for i := len(spine) - 1; i >= 0; i-- {
+		q := spine[i]
+		// Accumulate predicates over base columns.
+		for _, conj := range sqlparser.Conjuncts(q.Where) {
+			if col, iv, ok := constInterval(conj, current); ok {
+				prev, has := vp.intervals[col]
+				if !has {
+					prev = fullInterval()
+				}
+				vp.intervals[col] = prev.intersect(iv)
+			} else {
+				vp.attrFilters[strings.ToLower(conj.SQL())] = true
+			}
+		}
+		if len(q.GroupBy) > 0 || q.Having != nil || anyAggregate(q) {
+			vp.grouped = true
+			for _, g := range q.GroupBy {
+				if cr, ok := g.(*sqlparser.ColumnRef); ok {
+					if base, ok := current[cr.Name]; ok && base != "" {
+						vp.groupBy = append(vp.groupBy, base)
+					}
+				}
+			}
+		}
+		// Compute this level's output mapping.
+		next := map[string]string{}
+		for idx, it := range q.Items {
+			if _, ok := it.Expr.(*sqlparser.Star); ok {
+				for n, b := range current {
+					next[n] = b
+				}
+				continue
+			}
+			name := it.Alias
+			if name == "" {
+				if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+					name = cr.Name
+				} else if f, ok := it.Expr.(*sqlparser.FuncCall); ok {
+					name = f.Name
+				} else {
+					name = fmt.Sprintf("col%d", idx+1)
+				}
+			}
+			if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+				next[name] = current[cr.Name]
+			} else {
+				next[name] = "" // derived
+			}
+		}
+		current = next
+	}
+
+	for name, base := range current {
+		vp.columns[name] = base
+		if base != "" {
+			vp.rawOf[name] = base
+		}
+	}
+	return vp, nil
+}
+
+// condUse is one WHERE conjunct of the violating query with its analysis.
+type condUse struct {
+	sql  string // lower-cased canonical text
+	cols []string
+	// col/iv are set for constant-interval conjuncts.
+	col  string
+	iv   interval
+	isIv bool
+}
+
+// queryProfile is the analyzed shape of the violating query. Attributes and
+// raw needs from WHERE conjuncts are kept separate, because a conjunct the
+// view already enforces is *redundant* on d′ and needs no raw access.
+type queryProfile struct {
+	attrs     []string // from items, GROUP BY, HAVING, ORDER BY
+	rawNeeded []string
+	conds     []condUse
+	intervals map[string]interval
+}
+
+func (c *Checker) profileQuery(q *sqlparser.Select) (*queryProfile, error) {
+	qp := &queryProfile{intervals: map[string]interval{}}
+	seen := map[string]bool{}
+	addAttr := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			qp.attrs = append(qp.attrs, name)
+		}
+	}
+
+	sqlparser.WalkSelects(q, func(s *sqlparser.Select) {
+		for _, it := range s.Items {
+			for _, cr := range sqlparser.ColumnRefs(it.Expr) {
+				addAttr(cr.Name)
+			}
+			// Raw access: column used outside an aggregate call.
+			for _, cr := range rawRefs(it.Expr) {
+				qp.rawNeeded = append(qp.rawNeeded, cr.Name)
+			}
+		}
+		for _, conj := range sqlparser.Conjuncts(s.Where) {
+			use := condUse{sql: strings.ToLower(conj.SQL())}
+			ident := map[string]string{}
+			for _, cr := range sqlparser.ColumnRefs(conj) {
+				use.cols = append(use.cols, cr.Name)
+				ident[cr.Name] = cr.Name
+			}
+			if col, iv, ok := constInterval(conj, ident); ok {
+				use.col, use.iv, use.isIv = col, iv, true
+				prev, has := qp.intervals[col]
+				if !has {
+					prev = fullInterval()
+				}
+				qp.intervals[col] = prev.intersect(iv)
+			}
+			qp.conds = append(qp.conds, use)
+		}
+		for _, g := range s.GroupBy {
+			for _, cr := range sqlparser.ColumnRefs(g) {
+				addAttr(cr.Name)
+				qp.rawNeeded = append(qp.rawNeeded, cr.Name)
+			}
+		}
+		for _, cr := range sqlparser.ColumnRefs(s.Having) {
+			addAttr(cr.Name)
+		}
+		for _, o := range s.OrderBy {
+			for _, cr := range sqlparser.ColumnRefs(o.Expr) {
+				addAttr(cr.Name)
+			}
+		}
+	})
+	return qp, nil
+}
+
+// effectiveConds splits the query's conjuncts into those the view already
+// enforces (redundant on d′) and those the attacker would still have to
+// evaluate (needing released attributes).
+func effectiveConds(qp *queryProfile, vp *viewProfile) (live []condUse) {
+	for _, cu := range qp.conds {
+		if cu.isIv {
+			if vi, ok := vp.intervals[cu.col]; ok && cu.iv.contains(vi) {
+				// The view's retained region already satisfies this
+				// conjunct everywhere: redundant.
+				continue
+			}
+		}
+		if vp.attrFilters[cu.sql] {
+			continue // exact filter the view applies
+		}
+		live = append(live, cu)
+	}
+	return live
+}
+
+// rawRefs returns column references that appear outside aggregate calls.
+func rawRefs(e sqlparser.Expr) []*sqlparser.ColumnRef {
+	var out []*sqlparser.ColumnRef
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if f, ok := x.(*sqlparser.FuncCall); ok && (f.IsAggregate() || f.IsWindow()) {
+			return false // stop: inside an aggregate, access is not raw
+		}
+		if cr, ok := x.(*sqlparser.ColumnRef); ok {
+			out = append(out, cr)
+		}
+		return true
+	})
+	return out
+}
+
+// constInterval recognizes col-vs-constant comparisons and converts them
+// into a base-column interval, using mapping from visible name to base
+// column.
+func constInterval(e sqlparser.Expr, mapping map[string]string) (string, interval, bool) {
+	be, ok := e.(*sqlparser.BinaryExpr)
+	if !ok || !be.Op.Comparison() {
+		return "", interval{}, false
+	}
+	cr, crOK := be.L.(*sqlparser.ColumnRef)
+	lit, litOK := be.R.(*sqlparser.Literal)
+	op := be.Op
+	if !crOK || !litOK {
+		cr, crOK = be.R.(*sqlparser.ColumnRef)
+		lit, litOK = be.L.(*sqlparser.Literal)
+		if !crOK || !litOK {
+			return "", interval{}, false
+		}
+		// Mirror the operator: 2 > z  ==  z < 2.
+		switch op {
+		case sqlparser.OpLt:
+			op = sqlparser.OpGt
+		case sqlparser.OpLeq:
+			op = sqlparser.OpGeq
+		case sqlparser.OpGt:
+			op = sqlparser.OpLt
+		case sqlparser.OpGeq:
+			op = sqlparser.OpLeq
+		}
+	}
+	base, ok := mapping[cr.Name]
+	if !ok || base == "" {
+		return "", interval{}, false
+	}
+	if !lit.Value.Type().Numeric() {
+		return "", interval{}, false
+	}
+	v := lit.Value.AsFloat()
+	iv := fullInterval()
+	switch op {
+	case sqlparser.OpLt:
+		iv.hi, iv.hiOpen, iv.hasHi = v, true, true
+	case sqlparser.OpLeq:
+		iv.hi, iv.hasHi = v, true
+	case sqlparser.OpGt:
+		iv.lo, iv.loOpen, iv.hasLo = v, true, true
+	case sqlparser.OpGeq:
+		iv.lo, iv.hasLo = v, true
+	case sqlparser.OpEq:
+		iv.lo, iv.hi, iv.hasLo, iv.hasHi = v, v, true, true
+	default: // <> carries no interval information
+		return "", interval{}, false
+	}
+	return base, iv, true
+}
+
+func anyAggregate(q *sqlparser.Select) bool {
+	for _, it := range q.Items {
+		if sqlparser.ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return q.Having != nil && sqlparser.ContainsAggregate(q.Having)
+}
+
+// baseRelation resolves the single base relation of the innermost FROM.
+func (c *Checker) baseRelation(t sqlparser.TableRef) (*schema.Relation, error) {
+	tn, ok := t.(*sqlparser.TableName)
+	if !ok {
+		return nil, fmt.Errorf("%w: containment analysis needs a single base relation, got %T", ErrContainment, t)
+	}
+	rel, ok := c.cat.Lookup(tn.Name)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown relation %q", ErrContainment, tn.Name)
+	}
+	return rel, nil
+}
+
+func dedupe(s []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range s {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func inStrings(hay []string, needle string) bool {
+	for _, h := range hay {
+		if h == needle {
+			return true
+		}
+	}
+	return false
+}

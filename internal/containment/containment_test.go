@@ -1,0 +1,177 @@
+package containment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+func testChecker() *Checker {
+	cat := schema.NewCatalog()
+	cat.Register(schema.NewRelation("d",
+		schema.SensitiveCol("user", schema.TypeString),
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	))
+	return New(cat)
+}
+
+func verdict(t *testing.T, violating, view string) *Verdict {
+	t.Helper()
+	c := testChecker()
+	q, err := sqlparser.Parse(violating)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sqlparser.Parse(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Answerable(q, v)
+	if err != nil {
+		t.Fatalf("Answerable(%q | %q): %v", violating, view, err)
+	}
+	return out
+}
+
+func TestAttributeRemovedBlocksQuery(t *testing.T) {
+	// The view projects user away; a user-profiling query is dead.
+	v := verdict(t,
+		"SELECT user, x FROM d",
+		"SELECT x, y, z, t FROM d")
+	if v.Answerable {
+		t.Fatalf("user is not released: %s", v)
+	}
+	if !strings.Contains(v.String(), "user") {
+		t.Fatalf("reason should name the attribute: %s", v)
+	}
+}
+
+func TestSubsetQueryIsAnswerable(t *testing.T) {
+	// d' retains z < 2; a query asking for z < 1 is inside the region.
+	v := verdict(t,
+		"SELECT x, y FROM d WHERE z < 1 AND z < 2",
+		"SELECT x, y, z, t FROM d WHERE z < 2")
+	if !v.Answerable {
+		t.Fatalf("sub-range query should be answerable: %s", v)
+	}
+}
+
+func TestSupersetRangeBlocked(t *testing.T) {
+	// The view only keeps z < 2; a query over z < 5 needs dropped tuples.
+	v := verdict(t,
+		"SELECT x, y FROM d WHERE z < 5",
+		"SELECT x, y, z, t FROM d WHERE z < 2")
+	if v.Answerable {
+		t.Fatalf("query exceeding released range must be blocked: %s", v)
+	}
+}
+
+func TestUnconstrainedQueryAgainstFilteredViewBlocked(t *testing.T) {
+	v := verdict(t,
+		"SELECT x, y FROM d",
+		"SELECT x, y FROM d WHERE z < 2")
+	if v.Answerable {
+		t.Fatalf("full-table query on filtered view must be blocked: %s", v)
+	}
+}
+
+func TestAggregatedViewHidesRawValues(t *testing.T) {
+	// The paper's rewritten view: z only as AVG per (x, y) cell.
+	view := "SELECT x, y, AVG(z) AS zavg, t FROM d WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100"
+	// Q↓ wants raw z trajectories.
+	v := verdict(t, "SELECT z, t FROM d WHERE x > y AND z < 2", view)
+	if v.Answerable {
+		t.Fatalf("raw z must be aggregated away: %s", v)
+	}
+	// But the cell-level aggregate itself is available.
+	v = verdict(t, "SELECT x, y, zavg FROM d WHERE x > y AND z < 2", view)
+	if !v.Answerable {
+		t.Fatalf("released aggregate should be answerable: %s", v)
+	}
+}
+
+func TestAttrFilterMustBeImplied(t *testing.T) {
+	view := "SELECT x, y, z, t FROM d WHERE x > y"
+	// The query repeats the filter: fine.
+	v := verdict(t, "SELECT x FROM d WHERE x > y", view)
+	if !v.Answerable {
+		t.Fatalf("repeated filter should be answerable: %s", v)
+	}
+	// The query does not imply x > y: needs dropped tuples.
+	v = verdict(t, "SELECT x FROM d", view)
+	if v.Answerable {
+		t.Fatalf("query ignoring the view filter must be blocked: %s", v)
+	}
+}
+
+func TestOpenVsClosedBounds(t *testing.T) {
+	// view keeps z < 2 (open); query wants z <= 2 (closed): not contained.
+	v := verdict(t,
+		"SELECT x FROM d WHERE z <= 2",
+		"SELECT x, z FROM d WHERE z < 2")
+	if v.Answerable {
+		t.Fatalf("closed bound exceeds open bound: %s", v)
+	}
+	// The mirror-spelled constant (2 > z) is recognized.
+	v = verdict(t,
+		"SELECT x FROM d WHERE 2 > z",
+		"SELECT x, z FROM d WHERE z < 2")
+	if !v.Answerable {
+		t.Fatalf("mirrored comparison should be parsed: %s", v)
+	}
+}
+
+func TestEqualityInsideRange(t *testing.T) {
+	v := verdict(t,
+		"SELECT x FROM d WHERE z = 1.5",
+		"SELECT x, z FROM d WHERE z < 2")
+	if !v.Answerable {
+		t.Fatalf("point query inside range: %s", v)
+	}
+	v = verdict(t,
+		"SELECT x FROM d WHERE z = 3",
+		"SELECT x, z FROM d WHERE z < 2")
+	if v.Answerable {
+		t.Fatalf("point query outside range must be blocked: %s", v)
+	}
+}
+
+func TestNestedViewSpine(t *testing.T) {
+	// Conditions distributed across the spine still accumulate.
+	view := "SELECT s, t FROM (SELECT x + y AS s, z, t FROM d WHERE z < 2) WHERE z > 0"
+	v := verdict(t, "SELECT x FROM d", view)
+	if v.Answerable {
+		t.Fatalf("x only survives inside a derived column: %s", v)
+	}
+}
+
+func TestUnknownRelation(t *testing.T) {
+	c := testChecker()
+	q, _ := sqlparser.Parse("SELECT a FROM unknown")
+	v, _ := sqlparser.Parse("SELECT a FROM unknown")
+	if _, err := c.Answerable(q, v); !errors.Is(err, ErrContainment) {
+		t.Fatalf("want ErrContainment, got %v", err)
+	}
+}
+
+func TestPaperScenario(t *testing.T) {
+	// The full paper view (rewritten §4.2 inner query): does the profiling
+	// query "where was the user at each point in time" survive?
+	view := "SELECT x, y, AVG(z) AS zavg, t FROM d WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100"
+	profiling := "SELECT user, x, y, t FROM d"
+	v := verdict(t, profiling, view)
+	if v.Answerable {
+		t.Fatalf("profiling must be dead on d': %s", v)
+	}
+	// Reasons should mention both the missing user attribute and the
+	// unimplied filters.
+	if !strings.Contains(v.String(), "user") {
+		t.Fatalf("verdict should explain: %s", v)
+	}
+}

@@ -1,0 +1,110 @@
+package containment
+
+import (
+	"testing"
+
+	"paradise/internal/sqlparser"
+)
+
+func iv(t *testing.T, cond string) interval {
+	t.Helper()
+	e, err := sqlparser.ParseExpr(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := map[string]string{"z": "z", "x": "x"}
+	_, out, ok := constInterval(e, cols)
+	if !ok {
+		t.Fatalf("constInterval(%q) not recognized", cond)
+	}
+	return out
+}
+
+func TestIntervalContains(t *testing.T) {
+	cases := []struct {
+		outer, inner string
+		want         bool
+	}{
+		{"z < 2", "z < 1", true},
+		{"z < 2", "z < 2", true},
+		{"z < 2", "z <= 2", false}, // open vs closed at the boundary
+		{"z <= 2", "z < 2", true},
+		{"z < 2", "z < 3", false},
+		{"z > 0", "z > 1", true},
+		{"z > 1", "z > 0", false},
+		{"z >= 1", "z > 1", true},
+		{"z > 1", "z >= 1", false},
+		{"z < 2", "z = 1", true},
+		{"z < 2", "z = 2", false},
+		{"z = 1", "z = 1", true},
+		{"z = 1", "z = 2", false},
+	}
+	for _, c := range cases {
+		outer, inner := iv(t, c.outer), iv(t, c.inner)
+		if got := outer.contains(inner); got != c.want {
+			t.Errorf("(%s).contains(%s) = %v, want %v", c.outer, c.inner, got, c.want)
+		}
+	}
+}
+
+func TestIntervalFullContainsEverything(t *testing.T) {
+	full := fullInterval()
+	for _, cond := range []string{"z < 2", "z > 0", "z = 5", "z >= -1"} {
+		if !full.contains(iv(t, cond)) {
+			t.Errorf("full interval should contain %s", cond)
+		}
+	}
+	// And nothing bounded contains the full interval.
+	if iv(t, "z < 2").contains(full) {
+		t.Error("bounded interval cannot contain the full one")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	// z > 0 ∩ z < 2 = (0, 2)
+	both := iv(t, "z > 0").intersect(iv(t, "z < 2"))
+	if !both.hasLo || !both.hasHi || both.lo != 0 || both.hi != 2 || !both.loOpen || !both.hiOpen {
+		t.Fatalf("intersection wrong: %+v", both)
+	}
+	// Intersecting the same bound keeps the stricter openness.
+	mixed := iv(t, "z <= 2").intersect(iv(t, "z < 2"))
+	if !mixed.hiOpen {
+		t.Fatalf("open bound should win at the same point: %+v", mixed)
+	}
+	// Intersection narrows: the result is contained in both inputs.
+	a, b := iv(t, "z > 1"), iv(t, "z < 3")
+	isect := a.intersect(b)
+	if !a.contains(isect) || !b.contains(isect) {
+		t.Fatal("intersection not contained in operands")
+	}
+}
+
+func TestConstIntervalMirrored(t *testing.T) {
+	cols := map[string]string{"z": "z"}
+	e, err := sqlparser.ParseExpr("2 >= z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, out, ok := constInterval(e, cols)
+	if !ok || col != "z" || !out.hasHi || out.hi != 2 || out.hiOpen {
+		t.Fatalf("mirrored 2 >= z: %v %+v %v", col, out, ok)
+	}
+}
+
+func TestConstIntervalRejectsNonConst(t *testing.T) {
+	cols := map[string]string{"z": "z", "x": "x"}
+	for _, cond := range []string{"x > z", "z <> 2", "z + 1 < 2"} {
+		e, err := sqlparser.ParseExpr(cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := constInterval(e, cols); ok {
+			t.Errorf("constInterval(%q) should be rejected", cond)
+		}
+	}
+	// Derived column (empty mapping) is rejected.
+	e, _ := sqlparser.ParseExpr("z < 2")
+	if _, _, ok := constInterval(e, map[string]string{"z": ""}); ok {
+		t.Error("derived column should not yield an interval")
+	}
+}

@@ -1,0 +1,477 @@
+// Package core assembles the PArADISE privacy-aware query processor of
+// Figure 2: a preprocessor that checks and rewrites queries against the
+// user's privacy policy, the vertical fragmentation and simulated execution
+// across the peer chain, and a postprocessor that anonymizes result sets and
+// scores the information loss ("Golden Path", §3.2). It is the public entry
+// point of this library; the cmd tools and examples drive everything through
+// the Processor type.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"paradise/internal/anonymize"
+	"paradise/internal/audit"
+	"paradise/internal/containment"
+	"paradise/internal/engine"
+	"paradise/internal/fragment"
+	"paradise/internal/network"
+	"paradise/internal/policy"
+	"paradise/internal/privmetrics"
+	"paradise/internal/recognition"
+	"paradise/internal/rewrite"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+	"paradise/internal/storage"
+)
+
+// ErrProcessor wraps configuration errors.
+var ErrProcessor = errors.New("core: processor error")
+
+// AnonMethod selects the postprocessing algorithm.
+type AnonMethod string
+
+// Available postprocessing methods (§3.2 names them all).
+const (
+	AnonNone         AnonMethod = "none"
+	AnonMondrian     AnonMethod = "mondrian"   // k-anonymity, multidimensional
+	AnonFullDomain   AnonMethod = "fulldomain" // k-anonymity, Samarati
+	AnonSlicing      AnonMethod = "slicing"    // column-wise (Li et al.)
+	AnonDifferential AnonMethod = "dp"         // Laplace mechanism
+)
+
+// AnonConfig tunes the postprocessor.
+type AnonConfig struct {
+	Method AnonMethod
+	// K for the k-anonymity flavours.
+	K int
+	// Epsilon and Sensitivity for differential privacy.
+	Epsilon     float64
+	Sensitivity float64
+	// BucketSize for slicing.
+	BucketSize int
+	// QuasiIdentifiers to protect; empty means auto-detection.
+	QuasiIdentifiers []string
+	// Seed for the randomized methods (slicing permutations, DP noise).
+	Seed int64
+	// MaxSuppress bounds row suppression for the full-domain flavour.
+	MaxSuppress int
+	// LDiversity, when > 1 together with SensitiveColumn, additionally
+	// suppresses equivalence classes with fewer than l distinct sensitive
+	// values after the k-anonymity step (homogeneity-attack defence).
+	LDiversity int
+	// SensitiveColumn names the attribute l-diversity protects.
+	SensitiveColumn string
+}
+
+// Config assembles a Processor.
+type Config struct {
+	// Store holds the environment's integrated sensor database d.
+	Store *storage.Store
+	// Policy is the user's privacy policy.
+	Policy *policy.Policy
+	// Topology is the peer chain; nil uses network.DefaultApartment().
+	Topology *network.Topology
+	// Rewrite options (table substitutions).
+	Rewrite rewrite.Options
+	// Anonymization of results (postprocessing).
+	Anon AnonConfig
+	// MaxInfoLoss is the KL-divergence budget of the §3.1 satisfaction
+	// check: when the rewritten query's answer diverges from the original
+	// by more than this (per shared numeric column, max), the outcome is
+	// flagged unsatisfactory. <= 0 disables the check.
+	MaxInfoLoss float64
+	// Journal, when set, records an audit entry for every processed query
+	// including denials (provenance, cf. [Heu15]).
+	Journal *audit.Journal
+}
+
+// Processor is the privacy-aware query processor.
+type Processor struct {
+	store    *storage.Store
+	pol      *policy.Policy
+	topo     *network.Topology
+	rewriter *rewrite.Rewriter
+	anon     AnonConfig
+	maxLoss  float64
+	journal  *audit.Journal
+}
+
+// New validates the configuration and builds a Processor.
+func New(cfg Config) (*Processor, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("%w: nil store", ErrProcessor)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("%w: nil policy", ErrProcessor)
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = network.DefaultApartment()
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Processor{
+		store:    cfg.Store,
+		pol:      cfg.Policy,
+		topo:     topo,
+		rewriter: rewrite.New(cfg.Store.Catalog(), cfg.Rewrite),
+		anon:     cfg.Anon,
+		maxLoss:  cfg.MaxInfoLoss,
+		journal:  cfg.Journal,
+	}, nil
+}
+
+// Journal returns the configured audit journal, or nil.
+func (p *Processor) Journal() *audit.Journal { return p.journal }
+
+// AnonReport documents the postprocessing step.
+type AnonReport struct {
+	Method           AnonMethod
+	QuasiIdentifiers []string
+	// DD and DDRatio follow §3.2's Direct Distance.
+	DD      int
+	DDRatio float64
+	// SuppressedRows counts rows dropped by full-domain suppression.
+	SuppressedRows int
+	// LDiversitySuppressed counts rows dropped to restore l-diversity.
+	LDiversitySuppressed int
+}
+
+// Outcome is the complete audit trail of one processed query.
+type Outcome struct {
+	// OriginalSQL and RewrittenSQL document the preprocessing.
+	OriginalSQL  string
+	RewrittenSQL string
+	// RewriteReport details the applied policy transformations.
+	RewriteReport *rewrite.Report
+	// Plan is the vertical fragmentation.
+	Plan *fragment.Plan
+	// Net is the simulated chain execution with byte accounting.
+	Net *network.RunStats
+	// Result is the final (anonymized) result the requester receives.
+	Result *engine.Result
+	// PreAnonymization is the result before postprocessing.
+	PreAnonymization *engine.Result
+	// Anon documents the postprocessing, nil when method is none.
+	Anon *AnonReport
+	// InfoLoss is the max per-column KL divergence between the original
+	// query's answer and the rewritten one (§3.1 satisfaction check);
+	// negative when the check was disabled or the original is denied.
+	InfoLoss float64
+	// Satisfactory is false when InfoLoss exceeded the configured budget.
+	Satisfactory bool
+}
+
+// Process runs the full Figure 2 pipeline for a SQL query under the named
+// policy module.
+func (p *Processor) Process(sql, moduleID string) (*Outcome, error) {
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.ProcessSelect(sel, moduleID)
+}
+
+// ProcessSelect is Process for an already-parsed statement.
+func (p *Processor) ProcessSelect(sel *sqlparser.Select, moduleID string) (*Outcome, error) {
+	out, err := p.processSelect(sel, moduleID)
+	if p.journal != nil {
+		p.journal.Append(journalEntry(sel, moduleID, out, err))
+	}
+	return out, err
+}
+
+// journalEntry builds the audit record for one processed (or denied) query.
+func journalEntry(sel *sqlparser.Select, moduleID string, out *Outcome, err error) audit.Entry {
+	e := audit.Entry{Module: moduleID, OriginalSQL: sel.SQL()}
+	if err != nil {
+		e.Denied = true
+		e.DenyReason = err.Error()
+		return e
+	}
+	e.RewrittenSQL = out.RewrittenSQL
+	e.RewriteSummary = out.RewriteReport.Summary()
+	e.RawBytes = out.Net.RawBytes
+	e.EgressBytes = out.Net.EgressBytes
+	e.ResultRows = len(out.Result.Rows)
+	e.Satisfactory = out.Satisfactory
+	if out.Anon != nil {
+		e.AnonMethod = string(out.Anon.Method)
+		e.DDRatio = out.Anon.DDRatio
+	}
+	return e
+}
+
+func (p *Processor) processSelect(sel *sqlparser.Select, moduleID string) (*Outcome, error) {
+	mod, ok := p.pol.ModuleByID(moduleID)
+	if !ok {
+		return nil, fmt.Errorf("%w: no policy module %q", ErrProcessor, moduleID)
+	}
+
+	out := &Outcome{OriginalSQL: sel.SQL(), Satisfactory: true, InfoLoss: -1}
+
+	// --- Preprocessing: policy rewrite (§3.1). ---
+	rewritten, rep, err := p.rewriter.Rewrite(sel, mod)
+	if err != nil {
+		return nil, err
+	}
+	out.RewrittenSQL = rewritten.SQL()
+	out.RewriteReport = rep
+
+	// Satisfaction check: compare original and rewritten answers.
+	if p.maxLoss > 0 {
+		loss, err := p.infoLoss(sel, rewritten)
+		if err == nil {
+			out.InfoLoss = loss
+			out.Satisfactory = loss <= p.maxLoss
+		}
+	}
+
+	// --- Vertical fragmentation and chain execution (§4). ---
+	plan, err := fragment.New().Fragment(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	out.Plan = plan
+	stats, err := network.Run(p.topo, plan, p.store)
+	if err != nil {
+		return nil, err
+	}
+	out.Net = stats
+	out.PreAnonymization = stats.Result
+
+	// --- Postprocessing: anonymization A (§3.2). ---
+	res, anonRep, err := p.postprocess(stats.Result)
+	if err != nil {
+		return nil, err
+	}
+	out.Result = res
+	out.Anon = anonRep
+	return out, nil
+}
+
+// infoLoss measures the §3.1 information-loss estimate: the maximum KL
+// divergence over the numeric columns shared by the original and rewritten
+// answers.
+func (p *Processor) infoLoss(orig, rewritten *sqlparser.Select) (float64, error) {
+	eng := engine.New(p.store)
+	or, err := eng.Select(orig)
+	if err != nil {
+		return 0, err
+	}
+	rr, err := eng.Select(rewritten)
+	if err != nil {
+		return 0, err
+	}
+	maxLoss := 0.0
+	for _, c := range or.Schema.Columns {
+		if !c.Type.Numeric() {
+			continue
+		}
+		ri, err := rr.Schema.Index(c.Name)
+		if err != nil {
+			continue
+		}
+		oi, _ := or.Schema.Index(c.Name)
+		loss, err := columnKL(or, oi, rr, ri)
+		if err != nil {
+			continue
+		}
+		if loss > maxLoss {
+			maxLoss = loss
+		}
+	}
+	return maxLoss, nil
+}
+
+// columnKL compares one column of two results via privmetrics histograms.
+func columnKL(a *engine.Result, ai int, b *engine.Result, bi int) (float64, error) {
+	rel := schema.NewRelation("cmp", schema.Col("v", schema.TypeFloat))
+	proj := func(r *engine.Result, idx int) schema.Rows {
+		out := make(schema.Rows, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			if row[idx].Type().Numeric() {
+				out = append(out, schema.Row{schema.Float(row[idx].AsFloat())})
+			}
+		}
+		return out
+	}
+	return privmetrics.ColumnKL(rel, proj(a, ai), proj(b, bi), "v", 16)
+}
+
+// postprocess anonymizes a result set per the configured method.
+func (p *Processor) postprocess(res *engine.Result) (*engine.Result, *AnonReport, error) {
+	if p.anon.Method == "" || p.anon.Method == AnonNone || len(res.Rows) == 0 {
+		return res, nil, nil
+	}
+	qi := p.anon.QuasiIdentifiers
+	if len(qi) == 0 {
+		qi = anonymize.DetectQuasiIdentifiers(res.Schema, res.Rows, 0.2)
+	}
+	rep := &AnonReport{Method: p.anon.Method, QuasiIdentifiers: qi}
+	rng := rand.New(rand.NewSource(p.anon.Seed))
+
+	var anonRows schema.Rows
+	var err error
+	switch p.anon.Method {
+	case AnonMondrian:
+		if len(qi) == 0 {
+			return res, nil, nil // nothing identifying to protect
+		}
+		anonRows, err = anonymize.Mondrian(res.Schema, res.Rows, qi, p.anon.K)
+	case AnonFullDomain:
+		if len(qi) == 0 {
+			return res, nil, nil
+		}
+		maxSup := p.anon.MaxSuppress
+		if maxSup == 0 {
+			maxSup = len(res.Rows) / 10
+		}
+		var suppressed int
+		anonRows, suppressed, err = anonymize.FullDomain(res.Schema, res.Rows, qi, p.anon.K, maxSup)
+		rep.SuppressedRows = suppressed
+	case AnonSlicing:
+		groups := sliceGroups(res.Schema, qi)
+		bucket := p.anon.BucketSize
+		if bucket == 0 {
+			bucket = 4
+		}
+		anonRows, err = anonymize.Slice(res.Schema, res.Rows, groups, bucket, rng)
+	case AnonDifferential:
+		var cols []string
+		for _, c := range res.Schema.Columns {
+			if c.Type.Numeric() {
+				cols = append(cols, c.Name)
+			}
+		}
+		sens := p.anon.Sensitivity
+		if sens == 0 {
+			sens = 1
+		}
+		anonRows, err = anonymize.NoisyRows(res.Schema, res.Rows, cols, sens, p.anon.Epsilon, rng)
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown anonymization method %q", ErrProcessor, p.anon.Method)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Optional l-diversity pass: suppress homogeneous equivalence classes
+	// (the homogeneity attack k-anonymity alone leaves open).
+	if p.anon.LDiversity > 1 && p.anon.SensitiveColumn != "" && res.Schema.Has(p.anon.SensitiveColumn) {
+		diverse, suppressed, derr := anonymize.EnforceLDiversity(
+			res.Schema, anonRows, qi, p.anon.SensitiveColumn, p.anon.LDiversity)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		anonRows = diverse
+		rep.LDiversitySuppressed = suppressed
+	}
+
+	// Quality accounting with the paper's Direct Distance. Suppression
+	// changes cardinality; DD is only defined for equal shapes.
+	if len(anonRows) == len(res.Rows) {
+		dd, err := privmetrics.DirectDistance(res.Rows, anonRows)
+		if err == nil {
+			rep.DD = dd
+			rep.DDRatio, _ = privmetrics.DirectDistanceRatio(res.Rows, anonRows)
+		}
+	}
+	return &engine.Result{Schema: res.Schema, Rows: anonRows}, rep, nil
+}
+
+// sliceGroups partitions the schema for slicing: the quasi-identifiers form
+// one permuted group; every remaining column anchors the buckets.
+func sliceGroups(rel *schema.Relation, qi []string) [][]string {
+	if len(qi) == 0 {
+		// Fall back to permuting each column independently except the
+		// first (which anchors).
+		var groups [][]string
+		for _, c := range rel.Columns[1:] {
+			groups = append(groups, []string{c.Name})
+		}
+		return groups
+	}
+	return [][]string{qi}
+}
+
+// ResidualRisk addresses the open problem the paper closes with: whether a
+// privacy-violating query Q↓ can still be computed from the released d′
+// (the rewritten query's output). When the verdict is Answerable, the
+// anonymization step A must be extended (§4.1). The check is conservative
+// in the attacker's favour: it may flag a query as answerable although no
+// rewriting exists, never the reverse.
+func (p *Processor) ResidualRisk(violatingSQL string, out *Outcome) (*containment.Verdict, error) {
+	violating, err := sqlparser.Parse(violatingSQL)
+	if err != nil {
+		return nil, err
+	}
+	view, err := sqlparser.Parse(out.RewrittenSQL)
+	if err != nil {
+		return nil, err
+	}
+	return containment.New(p.store.Catalog()).Answerable(violating, view)
+}
+
+// PipelineOutcome extends Outcome for full analysis pipelines: the residual
+// R part that stays on the cloud plus its final answer.
+type PipelineOutcome struct {
+	*Outcome
+	// ResidualR describes the cloud-side remainder Qδ in R-like syntax.
+	ResidualR string
+	// Final is the answer of the residual analysis applied to d′.
+	Final *engine.Result
+}
+
+// ProcessPipeline runs the §4.2 end-to-end flow for an analysis pipeline:
+// the SQLable part is extracted ([Weu16]), privacy-rewritten, fragmented and
+// executed down the chain; the residual R code (filterByClass) runs on the
+// cloud against the shipped d′.
+func (p *Processor) ProcessPipeline(pl recognition.Node, moduleID string) (*PipelineOutcome, error) {
+	sel, ok := recognition.ExtractSQL(pl)
+	if !ok {
+		return nil, fmt.Errorf("%w: pipeline has no SQLable part", ErrProcessor)
+	}
+	out, err := p.ProcessSelect(sel, moduleID)
+	if err != nil {
+		return nil, err
+	}
+	residual := recognition.Residual(pl, "d'")
+	frames := map[string]*engine.Result{"d'": out.Result}
+	final, err := recognition.Run(residual, engine.New(p.store), frames)
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineOutcome{
+		Outcome:   out,
+		ResidualR: residual.Describe(),
+		Final:     final,
+	}, nil
+}
+
+// Summary renders the audit trail.
+func (o *Outcome) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "original : %s\n", o.OriginalSQL)
+	fmt.Fprintf(&b, "rewritten: %s\n", o.RewrittenSQL)
+	fmt.Fprintf(&b, "rewrite  : %s\n", o.RewriteReport.Summary())
+	if o.InfoLoss >= 0 {
+		fmt.Fprintf(&b, "info loss: %.4f (satisfactory: %v)\n", o.InfoLoss, o.Satisfactory)
+	}
+	b.WriteString("plan:\n")
+	b.WriteString(o.Plan.String())
+	b.WriteString(o.Net.Summary())
+	if o.Anon != nil {
+		fmt.Fprintf(&b, "anonymized with %s over QI %v: DD=%d (ratio %.3f)\n",
+			o.Anon.Method, o.Anon.QuasiIdentifiers, o.Anon.DD, o.Anon.DDRatio)
+	}
+	return b.String()
+}

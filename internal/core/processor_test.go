@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"paradise/internal/anonymize"
+	"paradise/internal/audit"
+	"paradise/internal/policy"
+	"paradise/internal/recognition"
+	"paradise/internal/sensors"
+	"paradise/internal/storage"
+)
+
+func apartmentProcessor(t testing.TB, anon AnonConfig) (*Processor, *sensors.Trace) {
+	t.Helper()
+	tr, err := sensors.Generate(sensors.Apartment(30*time.Second, true, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sensors.BuildStore(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Store:       st,
+		Policy:      Figure4PolicyForTest(),
+		Anon:        anon,
+		MaxInfoLoss: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tr
+}
+
+// Figure4PolicyForTest returns the paper's policy.
+func Figure4PolicyForTest() *policy.Policy { return policy.Figure4() }
+
+func TestProcessPaperQuery(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{})
+	out, err := p.Process(
+		"SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM (SELECT x, y, z, t FROM d)",
+		"ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewrite must contain the Figure 4 conditions and aggregation.
+	for _, want := range []string{"x > y", "z < 2", "GROUP BY x, y", "SUM(z) > 100", "zavg"} {
+		if !strings.Contains(out.RewrittenSQL, want) {
+			t.Errorf("rewritten SQL lacks %q: %s", want, out.RewrittenSQL)
+		}
+	}
+	// The plan starts at the sensor with the constant filter.
+	if got := out.Plan.Fragments[0].SQL(); got != "SELECT * FROM d WHERE z < 2" {
+		t.Errorf("sensor fragment = %q", got)
+	}
+	// Fragmented egress is below the raw volume.
+	if out.Net.EgressBytes >= out.Net.RawBytes {
+		t.Errorf("no reduction: egress %d raw %d", out.Net.EgressBytes, out.Net.RawBytes)
+	}
+	if out.Result == nil {
+		t.Fatal("no result")
+	}
+	if !strings.Contains(out.Summary(), "rewritten") {
+		t.Error("summary incomplete")
+	}
+}
+
+func TestProcessDeniedQuery(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{})
+	_, err := p.Process("SELECT user FROM d", "ActionFilter")
+	if err == nil {
+		t.Fatal("user-only query must be denied")
+	}
+}
+
+func TestProcessUnknownModule(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{})
+	if _, err := p.Process("SELECT x FROM d", "NoSuchModule"); !errors.Is(err, ErrProcessor) {
+		t.Fatalf("want ErrProcessor, got %v", err)
+	}
+}
+
+func TestProcessWithMondrian(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{
+		Method: AnonMondrian, K: 5, QuasiIdentifiers: []string{"x", "y"}, Seed: 1,
+	})
+	out, err := p.Process("SELECT x, y, t FROM d", "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Anon == nil || out.Anon.Method != AnonMondrian {
+		t.Fatal("anonymization report missing")
+	}
+	ok, err := anonymize.IsKAnonymous(out.Result.Schema, out.Result.Rows, []string{"x", "y"}, 5)
+	if err != nil || !ok {
+		t.Fatalf("result not 5-anonymous: %v", err)
+	}
+	if out.Anon.DD == 0 {
+		t.Fatal("DD should be positive after generalization")
+	}
+	if out.Anon.DDRatio <= 0 || out.Anon.DDRatio > 1 {
+		t.Fatalf("DD ratio out of range: %v", out.Anon.DDRatio)
+	}
+	// Pre-anonymization result preserved for auditing.
+	if len(out.PreAnonymization.Rows) != len(out.Result.Rows) {
+		t.Fatal("pre-anonymization result should be retained")
+	}
+}
+
+func TestProcessWithDP(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{
+		Method: AnonDifferential, Epsilon: 1, Sensitivity: 0.5, Seed: 7,
+	})
+	out, err := p.Process("SELECT x, y, t FROM d", "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range out.Result.Rows {
+		if !out.Result.Rows[i][0].Identical(out.PreAnonymization.Rows[i][0]) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("DP noise should perturb values")
+	}
+}
+
+func TestProcessWithSlicing(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{
+		Method: AnonSlicing, BucketSize: 4, QuasiIdentifiers: []string{"x", "y"}, Seed: 3,
+	})
+	out, err := p.Process("SELECT x, y, t FROM d", "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Rows) != len(out.PreAnonymization.Rows) {
+		t.Fatal("slicing preserves cardinality")
+	}
+}
+
+func TestProcessPipelineEndToEnd(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{})
+	pl, err := recognition.PaperPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.ProcessPipeline(pl, "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.ResidualR, "filterByClass(d'") {
+		t.Fatalf("residual = %s", out.ResidualR)
+	}
+	if out.Final == nil {
+		t.Fatal("no final result")
+	}
+	// The pipeline's SQL was rewritten on the way.
+	if !strings.Contains(out.RewrittenSQL, "zavg") {
+		t.Fatalf("pipeline SQL not rewritten: %s", out.RewrittenSQL)
+	}
+}
+
+func TestInfoLossSatisfactionCheck(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{})
+	// A query the policy transforms heavily: info loss measured.
+	out, err := p.Process("SELECT x, y, t FROM d", "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InfoLoss < 0 {
+		t.Fatal("info loss should have been measured")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Policy: policy.Figure4()}); !errors.Is(err, ErrProcessor) {
+		t.Fatal("nil store must fail")
+	}
+	if _, err := New(Config{Store: storage.NewStore()}); !errors.Is(err, ErrProcessor) {
+		t.Fatal("nil policy must fail")
+	}
+	if _, err := New(Config{Store: storage.NewStore(), Policy: &policy.Policy{}}); err == nil {
+		t.Fatal("invalid policy must fail")
+	}
+}
+
+func TestResidualRisk(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{})
+	// The wide pipeline query releases (x, y, zavg, t, trend) after the
+	// policy rewrite.
+	out, err := p.Process(
+		"SELECT x, y, z, t, regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) AS trend FROM (SELECT x, y, z, t FROM d)",
+		"ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The profiling query (raw trajectories per user) must be dead on d'.
+	v, err := p.ResidualRisk("SELECT user, x, y, z, t FROM d", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Answerable {
+		t.Fatalf("profiling should not survive the rewrite: %s", v)
+	}
+	// Raw z trajectories are gone too (only zavg per cell remains).
+	v, err = p.ResidualRisk("SELECT z, t FROM d WHERE x > y AND z < 2", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Answerable {
+		t.Fatalf("raw z should be aggregated away: %s", v)
+	}
+	// The intended cell-level analysis is still answerable.
+	v, err = p.ResidualRisk("SELECT x, y, zavg FROM d WHERE x > y AND z < 2", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Answerable {
+		t.Fatalf("intended analysis should survive: %s", v)
+	}
+}
+
+func TestLDiversityPostprocessing(t *testing.T) {
+	tr, err := sensors.Generate(sensors.Apartment(30*time.Second, true, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sensors.BuildStore(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A permissive module so per-sample rows reach the postprocessor.
+	pol := &policy.Policy{Modules: []*policy.Module{
+		policy.DefaultModule("Permissive", st.Catalog().MustLookup("d")),
+	}}
+	p, err := New(Config{Store: st, Policy: pol, Anon: AnonConfig{
+		Method: AnonMondrian, K: 3, QuasiIdentifiers: []string{"x", "y"},
+		LDiversity: 2, SensitiveColumn: "z", Seed: 9,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Process("SELECT x, y, z, t FROM d", "Permissive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Anon == nil {
+		t.Fatal("anonymization report missing")
+	}
+	ok, err := anonymize.IsLDiverse(out.Result.Schema, out.Result.Rows, []string{"x", "y"}, "z", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("result should be 2-diverse in z")
+	}
+}
+
+func TestJournalRecordsQueriesAndDenials(t *testing.T) {
+	tr, err := sensors.Generate(sensors.Apartment(20*time.Second, false, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sensors.BuildStore(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := audit.NewJournal()
+	p, err := New(Config{Store: st, Policy: policy.Figure4(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Process("SELECT x, y, t FROM d", "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Process("SELECT user FROM d", "ActionFilter"); err == nil {
+		t.Fatal("user query should be denied")
+	}
+	if j.Len() != 2 {
+		t.Fatalf("journal len = %d", j.Len())
+	}
+	entries := j.All()
+	if entries[0].Denied || entries[0].EgressBytes == 0 {
+		t.Fatalf("first entry wrong: %+v", entries[0])
+	}
+	if !entries[1].Denied || entries[1].DenyReason == "" {
+		t.Fatalf("denial not recorded: %+v", entries[1])
+	}
+	if p.Journal() != j {
+		t.Fatal("Journal accessor broken")
+	}
+}
+
+func TestUnknownAnonMethod(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{Method: AnonMethod("bogus")})
+	if _, err := p.Process("SELECT x, y, t FROM d", "ActionFilter"); !errors.Is(err, ErrProcessor) {
+		t.Fatal("unknown method must fail")
+	}
+}

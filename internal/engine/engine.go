@@ -1,0 +1,392 @@
+// Package engine executes the SQL subset produced by sqlparser over
+// in-memory relations. It is the query processor that runs — identically —
+// on every node of the vertical architecture, from the cloud server down to
+// an appliance; only the *fragment* of the query a node receives differs
+// (capability enforcement happens in the fragment package, not here).
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// ErrQuery wraps all semantic evaluation errors.
+var ErrQuery = errors.New("engine: query error")
+
+// Source supplies base relations by name. storage.Store implements it;
+// the network simulator implements it per node.
+type Source interface {
+	Relation(name string) (*schema.Relation, schema.Rows, error)
+}
+
+// Result is an evaluated relation: output schema plus rows.
+type Result struct {
+	Schema *schema.Relation
+	Rows   schema.Rows
+}
+
+// WireSize is the simulated serialized size of the result in bytes.
+func (r *Result) WireSize() int { return r.Rows.WireSize() }
+
+// Engine evaluates SELECT statements against a Source.
+type Engine struct {
+	src Source
+}
+
+// New creates an engine over the given source.
+func New(src Source) *Engine { return &Engine{src: src} }
+
+// Query parses and executes a SQL string.
+func (e *Engine) Query(sql string) (*Result, error) {
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Select(sel)
+}
+
+// Select executes a parsed statement.
+func (e *Engine) Select(sel *sqlparser.Select) (*Result, error) {
+	b, rows, err := e.evalFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Where != nil {
+		if sqlparser.ContainsAggregate(sel.Where) {
+			return nil, fmt.Errorf("%w: aggregate in WHERE clause", ErrQuery)
+		}
+		rows, err = filterRows(b, rows, sel.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || itemsContainAggregate(sel)
+	var out *Result
+	var orderRows schema.Rows // rows aligned with out.Rows for ORDER BY fallback
+	if grouped {
+		out, err = e.evalGrouped(sel, b, rows)
+		if err != nil {
+			return nil, err
+		}
+		orderRows = nil
+	} else {
+		out, orderRows, err = e.evalProjection(sel, b, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if sel.Distinct {
+		out.Rows = distinctRows(out.Rows)
+		orderRows = nil
+	}
+
+	if len(sel.OrderBy) > 0 {
+		if err := sortResult(out, orderRows, b, sel.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+
+	if sel.Limit != nil {
+		n := int(*sel.Limit)
+		if n < 0 {
+			n = 0
+		}
+		if n < len(out.Rows) {
+			out.Rows = out.Rows[:n]
+		}
+	}
+	return out, nil
+}
+
+func itemsContainAggregate(sel *sqlparser.Select) bool {
+	for _, it := range sel.Items {
+		if sqlparser.ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// evalFrom evaluates a FROM clause into a binding and its rows.
+func (e *Engine) evalFrom(t sqlparser.TableRef) (*binding, schema.Rows, error) {
+	switch x := t.(type) {
+	case nil:
+		// SELECT without FROM: one empty row.
+		return &binding{}, schema.Rows{{}}, nil
+	case *sqlparser.TableName:
+		rel, rows, err := e.src.Relation(x.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		qual := x.Name
+		if x.Alias != "" {
+			qual = x.Alias
+		}
+		return bindingFromRelation(rel, qual), rows, nil
+	case *sqlparser.Subquery:
+		res, err := e.Select(x.Select)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bindingFromRelation(res.Schema, x.Alias), res.Rows, nil
+	case *sqlparser.Join:
+		return e.evalJoin(x)
+	default:
+		return nil, nil, fmt.Errorf("%w: unsupported FROM item %T", ErrQuery, t)
+	}
+}
+
+// evalJoin evaluates inner, left and cross joins. Equi-joins on plain column
+// references use a hash join; everything else falls back to nested loops.
+func (e *Engine) evalJoin(j *sqlparser.Join) (*binding, schema.Rows, error) {
+	lb, lrows, err := e.evalFrom(j.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rb, rrows, err := e.evalFrom(j.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	cb := lb.concat(rb)
+
+	if j.Type == sqlparser.JoinCross {
+		var out schema.Rows
+		for _, lr := range lrows {
+			for _, rr := range rrows {
+				out = append(out, joinRow(lr, rr))
+			}
+		}
+		return cb, out, nil
+	}
+
+	// Hash join fast path: ON is a conjunction containing at least one
+	// left.col = right.col equality.
+	eqL, eqR, rest := splitEquiJoin(j.On, lb, rb)
+	var out schema.Rows
+	if len(eqL) > 0 {
+		index := make(map[string][]int)
+		for ri, rr := range rrows {
+			index[rowKey(rr, eqR)] = append(index[rowKey(rr, eqR)], ri)
+		}
+		for _, lr := range lrows {
+			matched := false
+			for _, ri := range index[rowKey(lr, eqL)] {
+				combined := joinRow(lr, rrows[ri])
+				ok, err := residualOK(cb, combined, rest)
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
+					out = append(out, combined)
+					matched = true
+				}
+			}
+			if !matched && j.Type == sqlparser.JoinLeft {
+				out = append(out, joinRow(lr, nullRow(len(rb.cols))))
+			}
+		}
+		return cb, out, nil
+	}
+
+	// Nested loop.
+	for _, lr := range lrows {
+		matched := false
+		for _, rr := range rrows {
+			combined := joinRow(lr, rr)
+			ok := true
+			if j.On != nil {
+				ok, err = truthy(&rowEnv{b: cb, row: combined}, j.On)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			if ok {
+				out = append(out, combined)
+				matched = true
+			}
+		}
+		if !matched && j.Type == sqlparser.JoinLeft {
+			out = append(out, joinRow(lr, nullRow(len(rb.cols))))
+		}
+	}
+	return cb, out, nil
+}
+
+func joinRow(l, r schema.Row) schema.Row {
+	out := make(schema.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+func nullRow(n int) schema.Row {
+	out := make(schema.Row, n)
+	for i := range out {
+		out[i] = schema.Null()
+	}
+	return out
+}
+
+func rowKey(r schema.Row, idx []int) string { return r.GroupKey(idx) }
+
+// splitEquiJoin extracts left.col = right.col equalities from the ON
+// condition. It returns aligned index slices into the left and right
+// bindings plus the residual conjuncts.
+func splitEquiJoin(on sqlparser.Expr, lb, rb *binding) (eqL, eqR []int, rest []sqlparser.Expr) {
+	for _, c := range sqlparser.Conjuncts(on) {
+		be, ok := c.(*sqlparser.BinaryExpr)
+		if !ok || be.Op != sqlparser.OpEq {
+			rest = append(rest, c)
+			continue
+		}
+		lc, lok := be.L.(*sqlparser.ColumnRef)
+		rc, rok := be.R.(*sqlparser.ColumnRef)
+		if !lok || !rok {
+			rest = append(rest, c)
+			continue
+		}
+		li, lerr := lb.resolve(lc)
+		ri, rerr := rb.resolve(rc)
+		if lerr == nil && rerr == nil {
+			eqL = append(eqL, li)
+			eqR = append(eqR, ri)
+			continue
+		}
+		// Try swapped sides.
+		li, lerr = lb.resolve(rc)
+		ri, rerr = rb.resolve(lc)
+		if lerr == nil && rerr == nil {
+			eqL = append(eqL, li)
+			eqR = append(eqR, ri)
+			continue
+		}
+		rest = append(rest, c)
+	}
+	return eqL, eqR, rest
+}
+
+func residualOK(b *binding, row schema.Row, rest []sqlparser.Expr) (bool, error) {
+	for _, c := range rest {
+		ok, err := truthy(&rowEnv{b: b, row: row}, c)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func filterRows(b *binding, rows schema.Rows, cond sqlparser.Expr) (schema.Rows, error) {
+	out := rows[:0:0]
+	for _, r := range rows {
+		ok, err := truthy(&rowEnv{b: b, row: r}, cond)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// evalProjection handles the non-grouped case, including window functions.
+// It returns the result plus the input rows aligned 1:1 with output rows so
+// ORDER BY can fall back to input columns.
+func (e *Engine) evalProjection(sel *sqlparser.Select, b *binding, rows schema.Rows) (*Result, schema.Rows, error) {
+	// Expand stars into concrete output columns.
+	type outCol struct {
+		expr    sqlparser.Expr
+		name    string
+		typ     schema.Type
+		sens    bool
+		starIdx int // >=0 when the column is a direct star expansion
+	}
+	var cols []outCol
+	for i, it := range sel.Items {
+		if st, ok := it.Expr.(*sqlparser.Star); ok {
+			idxs, err := b.starIndexes(st)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, idx := range idxs {
+				c := b.cols[idx]
+				cols = append(cols, outCol{name: c.name, typ: c.typ, sens: c.sens, starIdx: idx})
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			name = outputName(it.Expr, i)
+		}
+		cols = append(cols, outCol{
+			expr:    it.Expr,
+			name:    name,
+			typ:     b.staticType(it.Expr),
+			sens:    b.sensitiveExpr(it.Expr),
+			starIdx: -1,
+		})
+	}
+
+	// Precompute window values per row.
+	winVals, err := e.evalWindows(sel, b, rows)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rel := &schema.Relation{Columns: make([]schema.Column, len(cols))}
+	for i, c := range cols {
+		rel.Columns[i] = schema.Column{Name: c.name, Type: c.typ, Sensitive: c.sens}
+	}
+
+	out := make(schema.Rows, len(rows))
+	for ri, row := range rows {
+		env := &rowEnv{b: b, row: row}
+		if winVals != nil {
+			env.win = winVals[ri]
+		}
+		orow := make(schema.Row, len(cols))
+		for ci, c := range cols {
+			if c.starIdx >= 0 {
+				orow[ci] = row[c.starIdx]
+				continue
+			}
+			v, err := evalExpr(env, c.expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			orow[ci] = v
+		}
+		out[ri] = orow
+	}
+	return &Result{Schema: rel, Rows: out}, rows, nil
+}
+
+func distinctRows(rows schema.Rows) schema.Rows {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		key := r.GroupKey(allIndexes(len(r)))
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func allIndexes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

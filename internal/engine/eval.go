@@ -1,0 +1,572 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// rowEnv carries everything needed to evaluate an expression against one
+// row: the binding, the row itself, and precomputed values for aggregate and
+// window calls (keyed by their canonical SQL text).
+type rowEnv struct {
+	b   *binding
+	row schema.Row
+	agg map[string]schema.Value
+	win map[string]schema.Value
+}
+
+// evalExpr evaluates a scalar or boolean expression with SQL NULL
+// propagation semantics.
+func evalExpr(env *rowEnv, e sqlparser.Expr) (schema.Value, error) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		return x.Value, nil
+	case *sqlparser.ColumnRef:
+		i, err := env.b.resolve(x)
+		if err != nil {
+			return schema.Null(), err
+		}
+		return env.row[i], nil
+	case *sqlparser.BinaryExpr:
+		return evalBinary(env, x)
+	case *sqlparser.UnaryExpr:
+		return evalUnary(env, x)
+	case *sqlparser.IsNull:
+		v, err := evalExpr(env, x.X)
+		if err != nil {
+			return schema.Null(), err
+		}
+		if x.Not {
+			return schema.Bool(!v.IsNull()), nil
+		}
+		return schema.Bool(v.IsNull()), nil
+	case *sqlparser.Between:
+		v, err := evalExpr(env, x.X)
+		if err != nil {
+			return schema.Null(), err
+		}
+		lo, err := evalExpr(env, x.Lo)
+		if err != nil {
+			return schema.Null(), err
+		}
+		hi, err := evalExpr(env, x.Hi)
+		if err != nil {
+			return schema.Null(), err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return schema.Null(), nil
+		}
+		c1, ok1 := v.Compare(lo)
+		c2, ok2 := v.Compare(hi)
+		if !ok1 || !ok2 {
+			return schema.Null(), nil
+		}
+		in := c1 >= 0 && c2 <= 0
+		if x.Not {
+			in = !in
+		}
+		return schema.Bool(in), nil
+	case *sqlparser.InList:
+		v, err := evalExpr(env, x.X)
+		if err != nil {
+			return schema.Null(), err
+		}
+		if v.IsNull() {
+			return schema.Null(), nil
+		}
+		sawNull := false
+		for _, item := range x.List {
+			iv, err := evalExpr(env, item)
+			if err != nil {
+				return schema.Null(), err
+			}
+			if iv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if v.Equal(iv) {
+				return schema.Bool(!x.Not), nil
+			}
+		}
+		if sawNull {
+			return schema.Null(), nil
+		}
+		return schema.Bool(x.Not), nil
+	case *sqlparser.CaseExpr:
+		for _, w := range x.Whens {
+			c, err := evalExpr(env, w.Cond)
+			if err != nil {
+				return schema.Null(), err
+			}
+			if !c.IsNull() && c.Type() == schema.TypeBool && c.AsBool() {
+				return evalExpr(env, w.Then)
+			}
+		}
+		if x.Else != nil {
+			return evalExpr(env, x.Else)
+		}
+		return schema.Null(), nil
+	case *sqlparser.FuncCall:
+		return evalFunc(env, x)
+	case *sqlparser.Star:
+		return schema.Null(), fmt.Errorf("%w: * is not a scalar expression here", ErrQuery)
+	default:
+		return schema.Null(), fmt.Errorf("%w: cannot evaluate %T", ErrQuery, e)
+	}
+}
+
+// truthy evaluates an expression as a filter predicate: SQL's three-valued
+// logic collapses NULL to false.
+func truthy(env *rowEnv, e sqlparser.Expr) (bool, error) {
+	v, err := evalExpr(env, e)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	switch v.Type() {
+	case schema.TypeBool:
+		return v.AsBool(), nil
+	case schema.TypeInt:
+		return v.AsInt() != 0, nil
+	case schema.TypeFloat:
+		return v.AsFloat() != 0, nil
+	default:
+		return false, fmt.Errorf("%w: predicate %s is not boolean", ErrQuery, e.SQL())
+	}
+}
+
+func evalBinary(env *rowEnv, x *sqlparser.BinaryExpr) (schema.Value, error) {
+	// AND / OR with Kleene three-valued logic and short-circuiting.
+	if x.Op == sqlparser.OpAnd || x.Op == sqlparser.OpOr {
+		l, err := evalExpr(env, x.L)
+		if err != nil {
+			return schema.Null(), err
+		}
+		lb, lNull := boolOrNull(l)
+		if x.Op == sqlparser.OpAnd && !lNull && !lb {
+			return schema.Bool(false), nil
+		}
+		if x.Op == sqlparser.OpOr && !lNull && lb {
+			return schema.Bool(true), nil
+		}
+		r, err := evalExpr(env, x.R)
+		if err != nil {
+			return schema.Null(), err
+		}
+		rb, rNull := boolOrNull(r)
+		if x.Op == sqlparser.OpAnd {
+			switch {
+			case !rNull && !rb:
+				return schema.Bool(false), nil
+			case lNull || rNull:
+				return schema.Null(), nil
+			default:
+				return schema.Bool(true), nil
+			}
+		}
+		switch {
+		case !rNull && rb:
+			return schema.Bool(true), nil
+		case lNull || rNull:
+			return schema.Null(), nil
+		default:
+			return schema.Bool(false), nil
+		}
+	}
+
+	l, err := evalExpr(env, x.L)
+	if err != nil {
+		return schema.Null(), err
+	}
+	r, err := evalExpr(env, x.R)
+	if err != nil {
+		return schema.Null(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return schema.Null(), nil
+	}
+	if x.Op.Comparison() {
+		c, ok := l.Compare(r)
+		if !ok {
+			return schema.Null(), fmt.Errorf("%w: cannot compare %s and %s in %s",
+				ErrQuery, l.Type(), r.Type(), x.SQL())
+		}
+		switch x.Op {
+		case sqlparser.OpEq:
+			return schema.Bool(c == 0), nil
+		case sqlparser.OpNeq:
+			return schema.Bool(c != 0), nil
+		case sqlparser.OpLt:
+			return schema.Bool(c < 0), nil
+		case sqlparser.OpLeq:
+			return schema.Bool(c <= 0), nil
+		case sqlparser.OpGt:
+			return schema.Bool(c > 0), nil
+		case sqlparser.OpGeq:
+			return schema.Bool(c >= 0), nil
+		}
+	}
+	if x.Op == sqlparser.OpConcat {
+		return schema.String(stringify(l) + stringify(r)), nil
+	}
+	return evalArith(x.Op, l, r, x)
+}
+
+func evalUnary(env *rowEnv, x *sqlparser.UnaryExpr) (schema.Value, error) {
+	v, err := evalExpr(env, x.X)
+	if err != nil {
+		return schema.Null(), err
+	}
+	if v.IsNull() {
+		return schema.Null(), nil
+	}
+	if x.Op == sqlparser.UnaryNot {
+		b, isNull := boolOrNull(v)
+		if isNull {
+			return schema.Null(), nil
+		}
+		return schema.Bool(!b), nil
+	}
+	switch v.Type() {
+	case schema.TypeInt:
+		return schema.Int(-v.AsInt()), nil
+	case schema.TypeFloat:
+		return schema.Float(-v.AsFloat()), nil
+	default:
+		return schema.Null(), fmt.Errorf("%w: cannot negate %s", ErrQuery, v.Type())
+	}
+}
+
+func boolOrNull(v schema.Value) (b bool, isNull bool) {
+	if v.IsNull() {
+		return false, true
+	}
+	switch v.Type() {
+	case schema.TypeBool:
+		return v.AsBool(), false
+	case schema.TypeInt:
+		return v.AsInt() != 0, false
+	case schema.TypeFloat:
+		return v.AsFloat() != 0, false
+	default:
+		return false, true
+	}
+}
+
+func stringify(v schema.Value) string { return v.Format() }
+
+func evalArith(op sqlparser.BinaryOp, l, r schema.Value, at sqlparser.Expr) (schema.Value, error) {
+	if !l.Type().Numeric() || !r.Type().Numeric() {
+		return schema.Null(), fmt.Errorf("%w: arithmetic on %s and %s in %s",
+			ErrQuery, l.Type(), r.Type(), at.SQL())
+	}
+	// Integer arithmetic stays integral except for division.
+	if l.Type() == schema.TypeInt && r.Type() == schema.TypeInt && op != sqlparser.OpDiv {
+		a, b := l.AsInt(), r.AsInt()
+		switch op {
+		case sqlparser.OpAdd:
+			return schema.Int(a + b), nil
+		case sqlparser.OpSub:
+			return schema.Int(a - b), nil
+		case sqlparser.OpMul:
+			return schema.Int(a * b), nil
+		case sqlparser.OpMod:
+			if b == 0 {
+				return schema.Null(), fmt.Errorf("%w: division by zero in %s", ErrQuery, at.SQL())
+			}
+			return schema.Int(a % b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case sqlparser.OpAdd:
+		return schema.Float(a + b), nil
+	case sqlparser.OpSub:
+		return schema.Float(a - b), nil
+	case sqlparser.OpMul:
+		return schema.Float(a * b), nil
+	case sqlparser.OpDiv:
+		if b == 0 {
+			return schema.Null(), fmt.Errorf("%w: division by zero in %s", ErrQuery, at.SQL())
+		}
+		return schema.Float(a / b), nil
+	case sqlparser.OpMod:
+		if b == 0 {
+			return schema.Null(), fmt.Errorf("%w: division by zero in %s", ErrQuery, at.SQL())
+		}
+		return schema.Float(math.Mod(a, b)), nil
+	default:
+		return schema.Null(), fmt.Errorf("%w: unsupported operator %s", ErrQuery, op)
+	}
+}
+
+func evalFunc(env *rowEnv, f *sqlparser.FuncCall) (schema.Value, error) {
+	key := f.SQL()
+	if f.IsWindow() {
+		if env.win != nil {
+			if v, ok := env.win[key]; ok {
+				return v, nil
+			}
+		}
+		return schema.Null(), fmt.Errorf("%w: window function %s not allowed here", ErrQuery, key)
+	}
+	if f.IsAggregate() {
+		if env.agg != nil {
+			if v, ok := env.agg[key]; ok {
+				return v, nil
+			}
+		}
+		return schema.Null(), fmt.Errorf("%w: aggregate %s not allowed here", ErrQuery, key)
+	}
+	args := make([]schema.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := evalExpr(env, a)
+		if err != nil {
+			return schema.Null(), err
+		}
+		args[i] = v
+	}
+	return callScalar(f.Name, args)
+}
+
+// callScalar dispatches built-in scalar functions.
+func callScalar(name string, args []schema.Value) (schema.Value, error) {
+	switch name {
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return schema.Null(), nil
+	case "nullif":
+		if err := arity(name, args, 2); err != nil {
+			return schema.Null(), err
+		}
+		if !args[0].IsNull() && !args[1].IsNull() && args[0].Equal(args[1]) {
+			return schema.Null(), nil
+		}
+		return args[0], nil
+	case "least", "greatest":
+		var best schema.Value
+		for _, a := range args {
+			if a.IsNull() {
+				return schema.Null(), nil
+			}
+			if best.IsNull() {
+				best = a
+				continue
+			}
+			c, ok := a.Compare(best)
+			if !ok {
+				return schema.Null(), fmt.Errorf("%w: %s over incomparable types", ErrQuery, name)
+			}
+			if (name == "least" && c < 0) || (name == "greatest" && c > 0) {
+				best = a
+			}
+		}
+		return best, nil
+	}
+
+	// Remaining functions propagate NULL from any argument.
+	for _, a := range args {
+		if a.IsNull() {
+			return schema.Null(), nil
+		}
+	}
+	switch name {
+	case "abs":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		if args[0].Type() == schema.TypeInt {
+			v := args[0].AsInt()
+			if v < 0 {
+				v = -v
+			}
+			return schema.Int(v), nil
+		}
+		return schema.Float(math.Abs(numArg(args[0]))), nil
+	case "sign":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		v := numArg(args[0])
+		switch {
+		case v > 0:
+			return schema.Int(1), nil
+		case v < 0:
+			return schema.Int(-1), nil
+		default:
+			return schema.Int(0), nil
+		}
+	case "round":
+		if len(args) == 1 {
+			return schema.Float(math.Round(numArg(args[0]))), nil
+		}
+		if err := arity(name, args, 2); err != nil {
+			return schema.Null(), err
+		}
+		p := math.Pow(10, numArg(args[1]))
+		return schema.Float(math.Round(numArg(args[0])*p) / p), nil
+	case "floor":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		return schema.Float(math.Floor(numArg(args[0]))), nil
+	case "ceil", "ceiling":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		return schema.Float(math.Ceil(numArg(args[0]))), nil
+	case "sqrt":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		v := numArg(args[0])
+		if v < 0 {
+			return schema.Null(), fmt.Errorf("%w: sqrt of negative value", ErrQuery)
+		}
+		return schema.Float(math.Sqrt(v)), nil
+	case "power", "pow":
+		if err := arity(name, args, 2); err != nil {
+			return schema.Null(), err
+		}
+		return schema.Float(math.Pow(numArg(args[0]), numArg(args[1]))), nil
+	case "exp":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		return schema.Float(math.Exp(numArg(args[0]))), nil
+	case "ln":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		v := numArg(args[0])
+		if v <= 0 {
+			return schema.Null(), fmt.Errorf("%w: ln of non-positive value", ErrQuery)
+		}
+		return schema.Float(math.Log(v)), nil
+	case "log10":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		v := numArg(args[0])
+		if v <= 0 {
+			return schema.Null(), fmt.Errorf("%w: log10 of non-positive value", ErrQuery)
+		}
+		return schema.Float(math.Log10(v)), nil
+	case "mod":
+		if err := arity(name, args, 2); err != nil {
+			return schema.Null(), err
+		}
+		return evalArith(sqlparser.OpMod, args[0], args[1], &sqlparser.FuncCall{Name: "mod"})
+	case "upper":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		return schema.String(strings.ToUpper(strArg(args[0]))), nil
+	case "lower":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		return schema.String(strings.ToLower(strArg(args[0]))), nil
+	case "length":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		return schema.Int(int64(len(strArg(args[0])))), nil
+	case "trim":
+		if err := arity(name, args, 1); err != nil {
+			return schema.Null(), err
+		}
+		return schema.String(strings.TrimSpace(strArg(args[0]))), nil
+	case "concat":
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteString(stringify(a))
+		}
+		return schema.String(b.String()), nil
+	case "substr", "substring":
+		if len(args) != 2 && len(args) != 3 {
+			return schema.Null(), fmt.Errorf("%w: substr takes 2 or 3 arguments", ErrQuery)
+		}
+		s := strArg(args[0])
+		start := int(numArg(args[1])) - 1 // SQL is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return schema.String(""), nil
+		}
+		end := len(s)
+		if len(args) == 3 {
+			n := int(numArg(args[2]))
+			if n < 0 {
+				n = 0
+			}
+			if start+n < end {
+				end = start + n
+			}
+		}
+		return schema.String(s[start:end]), nil
+	case "like":
+		if err := arity(name, args, 2); err != nil {
+			return schema.Null(), err
+		}
+		return schema.Bool(likeMatch(strArg(args[0]), strArg(args[1]))), nil
+	default:
+		return schema.Null(), fmt.Errorf("%w: unknown function %s", ErrQuery, name)
+	}
+}
+
+func arity(name string, args []schema.Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("%w: %s takes %d arguments, got %d", ErrQuery, name, n, len(args))
+	}
+	return nil
+}
+
+func numArg(v schema.Value) float64 {
+	if v.Type().Numeric() {
+		return v.AsFloat()
+	}
+	return math.NaN()
+}
+
+func strArg(v schema.Value) string {
+	if v.Type() == schema.TypeString {
+		return v.AsString()
+	}
+	return v.Format()
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (single rune).
+func likeMatch(s, pattern string) bool {
+	return likeRunes([]rune(s), []rune(pattern))
+}
+
+func likeRunes(s, p []rune) bool {
+	if len(p) == 0 {
+		return len(s) == 0
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRunes(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return len(s) > 0 && likeRunes(s[1:], p[1:])
+	default:
+		return len(s) > 0 && s[0] == p[0] && likeRunes(s[1:], p[1:])
+	}
+}

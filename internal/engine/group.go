@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// group is one GROUP BY equivalence class.
+type group struct {
+	rep  schema.Row // representative (first) row for non-aggregate exprs
+	rows schema.Rows
+}
+
+// evalGrouped handles SELECT statements with GROUP BY, HAVING or aggregate
+// functions in the select list. Output is one row per surviving group.
+func (e *Engine) evalGrouped(sel *sqlparser.Select, b *binding, rows schema.Rows) (*Result, error) {
+	for _, it := range sel.Items {
+		if _, ok := it.Expr.(*sqlparser.Star); ok {
+			return nil, fmt.Errorf("%w: SELECT * is not valid in a grouped query", ErrQuery)
+		}
+		if sqlparser.ContainsWindow(it.Expr) {
+			return nil, fmt.Errorf("%w: window function over a grouped query is not supported", ErrQuery)
+		}
+	}
+
+	groups, err := buildGroups(b, rows, sel.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect every aggregate call appearing in items, HAVING and ORDER BY.
+	var aggCalls []*sqlparser.FuncCall
+	seen := make(map[string]bool)
+	collect := func(ex sqlparser.Expr) {
+		for _, f := range sqlparser.Aggregates(ex) {
+			if !seen[f.SQL()] {
+				seen[f.SQL()] = true
+				aggCalls = append(aggCalls, f)
+			}
+		}
+	}
+	for _, it := range sel.Items {
+		collect(it.Expr)
+	}
+	collect(sel.Having)
+	for _, o := range sel.OrderBy {
+		collect(o.Expr)
+	}
+
+	// Output schema.
+	rel := &schema.Relation{Columns: make([]schema.Column, len(sel.Items))}
+	for i, it := range sel.Items {
+		name := it.Alias
+		if name == "" {
+			name = outputName(it.Expr, i)
+		}
+		rel.Columns[i] = schema.Column{
+			Name:      name,
+			Type:      b.staticType(it.Expr),
+			Sensitive: b.sensitiveExpr(it.Expr),
+		}
+	}
+
+	var out schema.Rows
+	for _, g := range groups {
+		aggVals := make(map[string]schema.Value, len(aggCalls))
+		for _, f := range aggCalls {
+			v, err := evalAggregate(b, g.rows, f)
+			if err != nil {
+				return nil, err
+			}
+			aggVals[f.SQL()] = v
+		}
+		env := &rowEnv{b: b, row: g.rep, agg: aggVals}
+		if sel.Having != nil {
+			ok, err := truthy(env, sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		orow := make(schema.Row, len(sel.Items))
+		for i, it := range sel.Items {
+			v, err := evalExpr(env, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			orow[i] = v
+		}
+		out = append(out, orow)
+	}
+	return &Result{Schema: rel, Rows: out}, nil
+}
+
+// buildGroups partitions rows by the GROUP BY expressions. With no GROUP BY
+// the whole input is one group (even when empty, so that COUNT(*) over an
+// empty relation yields 0).
+func buildGroups(b *binding, rows schema.Rows, exprs []sqlparser.Expr) ([]*group, error) {
+	if len(exprs) == 0 {
+		g := &group{rows: rows}
+		if len(rows) > 0 {
+			g.rep = rows[0]
+		}
+		return []*group{g}, nil
+	}
+	index := make(map[string]*group)
+	var order []*group
+	for _, r := range rows {
+		env := &rowEnv{b: b, row: r}
+		key := ""
+		for _, ex := range exprs {
+			v, err := evalExpr(env, ex)
+			if err != nil {
+				return nil, err
+			}
+			key += v.GroupKey() + "\x1f"
+		}
+		g, ok := index[key]
+		if !ok {
+			g = &group{rep: r}
+			index[key] = g
+			order = append(order, g)
+		}
+		g.rows = append(g.rows, r)
+	}
+	return order, nil
+}

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paradise/internal/schema"
+	"paradise/internal/storage"
+)
+
+// randomStore builds a table with n rows of small integer-ish floats so
+// grouping produces non-trivial classes.
+func randomStore(rng *rand.Rand, n int) *storage.Store {
+	st := storage.NewStore()
+	d := st.Create(schema.NewRelation("d",
+		schema.Col("a", schema.TypeFloat),
+		schema.Col("b", schema.TypeFloat),
+		schema.Col("c", schema.TypeInt),
+	))
+	rows := make(schema.Rows, n)
+	for i := range rows {
+		rows[i] = schema.Row{
+			schema.Float(float64(rng.Intn(10))),
+			schema.Float(float64(rng.Intn(10))),
+			schema.Int(int64(rng.Intn(5))),
+		}
+	}
+	if err := d.Append(rows...); err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// Property: a WHERE filter never grows the result, and conjunction is
+// monotone (adding a conjunct never adds rows).
+func TestPropertyFilterMonotone(t *testing.T) {
+	f := func(seed int64, lim uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 50+int(lim))
+		eng := New(st)
+		all, err := eng.Query("SELECT * FROM d")
+		if err != nil {
+			return false
+		}
+		one, err := eng.Query("SELECT * FROM d WHERE a > 3")
+		if err != nil {
+			return false
+		}
+		two, err := eng.Query("SELECT * FROM d WHERE a > 3 AND b < 7")
+		if err != nil {
+			return false
+		}
+		return len(two.Rows) <= len(one.Rows) && len(one.Rows) <= len(all.Rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GROUP BY partitions the filtered input — per-group COUNT(*)
+// sums to the total row count.
+func TestPropertyGroupPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 120)
+		eng := New(st)
+		total, err := eng.Query("SELECT COUNT(*) FROM d")
+		if err != nil {
+			return false
+		}
+		groups, err := eng.Query("SELECT c, COUNT(*) AS n FROM d GROUP BY c")
+		if err != nil {
+			return false
+		}
+		sum := int64(0)
+		for _, g := range groups.Rows {
+			sum += g[1].AsInt()
+		}
+		return sum == total.Rows[0][0].AsInt()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AVG lies between MIN and MAX; SUM = AVG * COUNT.
+func TestPropertyAggregateConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 80)
+		eng := New(st)
+		res, err := eng.Query("SELECT MIN(a), MAX(a), AVG(a), SUM(a), COUNT(a) FROM d")
+		if err != nil {
+			return false
+		}
+		r := res.Rows[0]
+		minV, maxV := r[0].AsFloat(), r[1].AsFloat()
+		avg, sum, cnt := r[2].AsFloat(), r[3].AsFloat(), float64(r[4].AsInt())
+		return minV <= avg && avg <= maxV && math.Abs(sum-avg*cnt) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the final value of a cumulative window equals the global
+// aggregate; the window preserves cardinality.
+func TestPropertyWindowCumulative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 60)
+		eng := New(st)
+		all, err := eng.Query("SELECT SUM(a) FROM d")
+		if err != nil {
+			return false
+		}
+		win, err := eng.Query("SELECT SUM(a) OVER (ORDER BY c, a, b) AS rs FROM d ORDER BY rs")
+		if err != nil {
+			return false
+		}
+		if len(win.Rows) == 0 {
+			return all.Rows[0][0].IsNull()
+		}
+		last := win.Rows[len(win.Rows)-1][0].AsFloat()
+		return math.Abs(last-all.Rows[0][0].AsFloat()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DISTINCT is idempotent and never grows the result.
+func TestPropertyDistinct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 100)
+		eng := New(st)
+		plain, err := eng.Query("SELECT a, b FROM d")
+		if err != nil {
+			return false
+		}
+		dist, err := eng.Query("SELECT DISTINCT a, b FROM d")
+		if err != nil {
+			return false
+		}
+		if len(dist.Rows) > len(plain.Rows) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, r := range dist.Rows {
+			k := r.GroupKey([]int{0, 1})
+			if seen[k] {
+				return false // duplicate survived DISTINCT
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ORDER BY produces a non-decreasing (or non-increasing) key
+// sequence and LIMIT caps cardinality.
+func TestPropertyOrderLimit(t *testing.T) {
+	f := func(seed int64, rawLim uint8) bool {
+		lim := int(rawLim%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 70)
+		eng := New(st)
+		res, err := eng.Query(fmt.Sprintf("SELECT a FROM d ORDER BY a DESC LIMIT %d", lim))
+		if err != nil {
+			return false
+		}
+		if len(res.Rows) > lim {
+			return false
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i][0].AsFloat() > res.Rows[i-1][0].AsFloat() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a derived table is transparent — SELECT through a subquery
+// equals the direct query.
+func TestPropertySubqueryTransparent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 90)
+		eng := New(st)
+		direct, err := eng.Query("SELECT a, b FROM d WHERE a > 2")
+		if err != nil {
+			return false
+		}
+		nested, err := eng.Query("SELECT a, b FROM (SELECT a, b, c FROM d) WHERE a > 2")
+		if err != nil {
+			return false
+		}
+		if len(direct.Rows) != len(nested.Rows) {
+			return false
+		}
+		for i := range direct.Rows {
+			if !direct.Rows[i][0].Identical(nested.Rows[i][0]) ||
+				!direct.Rows[i][1].Identical(nested.Rows[i][1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

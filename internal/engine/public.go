@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// EvalExpr evaluates a scalar expression against a single row of the given
+// relation. It is used by the stream processor (sensor-level filters) and by
+// the policy engine when checking atomic conditions.
+func EvalExpr(rel *schema.Relation, row schema.Row, e sqlparser.Expr) (schema.Value, error) {
+	env := &rowEnv{b: bindingFromRelation(rel, rel.Name), row: row}
+	return evalExpr(env, e)
+}
+
+// EvalPredicate evaluates a boolean expression as a filter over one row,
+// collapsing NULL to false per SQL filter semantics.
+func EvalPredicate(rel *schema.Relation, row schema.Row, e sqlparser.Expr) (bool, error) {
+	env := &rowEnv{b: bindingFromRelation(rel, rel.Name), row: row}
+	return truthy(env, e)
+}
+
+// EvalAggregate computes a single aggregate call over a set of rows of the
+// given relation, e.g. AVG(z) over the rows of a stream window.
+func EvalAggregate(rel *schema.Relation, rows schema.Rows, f *sqlparser.FuncCall) (schema.Value, error) {
+	return evalAggregate(bindingFromRelation(rel, rel.Name), rows, f)
+}
+
+// OutputSchema computes the output relation a SELECT statement produces
+// against the source, without executing it (it does execute subqueries'
+// schema derivation recursively but touches no rows). Used by the rewriter
+// and fragmenter for schema reasoning.
+func (e *Engine) OutputSchema(sel *sqlparser.Select) (*schema.Relation, error) {
+	b, err := e.bindFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	rel := &schema.Relation{}
+	for i, it := range sel.Items {
+		if st, ok := it.Expr.(*sqlparser.Star); ok {
+			idxs, err := b.starIndexes(st)
+			if err != nil {
+				return nil, err
+			}
+			for _, idx := range idxs {
+				c := b.cols[idx]
+				rel.Columns = append(rel.Columns, schema.Column{Name: c.name, Type: c.typ, Sensitive: c.sens})
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			name = outputName(it.Expr, i)
+		}
+		rel.Columns = append(rel.Columns, schema.Column{
+			Name:      name,
+			Type:      b.staticType(it.Expr),
+			Sensitive: b.sensitiveExpr(it.Expr),
+		})
+	}
+	return rel, nil
+}
+
+// bindFrom derives the binding of a FROM clause without evaluating rows.
+func (e *Engine) bindFrom(t sqlparser.TableRef) (*binding, error) {
+	switch x := t.(type) {
+	case nil:
+		return &binding{}, nil
+	case *sqlparser.TableName:
+		rel, _, err := e.src.Relation(x.Name)
+		if err != nil {
+			return nil, err
+		}
+		qual := x.Name
+		if x.Alias != "" {
+			qual = x.Alias
+		}
+		return bindingFromRelation(rel, qual), nil
+	case *sqlparser.Subquery:
+		rel, err := e.OutputSchema(x.Select)
+		if err != nil {
+			return nil, err
+		}
+		return bindingFromRelation(rel, x.Alias), nil
+	case *sqlparser.Join:
+		lb, err := e.bindFrom(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := e.bindFrom(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return lb.concat(rb), nil
+	default:
+		return nil, ErrQuery
+	}
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"testing"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// Tests for OutputSchema — the row-free schema derivation the rewriter and
+// fragmenter rely on.
+
+func mustSelect(t *testing.T, q string) *sqlparser.Select {
+	t.Helper()
+	sel, err := sqlparser.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestOutputSchemaSimple(t *testing.T) {
+	e := New(testStore(t))
+	rel, err := e.OutputSchema(mustSelect(t, "SELECT x, y FROM d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Arity() != 2 || rel.Columns[0].Name != "x" || rel.Columns[0].Type != schema.TypeFloat {
+		t.Fatalf("schema = %s", rel)
+	}
+}
+
+func TestOutputSchemaStarExpansion(t *testing.T) {
+	e := New(testStore(t))
+	rel, err := e.OutputSchema(mustSelect(t, "SELECT * FROM people"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Arity() != 3 {
+		t.Fatalf("arity = %d", rel.Arity())
+	}
+	if !rel.Columns[0].Sensitive {
+		t.Fatal("sensitivity must survive star expansion")
+	}
+}
+
+func TestOutputSchemaAliasesAndTypes(t *testing.T) {
+	e := New(testStore(t))
+	rel, err := e.OutputSchema(mustSelect(t,
+		"SELECT x + y AS s, COUNT(*) AS n, AVG(z) FROM d GROUP BY t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Columns[0].Name != "s" || rel.Columns[0].Type != schema.TypeFloat {
+		t.Fatalf("s: %v", rel.Columns[0])
+	}
+	if rel.Columns[1].Name != "n" || rel.Columns[1].Type != schema.TypeInt {
+		t.Fatalf("n: %v", rel.Columns[1])
+	}
+	if rel.Columns[2].Name != "avg" || rel.Columns[2].Type != schema.TypeFloat {
+		t.Fatalf("avg: %v", rel.Columns[2])
+	}
+}
+
+func TestOutputSchemaNested(t *testing.T) {
+	e := New(testStore(t))
+	rel, err := e.OutputSchema(mustSelect(t,
+		"SELECT s FROM (SELECT x + y AS s, z FROM d) WHERE z < 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Arity() != 1 || rel.Columns[0].Name != "s" {
+		t.Fatalf("schema = %s", rel)
+	}
+}
+
+func TestOutputSchemaJoin(t *testing.T) {
+	e := New(testStore(t))
+	rel, err := e.OutputSchema(mustSelect(t,
+		"SELECT p.name, r.floor FROM people AS p JOIN rooms AS r ON p.room = r.room"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Arity() != 2 || rel.Columns[1].Type != schema.TypeInt {
+		t.Fatalf("schema = %s", rel)
+	}
+}
+
+func TestOutputSchemaUnknownTable(t *testing.T) {
+	e := New(testStore(t))
+	if _, err := e.OutputSchema(mustSelect(t, "SELECT a FROM nosuch")); err == nil {
+		t.Fatal("unknown table must error")
+	}
+}
+
+func TestEvalExprHelpers(t *testing.T) {
+	rel := schema.NewRelation("s",
+		schema.Col("a", schema.TypeInt), schema.Col("b", schema.TypeInt))
+	row := schema.Row{schema.Int(3), schema.Int(4)}
+
+	e, err := sqlparser.ParseExpr("a + b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := EvalExpr(rel, row, e)
+	if err != nil || v.AsInt() != 7 {
+		t.Fatalf("EvalExpr = %v, %v", v, err)
+	}
+
+	p, err := sqlparser.ParseExpr("a < b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := EvalPredicate(rel, row, p)
+	if err != nil || !ok {
+		t.Fatalf("EvalPredicate = %v, %v", ok, err)
+	}
+
+	agg := &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{&sqlparser.ColumnRef{Name: "a"}}}
+	sv, err := EvalAggregate(rel, schema.Rows{row, row, row}, agg)
+	if err != nil || sv.AsInt() != 9 {
+		t.Fatalf("EvalAggregate = %v, %v", sv, err)
+	}
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"sort"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// sortResult orders the result rows by the ORDER BY items. Each item may
+// reference an output column (alias or projected name) or — when inputRows
+// is non-nil and aligned 1:1 with the output — any expression over the input
+// binding (SQL allows ordering by columns that were projected away).
+func sortResult(res *Result, inputRows schema.Rows, b *binding, items []sqlparser.OrderItem) error {
+	n := len(res.Rows)
+	keys := make([][]schema.Value, n)
+	outB := bindingFromRelation(res.Schema, "")
+
+	for ri := 0; ri < n; ri++ {
+		ks := make([]schema.Value, len(items))
+		for i, it := range items {
+			v, err := orderKey(res, outB, inputRows, b, ri, it.Expr)
+			if err != nil {
+				return err
+			}
+			ks[i] = v
+		}
+		keys[ri] = ks
+	}
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, c int) bool {
+		return lessKeys(keys[perm[a]], keys[perm[c]], items)
+	})
+
+	sorted := make(schema.Rows, n)
+	for i, p := range perm {
+		sorted[i] = res.Rows[p]
+	}
+	res.Rows = sorted
+	return nil
+}
+
+// orderKey computes one ORDER BY key for one row, preferring output columns
+// and falling back to the input row.
+func orderKey(res *Result, outB *binding, inputRows schema.Rows, b *binding, ri int, ex sqlparser.Expr) (schema.Value, error) {
+	// A plain column reference that names an output column orders by it.
+	if c, ok := ex.(*sqlparser.ColumnRef); ok && c.Table == "" {
+		if i, err := res.Schema.Index(c.Name); err == nil {
+			return res.Rows[ri][i], nil
+		}
+	}
+	// Try the full expression against the output schema (covers ORDER BY on
+	// computed aliases spelled out again).
+	if v, err := evalExpr(&rowEnv{b: outB, row: res.Rows[ri]}, ex); err == nil {
+		return v, nil
+	}
+	// Fall back to the aligned input row when available.
+	if inputRows != nil && b != nil {
+		return evalExpr(&rowEnv{b: b, row: inputRows[ri]}, ex)
+	}
+	// Surface the output-schema error.
+	return evalExpr(&rowEnv{b: outB, row: res.Rows[ri]}, ex)
+}

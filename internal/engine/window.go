@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// evalWindows computes the value of every window call appearing in the
+// select list, for every input row. The result is indexed [row][call-SQL].
+// It returns nil when the statement has no window functions.
+//
+// Semantics follow SQL's default frame: with an ORDER BY inside OVER(...)
+// the frame is RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW (peer rows
+// — equal order keys — share the frame); without ORDER BY the frame is the
+// whole partition. This is exactly what the paper's running example
+// (regr_intercept OVER (PARTITION BY z ORDER BY t)) requires.
+func (e *Engine) evalWindows(sel *sqlparser.Select, b *binding, rows schema.Rows) ([]map[string]schema.Value, error) {
+	var calls []*sqlparser.FuncCall
+	seen := make(map[string]bool)
+	for _, it := range sel.Items {
+		for _, f := range sqlparser.WindowCalls(it.Expr) {
+			if !seen[f.SQL()] {
+				seen[f.SQL()] = true
+				calls = append(calls, f)
+			}
+		}
+	}
+	if len(calls) == 0 {
+		return nil, nil
+	}
+	out := make([]map[string]schema.Value, len(rows))
+	for i := range out {
+		out[i] = make(map[string]schema.Value, len(calls))
+	}
+	for _, f := range calls {
+		if err := e.evalOneWindow(b, rows, f, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) evalOneWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, out []map[string]schema.Value) error {
+	key := f.SQL()
+
+	// Partition rows.
+	parts := make(map[string][]int)
+	var order []string
+	for ri, row := range rows {
+		env := &rowEnv{b: b, row: row}
+		pk := ""
+		for _, pe := range f.Over.PartitionBy {
+			v, err := evalExpr(env, pe)
+			if err != nil {
+				return err
+			}
+			pk += v.GroupKey() + "\x1f"
+		}
+		if _, ok := parts[pk]; !ok {
+			order = append(order, pk)
+		}
+		parts[pk] = append(parts[pk], ri)
+	}
+
+	for _, pk := range order {
+		idxs := parts[pk]
+		if len(f.Over.OrderBy) > 0 {
+			// Sort partition rows by the window ORDER BY, stably.
+			keys := make([][]schema.Value, len(idxs))
+			for i, ri := range idxs {
+				env := &rowEnv{b: b, row: rows[ri]}
+				ks := make([]schema.Value, len(f.Over.OrderBy))
+				for j, o := range f.Over.OrderBy {
+					v, err := evalExpr(env, o.Expr)
+					if err != nil {
+						return err
+					}
+					ks[j] = v
+				}
+				keys[i] = ks
+			}
+			perm := make([]int, len(idxs))
+			for i := range perm {
+				perm[i] = i
+			}
+			sort.SliceStable(perm, func(a, c int) bool {
+				return lessKeys(keys[perm[a]], keys[perm[c]], f.Over.OrderBy)
+			})
+			if err := runOrderedWindow(b, rows, f, idxs, perm, keys, key, out); err != nil {
+				return err
+			}
+		} else {
+			if err := runUnorderedWindow(b, rows, f, idxs, key, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runOrderedWindow computes cumulative (RANGE UNBOUNDED PRECEDING) values
+// along the sorted partition, assigning peer groups the same value. It also
+// implements the pure window functions row_number, rank, dense_rank, lag,
+// lead, first_value and last_value.
+func runOrderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs, perm []int, keys [][]schema.Value, key string, out []map[string]schema.Value) error {
+	switch f.Name {
+	case "row_number":
+		for pos, pi := range perm {
+			out[idxs[pi]][key] = schema.Int(int64(pos + 1))
+		}
+		return nil
+	case "rank", "dense_rank":
+		rank, dense := 0, 0
+		for pos, pi := range perm {
+			if pos == 0 || !equalKeys(keys[perm[pos-1]], keys[pi]) {
+				rank = pos + 1
+				dense++
+			}
+			if f.Name == "rank" {
+				out[idxs[pi]][key] = schema.Int(int64(rank))
+			} else {
+				out[idxs[pi]][key] = schema.Int(int64(dense))
+			}
+		}
+		return nil
+	case "lag", "lead":
+		if len(f.Args) < 1 {
+			return fmt.Errorf("%w: %s needs an argument", ErrQuery, f.Name)
+		}
+		for pos, pi := range perm {
+			src := pos - 1
+			if f.Name == "lead" {
+				src = pos + 1
+			}
+			if src < 0 || src >= len(perm) {
+				out[idxs[pi]][key] = schema.Null()
+				continue
+			}
+			env := &rowEnv{b: b, row: rows[idxs[perm[src]]]}
+			v, err := evalExpr(env, f.Args[0])
+			if err != nil {
+				return err
+			}
+			out[idxs[pi]][key] = v
+		}
+		return nil
+	case "first_value", "last_value":
+		if len(f.Args) < 1 {
+			return fmt.Errorf("%w: %s needs an argument", ErrQuery, f.Name)
+		}
+		for pos, pi := range perm {
+			src := 0
+			if f.Name == "last_value" {
+				src = pos // default frame ends at current row
+			}
+			env := &rowEnv{b: b, row: rows[idxs[perm[src]]]}
+			v, err := evalExpr(env, f.Args[0])
+			if err != nil {
+				return err
+			}
+			out[idxs[pi]][key] = v
+		}
+		return nil
+	}
+
+	// Cumulative aggregate with peer handling.
+	acc, err := newAccumulator(f)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	for pos < len(perm) {
+		// Find the peer group [pos, end).
+		end := pos + 1
+		for end < len(perm) && equalKeys(keys[perm[pos]], keys[perm[end]]) {
+			end++
+		}
+		for i := pos; i < end; i++ {
+			args, err := aggArgs(b, rows[idxs[perm[i]]], f)
+			if err != nil {
+				return err
+			}
+			acc.add(args)
+		}
+		v := acc.result()
+		for i := pos; i < end; i++ {
+			out[idxs[perm[i]]][key] = v
+		}
+		pos = end
+	}
+	return nil
+}
+
+// runUnorderedWindow evaluates the aggregate over the whole partition and
+// assigns it to every row.
+func runUnorderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs []int, key string, out []map[string]schema.Value) error {
+	switch f.Name {
+	case "row_number":
+		for pos, ri := range idxs {
+			out[ri][key] = schema.Int(int64(pos + 1))
+		}
+		return nil
+	case "rank", "dense_rank":
+		for _, ri := range idxs {
+			out[ri][key] = schema.Int(1)
+		}
+		return nil
+	}
+	acc, err := newAccumulator(f)
+	if err != nil {
+		return err
+	}
+	for _, ri := range idxs {
+		args, err := aggArgs(b, rows[ri], f)
+		if err != nil {
+			return err
+		}
+		acc.add(args)
+	}
+	v := acc.result()
+	for _, ri := range idxs {
+		out[ri][key] = v
+	}
+	return nil
+}
+
+// lessKeys orders two order-by key tuples honouring ASC/DESC, with NULLs
+// sorting first (ascending).
+func lessKeys(a, b []schema.Value, items []sqlparser.OrderItem) bool {
+	for i := range items {
+		c := compareForSort(a[i], b[i])
+		if c == 0 {
+			continue
+		}
+		if items[i].Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+func equalKeys(a, b []schema.Value) bool {
+	for i := range a {
+		if compareForSort(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// compareForSort totally orders values: NULL < everything, incomparable
+// types order by type tag so sorting is deterministic.
+func compareForSort(a, b schema.Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if c, ok := a.Compare(b); ok {
+		return c
+	}
+	switch {
+	case a.Type() < b.Type():
+		return -1
+	case a.Type() > b.Type():
+		return 1
+	default:
+		return 0
+	}
+}

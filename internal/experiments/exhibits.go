@@ -1,0 +1,487 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"paradise/internal/anonymize"
+	"paradise/internal/containment"
+	"paradise/internal/engine"
+	"paradise/internal/fragment"
+	"paradise/internal/network"
+	"paradise/internal/policy"
+	"paradise/internal/privmetrics"
+	"paradise/internal/rewrite"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// sameMultiset compares two row sets as multisets of formatted rows.
+func sameMultiset(a, b schema.Rows) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[string]int{}
+	key := func(r schema.Row) string {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.GroupKey()
+		}
+		return strings.Join(parts, "\x1f")
+	}
+	for _, r := range a {
+		count[key(r)]++
+	}
+	for _, r := range b {
+		count[key(r)]--
+	}
+	for _, v := range count {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// anonymizeMondrian is the Figure 2 postprocessing probe.
+func anonymizeMondrian(res *engine.Result, k int) (schema.Rows, error) {
+	return anonymize.Mondrian(res.Schema, res.Rows, []string{"x", "y"}, k)
+}
+
+// --------------------------------------------------------------- Figure 4
+
+// Figure4Result documents the policy-rewrite exhibit.
+type Figure4Result struct {
+	PolicyXML    string
+	OriginalSQL  string
+	RewrittenSQL string
+	// MatchesPaper verifies the five structural facts of the published
+	// rewriting (conditions, grouping, having, alias propagation).
+	MatchesPaper bool
+	Problems     []string
+	RewriteTime  time.Duration
+}
+
+// Figure4 parses the paper's policy, rewrites the use-case query and checks
+// the result against the published transformation.
+func Figure4(n int, seed int64) (*Figure4Result, error) {
+	st := SyntheticDB(n, seed)
+	pol := policy.Figure4()
+	xmlBytes, err := policy.Marshal(pol)
+	if err != nil {
+		return nil, err
+	}
+	mod, _ := pol.ModuleByID("ActionFilter")
+	sel, err := sqlparser.Parse(OriginalUseCaseQuery)
+	if err != nil {
+		return nil, err
+	}
+	rw := rewrite.New(st.Catalog(), rewrite.Options{})
+	start := time.Now()
+	rewritten, _, err := rw.Rewrite(sel, mod)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	res := &Figure4Result{
+		PolicyXML:    string(xmlBytes),
+		OriginalSQL:  sel.SQL(),
+		RewrittenSQL: rewritten.SQL(),
+		RewriteTime:  elapsed,
+	}
+	inner := sqlparser.InnermostSelect(rewritten)
+	check := func(ok bool, problem string) {
+		if !ok {
+			res.Problems = append(res.Problems, problem)
+		}
+	}
+	where := ""
+	if inner.Where != nil {
+		where = inner.Where.SQL()
+	}
+	check(strings.Contains(where, "x > y"), "WHERE lacks x > y")
+	check(strings.Contains(where, "z < 2"), "WHERE lacks z < 2")
+	check(len(inner.GroupBy) == 2, "GROUP BY is not x, y")
+	check(inner.Having != nil && inner.Having.SQL() == "SUM(z) > 100", "HAVING is not SUM(z) > 100")
+	check(strings.Contains(strings.ToLower(rewritten.SQL()), "partition by zavg"),
+		"PARTITION BY not renamed to zavg")
+	aggFound := false
+	for _, it := range inner.Items {
+		if f, ok := it.Expr.(*sqlparser.FuncCall); ok && f.Name == "avg" && strings.EqualFold(it.Alias, "zavg") {
+			aggFound = true
+		}
+	}
+	check(aggFound, "AVG(z) AS zavg missing")
+	res.MatchesPaper = len(res.Problems) == 0
+	return res, nil
+}
+
+// ------------------------------------------------------ §4.2 staged pushdown
+
+// StageCheck compares one emitted fragment against the paper's listing.
+type StageCheck struct {
+	Stage    int
+	Node     string
+	Level    fragment.Level
+	PaperSQL string
+	OurSQL   string
+	// Match is a structural comparison (the paper renames relations per
+	// hop; we compare shape, not identifier spelling).
+	Match bool
+}
+
+// UseCaseResult is the full staged-pushdown exhibit.
+type UseCaseResult struct {
+	Stages []StageCheck
+	// Equivalent: executing the chain == executing the monolithic query.
+	Equivalent bool
+	// CloudResidual is the R remainder.
+	CloudResidual string
+}
+
+// UseCase fragments the rewritten §4.2 query and verifies each stage against
+// the paper's per-level listings.
+func UseCase(n int, seed int64) (*UseCaseResult, error) {
+	st := SyntheticDB(n, seed)
+	sel, err := sqlparser.Parse(UseCaseQuery)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := fragment.New().Fragment(sel)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := network.Run(network.DefaultApartment(), plan, st)
+	if err != nil {
+		return nil, err
+	}
+
+	// The paper's staged queries (§4.2), bottom-up.
+	paper := []struct {
+		sql      string
+		contains []string
+	}{
+		{"SELECT * FROM stream WHERE z<2", []string{"SELECT *", "z < 2"}},
+		{"SELECT x, y, z, t FROM d1 WHERE x>y", []string{"x, y, z, t", "x > y"}},
+		{"SELECT x, y, AVG(z) AS zAVG, t FROM d2 GROUP BY x, y HAVING SUM(z) > 100",
+			[]string{"AVG(z)", "GROUP BY x, y", "HAVING SUM(z) > 100"}},
+		{"SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) FROM d3",
+			[]string{"REGR_INTERCEPT(y, x)", "PARTITION BY zavg", "ORDER BY t"}},
+	}
+	res := &UseCaseResult{CloudResidual: `filterByClass(d', action="walk", do.plot=F)`}
+	for i, f := range plan.Fragments {
+		sc := StageCheck{
+			Stage:  f.Stage,
+			Level:  f.MinLevel,
+			OurSQL: f.SQL(),
+		}
+		if i < len(stats.Assignments) {
+			sc.Node = stats.Assignments[i].Node.Name
+		}
+		if i < len(paper) {
+			sc.PaperSQL = paper[i].sql
+			sc.Match = true
+			for _, want := range paper[i].contains {
+				if !strings.Contains(sc.OurSQL, want) {
+					sc.Match = false
+				}
+			}
+		}
+		res.Stages = append(res.Stages, sc)
+	}
+
+	// Equivalence with the monolithic evaluation.
+	direct, err := engine.New(st).Select(sel)
+	if err != nil {
+		return nil, err
+	}
+	res.Equivalent = sameMultiset(direct.Rows.Clone(), stats.Result.Rows.Clone())
+	return res, nil
+}
+
+// ---------------------------------------------------------------- §3.2
+
+// Sec32Row is one anonymization operating point.
+type Sec32Row struct {
+	Method string
+	Param  string
+	// DDRatio is the paper's normalized Direct Distance (utility cost).
+	DDRatio float64
+	// KLIntended is the KL loss of the intended coarse analysis (the x
+	// position distribution driving the occupancy/activity signal).
+	KLIntended float64
+	// RiskBefore/RiskAfter is the linkage risk over the QI columns.
+	RiskBefore float64
+	RiskAfter  float64
+	// AvgClass is the mean equivalence-class size after anonymization
+	// (>= k for the k-anonymity methods).
+	AvgClass float64
+	Elapsed  time.Duration
+}
+
+// fineGrainedDB builds a publishable position table with millimetre
+// positions: nearly every (x, y) pair is unique, so the raw release is
+// trivially re-identifiable — the §3.2 starting point.
+func fineGrainedDB(n int, seed int64) (*engine.Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make(schema.Rows, 0, n)
+	for i := 0; i < n; i++ {
+		z := 1.4
+		r := rng.Float64()
+		switch {
+		case r < 0.05:
+			z = 0.3
+		case r < 0.30:
+			z = 0.95
+		}
+		rows = append(rows, schema.Row{
+			schema.String("resident"),
+			schema.Float(float64(int(rng.Float64()*8000)) / 1000),
+			schema.Float(float64(int(rng.Float64()*6000)) / 1000),
+			schema.Float(float64(int((z+rng.NormFloat64()*0.05)*1000)) / 1000),
+			schema.Int(int64(i) * 50),
+		})
+	}
+	// Publish x, y, z, t (user projected away by the preprocessor).
+	out := &engine.Result{Schema: schema.NewRelation("published",
+		schema.Col("x", schema.TypeFloat), schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat), schema.Col("t", schema.TypeInt))}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, schema.Row{r[1], r[2], r[3], r[4]})
+	}
+	return out, nil
+}
+
+// Sec32 sweeps the anonymization operators over a published position table.
+func Sec32(n int, seed int64) ([]Sec32Row, error) {
+	res, err := fineGrainedDB(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	qi := []string{"x", "y"}
+	riskBefore, err := privmetrics.LinkageRisk(res.Schema, res.Rows, qi)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Sec32Row
+	add := func(method, param string, rows schema.Rows, elapsed time.Duration) error {
+		row := Sec32Row{Method: method, Param: param, RiskBefore: riskBefore, Elapsed: elapsed}
+		if rows != nil && len(rows) == len(res.Rows) {
+			row.DDRatio, err = privmetrics.DirectDistanceRatio(res.Rows, rows)
+			if err != nil {
+				return err
+			}
+			row.KLIntended, err = privmetrics.ColumnKL(res.Schema, res.Rows, rows, "x", 16)
+			if err != nil {
+				return err
+			}
+		}
+		if rows != nil {
+			row.RiskAfter, err = privmetrics.LinkageRisk(res.Schema, rows, qi)
+			if err != nil {
+				return err
+			}
+			row.AvgClass, err = privmetrics.AvgClassSize(res.Schema, rows, qi)
+			if err != nil {
+				return err
+			}
+		}
+		out = append(out, row)
+		return nil
+	}
+
+	for _, k := range []int{2, 5, 10, 20} {
+		start := time.Now()
+		rows, err := anonymize.Mondrian(res.Schema, res.Rows, qi, k)
+		if err != nil {
+			return nil, err
+		}
+		if err := add("mondrian", fmt.Sprintf("k=%d", k), rows, time.Since(start)); err != nil {
+			return nil, err
+		}
+	}
+	{
+		start := time.Now()
+		rows, _, err := anonymize.FullDomain(res.Schema, res.Rows, qi, 5, len(res.Rows)/10)
+		if err != nil {
+			return nil, err
+		}
+		if err := add("fulldomain", "k=5", rows, time.Since(start)); err != nil {
+			return nil, err
+		}
+	}
+	{
+		start := time.Now()
+		rows, err := anonymize.Slice(res.Schema, res.Rows, [][]string{qi}, 4, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		if err := add("slicing", "bucket=4", rows, time.Since(start)); err != nil {
+			return nil, err
+		}
+	}
+	for _, eps := range []float64{0.1, 1, 10} {
+		start := time.Now()
+		rows, err := anonymize.NoisyRows(res.Schema, res.Rows, []string{"x", "y", "z"}, 0.5, eps, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		if err := add("dp", fmt.Sprintf("eps=%.1f", eps), rows, time.Since(start)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------ open problem
+
+// OpenProblemRow is one attacker query checked against the released view.
+type OpenProblemRow struct {
+	Query      string
+	Intent     string // "intended" or "violating"
+	Answerable bool
+	Reason     string
+}
+
+// OpenProblem exercises the paper's closing open problem — deciding whether
+// a privacy-violating query can still be answered on d′ — with the
+// conservative containment checker of internal/containment. The view is the
+// §4.2 rewritten inner query (what actually leaves the apartment).
+func OpenProblem(n int, seed int64) ([]OpenProblemRow, error) {
+	st := SyntheticDB(n, seed)
+	chk := containment.New(st.Catalog())
+	view, err := sqlparser.Parse(
+		"SELECT x, y, AVG(z) AS zavg, t FROM d WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100")
+	if err != nil {
+		return nil, err
+	}
+	probes := []struct {
+		intent string
+		sql    string
+	}{
+		{"intended", "SELECT x, y, zavg FROM d WHERE x > y AND z < 2"},
+		{"intended", "SELECT x, y, zavg, t FROM d WHERE x > y AND z < 2 AND x < 4"},
+		{"violating", "SELECT user, x, y, t FROM d"},
+		{"violating", "SELECT z, t FROM d WHERE x > y AND z < 2"},
+		{"violating", "SELECT x, y FROM d WHERE z < 5"},
+		{"violating", "SELECT x, y FROM d"},
+	}
+	var out []OpenProblemRow
+	for _, p := range probes {
+		q, err := sqlparser.Parse(p.sql)
+		if err != nil {
+			return nil, err
+		}
+		v, err := chk.Answerable(q, view)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OpenProblemRow{
+			Query: p.sql, Intent: p.intent,
+			Answerable: v.Answerable, Reason: strings.Join(v.Reasons, "; "),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- ablations
+
+// PlacementRow compares innermost vs outermost condition placement.
+type PlacementRow struct {
+	Placement   string
+	EgressBytes int
+	SensorOut   int
+}
+
+// AblationConditionPlacement quantifies the paper's "innermost possible
+// part" design decision: the same query with z < 2 placed at the sensor
+// level versus evaluated only at the top of the chain.
+func AblationConditionPlacement(n int, seed int64) ([]PlacementRow, error) {
+	st := SyntheticDB(n, seed)
+	topo := network.DefaultApartment()
+
+	innermost := "SELECT x, y, AVG(z) AS zavg FROM (SELECT x, y, z FROM d WHERE z < 2) GROUP BY x, y"
+	outermost := "SELECT x, y, zavg FROM (SELECT x, y, AVG(z) AS zavg, MIN(z) AS zmin FROM d GROUP BY x, y) WHERE zmin < 2"
+
+	var out []PlacementRow
+	for _, tc := range []struct{ name, q string }{
+		{"innermost (pushdown)", innermost},
+		{"outermost (late filter)", outermost},
+	} {
+		sel, err := sqlparser.Parse(tc.q)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := fragment.New().Fragment(sel)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := network.Run(topo, plan, st)
+		if err != nil {
+			return nil, err
+		}
+		row := PlacementRow{Placement: tc.name, EgressBytes: stats.EgressBytes}
+		if len(stats.Assignments) > 0 {
+			row.SensorOut = stats.Assignments[0].OutRows
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FallbackRow measures the §3.2 weak-node fallback.
+type FallbackRow struct {
+	Config      string
+	EgressBytes int
+	// MidLinkBytes is the traffic on the appliance -> media center hop:
+	// the fallback ships *raw* data across it instead of the appliance's
+	// filtered output.
+	MidLinkBytes int
+	SimTime      time.Duration
+	FallbackUsed bool
+}
+
+// AblationWeakNode compares a healthy chain against one whose appliance
+// cannot hold the sensor output, forcing raw data one hop further up.
+func AblationWeakNode(n int, seed int64) ([]FallbackRow, error) {
+	st := SyntheticDB(n, seed)
+	sel, err := sqlparser.Parse("SELECT x, y, AVG(z) AS zavg FROM d WHERE x > y AND z < 2 GROUP BY x, y")
+	if err != nil {
+		return nil, err
+	}
+	plan, err := fragment.New().Fragment(sel)
+	if err != nil {
+		return nil, err
+	}
+	var out []FallbackRow
+	for _, tc := range []struct {
+		name    string
+		memRows int
+	}{
+		{"healthy appliance", 500_000},
+		{"weak appliance (fallback)", 8},
+	} {
+		topo := network.DefaultApartment()
+		topo.Nodes[1].MemRows = tc.memRows
+		stats, err := network.Run(topo, plan, st)
+		if err != nil {
+			return nil, err
+		}
+		fb := false
+		for _, a := range stats.Assignments {
+			if a.FellBack {
+				fb = true
+			}
+		}
+		out = append(out, FallbackRow{
+			Config: tc.name, EgressBytes: stats.EgressBytes,
+			MidLinkBytes: stats.Traffic[1].Bytes,
+			SimTime:      stats.SimTime, FallbackUsed: fb,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,422 @@
+// Package experiments implements the reproduction harness: one entry point
+// per exhibit of the paper (Table 1, Figures 1-4, the §4.2 staged pushdown
+// and the §3.2 information-loss study) plus the ablations DESIGN.md calls
+// out. cmd/benchrunner formats the outputs; the repository-root benchmarks
+// wrap them in testing.B loops. Keeping the logic here guarantees the CLI
+// and the benches measure the same code.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"paradise/internal/engine"
+	"paradise/internal/fragment"
+	"paradise/internal/network"
+	"paradise/internal/policy"
+	"paradise/internal/rewrite"
+	"paradise/internal/schema"
+	"paradise/internal/sensors"
+	"paradise/internal/sqlparser"
+	"paradise/internal/storage"
+)
+
+// SyntheticDB builds an integrated database d with n position rows following
+// the simulator's distributions (deterministic in seed). It is the scaling
+// workload for Figure 3 and Table 1, where trace semantics do not matter but
+// cardinality does.
+func SyntheticDB(n int, seed int64) *storage.Store {
+	rng := rand.New(rand.NewSource(seed))
+	st := storage.NewStore()
+	d := st.Create(sensors.IntegratedSchema())
+	users := []string{"alice", "bob", "carol", "dave"}
+	rows := make(schema.Rows, 0, n)
+	for i := 0; i < n; i++ {
+		// Tag heights by activity mix, with a 10% multipath-glitch tail
+		// above 2 m that the sensor-level z < 2 filter removes.
+		z := 1.4
+		r := rng.Float64()
+		switch {
+		case r < 0.05:
+			z = 0.3 // fallen
+		case r < 0.30:
+			z = 0.95 // sitting
+		case r < 0.40:
+			z = 2.5 // glitch
+		}
+		// Positions snap to the localization system's 1 m cell grid of an
+		// 8 x 6 m room so GROUP BY x, y forms real grouping sets.
+		rows = append(rows, schema.Row{
+			schema.String(users[rng.Intn(len(users))]),
+			schema.Float(float64(rng.Intn(8))),
+			schema.Float(float64(rng.Intn(6))),
+			schema.Float(z + rng.NormFloat64()*0.05),
+			schema.Int(int64(i) * 50),
+		})
+	}
+	if err := d.Append(rows...); err != nil {
+		panic(err) // deterministic construction; arity is fixed
+	}
+	return st
+}
+
+// UseCaseQuery is the §4.2 query after the Figure 4 policy rewrite (the
+// input of the fragmentation experiments). The HAVING threshold is the
+// paper's.
+const UseCaseQuery = `SELECT regr_intercept(y, x) OVER (PARTITION BY zavg ORDER BY t)
+ FROM (SELECT x, y, AVG(z) AS zavg, t FROM d
+       WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100)`
+
+// OriginalUseCaseQuery is the §4.2 query as the assistive system sends it.
+const OriginalUseCaseQuery = `SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t)
+ FROM (SELECT x, y, z, t FROM d)`
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one rung of the capability ladder with a measured throughput
+// for a representative query of that rung.
+type Table1Row struct {
+	Level      fragment.Level
+	System     string
+	Capability string
+	Nodes      string
+	Query      string
+	Rows       int
+	Elapsed    time.Duration
+}
+
+// Table1 measures the ladder on a synthetic database of n rows.
+func Table1(n int, seed int64) ([]Table1Row, error) {
+	st := SyntheticDB(n, seed)
+	eng := engine.New(st)
+	probes := []struct {
+		level  fragment.Level
+		system string
+		cap    string
+		query  string
+	}{
+		{fragment.LevelSensor, "sensor in appliance/environment",
+			"filter / window, simple selection, aggregates on streams",
+			"SELECT * FROM d WHERE z < 2"},
+		{fragment.LevelAppliance, "appliance in apartment",
+			"SQL light with joins, attribute comparisons, projections",
+			"SELECT x, y, t FROM d WHERE x > y"},
+		{fragment.LevelAppliance, "appliance (media center)",
+			"aggregation with GROUP BY / HAVING",
+			"SELECT x, y, AVG(z) AS zavg FROM d GROUP BY x, y HAVING SUM(z) > 1"},
+		{fragment.LevelPC, "PC in apartment",
+			"SQL-92 incl. window functions and sorting",
+			"SELECT x, AVG(z) OVER (PARTITION BY x ORDER BY t) FROM d"},
+		{fragment.LevelCloud, "cloud",
+			"complex ML algorithm in R, SQL:2003 with UDF",
+			"SELECT regr_intercept(y, x), regr_slope(y, x), corr(y, x) FROM d WHERE z < 2"},
+	}
+	out := make([]Table1Row, 0, len(probes))
+	for _, p := range probes {
+		start := time.Now()
+		res, err := eng.Query(p.query)
+		if err != nil {
+			return nil, fmt.Errorf("table1 probe %q: %w", p.query, err)
+		}
+		out = append(out, Table1Row{
+			Level:      p.level,
+			System:     p.system,
+			Capability: p.cap,
+			Nodes:      fragment.NodesPerPerson(p.level),
+			Query:      p.query,
+			Rows:       len(res.Rows),
+			Elapsed:    time.Since(start),
+		})
+	}
+	return out, nil
+}
+
+// --------------------------------------------------------------- Figure 1
+
+// Figure1Result summarizes trace generation for the Smart Appliance Lab.
+type Figure1Result struct {
+	Scenario   string
+	Persons    int
+	Duration   time.Duration
+	PerDevice  map[sensors.Device]int
+	Integrated int
+	TotalRows  int
+	WireBytes  int
+	Elapsed    time.Duration
+}
+
+// Figure1 generates a meeting trace with the full device ensemble.
+func Figure1(personCount int, dur time.Duration, seed int64) (*Figure1Result, error) {
+	start := time.Now()
+	tr, err := sensors.Generate(sensors.Meeting(personCount, dur, seed))
+	if err != nil {
+		return nil, err
+	}
+	st, err := sensors.BuildStore(tr)
+	if err != nil {
+		return nil, err
+	}
+	total := len(tr.Integrated)
+	for _, rows := range tr.Device {
+		total += len(rows)
+	}
+	bytes := 0
+	for _, name := range st.Names() {
+		tab, _ := st.Table(name)
+		bytes += tab.WireSize()
+	}
+	return &Figure1Result{
+		Scenario:   "meeting",
+		Persons:    personCount,
+		Duration:   dur,
+		PerDevice:  tr.RowCounts(),
+		Integrated: len(tr.Integrated),
+		TotalRows:  total,
+		WireBytes:  bytes,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// --------------------------------------------------------------- Figure 2
+
+// Figure2Result is the stage-latency breakdown of the processor pipeline.
+type Figure2Result struct {
+	Rows      int
+	Parse     time.Duration
+	Rewrite   time.Duration
+	Fragment  time.Duration
+	Execute   time.Duration
+	Anonymize time.Duration
+}
+
+// Figure2 measures each stage of the Figure 2 pipeline once on a synthetic
+// database of n rows.
+func Figure2(n int, seed int64) (*Figure2Result, error) {
+	st := SyntheticDB(n, seed)
+	mod, _ := policy.Figure4().ModuleByID("ActionFilter")
+	rw := rewrite.New(st.Catalog(), rewrite.Options{})
+
+	out := &Figure2Result{Rows: n}
+
+	start := time.Now()
+	sel, err := sqlparser.Parse(OriginalUseCaseQuery)
+	if err != nil {
+		return nil, err
+	}
+	out.Parse = time.Since(start)
+
+	start = time.Now()
+	rewritten, _, err := rw.Rewrite(sel, mod)
+	if err != nil {
+		return nil, err
+	}
+	out.Rewrite = time.Since(start)
+
+	start = time.Now()
+	plan, err := fragment.New().Fragment(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	out.Fragment = time.Since(start)
+
+	start = time.Now()
+	stats, err := network.Run(network.DefaultApartment(), plan, st)
+	if err != nil {
+		return nil, err
+	}
+	out.Execute = time.Since(start)
+
+	start = time.Now()
+	// Anonymize the pre-aggregation appliance output (the raw-est data a
+	// weak node might have to ship, per §3.2): generalize positions.
+	res, err := engine.New(st).Query("SELECT x, y, z, t FROM d WHERE z < 2")
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) >= 5 {
+		if _, err := anonymizeMondrian(res, 5); err != nil {
+			return nil, err
+		}
+	}
+	out.Anonymize = time.Since(start)
+	_ = stats
+	return out, nil
+}
+
+// --------------------------------------------------------------- Figure 3
+
+// Figure3Row compares fragmented and naive execution at one trace size.
+type Figure3Row struct {
+	Rows           int
+	RawBytes       int
+	NaiveEgress    int
+	FragEgress     int
+	Reduction      float64
+	FragSimTime    time.Duration
+	NaiveSimTime   time.Duration
+	SensorOutRows  int
+	ApplianceRows  int
+	EgressRows     int
+	EgressFraction float64
+}
+
+// Figure3 runs the rewritten use-case query at several database sizes.
+func Figure3(sizes []int, seed int64) ([]Figure3Row, error) {
+	sel, err := sqlparser.Parse(UseCaseQuery)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := sqlparser.Parse(OriginalUseCaseQuery)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure3Row
+	for _, n := range sizes {
+		st := SyntheticDB(n, seed)
+		topo := network.DefaultApartment()
+		plan, err := fragment.New().Fragment(sel)
+		if err != nil {
+			return nil, err
+		}
+		frag, err := network.Run(topo, plan, st)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := network.RunNaive(topo, orig, st)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure3Row{
+			Rows:         n,
+			RawBytes:     frag.RawBytes,
+			NaiveEgress:  naive.EgressBytes,
+			FragEgress:   frag.EgressBytes,
+			FragSimTime:  frag.SimTime,
+			NaiveSimTime: naive.SimTime,
+		}
+		if frag.EgressBytes > 0 {
+			row.Reduction = float64(naive.EgressBytes) / float64(frag.EgressBytes)
+		} else {
+			row.Reduction = float64(naive.EgressBytes)
+		}
+		if len(frag.Assignments) > 0 {
+			row.SensorOutRows = frag.Assignments[0].OutRows
+		}
+		if len(frag.Assignments) > 1 {
+			row.ApplianceRows = frag.Assignments[1].OutRows
+		}
+		row.EgressRows = frag.Traffic[len(frag.Traffic)-1].Rows
+		if n > 0 {
+			row.EgressFraction = float64(row.EgressRows) / float64(n)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// LadderRow is the fragmentation-granularity ablation: how much data leaves
+// the apartment when the in-home ladder tops out at a given level.
+type LadderRow struct {
+	HomeTop     fragment.Level
+	Description string
+	EgressBytes int
+}
+
+// Figure3Ladder compares the full ladder against degenerate topologies.
+func Figure3Ladder(n int, seed int64) ([]LadderRow, error) {
+	sel, err := sqlparser.Parse(UseCaseQuery)
+	if err != nil {
+		return nil, err
+	}
+	st := SyntheticDB(n, seed)
+	plan, err := fragment.New().Fragment(sel)
+	if err != nil {
+		return nil, err
+	}
+
+	topos := []struct {
+		top  fragment.Level
+		desc string
+		topo *network.Topology
+	}{
+		{fragment.LevelPC, "full ladder (sensor..PC at home)", network.DefaultApartment()},
+		{fragment.LevelAppliance, "no PC (appliances only)", ladderWithout(fragment.LevelPC)},
+		{fragment.LevelSensor, "sensors only (everything else in cloud)", ladderWithout(fragment.LevelAppliance, fragment.LevelPC)},
+	}
+	var out []LadderRow
+	for _, tc := range topos {
+		stats, err := network.Run(tc.topo, plan, st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LadderRow{HomeTop: tc.top, Description: tc.desc, EgressBytes: stats.EgressBytes})
+	}
+	// Baseline: no home processing at all.
+	orig, _ := sqlparser.Parse(OriginalUseCaseQuery)
+	naive, err := network.RunNaive(network.DefaultApartment(), orig, st)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, LadderRow{
+		HomeTop:     0,
+		Description: "no fragmentation (ship raw d to cloud)",
+		EgressBytes: naive.EgressBytes,
+	})
+	return out, nil
+}
+
+// FanInRow compares sensor counts at fixed data volume.
+type FanInRow struct {
+	Sensors     int
+	EgressBytes int
+	SimTime     time.Duration
+}
+
+// Figure3FanIn runs the use-case plan with the base data spread over
+// 1..n sensors (Table 1: >= 100 sensors per person). Sensor compute
+// parallelizes; the shared radio medium does not.
+func Figure3FanIn(n int, sensorCounts []int, seed int64) ([]FanInRow, error) {
+	sel, err := sqlparser.Parse(UseCaseQuery)
+	if err != nil {
+		return nil, err
+	}
+	st := SyntheticDB(n, seed)
+	plan, err := fragment.New().Fragment(sel)
+	if err != nil {
+		return nil, err
+	}
+	topo := network.DefaultApartment()
+	var out []FanInRow
+	for _, sc := range sensorCounts {
+		stats, err := network.RunFanIn(topo, plan, st, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FanInRow{Sensors: sc, EgressBytes: stats.EgressBytes, SimTime: stats.SimTime})
+	}
+	return out, nil
+}
+
+// ladderWithout removes the named levels from the default apartment chain.
+func ladderWithout(drop ...fragment.Level) *network.Topology {
+	def := network.DefaultApartment()
+	skip := map[fragment.Level]bool{}
+	for _, l := range drop {
+		skip[l] = true
+	}
+	topo := &network.Topology{}
+	for _, n := range def.Nodes {
+		if n.Level != fragment.LevelCloud && skip[n.Level] {
+			continue
+		}
+		topo.Nodes = append(topo.Nodes, n)
+	}
+	for i := 0; i+1 < len(topo.Nodes); i++ {
+		topo.Links = append(topo.Links, &network.Link{
+			From: topo.Nodes[i].Name, To: topo.Nodes[i+1].Name,
+			BytesPerMs: 1_250, LatencyMs: 5,
+		})
+	}
+	return topo
+}

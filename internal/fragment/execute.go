@@ -1,0 +1,78 @@
+package fragment
+
+import (
+	"fmt"
+
+	"paradise/internal/engine"
+	"paradise/internal/schema"
+)
+
+// StageResult records one executed fragment for accounting: the rows it
+// produced and their simulated wire size (what ships to the next node).
+type StageResult struct {
+	Fragment *Fragment
+	Rows     int
+	Bytes    int
+}
+
+// Execution is the outcome of running a whole plan.
+type Execution struct {
+	Result *engine.Result
+	Stages []StageResult
+}
+
+// BytesShipped sums the bytes crossing node boundaries (every stage output
+// travels one hop up the ladder).
+func (e *Execution) BytesShipped() int {
+	total := 0
+	for _, s := range e.Stages {
+		total += s.Bytes
+	}
+	return total
+}
+
+// stageSource exposes the previous stage's output under its relation name,
+// falling back to the base source for stage 1 (and for any base relation a
+// join references).
+type stageSource struct {
+	base engine.Source
+	name string
+	rel  *schema.Relation
+	rows schema.Rows
+}
+
+func (s *stageSource) Relation(name string) (*schema.Relation, schema.Rows, error) {
+	if s.rel != nil && name == s.name {
+		return s.rel, s.rows, nil
+	}
+	return s.base.Relation(name)
+}
+
+// Execute runs the plan bottom-up against the base source, materializing
+// each fragment's result and feeding it to the next stage under its output
+// name. It returns the final result and per-stage accounting. Execution is
+// semantically equivalent to evaluating the original query directly (the
+// property tests in this package assert exactly that).
+func Execute(plan *Plan, base engine.Source) (*Execution, error) {
+	exec := &Execution{}
+	src := &stageSource{base: base}
+	for _, f := range plan.Fragments {
+		eng := engine.New(src)
+		res, err := eng.Select(f.Query)
+		if err != nil {
+			return nil, fmt.Errorf("fragment: stage %d (%s): %w", f.Stage, f.Description, err)
+		}
+		out := res.Schema.Clone(f.Output)
+		src = &stageSource{base: base, name: f.Output, rel: out, rows: res.Rows}
+		exec.Stages = append(exec.Stages, StageResult{
+			Fragment: f,
+			Rows:     len(res.Rows),
+			Bytes:    res.Rows.WireSize(),
+		})
+		exec.Result = &engine.Result{Schema: out, Rows: res.Rows}
+	}
+	if exec.Result == nil {
+		return nil, fmt.Errorf("%w: empty plan", ErrFragment)
+	}
+	return exec, nil
+}

@@ -1,0 +1,447 @@
+package fragment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"paradise/internal/sqlparser"
+)
+
+// ErrFragment wraps fragmentation errors.
+var ErrFragment = errors.New("fragment: cannot fragment query")
+
+// Fragment is one pushed-down piece of the vertical decomposition. Fragments
+// form a chain: each reads the output relation of its predecessor (or a base
+// relation) and ships its result one hop up.
+type Fragment struct {
+	// Stage is the 1-based position in the chain, bottom (sensor) first.
+	Stage int
+	// MinLevel is the least capable rung that can execute the fragment.
+	MinLevel Level
+	// Query is the fragment's SQL; its FROM references Input.
+	Query *sqlparser.Select
+	// Input is the relation the fragment reads: a base table for stage 1,
+	// else the previous fragment's Output.
+	Input string
+	// Output is the name under which the fragment's result is visible to
+	// the next stage (d1, d2, ... — the paper's notation).
+	Output string
+	// Description summarizes the fragment's role for reports and the CLI.
+	Description string
+}
+
+// SQL renders the fragment query.
+func (f *Fragment) SQL() string { return f.Query.SQL() }
+
+// Plan is a complete vertical decomposition of one query.
+type Plan struct {
+	// Fragments bottom-up: Fragments[0] runs at the sensor.
+	Fragments []*Fragment
+	// Original is the query the plan decomposes (already privacy-rewritten).
+	Original *sqlparser.Select
+}
+
+// Remainder returns the highest fragment — the paper's Qδ, the only part
+// that must run on a node above the apartment boundary when the in-home
+// ladder tops out at the given level.
+func (p *Plan) Remainder(homeTop Level) []*Fragment {
+	var out []*Fragment
+	for _, f := range p.Fragments {
+		if f.MinLevel > homeTop {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// String renders a human-readable plan.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for _, f := range p.Fragments {
+		fmt.Fprintf(&b, "Q%d @ %-12s %-28s %s\n", f.Stage, f.MinLevel, f.Description, f.SQL())
+	}
+	return b.String()
+}
+
+// Fragmenter decomposes queries along the capability ladder.
+type Fragmenter struct{}
+
+// New creates a Fragmenter.
+func New() *Fragmenter { return &Fragmenter{} }
+
+// Fragment decomposes a (rewritten) query into the maximal pushed-down
+// chain. The input is not modified. Decomposition walks the FROM spine of
+// nested derived tables: the innermost SELECT is split into sensor-level
+// constant filters, appliance-level attribute filters and projections, and
+// an appliance-level aggregation; every enclosing SELECT becomes one
+// fragment at the level its features require.
+func (fr *Fragmenter) Fragment(q *sqlparser.Select) (*Plan, error) {
+	q = sqlparser.CloneSelect(q)
+
+	// Collect the spine, innermost last.
+	var spine []*sqlparser.Select
+	cur := q
+	for {
+		spine = append(spine, cur)
+		sq, ok := cur.From.(*sqlparser.Subquery)
+		if !ok {
+			break
+		}
+		cur = sq.Select
+	}
+	inner := spine[len(spine)-1]
+
+	plan := &Plan{Original: q}
+	next := 1
+	output := func() string { return fmt.Sprintf("d%d", next) }
+
+	addFragment := func(sel *sqlparser.Select, lvl Level, desc string, input string) *Fragment {
+		f := &Fragment{
+			Stage:       next,
+			MinLevel:    lvl,
+			Query:       sel,
+			Input:       input,
+			Output:      output(),
+			Description: desc,
+		}
+		plan.Fragments = append(plan.Fragments, f)
+		next++
+		return f
+	}
+
+	// --- Innermost SELECT decomposition ---
+	baseName, err := baseInput(inner.From)
+	if err != nil {
+		return nil, err
+	}
+
+	// A join in the innermost FROM cannot run on a single sensor, and
+	// splitting it would lose the column qualifiers its clauses rely on:
+	// the whole SELECT becomes one appliance-level fragment (sensors still
+	// only ship their own streams; the join happens one hop up).
+	if _, isJoin := inner.From.(*sqlparser.Join); isJoin {
+		joinSel := sqlparser.CloneSelect(inner)
+		lvl := LevelAppliance
+		if itemsWindow(inner) || len(inner.OrderBy) > 0 || inner.Limit != nil || inner.Distinct {
+			lvl = LevelPC
+		}
+		prev := addFragment(joinSel, lvl, "appliance join", baseName)
+		for i := len(spine) - 2; i >= 0; i-- {
+			s := sqlparser.CloneSelect(spine[i])
+			s.From = &sqlparser.TableName{Name: prev.Output}
+			prev = addFragment(s, levelOfSelect(s), descOfSelect(s), prev.Output)
+		}
+		return plan, nil
+	}
+
+	constConj, otherConj := splitConjuncts(inner.Where)
+
+	// Stage 1 (E4): SELECT * FROM base WHERE <constant filters>.
+	sensorSel := &sqlparser.Select{
+		Items: []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}},
+		From:  sqlparser.CloneTableRef(inner.From),
+		Where: sqlparser.AndAll(constConj),
+	}
+	desc := "sensor scan"
+	if len(constConj) > 0 {
+		desc = "sensor filter (attr vs const)"
+	}
+	prev := addFragment(sensorSel, LevelSensor, desc, baseName)
+
+	hasAgg := len(inner.GroupBy) > 0 || inner.Having != nil || itemsAggregate(inner)
+	hasWin := itemsWindow(inner)
+
+	// Above the sensor stage the single base table is renamed d1, d2, ...;
+	// qualified references to the original name would dangle, and with one
+	// table they are redundant, so they are stripped.
+	stripQualifiers(inner)
+	otherConj = stripExprQualifiers(otherConj)
+
+	switch {
+	case hasWin:
+		// Rare shape: innermost with windows — keep it whole above the
+		// sensor filter.
+		rest := sqlparser.CloneSelect(inner)
+		rest.From = &sqlparser.TableName{Name: prev.Output}
+		rest.Where = sqlparser.AndAll(otherConj)
+		addFragment(rest, LevelPC, "window evaluation", prev.Output)
+	case hasAgg:
+		// Stage 2 (E3): attribute filter + projection of the raw columns
+		// the aggregation needs.
+		needed := neededColumns(inner)
+		projSel := &sqlparser.Select{
+			Items: columnsToItems(needed),
+			From:  &sqlparser.TableName{Name: prev.Output},
+			Where: sqlparser.AndAll(otherConj),
+		}
+		desc := "appliance projection"
+		if len(otherConj) > 0 {
+			desc = "appliance filter + projection"
+		}
+		prev = addFragment(projSel, LevelAppliance, desc, prev.Output)
+
+		// Stage 3 (E3): the aggregation itself (the media center's part).
+		aggSel := &sqlparser.Select{
+			Items:   cloneItems(inner.Items),
+			From:    &sqlparser.TableName{Name: prev.Output},
+			GroupBy: cloneExprs(inner.GroupBy),
+			Having:  sqlparser.CloneExpr(inner.Having),
+			OrderBy: cloneOrder(inner.OrderBy),
+			Limit:   cloneLimit(inner.Limit),
+		}
+		lvl := LevelAppliance
+		if len(inner.OrderBy) > 0 || inner.Limit != nil {
+			lvl = LevelPC
+		}
+		prev = addFragment(aggSel, lvl, "aggregation (GROUP BY/HAVING)", prev.Output)
+	default:
+		// Stage 2 (E3): attribute filters + the final projection of this
+		// SELECT in one appliance fragment.
+		projSel := &sqlparser.Select{
+			Distinct: inner.Distinct,
+			Items:    cloneItems(inner.Items),
+			From:     &sqlparser.TableName{Name: prev.Output},
+			Where:    sqlparser.AndAll(otherConj),
+			OrderBy:  cloneOrder(inner.OrderBy),
+			Limit:    cloneLimit(inner.Limit),
+		}
+		lvl := LevelAppliance
+		if len(inner.OrderBy) > 0 || inner.Limit != nil || inner.Distinct {
+			lvl = LevelPC
+		}
+		if onlyStarItems(inner.Items) && len(otherConj) == 0 && lvl == LevelAppliance {
+			// Nothing left to do at this level; skip the no-op fragment.
+			break
+		}
+		prev = addFragment(projSel, lvl, "appliance filter + projection", prev.Output)
+	}
+
+	// --- Enclosing spine SELECTs, inner to outer ---
+	for i := len(spine) - 2; i >= 0; i-- {
+		s := sqlparser.CloneSelect(spine[i])
+		s.From = &sqlparser.TableName{Name: prev.Output}
+		lvl := levelOfSelect(s)
+		prev = addFragment(s, lvl, descOfSelect(s), prev.Output)
+	}
+
+	return plan, nil
+}
+
+// baseInput names the base relation the innermost SELECT reads. Joins are
+// supported by treating the join as the sensor-level input is not possible —
+// a join already needs E3 — so for joins the "sensor" fragment degenerates
+// to the join itself at E3.
+func baseInput(t sqlparser.TableRef) (string, error) {
+	switch x := t.(type) {
+	case *sqlparser.TableName:
+		return x.Name, nil
+	case *sqlparser.Join:
+		names := collectJoinTables(x)
+		return strings.Join(names, "+"), nil
+	case nil:
+		return "", fmt.Errorf("%w: SELECT without FROM", ErrFragment)
+	default:
+		return "", fmt.Errorf("%w: unexpected FROM item %T", ErrFragment, t)
+	}
+}
+
+func collectJoinTables(j *sqlparser.Join) []string {
+	var out []string
+	var walk func(t sqlparser.TableRef)
+	walk = func(t sqlparser.TableRef) {
+		switch x := t.(type) {
+		case *sqlparser.TableName:
+			out = append(out, x.Name)
+		case *sqlparser.Join:
+			walk(x.Left)
+			walk(x.Right)
+		}
+	}
+	walk(j)
+	return out
+}
+
+// splitConjuncts partitions a WHERE into sensor-capable constant filters and
+// the rest.
+func splitConjuncts(where sqlparser.Expr) (constConj, other []sqlparser.Expr) {
+	for _, c := range sqlparser.Conjuncts(where) {
+		if isConstFilter(c) {
+			constConj = append(constConj, sqlparser.CloneExpr(c))
+		} else {
+			other = append(other, sqlparser.CloneExpr(c))
+		}
+	}
+	return constConj, other
+}
+
+// neededColumns lists the raw columns an aggregation stage consumes: every
+// column referenced in items, GROUP BY and HAVING, plus ORDER BY references
+// that are not output aliases (ORDER BY peak sorts the stage's own output
+// column, not an input one).
+func neededColumns(q *sqlparser.Select) []string {
+	aliases := map[string]bool{}
+	for _, it := range q.Items {
+		if it.Alias != "" {
+			aliases[it.Alias] = true
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(e sqlparser.Expr) {
+		for _, c := range sqlparser.ColumnRefs(e) {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				out = append(out, c.Name)
+			}
+		}
+	}
+	for _, it := range q.Items {
+		add(it.Expr)
+	}
+	for _, g := range q.GroupBy {
+		add(g)
+	}
+	add(q.Having)
+	for _, o := range q.OrderBy {
+		for _, c := range sqlparser.ColumnRefs(o.Expr) {
+			if aliases[c.Name] {
+				continue
+			}
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				out = append(out, c.Name)
+			}
+		}
+	}
+	return out
+}
+
+func columnsToItems(cols []string) []sqlparser.SelectItem {
+	out := make([]sqlparser.SelectItem, len(cols))
+	for i, c := range cols {
+		out[i] = sqlparser.SelectItem{Expr: &sqlparser.ColumnRef{Name: c}}
+	}
+	return out
+}
+
+func cloneItems(items []sqlparser.SelectItem) []sqlparser.SelectItem {
+	out := make([]sqlparser.SelectItem, len(items))
+	for i, it := range items {
+		out[i] = sqlparser.SelectItem{Expr: sqlparser.CloneExpr(it.Expr), Alias: it.Alias}
+	}
+	return out
+}
+
+func cloneExprs(es []sqlparser.Expr) []sqlparser.Expr {
+	out := make([]sqlparser.Expr, len(es))
+	for i, e := range es {
+		out[i] = sqlparser.CloneExpr(e)
+	}
+	return out
+}
+
+func cloneOrder(os []sqlparser.OrderItem) []sqlparser.OrderItem {
+	out := make([]sqlparser.OrderItem, len(os))
+	for i, o := range os {
+		out[i] = sqlparser.OrderItem{Expr: sqlparser.CloneExpr(o.Expr), Desc: o.Desc}
+	}
+	return out
+}
+
+func cloneLimit(l *int64) *int64 {
+	if l == nil {
+		return nil
+	}
+	v := *l
+	return &v
+}
+
+// stripQualifiers removes table qualifiers from every clause of one SELECT
+// (valid only when the SELECT reads a single base table).
+func stripQualifiers(q *sqlparser.Select) {
+	strip := func(e sqlparser.Expr) sqlparser.Expr {
+		return sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+			if c, ok := x.(*sqlparser.ColumnRef); ok && c.Table != "" {
+				return &sqlparser.ColumnRef{Name: c.Name}
+			}
+			if s, ok := x.(*sqlparser.Star); ok && s.Table != "" {
+				return &sqlparser.Star{}
+			}
+			return x
+		})
+	}
+	for i := range q.Items {
+		q.Items[i].Expr = strip(q.Items[i].Expr)
+	}
+	q.Where = strip(q.Where)
+	for i := range q.GroupBy {
+		q.GroupBy[i] = strip(q.GroupBy[i])
+	}
+	q.Having = strip(q.Having)
+	for i := range q.OrderBy {
+		q.OrderBy[i].Expr = strip(q.OrderBy[i].Expr)
+	}
+}
+
+func stripExprQualifiers(es []sqlparser.Expr) []sqlparser.Expr {
+	out := make([]sqlparser.Expr, len(es))
+	for i, e := range es {
+		out[i] = sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+			if c, ok := x.(*sqlparser.ColumnRef); ok && c.Table != "" {
+				return &sqlparser.ColumnRef{Name: c.Name}
+			}
+			return x
+		})
+	}
+	return out
+}
+
+func itemsAggregate(q *sqlparser.Select) bool {
+	for _, it := range q.Items {
+		if sqlparser.ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func itemsWindow(q *sqlparser.Select) bool {
+	for _, it := range q.Items {
+		if sqlparser.ContainsWindow(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func onlyStarItems(items []sqlparser.SelectItem) bool {
+	for _, it := range items {
+		if _, ok := it.Expr.(*sqlparser.Star); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// levelOfSelect classifies one already-isolated spine SELECT.
+func levelOfSelect(s *sqlparser.Select) Level {
+	lvl := LevelAppliance
+	if itemsWindow(s) || len(s.OrderBy) > 0 || s.Limit != nil || s.Distinct {
+		lvl = LevelPC
+	}
+	return lvl
+}
+
+func descOfSelect(s *sqlparser.Select) string {
+	switch {
+	case itemsWindow(s):
+		return "window/analytic evaluation"
+	case len(s.GroupBy) > 0 || itemsAggregate(s):
+		return "aggregation (GROUP BY/HAVING)"
+	case len(s.OrderBy) > 0 || s.Limit != nil:
+		return "sort/limit"
+	default:
+		return "filter + projection"
+	}
+}

@@ -1,0 +1,169 @@
+// Package fragment implements the vertical fragmentation of queries from
+// Grunert & Heuer §4: a (rewritten) query Q against the integrated sensor
+// database d is decomposed into pushed-down fragments Q1..Qj that execute as
+// close to the data sources as possible, plus a remainder Qδ for the more
+// powerful nodes — Q(d) → Qδ(d′). The capability ladder follows Table 1:
+//
+//	E1 cloud      — complex ML in R, SQL:2003 with UDFs
+//	E2 PC         — SQL-92 (we include window functions, which the paper's
+//	                local server executes for the regression analysis)
+//	E3 appliance  — "SQL light" with joins, attribute comparisons,
+//	                projections, grouping/aggregation (the media center)
+//	E4 sensor     — filters against constants and simple stream aggregates;
+//	                cannot project single attributes (SELECT * only)
+package fragment
+
+import (
+	"paradise/internal/sqlparser"
+)
+
+// Level is a rung of the capability ladder. Higher value = more capable.
+type Level int
+
+// Capability levels, ordered by power. The paper numbers them E1 (cloud,
+// most powerful) to E4 (sensor); the integer ordering here is by power so
+// comparisons read naturally.
+const (
+	LevelSensor    Level = 1 // E4
+	LevelAppliance Level = 2 // E3
+	LevelPC        Level = 3 // E2
+	LevelCloud     Level = 4 // E1
+)
+
+// String returns the paper's level name.
+func (l Level) String() string {
+	switch l {
+	case LevelSensor:
+		return "E4/sensor"
+	case LevelAppliance:
+		return "E3/appliance"
+	case LevelPC:
+		return "E2/PC"
+	case LevelCloud:
+		return "E1/cloud"
+	default:
+		return "E?/unknown"
+	}
+}
+
+// Capability describes what a level can execute, mirroring Table 1.
+type Capability struct {
+	// SelectStar: level can only SELECT * (no single-attribute projection).
+	ProjectAttributes bool
+	// CompareAttributes: attribute-vs-attribute predicates.
+	CompareAttributes bool
+	// Joins between relations.
+	Joins bool
+	// Aggregation with GROUP BY / HAVING.
+	Aggregation bool
+	// Window functions and sorting (SQL-92 class processing and beyond).
+	WindowsAndSort bool
+	// MachineLearning: opaque analysis code (R) around the SQL.
+	MachineLearning bool
+}
+
+// CapabilityOf returns the Table 1 capability row of a level.
+func CapabilityOf(l Level) Capability {
+	switch l {
+	case LevelSensor:
+		return Capability{}
+	case LevelAppliance:
+		return Capability{ProjectAttributes: true, CompareAttributes: true, Joins: true, Aggregation: true}
+	case LevelPC:
+		return Capability{ProjectAttributes: true, CompareAttributes: true, Joins: true, Aggregation: true, WindowsAndSort: true}
+	default:
+		return Capability{ProjectAttributes: true, CompareAttributes: true, Joins: true, Aggregation: true, WindowsAndSort: true, MachineLearning: true}
+	}
+}
+
+// NodesPerPerson returns Table 1's "number of nodes" column for one person:
+// how many processors of each level a typical assistive installation has.
+func NodesPerPerson(l Level) string {
+	switch l {
+	case LevelCloud:
+		return "n for m persons"
+	case LevelPC:
+		return "1"
+	case LevelAppliance:
+		return "10-50"
+	case LevelSensor:
+		return ">= 100"
+	default:
+		return "?"
+	}
+}
+
+// isConstFilter reports whether the conjunct is a comparison between one
+// column and one literal — the only predicate form a sensor can evaluate
+// ("the sensor can only compare an attribute against a constant", §4.2).
+func isConstFilter(e sqlparser.Expr) bool {
+	b, ok := e.(*sqlparser.BinaryExpr)
+	if !ok || !b.Op.Comparison() {
+		return false
+	}
+	_, lCol := b.L.(*sqlparser.ColumnRef)
+	_, rLit := b.R.(*sqlparser.Literal)
+	if lCol && rLit {
+		return true
+	}
+	_, lLit := b.L.(*sqlparser.Literal)
+	_, rCol := b.R.(*sqlparser.ColumnRef)
+	return lLit && rCol
+}
+
+// IsSensorPredicate reports whether a whole predicate can run on a sensor:
+// every top-level conjunct must compare one attribute against one constant.
+func IsSensorPredicate(e sqlparser.Expr) bool {
+	if e == nil {
+		return true
+	}
+	for _, c := range sqlparser.Conjuncts(e) {
+		if !isConstFilter(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// RequiredLevel computes the minimal capability level able to execute the
+// SELECT as a whole (used for fragments after decomposition and by the
+// ablation benches for un-fragmented execution).
+func RequiredLevel(q *sqlparser.Select) Level {
+	lvl := LevelSensor
+	raise := func(l Level) {
+		if l > lvl {
+			lvl = l
+		}
+	}
+	sqlparser.WalkSelects(q, func(s *sqlparser.Select) {
+		if len(s.OrderBy) > 0 || s.Limit != nil || s.Distinct {
+			raise(LevelPC)
+		}
+		if len(s.GroupBy) > 0 || s.Having != nil {
+			raise(LevelAppliance)
+		}
+		if _, ok := s.From.(*sqlparser.Join); ok {
+			raise(LevelAppliance)
+		}
+		if _, ok := s.From.(*sqlparser.Subquery); ok {
+			raise(LevelAppliance)
+		}
+		for _, it := range s.Items {
+			if sqlparser.ContainsWindow(it.Expr) {
+				raise(LevelPC)
+			}
+			if sqlparser.ContainsAggregate(it.Expr) {
+				raise(LevelAppliance)
+			}
+			if _, ok := it.Expr.(*sqlparser.Star); !ok {
+				raise(LevelAppliance) // projection of single attributes
+			}
+		}
+		for _, c := range sqlparser.Conjuncts(s.Where) {
+			if !isConstFilter(c) {
+				raise(LevelAppliance)
+			}
+		}
+	})
+	return lvl
+}

@@ -1,0 +1,235 @@
+package fragment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"paradise/internal/engine"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+	"paradise/internal/storage"
+)
+
+// randomQuery builds a random, valid single-table SELECT over
+// d(x, y, z, t). The space covers the operator mix the fragmenter splits:
+// constant filters, attribute comparisons, projections, expressions,
+// grouping with HAVING, DISTINCT, ORDER BY and LIMIT.
+func randomQuery(rng *rand.Rand) string {
+	cols := []string{"x", "y", "z", "t"}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+
+	grouped := rng.Intn(3) == 0
+	var groupCols []string
+	if grouped {
+		n := 1 + rng.Intn(2)
+		perm := rng.Perm(len(cols))
+		for i := 0; i < n; i++ {
+			groupCols = append(groupCols, cols[perm[i]])
+		}
+		aggCol := cols[rng.Intn(len(cols))]
+		aggFn := []string{"AVG", "SUM", "MIN", "MAX", "COUNT"}[rng.Intn(5)]
+		b.WriteString(strings.Join(groupCols, ", "))
+		fmt.Fprintf(&b, ", %s(%s) AS a1", aggFn, aggCol)
+	} else {
+		switch rng.Intn(3) {
+		case 0:
+			b.WriteString("*")
+		case 1:
+			n := 1 + rng.Intn(3)
+			perm := rng.Perm(len(cols))
+			var sel []string
+			for i := 0; i < n; i++ {
+				sel = append(sel, cols[perm[i]])
+			}
+			b.WriteString(strings.Join(sel, ", "))
+		default:
+			fmt.Fprintf(&b, "%s + %s AS s, z", cols[rng.Intn(2)], cols[2+rng.Intn(2)])
+		}
+	}
+	b.WriteString(" FROM d")
+
+	// WHERE: 0-3 conjuncts mixing constant and attribute predicates.
+	var conj []string
+	for i := 0; i < rng.Intn(4); i++ {
+		col := cols[rng.Intn(len(cols))]
+		op := []string{"<", "<=", ">", ">=", "="}[rng.Intn(5)]
+		if rng.Intn(2) == 0 {
+			conj = append(conj, fmt.Sprintf("%s %s %.1f", col, op, rng.Float64()*4))
+		} else {
+			other := cols[rng.Intn(len(cols))]
+			if other != col {
+				conj = append(conj, fmt.Sprintf("%s %s %s", col, op, other))
+			}
+		}
+	}
+	if len(conj) > 0 {
+		b.WriteString(" WHERE " + strings.Join(conj, " AND "))
+	}
+
+	if grouped {
+		b.WriteString(" GROUP BY " + strings.Join(groupCols, ", "))
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " HAVING COUNT(*) > %d", rng.Intn(3))
+		}
+		if rng.Intn(3) == 0 {
+			b.WriteString(" ORDER BY " + groupCols[0])
+		}
+	} else {
+		if rng.Intn(4) == 0 {
+			b.WriteString(" ORDER BY " + cols[rng.Intn(len(cols))])
+			if rng.Intn(2) == 0 {
+				b.WriteString(" DESC")
+			}
+		}
+		if rng.Intn(4) == 0 {
+			fmt.Fprintf(&b, " LIMIT %d", 1+rng.Intn(20))
+		}
+	}
+	return b.String()
+}
+
+func propertyStore(t *testing.T, rng *rand.Rand, n int) *storage.Store {
+	t.Helper()
+	st := storage.NewStore()
+	d := st.Create(schema.NewRelation("d",
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	))
+	rows := make(schema.Rows, n)
+	for i := range rows {
+		rows[i] = schema.Row{
+			schema.Float(float64(rng.Intn(40)) / 10),
+			schema.Float(float64(rng.Intn(40)) / 10),
+			schema.Float(float64(rng.Intn(40)) / 10),
+			schema.Int(int64(i)),
+		}
+	}
+	if err := d.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestPropertyFragmentEquivalence is the core soundness property of the
+// vertical fragmentation: for random queries, executing the fragment chain
+// equals executing the query monolithically (as multisets; ORDER BY-free
+// queries may legally reorder).
+func TestPropertyFragmentEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160315))
+	st := propertyStore(t, rng, 400)
+	fr := New()
+	eng := engine.New(st)
+
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		q := randomQuery(rng)
+		sel, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatalf("generator produced invalid SQL %q: %v", q, err)
+		}
+		want, err := eng.Select(sel)
+		if err != nil {
+			t.Fatalf("direct execution of %q: %v", q, err)
+		}
+		plan, err := fr.Fragment(sel)
+		if err != nil {
+			t.Fatalf("fragmenting %q: %v", q, err)
+		}
+		got, err := Execute(plan, st)
+		if err != nil {
+			t.Fatalf("executing plan of %q: %v\n%s", q, err, plan)
+		}
+		if !sameRowMultiset(want.Rows, got.Result.Rows) {
+			t.Fatalf("trial %d: %q\nplan:\n%s\ndirect %d rows, fragmented %d rows",
+				trial, q, plan, len(want.Rows), len(got.Result.Rows))
+		}
+		// Ordered queries must agree on order too.
+		if len(sel.OrderBy) > 0 && !sameRowSequenceByKeys(want, got.Result, sel) {
+			t.Fatalf("trial %d: %q: ORDER BY violated by fragmentation", trial, q)
+		}
+	}
+}
+
+// TestPropertyPlanLevelsMonotone: fragments never need a *lower* level than
+// an earlier stage provides — the chain only moves up.
+func TestPropertyPlanLevelsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	fr := New()
+	for trial := 0; trial < 300; trial++ {
+		q := randomQuery(rng)
+		sel, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := fr.Fragment(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(plan.Fragments); i++ {
+			if plan.Fragments[i].MinLevel < plan.Fragments[i-1].MinLevel {
+				t.Fatalf("%q: levels regress at stage %d:\n%s", q, i+1, plan)
+			}
+		}
+		// Stage 1 never exceeds the sensor unless a join forces it.
+		if plan.Fragments[0].MinLevel > LevelAppliance {
+			t.Fatalf("%q: first stage at %s", q, plan.Fragments[0].MinLevel)
+		}
+	}
+}
+
+func sameRowMultiset(a, b schema.Rows) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[string]int{}
+	for _, r := range a {
+		count[r.GroupKey(allIdx(len(r)))]++
+	}
+	for _, r := range b {
+		count[r.GroupKey(allIdx(len(r)))]--
+	}
+	for _, v := range count {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sameRowSequenceByKeys checks that the ORDER BY key sequence matches
+// (ties may reorder freely, so only the keys are compared).
+func sameRowSequenceByKeys(a, b *engine.Result, sel *sqlparser.Select) bool {
+	keyOf := func(res *engine.Result, i int) string {
+		parts := make([]string, 0, len(sel.OrderBy))
+		for _, o := range sel.OrderBy {
+			if c, ok := o.Expr.(*sqlparser.ColumnRef); ok {
+				if idx, err := res.Schema.Index(c.Name); err == nil {
+					parts = append(parts, res.Rows[i][idx].GroupKey())
+				}
+			}
+		}
+		return strings.Join(parts, "|")
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if keyOf(a, i) != keyOf(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

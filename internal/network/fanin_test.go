@@ -1,0 +1,104 @@
+package network
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"paradise/internal/schema"
+)
+
+func TestFanInEquivalentToSingleSensor(t *testing.T) {
+	st := testStore(t, 900)
+	q := "SELECT x, y, AVG(z) AS zavg FROM d WHERE x > y AND z < 2 GROUP BY x, y"
+	plan := mustPlan(t, q)
+	topo := DefaultApartment()
+
+	single, err := Run(topo, plan, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan, err := RunFanIn(topo, plan, st, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fan.Result.Rows) != len(single.Result.Rows) {
+		t.Fatalf("fan-in result differs: %d vs %d rows",
+			len(fan.Result.Rows), len(single.Result.Rows))
+	}
+	// Final answers agree as multisets. Aggregates are summed in shard
+	// order, so float results are compared after rounding.
+	count := map[string]int{}
+	keys := func(r schema.Row) string {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			if v.Type() == schema.TypeFloat {
+				parts[i] = schema.Float(math.Round(v.AsFloat()*1e9) / 1e9).Format()
+			} else {
+				parts[i] = v.Format()
+			}
+		}
+		return strings.Join(parts, "|")
+	}
+	for _, r := range single.Result.Rows {
+		count[keys(r)]++
+	}
+	for _, r := range fan.Result.Rows {
+		count[keys(r)]--
+	}
+	for k, v := range count {
+		if v != 0 {
+			t.Fatalf("multiset mismatch at %q", k)
+		}
+	}
+	// Same egress.
+	if fan.EgressBytes != single.EgressBytes {
+		t.Fatalf("egress differs: %d vs %d", fan.EgressBytes, single.EgressBytes)
+	}
+}
+
+func TestFanInParallelSensorsComputeFaster(t *testing.T) {
+	st := testStore(t, 5000)
+	q := "SELECT x, y FROM d WHERE z < 1"
+	plan := mustPlan(t, q)
+	topo := DefaultApartment()
+
+	single, err := RunFanIn(topo, plan, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunFanIn(topo, plan, st, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensor compute parallelizes; the shared radio does not. With the
+	// slow sensor CPU dominating, 64 sensors must be faster overall.
+	if many.SimTime >= single.SimTime {
+		t.Fatalf("64 sensors should beat 1: %v vs %v", many.SimTime, single.SimTime)
+	}
+}
+
+func TestFanInValidation(t *testing.T) {
+	st := testStore(t, 10)
+	plan := mustPlan(t, "SELECT x FROM d")
+	if _, err := RunFanIn(DefaultApartment(), plan, st, 0); err == nil {
+		t.Fatal("zero sensors must fail")
+	}
+}
+
+func TestFanInFirstLinkCarriesAllShards(t *testing.T) {
+	st := testStore(t, 1200)
+	plan := mustPlan(t, "SELECT * FROM d WHERE z < 1")
+	fan, err := RunFanIn(DefaultApartment(), plan, st, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(DefaultApartment(), plan, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fan.Traffic[0].Bytes != single.Traffic[0].Bytes {
+		t.Fatalf("first-link volume should be shard-count independent: %d vs %d",
+			fan.Traffic[0].Bytes, single.Traffic[0].Bytes)
+	}
+}

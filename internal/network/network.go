@@ -1,0 +1,374 @@
+// Package network simulates the vertical peer-to-peer processing chain of
+// Figure 3: sensors at the bottom, appliances and a home media center above
+// them, the apartment PC, and the provider's cloud server on top. Fragments
+// produced by the fragment package are placed on the lowest capable node and
+// executed bottom-up; the simulator accounts rows, bytes and time on every
+// link — in particular the bytes d′ that leave the apartment, the quantity
+// the paper's privacy argument is about.
+//
+// The paper's testbed (real sensors, a real apartment PC, a real cloud) is
+// replaced by this simulator; capability levels, relative compute power and
+// link bandwidths are modelled, so "who can run what" and "what ships where"
+// — the two quantities the paper reasons about — are measured exactly.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"paradise/internal/engine"
+	"paradise/internal/fragment"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// ErrNetwork wraps simulation errors.
+var ErrNetwork = errors.New("network: simulation error")
+
+// Node is one processing peer of the vertical chain.
+type Node struct {
+	// Name identifies the node ("sensor", "appliance", ...).
+	Name string
+	// Level is the node's capability rung (Table 1).
+	Level fragment.Level
+	// Power is the relative processing speed in rows per microsecond.
+	Power float64
+	// MemRows caps how many input rows the node can materialize. A
+	// fragment whose input exceeds the cap triggers the §3.2 fallback:
+	// "the raw data will be sent to a more powerful node".
+	MemRows int
+}
+
+// Link connects two adjacent chain nodes.
+type Link struct {
+	// From and To name the lower and upper node.
+	From, To string
+	// BytesPerMs is the bandwidth.
+	BytesPerMs float64
+	// LatencyMs is the per-shipment latency.
+	LatencyMs float64
+}
+
+// Topology is a bottom-up chain of nodes. Base sensor data lives at
+// Nodes[0]; Links[i] connects Nodes[i] to Nodes[i+1].
+type Topology struct {
+	Nodes []*Node
+	Links []*Link
+}
+
+// Validate checks chain consistency.
+func (t *Topology) Validate() error {
+	if len(t.Nodes) < 2 {
+		return fmt.Errorf("%w: chain needs at least two nodes", ErrNetwork)
+	}
+	if len(t.Links) != len(t.Nodes)-1 {
+		return fmt.Errorf("%w: %d nodes need %d links, have %d",
+			ErrNetwork, len(t.Nodes), len(t.Nodes)-1, len(t.Links))
+	}
+	for i, l := range t.Links {
+		if l.From != t.Nodes[i].Name || l.To != t.Nodes[i+1].Name {
+			return fmt.Errorf("%w: link %d (%s->%s) does not match chain order (%s->%s)",
+				ErrNetwork, i, l.From, l.To, t.Nodes[i].Name, t.Nodes[i+1].Name)
+		}
+		if l.BytesPerMs <= 0 {
+			return fmt.Errorf("%w: link %s->%s has non-positive bandwidth", ErrNetwork, l.From, l.To)
+		}
+	}
+	for i := 1; i < len(t.Nodes); i++ {
+		if t.Nodes[i].Level < t.Nodes[i-1].Level {
+			return fmt.Errorf("%w: node %s (%s) less capable than the node below it",
+				ErrNetwork, t.Nodes[i].Name, t.Nodes[i].Level)
+		}
+	}
+	if t.Nodes[len(t.Nodes)-1].Level != fragment.LevelCloud {
+		return fmt.Errorf("%w: top node must be the cloud", ErrNetwork)
+	}
+	return nil
+}
+
+// CloudIndex returns the index of the top node.
+func (t *Topology) CloudIndex() int { return len(t.Nodes) - 1 }
+
+// EgressLink returns the last link — the one crossing the apartment
+// boundary into the cloud.
+func (t *Topology) EgressLink() *Link { return t.Links[len(t.Links)-1] }
+
+// DefaultApartment builds the Figure 3 chain: sensor → appliance →
+// media center → apartment PC → cloud. Power and bandwidth values model the
+// relative capabilities of Table 1 (absolute values are arbitrary but
+// consistent: each rung is roughly an order of magnitude faster).
+func DefaultApartment() *Topology {
+	return &Topology{
+		Nodes: []*Node{
+			{Name: "sensor", Level: fragment.LevelSensor, Power: 0.01, MemRows: 50_000},
+			{Name: "appliance", Level: fragment.LevelAppliance, Power: 0.1, MemRows: 500_000},
+			{Name: "mediacenter", Level: fragment.LevelAppliance, Power: 0.5, MemRows: 2_000_000},
+			{Name: "pc", Level: fragment.LevelPC, Power: 2, MemRows: 20_000_000},
+			{Name: "cloud", Level: fragment.LevelCloud, Power: 20, MemRows: 1 << 40},
+		},
+		Links: []*Link{
+			{From: "sensor", To: "appliance", BytesPerMs: 31, LatencyMs: 5},         // 250 kbit/s sensor radio
+			{From: "appliance", To: "mediacenter", BytesPerMs: 1_250, LatencyMs: 2}, // 10 Mbit/s home network
+			{From: "mediacenter", To: "pc", BytesPerMs: 12_500, LatencyMs: 1},       // 100 Mbit/s LAN
+			{From: "pc", To: "cloud", BytesPerMs: 1_250, LatencyMs: 20},             // 10 Mbit/s uplink
+		},
+	}
+}
+
+// HopTraffic records bytes shipped over one link during a run.
+type HopTraffic struct {
+	Link  *Link
+	Bytes int
+	Rows  int
+}
+
+// Assignment records where a fragment executed.
+type Assignment struct {
+	Fragment *fragment.Fragment
+	Node     *Node
+	InRows   int
+	OutRows  int
+	OutBytes int
+	// FellBack is set when the §3.2 weak-node fallback forwarded raw data
+	// past the intended node.
+	FellBack bool
+}
+
+// RunStats is the outcome of a simulated execution.
+type RunStats struct {
+	Result      *engine.Result
+	Assignments []Assignment
+	Traffic     []HopTraffic
+	// EgressBytes is the data volume leaving the apartment (d′).
+	EgressBytes int
+	// RawBytes is the size of the raw base data at the sensor (d).
+	RawBytes int
+	// SimTime is the simulated wall-clock: compute plus transfer.
+	SimTime time.Duration
+}
+
+// Reduction returns |d| / |d′| — how much less data leaves the apartment
+// than the raw data the naive execution would ship.
+func (r *RunStats) Reduction() float64 {
+	if r.EgressBytes == 0 {
+		if r.RawBytes == 0 {
+			return 1
+		}
+		return float64(r.RawBytes)
+	}
+	return float64(r.RawBytes) / float64(r.EgressBytes)
+}
+
+// Summary renders the run for reports.
+func (r *RunStats) Summary() string {
+	var b strings.Builder
+	for _, a := range r.Assignments {
+		fb := ""
+		if a.FellBack {
+			fb = " [fallback]"
+		}
+		fmt.Fprintf(&b, "Q%d @ %-12s in=%-8d out=%-8d bytes=%-10d%s\n",
+			a.Fragment.Stage, a.Node.Name, a.InRows, a.OutRows, a.OutBytes, fb)
+	}
+	for _, h := range r.Traffic {
+		fmt.Fprintf(&b, "link %-12s -> %-12s rows=%-8d bytes=%d\n", h.Link.From, h.Link.To, h.Rows, h.Bytes)
+	}
+	fmt.Fprintf(&b, "egress (d'): %d bytes, raw (d): %d bytes, reduction %.1fx, simulated time %v\n",
+		r.EgressBytes, r.RawBytes, r.Reduction(), r.SimTime)
+	return b.String()
+}
+
+// Run executes a fragment plan over the topology. Base relations are read
+// from src (conceptually resident at the bottom node). Each fragment runs on
+// the lowest node at or above the current data position that satisfies its
+// capability level and memory cap; the fragment's input ships hop by hop to
+// that node, with bytes and time accounted per link.
+func Run(topo *Topology, plan *fragment.Plan, src engine.Source) (*RunStats, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	stats := &RunStats{}
+	stats.RawBytes = rawSize(plan, src)
+
+	hop := make([]HopTraffic, len(topo.Links))
+	for i := range hop {
+		hop[i] = HopTraffic{Link: topo.Links[i]}
+	}
+
+	pos := 0 // index of the node currently holding the data
+	used := make([]bool, len(topo.Nodes))
+	var curName string
+	var curRel *schema.Relation
+	var curRows schema.Rows
+	var simMs float64
+
+	for _, f := range plan.Fragments {
+		// Input row count for memory checks: base relations are only
+		// known to the engine, so measure via the materialized input when
+		// available; the first fragment reads base data directly.
+		inRows := len(curRows)
+		if curRel == nil {
+			inRows = baseRows(f, src)
+		}
+
+		// Find the execution node: the lowest unused node at or above the
+		// current data position that is capable and strong enough. Each
+		// node runs at most one fragment — the paper's chain assigns the
+		// appliance and the media center consecutive fragments — except
+		// the cloud, which absorbs any overflow.
+		exec := pos
+		fellBack := false
+		for exec < topo.CloudIndex() &&
+			(topo.Nodes[exec].Level < f.MinLevel || topo.Nodes[exec].MemRows < inRows || used[exec]) {
+			if topo.Nodes[exec].Level >= f.MinLevel && topo.Nodes[exec].MemRows < inRows {
+				fellBack = true // capable but too weak: §3.2 fallback
+			}
+			exec++
+		}
+		if topo.Nodes[exec].Level < f.MinLevel {
+			return nil, fmt.Errorf("%w: no node can run fragment Q%d (needs %s)",
+				ErrNetwork, f.Stage, f.MinLevel)
+		}
+
+		// Ship current data up to the execution node.
+		if curRel != nil {
+			bytes := curRows.WireSize()
+			for i := pos; i < exec; i++ {
+				hop[i].Bytes += bytes
+				hop[i].Rows += len(curRows)
+				simMs += topo.Links[i].LatencyMs + float64(bytes)/topo.Links[i].BytesPerMs
+			}
+		}
+		pos = exec
+		used[pos] = true
+		node := topo.Nodes[pos]
+
+		// Execute the fragment on this node.
+		stageSrc := engine.Source(src)
+		if curRel != nil {
+			stageSrc = &overlaySource{base: src, name: curName, rel: curRel, rows: curRows}
+		}
+		res, err := engine.New(stageSrc).Select(f.Query)
+		if err != nil {
+			return nil, fmt.Errorf("network: Q%d on %s: %w", f.Stage, node.Name, err)
+		}
+		if node.Power > 0 {
+			simMs += float64(inRows) / node.Power / 1000
+		}
+
+		curName = f.Output
+		curRel = res.Schema.Clone(f.Output)
+		curRows = res.Rows
+		stats.Assignments = append(stats.Assignments, Assignment{
+			Fragment: f, Node: node, InRows: inRows,
+			OutRows: len(res.Rows), OutBytes: res.Rows.WireSize(),
+			FellBack: fellBack,
+		})
+		stats.Result = &engine.Result{Schema: curRel, Rows: curRows}
+	}
+
+	// The final result always travels to the cloud (the requester).
+	if curRel != nil && pos < topo.CloudIndex() {
+		bytes := curRows.WireSize()
+		for i := pos; i < topo.CloudIndex(); i++ {
+			hop[i].Bytes += bytes
+			hop[i].Rows += len(curRows)
+			simMs += topo.Links[i].LatencyMs + float64(bytes)/topo.Links[i].BytesPerMs
+		}
+	}
+
+	stats.Traffic = hop
+	stats.EgressBytes = hop[len(hop)-1].Bytes
+	stats.SimTime = time.Duration(simMs * float64(time.Millisecond))
+	return stats, nil
+}
+
+// RunNaive simulates the baseline without fragmentation: the raw base data
+// ships all the way to the cloud, which executes the whole query there.
+func RunNaive(topo *Topology, q *sqlparser.Select, src engine.Source) (*RunStats, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	stats := &RunStats{}
+
+	// Total raw bytes of every base relation the query touches.
+	raw := 0
+	rawRows := 0
+	for _, tbl := range sqlparser.BaseTables(q) {
+		_, rows, err := src.Relation(tbl)
+		if err != nil {
+			return nil, fmt.Errorf("network: naive run: %w", err)
+		}
+		raw += rows.WireSize()
+		rawRows += len(rows)
+	}
+	stats.RawBytes = raw
+
+	hop := make([]HopTraffic, len(topo.Links))
+	var simMs float64
+	for i := range hop {
+		hop[i] = HopTraffic{Link: topo.Links[i], Bytes: raw, Rows: rawRows}
+		simMs += topo.Links[i].LatencyMs + float64(raw)/topo.Links[i].BytesPerMs
+	}
+
+	res, err := engine.New(src).Select(q)
+	if err != nil {
+		return nil, fmt.Errorf("network: naive cloud execution: %w", err)
+	}
+	cloud := topo.Nodes[topo.CloudIndex()]
+	if cloud.Power > 0 {
+		simMs += float64(rawRows) / cloud.Power / 1000
+	}
+
+	stats.Result = res
+	stats.Traffic = hop
+	stats.EgressBytes = raw
+	stats.SimTime = time.Duration(simMs * float64(time.Millisecond))
+	stats.Assignments = []Assignment{{Node: cloud, InRows: rawRows, OutRows: len(res.Rows), OutBytes: res.Rows.WireSize()}}
+	return stats, nil
+}
+
+// overlaySource exposes an intermediate result under its stage name on top
+// of the base source.
+type overlaySource struct {
+	base engine.Source
+	name string
+	rel  *schema.Relation
+	rows schema.Rows
+}
+
+func (o *overlaySource) Relation(name string) (*schema.Relation, schema.Rows, error) {
+	if name == o.name {
+		return o.rel, o.rows, nil
+	}
+	return o.base.Relation(name)
+}
+
+// rawSize measures the wire size of every base relation the plan reads.
+func rawSize(plan *fragment.Plan, src engine.Source) int {
+	total := 0
+	seen := map[string]bool{}
+	for _, t := range sqlparser.BaseTables(plan.Original) {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if _, rows, err := src.Relation(t); err == nil {
+			total += rows.WireSize()
+		}
+	}
+	return total
+}
+
+// baseRows counts the input rows of a fragment reading base relations.
+func baseRows(f *fragment.Fragment, src engine.Source) int {
+	total := 0
+	for _, t := range sqlparser.BaseTables(f.Query) {
+		if _, rows, err := src.Relation(t); err == nil {
+			total += len(rows)
+		}
+	}
+	return total
+}

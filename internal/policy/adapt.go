@@ -1,0 +1,179 @@
+package policy
+
+import (
+	"sort"
+	"strings"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// This file implements the paper's "module for the automatic generation of
+// privacy settings" (§3): it produces default policies for new devices and
+// adapts existing user-defined policies to changed schemas and queries.
+
+// DefaultModule generates a privacy module for a relation: attributes
+// flagged Sensitive in the schema are denied, everything else is allowed
+// without conditions. This is the conservative default applied when a new
+// device joins the ensemble and the user has not configured it yet.
+func DefaultModule(id string, rel *schema.Relation) *Module {
+	m := &Module{ID: id}
+	for _, c := range rel.Columns {
+		m.Attributes = append(m.Attributes, &Attribute{Name: c.Name, Allow: !c.Sensitive})
+	}
+	return m
+}
+
+// Adapt extends a module to cover a (possibly grown) relation schema: new
+// attributes get the conservative default, existing rules are kept
+// untouched. The returned module is a deep copy; the input is not modified.
+func Adapt(m *Module, rel *schema.Relation) *Module {
+	out := cloneModule(m)
+	for _, c := range rel.Columns {
+		if _, ok := out.Attribute(c.Name); !ok {
+			out.Attributes = append(out.Attributes, &Attribute{Name: c.Name, Allow: !c.Sensitive})
+		}
+	}
+	return out
+}
+
+// Merge combines two modules for the same analysis, strictest-wins: an
+// attribute is allowed only if both allow it; conditions are unioned
+// (conjunctive, so more conditions = stricter); of two mandated
+// aggregations the one with the larger group-by set (coarser disclosure
+// control) wins, ties broken toward a's.
+func Merge(a, b *Module) *Module {
+	out := &Module{ID: a.ID}
+	names := map[string]bool{}
+	var order []string
+	for _, at := range append(append([]*Attribute{}, a.Attributes...), b.Attributes...) {
+		if !names[at.Name] {
+			names[at.Name] = true
+			order = append(order, at.Name)
+		}
+	}
+	for _, n := range order {
+		aa, aok := a.Attribute(n)
+		ba, bok := b.Attribute(n)
+		switch {
+		case aok && bok:
+			na := &Attribute{Name: n, Allow: aa.Allow && ba.Allow}
+			if na.Allow {
+				na.Conditions = append(cloneExprs(aa.Conditions), cloneExprs(ba.Conditions)...)
+				na.Conditions = dedupeExprs(na.Conditions)
+				na.Aggregation = mergeAggregation(aa.Aggregation, ba.Aggregation)
+				// Coarser (larger) compression grid is stricter.
+				na.CompressionGrid = aa.CompressionGrid
+				if ba.CompressionGrid > na.CompressionGrid {
+					na.CompressionGrid = ba.CompressionGrid
+				}
+			}
+			out.Attributes = append(out.Attributes, na)
+		case aok:
+			out.Attributes = append(out.Attributes, cloneAttribute(aa))
+		default:
+			out.Attributes = append(out.Attributes, cloneAttribute(ba))
+		}
+	}
+	out.Stream = mergeStream(a.Stream, b.Stream)
+	return out
+}
+
+func mergeAggregation(a, b *Aggregation) *Aggregation {
+	switch {
+	case a == nil && b == nil:
+		return nil
+	case a == nil:
+		return cloneAggregation(b)
+	case b == nil:
+		return cloneAggregation(a)
+	case len(b.GroupBy) > len(a.GroupBy):
+		return cloneAggregation(b)
+	default:
+		return cloneAggregation(a)
+	}
+}
+
+func mergeStream(a, b *StreamRules) *StreamRules {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := &StreamRules{}
+	if a != nil {
+		*out = *a
+	}
+	if b != nil {
+		if b.MinQueryIntervalMs > out.MinQueryIntervalMs {
+			out.MinQueryIntervalMs = b.MinQueryIntervalMs
+		}
+		if b.MinAggregationWindowMs > out.MinAggregationWindowMs {
+			out.MinAggregationWindowMs = b.MinAggregationWindowMs
+		}
+	}
+	return out
+}
+
+// GenerateForCatalog builds a policy with one default module per relation in
+// the catalog, module IDs matching relation names.
+func GenerateForCatalog(cat *schema.Catalog) *Policy {
+	p := &Policy{}
+	names := cat.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		rel, _ := cat.Lookup(n)
+		p.Modules = append(p.Modules, DefaultModule(n, rel))
+	}
+	return p
+}
+
+func cloneModule(m *Module) *Module {
+	out := &Module{ID: m.ID}
+	for _, a := range m.Attributes {
+		out.Attributes = append(out.Attributes, cloneAttribute(a))
+	}
+	if m.Stream != nil {
+		s := *m.Stream
+		out.Stream = &s
+	}
+	return out
+}
+
+func cloneAttribute(a *Attribute) *Attribute {
+	return &Attribute{
+		Name:            a.Name,
+		Allow:           a.Allow,
+		Conditions:      cloneExprs(a.Conditions),
+		Aggregation:     cloneAggregation(a.Aggregation),
+		CompressionGrid: a.CompressionGrid,
+	}
+}
+
+func cloneAggregation(ag *Aggregation) *Aggregation {
+	if ag == nil {
+		return nil
+	}
+	out := &Aggregation{Type: ag.Type, GroupBy: append([]string{}, ag.GroupBy...)}
+	out.Having = sqlparser.CloneExpr(ag.Having)
+	return out
+}
+
+func cloneExprs(es []sqlparser.Expr) []sqlparser.Expr {
+	out := make([]sqlparser.Expr, len(es))
+	for i, e := range es {
+		out[i] = sqlparser.CloneExpr(e)
+	}
+	return out
+}
+
+func dedupeExprs(es []sqlparser.Expr) []sqlparser.Expr {
+	seen := map[string]bool{}
+	var out []sqlparser.Expr
+	for _, e := range es {
+		k := strings.ToLower(e.SQL())
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Package policy implements the user-defined privacy policies of Grunert &
+// Heuer (§3.3, Figure 4): a P3P-inspired XML dialect that — per analysis
+// module and per attribute — states whether the attribute may be revealed,
+// under which atomic conditions, and whether it must be aggregated (with
+// mandatory GROUP BY and HAVING safeguards). Beyond the W3C P3P draft the
+// dialect adds stream settings: the allowed query interval and the possible
+// aggregation levels (§3.3).
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"paradise/internal/sqlparser"
+)
+
+// ErrPolicy wraps all policy validation errors.
+var ErrPolicy = errors.New("policy: invalid policy")
+
+// Policy is a set of modules, one per analysis functionality (the paper's
+// example module is "ActionFilter" for the activity-recognition filter).
+type Policy struct {
+	Modules []*Module
+}
+
+// Module holds the per-attribute rules for one analysis module.
+type Module struct {
+	// ID names the analysis functionality the rules apply to.
+	ID string
+	// Attributes lists the rules per attribute. Attributes not listed are
+	// denied (data-minimization default).
+	Attributes []*Attribute
+	// Stream carries the stream-specific settings (allowed query interval,
+	// aggregation level) that the paper adds over P3P.
+	Stream *StreamRules
+}
+
+// Attribute is the rule set for one attribute of the queried data.
+type Attribute struct {
+	// Name of the attribute, lower-cased.
+	Name string
+	// Allow: when false the attribute must not appear in any result.
+	Allow bool
+	// Conditions are atomic conditions that must hold for every revealed
+	// tuple (conjunctively merged into the innermost WHERE/HAVING).
+	Conditions []sqlparser.Expr
+	// Aggregation, when set, restricts the attribute to aggregated form.
+	Aggregation *Aggregation
+	// CompressionGrid, when positive, reveals the attribute only snapped
+	// to a grid of this width — the "compression" record modification of
+	// §3.3 (e.g. 0.25 releases positions at 25 cm resolution).
+	CompressionGrid float64
+}
+
+// Aggregation mandates that an attribute may only be revealed aggregated.
+type Aggregation struct {
+	// Type is the aggregate function (AVG in Figure 4), lower-cased.
+	Type string
+	// GroupBy are the attributes the aggregation must be grouped by.
+	GroupBy []string
+	// Having is an additional guard on each grouping set (Figure 4:
+	// SUM(z) > 100 ensures enough values enter each average).
+	Having sqlparser.Expr
+}
+
+// StreamRules carries the data-stream extensions of §3.3.
+type StreamRules struct {
+	// MinQueryIntervalMs is the minimum time between consecutive queries
+	// of the module against the stream; 0 means unrestricted.
+	MinQueryIntervalMs int64
+	// MinAggregationWindowMs is the smallest window over which stream
+	// values may be aggregated before leaving the sensor; 0 means raw
+	// values may leave.
+	MinAggregationWindowMs int64
+}
+
+// ModuleByID finds a module.
+func (p *Policy) ModuleByID(id string) (*Module, bool) {
+	for _, m := range p.Modules {
+		if strings.EqualFold(m.ID, id) {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Attribute finds the rule for an attribute name; found=false means the
+// attribute is not mentioned and therefore denied.
+func (m *Module) Attribute(name string) (*Attribute, bool) {
+	name = strings.ToLower(name)
+	for _, a := range m.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Allowed reports whether the attribute may appear (in any form).
+func (m *Module) Allowed(name string) bool {
+	a, ok := m.Attribute(name)
+	return ok && a.Allow
+}
+
+// DeniedOf returns the attributes of the given list that the module denies.
+func (m *Module) DeniedOf(names []string) []string {
+	var out []string
+	for _, n := range names {
+		if !m.Allowed(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Conditions returns every atomic condition of every allowed attribute,
+// in declaration order. These are the conjuncts the rewriter injects.
+func (m *Module) Conditions() []sqlparser.Expr {
+	var out []sqlparser.Expr
+	for _, a := range m.Attributes {
+		if !a.Allow {
+			continue
+		}
+		out = append(out, a.Conditions...)
+	}
+	return out
+}
+
+// Validate checks structural soundness: non-empty IDs and names, known
+// aggregation types, parseable conditions are guaranteed by construction
+// (they are parsed during load), group-by attributes must be allowed.
+func (p *Policy) Validate() error {
+	if len(p.Modules) == 0 {
+		return fmt.Errorf("%w: no modules", ErrPolicy)
+	}
+	seen := map[string]bool{}
+	for _, m := range p.Modules {
+		if m.ID == "" {
+			return fmt.Errorf("%w: module without module_ID", ErrPolicy)
+		}
+		if seen[strings.ToLower(m.ID)] {
+			return fmt.Errorf("%w: duplicate module %q", ErrPolicy, m.ID)
+		}
+		seen[strings.ToLower(m.ID)] = true
+		if err := m.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Module) validate() error {
+	names := map[string]bool{}
+	for _, a := range m.Attributes {
+		if a.Name == "" {
+			return fmt.Errorf("%w: module %s has attribute without name", ErrPolicy, m.ID)
+		}
+		if names[a.Name] {
+			return fmt.Errorf("%w: module %s lists attribute %q twice", ErrPolicy, m.ID, a.Name)
+		}
+		names[a.Name] = true
+		if a.Aggregation != nil {
+			ag := a.Aggregation
+			if !sqlparser.AggregateFunctions[ag.Type] {
+				return fmt.Errorf("%w: module %s attribute %s: unknown aggregation type %q",
+					ErrPolicy, m.ID, a.Name, ag.Type)
+			}
+			for _, g := range ag.GroupBy {
+				ga, ok := m.Attribute(g)
+				if !ok || !ga.Allow {
+					return fmt.Errorf("%w: module %s attribute %s: group-by attribute %q is not allowed by the policy",
+						ErrPolicy, m.ID, a.Name, g)
+				}
+			}
+		}
+		if !a.Allow && (len(a.Conditions) > 0 || a.Aggregation != nil || a.CompressionGrid != 0) {
+			return fmt.Errorf("%w: module %s attribute %s: denied attributes cannot carry conditions, aggregations or compression",
+				ErrPolicy, m.ID, a.Name)
+		}
+		if a.CompressionGrid < 0 {
+			return fmt.Errorf("%w: module %s attribute %s: negative compression grid",
+				ErrPolicy, m.ID, a.Name)
+		}
+	}
+	if m.Stream != nil {
+		if m.Stream.MinQueryIntervalMs < 0 || m.Stream.MinAggregationWindowMs < 0 {
+			return fmt.Errorf("%w: module %s: negative stream intervals", ErrPolicy, m.ID)
+		}
+	}
+	return nil
+}
+
+// AliasFor derives the output alias the rewriter gives a mandated
+// aggregation: Figure 4 turns AVG over z into zAVG.
+func (a *Attribute) AliasFor() string {
+	if a.Aggregation == nil {
+		return a.Name
+	}
+	return a.Name + strings.ToUpper(a.Aggregation.Type)
+}

@@ -1,0 +1,279 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+func TestFigure4Policy(t *testing.T) {
+	p := Figure4()
+	m, ok := p.ModuleByID("ActionFilter")
+	if !ok {
+		t.Fatal("ActionFilter module missing")
+	}
+	if len(m.Attributes) != 4 {
+		t.Fatalf("want 4 attributes, got %d", len(m.Attributes))
+	}
+
+	x, ok := m.Attribute("x")
+	if !ok || !x.Allow || len(x.Conditions) != 1 || x.Conditions[0].SQL() != "x > y" {
+		t.Fatalf("x rule wrong: %+v", x)
+	}
+	y, _ := m.Attribute("y")
+	if !y.Allow || len(y.Conditions) != 0 || y.Aggregation != nil {
+		t.Fatalf("y rule wrong: %+v", y)
+	}
+	z, _ := m.Attribute("z")
+	if !z.Allow || len(z.Conditions) != 1 || z.Conditions[0].SQL() != "z < 2" {
+		t.Fatalf("z conditions wrong: %+v", z)
+	}
+	if z.Aggregation == nil || z.Aggregation.Type != "avg" {
+		t.Fatalf("z aggregation wrong: %+v", z.Aggregation)
+	}
+	if len(z.Aggregation.GroupBy) != 2 || z.Aggregation.GroupBy[0] != "x" || z.Aggregation.GroupBy[1] != "y" {
+		t.Fatalf("z group-by wrong: %v", z.Aggregation.GroupBy)
+	}
+	if z.Aggregation.Having == nil || z.Aggregation.Having.SQL() != "SUM(z) > 100" {
+		t.Fatalf("z having wrong: %v", z.Aggregation.Having)
+	}
+	if z.AliasFor() != "zAVG" {
+		t.Fatalf("alias = %q", z.AliasFor())
+	}
+	if !m.Allowed("t") || m.Allowed("user") {
+		t.Fatal("allow flags wrong")
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	m, _ := Figure4().ModuleByID("actionfilter") // case-insensitive
+	if m == nil {
+		t.Fatal("case-insensitive module lookup")
+	}
+	denied := m.DeniedOf([]string{"x", "user", "tag_id"})
+	if len(denied) != 2 {
+		t.Fatalf("denied = %v", denied)
+	}
+	conds := m.Conditions()
+	if len(conds) != 2 {
+		t.Fatalf("conditions = %d", len(conds))
+	}
+}
+
+func TestParseBareModuleAndPolicyRoot(t *testing.T) {
+	bare := `<module module_ID="m1"><attributeList>
+		<attribute name="a"><allow>true</allow></attribute>
+	</attributeList></module>`
+	p, err := ParseBytes([]byte(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Modules) != 1 || p.Modules[0].ID != "m1" {
+		t.Fatalf("bare module parse: %+v", p)
+	}
+
+	wrapped := `<policy>
+		<module module_ID="m1"><attributeList>
+			<attribute name="a"><allow>true</allow></attribute>
+		</attributeList></module>
+		<module module_ID="m2"><attributeList>
+			<attribute name="b"><allow>false</allow></attribute>
+		</attributeList></module>
+	</policy>`
+	p, err = ParseBytes([]byte(wrapped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Modules) != 2 {
+		t.Fatalf("want 2 modules, got %d", len(p.Modules))
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := Figure4()
+	p.Modules[0].Stream = &StreamRules{MinQueryIntervalMs: 1000, MinAggregationWindowMs: 60000}
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseBytes(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, data)
+	}
+	m, _ := p2.ModuleByID("ActionFilter")
+	z, _ := m.Attribute("z")
+	if z.Aggregation == nil || z.Aggregation.Having.SQL() != "SUM(z) > 100" {
+		t.Fatal("aggregation lost in round trip")
+	}
+	if m.Stream == nil || m.Stream.MinQueryIntervalMs != 1000 {
+		t.Fatal("stream rules lost in round trip")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []string{
+		// unparseable condition
+		`<module module_ID="m"><attributeList>
+			<attribute name="a"><allow>true</allow>
+			<condition><atomicCondition>a >></atomicCondition></condition>
+			</attribute></attributeList></module>`,
+		// unknown aggregation type
+		`<module module_ID="m"><attributeList>
+			<attribute name="a"><allow>true</allow>
+			<aggregation><aggregationType>FOO</aggregationType></aggregation>
+			</attribute></attributeList></module>`,
+		// group-by references denied attribute
+		`<module module_ID="m"><attributeList>
+			<attribute name="a"><allow>true</allow>
+			<aggregation><aggregationType>AVG</aggregationType><groupBy>b</groupBy></aggregation>
+			</attribute>
+			<attribute name="b"><allow>false</allow></attribute>
+			</attributeList></module>`,
+		// duplicate attribute
+		`<module module_ID="m"><attributeList>
+			<attribute name="a"><allow>true</allow></attribute>
+			<attribute name="a"><allow>true</allow></attribute>
+			</attributeList></module>`,
+		// missing module id
+		`<module><attributeList>
+			<attribute name="a"><allow>true</allow></attribute>
+			</attributeList></module>`,
+		// denied attribute with conditions
+		`<module module_ID="m"><attributeList>
+			<attribute name="a"><allow>false</allow>
+			<condition><atomicCondition>a &gt; 1</atomicCondition></condition>
+			</attribute></attributeList></module>`,
+	}
+	for i, doc := range cases {
+		if _, err := ParseBytes([]byte(doc)); !errors.Is(err, ErrPolicy) {
+			t.Errorf("case %d: want ErrPolicy, got %v", i, err)
+		}
+	}
+}
+
+func TestDefaultModule(t *testing.T) {
+	rel := schema.NewRelation("ubisense",
+		schema.SensitiveCol("tag_id", schema.TypeInt),
+		schema.Col("x", schema.TypeFloat),
+	)
+	m := DefaultModule("ubisense", rel)
+	if m.Allowed("tag_id") {
+		t.Fatal("sensitive column should default to denied")
+	}
+	if !m.Allowed("x") {
+		t.Fatal("plain column should default to allowed")
+	}
+}
+
+func TestAdaptAddsNewAttributes(t *testing.T) {
+	m, _ := Figure4().ModuleByID("ActionFilter")
+	rel := schema.NewRelation("d",
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("humidity", schema.TypeFloat),
+		schema.SensitiveCol("user", schema.TypeString),
+	)
+	out := Adapt(m, rel)
+	if !out.Allowed("humidity") {
+		t.Fatal("new plain column should be allowed")
+	}
+	if out.Allowed("user") {
+		t.Fatal("new sensitive column should be denied")
+	}
+	// Existing rules untouched.
+	z, _ := out.Attribute("z")
+	if z.Aggregation == nil {
+		t.Fatal("existing aggregation lost")
+	}
+	// Input unchanged.
+	if _, ok := m.Attribute("humidity"); ok {
+		t.Fatal("Adapt mutated its input")
+	}
+}
+
+func TestMergeStrictestWins(t *testing.T) {
+	mkModule := func(allowA bool, condA string) *Module {
+		m := &Module{ID: "m", Attributes: []*Attribute{
+			{Name: "a", Allow: allowA},
+			{Name: "b", Allow: true},
+		}}
+		if condA != "" {
+			e, err := sqlparser.ParseExpr(condA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Attributes[0].Conditions = []sqlparser.Expr{e}
+		}
+		return m
+	}
+	// allow ∧ deny = deny
+	out := Merge(mkModule(true, ""), mkModule(false, ""))
+	if out.Allowed("a") {
+		t.Fatal("merge should deny when either denies")
+	}
+	// conditions union
+	out = Merge(mkModule(true, "a > 1"), mkModule(true, "a < 9"))
+	a, _ := out.Attribute("a")
+	if len(a.Conditions) != 2 {
+		t.Fatalf("conditions = %v", a.Conditions)
+	}
+	// duplicate conditions dedupe
+	out = Merge(mkModule(true, "a > 1"), mkModule(true, "a > 1"))
+	a, _ = out.Attribute("a")
+	if len(a.Conditions) != 1 {
+		t.Fatalf("dedupe failed: %v", a.Conditions)
+	}
+}
+
+func TestMergeAggregationAndStream(t *testing.T) {
+	a := &Module{ID: "m", Attributes: []*Attribute{
+		{Name: "z", Allow: true, Aggregation: &Aggregation{Type: "avg", GroupBy: []string{"x"}}},
+		{Name: "x", Allow: true},
+		{Name: "y", Allow: true},
+	}, Stream: &StreamRules{MinQueryIntervalMs: 500}}
+	b := &Module{ID: "m", Attributes: []*Attribute{
+		{Name: "z", Allow: true, Aggregation: &Aggregation{Type: "avg", GroupBy: []string{"x", "y"}}},
+		{Name: "x", Allow: true},
+		{Name: "y", Allow: true},
+	}, Stream: &StreamRules{MinQueryIntervalMs: 1000}}
+	out := Merge(a, b)
+	z, _ := out.Attribute("z")
+	if len(z.Aggregation.GroupBy) != 2 {
+		t.Fatal("coarser aggregation (larger group-by) should win")
+	}
+	if out.Stream.MinQueryIntervalMs != 1000 {
+		t.Fatal("stricter stream interval should win")
+	}
+}
+
+func TestGenerateForCatalog(t *testing.T) {
+	cat := schema.NewCatalog()
+	cat.Register(schema.NewRelation("a", schema.Col("v", schema.TypeInt)))
+	cat.Register(schema.NewRelation("b", schema.SensitiveCol("w", schema.TypeString)))
+	p := GenerateForCatalog(cat)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Modules) != 2 {
+		t.Fatalf("modules = %d", len(p.Modules))
+	}
+	mb, _ := p.ModuleByID("b")
+	if mb.Allowed("w") {
+		t.Fatal("sensitive defaults to denied")
+	}
+}
+
+func TestMarshalContainsFigure4Shape(t *testing.T) {
+	data, err := Marshal(Figure4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"ActionFilter", "attributeList", "aggregationType", "AVG", "SUM(z) &gt; 100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("marshalled policy lacks %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package policy
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"paradise/internal/sqlparser"
+)
+
+// The wire format mirrors Figure 4 of the paper:
+//
+//	<module module_ID="ActionFilter">
+//	  <attributeList>
+//	    <attribute name="z">
+//	      <allow>true</allow>
+//	      <condition><atomicCondition>z&lt;2</atomicCondition></condition>
+//	      <aggregation>
+//	        <aggregationType>AVG</aggregationType>
+//	        <groupBy>x, y</groupBy>
+//	        <having>SUM(z)&gt;100</having>
+//	      </aggregation>
+//	    </attribute>
+//	  </attributeList>
+//	</module>
+//
+// Multiple modules are wrapped in a <policy> root; a single bare <module>
+// document (as printed in the paper) is accepted too.
+
+type xmlPolicy struct {
+	XMLName xml.Name    `xml:"policy"`
+	Modules []xmlModule `xml:"module"`
+}
+
+type xmlModule struct {
+	XMLName xml.Name       `xml:"module"`
+	ID      string         `xml:"module_ID,attr"`
+	Attrs   []xmlAttribute `xml:"attributeList>attribute"`
+	Stream  *xmlStream     `xml:"stream"`
+}
+
+type xmlAttribute struct {
+	Name        string          `xml:"name,attr"`
+	Allow       bool            `xml:"allow"`
+	Conditions  []xmlCondition  `xml:"condition"`
+	Aggregation *xmlAggregation `xml:"aggregation"`
+	Compression float64         `xml:"compression,omitempty"`
+}
+
+type xmlCondition struct {
+	Atomic []string `xml:"atomicCondition"`
+}
+
+type xmlAggregation struct {
+	Type    string `xml:"aggregationType"`
+	GroupBy string `xml:"groupBy"`
+	Having  string `xml:"having"`
+}
+
+type xmlStream struct {
+	MinQueryIntervalMs     int64 `xml:"minQueryIntervalMs"`
+	MinAggregationWindowMs int64 `xml:"minAggregationWindowMs"`
+}
+
+// Parse reads a policy document. Both a <policy> root with multiple modules
+// and a single bare <module> (Figure 4's form) are accepted. The parsed
+// policy is validated before being returned.
+func Parse(r io.Reader) (*Policy, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("policy: read: %w", err)
+	}
+	return ParseBytes(data)
+}
+
+// ParseBytes parses a policy from memory.
+func ParseBytes(data []byte) (*Policy, error) {
+	trimmed := strings.TrimSpace(string(data))
+	var mods []xmlModule
+	if strings.HasPrefix(trimmed, "<policy") {
+		var doc xmlPolicy
+		if err := xml.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPolicy, err)
+		}
+		mods = doc.Modules
+	} else {
+		var m xmlModule
+		if err := xml.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPolicy, err)
+		}
+		mods = []xmlModule{m}
+	}
+	p := &Policy{}
+	for _, xm := range mods {
+		m, err := fromXMLModule(xm)
+		if err != nil {
+			return nil, err
+		}
+		p.Modules = append(p.Modules, m)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func fromXMLModule(xm xmlModule) (*Module, error) {
+	m := &Module{ID: xm.ID}
+	for _, xa := range xm.Attrs {
+		a := &Attribute{
+			Name:            strings.ToLower(strings.TrimSpace(xa.Name)),
+			Allow:           xa.Allow,
+			CompressionGrid: xa.Compression,
+		}
+		for _, cond := range xa.Conditions {
+			for _, atomic := range cond.Atomic {
+				atomic = strings.TrimSpace(atomic)
+				if atomic == "" {
+					continue
+				}
+				e, err := sqlparser.ParseExpr(atomic)
+				if err != nil {
+					return nil, fmt.Errorf("%w: module %s attribute %s: bad atomic condition %q: %v",
+						ErrPolicy, xm.ID, a.Name, atomic, err)
+				}
+				a.Conditions = append(a.Conditions, e)
+			}
+		}
+		if xa.Aggregation != nil {
+			ag := &Aggregation{Type: strings.ToLower(strings.TrimSpace(xa.Aggregation.Type))}
+			for _, g := range strings.Split(xa.Aggregation.GroupBy, ",") {
+				g = strings.ToLower(strings.TrimSpace(g))
+				if g != "" {
+					ag.GroupBy = append(ag.GroupBy, g)
+				}
+			}
+			if h := strings.TrimSpace(xa.Aggregation.Having); h != "" {
+				e, err := sqlparser.ParseExpr(h)
+				if err != nil {
+					return nil, fmt.Errorf("%w: module %s attribute %s: bad having %q: %v",
+						ErrPolicy, xm.ID, a.Name, h, err)
+				}
+				ag.Having = e
+			}
+			a.Aggregation = ag
+		}
+		m.Attributes = append(m.Attributes, a)
+	}
+	if xm.Stream != nil {
+		m.Stream = &StreamRules{
+			MinQueryIntervalMs:     xm.Stream.MinQueryIntervalMs,
+			MinAggregationWindowMs: xm.Stream.MinAggregationWindowMs,
+		}
+	}
+	return m, nil
+}
+
+// Marshal renders the policy back to XML (round-trippable through Parse).
+func Marshal(p *Policy) ([]byte, error) {
+	doc := xmlPolicy{}
+	for _, m := range p.Modules {
+		xm := xmlModule{ID: m.ID}
+		for _, a := range m.Attributes {
+			xa := xmlAttribute{Name: a.Name, Allow: a.Allow, Compression: a.CompressionGrid}
+			for _, c := range a.Conditions {
+				xa.Conditions = append(xa.Conditions, xmlCondition{Atomic: []string{c.SQL()}})
+			}
+			if a.Aggregation != nil {
+				xa.Aggregation = &xmlAggregation{
+					Type:    strings.ToUpper(a.Aggregation.Type),
+					GroupBy: strings.Join(a.Aggregation.GroupBy, ", "),
+				}
+				if a.Aggregation.Having != nil {
+					xa.Aggregation.Having = a.Aggregation.Having.SQL()
+				}
+			}
+			xm.Attrs = append(xm.Attrs, xa)
+		}
+		if m.Stream != nil {
+			xm.Stream = &xmlStream{
+				MinQueryIntervalMs:     m.Stream.MinQueryIntervalMs,
+				MinAggregationWindowMs: m.Stream.MinAggregationWindowMs,
+			}
+		}
+		doc.Modules = append(doc.Modules, xm)
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("policy: marshal: %w", err)
+	}
+	return out, nil
+}
+
+// Figure4 returns the exact policy printed in Figure 4 of the paper: the
+// ActionFilter module with x (allowed, x>y), y (allowed), z (allowed, z<2,
+// AVG grouped by x,y having SUM(z)>100) and t (allowed).
+func Figure4() *Policy {
+	const doc = `
+<module module_ID="ActionFilter">
+  <attributeList>
+    <attribute name="x">
+      <allow>true</allow>
+      <condition><atomicCondition>x&gt;y</atomicCondition></condition>
+    </attribute>
+    <attribute name="y">
+      <allow>true</allow>
+    </attribute>
+    <attribute name="z">
+      <allow>true</allow>
+      <condition><atomicCondition>z&lt;2</atomicCondition></condition>
+      <aggregation>
+        <aggregationType>AVG</aggregationType>
+        <groupBy>x, y</groupBy>
+        <having>SUM(z)&gt;100</having>
+      </aggregation>
+    </attribute>
+    <attribute name="t">
+      <allow>true</allow>
+    </attribute>
+  </attributeList>
+</module>`
+	p, err := ParseBytes([]byte(doc))
+	if err != nil {
+		// The embedded document is a constant; failing to parse it is a
+		// programming error, not a runtime condition.
+		panic("policy: embedded Figure 4 policy invalid: " + err.Error())
+	}
+	return p
+}

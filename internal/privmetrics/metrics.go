@@ -1,0 +1,205 @@
+// Package privmetrics implements the information-loss and privacy metrics
+// of §3.2: the paper's Direct Distance DD(R, R′), the Kullback–Leibler
+// divergence the preprocessor uses to judge whether enough information
+// survives for the intended analysis, plus the classic discernibility and
+// average-equivalence-class-size measures used to compare anonymization
+// operators.
+package privmetrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"paradise/internal/schema"
+)
+
+// ErrMetrics wraps metric computation errors.
+var ErrMetrics = errors.New("privmetrics: error")
+
+// DirectDistance computes the paper's DD(R, R′) = Σᵢ Σⱼ distance(i, j) with
+// distance(i, j) = 0 when value[Rᵢⱼ] = value[R′ᵢⱼ] and 1 otherwise: the
+// number of cells the anonymization changed. Both relations must have the
+// same shape.
+func DirectDistance(orig, anon schema.Rows) (int, error) {
+	if len(orig) != len(anon) {
+		return 0, fmt.Errorf("%w: DD over different cardinalities (%d vs %d)",
+			ErrMetrics, len(orig), len(anon))
+	}
+	dd := 0
+	for i := range orig {
+		if len(orig[i]) != len(anon[i]) {
+			return 0, fmt.Errorf("%w: DD row %d arity mismatch", ErrMetrics, i)
+		}
+		for j := range orig[i] {
+			if !orig[i][j].Identical(anon[i][j]) {
+				dd++
+			}
+		}
+	}
+	return dd, nil
+}
+
+// DirectDistanceRatio is DD normalized by the total cell count m*n — the
+// paper's "ratio of different values in R′ to the total number of values in
+// R", its quality measure for anonymized results. 0 = unchanged, 1 = every
+// value replaced.
+func DirectDistanceRatio(orig, anon schema.Rows) (float64, error) {
+	dd, err := DirectDistance(orig, anon)
+	if err != nil {
+		return 0, err
+	}
+	cells := 0
+	for _, r := range orig {
+		cells += len(r)
+	}
+	if cells == 0 {
+		return 0, nil
+	}
+	return float64(dd) / float64(cells), nil
+}
+
+// KLDivergence computes D(P ‖ Q) = Σ p log(p/q) over two discrete
+// distributions given as non-negative weight vectors (normalized
+// internally). Bins where p > 0 but q = 0 receive a small smoothing mass so
+// the divergence stays finite, matching the usual practice for empirical
+// histograms [HS10].
+func KLDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("%w: KL over different bin counts (%d vs %d)",
+			ErrMetrics, len(p), len(q))
+	}
+	const eps = 1e-10
+	sp, sq := 0.0, 0.0
+	for i := range p {
+		if p[i] < 0 || q[i] < 0 {
+			return 0, fmt.Errorf("%w: negative histogram weight", ErrMetrics)
+		}
+		sp += p[i] + eps
+		sq += q[i] + eps
+	}
+	d := 0.0
+	for i := range p {
+		pi := (p[i] + eps) / sp
+		qi := (q[i] + eps) / sq
+		d += pi * math.Log(pi/qi)
+	}
+	if d < 0 { // numeric noise
+		d = 0
+	}
+	return d, nil
+}
+
+// ColumnKL measures the information loss of one numeric column between the
+// original and anonymized relation as the KL divergence of equi-width
+// histograms with the given number of bins.
+func ColumnKL(rel *schema.Relation, orig, anon schema.Rows, column string, bins int) (float64, error) {
+	if bins < 2 {
+		return 0, fmt.Errorf("%w: need at least 2 bins", ErrMetrics)
+	}
+	idx, err := rel.Index(column)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrMetrics, err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	collect := func(rows schema.Rows) {
+		for _, r := range rows {
+			if idx < len(r) && r[idx].Type().Numeric() {
+				f := r[idx].AsFloat()
+				lo, hi = math.Min(lo, f), math.Max(hi, f)
+			}
+		}
+	}
+	collect(orig)
+	collect(anon)
+	if !(hi > lo) {
+		// Degenerate column: identical distributions.
+		return 0, nil
+	}
+	hist := func(rows schema.Rows) []float64 {
+		h := make([]float64, bins)
+		for _, r := range rows {
+			if idx < len(r) && r[idx].Type().Numeric() {
+				f := r[idx].AsFloat()
+				b := int((f - lo) / (hi - lo) * float64(bins))
+				if b >= bins {
+					b = bins - 1
+				}
+				if b < 0 {
+					b = 0
+				}
+				h[b]++
+			}
+		}
+		return h
+	}
+	return KLDivergence(hist(orig), hist(anon))
+}
+
+// Discernibility is the classic penalty Σ |class|² over the equivalence
+// classes induced by the quasi-identifier columns: larger classes hide
+// individuals better but cost utility quadratically.
+func Discernibility(rel *schema.Relation, rows schema.Rows, qi []string) (int, error) {
+	classes, err := classSizes(rel, rows, qi)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range classes {
+		total += c * c
+	}
+	return total, nil
+}
+
+// AvgClassSize is the mean equivalence-class size under the
+// quasi-identifiers; k-anonymity guarantees a lower bound of k.
+func AvgClassSize(rel *schema.Relation, rows schema.Rows, qi []string) (float64, error) {
+	classes, err := classSizes(rel, rows, qi)
+	if err != nil {
+		return 0, err
+	}
+	if len(classes) == 0 {
+		return 0, nil
+	}
+	return float64(len(rows)) / float64(len(classes)), nil
+}
+
+// LinkageRisk estimates the re-identification risk as the fraction of rows
+// that are unique under the quasi-identifier combination (an attacker who
+// knows the QI values of a target re-identifies exactly those rows).
+func LinkageRisk(rel *schema.Relation, rows schema.Rows, qi []string) (float64, error) {
+	classes, err := classSizes(rel, rows, qi)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	singles := 0
+	for _, c := range classes {
+		if c == 1 {
+			singles++
+		}
+	}
+	return float64(singles) / float64(len(rows)), nil
+}
+
+func classSizes(rel *schema.Relation, rows schema.Rows, qi []string) ([]int, error) {
+	idx := make([]int, len(qi))
+	for i, c := range qi {
+		j, err := rel.Index(c)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMetrics, err)
+		}
+		idx[i] = j
+	}
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r.GroupKey(idx)]++
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package privmetrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"paradise/internal/schema"
+)
+
+func TestDirectDistance(t *testing.T) {
+	orig := schema.Rows{
+		{schema.Int(1), schema.String("a")},
+		{schema.Int(2), schema.String("b")},
+	}
+	same := orig.Clone()
+	dd, err := DirectDistance(orig, same)
+	if err != nil || dd != 0 {
+		t.Fatalf("identical relations: DD = %d, %v", dd, err)
+	}
+	anon := orig.Clone()
+	anon[0][0] = schema.Int(9)
+	anon[1][1] = schema.String("*")
+	dd, err = DirectDistance(orig, anon)
+	if err != nil || dd != 2 {
+		t.Fatalf("DD = %d, want 2 (%v)", dd, err)
+	}
+	ratio, err := DirectDistanceRatio(orig, anon)
+	if err != nil || math.Abs(ratio-0.5) > 1e-12 {
+		t.Fatalf("ratio = %v, want 0.5", ratio)
+	}
+}
+
+func TestDirectDistanceNullHandling(t *testing.T) {
+	// The paper's distance(i,j) compares values; NULL == NULL counts as
+	// unchanged (Identical semantics).
+	a := schema.Rows{{schema.Null()}}
+	b := schema.Rows{{schema.Null()}}
+	dd, err := DirectDistance(a, b)
+	if err != nil || dd != 0 {
+		t.Fatalf("NULL vs NULL: %d %v", dd, err)
+	}
+	b[0][0] = schema.Int(1)
+	dd, _ = DirectDistance(a, b)
+	if dd != 1 {
+		t.Fatalf("NULL vs 1 should count: %d", dd)
+	}
+}
+
+func TestDirectDistanceShapeErrors(t *testing.T) {
+	a := schema.Rows{{schema.Int(1)}}
+	b := schema.Rows{{schema.Int(1)}, {schema.Int(2)}}
+	if _, err := DirectDistance(a, b); !errors.Is(err, ErrMetrics) {
+		t.Fatal("cardinality mismatch must error")
+	}
+	c := schema.Rows{{schema.Int(1), schema.Int(2)}}
+	if _, err := DirectDistance(a, c); !errors.Is(err, ErrMetrics) {
+		t.Fatal("arity mismatch must error")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	// Identical distributions: 0.
+	d, err := KLDivergence([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || d > 1e-9 {
+		t.Fatalf("proportional histograms should have ~0 divergence: %v %v", d, err)
+	}
+	// Diverging distributions: positive, asymmetric.
+	d1, _ := KLDivergence([]float64{10, 0, 0}, []float64{1, 1, 8})
+	d2, _ := KLDivergence([]float64{1, 1, 8}, []float64{10, 0, 0})
+	if d1 <= 0 || d2 <= 0 {
+		t.Fatalf("divergence should be positive: %v %v", d1, d2)
+	}
+	if math.Abs(d1-d2) < 1e-9 {
+		t.Fatal("KL is asymmetric; both directions equal suggests a bug")
+	}
+	// Errors.
+	if _, err := KLDivergence([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMetrics) {
+		t.Fatal("bin mismatch must error")
+	}
+	if _, err := KLDivergence([]float64{-1}, []float64{1}); !errors.Is(err, ErrMetrics) {
+		t.Fatal("negative weights must error")
+	}
+}
+
+func TestColumnKL(t *testing.T) {
+	rel := schema.NewRelation("r", schema.Col("v", schema.TypeFloat))
+	orig := schema.Rows{}
+	for i := 0; i < 100; i++ {
+		orig = append(orig, schema.Row{schema.Float(float64(i % 10))})
+	}
+	// Unchanged column: zero loss.
+	loss, err := ColumnKL(rel, orig, orig, "v", 10)
+	if err != nil || loss > 1e-9 {
+		t.Fatalf("identical column: %v %v", loss, err)
+	}
+	// Coarsened column (every value snapped to 0): positive loss.
+	anon := orig.Clone()
+	for _, r := range anon {
+		r[0] = schema.Float(0)
+	}
+	loss2, err := ColumnKL(rel, orig, anon, "v", 10)
+	if err != nil || loss2 <= loss {
+		t.Fatalf("coarsening must increase loss: %v vs %v (%v)", loss2, loss, err)
+	}
+	// Unknown column and bad bins.
+	if _, err := ColumnKL(rel, orig, anon, "nope", 10); !errors.Is(err, ErrMetrics) {
+		t.Fatal("unknown column")
+	}
+	if _, err := ColumnKL(rel, orig, anon, "v", 1); !errors.Is(err, ErrMetrics) {
+		t.Fatal("bins < 2")
+	}
+}
+
+func TestDiscernibilityAndClassSize(t *testing.T) {
+	rel := schema.NewRelation("r", schema.Col("q", schema.TypeInt))
+	rows := schema.Rows{
+		{schema.Int(1)}, {schema.Int(1)}, {schema.Int(1)},
+		{schema.Int(2)}, {schema.Int(2)},
+	}
+	disc, err := Discernibility(rel, rows, []string{"q"})
+	if err != nil || disc != 9+4 {
+		t.Fatalf("discernibility = %d, want 13", disc)
+	}
+	avg, err := AvgClassSize(rel, rows, []string{"q"})
+	if err != nil || math.Abs(avg-2.5) > 1e-12 {
+		t.Fatalf("avg class size = %v, want 2.5", avg)
+	}
+}
+
+func TestLinkageRisk(t *testing.T) {
+	rel := schema.NewRelation("r", schema.Col("q", schema.TypeInt))
+	rows := schema.Rows{
+		{schema.Int(1)}, {schema.Int(1)},
+		{schema.Int(2)}, // unique -> re-identifiable
+		{schema.Int(3)}, // unique
+	}
+	risk, err := LinkageRisk(rel, rows, []string{"q"})
+	if err != nil || math.Abs(risk-0.5) > 1e-12 {
+		t.Fatalf("risk = %v, want 0.5", risk)
+	}
+	risk, err = LinkageRisk(rel, nil, []string{"q"})
+	if err != nil || risk != 0 {
+		t.Fatalf("empty relation risk = %v", risk)
+	}
+	if _, err := LinkageRisk(rel, rows, []string{"nope"}); !errors.Is(err, ErrMetrics) {
+		t.Fatal("unknown column must error")
+	}
+}
+
+// The "Golden Path" sanity check of §3.2: generalizing positions must hurt
+// a fine-grained (unintended) analysis more than a coarse (intended) one.
+func TestGoldenPathShape(t *testing.T) {
+	rel := schema.NewRelation("r", schema.Col("v", schema.TypeFloat))
+	orig := schema.Rows{}
+	for i := 0; i < 400; i++ {
+		orig = append(orig, schema.Row{schema.Float(float64(i%40) / 2)})
+	}
+	// Mild generalization: snap to integers (intended analysis works on
+	// coarse positions).
+	mild := orig.Clone()
+	for _, r := range mild {
+		r[0] = schema.Float(math.Round(r[0].AsFloat()))
+	}
+	// Aggressive generalization: snap to one value.
+	hard := orig.Clone()
+	for _, r := range hard {
+		r[0] = schema.Float(10)
+	}
+	lMild, _ := ColumnKL(rel, orig, mild, "v", 16)
+	lHard, _ := ColumnKL(rel, orig, hard, "v", 16)
+	if !(lMild < lHard) {
+		t.Fatalf("mild loss %v should undercut hard loss %v", lMild, lHard)
+	}
+	ddMild, _ := DirectDistanceRatio(orig, mild)
+	ddHard, _ := DirectDistanceRatio(orig, hard)
+	if !(ddMild < ddHard) {
+		t.Fatalf("DD should order the same way: %v vs %v", ddMild, ddHard)
+	}
+}

@@ -1,0 +1,449 @@
+// Package recognition models the activity- and intention-recognition
+// analyses of the paper's smart environment: the R pipeline of §4.2
+// (filterByClass(sqldf(SELECT ...), action="walk", do.plot=F)), a Kalman
+// filter for position smoothing, a height/speed-based activity classifier,
+// and the detection of "SQLable" patterns inside the pipeline ([Weu16]).
+//
+// The paper notes that recognizing the maximal SQL part of an arbitrary R
+// program is undecidable in general; like the cited bachelor thesis it
+// therefore detects *explicit* SQL patterns. Our pipeline IR makes the
+// sqldf boundary first-class, which is exactly the structure those patterns
+// recover from R source.
+package recognition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"paradise/internal/engine"
+	"paradise/internal/schema"
+	"paradise/internal/sensors"
+	"paradise/internal/sqlparser"
+)
+
+// ErrPipeline wraps pipeline evaluation errors.
+var ErrPipeline = errors.New("recognition: pipeline error")
+
+// Node is one stage of an analysis pipeline (the IR of the R script).
+type Node interface {
+	// Describe renders the node in R-like syntax for reports.
+	Describe() string
+}
+
+// SQLNode is a sqldf(...) call: the SQLable part of the pipeline.
+type SQLNode struct {
+	Query *sqlparser.Select
+}
+
+// Describe implements Node.
+func (n *SQLNode) Describe() string { return "sqldf(" + n.Query.SQL() + ")" }
+
+// FilterByClassNode is the R function filterByClass(input, action, do.plot):
+// it classifies each tuple's activity and keeps those matching Action.
+type FilterByClassNode struct {
+	Input  Node
+	Action sensors.Activity
+	DoPlot bool
+}
+
+// Describe implements Node.
+func (n *FilterByClassNode) Describe() string {
+	plot := "F"
+	if n.DoPlot {
+		plot = "T"
+	}
+	return fmt.Sprintf("filterByClass(%s, action=%q, do.plot=%s)", n.Input.Describe(), n.Action, plot)
+}
+
+// KalmanNode smooths the z coordinate of its input with a 1-D Kalman filter
+// (the paper's example is "an excerpt of a Kalman filter").
+type KalmanNode struct {
+	Input      Node
+	ProcessVar float64 // Q
+	MeasureVar float64 // R
+}
+
+// Describe implements Node.
+func (n *KalmanNode) Describe() string {
+	return fmt.Sprintf("kalman(%s, Q=%g, R=%g)", n.Input.Describe(), n.ProcessVar, n.MeasureVar)
+}
+
+// DataNode stands for an already-materialized DataFrame d′ — the shape the
+// cloud-side residual takes after pushdown: filterByClass(d', ...).
+type DataNode struct {
+	Name string
+}
+
+// Describe implements Node.
+func (n *DataNode) Describe() string { return n.Name }
+
+// PaperPipeline builds the exact §4.2 analysis:
+//
+//	filterByClass(sqldf(
+//	    SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t)
+//	    FROM (SELECT x, y, z, t FROM d)
+//	), action="walk", do.plot=F)
+//
+// The SELECT list is widened with the partition attributes so the activity
+// classifier has positions to work on (the paper's sqldf result is an
+// R DataFrame carrying the frame columns along).
+func PaperPipeline() (*FilterByClassNode, error) {
+	q, err := sqlparser.Parse(`
+		SELECT x, y, z, t, regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) AS trend
+		FROM (SELECT x, y, z, t FROM d)`)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPipeline, err)
+	}
+	return &FilterByClassNode{Input: &SQLNode{Query: q}, Action: sensors.ActivityWalk}, nil
+}
+
+// ExtractSQL finds the maximal SQLable subtree: the outermost SQLNode
+// reachable without crossing another SQL boundary. ok=false when the
+// pipeline has no SQL part.
+func ExtractSQL(n Node) (*sqlparser.Select, bool) {
+	switch x := n.(type) {
+	case *SQLNode:
+		return x.Query, true
+	case *FilterByClassNode:
+		return ExtractSQL(x.Input)
+	case *KalmanNode:
+		return ExtractSQL(x.Input)
+	default:
+		return nil, false
+	}
+}
+
+// ReplaceSQL substitutes the (first) SQL subtree with a new query — the hook
+// the preprocessor uses after rewriting. It returns a structurally shared
+// copy with only the path to the SQL node rebuilt.
+func ReplaceSQL(n Node, repl *sqlparser.Select) (Node, bool) {
+	switch x := n.(type) {
+	case *SQLNode:
+		return &SQLNode{Query: repl}, true
+	case *FilterByClassNode:
+		in, ok := ReplaceSQL(x.Input, repl)
+		if !ok {
+			return n, false
+		}
+		return &FilterByClassNode{Input: in, Action: x.Action, DoPlot: x.DoPlot}, true
+	case *KalmanNode:
+		in, ok := ReplaceSQL(x.Input, repl)
+		if !ok {
+			return n, false
+		}
+		return &KalmanNode{Input: in, ProcessVar: x.ProcessVar, MeasureVar: x.MeasureVar}, true
+	default:
+		return n, false
+	}
+}
+
+// Residual replaces the SQL subtree by a DataFrame reference — the R part
+// that stays on the cloud after the SQL was pushed down: Q(d) → Qδ(d′).
+func Residual(n Node, dataName string) Node {
+	out, _ := ReplaceSQL(n, nil)
+	return stripSQL(out, dataName)
+}
+
+func stripSQL(n Node, dataName string) Node {
+	switch x := n.(type) {
+	case *SQLNode:
+		return &DataNode{Name: dataName}
+	case *FilterByClassNode:
+		return &FilterByClassNode{Input: stripSQL(x.Input, dataName), Action: x.Action, DoPlot: x.DoPlot}
+	case *KalmanNode:
+		return &KalmanNode{Input: stripSQL(x.Input, dataName), ProcessVar: x.ProcessVar, MeasureVar: x.MeasureVar}
+	default:
+		return n
+	}
+}
+
+// Run evaluates a pipeline: SQL nodes execute on the engine, DataNodes read
+// a pre-materialized frame, Kalman and filterByClass stages run in Go.
+func Run(n Node, eng *engine.Engine, frames map[string]*engine.Result) (*engine.Result, error) {
+	switch x := n.(type) {
+	case *SQLNode:
+		res, err := eng.Select(x.Query)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sqldf: %v", ErrPipeline, err)
+		}
+		return res, nil
+	case *DataNode:
+		res, ok := frames[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown DataFrame %q", ErrPipeline, x.Name)
+		}
+		return res, nil
+	case *KalmanNode:
+		in, err := Run(x.Input, eng, frames)
+		if err != nil {
+			return nil, err
+		}
+		return kalmanSmooth(in, x.ProcessVar, x.MeasureVar)
+	case *FilterByClassNode:
+		in, err := Run(x.Input, eng, frames)
+		if err != nil {
+			return nil, err
+		}
+		return FilterByClass(in, x.Action)
+	default:
+		return nil, fmt.Errorf("%w: unknown node %T", ErrPipeline, n)
+	}
+}
+
+// Kalman1D is a scalar Kalman filter with constant model, the building
+// block of the paper's example analysis.
+type Kalman1D struct {
+	q, r    float64 // process and measurement variance
+	x, p    float64 // state estimate and covariance
+	started bool
+}
+
+// NewKalman1D builds a filter with the given process variance q and
+// measurement variance r.
+func NewKalman1D(q, r float64) *Kalman1D {
+	if q <= 0 {
+		q = 1e-4
+	}
+	if r <= 0 {
+		r = 1e-2
+	}
+	return &Kalman1D{q: q, r: r}
+}
+
+// Update feeds one measurement and returns the filtered estimate.
+func (k *Kalman1D) Update(z float64) float64 {
+	if !k.started {
+		k.started = true
+		k.x = z
+		k.p = k.r
+		return k.x
+	}
+	// Predict.
+	k.p += k.q
+	// Update.
+	gain := k.p / (k.p + k.r)
+	k.x += gain * (z - k.x)
+	k.p *= 1 - gain
+	return k.x
+}
+
+// heightIndex finds the tag-height column: the raw z, or — after the
+// privacy rewrite replaced it with its mandated aggregate — the derived
+// zavg. The intended analysis keeps working on the policy-compliant
+// aggregate; that degradation-not-breakage is the paper's "Golden Path".
+func heightIndex(rel *schema.Relation) (int, error) {
+	for _, cand := range []string{"z", "zavg"} {
+		if i, err := rel.Index(cand); err == nil {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: no height column (z or zavg) in %s", ErrPipeline, rel)
+}
+
+// kalmanSmooth applies the filter to the z column, per entity when a tag or
+// user column exists, in timestamp order.
+func kalmanSmooth(in *engine.Result, q, r float64) (*engine.Result, error) {
+	zi, err := heightIndex(in.Schema)
+	if err != nil {
+		return nil, err
+	}
+	order, entity, err := entityTimeOrder(in)
+	if err != nil {
+		return nil, err
+	}
+	out := &engine.Result{Schema: in.Schema, Rows: in.Rows.Clone()}
+	filters := map[string]*Kalman1D{}
+	for _, ri := range order {
+		key := entity(ri)
+		f, ok := filters[key]
+		if !ok {
+			f = NewKalman1D(q, r)
+			filters[key] = f
+		}
+		if out.Rows[ri][zi].Type().Numeric() {
+			out.Rows[ri][zi] = schema.Float(f.Update(out.Rows[ri][zi].AsFloat()))
+		}
+	}
+	return out, nil
+}
+
+// entityTimeOrder returns row indexes sorted by (entity, t) plus the entity
+// key function. Entity is the user or tag_id column when present.
+func entityTimeOrder(in *engine.Result) ([]int, func(int) string, error) {
+	ti, err := in.Schema.Index("t")
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: analysis needs a timestamp column t", ErrPipeline)
+	}
+	entityIdx := -1
+	for _, cand := range []string{"user", "tag_id"} {
+		if i, err := in.Schema.Index(cand); err == nil {
+			entityIdx = i
+			break
+		}
+	}
+	entity := func(ri int) string {
+		if entityIdx < 0 {
+			return ""
+		}
+		return in.Rows[ri][entityIdx].GroupKey()
+	}
+	order := make([]int, len(in.Rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := entity(order[a]), entity(order[b])
+		if ea != eb {
+			return ea < eb
+		}
+		va, vb := in.Rows[order[a]][ti], in.Rows[order[b]][ti]
+		if va.Type().Numeric() && vb.Type().Numeric() {
+			return va.AsFloat() < vb.AsFloat()
+		}
+		return false
+	})
+	return order, entity, nil
+}
+
+// Classify maps a tag height (z, metres) and movement speed (m/s) to an
+// activity, mirroring how the simulated UbiSense tags encode activities:
+// a tag near the floor is a fall, a low tag a sitting person, a moving tag
+// a walking person, a stationary one standing/presenting.
+func Classify(z, speed float64) sensors.Activity {
+	switch {
+	case z < 0.6:
+		return sensors.ActivityFall
+	case z < 1.15:
+		return sensors.ActivitySit
+	case speed > 0.4:
+		return sensors.ActivityWalk
+	default:
+		return sensors.ActivityStand
+	}
+}
+
+// Annotate classifies every row of a position relation (needs x, y, z, t;
+// per-entity when user or tag_id exists). The result is aligned with
+// in.Rows.
+func Annotate(in *engine.Result) ([]sensors.Activity, error) {
+	xi, err := in.Schema.Index("x")
+	if err != nil {
+		return nil, fmt.Errorf("%w: classifier needs x: %v", ErrPipeline, err)
+	}
+	yi, err := in.Schema.Index("y")
+	if err != nil {
+		return nil, fmt.Errorf("%w: classifier needs y: %v", ErrPipeline, err)
+	}
+	zi, err := heightIndex(in.Schema)
+	if err != nil {
+		return nil, err
+	}
+	ti, err := in.Schema.Index("t")
+	if err != nil {
+		return nil, fmt.Errorf("%w: classifier needs t: %v", ErrPipeline, err)
+	}
+	order, entity, err := entityTimeOrder(in)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sensors.Activity, len(in.Rows))
+	type prev struct {
+		x, y, t float64
+		ok      bool
+	}
+	last := map[string]prev{}
+	for _, ri := range order {
+		row := in.Rows[ri]
+		if !row[xi].Type().Numeric() || !row[yi].Type().Numeric() ||
+			!row[zi].Type().Numeric() || !row[ti].Type().Numeric() {
+			out[ri] = sensors.ActivityStand
+			continue
+		}
+		x, y, z := row[xi].AsFloat(), row[yi].AsFloat(), row[zi].AsFloat()
+		tms := row[ti].AsFloat()
+		speed := 0.0
+		key := entity(ri)
+		if p := last[key]; p.ok && tms > p.t {
+			speed = math.Hypot(x-p.x, y-p.y) / ((tms - p.t) / 1000)
+		}
+		last[key] = prev{x: x, y: y, t: tms, ok: true}
+		out[ri] = Classify(z, speed)
+	}
+	return out, nil
+}
+
+// FilterByClass keeps the rows whose classified activity equals action —
+// the semantics of the paper's R function.
+func FilterByClass(in *engine.Result, action sensors.Activity) (*engine.Result, error) {
+	acts, err := Annotate(in)
+	if err != nil {
+		return nil, err
+	}
+	out := &engine.Result{Schema: in.Schema}
+	for i, a := range acts {
+		if a == action {
+			out.Rows = append(out.Rows, in.Rows[i])
+		}
+	}
+	return out, nil
+}
+
+// Accuracy scores classified activities against the trace ground truth,
+// returning the fraction of samples whose prediction matches the label.
+// Rows must carry tag_id or user plus t.
+func Accuracy(tr *sensors.Trace, in *engine.Result, acts []sensors.Activity) (float64, error) {
+	if len(acts) != len(in.Rows) {
+		return 0, fmt.Errorf("%w: %d activities for %d rows", ErrPipeline, len(acts), len(in.Rows))
+	}
+	ti, err := in.Schema.Index("t")
+	if err != nil {
+		return 0, fmt.Errorf("%w: accuracy needs t", ErrPipeline)
+	}
+	tagIdx, userIdx := -1, -1
+	if i, err := in.Schema.Index("tag_id"); err == nil {
+		tagIdx = i
+	}
+	if i, err := in.Schema.Index("user"); err == nil {
+		userIdx = i
+	}
+	if tagIdx < 0 && userIdx < 0 {
+		return 0, fmt.Errorf("%w: accuracy needs tag_id or user", ErrPipeline)
+	}
+	nameToTag := map[string]int64{}
+	for _, p := range tr.Scenario.Persons {
+		nameToTag[p.Name] = p.TagID
+	}
+	matched, total := 0, 0
+	for i, row := range in.Rows {
+		var tag int64
+		switch {
+		case tagIdx >= 0 && row[tagIdx].Type() == schema.TypeInt:
+			tag = row[tagIdx].AsInt()
+		case userIdx >= 0 && row[userIdx].Type() == schema.TypeString:
+			tag = nameToTag[row[userIdx].AsString()]
+		default:
+			continue
+		}
+		if !row[ti].Type().Numeric() {
+			continue
+		}
+		truth := tr.TruthAt(tag, int64(row[ti].AsFloat()))
+		if truth == "" {
+			continue
+		}
+		total++
+		want := truth
+		if want == sensors.ActivityPresent {
+			want = sensors.ActivityStand // presenting is standing kinematics
+		}
+		if acts[i] == want {
+			matched++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("%w: no rows matched ground truth", ErrPipeline)
+	}
+	return float64(matched) / float64(total), nil
+}

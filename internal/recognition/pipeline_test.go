@@ -1,0 +1,290 @@
+package recognition
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"paradise/internal/engine"
+	"paradise/internal/schema"
+	"paradise/internal/sensors"
+	"paradise/internal/sqlparser"
+)
+
+func apartmentStore(t testing.TB, withFall bool) (*sensors.Trace, *engine.Engine) {
+	t.Helper()
+	tr, err := sensors.Generate(sensors.Apartment(30*time.Second, withFall, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sensors.BuildStore(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, engine.New(st)
+}
+
+func TestPaperPipelineShape(t *testing.T) {
+	pl, err := PaperPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := pl.Describe()
+	for _, want := range []string{"filterByClass", "sqldf", "REGR_INTERCEPT", "PARTITION BY", `action="walk"`, "do.plot=F"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("pipeline description lacks %q: %s", want, desc)
+		}
+	}
+}
+
+func TestExtractAndReplaceSQL(t *testing.T) {
+	pl, err := PaperPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := ExtractSQL(pl)
+	if !ok || sel == nil {
+		t.Fatal("SQL part not found")
+	}
+	repl, err := sqlparser.Parse("SELECT x, y, z, t FROM d WHERE z < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := ReplaceSQL(pl, repl)
+	if !ok {
+		t.Fatal("ReplaceSQL failed")
+	}
+	got, _ := ExtractSQL(out)
+	if got.SQL() != repl.SQL() {
+		t.Fatalf("replacement not visible: %s", got.SQL())
+	}
+	// Original untouched.
+	orig, _ := ExtractSQL(pl)
+	if orig.SQL() == repl.SQL() {
+		t.Fatal("ReplaceSQL mutated its input")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	pl, err := PaperPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Residual(pl, "d'")
+	desc := res.Describe()
+	if strings.Contains(desc, "sqldf") {
+		t.Fatalf("residual still contains SQL: %s", desc)
+	}
+	// The paper's final cloud code: filterByClass(d', action="walk", ...).
+	if !strings.Contains(desc, `filterByClass(d', action="walk"`) {
+		t.Fatalf("residual = %s", desc)
+	}
+	if _, ok := ExtractSQL(res); ok {
+		t.Fatal("residual must have no SQLable part")
+	}
+}
+
+func TestKalman1DConvergesToConstant(t *testing.T) {
+	k := NewKalman1D(1e-4, 0.05)
+	var last float64
+	for i := 0; i < 200; i++ {
+		noise := 0.1 * math.Sin(float64(i)*1.7) // deterministic pseudo-noise
+		last = k.Update(5 + noise)
+	}
+	if math.Abs(last-5) > 0.08 {
+		t.Fatalf("filter should converge near 5, got %v", last)
+	}
+}
+
+func TestKalman1DDefensiveDefaults(t *testing.T) {
+	k := NewKalman1D(-1, 0)
+	if got := k.Update(3); got != 3 {
+		t.Fatalf("first update returns measurement, got %v", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		z, speed float64
+		want     sensors.Activity
+	}{
+		{0.25, 0, sensors.ActivityFall},
+		{0.95, 0, sensors.ActivitySit},
+		{1.4, 1.3, sensors.ActivityWalk},
+		{1.4, 0.0, sensors.ActivityStand},
+	}
+	for _, c := range cases {
+		if got := Classify(c.z, c.speed); got != c.want {
+			t.Errorf("Classify(%v, %v) = %s, want %s", c.z, c.speed, got, c.want)
+		}
+	}
+}
+
+func TestAnnotateAndAccuracyOnTrace(t *testing.T) {
+	tr, eng := apartmentStore(t, true)
+	res, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts, err := Annotate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(tr, res, acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simulated kinematics encode the activities crisply; the
+	// classifier should get the clear majority right.
+	if acc < 0.7 {
+		t.Fatalf("recognition accuracy %.2f too low", acc)
+	}
+}
+
+func TestFilterByClassFindsWalks(t *testing.T) {
+	_, eng := apartmentStore(t, false)
+	res, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	walks, err := FilterByClass(res, sensors.ActivityWalk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walks.Rows) == 0 || len(walks.Rows) >= len(res.Rows) {
+		t.Fatalf("walk filter kept %d of %d rows", len(walks.Rows), len(res.Rows))
+	}
+}
+
+func TestFallDetection(t *testing.T) {
+	_, eng := apartmentStore(t, true)
+	res, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	falls, err := FilterByClass(res, sensors.ActivityFall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(falls.Rows) == 0 {
+		t.Fatal("the fall must be detected")
+	}
+	// And the no-fall scenario must not produce (many) falls.
+	_, engNF := apartmentStore(t, false)
+	resNF, err := engNF.Query("SELECT user, x, y, z, t FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallsNF, err := FilterByClass(resNF, sensors.ActivityFall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(fallsNF.Rows)) > 0.02*float64(len(resNF.Rows)) {
+		t.Fatalf("false fall rate too high: %d of %d", len(fallsNF.Rows), len(resNF.Rows))
+	}
+}
+
+func TestRunPipelineEndToEnd(t *testing.T) {
+	_, eng := apartmentStore(t, false)
+	pl, err := PaperPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(pl, eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) == 0 {
+		t.Fatal("pipeline should find walking samples")
+	}
+	// The trend column from regr_intercept must be present.
+	if _, err := out.Schema.Index("trend"); err != nil {
+		t.Fatalf("trend column missing: %s", out.Schema)
+	}
+}
+
+func TestRunWithDataFrame(t *testing.T) {
+	_, eng := apartmentStore(t, false)
+	base, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := &FilterByClassNode{Input: &DataNode{Name: "d'"}, Action: sensors.ActivityWalk}
+	out, err := Run(node, eng, map[string]*engine.Result{"d'": base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) == 0 {
+		t.Fatal("frame-based run found nothing")
+	}
+	// Unknown frame errors.
+	if _, err := Run(&DataNode{Name: "nope"}, eng, nil); !errors.Is(err, ErrPipeline) {
+		t.Fatal("unknown frame should error")
+	}
+}
+
+func TestKalmanNodeSmoothsZ(t *testing.T) {
+	_, eng := apartmentStore(t, false)
+	raw, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := &KalmanNode{Input: &DataNode{Name: "raw"}, ProcessVar: 1e-4, MeasureVar: 0.05}
+	smooth, err := Run(node, eng, map[string]*engine.Result{"raw": raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zi, _ := raw.Schema.Index("z")
+	varOf := func(rows schema.Rows) float64 {
+		var sum, sumsq float64
+		var prev float64
+		n := 0
+		for i, r := range rows {
+			z := r[zi].AsFloat()
+			if i > 0 {
+				d := z - prev
+				sum += d
+				sumsq += d * d
+				n++
+			}
+			prev = z
+		}
+		if n == 0 {
+			return 0
+		}
+		m := sum / float64(n)
+		return sumsq/float64(n) - m*m
+	}
+	if varOf(smooth.Rows) >= varOf(raw.Rows) {
+		t.Fatalf("Kalman smoothing should reduce step variance: %v vs %v",
+			varOf(smooth.Rows), varOf(raw.Rows))
+	}
+	if !strings.Contains(node.Describe(), "kalman") {
+		t.Fatal("describe")
+	}
+}
+
+func TestAnnotateRequiresColumns(t *testing.T) {
+	res := &engine.Result{
+		Schema: schema.NewRelation("r", schema.Col("a", schema.TypeInt)),
+		Rows:   schema.Rows{{schema.Int(1)}},
+	}
+	if _, err := Annotate(res); !errors.Is(err, ErrPipeline) {
+		t.Fatal("missing columns should error")
+	}
+}
+
+func TestAccuracyErrors(t *testing.T) {
+	tr, eng := apartmentStore(t, false)
+	res, _ := eng.Query("SELECT x, y, z, t FROM d") // no entity column
+	acts := make([]sensors.Activity, len(res.Rows))
+	if _, err := Accuracy(tr, res, acts); !errors.Is(err, ErrPipeline) {
+		t.Fatal("missing entity column should error")
+	}
+	res2, _ := eng.Query("SELECT user, x, y, z, t FROM d")
+	if _, err := Accuracy(tr, res2, acts[:1]); !errors.Is(err, ErrPipeline) {
+		t.Fatal("length mismatch should error")
+	}
+}

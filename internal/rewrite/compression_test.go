@@ -1,0 +1,149 @@
+package rewrite
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"paradise/internal/engine"
+	"paradise/internal/policy"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+	"paradise/internal/storage"
+)
+
+func compressionModule(t *testing.T, grid float64) *policy.Module {
+	t.Helper()
+	return &policy.Module{ID: "Compressed", Attributes: []*policy.Attribute{
+		{Name: "x", Allow: true, CompressionGrid: grid},
+		{Name: "y", Allow: true},
+		{Name: "z", Allow: true},
+		{Name: "t", Allow: true},
+	}}
+}
+
+func TestCompressionRewrite(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	out, rep := mustRewrite(t, rw, "SELECT x, y FROM d", compressionModule(t, 0.25))
+	sql := out.SQL()
+	if !strings.Contains(sql, "ROUND(x / 0.25) * 0.25 AS x") {
+		t.Fatalf("compression expression missing: %s", sql)
+	}
+	if rep.CompressedAttributes["x"] != 0.25 {
+		t.Fatalf("report = %v", rep.CompressedAttributes)
+	}
+	if !strings.Contains(rep.Summary(), "compressed") {
+		t.Fatalf("summary lacks compression: %s", rep.Summary())
+	}
+}
+
+func TestCompressionThroughStar(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	out, rep := mustRewrite(t, rw, "SELECT * FROM stream", &policy.Module{
+		ID: "Compressed", Attributes: []*policy.Attribute{
+			{Name: "x", Allow: true, CompressionGrid: 0.5},
+			{Name: "y", Allow: true},
+			{Name: "z", Allow: true},
+			{Name: "t", Allow: true},
+		}})
+	sql := out.SQL()
+	for _, it := range out.Items {
+		if _, ok := it.Expr.(*sqlparser.Star); ok {
+			t.Fatalf("star must be expanded under compression: %s", sql)
+		}
+	}
+	if !strings.Contains(sql, "ROUND(x / 0.5) * 0.5") {
+		t.Fatalf("compression missing after star expansion: %s", sql)
+	}
+	_ = rep
+}
+
+func TestCompressionSkippedUnderAggregation(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	mod := compressionModule(t, 0.25)
+	mod.Attributes[0].Aggregation = &policy.Aggregation{Type: "avg", GroupBy: []string{"y"}}
+	out, rep := mustRewrite(t, rw, "SELECT x, y FROM d", mod)
+	if len(rep.CompressedAttributes) != 0 {
+		t.Fatalf("aggregated attribute must not be compressed too: %s", out.SQL())
+	}
+	if rep.EnforcedAggregations["x"] == "" {
+		t.Fatalf("aggregation should apply instead: %s", out.SQL())
+	}
+}
+
+func TestCompressionExecutesOnEngine(t *testing.T) {
+	st := storage.NewStore()
+	d := st.Create(schema.NewRelation("d",
+		schema.SensitiveCol("user", schema.TypeString),
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	))
+	vals := []float64{0.07, 0.13, 0.26, 0.38, 1.11}
+	for i, v := range vals {
+		if err := d.Append(schema.Row{
+			schema.String("u"), schema.Float(v), schema.Float(0), schema.Float(1), schema.Int(int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rw := New(st.Catalog(), Options{})
+	out, _ := mustRewrite(t, rw, "SELECT x FROM d", compressionModule(t, 0.25))
+	res, err := engine.New(st).Select(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.25, 0.25, 0.5, 1.0}
+	for i, r := range res.Rows {
+		if math.Abs(r[0].AsFloat()-want[i]) > 1e-9 {
+			t.Fatalf("row %d: %v, want %v", i, r[0].AsFloat(), want[i])
+		}
+	}
+}
+
+func TestCompressionPolicyXMLRoundTrip(t *testing.T) {
+	doc := `<module module_ID="m"><attributeList>
+		<attribute name="x"><allow>true</allow><compression>0.25</compression></attribute>
+	</attributeList></module>`
+	p, err := policy.ParseBytes([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Modules[0]
+	a, _ := m.Attribute("x")
+	if a.CompressionGrid != 0.25 {
+		t.Fatalf("grid = %v", a.CompressionGrid)
+	}
+	data, err := policy.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := policy.ParseBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := p2.Modules[0].Attribute("x")
+	if a2.CompressionGrid != 0.25 {
+		t.Fatal("compression lost in round trip")
+	}
+	// Negative grid is invalid.
+	bad := `<module module_ID="m"><attributeList>
+		<attribute name="x"><allow>true</allow><compression>-1</compression></attribute>
+	</attributeList></module>`
+	if _, err := policy.ParseBytes([]byte(bad)); err == nil {
+		t.Fatal("negative compression should fail validation")
+	}
+}
+
+func TestCompressionMergeStricter(t *testing.T) {
+	a := &policy.Module{ID: "m", Attributes: []*policy.Attribute{
+		{Name: "x", Allow: true, CompressionGrid: 0.25}}}
+	b := &policy.Module{ID: "m", Attributes: []*policy.Attribute{
+		{Name: "x", Allow: true, CompressionGrid: 1.0}}}
+	out := policy.Merge(a, b)
+	ax, _ := out.Attribute("x")
+	if ax.CompressionGrid != 1.0 {
+		t.Fatalf("coarser grid should win: %v", ax.CompressionGrid)
+	}
+}

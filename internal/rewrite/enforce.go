@@ -1,0 +1,477 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paradise/internal/policy"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// deniedName decides whether a column name is denied at query scope. Base
+// attributes (columns of the innermost FROM relations) follow the module's
+// deny-by-default rule; names that are not base attributes are derived
+// aliases computed from already-filtered data and are permitted unless the
+// module explicitly denies them.
+func deniedName(name string, baseCols map[string]bool, mod *policy.Module) bool {
+	if isDerivedAlias(name, mod) {
+		return false
+	}
+	if a, ok := mod.Attribute(name); ok {
+		return !a.Allow
+	}
+	return baseCols[name] // unlisted base attribute: data-minimization default
+}
+
+// referencedColumns collects every column name the query mentions anywhere;
+// a star at some level references that level's full input.
+func referencedColumns(chain []level, avail []map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	add := func(e sqlparser.Expr) {
+		for _, c := range sqlparser.ColumnRefs(e) {
+			out[c.Name] = true
+		}
+	}
+	for i, lv := range chain {
+		q := lv.sel
+		for _, it := range q.Items {
+			if _, ok := it.Expr.(*sqlparser.Star); ok {
+				for c := range avail[i] {
+					out[c] = true
+				}
+				continue
+			}
+			add(it.Expr)
+		}
+		add(q.Where)
+		for _, g := range q.GroupBy {
+			add(g)
+		}
+		add(q.Having)
+		for _, o := range q.OrderBy {
+			add(o.Expr)
+		}
+	}
+	return out
+}
+
+// enforceProjection removes denied attributes from every SELECT list.
+// At the innermost level, SELECT * is expanded so denied base columns can be
+// dropped individually (outer stars then only pass through what survived).
+func (rw *Rewriter) enforceProjection(chain []level, avail []map[string]bool, mod *policy.Module, rep *Report) error {
+	inner := chain[len(chain)-1]
+	innerAvail := avail[len(chain)-1]
+
+	// Expand the innermost star when it would reveal denied columns or
+	// bypass a per-attribute compression mandate.
+	needsExpansion := len(mod.DeniedOf(setToSorted(innerAvail))) > 0
+	for _, a := range mod.Attributes {
+		if a.Allow && a.CompressionGrid > 0 && innerAvail[a.Name] {
+			needsExpansion = true
+		}
+	}
+	if hasStarItem(inner.sel) && needsExpansion {
+		var items []sqlparser.SelectItem
+		for _, it := range inner.sel.Items {
+			if _, ok := it.Expr.(*sqlparser.Star); !ok {
+				items = append(items, it)
+				continue
+			}
+			for _, name := range setToSorted(innerAvail) {
+				items = append(items, sqlparser.SelectItem{Expr: &sqlparser.ColumnRef{Name: name}})
+			}
+		}
+		inner.sel.Items = items
+	}
+
+	baseCols := avail[len(chain)-1]
+	removed := map[string]bool{}
+	for _, lv := range chain {
+		var kept []sqlparser.SelectItem
+		for _, it := range lv.sel.Items {
+			if _, ok := it.Expr.(*sqlparser.Star); ok {
+				kept = append(kept, it)
+				continue
+			}
+			drop := false
+			for _, c := range sqlparser.ColumnRefs(it.Expr) {
+				if deniedName(c.Name, baseCols, mod) {
+					drop = true
+					if !removed[c.Name] {
+						removed[c.Name] = true
+						rep.RemovedAttributes = append(rep.RemovedAttributes, c.Name)
+					}
+				}
+			}
+			if !drop {
+				kept = append(kept, it)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("%w: every projected attribute of %q is denied", ErrDenied, lv.sel.SQL())
+		}
+		lv.sel.Items = kept
+	}
+	return nil
+}
+
+// isDerivedAlias reports whether the name is an alias a mandated aggregation
+// introduces (e.g. zavg for z); such names are always permitted because they
+// denote the policy-compliant aggregate.
+func isDerivedAlias(name string, mod *policy.Module) bool {
+	for _, a := range mod.Attributes {
+		if a.Aggregation != nil && strings.EqualFold(a.AliasFor(), name) {
+			return true
+		}
+	}
+	return false
+}
+
+// rejectDeniedUsage refuses queries whose WHERE, GROUP BY, HAVING or ORDER
+// BY reference denied attributes: dropping such clauses would widen the
+// result, so rejection is the only safe answer.
+func (rw *Rewriter) rejectDeniedUsage(chain []level, avail []map[string]bool, mod *policy.Module) error {
+	baseCols := avail[len(chain)-1]
+	check := func(e sqlparser.Expr, clause string, q *sqlparser.Select) error {
+		for _, c := range sqlparser.ColumnRefs(e) {
+			if deniedName(c.Name, baseCols, mod) {
+				return fmt.Errorf("%w: denied attribute %q used in %s of %q",
+					ErrDenied, c.Name, clause, q.SQL())
+			}
+		}
+		return nil
+	}
+	for _, lv := range chain {
+		q := lv.sel
+		if err := check(q.Where, "WHERE", q); err != nil {
+			return err
+		}
+		for _, g := range q.GroupBy {
+			if err := check(g, "GROUP BY", q); err != nil {
+				return err
+			}
+		}
+		if err := check(q.Having, "HAVING", q); err != nil {
+			return err
+		}
+		for _, o := range q.OrderBy {
+			if err := check(o.Expr, "ORDER BY", q); err != nil {
+				return err
+			}
+		}
+		// Window specs inside surviving items.
+		for _, it := range q.Items {
+			for _, w := range sqlparser.WindowCalls(it.Expr) {
+				for _, pe := range w.Over.PartitionBy {
+					if err := check(pe, "PARTITION BY", q); err != nil {
+						return err
+					}
+				}
+				for _, o := range w.Over.OrderBy {
+					if err := check(o.Expr, "window ORDER BY", q); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// injectConditions merges each policy condition conjunctively into the
+// WHERE (or HAVING, when the condition aggregates) of the innermost level
+// at which all referenced columns are available — "the innermost possible
+// part of the nested SQL query" (§4.2). A condition only applies when the
+// query actually touches the attribute it protects; a query that never
+// reads z need not be narrowed by z's conditions.
+func (rw *Rewriter) injectConditions(chain []level, avail []map[string]bool, mod *policy.Module, rep *Report) {
+	referenced := referencedColumns(chain, avail)
+	for _, attr := range mod.Attributes {
+		if !attr.Allow || !referenced[attr.Name] {
+			continue
+		}
+		for _, cond := range attr.Conditions {
+			rw.placeCondition(chain, avail, cond, rep)
+		}
+	}
+}
+
+func (rw *Rewriter) placeCondition(chain []level, avail []map[string]bool, cond sqlparser.Expr, rep *Report) {
+	needed := sqlparser.ColumnNames(cond)
+	isAgg := sqlparser.ContainsAggregate(cond)
+
+	// Walk from the innermost level outward to find the deepest placement.
+	for i := len(chain) - 1; i >= 0; i-- {
+		ok := true
+		for _, n := range needed {
+			if !avail[i][n] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		q := chain[i].sel
+		if isAgg {
+			if !hasConjunct(q.Having, cond) {
+				q.Having = sqlparser.And(q.Having, sqlparser.CloneExpr(cond))
+				rep.InjectedHaving = append(rep.InjectedHaving, cond.SQL())
+			}
+			return
+		}
+		if !hasConjunct(q.Where, cond) {
+			q.Where = sqlparser.And(q.Where, sqlparser.CloneExpr(cond))
+			rep.InjectedWhere = append(rep.InjectedWhere, cond.SQL())
+		}
+		return
+	}
+	// No level can evaluate the condition (its columns are projected away
+	// everywhere): nothing to inject — the attribute never leaves anyway.
+}
+
+// hasConjunct reports whether cond already appears as a top-level conjunct.
+func hasConjunct(e, cond sqlparser.Expr) bool {
+	want := strings.ToLower(cond.SQL())
+	for _, c := range sqlparser.Conjuncts(e) {
+		if strings.ToLower(c.SQL()) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// enforceAggregations applies mandated aggregations: in the innermost level
+// projecting the raw attribute, the item is replaced by the aggregate with
+// its derived alias; the mandated GROUP BY and HAVING are installed; and
+// references in all enclosing levels are renamed to the alias (the paper's
+// PARTITION BY z -> PARTITION BY zAVG).
+func (rw *Rewriter) enforceAggregations(chain []level, avail []map[string]bool, mod *policy.Module, rep *Report) error {
+	for _, attr := range mod.Attributes {
+		if attr.Aggregation == nil || !attr.Allow {
+			continue
+		}
+		if err := rw.enforceOneAggregation(chain, avail, mod, attr, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (rw *Rewriter) enforceOneAggregation(chain []level, avail []map[string]bool, mod *policy.Module, attr *policy.Attribute, rep *Report) error {
+	ag := attr.Aggregation
+	alias := strings.ToLower(attr.AliasFor())
+
+	// Find the innermost level that projects the raw attribute.
+	target := -1
+	for i := len(chain) - 1; i >= 0; i-- {
+		if projectsRaw(chain[i].sel, attr.Name) {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		// The attribute is never projected raw; if it is also never
+		// aggregated compatibly, there is nothing to enforce.
+		return nil
+	}
+	q := chain[target].sel
+
+	// Refuse to merge into an existing, different grouping.
+	if len(q.GroupBy) > 0 && !sameGroupBy(q.GroupBy, ag.GroupBy) {
+		return fmt.Errorf("%w: mandated aggregation of %q conflicts with existing GROUP BY in %q",
+			ErrUnsupported, attr.Name, q.SQL())
+	}
+
+	// Replace the raw item by the mandated aggregate.
+	changed := false
+	for i, it := range q.Items {
+		c, ok := it.Expr.(*sqlparser.ColumnRef)
+		if !ok || !strings.EqualFold(c.Name, attr.Name) {
+			continue
+		}
+		q.Items[i] = sqlparser.SelectItem{
+			Expr: &sqlparser.FuncCall{
+				Name: ag.Type,
+				Args: []sqlparser.Expr{&sqlparser.ColumnRef{Name: attr.Name}},
+			},
+			Alias: alias,
+		}
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	rep.EnforcedAggregations[attr.Name] = alias
+
+	// Install the mandated GROUP BY (idempotently).
+	if len(q.GroupBy) == 0 {
+		for _, g := range ag.GroupBy {
+			q.GroupBy = append(q.GroupBy, &sqlparser.ColumnRef{Name: g})
+		}
+	}
+
+	// Install the mandated HAVING.
+	if ag.Having != nil && !hasConjunct(q.Having, ag.Having) {
+		q.Having = sqlparser.And(q.Having, sqlparser.CloneExpr(ag.Having))
+		rep.InjectedHaving = append(rep.InjectedHaving, ag.Having.SQL())
+	}
+
+	// Propagate the alias to every enclosing level until one of them
+	// re-establishes the raw name.
+	for i := target - 1; i >= 0; i-- {
+		renameColumn(chain[i].sel, attr.Name, alias)
+		if definesName(chain[i].sel, attr.Name) {
+			break
+		}
+	}
+	return nil
+}
+
+// projectsRaw reports whether the SELECT projects the bare attribute
+// (directly or via *).
+func projectsRaw(q *sqlparser.Select, name string) bool {
+	for _, it := range q.Items {
+		if _, ok := it.Expr.(*sqlparser.Star); ok {
+			return true
+		}
+		if c, ok := it.Expr.(*sqlparser.ColumnRef); ok && strings.EqualFold(c.Name, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// sameGroupBy compares an existing GROUP BY list with the mandated one.
+func sameGroupBy(have []sqlparser.Expr, want []string) bool {
+	if len(have) != len(want) {
+		return false
+	}
+	found := map[string]bool{}
+	for _, g := range have {
+		c, ok := g.(*sqlparser.ColumnRef)
+		if !ok {
+			return false
+		}
+		found[strings.ToLower(c.Name)] = true
+	}
+	for _, w := range want {
+		if !found[strings.ToLower(w)] {
+			return false
+		}
+	}
+	return true
+}
+
+// renameColumn rewrites references to old into new in every clause of one
+// SELECT (not descending into its FROM subquery, which is a deeper level).
+func renameColumn(q *sqlparser.Select, oldName, newName string) {
+	ren := func(e sqlparser.Expr) sqlparser.Expr {
+		return sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+			if c, ok := x.(*sqlparser.ColumnRef); ok && strings.EqualFold(c.Name, oldName) {
+				return &sqlparser.ColumnRef{Table: c.Table, Name: newName}
+			}
+			return x
+		})
+	}
+	for i := range q.Items {
+		q.Items[i].Expr = ren(q.Items[i].Expr)
+	}
+	q.Where = ren(q.Where)
+	for i := range q.GroupBy {
+		q.GroupBy[i] = ren(q.GroupBy[i])
+	}
+	q.Having = ren(q.Having)
+	for i := range q.OrderBy {
+		q.OrderBy[i].Expr = ren(q.OrderBy[i].Expr)
+	}
+}
+
+// definesName reports whether the SELECT's output re-establishes the name
+// (an item aliased to it, or a bare column of that name).
+func definesName(q *sqlparser.Select, name string) bool {
+	for _, it := range q.Items {
+		if strings.EqualFold(it.Alias, name) {
+			return true
+		}
+		if it.Alias == "" {
+			if c, ok := it.Expr.(*sqlparser.ColumnRef); ok && strings.EqualFold(c.Name, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enforceCompression rewrites raw projections of grid-restricted attributes
+// into ROUND(attr / g) * g, keeping the attribute name via an alias so
+// outer references keep resolving. Attributes under a mandated aggregation
+// are already coarsened by it and are skipped.
+func (rw *Rewriter) enforceCompression(chain []level, mod *policy.Module, rep *Report) {
+	for _, attr := range mod.Attributes {
+		if !attr.Allow || attr.CompressionGrid <= 0 || attr.Aggregation != nil {
+			continue
+		}
+		// The innermost level projecting the raw attribute applies the
+		// compression; outer levels then see only compressed values.
+		for i := len(chain) - 1; i >= 0; i-- {
+			q := chain[i].sel
+			changed := false
+			for j, it := range q.Items {
+				c, ok := it.Expr.(*sqlparser.ColumnRef)
+				if !ok || !strings.EqualFold(c.Name, attr.Name) {
+					continue
+				}
+				q.Items[j] = sqlparser.SelectItem{
+					Expr:  compressExpr(attr.Name, attr.CompressionGrid),
+					Alias: attr.Name,
+				}
+				changed = true
+			}
+			if changed {
+				rep.CompressedAttributes[attr.Name] = attr.CompressionGrid
+				break
+			}
+		}
+	}
+}
+
+// compressExpr builds ROUND(name / g) * g.
+func compressExpr(name string, grid float64) sqlparser.Expr {
+	gridLit := func() sqlparser.Expr {
+		return &sqlparser.Literal{Value: schema.Float(grid)}
+	}
+	return &sqlparser.BinaryExpr{
+		Op: sqlparser.OpMul,
+		L: &sqlparser.FuncCall{
+			Name: "round",
+			Args: []sqlparser.Expr{&sqlparser.BinaryExpr{
+				Op: sqlparser.OpDiv,
+				L:  &sqlparser.ColumnRef{Name: name},
+				R:  gridLit(),
+			}},
+		},
+		R: gridLit(),
+	}
+}
+
+func hasStarItem(q *sqlparser.Select) bool {
+	for _, it := range q.Items {
+		if _, ok := it.Expr.(*sqlparser.Star); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func setToSorted(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Deterministic order for reproducible rewrites.
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,170 @@
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"paradise/internal/engine"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+	"paradise/internal/storage"
+)
+
+// randomUserQuery generates queries an assistive system might send: random
+// projections and filters over d(user, x, y, z, t), sometimes nested,
+// sometimes touching the denied user column.
+func randomUserQuery(rng *rand.Rand) string {
+	cols := []string{"user", "x", "y", "z", "t"}
+	pick := func() string { return cols[rng.Intn(len(cols))] }
+
+	var proj []string
+	n := 1 + rng.Intn(3)
+	perm := rng.Perm(len(cols))
+	for i := 0; i < n; i++ {
+		proj = append(proj, cols[perm[i]])
+	}
+
+	var conj []string
+	for i := 0; i < rng.Intn(3); i++ {
+		c := pick()
+		if c == "user" {
+			conj = append(conj, "user = 'alice'")
+			continue
+		}
+		op := []string{"<", ">", "="}[rng.Intn(3)]
+		conj = append(conj, fmt.Sprintf("%s %s %.1f", c, op, rng.Float64()*3))
+	}
+
+	inner := "SELECT " + strings.Join(proj, ", ") + " FROM d"
+	if len(conj) > 0 {
+		inner += " WHERE " + strings.Join(conj, " AND ")
+	}
+	if rng.Intn(3) == 0 {
+		return "SELECT " + proj[rng.Intn(len(proj))] + " FROM (" + inner + ")"
+	}
+	return inner
+}
+
+// TestPropertyRewriteSoundness: whenever the rewriter accepts a random
+// query, the output must (1) re-parse, (2) contain no denied attribute,
+// (3) contain every applicable policy condition as a conjunct somewhere,
+// and (4) the result rows must be a subset of the original query's rows
+// when no aggregation was mandated (the rewriter only narrows).
+func TestPropertyRewriteSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cat := testCatalog()
+	rw := New(cat, Options{})
+	mod := actionFilter(t)
+	st := soundnessStore(t, rng)
+	eng := engine.New(st)
+
+	accepted, denied := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		q := randomUserQuery(rng)
+		sel, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatalf("generator bug: %q: %v", q, err)
+		}
+		out, rep, err := rw.Rewrite(sel, mod)
+		if err != nil {
+			if errors.Is(err, ErrDenied) || errors.Is(err, ErrUnsupported) {
+				denied++
+				continue
+			}
+			t.Fatalf("unexpected rewrite error for %q: %v", q, err)
+		}
+		accepted++
+
+		// (1) Re-parses.
+		printed := out.SQL()
+		if _, err := sqlparser.Parse(printed); err != nil {
+			t.Fatalf("rewritten SQL invalid: %q -> %q: %v", q, printed, err)
+		}
+
+		// (2) No denied attribute anywhere.
+		if strings.Contains(strings.ToLower(printed), "user") {
+			t.Fatalf("denied attribute leaked: %q -> %q", q, printed)
+		}
+
+		// (3) Policy conditions present when their attribute is used.
+		lower := strings.ToLower(printed)
+		if usesRaw(lower, "x") && !strings.Contains(lower, "x > y") {
+			t.Fatalf("x > y missing: %q -> %q", q, printed)
+		}
+		if usesRaw(lower, "z") && !strings.Contains(lower, "z < 2") {
+			t.Fatalf("z < 2 missing: %q -> %q", q, printed)
+		}
+
+		// (4) Narrowing: without mandated aggregation, the rewritten rows
+		// are a sub-multiset of the original projected accordingly.
+		if len(rep.EnforcedAggregations) == 0 {
+			origRes, err1 := eng.Select(sel)
+			newRes, err2 := eng.Select(out)
+			if err1 == nil && err2 == nil {
+				if len(newRes.Rows) > len(origRes.Rows) {
+					t.Fatalf("rewrite widened the result: %q (%d -> %d rows)",
+						q, len(origRes.Rows), len(newRes.Rows))
+				}
+			}
+		}
+	}
+	if accepted == 0 || denied == 0 {
+		t.Fatalf("generator should exercise both paths: accepted=%d denied=%d", accepted, denied)
+	}
+}
+
+// usesRaw reports whether the printed SQL mentions the column at all
+// (word-boundary-ish check good enough for single-letter columns).
+func usesRaw(lowerSQL, col string) bool {
+	for i := 0; i+len(col) <= len(lowerSQL); i++ {
+		if lowerSQL[i:i+len(col)] != col {
+			continue
+		}
+		before := byte(' ')
+		if i > 0 {
+			before = lowerSQL[i-1]
+		}
+		after := byte(' ')
+		if i+len(col) < len(lowerSQL) {
+			after = lowerSQL[i+len(col)]
+		}
+		if !isWordByte(before) && !isWordByte(after) {
+			return true
+		}
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= '0' && b <= '9')
+}
+
+func soundnessStore(t *testing.T, rng *rand.Rand) *storage.Store {
+	t.Helper()
+	st := storage.NewStore()
+	d := st.Create(schema.NewRelation("d",
+		schema.SensitiveCol("user", schema.TypeString),
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	))
+	users := []string{"alice", "bob"}
+	rows := make(schema.Rows, 300)
+	for i := range rows {
+		rows[i] = schema.Row{
+			schema.String(users[rng.Intn(2)]),
+			schema.Float(float64(rng.Intn(30)) / 10),
+			schema.Float(float64(rng.Intn(30)) / 10),
+			schema.Float(float64(rng.Intn(30)) / 10),
+			schema.Int(int64(i)),
+		}
+	}
+	if err := d.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

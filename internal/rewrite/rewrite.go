@@ -1,0 +1,319 @@
+// Package rewrite implements the preprocessor of the PArADISE query
+// processor (Grunert & Heuer, §3.1 and §4.2): it analyzes an incoming query
+// against the affected user's privacy policy and rewrites it so that
+//
+//   - attributes the user does not reveal are removed from SELECT clauses
+//     (projection control),
+//   - the policy's atomic conditions are conjunctively merged into the
+//     WHERE/HAVING clauses of the *innermost possible* part of the nested
+//     query (selection control),
+//   - attributes restricted to aggregated form are replaced by their
+//     mandated aggregate with a new alias (e.g. AVG(z) AS zAVG) that is
+//     propagated to the outer query parts, together with the mandated
+//     GROUP BY and HAVING safeguards, and
+//   - a differently-permissioned sensor can be substituted in FROM.
+//
+// The rewriter never weakens a query: it only removes projections and adds
+// conjuncts, so the rewritten result is always a subset (tuple- and
+// attribute-wise) of the original.
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"paradise/internal/policy"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// ErrDenied is returned when the policy forbids answering the query at all
+// (e.g. a denied attribute is load-bearing in WHERE or GROUP BY).
+var ErrDenied = errors.New("rewrite: query denied by privacy policy")
+
+// ErrUnsupported is returned for query shapes the rewriter cannot transform
+// safely (it refuses rather than guessing).
+var ErrUnsupported = errors.New("rewrite: unsupported query shape")
+
+// Options tune the rewriter.
+type Options struct {
+	// TableSubstitutions maps base-table names to less revealing
+	// replacements ("if one sensor releases too much information, another
+	// sensor is queried by changing the relation in the FROM clause").
+	// The substitute must provide every column the query still needs.
+	TableSubstitutions map[string]string
+}
+
+// Report documents every transformation applied, for the privacy audit
+// trail the processor returns with each query.
+type Report struct {
+	// RemovedAttributes are attributes dropped from SELECT clauses.
+	RemovedAttributes []string
+	// InjectedWhere lists the policy conditions merged into WHERE clauses.
+	InjectedWhere []string
+	// InjectedHaving lists conditions merged into HAVING clauses.
+	InjectedHaving []string
+	// EnforcedAggregations maps attribute -> alias for mandated aggregates.
+	EnforcedAggregations map[string]string
+	// CompressedAttributes maps attribute -> grid width for §3.3
+	// compression (values released only snapped to the grid).
+	CompressedAttributes map[string]float64
+	// SubstitutedTables maps original -> replacement FROM relations.
+	SubstitutedTables map[string]string
+}
+
+func newReport() *Report {
+	return &Report{
+		EnforcedAggregations: make(map[string]string),
+		CompressedAttributes: make(map[string]float64),
+		SubstitutedTables:    make(map[string]string),
+	}
+}
+
+// Changed reports whether any transformation was applied.
+func (r *Report) Changed() bool {
+	return len(r.RemovedAttributes) > 0 || len(r.InjectedWhere) > 0 ||
+		len(r.InjectedHaving) > 0 || len(r.EnforcedAggregations) > 0 ||
+		len(r.CompressedAttributes) > 0 || len(r.SubstitutedTables) > 0
+}
+
+// Summary renders a human-readable digest of the transformations.
+func (r *Report) Summary() string {
+	var parts []string
+	if len(r.RemovedAttributes) > 0 {
+		parts = append(parts, "removed: "+strings.Join(r.RemovedAttributes, ", "))
+	}
+	if len(r.InjectedWhere) > 0 {
+		parts = append(parts, "where+: "+strings.Join(r.InjectedWhere, " AND "))
+	}
+	if len(r.InjectedHaving) > 0 {
+		parts = append(parts, "having+: "+strings.Join(r.InjectedHaving, " AND "))
+	}
+	if len(r.EnforcedAggregations) > 0 {
+		var ag []string
+		for attr, alias := range r.EnforcedAggregations {
+			ag = append(ag, attr+"->"+alias)
+		}
+		sort.Strings(ag)
+		parts = append(parts, "aggregated: "+strings.Join(ag, ", "))
+	}
+	if len(r.CompressedAttributes) > 0 {
+		var cs []string
+		for attr, grid := range r.CompressedAttributes {
+			cs = append(cs, fmt.Sprintf("%s@%g", attr, grid))
+		}
+		sort.Strings(cs)
+		parts = append(parts, "compressed: "+strings.Join(cs, ", "))
+	}
+	if len(r.SubstitutedTables) > 0 {
+		var su []string
+		for from, to := range r.SubstitutedTables {
+			su = append(su, from+"->"+to)
+		}
+		sort.Strings(su)
+		parts = append(parts, "substituted: "+strings.Join(su, ", "))
+	}
+	if len(parts) == 0 {
+		return "no transformation required"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Rewriter transforms queries under privacy policies.
+type Rewriter struct {
+	cat  *schema.Catalog
+	opts Options
+}
+
+// New builds a rewriter over the given catalog (needed to expand SELECT *
+// and to place conditions at the innermost possible level).
+func New(cat *schema.Catalog, opts Options) *Rewriter {
+	return &Rewriter{cat: cat, opts: opts}
+}
+
+// Rewrite returns a policy-compliant version of the query plus the report
+// of applied transformations. The input statement is not modified.
+func (rw *Rewriter) Rewrite(sel *sqlparser.Select, mod *policy.Module) (*sqlparser.Select, *Report, error) {
+	out := sqlparser.CloneSelect(sel)
+	rep := newReport()
+
+	// 1. Substitute over-revealing sensors in FROM clauses.
+	if len(rw.opts.TableSubstitutions) > 0 {
+		sqlparser.WalkSelects(out, func(q *sqlparser.Select) {
+			q.From = rw.substitute(q.From, rep)
+		})
+	}
+
+	// 2. Collect the SELECT chain from outermost to innermost and the
+	// available input columns at each level.
+	chain, avail, err := rw.analyze(out)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// 3. Projection control: expand stars at the innermost level where
+	// denied attributes could leak, then drop denied items everywhere.
+	if err := rw.enforceProjection(chain, avail, mod, rep); err != nil {
+		return nil, nil, err
+	}
+
+	// 4. Reject queries that *use* denied attributes structurally.
+	if err := rw.rejectDeniedUsage(chain, avail, mod); err != nil {
+		return nil, nil, err
+	}
+
+	// 5. Inject atomic conditions at the innermost possible level.
+	rw.injectConditions(chain, avail, mod, rep)
+
+	// 6. Enforce mandated aggregations with alias propagation.
+	if err := rw.enforceAggregations(chain, avail, mod, rep); err != nil {
+		return nil, nil, err
+	}
+
+	// 7. A mandated aggregation can introduce new attribute references
+	// (its GROUP BY columns); their conditions now apply too. Injection is
+	// idempotent, so re-running it only adds what became necessary.
+	rw.injectConditions(chain, avail, mod, rep)
+
+	// 8. Apply §3.3 compression: attributes restricted to grid resolution.
+	rw.enforceCompression(chain, mod, rep)
+
+	return out, rep, nil
+}
+
+// substitute applies table substitutions to one FROM tree.
+func (rw *Rewriter) substitute(t sqlparser.TableRef, rep *Report) sqlparser.TableRef {
+	switch x := t.(type) {
+	case *sqlparser.TableName:
+		if repl, ok := rw.opts.TableSubstitutions[x.Name]; ok && repl != x.Name {
+			rep.SubstitutedTables[x.Name] = repl
+			alias := x.Alias
+			if alias == "" {
+				// Keep the old name visible as alias so outer references
+				// still resolve.
+				alias = x.Name
+			}
+			return &sqlparser.TableName{Name: repl, Alias: alias}
+		}
+		return x
+	case *sqlparser.Join:
+		x.Left = rw.substitute(x.Left, rep)
+		x.Right = rw.substitute(x.Right, rep)
+		return x
+	default:
+		return t
+	}
+}
+
+// level pairs a SELECT with its depth; chain[0] is the outermost query.
+type level struct {
+	sel   *sqlparser.Select
+	depth int
+}
+
+// analyze walks the FROM chain of derived tables. Levels are the nested
+// SELECTs along the spine (outermost first); avail[i] is the set of input
+// columns visible at chain[i].
+func (rw *Rewriter) analyze(out *sqlparser.Select) ([]level, []map[string]bool, error) {
+	var chain []level
+	cur := out
+	depth := 0
+	for {
+		chain = append(chain, level{sel: cur, depth: depth})
+		sq, ok := cur.From.(*sqlparser.Subquery)
+		if !ok {
+			break
+		}
+		cur = sq.Select
+		depth++
+	}
+
+	avail := make([]map[string]bool, len(chain))
+	// Compute from innermost upward.
+	for i := len(chain) - 1; i >= 0; i-- {
+		q := chain[i].sel
+		if i == len(chain)-1 {
+			cols, err := rw.baseColumns(q.From)
+			if err != nil {
+				return nil, nil, err
+			}
+			avail[i] = cols
+		} else {
+			// Input of level i is the output of level i+1.
+			avail[i] = outputColumns(chain[i+1].sel, avail[i+1])
+		}
+	}
+	return chain, avail, nil
+}
+
+// baseColumns resolves the columns provided by a base FROM tree (tables and
+// joins; derived tables do not occur here because analyze stopped at the
+// innermost spine SELECT).
+func (rw *Rewriter) baseColumns(t sqlparser.TableRef) (map[string]bool, error) {
+	out := make(map[string]bool)
+	var walk func(t sqlparser.TableRef) error
+	walk = func(t sqlparser.TableRef) error {
+		switch x := t.(type) {
+		case nil:
+			return nil
+		case *sqlparser.TableName:
+			rel, ok := rw.cat.Lookup(x.Name)
+			if !ok {
+				return fmt.Errorf("%w: unknown relation %q", ErrUnsupported, x.Name)
+			}
+			for _, c := range rel.Columns {
+				out[c.Name] = true
+			}
+			return nil
+		case *sqlparser.Join:
+			if err := walk(x.Left); err != nil {
+				return err
+			}
+			return walk(x.Right)
+		case *sqlparser.Subquery:
+			// Off-spine derived table (inside a join): use its output.
+			inner, innerAvail, err := rw.analyze(x.Select)
+			if err != nil {
+				return err
+			}
+			for c := range outputColumns(inner[0].sel, innerAvail[0]) {
+				out[c] = true
+			}
+			return nil
+		default:
+			return fmt.Errorf("%w: FROM item %T", ErrUnsupported, t)
+		}
+	}
+	if err := walk(t); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// outputColumns derives the output column names of a SELECT given its input
+// columns (for star expansion).
+func outputColumns(q *sqlparser.Select, input map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for i, it := range q.Items {
+		if _, ok := it.Expr.(*sqlparser.Star); ok {
+			for c := range input {
+				out[c] = true
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+				name = c.Name
+			} else if f, ok := it.Expr.(*sqlparser.FuncCall); ok {
+				name = f.Name
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		out[name] = true
+	}
+	return out
+}

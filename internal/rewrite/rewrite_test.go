@@ -1,0 +1,382 @@
+package rewrite
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"paradise/internal/policy"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+func testCatalog() *schema.Catalog {
+	cat := schema.NewCatalog()
+	cat.Register(schema.NewRelation("d",
+		schema.SensitiveCol("user", schema.TypeString),
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	))
+	cat.Register(schema.NewRelation("stream",
+		schema.SensitiveCol("tag_id", schema.TypeInt),
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	))
+	cat.Register(schema.NewRelation("thermometer",
+		schema.Col("sensor_id", schema.TypeInt),
+		schema.Col("t", schema.TypeInt),
+		schema.Col("celsius", schema.TypeFloat),
+	))
+	return cat
+}
+
+func actionFilter(t *testing.T) *policy.Module {
+	t.Helper()
+	m, ok := policy.Figure4().ModuleByID("ActionFilter")
+	if !ok {
+		t.Fatal("Figure4 policy lacks ActionFilter")
+	}
+	return m
+}
+
+func mustParse(t *testing.T, q string) *sqlparser.Select {
+	t.Helper()
+	s, err := sqlparser.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return s
+}
+
+func mustRewrite(t *testing.T, rw *Rewriter, q string, m *policy.Module) (*sqlparser.Select, *Report) {
+	t.Helper()
+	out, rep, err := rw.Rewrite(mustParse(t, q), m)
+	if err != nil {
+		t.Fatalf("rewrite %q: %v", q, err)
+	}
+	return out, rep
+}
+
+// TestPaperRunningExample checks the exact §4.2 transformation: the query
+//
+//	SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t)
+//	FROM (SELECT x, y, z, t FROM d)
+//
+// under the Figure 4 policy becomes
+//
+//	SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t)
+//	FROM (SELECT x, y, AVG(z) AS zAVG, t FROM d
+//	      WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100)
+func TestPaperRunningExample(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	out, rep := mustRewrite(t, rw,
+		"SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM (SELECT x, y, z, t FROM d)",
+		actionFilter(t))
+
+	inner := sqlparser.InnermostSelect(out)
+
+	// Inner WHERE carries both policy conditions conjunctively.
+	wantConj := map[string]bool{"x > y": true, "z < 2": true}
+	conj := sqlparser.Conjuncts(inner.Where)
+	if len(conj) != 2 {
+		t.Fatalf("inner WHERE = %v, want 2 conjuncts", exprSQLs(conj))
+	}
+	for _, c := range conj {
+		if !wantConj[c.SQL()] {
+			t.Errorf("unexpected conjunct %q", c.SQL())
+		}
+	}
+
+	// Mandated aggregation: AVG(z) AS zavg.
+	foundAgg := false
+	for _, it := range inner.Items {
+		f, ok := it.Expr.(*sqlparser.FuncCall)
+		if ok && f.Name == "avg" && strings.EqualFold(it.Alias, "zavg") {
+			foundAgg = true
+		}
+		if c, ok := it.Expr.(*sqlparser.ColumnRef); ok && c.Name == "z" {
+			t.Error("raw z still projected")
+		}
+	}
+	if !foundAgg {
+		t.Fatalf("AVG(z) AS zavg missing from inner select: %s", inner.SQL())
+	}
+
+	// GROUP BY x, y.
+	if len(inner.GroupBy) != 2 {
+		t.Fatalf("GROUP BY = %v", exprSQLs(inner.GroupBy))
+	}
+
+	// HAVING SUM(z) > 100.
+	if inner.Having == nil || inner.Having.SQL() != "SUM(z) > 100" {
+		t.Fatalf("HAVING = %v", inner.Having)
+	}
+
+	// Alias propagated into the outer window spec: PARTITION BY zavg.
+	f := out.Items[0].Expr.(*sqlparser.FuncCall)
+	pb := f.Over.PartitionBy[0].(*sqlparser.ColumnRef)
+	if !strings.EqualFold(pb.Name, "zavg") {
+		t.Fatalf("PARTITION BY = %q, want zavg", pb.Name)
+	}
+
+	// Report mentions everything.
+	if len(rep.InjectedWhere) != 2 || len(rep.InjectedHaving) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.EnforcedAggregations["z"] != "zavg" {
+		t.Fatalf("aggregations = %v", rep.EnforcedAggregations)
+	}
+
+	// The rewritten SQL must re-parse.
+	if _, err := sqlparser.Parse(out.SQL()); err != nil {
+		t.Fatalf("rewritten SQL does not reparse: %s: %v", out.SQL(), err)
+	}
+}
+
+func TestProjectionRemoval(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	out, rep := mustRewrite(t, rw, "SELECT user, x, y FROM d", actionFilter(t))
+	for _, it := range out.Items {
+		if c, ok := it.Expr.(*sqlparser.ColumnRef); ok && c.Name == "user" {
+			t.Fatal("denied attribute user still projected")
+		}
+	}
+	if len(rep.RemovedAttributes) != 1 || rep.RemovedAttributes[0] != "user" {
+		t.Fatalf("removed = %v", rep.RemovedAttributes)
+	}
+	if len(out.Items) != 2 {
+		t.Fatalf("items = %d", len(out.Items))
+	}
+}
+
+func TestStarExpansionDropsDenied(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	out, rep := mustRewrite(t, rw, "SELECT * FROM d", actionFilter(t))
+	if hasStarItem(out) {
+		t.Fatalf("star should be expanded: %s", out.SQL())
+	}
+	names := map[string]bool{}
+	for _, it := range out.Items {
+		if c, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+			names[c.Name] = true
+		}
+	}
+	if names["user"] {
+		t.Fatal("denied column user leaked through star")
+	}
+	for _, want := range []string{"x", "y", "t"} {
+		if !names[want] {
+			t.Errorf("column %s missing after expansion", want)
+		}
+	}
+	if len(rep.RemovedAttributes) == 0 {
+		t.Error("report should record the removal")
+	}
+	_ = rep
+}
+
+func TestAllDeniedRejected(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	_, _, err := rw.Rewrite(mustParse(t, "SELECT user FROM d"), actionFilter(t))
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("want ErrDenied, got %v", err)
+	}
+}
+
+func TestDeniedInWhereRejected(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	_, _, err := rw.Rewrite(mustParse(t, "SELECT x FROM d WHERE user = 'alice'"), actionFilter(t))
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("want ErrDenied, got %v", err)
+	}
+	_, _, err = rw.Rewrite(mustParse(t, "SELECT x FROM d GROUP BY user"), actionFilter(t))
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("GROUP BY user should be denied, got %v", err)
+	}
+	_, _, err = rw.Rewrite(mustParse(t, "SELECT x FROM d ORDER BY user"), actionFilter(t))
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("ORDER BY user should be denied, got %v", err)
+	}
+}
+
+func TestConditionInjectionIdempotent(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	// Query already contains x > y; it must not be duplicated.
+	out, _ := mustRewrite(t, rw, "SELECT x, y FROM d WHERE x > y", actionFilter(t))
+	conj := sqlparser.Conjuncts(out.Where)
+	count := 0
+	for _, c := range conj {
+		if c.SQL() == "x > y" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("x > y appears %d times: %s", count, out.SQL())
+	}
+}
+
+func TestConditionPlacementInnermost(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	out, _ := mustRewrite(t, rw,
+		"SELECT s FROM (SELECT x + y AS s, x, y FROM (SELECT x, y FROM d))",
+		actionFilter(t))
+	innermost := sqlparser.InnermostSelect(out)
+	if innermost.Where == nil || !strings.Contains(innermost.Where.SQL(), "x > y") {
+		t.Fatalf("x > y should land innermost, got: %s", out.SQL())
+	}
+	// The outer levels must not carry it.
+	if out.Where != nil {
+		t.Fatalf("outer WHERE should stay empty: %s", out.SQL())
+	}
+}
+
+func TestConditionSkippedWhenColumnsAbsent(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	// Query only touches t; the x>y and z<2 conditions cannot and need not
+	// be evaluated anywhere.
+	out, rep := mustRewrite(t, rw, "SELECT t FROM d", actionFilter(t))
+	if out.Where != nil {
+		t.Fatalf("no condition should be injected: %s", out.SQL())
+	}
+	if len(rep.InjectedWhere) != 0 {
+		t.Fatalf("report claims injections: %v", rep.InjectedWhere)
+	}
+}
+
+func TestAggregationNotForcedWhenNotProjected(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	// z is only filtered on, not projected: no aggregation rewrite needed,
+	// but the z<2 condition still applies.
+	out, rep := mustRewrite(t, rw, "SELECT x, y FROM d", actionFilter(t))
+	if len(rep.EnforcedAggregations) != 0 {
+		t.Fatalf("no aggregation should be enforced: %v", rep.EnforcedAggregations)
+	}
+	if out.Where == nil || !strings.Contains(out.Where.SQL(), "x > y") {
+		t.Fatalf("x > y should still be injected: %s", out.SQL())
+	}
+}
+
+func TestGroupByConflictRejected(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	_, _, err := rw.Rewrite(mustParse(t, "SELECT z, AVG(x) FROM d GROUP BY z"), actionFilter(t))
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("conflicting GROUP BY should be rejected, got %v", err)
+	}
+}
+
+func TestCompatibleGroupByMerged(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	out, rep := mustRewrite(t, rw, "SELECT x, y, z FROM d GROUP BY x, y", actionFilter(t))
+	if rep.EnforcedAggregations["z"] != "zavg" {
+		t.Fatalf("z should be aggregated: %s", out.SQL())
+	}
+	if len(out.GroupBy) != 2 {
+		t.Fatalf("GROUP BY should stay x, y: %s", out.SQL())
+	}
+	if out.Having == nil {
+		t.Fatalf("mandated HAVING missing: %s", out.SQL())
+	}
+}
+
+func TestTableSubstitution(t *testing.T) {
+	rw := New(testCatalog(), Options{TableSubstitutions: map[string]string{"d": "stream"}})
+	mod := policy.DefaultModule("any", schema.NewRelation("d",
+		schema.Col("x", schema.TypeFloat), schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat), schema.Col("t", schema.TypeInt),
+	))
+	out, rep := mustRewrite(t, rw, "SELECT x, y FROM d", mod)
+	tn, ok := out.From.(*sqlparser.TableName)
+	if !ok || tn.Name != "stream" {
+		t.Fatalf("FROM should be stream: %s", out.SQL())
+	}
+	if tn.Alias != "d" {
+		t.Fatalf("old name should remain as alias: %s", out.SQL())
+	}
+	if rep.SubstitutedTables["d"] != "stream" {
+		t.Fatalf("report = %v", rep.SubstitutedTables)
+	}
+}
+
+func TestNoChangeForCompliantQuery(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	mod := policy.DefaultModule("thermo", schema.NewRelation("thermometer",
+		schema.Col("sensor_id", schema.TypeInt),
+		schema.Col("t", schema.TypeInt),
+		schema.Col("celsius", schema.TypeFloat),
+	))
+	in := "SELECT sensor_id, AVG(celsius) AS c FROM thermometer GROUP BY sensor_id"
+	out, rep := mustRewrite(t, rw, in, mod)
+	if rep.Changed() {
+		t.Fatalf("compliant query should pass unchanged: %s", rep.Summary())
+	}
+	if out.SQL() != mustParse(t, in).SQL() {
+		t.Fatalf("query modified: %s", out.SQL())
+	}
+}
+
+func TestRewriteDoesNotMutateInput(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	in := mustParse(t, "SELECT x, y, z, t FROM d")
+	before := in.SQL()
+	_, _, err := rw.Rewrite(in, actionFilter(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.SQL() != before {
+		t.Fatalf("input mutated: %s", in.SQL())
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	_, rep := mustRewrite(t, rw,
+		"SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM (SELECT x, y, z, t FROM d)",
+		actionFilter(t))
+	s := rep.Summary()
+	for _, want := range []string{"where+", "having+", "aggregated"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q lacks %q", s, want)
+		}
+	}
+	empty := newReport()
+	if empty.Changed() || empty.Summary() == "" {
+		t.Error("empty report misbehaves")
+	}
+}
+
+func TestUnknownRelationUnsupported(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	_, _, err := rw.Rewrite(mustParse(t, "SELECT x FROM nosuch"), actionFilter(t))
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestStreamPolicyUseCase(t *testing.T) {
+	// The sensor-level form of the use case: SELECT * FROM stream with the
+	// ActionFilter policy denies tag_id and injects z < 2 (x > y is also a
+	// policy condition and lands in the same WHERE).
+	rw := New(testCatalog(), Options{})
+	out, _ := mustRewrite(t, rw, "SELECT * FROM stream", actionFilter(t))
+	inner := sqlparser.InnermostSelect(out)
+	if inner.Where == nil || !strings.Contains(inner.Where.SQL(), "z < 2") {
+		t.Fatalf("z < 2 missing: %s", out.SQL())
+	}
+	for _, it := range out.Items {
+		if c, ok := it.Expr.(*sqlparser.ColumnRef); ok && c.Name == "tag_id" {
+			t.Fatal("tag_id leaked")
+		}
+	}
+}
+
+func exprSQLs(es []sqlparser.Expr) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.SQL()
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrUnknownColumn is returned when a column lookup fails.
+var ErrUnknownColumn = errors.New("schema: unknown column")
+
+// Column describes one attribute of a relation.
+type Column struct {
+	// Name is the attribute name, lower-cased by convention.
+	Name string
+	// Type is the declared type of the attribute.
+	Type Type
+	// Sensitive marks attributes that carry direct personal references
+	// (used by quasi-identifier detection in the postprocessor).
+	Sensitive bool
+}
+
+// Relation is an ordered list of columns describing a table, stream or
+// intermediate query result.
+type Relation struct {
+	// Name is the relation name; empty for anonymous intermediate results.
+	Name    string
+	Columns []Column
+}
+
+// NewRelation builds a relation from (name, type) pairs.
+func NewRelation(name string, cols ...Column) *Relation {
+	return &Relation{Name: name, Columns: cols}
+}
+
+// Col is a convenience constructor for Column.
+func Col(name string, t Type) Column { return Column{Name: strings.ToLower(name), Type: t} }
+
+// SensitiveCol constructs a column flagged as personally identifying.
+func SensitiveCol(name string, t Type) Column {
+	return Column{Name: strings.ToLower(name), Type: t, Sensitive: true}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Columns) }
+
+// Index returns the position of the named column, or an error. Lookup is
+// case-insensitive, matching SQL identifier semantics.
+func (r *Relation) Index(name string) (int, error) {
+	name = strings.ToLower(name)
+	for i, c := range r.Columns {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: %q in %s", ErrUnknownColumn, name, r.describe())
+}
+
+// Has reports whether the relation has the named column.
+func (r *Relation) Has(name string) bool {
+	_, err := r.Index(name)
+	return err == nil
+}
+
+// ColumnNames returns the names in declaration order.
+func (r *Relation) ColumnNames() []string {
+	out := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy with an optional new name.
+func (r *Relation) Clone(name string) *Relation {
+	cols := make([]Column, len(r.Columns))
+	copy(cols, r.Columns)
+	return &Relation{Name: name, Columns: cols}
+}
+
+func (r *Relation) describe() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return "(" + strings.Join(r.ColumnNames(), ", ") + ")"
+}
+
+// String renders the schema as "name(a BIGINT, b DOUBLE)".
+func (r *Relation) String() string {
+	parts := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return r.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Row is one tuple. Rows are positional; the Relation gives names and types.
+type Row []Value
+
+// Clone copies the row.
+func (w Row) Clone() Row {
+	out := make(Row, len(w))
+	copy(out, w)
+	return out
+}
+
+// WireSize is the simulated serialized size of the row in bytes.
+func (w Row) WireSize() int {
+	n := 2 // length prefix
+	for _, v := range w {
+		n += v.WireSize()
+	}
+	return n
+}
+
+// GroupKey concatenates the group keys of selected column positions.
+func (w Row) GroupKey(idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		b.WriteString(w[i].GroupKey())
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// Rows is a slice of tuples with helpers used across the engine.
+type Rows []Row
+
+// WireSize sums the wire size of all rows.
+func (rs Rows) WireSize() int {
+	n := 0
+	for _, r := range rs {
+		n += r.WireSize()
+	}
+	return n
+}
+
+// Clone deep-copies all rows.
+func (rs Rows) Clone() Rows {
+	out := make(Rows, len(rs))
+	for i, r := range rs {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// Catalog maps relation names to schemas and is consulted by the planner,
+// the rewriter and the fragmenter.
+type Catalog struct {
+	relations map[string]*Relation
+}
+
+// NewCatalog builds an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{relations: make(map[string]*Relation)}
+}
+
+// Register adds or replaces a relation schema.
+func (c *Catalog) Register(r *Relation) {
+	c.relations[strings.ToLower(r.Name)] = r
+}
+
+// Lookup finds a relation schema by name.
+func (c *Catalog) Lookup(name string) (*Relation, bool) {
+	r, ok := c.relations[strings.ToLower(name)]
+	return r, ok
+}
+
+// MustLookup finds a relation schema by name and panics when it is absent.
+// Use only for relations the caller just registered.
+func (c *Catalog) MustLookup(name string) *Relation {
+	r, ok := c.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("schema: relation %q not in catalog", name))
+	}
+	return r
+}
+
+// Names returns the sorted relation names.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.relations))
+	for n := range c.relations {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,333 @@
+// Package schema defines the value model, row representation and relation
+// schemas shared by every layer of PArADISE: the storage engine, the SQL
+// executor, the stream processor, the anonymizer and the privacy metrics.
+package schema
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type enumerates the column types supported by the engine. The set mirrors
+// what the smart-environment sensors produce: numbers, strings, booleans and
+// timestamps.
+type Type int
+
+const (
+	// TypeNull is the type of the SQL NULL literal before coercion.
+	TypeNull Type = iota
+	// TypeBool holds true/false.
+	TypeBool
+	// TypeInt holds 64-bit signed integers.
+	TypeInt
+	// TypeFloat holds 64-bit IEEE floats.
+	TypeFloat
+	// TypeString holds UTF-8 text.
+	TypeString
+	// TypeTime holds timestamps with nanosecond resolution.
+	TypeTime
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeBool:
+		return "BOOLEAN"
+	case TypeInt:
+		return "BIGINT"
+	case TypeFloat:
+		return "DOUBLE"
+	case TypeString:
+		return "VARCHAR"
+	case TypeTime:
+		return "TIMESTAMP"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Numeric reports whether the type participates in arithmetic.
+func (t Type) Numeric() bool { return t == TypeInt || t == TypeFloat }
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	typ Type
+	b   bool
+	i   int64
+	f   float64
+	s   string
+	t   time.Time
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Bool wraps a bool.
+func Bool(b bool) Value { return Value{typ: TypeBool, b: b} }
+
+// Int wraps an int64.
+func Int(i int64) Value { return Value{typ: TypeInt, i: i} }
+
+// Float wraps a float64.
+func Float(f float64) Value { return Value{typ: TypeFloat, f: f} }
+
+// String wraps a string value. The name collides with fmt.Stringer on
+// purpose-built value constructors; the Stringer method is Format.
+func String(s string) Value { return Value{typ: TypeString, s: s} }
+
+// Time wraps a timestamp.
+func Time(t time.Time) Value { return Value{typ: TypeTime, t: t} }
+
+// Type returns the runtime type tag of the value.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.typ == TypeNull }
+
+// AsBool returns the boolean payload. It panics unless Type() == TypeBool.
+func (v Value) AsBool() bool {
+	if v.typ != TypeBool {
+		panic(fmt.Sprintf("schema: AsBool on %s", v.typ))
+	}
+	return v.b
+}
+
+// AsInt returns the integer payload. It panics unless Type() == TypeInt.
+func (v Value) AsInt() int64 {
+	if v.typ != TypeInt {
+		panic(fmt.Sprintf("schema: AsInt on %s", v.typ))
+	}
+	return v.i
+}
+
+// AsFloat returns the value as float64, coercing integers.
+// It panics unless the value is numeric.
+func (v Value) AsFloat() float64 {
+	switch v.typ {
+	case TypeFloat:
+		return v.f
+	case TypeInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("schema: AsFloat on %s", v.typ))
+	}
+}
+
+// AsString returns the string payload. It panics unless Type() == TypeString.
+func (v Value) AsString() string {
+	if v.typ != TypeString {
+		panic(fmt.Sprintf("schema: AsString on %s", v.typ))
+	}
+	return v.s
+}
+
+// AsTime returns the timestamp payload. It panics unless Type() == TypeTime.
+func (v Value) AsTime() time.Time {
+	if v.typ != TypeTime {
+		panic(fmt.Sprintf("schema: AsTime on %s", v.typ))
+	}
+	return v.t
+}
+
+// Format renders the value the way the engine prints result sets.
+func (v Value) Format() string {
+	switch v.typ {
+	case TypeNull:
+		return "NULL"
+	case TypeBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeString:
+		return v.s
+	case TypeTime:
+		return v.t.UTC().Format(time.RFC3339Nano)
+	default:
+		return fmt.Sprintf("<bad value %d>", int(v.typ))
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal suitable for re-parsing.
+func (v Value) SQLLiteral() string {
+	switch v.typ {
+	case TypeString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case TypeBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	case TypeTime:
+		return "'" + v.t.UTC().Format(time.RFC3339Nano) + "'"
+	default:
+		return v.Format()
+	}
+}
+
+// Equal reports SQL equality with NULL never equal to anything,
+// and numeric cross-type comparison (1 = 1.0).
+func (v Value) Equal(o Value) bool {
+	c, ok := v.Compare(o)
+	return ok && c == 0
+}
+
+// Identical reports representational equality, treating NULL as equal to
+// NULL. It is used by grouping, DISTINCT and the Direct Distance metric,
+// which all follow SQL's "NULLs group together" semantics.
+func (v Value) Identical(o Value) bool {
+	if v.typ == TypeNull || o.typ == TypeNull {
+		return v.typ == o.typ
+	}
+	c, ok := v.Compare(o)
+	return ok && c == 0
+}
+
+// Compare orders two values. It returns ok=false when the values are not
+// comparable (NULL involved, or mismatched non-numeric types).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.typ == TypeNull || o.typ == TypeNull {
+		return 0, false
+	}
+	if v.typ.Numeric() && o.typ.Numeric() {
+		if v.typ == TypeInt && o.typ == TypeInt {
+			switch {
+			case v.i < o.i:
+				return -1, true
+			case v.i > o.i:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		case math.IsNaN(a) || math.IsNaN(b):
+			return 0, false
+		default:
+			return 0, true
+		}
+	}
+	if v.typ != o.typ {
+		return 0, false
+	}
+	switch v.typ {
+	case TypeBool:
+		switch {
+		case v.b == o.b:
+			return 0, true
+		case !v.b:
+			return -1, true
+		default:
+			return 1, true
+		}
+	case TypeString:
+		return strings.Compare(v.s, o.s), true
+	case TypeTime:
+		switch {
+		case v.t.Before(o.t):
+			return -1, true
+		case v.t.After(o.t):
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// GroupKey returns a string that is identical for values that must share a
+// group (SQL GROUP BY semantics: NULLs group together, 1 and 1.0 group
+// together).
+func (v Value) GroupKey() string {
+	switch v.typ {
+	case TypeNull:
+		return "n"
+	case TypeBool:
+		if v.b {
+			return "bT"
+		}
+		return "bF"
+	case TypeInt:
+		// Integers group with equal floats.
+		return "f" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case TypeFloat:
+		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeString:
+		return "s" + v.s
+	case TypeTime:
+		return "t" + strconv.FormatInt(v.t.UnixNano(), 10)
+	default:
+		return "?"
+	}
+}
+
+// WireSize estimates the number of bytes needed to ship the value between
+// nodes of the vertical architecture. The network simulator uses it to
+// account traffic on each link.
+func (v Value) WireSize() int {
+	switch v.typ {
+	case TypeNull:
+		return 1
+	case TypeBool:
+		return 1
+	case TypeInt, TypeFloat, TypeTime:
+		return 8
+	case TypeString:
+		return 2 + len(v.s)
+	default:
+		return 1
+	}
+}
+
+// ParseValue converts raw text into the given type. It is used by the CSV
+// importer and the CLI tools.
+func ParseValue(s string, t Type) (Value, error) {
+	if s == "" || strings.EqualFold(s, "null") {
+		return Null(), nil
+	}
+	switch t {
+	case TypeBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null(), fmt.Errorf("schema: parse bool %q: %w", s, err)
+		}
+		return Bool(b), nil
+	case TypeInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("schema: parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("schema: parse float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case TypeString:
+		return String(s), nil
+	case TypeTime:
+		ts, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return Null(), fmt.Errorf("schema: parse time %q: %w", s, err)
+		}
+		return Time(ts), nil
+	default:
+		return Null(), fmt.Errorf("schema: cannot parse into %s", t)
+	}
+}

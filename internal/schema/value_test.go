@@ -1,0 +1,275 @@
+package schema
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() || Null().Type() != TypeNull {
+		t.Fatal("Null broken")
+	}
+	if !Bool(true).AsBool() || Bool(true).Type() != TypeBool {
+		t.Fatal("Bool broken")
+	}
+	if Int(7).AsInt() != 7 {
+		t.Fatal("Int broken")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Fatal("Float broken")
+	}
+	if String("hi").AsString() != "hi" {
+		t.Fatal("String broken")
+	}
+	ts := time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
+	if !Time(ts).AsTime().Equal(ts) {
+		t.Fatal("Time broken")
+	}
+	// Int coerces via AsFloat.
+	if Int(3).AsFloat() != 3.0 {
+		t.Fatal("Int AsFloat coercion broken")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Null().AsBool() },
+		func() { String("x").AsInt() },
+		func() { Bool(true).AsFloat() },
+		func() { Int(1).AsString() },
+		func() { Float(1).AsTime() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b   Value
+		want   int
+		wantOK bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Int(1), Float(1.0), 0, true},
+		{Float(1.5), Int(1), 1, true},
+		{String("a"), String("b"), -1, true},
+		{Bool(false), Bool(true), -1, true},
+		{Null(), Int(1), 0, false},
+		{Int(1), Null(), 0, false},
+		{String("a"), Int(1), 0, false},
+		{Time(time.Unix(1, 0)), Time(time.Unix(2, 0)), -1, true},
+	}
+	for _, c := range cases {
+		got, ok := c.a.Compare(c.b)
+		if ok != c.wantOK || (ok && got != c.want) {
+			t.Errorf("Compare(%s, %s) = %d,%v want %d,%v",
+				c.a.Format(), c.b.Format(), got, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+func TestEqualVsIdentical(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Fatal("SQL NULL = NULL must not hold")
+	}
+	if !Null().Identical(Null()) {
+		t.Fatal("Identical groups NULLs")
+	}
+	if !Int(1).Identical(Float(1)) {
+		t.Fatal("1 and 1.0 group together")
+	}
+}
+
+func TestGroupKeyConsistency(t *testing.T) {
+	// Identical values must share group keys; distinct ones must not.
+	pairs := []struct {
+		a, b Value
+		same bool
+	}{
+		{Int(1), Float(1.0), true},
+		{Int(1), Int(2), false},
+		{String("a"), String("a"), true},
+		{Null(), Null(), true},
+		{Bool(true), Bool(false), false},
+		{String("1"), Int(1), false}, // different types, different keys
+	}
+	for _, p := range pairs {
+		if (p.a.GroupKey() == p.b.GroupKey()) != p.same {
+			t.Errorf("GroupKey(%s) vs GroupKey(%s): same=%v want %v",
+				p.a.Format(), p.b.Format(), !p.same, p.same)
+		}
+	}
+}
+
+func TestSQLLiteralRoundTrips(t *testing.T) {
+	if Int(-5).SQLLiteral() != "-5" {
+		t.Fatal(Int(-5).SQLLiteral())
+	}
+	if String("it's").SQLLiteral() != "'it''s'" {
+		t.Fatal(String("it's").SQLLiteral())
+	}
+	if Bool(true).SQLLiteral() != "TRUE" {
+		t.Fatal(Bool(true).SQLLiteral())
+	}
+	if Null().SQLLiteral() != "NULL" {
+		t.Fatal(Null().SQLLiteral())
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue("3.5", TypeFloat)
+	if err != nil || v.AsFloat() != 3.5 {
+		t.Fatalf("ParseValue float: %v %v", v, err)
+	}
+	v, err = ParseValue("42", TypeInt)
+	if err != nil || v.AsInt() != 42 {
+		t.Fatalf("ParseValue int: %v %v", v, err)
+	}
+	v, err = ParseValue("true", TypeBool)
+	if err != nil || !v.AsBool() {
+		t.Fatalf("ParseValue bool: %v %v", v, err)
+	}
+	v, err = ParseValue("", TypeInt)
+	if err != nil || !v.IsNull() {
+		t.Fatalf("empty should be NULL: %v %v", v, err)
+	}
+	if _, err := ParseValue("abc", TypeInt); err == nil {
+		t.Fatal("bad int should error")
+	}
+	if _, err := ParseValue("notatime", TypeTime); err == nil {
+		t.Fatal("bad time should error")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	if Null().WireSize() != 1 || Int(1).WireSize() != 8 {
+		t.Fatal("fixed sizes wrong")
+	}
+	if String("abcd").WireSize() != 6 {
+		t.Fatal("string size = 2 + len")
+	}
+	row := Row{Int(1), String("ab")}
+	if row.WireSize() != 2+8+4 {
+		t.Fatalf("row wire size = %d", row.WireSize())
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		c1, ok1 := va.Compare(vb)
+		c2, ok2 := vb.Compare(va)
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatGroupKeyEqualsCompareProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		va, vb := Float(a), Float(b)
+		c, ok := va.Compare(vb)
+		if !ok {
+			return true
+		}
+		return (c == 0) == (va.GroupKey() == vb.GroupKey())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationLookup(t *testing.T) {
+	r := NewRelation("d", Col("x", TypeFloat), SensitiveCol("USER", TypeString))
+	if r.Arity() != 2 {
+		t.Fatal("arity")
+	}
+	i, err := r.Index("X")
+	if err != nil || i != 0 {
+		t.Fatalf("case-insensitive lookup failed: %d %v", i, err)
+	}
+	if !r.Has("user") || r.Has("nope") {
+		t.Fatal("Has broken")
+	}
+	if _, err := r.Index("nope"); err == nil {
+		t.Fatal("missing column should error")
+	}
+	if !r.Columns[1].Sensitive {
+		t.Fatal("SensitiveCol flag lost")
+	}
+	if r.Columns[1].Name != "user" {
+		t.Fatal("names lower-cased")
+	}
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	r := NewRelation("d", Col("x", TypeFloat))
+	c := r.Clone("d2")
+	c.Columns[0].Name = "mut"
+	if r.Columns[0].Name != "x" {
+		t.Fatal("clone shares columns")
+	}
+	if c.Name != "d2" {
+		t.Fatal("clone name")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	c.Register(NewRelation("B", Col("x", TypeInt)))
+	c.Register(NewRelation("a", Col("y", TypeInt)))
+	if _, ok := c.Lookup("b"); !ok {
+		t.Fatal("case-insensitive catalog lookup")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRowsHelpers(t *testing.T) {
+	rows := Rows{{Int(1), String("a")}, {Int(2), String("b")}}
+	cl := rows.Clone()
+	cl[0][0] = Int(99)
+	if rows[0][0].AsInt() != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+	if rows.WireSize() != rows[0].WireSize()+rows[1].WireSize() {
+		t.Fatal("WireSize sums rows")
+	}
+	key1 := rows[0].GroupKey([]int{0, 1})
+	key2 := rows[1].GroupKey([]int{0, 1})
+	if key1 == key2 {
+		t.Fatal("distinct rows share group key")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		TypeNull: "NULL", TypeBool: "BOOLEAN", TypeInt: "BIGINT",
+		TypeFloat: "DOUBLE", TypeString: "VARCHAR", TypeTime: "TIMESTAMP",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %s", typ, typ.String())
+		}
+	}
+	if !TypeInt.Numeric() || !TypeFloat.Numeric() || TypeString.Numeric() {
+		t.Fatal("Numeric flags wrong")
+	}
+}

@@ -1,0 +1,57 @@
+package sensors
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"paradise/internal/storage"
+)
+
+// TestTraceCSVRoundTrip exercises the cmd/smartlab data path: every device
+// table of a generated trace survives CSV export and re-import unchanged.
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr, err := Generate(Meeting(3, 15*time.Second, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range AllDevices {
+		rel := DeviceSchema(dev)
+		rows := tr.Device[dev]
+		if len(rows) == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := storage.WriteCSV(&buf, rel, rows); err != nil {
+			t.Fatalf("%s: write: %v", dev, err)
+		}
+		back, err := storage.ReadCSV(&buf, rel)
+		if err != nil {
+			t.Fatalf("%s: read: %v", dev, err)
+		}
+		if len(back) != len(rows) {
+			t.Fatalf("%s: %d rows in, %d out", dev, len(rows), len(back))
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				if !rows[i][j].Identical(back[i][j]) {
+					t.Fatalf("%s row %d col %d: %s != %s",
+						dev, i, j, rows[i][j].Format(), back[i][j].Format())
+				}
+			}
+		}
+	}
+
+	// The integrated table too.
+	var buf bytes.Buffer
+	if err := storage.WriteCSV(&buf, IntegratedSchema(), tr.Integrated); err != nil {
+		t.Fatal(err)
+	}
+	back, err := storage.ReadCSV(&buf, IntegratedSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr.Integrated) {
+		t.Fatalf("integrated: %d vs %d", len(back), len(tr.Integrated))
+	}
+}

@@ -1,0 +1,133 @@
+// Package sensors simulates the Smart Appliance Lab of Grunert & Heuer
+// (EDBT 2016, §1): the device ensemble of a smart meeting room or AAL
+// apartment, generating deterministic, seeded sensor traces with activity
+// ground truth. The real lab's hardware (UbiSense tags, SensFloor, EIB bus,
+// Extron switches) is unavailable, so this package produces relations with
+// the same schemas and statistical shape; every downstream component — the
+// query processor, the rewriter, the fragmenter, the anonymizer — only ever
+// sees these relations, so the substitution exercises identical code paths.
+package sensors
+
+import (
+	"paradise/internal/schema"
+)
+
+// Device identifies one sensor family of the lab.
+type Device string
+
+// The device families listed in §1 of the paper.
+const (
+	DeviceLamp        Device = "lamps"
+	DeviceScreen      Device = "screens"
+	DevicePowerSocket Device = "powersocket"
+	DevicePenSensor   Device = "pensensor"
+	DeviceThermometer Device = "thermometer"
+	DeviceUbisense    Device = "ubisense"
+	DeviceSensFloor   Device = "sensfloor"
+	DeviceVGASensor   Device = "vgasensor"
+	DeviceEIBGateway  Device = "eibgateway"
+)
+
+// AllDevices lists every simulated device family in stable order.
+var AllDevices = []Device{
+	DeviceLamp, DeviceScreen, DevicePowerSocket, DevicePenSensor,
+	DeviceThermometer, DeviceUbisense, DeviceSensFloor, DeviceVGASensor,
+	DeviceEIBGateway,
+}
+
+// DeviceSchema returns the relation schema a device family produces.
+// Timestamps are integer ticks (milliseconds since scenario start) so query
+// results are exactly reproducible across platforms.
+func DeviceSchema(d Device) *schema.Relation {
+	switch d {
+	case DeviceLamp:
+		return schema.NewRelation(string(d),
+			schema.Col("lamp_id", schema.TypeInt),
+			schema.Col("t", schema.TypeInt),
+			schema.Col("level", schema.TypeFloat), // dim level 0..1
+		)
+	case DeviceScreen:
+		return schema.NewRelation(string(d),
+			schema.Col("screen_id", schema.TypeInt),
+			schema.Col("t", schema.TypeInt),
+			schema.Col("position", schema.TypeFloat), // 0 = up, 1 = down
+		)
+	case DevicePowerSocket:
+		return schema.NewRelation(string(d),
+			schema.Col("socket_id", schema.TypeInt),
+			schema.Col("t", schema.TypeInt),
+			schema.Col("milliamps", schema.TypeFloat),
+		)
+	case DevicePenSensor:
+		return schema.NewRelation(string(d),
+			schema.Col("pen_id", schema.TypeInt),
+			schema.Col("t", schema.TypeInt),
+			schema.Col("taken", schema.TypeBool),
+		)
+	case DeviceThermometer:
+		return schema.NewRelation(string(d),
+			schema.Col("sensor_id", schema.TypeInt),
+			schema.Col("t", schema.TypeInt),
+			schema.Col("celsius", schema.TypeFloat),
+		)
+	case DeviceUbisense:
+		return schema.NewRelation(string(d),
+			schema.SensitiveCol("tag_id", schema.TypeInt), // one tag per user
+			schema.Col("t", schema.TypeInt),
+			schema.Col("x", schema.TypeFloat),
+			schema.Col("y", schema.TypeFloat),
+			schema.Col("z", schema.TypeFloat),
+			schema.Col("valid", schema.TypeBool),
+		)
+	case DeviceSensFloor:
+		return schema.NewRelation(string(d),
+			schema.Col("cell_id", schema.TypeInt),
+			schema.Col("t", schema.TypeInt),
+			schema.Col("x", schema.TypeFloat),
+			schema.Col("y", schema.TypeFloat),
+			schema.Col("pressure", schema.TypeFloat), // kPa
+		)
+	case DeviceVGASensor:
+		return schema.NewRelation(string(d),
+			schema.Col("port_id", schema.TypeInt),
+			schema.Col("t", schema.TypeInt),
+			schema.Col("projector", schema.TypeInt),
+			schema.Col("connected", schema.TypeBool),
+		)
+	case DeviceEIBGateway:
+		return schema.NewRelation(string(d),
+			schema.Col("blind_id", schema.TypeInt),
+			schema.Col("t", schema.TypeInt),
+			schema.Col("position", schema.TypeFloat), // 0 = open, 1 = closed
+		)
+	default:
+		return nil
+	}
+}
+
+// IntegratedSchema is the schema of the integrated database d the paper's
+// queries run on: per-user positions with timestamps, joined from the
+// UbiSense tags. The user column carries a direct personal reference and is
+// flagged sensitive; x, y, z, t are the attributes of the running example.
+func IntegratedSchema() *schema.Relation {
+	return schema.NewRelation("d",
+		schema.SensitiveCol("user", schema.TypeString),
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	)
+}
+
+// StreamSchema is the sensor-level raw stream relation the lowest fragment
+// queries (`SELECT * FROM stream WHERE z < 2` in §4.2). It mirrors the
+// integrated schema minus the user resolution (tags, not names).
+func StreamSchema() *schema.Relation {
+	return schema.NewRelation("stream",
+		schema.SensitiveCol("tag_id", schema.TypeInt),
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	)
+}

@@ -1,0 +1,312 @@
+package sensors
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"paradise/internal/schema"
+	"paradise/internal/storage"
+)
+
+// GroundTruth is one labelled interval of a person's activity, used to score
+// activity recognition and to measure information loss for the *intended*
+// analysis.
+type GroundTruth struct {
+	Person   string
+	TagID    int64
+	Activity Activity
+	FromMs   int64
+	ToMs     int64
+}
+
+// Trace is a fully generated simulation: one row set per device family, the
+// integrated database d, plus the activity ground truth.
+type Trace struct {
+	Scenario *Scenario
+	// Device holds the generated rows per device family.
+	Device map[Device]schema.Rows
+	// Integrated is the per-user position table d (user, x, y, z, t).
+	Integrated schema.Rows
+	// Truth is the labelled activity timeline.
+	Truth []GroundTruth
+}
+
+// Generate runs the simulation and produces a deterministic trace.
+func Generate(sc *Scenario) (*Trace, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	tr := &Trace{Scenario: sc, Device: make(map[Device]schema.Rows)}
+
+	stepMs := int64(math.Round(1000 / sc.Rate))
+	if stepMs < 1 {
+		stepMs = 1
+	}
+	totalMs := sc.Duration.Milliseconds()
+
+	// Per-person kinematic state.
+	type pstate struct {
+		pos      Point
+		stepIdx  int
+		stepEnd  int64
+		activity Activity
+		target   Point
+	}
+	states := make([]pstate, len(sc.Persons))
+	for i, p := range sc.Persons {
+		states[i] = pstate{pos: p.Start}
+		if len(p.Steps) > 0 {
+			states[i].activity = p.Steps[0].Activity
+			states[i].stepEnd = p.Steps[0].For.Milliseconds()
+			states[i].target = p.Steps[0].To
+			tr.Truth = append(tr.Truth, GroundTruth{
+				Person: p.Name, TagID: p.TagID, Activity: p.Steps[0].Activity,
+				FromMs: 0, ToMs: minI64(states[i].stepEnd, totalMs),
+			})
+		}
+	}
+
+	// Ambient state for non-positional devices.
+	temp := 21.0 + rng.Float64()*2
+
+	for now := int64(0); now < totalMs; now += stepMs {
+		occupied := make(map[int]bool) // floor cell -> someone standing on it
+
+		for pi := range sc.Persons {
+			p := &sc.Persons[pi]
+			st := &states[pi]
+
+			// Advance the script.
+			for st.stepIdx < len(p.Steps) && now >= st.stepEnd {
+				st.stepIdx++
+				if st.stepIdx < len(p.Steps) {
+					step := p.Steps[st.stepIdx]
+					st.activity = step.Activity
+					st.target = step.To
+					from := st.stepEnd
+					st.stepEnd += step.For.Milliseconds()
+					tr.Truth = append(tr.Truth, GroundTruth{
+						Person: p.Name, TagID: p.TagID, Activity: step.Activity,
+						FromMs: from, ToMs: minI64(st.stepEnd, totalMs),
+					})
+				} else {
+					st.activity = ActivityStand
+					st.stepEnd = totalMs
+					tr.Truth = append(tr.Truth, GroundTruth{
+						Person: p.Name, TagID: p.TagID, Activity: ActivityStand,
+						FromMs: st.stepEnd, ToMs: totalMs,
+					})
+				}
+			}
+
+			// Kinematics: walking moves toward the target at ~1.3 m/s.
+			if st.activity == ActivityWalk {
+				dx, dy := st.target.X-st.pos.X, st.target.Y-st.pos.Y
+				dist := math.Hypot(dx, dy)
+				stepLen := 1.3 * float64(stepMs) / 1000
+				if dist <= stepLen {
+					st.pos = st.target
+				} else {
+					st.pos.X += dx / dist * stepLen
+					st.pos.Y += dy / dist * stepLen
+				}
+			}
+
+			// Tag height by activity (metres), with sensor noise. The tag
+			// is worn at chest height; falls put it near the floor. These
+			// heights drive both the z<2 policy condition and the activity
+			// classifier.
+			var z float64
+			switch st.activity {
+			case ActivityWalk:
+				z = 1.35 + 0.08*math.Sin(float64(now)/180) // gait bounce
+			case ActivityStand, ActivityPresent:
+				z = 1.40
+			case ActivitySit:
+				z = 0.95
+			case ActivityFall:
+				z = 0.25
+			default:
+				z = 1.40
+			}
+			z += rng.NormFloat64() * 0.03
+			nx := st.pos.X + rng.NormFloat64()*0.05
+			ny := st.pos.Y + rng.NormFloat64()*0.05
+			if sc.PositionGridM > 0 {
+				nx = math.Round(nx/sc.PositionGridM) * sc.PositionGridM
+				ny = math.Round(ny/sc.PositionGridM) * sc.PositionGridM
+			}
+
+			// UbiSense occasionally reports invalid positions (the paper
+			// mentions a validity flag).
+			valid := rng.Float64() > 0.02
+
+			tr.Device[DeviceUbisense] = append(tr.Device[DeviceUbisense], schema.Row{
+				schema.Int(p.TagID), schema.Int(now),
+				schema.Float(round3(nx)), schema.Float(round3(ny)), schema.Float(round3(z)),
+				schema.Bool(valid),
+			})
+			if valid {
+				tr.Integrated = append(tr.Integrated, schema.Row{
+					schema.String(p.Name),
+					schema.Float(round3(nx)), schema.Float(round3(ny)), schema.Float(round3(z)),
+					schema.Int(now),
+				})
+			}
+
+			// SensFloor fires for persons on the floor grid while standing
+			// or walking (pressure from footsteps).
+			if sc.FloorCells > 0 && (st.activity == ActivityWalk || st.activity == ActivityStand || st.activity == ActivityPresent || st.activity == ActivityFall) {
+				cell := floorCell(sc, st.pos)
+				if !occupied[cell] {
+					occupied[cell] = true
+					pressure := 60 + rng.NormFloat64()*5 // body weight distributed
+					if st.activity == ActivityFall {
+						pressure = 90 + rng.NormFloat64()*8 // whole body on the floor
+					}
+					tr.Device[DeviceSensFloor] = append(tr.Device[DeviceSensFloor], schema.Row{
+						schema.Int(int64(cell)), schema.Int(now),
+						schema.Float(round3(st.pos.X)), schema.Float(round3(st.pos.Y)),
+						schema.Float(round3(pressure)),
+					})
+				}
+			}
+		}
+
+		// Low-rate ambient devices sample at 1 Hz.
+		if now%1000 < stepMs {
+			sec := now / 1000
+			temp += rng.NormFloat64() * 0.02
+			for i := 0; i < sc.Thermometers; i++ {
+				tr.Device[DeviceThermometer] = append(tr.Device[DeviceThermometer], schema.Row{
+					schema.Int(int64(i + 1)), schema.Int(now),
+					schema.Float(round3(temp + float64(i)*0.3)),
+				})
+			}
+			for i := 0; i < sc.Lamps; i++ {
+				level := 0.8
+				if i%2 == 1 {
+					level = 0.4
+				}
+				tr.Device[DeviceLamp] = append(tr.Device[DeviceLamp], schema.Row{
+					schema.Int(int64(i + 1)), schema.Int(now), schema.Float(level),
+				})
+			}
+			for i := 0; i < sc.Sockets; i++ {
+				ma := 150 + 40*math.Sin(float64(sec)/7+float64(i)) + rng.NormFloat64()*5
+				tr.Device[DevicePowerSocket] = append(tr.Device[DevicePowerSocket], schema.Row{
+					schema.Int(int64(i + 1)), schema.Int(now), schema.Float(round3(ma)),
+				})
+			}
+			for i := 0; i < sc.Screens; i++ {
+				pos := 0.0
+				if sec > 10 {
+					pos = 1.0 // screens come down once the meeting starts
+				}
+				tr.Device[DeviceScreen] = append(tr.Device[DeviceScreen], schema.Row{
+					schema.Int(int64(i + 1)), schema.Int(now), schema.Float(pos),
+				})
+			}
+			for i := 0; i < sc.Pens; i++ {
+				taken := i == 0 && sec%30 > 15 // the presenter picks up pen 1
+				tr.Device[DevicePenSensor] = append(tr.Device[DevicePenSensor], schema.Row{
+					schema.Int(int64(i + 1)), schema.Int(now), schema.Bool(taken),
+				})
+			}
+			for i := 0; i < sc.VGAPorts; i++ {
+				tr.Device[DeviceVGASensor] = append(tr.Device[DeviceVGASensor], schema.Row{
+					schema.Int(int64(i + 1)), schema.Int(now),
+					schema.Int(int64(i%2 + 1)), schema.Bool(i == 0),
+				})
+			}
+			for i := 0; i < sc.Blinds; i++ {
+				tr.Device[DeviceEIBGateway] = append(tr.Device[DeviceEIBGateway], schema.Row{
+					schema.Int(int64(i + 1)), schema.Int(now), schema.Float(0.5),
+				})
+			}
+		}
+	}
+	return tr, nil
+}
+
+func floorCell(sc *Scenario, p Point) int {
+	side := int(math.Ceil(math.Sqrt(float64(sc.FloorCells))))
+	if side < 1 {
+		side = 1
+	}
+	cx := int(p.X / sc.Room.Width * float64(side))
+	cy := int(p.Y / sc.Room.Depth * float64(side))
+	cx = clamp(cx, 0, side-1)
+	cy = clamp(cy, 0, side-1)
+	return cy*side + cx
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func round3(f float64) float64 { return math.Round(f*1000) / 1000 }
+
+// BuildStore loads a trace into a fresh store: one table per device family
+// plus the integrated database d and the sensor-level stream relation.
+func BuildStore(tr *Trace) (*storage.Store, error) {
+	st := storage.NewStore()
+	for _, dev := range AllDevices {
+		rel := DeviceSchema(dev)
+		tab := st.Create(rel)
+		if err := tab.Append(tr.Device[dev]...); err != nil {
+			return nil, fmt.Errorf("sensors: load %s: %w", dev, err)
+		}
+	}
+	d := st.Create(IntegratedSchema())
+	if err := d.Append(tr.Integrated...); err != nil {
+		return nil, fmt.Errorf("sensors: load d: %w", err)
+	}
+	// The stream relation carries the same positions keyed by tag instead
+	// of user name (the sensor does not know user identities).
+	stream := st.Create(StreamSchema())
+	for _, row := range tr.Device[DeviceUbisense] {
+		// (tag_id, t, x, y, z, valid) -> (tag_id, x, y, z, t), valid only
+		if row[5].AsBool() {
+			if err := stream.Append(schema.Row{row[0], row[2], row[3], row[4], row[1]}); err != nil {
+				return nil, fmt.Errorf("sensors: load stream: %w", err)
+			}
+		}
+	}
+	return st, nil
+}
+
+// TruthAt returns the ground-truth activity of a tag at time tMs, or "".
+func (tr *Trace) TruthAt(tagID int64, tMs int64) Activity {
+	for _, g := range tr.Truth {
+		if g.TagID == tagID && tMs >= g.FromMs && tMs < g.ToMs {
+			return g.Activity
+		}
+	}
+	return ""
+}
+
+// RowCounts summarizes the trace volume per device, for Figure 1's
+// trace-generation bench.
+func (tr *Trace) RowCounts() map[Device]int {
+	out := make(map[Device]int, len(tr.Device))
+	for d, rows := range tr.Device {
+		out[d] = len(rows)
+	}
+	return out
+}

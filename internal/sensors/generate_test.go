@@ -1,0 +1,263 @@
+package sensors
+
+import (
+	"testing"
+	"time"
+
+	"paradise/internal/schema"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	sc1 := Meeting(3, 20*time.Second, 42)
+	sc2 := Meeting(3, 20*time.Second, 42)
+	tr1, err := Generate(sc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Generate(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr1.Integrated) != len(tr2.Integrated) {
+		t.Fatalf("different cardinalities: %d vs %d", len(tr1.Integrated), len(tr2.Integrated))
+	}
+	for i := range tr1.Integrated {
+		for j := range tr1.Integrated[i] {
+			if !tr1.Integrated[i][j].Identical(tr2.Integrated[i][j]) {
+				t.Fatalf("row %d col %d differs: %s vs %s",
+					i, j, tr1.Integrated[i][j].Format(), tr2.Integrated[i][j].Format())
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	tr1, _ := Generate(Meeting(2, 10*time.Second, 1))
+	tr2, _ := Generate(Meeting(2, 10*time.Second, 2))
+	same := true
+	for i := range tr1.Integrated {
+		if i >= len(tr2.Integrated) {
+			same = false
+			break
+		}
+		if !tr1.Integrated[i][1].Identical(tr2.Integrated[i][1]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different noise")
+	}
+}
+
+func TestAllDevicesProduceRows(t *testing.T) {
+	tr, err := Generate(Meeting(4, 30*time.Second, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range AllDevices {
+		if dev == DevicePenSensor && tr.Scenario.Pens == 0 {
+			continue
+		}
+		if len(tr.Device[dev]) == 0 {
+			t.Errorf("device %s produced no rows", dev)
+		}
+	}
+	counts := tr.RowCounts()
+	if counts[DeviceUbisense] == 0 {
+		t.Fatal("RowCounts broken")
+	}
+}
+
+func TestDeviceRowsMatchSchemas(t *testing.T) {
+	tr, err := Generate(Apartment(20*time.Second, true, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range AllDevices {
+		rel := DeviceSchema(dev)
+		if rel == nil {
+			t.Fatalf("no schema for %s", dev)
+		}
+		for _, row := range tr.Device[dev] {
+			if len(row) != rel.Arity() {
+				t.Fatalf("%s row arity %d != schema %d", dev, len(row), rel.Arity())
+			}
+		}
+	}
+	if DeviceSchema(Device("bogus")) != nil {
+		t.Fatal("bogus device should have no schema")
+	}
+}
+
+func TestGroundTruthCoversTimeline(t *testing.T) {
+	dur := 25 * time.Second
+	tr, err := Generate(Apartment(dur, true, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every integrated sample time must be labelled.
+	for _, row := range tr.Integrated[:min(len(tr.Integrated), 500)] {
+		tms := row[4].AsInt()
+		if a := tr.TruthAt(100, tms); a == "" {
+			t.Fatalf("no ground truth at t=%d", tms)
+		}
+	}
+	// The fall scenario must contain a fall interval.
+	hasFall := false
+	for _, g := range tr.Truth {
+		if g.Activity == ActivityFall {
+			hasFall = true
+		}
+	}
+	if !hasFall {
+		t.Fatal("withFall scenario has no fall label")
+	}
+}
+
+func TestFallLowersTagHeight(t *testing.T) {
+	tr, err := Generate(Apartment(30*time.Second, true, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fallZ, walkZ []float64
+	for _, row := range tr.Integrated {
+		tms := row[4].AsInt()
+		z := row[3].AsFloat()
+		switch tr.TruthAt(100, tms) {
+		case ActivityFall:
+			fallZ = append(fallZ, z)
+		case ActivityWalk:
+			walkZ = append(walkZ, z)
+		}
+	}
+	if len(fallZ) == 0 || len(walkZ) == 0 {
+		t.Fatal("need both fall and walk samples")
+	}
+	if mean(fallZ) >= mean(walkZ) {
+		t.Fatalf("fall height %.2f should be below walk height %.2f", mean(fallZ), mean(walkZ))
+	}
+	if mean(fallZ) > 0.6 {
+		t.Fatalf("fallen tag should be near the floor, got %.2f", mean(fallZ))
+	}
+}
+
+func TestBuildStore(t *testing.T) {
+	tr, err := Generate(Meeting(2, 10*time.Second, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := BuildStore(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := st.Table("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != len(tr.Integrated) {
+		t.Fatalf("d has %d rows, trace %d", d.Len(), len(tr.Integrated))
+	}
+	stream, err := st.Table("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stream keeps only valid ubisense readings.
+	if stream.Len() == 0 || stream.Len() > len(tr.Device[DeviceUbisense]) {
+		t.Fatalf("stream rows = %d", stream.Len())
+	}
+	// d's user column flagged sensitive.
+	if !d.Schema().Columns[0].Sensitive {
+		t.Fatal("user column should be sensitive")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []*Scenario{
+		{Name: "r0", Rate: 0, Duration: time.Second, Room: Room{1, 1}, Persons: []Person{{Name: "a"}}},
+		{Name: "d0", Rate: 10, Duration: 0, Room: Room{1, 1}, Persons: []Person{{Name: "a"}}},
+		{Name: "noroom", Rate: 10, Duration: time.Second, Persons: []Person{{Name: "a"}}},
+		{Name: "nopersons", Rate: 10, Duration: time.Second, Room: Room{1, 1}},
+		{Name: "dup", Rate: 10, Duration: time.Second, Room: Room{1, 1},
+			Persons: []Person{{Name: "a", TagID: 1}, {Name: "b", TagID: 1}}},
+		{Name: "anon", Rate: 10, Duration: time.Second, Room: Room{1, 1},
+			Persons: []Person{{Name: ""}}},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("scenario %s should be invalid", sc.Name)
+		}
+	}
+	if err := Meeting(3, time.Minute, 1).Validate(); err != nil {
+		t.Fatalf("meeting scenario invalid: %v", err)
+	}
+	if err := Lecture(5, time.Minute, 1).Validate(); err != nil {
+		t.Fatalf("lecture scenario invalid: %v", err)
+	}
+}
+
+func TestWalkMovesPosition(t *testing.T) {
+	tr, err := Generate(Apartment(20*time.Second, false, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.Integrated[0]
+	last := tr.Integrated[len(tr.Integrated)-1]
+	dx := first[1].AsFloat() - last[1].AsFloat()
+	dy := first[2].AsFloat() - last[2].AsFloat()
+	if dx*dx+dy*dy < 0.5 {
+		t.Fatal("resident should have moved across the apartment")
+	}
+}
+
+func TestIntegratedSchemaShape(t *testing.T) {
+	rel := IntegratedSchema()
+	for i, want := range []string{"user", "x", "y", "z", "t"} {
+		if rel.Columns[i].Name != want {
+			t.Fatalf("column %d = %s, want %s", i, rel.Columns[i].Name, want)
+		}
+	}
+	if !rel.Columns[0].Sensitive {
+		t.Fatal("user must be sensitive")
+	}
+	srel := StreamSchema()
+	if srel.Name != "stream" || !srel.Columns[0].Sensitive {
+		t.Fatal("stream schema shape wrong")
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Ensure schema package is exercised for the value rows (guards against
+// accidental schema drift in generator code).
+func TestUbisenseValidityFlag(t *testing.T) {
+	tr, err := Generate(Meeting(1, 10*time.Second, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawInvalid := false
+	for _, row := range tr.Device[DeviceUbisense] {
+		if row[5].Type() != schema.TypeBool {
+			t.Fatal("valid flag must be boolean")
+		}
+		if !row[5].AsBool() {
+			sawInvalid = true
+		}
+	}
+	if !sawInvalid {
+		t.Log("no invalid readings in this seed (2% rate); acceptable but unusual")
+	}
+}

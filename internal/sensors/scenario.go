@@ -1,0 +1,186 @@
+package sensors
+
+import (
+	"fmt"
+	"time"
+)
+
+// Activity is the ground-truth activity of a person at a point in time. The
+// recognition substrate scores itself against these labels, mirroring the
+// computational state-space models the paper cites [KNY+14].
+type Activity string
+
+// Ground-truth activities.
+const (
+	ActivityWalk    Activity = "walk"
+	ActivityStand   Activity = "stand"
+	ActivitySit     Activity = "sit"
+	ActivityFall    Activity = "fall"
+	ActivityPresent Activity = "present" // presenting at the smart board
+)
+
+// Point is a position in the room's Cartesian system (metres).
+type Point struct {
+	X, Y float64
+}
+
+// Step is one scripted phase of a person's behaviour.
+type Step struct {
+	Activity Activity
+	For      time.Duration
+	// To is the walk target; ignored for stationary activities.
+	To Point
+}
+
+// Person is one tracked user with a UbiSense tag and a behaviour script.
+type Person struct {
+	Name  string
+	TagID int64
+	Start Point
+	Steps []Step
+}
+
+// Room describes the physical bounds of the environment.
+type Room struct {
+	Width, Depth float64 // metres
+}
+
+// Scenario is a full simulation configuration.
+type Scenario struct {
+	Name string
+	Room Room
+	// Rate is the sensor sampling rate in Hz (the paper: up to 100 Hz).
+	Rate float64
+	// Duration of the simulation.
+	Duration time.Duration
+	// Seed makes every generated trace reproducible.
+	Seed    int64
+	Persons []Person
+
+	// Device counts; the paper's Table 1 assumes hundreds of sensors in
+	// ten to fifty appliances per person.
+	Lamps, Screens, Sockets, Pens, Thermometers, FloorCells, VGAPorts, Blinds int
+
+	// PositionGridM quantizes reported x/y positions to a grid of this
+	// cell size in metres (0 disables). Real UbiSense installations have
+	// 15-30 cm accuracy; a coarser grid makes GROUP BY x, y form
+	// meaningful grouping sets, which the Figure 4 policy's HAVING
+	// safeguard presumes.
+	PositionGridM float64
+}
+
+// Validate reports configuration errors before generation.
+func (s *Scenario) Validate() error {
+	if s.Rate <= 0 || s.Rate > 1000 {
+		return fmt.Errorf("sensors: rate %v Hz out of range (0, 1000]", s.Rate)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("sensors: non-positive duration %v", s.Duration)
+	}
+	if s.Room.Width <= 0 || s.Room.Depth <= 0 {
+		return fmt.Errorf("sensors: room %vx%v must be positive", s.Room.Width, s.Room.Depth)
+	}
+	if len(s.Persons) == 0 {
+		return fmt.Errorf("sensors: scenario needs at least one person")
+	}
+	seen := map[int64]bool{}
+	for _, p := range s.Persons {
+		if p.Name == "" {
+			return fmt.Errorf("sensors: person without name")
+		}
+		if seen[p.TagID] {
+			return fmt.Errorf("sensors: duplicate tag id %d", p.TagID)
+		}
+		seen[p.TagID] = true
+	}
+	return nil
+}
+
+// Meeting builds the Smart Meeting Room scenario of §1: n participants walk
+// in, sit down, one presents at the smart board, then everyone leaves.
+func Meeting(n int, dur time.Duration, seed int64) *Scenario {
+	if n < 1 {
+		n = 1
+	}
+	sc := &Scenario{
+		Name:     "meeting",
+		Room:     Room{Width: 8, Depth: 6},
+		Rate:     20,
+		Duration: dur,
+		Seed:     seed,
+		Lamps:    6, Screens: 2, Sockets: 8, Pens: 4,
+		Thermometers: 1, FloorCells: 16, VGAPorts: 4, Blinds: 3,
+	}
+	phase := dur / 4
+	for i := 0; i < n; i++ {
+		seat := Point{X: 2 + float64(i%4)*1.2, Y: 2 + float64(i/4)*1.0}
+		p := Person{
+			Name:  fmt.Sprintf("participant%d", i+1),
+			TagID: int64(100 + i),
+			Start: Point{X: 0.5, Y: 0.5},
+			Steps: []Step{
+				{Activity: ActivityWalk, For: phase, To: seat},
+				{Activity: ActivitySit, For: phase},
+			},
+		}
+		if i == 0 {
+			// The presenter walks to the smart board and presents.
+			p.Steps = append(p.Steps,
+				Step{Activity: ActivityWalk, For: phase / 2, To: Point{X: 7, Y: 1}},
+				Step{Activity: ActivityPresent, For: phase/2 + phase},
+			)
+		} else {
+			p.Steps = append(p.Steps,
+				Step{Activity: ActivitySit, For: phase},
+				Step{Activity: ActivityWalk, For: phase, To: Point{X: 0.5, Y: 0.5}},
+			)
+		}
+		sc.Persons = append(sc.Persons, p)
+	}
+	return sc
+}
+
+// Apartment builds the AAL scenario: one elderly resident moving through a
+// daily routine; when withFall is set, the routine ends in a fall — the
+// event the "Poodle" fall-detection service must still detect after privacy
+// processing.
+func Apartment(dur time.Duration, withFall bool, seed int64) *Scenario {
+	sc := &Scenario{
+		Name:     "apartment",
+		Room:     Room{Width: 10, Depth: 8},
+		Rate:     20,
+		Duration: dur,
+		Seed:     seed,
+		Lamps:    10, Screens: 1, Sockets: 12, Pens: 0,
+		Thermometers: 3, FloorCells: 32, VGAPorts: 1, Blinds: 5,
+	}
+	phase := dur / 5
+	steps := []Step{
+		{Activity: ActivityWalk, For: phase, To: Point{X: 8, Y: 2}}, // to the kitchen
+		{Activity: ActivityStand, For: phase},                       // cooking
+		{Activity: ActivityWalk, For: phase, To: Point{X: 2, Y: 6}}, // to the couch
+		{Activity: ActivitySit, For: phase},                         // resting
+		{Activity: ActivityWalk, For: phase, To: Point{X: 5, Y: 4}}, // across the room
+	}
+	if withFall {
+		steps[4] = Step{Activity: ActivityWalk, For: phase / 2, To: Point{X: 5, Y: 4}}
+		steps = append(steps, Step{Activity: ActivityFall, For: phase / 2})
+	}
+	sc.Persons = []Person{{
+		Name: "resident", TagID: 100, Start: Point{X: 1, Y: 1}, Steps: steps,
+	}}
+	return sc
+}
+
+// Lecture builds a lecture scenario: one lecturer presenting, the audience
+// seated, used by the meeting-room example application.
+func Lecture(audience int, dur time.Duration, seed int64) *Scenario {
+	sc := Meeting(audience+1, dur, seed)
+	sc.Name = "lecture"
+	// The lecturer presents for the entire duration.
+	sc.Persons[0].Steps = []Step{
+		{Activity: ActivityWalk, For: dur / 10, To: Point{X: 7, Y: 1}},
+		{Activity: ActivityPresent, For: dur - dur/10},
+	}
+	return sc
+}

@@ -1,0 +1,613 @@
+// Package sqlparser implements a from-scratch lexer, recursive-descent
+// parser, AST and printer for the SQL subset PArADISE needs: nested SELECT
+// queries with joins, WHERE / GROUP BY / HAVING / ORDER BY / LIMIT,
+// aggregate functions and window functions with OVER (PARTITION BY ...
+// ORDER BY ...) clauses. The subset covers every query in Grunert & Heuer
+// (EDBT 2016) with headroom for the capability levels of Table 1.
+package sqlparser
+
+import (
+	"strings"
+
+	"paradise/internal/schema"
+)
+
+// Node is implemented by every AST node and yields the SQL text of the node.
+type Node interface {
+	SQL() string
+}
+
+// Expr is a scalar (or boolean) expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// BinaryOp enumerates binary operators in precedence classes.
+type BinaryOp int
+
+// Binary operators. Comparison operators keep SQL spelling via String.
+const (
+	OpOr BinaryOp = iota
+	OpAnd
+	OpEq
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpConcat
+)
+
+// String returns the SQL spelling of the operator.
+func (o BinaryOp) String() string {
+	switch o {
+	case OpOr:
+		return "OR"
+	case OpAnd:
+		return "AND"
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLeq:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGeq:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpConcat:
+		return "||"
+	default:
+		return "?"
+	}
+}
+
+// Comparison reports whether the operator compares two values.
+func (o BinaryOp) Comparison() bool {
+	switch o {
+	case OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq:
+		return true
+	}
+	return false
+}
+
+// ColumnRef names a column, optionally qualified with a table or alias.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+func (*ColumnRef) exprNode() {}
+
+// quoteIdent renders an identifier, double-quoting it when it is not a plain
+// lower-case SQL identifier (the parser lower-cases unquoted identifiers, so
+// anything else must have been quoted in the source).
+func quoteIdent(s string) string {
+	for i, r := range s {
+		lower := r >= 'a' && r <= 'z'
+		digit := r >= '0' && r <= '9'
+		if !(lower || r == '_' || (i > 0 && digit)) {
+			return `"` + s + `"`
+		}
+	}
+	return s
+}
+
+// SQL implements Node.
+func (c *ColumnRef) SQL() string {
+	if c.Table != "" {
+		return quoteIdent(c.Table) + "." + quoteIdent(c.Name)
+	}
+	return quoteIdent(c.Name)
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value schema.Value
+}
+
+func (*Literal) exprNode() {}
+
+// SQL implements Node.
+func (l *Literal) SQL() string { return l.Value.SQLLiteral() }
+
+// Star is the * in SELECT * or COUNT(*). Table is the optional qualifier of
+// a qualified star (t.*).
+type Star struct {
+	Table string
+}
+
+func (*Star) exprNode() {}
+
+// SQL implements Node.
+func (s *Star) SQL() string {
+	if s.Table != "" {
+		return s.Table + ".*"
+	}
+	return "*"
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// SQL implements Node.
+func (b *BinaryExpr) SQL() string {
+	return childSQL(b, b.L, false) + " " + b.Op.String() + " " + childSQL(b, b.R, true)
+}
+
+// precedence returns a numeric precedence for parenthesization decisions.
+func precedence(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		switch x.Op {
+		case OpOr:
+			return 1
+		case OpAnd:
+			return 2
+		case OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq:
+			return 4
+		case OpAdd, OpSub, OpConcat:
+			return 5
+		case OpMul, OpDiv, OpMod:
+			return 6
+		default:
+			return 6
+		}
+	case *UnaryExpr:
+		if x.Op == UnaryNot {
+			return 3
+		}
+		return 7
+	case *Between, *InList, *IsNull:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func childSQL(parent *BinaryExpr, child Expr, right bool) string {
+	pp, cp := precedence(parent), precedence(child)
+	need := cp < pp
+	if cp == pp && right {
+		// Left-associative operators need parens on the right side when
+		// precedence ties (a - (b - c)).
+		if bc, ok := child.(*BinaryExpr); ok && bc.Op != parent.Op {
+			need = true
+		} else if ok && (parent.Op == OpSub || parent.Op == OpDiv || parent.Op == OpMod) {
+			need = true
+		}
+	}
+	s := child.SQL()
+	if need {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	UnaryNot UnaryOp = iota
+	UnaryNeg
+)
+
+// UnaryExpr applies NOT or numeric negation.
+type UnaryExpr struct {
+	Op UnaryOp
+	X  Expr
+}
+
+func (*UnaryExpr) exprNode() {}
+
+// SQL implements Node.
+func (u *UnaryExpr) SQL() string {
+	inner := u.X.SQL()
+	if precedence(u.X) < precedence(u) {
+		inner = "(" + inner + ")"
+	}
+	if u.Op == UnaryNot {
+		return "NOT " + inner
+	}
+	return "-" + inner
+}
+
+// IsNull is `x IS [NOT] NULL`.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNull) exprNode() {}
+
+// SQL implements Node.
+func (n *IsNull) SQL() string {
+	if n.Not {
+		return n.X.SQL() + " IS NOT NULL"
+	}
+	return n.X.SQL() + " IS NULL"
+}
+
+// Between is `x [NOT] BETWEEN lo AND hi`.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (*Between) exprNode() {}
+
+// SQL implements Node.
+func (b *Between) SQL() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return b.X.SQL() + " " + not + "BETWEEN " + b.Lo.SQL() + " AND " + b.Hi.SQL()
+}
+
+// InList is `x [NOT] IN (e1, e2, ...)`.
+type InList struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (*InList) exprNode() {}
+
+// SQL implements Node.
+func (in *InList) SQL() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.SQL()
+	}
+	not := ""
+	if in.Not {
+		not = "NOT "
+	}
+	return in.X.SQL() + " " + not + "IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// CaseWhen is one WHEN ... THEN ... arm of a CASE expression.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+func (*CaseExpr) exprNode() {}
+
+// SQL implements Node.
+func (c *CaseExpr) SQL() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.Whens {
+		b.WriteString(" WHEN ")
+		b.WriteString(w.Cond.SQL())
+		b.WriteString(" THEN ")
+		b.WriteString(w.Then.SQL())
+	}
+	if c.Else != nil {
+		b.WriteString(" ELSE ")
+		b.WriteString(c.Else.SQL())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// FuncCall is a scalar, aggregate or window function invocation.
+// Aggregates used with OVER(...) become window functions.
+type FuncCall struct {
+	Name     string // lower-cased
+	Star     bool   // COUNT(*)
+	Distinct bool   // COUNT(DISTINCT x)
+	Args     []Expr
+	Over     *WindowSpec // non-nil for window functions
+}
+
+func (*FuncCall) exprNode() {}
+
+// SQL implements Node.
+func (f *FuncCall) SQL() string {
+	// LIKE is lexed as a keyword, so the internal like(x, pat) call prints
+	// in operator form to stay re-parseable.
+	if f.Name == "like" && len(f.Args) == 2 && f.Over == nil {
+		return f.Args[0].SQL() + " LIKE " + f.Args[1].SQL()
+	}
+	var b strings.Builder
+	b.WriteString(strings.ToUpper(f.Name))
+	b.WriteByte('(')
+	if f.Star {
+		b.WriteByte('*')
+	} else {
+		if f.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range f.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.SQL())
+		}
+	}
+	b.WriteByte(')')
+	if f.Over != nil {
+		b.WriteString(" OVER (")
+		b.WriteString(f.Over.SQL())
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// WindowSpec is the inside of an OVER (...) clause.
+type WindowSpec struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+}
+
+// SQL implements Node.
+func (w *WindowSpec) SQL() string {
+	var parts []string
+	if len(w.PartitionBy) > 0 {
+		ps := make([]string, len(w.PartitionBy))
+		for i, e := range w.PartitionBy {
+			ps[i] = e.SQL()
+		}
+		parts = append(parts, "PARTITION BY "+strings.Join(ps, ", "))
+	}
+	if len(w.OrderBy) > 0 {
+		os := make([]string, len(w.OrderBy))
+		for i, o := range w.OrderBy {
+			os[i] = o.SQL()
+		}
+		parts = append(parts, "ORDER BY "+strings.Join(os, ", "))
+	}
+	return strings.Join(parts, " ")
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SQL implements Node.
+func (o OrderItem) SQL() string {
+	if o.Desc {
+		return o.Expr.SQL() + " DESC"
+	}
+	return o.Expr.SQL()
+}
+
+// SelectItem is one entry of the SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional AS alias
+}
+
+// SQL implements Node.
+func (s SelectItem) SQL() string {
+	if s.Alias != "" {
+		return s.Expr.SQL() + " AS " + s.Alias
+	}
+	return s.Expr.SQL()
+}
+
+// TableRef is a FROM-clause item: a base table, a derived table or a join.
+type TableRef interface {
+	Node
+	tableRefNode()
+}
+
+// TableName references a base table or stream, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (*TableName) tableRefNode() {}
+
+// SQL implements Node.
+func (t *TableName) SQL() string {
+	if t.Alias != "" {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+// Subquery is a derived table: (SELECT ...) [AS alias].
+type Subquery struct {
+	Select *Select
+	Alias  string
+}
+
+func (*Subquery) tableRefNode() {}
+
+// SQL implements Node.
+func (s *Subquery) SQL() string {
+	out := "(" + s.Select.SQL() + ")"
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// JoinType enumerates join flavours.
+type JoinType int
+
+// Join flavours.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinCross
+)
+
+// String returns the SQL keyword sequence of the join type.
+func (j JoinType) String() string {
+	switch j {
+	case JoinInner:
+		return "JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
+// Join combines two table refs.
+type Join struct {
+	Type        JoinType
+	Left, Right TableRef
+	On          Expr // nil for CROSS JOIN
+}
+
+func (*Join) tableRefNode() {}
+
+// SQL implements Node.
+func (j *Join) SQL() string {
+	out := j.Left.SQL() + " " + j.Type.String() + " " + j.Right.SQL()
+	if j.On != nil {
+		out += " ON " + j.On.SQL()
+	}
+	return out
+}
+
+// Select is a full SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef // nil only for SELECT without FROM (not used in paper)
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+}
+
+// SQL implements Node; it renders a canonical single-line query that
+// re-parses to an identical AST.
+func (s *Select) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.SQL())
+	}
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		b.WriteString(s.From.SQL())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.SQL())
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		b.WriteString(formatInt(*s.Limit))
+	}
+	return b.String()
+}
+
+func formatInt(i int64) string {
+	// small helper avoiding strconv import churn in this file
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}
+
+// AggregateFunctions lists the aggregate function names the engine knows.
+var AggregateFunctions = map[string]bool{
+	"avg":            true,
+	"sum":            true,
+	"count":          true,
+	"min":            true,
+	"max":            true,
+	"stddev":         true,
+	"variance":       true,
+	"regr_intercept": true,
+	"regr_slope":     true,
+	"regr_r2":        true,
+	"corr":           true,
+}
+
+// IsAggregate reports whether the call is an aggregate used as an aggregate
+// (i.e. without an OVER clause).
+func (f *FuncCall) IsAggregate() bool {
+	return AggregateFunctions[f.Name] && f.Over == nil
+}
+
+// IsWindow reports whether the call carries an OVER clause.
+func (f *FuncCall) IsWindow() bool { return f.Over != nil }

@@ -1,0 +1,60 @@
+package sqlparser
+
+import "testing"
+
+const benchSimple = "SELECT x, y FROM d WHERE z < 2"
+
+const benchUseCase = `SELECT regr_intercept(y, x) OVER (PARTITION BY zavg ORDER BY t)
+ FROM (SELECT x, y, AVG(z) AS zavg, t FROM d
+       WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100)`
+
+const benchWide = `SELECT a.x, b.y, COUNT(*) AS n, AVG(a.z) AS za
+ FROM d AS a JOIN e AS b ON a.k = b.k LEFT JOIN f ON f.k = b.k
+ WHERE a.x > 1 AND b.y BETWEEN 2 AND 9 AND f.s LIKE 'ab%'
+ GROUP BY a.x, b.y HAVING COUNT(*) > 3 ORDER BY n DESC LIMIT 10`
+
+func BenchmarkParseSimple(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSimple); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseUseCase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchUseCase); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseWideJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchWide); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrintUseCase(b *testing.B) {
+	sel, err := Parse(benchUseCase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sel.SQL()
+	}
+}
+
+func BenchmarkCloneSelect(b *testing.B) {
+	sel, err := Parse(benchUseCase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CloneSelect(sel)
+	}
+}

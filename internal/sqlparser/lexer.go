@@ -1,0 +1,183 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // operators and punctuation
+	tokParam // ? placeholder (accepted, not evaluated)
+)
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind   tokenKind
+	text   string // keywords upper-cased, identifiers as written
+	pos    int
+	quoted bool // identifier was double-quoted (case preserved)
+}
+
+// keywords recognized by the lexer. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"DISTINCT": true, "JOIN": true, "INNER": true, "LEFT": true, "OUTER": true,
+	"CROSS": true, "ON": true, "OVER": true, "PARTITION": true, "IS": true,
+	"IN": true, "BETWEEN": true, "LIKE": true, "ASC": true, "DESC": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+}
+
+// lexError reports a lexical problem with position context.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sqlparser: lex error at offset %d: %s", e.pos, e.msg)
+}
+
+// lex tokenizes the input completely. SQL queries in this system are short
+// (kilobytes at most), so full tokenization up front is simpler and lets the
+// parser backtrack freely.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && input[i+1] == '*':
+			end := strings.Index(input[i+2:], "*/")
+			if end < 0 {
+				return nil, &lexError{pos: i, msg: "unterminated block comment"}
+			}
+			i += 2 + end + 2
+		case c == '\'':
+			s, next, err := lexString(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: s, pos: i})
+			i = next
+		case c == '"':
+			// quoted identifier
+			end := strings.IndexByte(input[i+1:], '"')
+			if end < 0 {
+				return nil, &lexError{pos: i, msg: "unterminated quoted identifier"}
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i+1 : i+1+end], pos: i, quoted: true})
+			i += end + 2
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			seenDot, seenExp := false, false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+				} else if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+				} else if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c == '?':
+			toks = append(toks, token{kind: tokParam, text: "?", pos: i})
+			i++
+		default:
+			op, next, err := lexOp(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: i})
+			i = next
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func lexString(input string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	n := len(input)
+	for i < n {
+		if input[i] == '\'' {
+			if i+1 < n && input[i+1] == '\'' {
+				b.WriteByte('\'')
+				i += 2
+				continue
+			}
+			return b.String(), i + 1, nil
+		}
+		b.WriteByte(input[i])
+		i++
+	}
+	return "", 0, &lexError{pos: start, msg: "unterminated string literal"}
+}
+
+var twoCharOps = map[string]bool{
+	"<=": true, ">=": true, "<>": true, "!=": true, "||": true,
+}
+
+var oneCharOps = map[byte]bool{
+	'<': true, '>': true, '=': true, '+': true, '-': true, '*': true,
+	'/': true, '%': true, '(': true, ')': true, ',': true, '.': true,
+	';': true,
+}
+
+func lexOp(input string, i int) (string, int, error) {
+	if i+1 < len(input) && twoCharOps[input[i:i+2]] {
+		return input[i : i+2], i + 2, nil
+	}
+	if oneCharOps[input[i]] {
+		return input[i : i+1], i + 1, nil
+	}
+	return "", 0, &lexError{pos: i, msg: fmt.Sprintf("unexpected character %q", input[i])}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,756 @@
+package sqlparser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"paradise/internal/schema"
+)
+
+// ErrSyntax wraps all parse errors.
+var ErrSyntax = errors.New("sqlparser: syntax error")
+
+// Parse parses a single SELECT statement (an optional trailing semicolon is
+// allowed) and returns its AST.
+func Parse(input string) (*Select, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokOp && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return sel, nil
+}
+
+// ParseExpr parses a standalone scalar/boolean expression. It is the entry
+// point used by the privacy-policy loader for atomic conditions like "x>y".
+func ParseExpr(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	input string
+}
+
+func (p *parser) peek() token  { return p.toks[p.pos] }
+func (p *parser) peek2() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	tok := p.peek()
+	line, col := 1, 1
+	for i := 0; i < tok.pos && i < len(p.input); i++ {
+		if p.input[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("%w at line %d col %d: %s", ErrSyntax, line, col, fmt.Sprintf(format, args...))
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.peek().kind == tokOp && p.peek().text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errorf("expected %q, found %q", op, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		from, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = from
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseOrderItems()
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy = items
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.peek().kind != tokNumber {
+			return nil, p.errorf("expected number after LIMIT, found %q", p.peek().text)
+		}
+		v, err := strconv.ParseInt(p.next().text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad LIMIT value: %v", err)
+		}
+		sel.Limit = &v
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// Plain or qualified star.
+	if p.peek().kind == tokOp && p.peek().text == "*" {
+		p.next()
+		return SelectItem{Expr: &Star{}}, nil
+	}
+	if p.peek().kind == tokIdent && p.peek2().kind == tokOp && p.peek2().text == "." {
+		// Possibly t.* — look two ahead.
+		if p.pos+2 < len(p.toks) && p.toks[p.pos+2].kind == tokOp && p.toks[p.pos+2].text == "*" {
+			table := p.next().text
+			p.next() // .
+			p.next() // *
+			return SelectItem{Expr: &Star{Table: strings.ToLower(table)}}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		if p.peek().kind != tokIdent {
+			return SelectItem{}, p.errorf("expected alias after AS, found %q", p.peek().text)
+		}
+		item.Alias = strings.ToLower(p.next().text)
+	} else if p.peek().kind == tokIdent {
+		// implicit alias
+		item.Alias = strings.ToLower(p.next().text)
+	}
+	return item, nil
+}
+
+func (p *parser) parseOrderItems() ([]OrderItem, error) {
+	var items []OrderItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		it := OrderItem{Expr: e}
+		if p.acceptKeyword("DESC") {
+			it.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		items = append(items, it)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+// parseTableRef parses a FROM clause with joins (left-associative).
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var jt JoinType
+		switch {
+		case p.acceptKeyword("CROSS"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinCross
+		case p.acceptKeyword("INNER"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinInner
+		case p.acceptKeyword("LEFT"):
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinLeft
+		case p.acceptKeyword("JOIN"):
+			jt = JoinInner
+		case p.peek().kind == tokOp && p.peek().text == ",":
+			// Comma joins are accepted as CROSS JOIN only when followed by a
+			// table primary; SELECT lists are parsed before FROM so commas
+			// here always mean a join.
+			p.next()
+			right, err := p.parseTablePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Join{Type: JoinCross, Left: left, Right: right}
+			continue
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &Join{Type: jt, Left: left, Right: right}
+		if jt != JoinCross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		left = j
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableRef, error) {
+	if p.acceptOp("(") {
+		if p.peek().kind == tokKeyword && p.peek().text == "SELECT" {
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			sq := &Subquery{Select: sel}
+			sq.Alias = p.parseOptionalAlias()
+			return sq, nil
+		}
+		// Parenthesized join.
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	if p.peek().kind != tokIdent {
+		return nil, p.errorf("expected table name, found %q", p.peek().text)
+	}
+	name := strings.ToLower(p.next().text)
+	t := &TableName{Name: name}
+	t.Alias = p.parseOptionalAlias()
+	return t, nil
+}
+
+func (p *parser) parseOptionalAlias() string {
+	if p.acceptKeyword("AS") {
+		if p.peek().kind == tokIdent {
+			return strings.ToLower(p.next().text)
+		}
+		return ""
+	}
+	if p.peek().kind == tokIdent {
+		return strings.ToLower(p.next().text)
+	}
+	return ""
+}
+
+// Expression parsing: precedence climbing.
+// OR < AND < NOT < comparison/IS/IN/BETWEEN < additive < multiplicative < unary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: UnaryNot, X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var compOps = map[string]BinaryOp{
+	"=": OpEq, "<>": OpNeq, "!=": OpNeq,
+	"<": OpLt, "<=": OpLeq, ">": OpGt, ">=": OpGeq,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: left, Not: not}, nil
+	}
+	not := false
+	if p.peek().kind == tokKeyword && p.peek().text == "NOT" &&
+		p.peek2().kind == tokKeyword && (p.peek2().text == "BETWEEN" || p.peek2().text == "IN" || p.peek2().text == "LIKE") {
+		p.next()
+		not = true
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: left, Lo: lo, Hi: hi, Not: not}, nil
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InList{X: left, List: list, Not: not}, nil
+	}
+	if p.acceptKeyword("LIKE") {
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		like := Expr(&FuncCall{Name: "like", Args: []Expr{left, pat}})
+		if not {
+			like = &UnaryExpr{Op: UnaryNot, X: like}
+		}
+		return like, nil
+	}
+	if p.peek().kind == tokOp {
+		if op, ok := compOps[p.peek().text]; ok {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.acceptOp("+"):
+			op = OpAdd
+		case p.acceptOp("-"):
+			op = OpSub
+		case p.acceptOp("||"):
+			op = OpConcat
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.acceptOp("*"):
+			op = OpMul
+		case p.acceptOp("/"):
+			op = OpDiv
+		case p.acceptOp("%"):
+			op = OpMod
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation into numeric literals for cleaner ASTs.
+		if lit, ok := x.(*Literal); ok {
+			switch lit.Value.Type() {
+			case schema.TypeInt:
+				return &Literal{Value: schema.Int(-lit.Value.AsInt())}, nil
+			case schema.TypeFloat:
+				return &Literal{Value: schema.Float(-lit.Value.AsFloat())}, nil
+			}
+		}
+		return &UnaryExpr{Op: UnaryNeg, X: x}, nil
+	}
+	p.acceptOp("+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	tok := p.peek()
+	switch tok.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(tok.text, ".eE") {
+			f, err := strconv.ParseFloat(tok.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q: %v", tok.text, err)
+			}
+			return &Literal{Value: schema.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q: %v", tok.text, err)
+		}
+		return &Literal{Value: schema.Int(i)}, nil
+	case tokString:
+		p.next()
+		return &Literal{Value: schema.String(tok.text)}, nil
+	case tokKeyword:
+		switch tok.text {
+		case "NULL":
+			p.next()
+			return &Literal{Value: schema.Null()}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Value: schema.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Value: schema.Bool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		case "NOT":
+			p.next()
+			x, err := p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: UnaryNot, X: x}, nil
+		}
+		return nil, p.errorf("unexpected keyword %s", tok.text)
+	case tokIdent:
+		return p.parseIdentExpr()
+	case tokOp:
+		if tok.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if tok.text == "*" {
+			p.next()
+			return &Star{}, nil
+		}
+		return nil, p.errorf("unexpected token %q", tok.text)
+	default:
+		return nil, p.errorf("unexpected token %q", tok.text)
+	}
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseIdentExpr() (Expr, error) {
+	tok := p.next()
+	name := identText(tok)
+	// Function call?
+	if p.peek().kind == tokOp && p.peek().text == "(" {
+		return p.parseFuncCall(strings.ToLower(name))
+	}
+	// Qualified column t.c or qualified star t.*.
+	if p.acceptOp(".") {
+		if p.peek().kind == tokOp && p.peek().text == "*" {
+			p.next()
+			return &Star{Table: name}, nil
+		}
+		if p.peek().kind != tokIdent {
+			return nil, p.errorf("expected column after %q., found %q", name, p.peek().text)
+		}
+		col := identText(p.next())
+		return &ColumnRef{Table: name, Name: col}, nil
+	}
+	return &ColumnRef{Name: name}, nil
+}
+
+// identText lower-cases unquoted identifiers and preserves quoted ones,
+// matching SQL's case-insensitivity rules for plain identifiers.
+func identText(t token) string {
+	if t.quoted {
+		return t.text
+	}
+	return strings.ToLower(t.text)
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	f := &FuncCall{Name: name}
+	if p.acceptOp("*") {
+		f.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	} else {
+		if p.acceptKeyword("DISTINCT") {
+			f.Distinct = true
+		}
+		if !p.acceptOp(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				f.Args = append(f.Args, a)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.acceptKeyword("OVER") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		w := &WindowSpec{}
+		if p.acceptKeyword("PARTITION") {
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				w.PartitionBy = append(w.PartitionBy, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+		}
+		if p.acceptKeyword("ORDER") {
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			items, err := p.parseOrderItems()
+			if err != nil {
+				return nil, err
+			}
+			w.OrderBy = items
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		f.Over = w
+	}
+	return f, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

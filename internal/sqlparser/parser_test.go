@@ -1,0 +1,449 @@
+package sqlparser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"paradise/internal/schema"
+)
+
+// roundTrip parses, prints, re-parses and demands identical SQL text.
+func roundTrip(t *testing.T, in string) *Select {
+	t.Helper()
+	s1, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", in, err)
+	}
+	printed := s1.SQL()
+	s2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of %q (printed from %q): %v", printed, in, err)
+	}
+	if got := s2.SQL(); got != printed {
+		t.Fatalf("round-trip mismatch:\n first: %s\nsecond: %s", printed, got)
+	}
+	return s1
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := roundTrip(t, "SELECT x, y FROM d")
+	if len(s.Items) != 2 {
+		t.Fatalf("want 2 items, got %d", len(s.Items))
+	}
+	tn, ok := s.From.(*TableName)
+	if !ok || tn.Name != "d" {
+		t.Fatalf("want table d, got %#v", s.From)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	s := roundTrip(t, "SELECT * FROM stream WHERE z < 2")
+	if _, ok := s.Items[0].Expr.(*Star); !ok {
+		t.Fatalf("want star item, got %#v", s.Items[0].Expr)
+	}
+	be, ok := s.Where.(*BinaryExpr)
+	if !ok || be.Op != OpLt {
+		t.Fatalf("want z < 2 comparison, got %#v", s.Where)
+	}
+}
+
+func TestParsePaperUseCaseQuery(t *testing.T) {
+	// The §4.2 running example (inner SQL of the sqldf call).
+	q := `SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t)
+	      FROM (SELECT x, y, z, t FROM d)`
+	s := roundTrip(t, q)
+	f, ok := s.Items[0].Expr.(*FuncCall)
+	if !ok || f.Name != "regr_intercept" {
+		t.Fatalf("want regr_intercept call, got %#v", s.Items[0].Expr)
+	}
+	if f.Over == nil || len(f.Over.PartitionBy) != 1 || len(f.Over.OrderBy) != 1 {
+		t.Fatalf("want OVER (PARTITION BY z ORDER BY t), got %#v", f.Over)
+	}
+	sq, ok := s.From.(*Subquery)
+	if !ok {
+		t.Fatalf("want derived table, got %#v", s.From)
+	}
+	if len(sq.Select.Items) != 4 {
+		t.Fatalf("inner select should project 4 columns, got %d", len(sq.Select.Items))
+	}
+}
+
+func TestParsePaperRewrittenQuery(t *testing.T) {
+	// The rewritten query from §4.2 with policy conditions injected.
+	q := `SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t)
+	      FROM (SELECT x, y, AVG(z) AS zAVG, t
+	            FROM d
+	            WHERE x > y AND z < 2
+	            GROUP BY x, y
+	            HAVING SUM(z) > 100)`
+	s := roundTrip(t, q)
+	inner := InnermostSelect(s)
+	if inner == s {
+		t.Fatal("inner select not found")
+	}
+	if len(inner.GroupBy) != 2 {
+		t.Fatalf("want GROUP BY x, y; got %d exprs", len(inner.GroupBy))
+	}
+	if inner.Having == nil {
+		t.Fatal("want HAVING clause")
+	}
+	conj := Conjuncts(inner.Where)
+	if len(conj) != 2 {
+		t.Fatalf("want 2 conjuncts in WHERE, got %d: %s", len(conj), inner.Where.SQL())
+	}
+	if inner.Items[2].Alias != "zavg" {
+		t.Fatalf("want zavg alias, got %q", inner.Items[2].Alias)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := roundTrip(t, "SELECT a.x, b.y FROM ubisense AS a JOIN sensfloor AS b ON a.tag = b.tag WHERE a.valid = TRUE")
+	j, ok := s.From.(*Join)
+	if !ok || j.Type != JoinInner {
+		t.Fatalf("want inner join, got %#v", s.From)
+	}
+	if j.On == nil {
+		t.Fatal("want ON condition")
+	}
+	roundTrip(t, "SELECT x FROM a LEFT JOIN b ON a.k = b.k")
+	roundTrip(t, "SELECT x FROM a CROSS JOIN b")
+	roundTrip(t, "SELECT x FROM a JOIN b ON a.k = b.k JOIN c ON b.j = c.j")
+}
+
+func TestParseGroupingAndHaving(t *testing.T) {
+	s := roundTrip(t, "SELECT x, y, AVG(z) AS zavg FROM d GROUP BY x, y HAVING SUM(z) > 100 ORDER BY x DESC LIMIT 10")
+	if s.Limit == nil || *s.Limit != 10 {
+		t.Fatalf("want LIMIT 10, got %v", s.Limit)
+	}
+	if !s.OrderBy[0].Desc {
+		t.Fatal("want DESC order")
+	}
+	if !ContainsAggregate(s.Having) {
+		t.Fatal("HAVING should contain aggregate")
+	}
+}
+
+func TestParseExpressionForms(t *testing.T) {
+	cases := []string{
+		"SELECT x FROM d WHERE x BETWEEN 1 AND 5",
+		"SELECT x FROM d WHERE x NOT BETWEEN 1 AND 5",
+		"SELECT x FROM d WHERE x IN (1, 2, 3)",
+		"SELECT x FROM d WHERE x NOT IN (1, 2)",
+		"SELECT x FROM d WHERE x IS NULL",
+		"SELECT x FROM d WHERE x IS NOT NULL",
+		"SELECT x FROM d WHERE NOT x > 1",
+		"SELECT x FROM d WHERE x > 1 AND y < 2 OR z = 3",
+		"SELECT x + y * 2 FROM d",
+		"SELECT (x + y) * 2 FROM d",
+		"SELECT -x FROM d",
+		"SELECT x FROM d WHERE name LIKE 'a%'",
+		"SELECT CASE WHEN x > 1 THEN 'hi' ELSE 'lo' END AS lvl FROM d",
+		"SELECT COUNT(*) FROM d",
+		"SELECT COUNT(DISTINCT x) FROM d",
+		"SELECT DISTINCT x FROM d",
+		"SELECT x FROM d WHERE s = 'it''s'",
+		"SELECT x % 2 FROM d",
+		"SELECT a || b FROM d",
+		"SELECT x FROM d ORDER BY x ASC, y DESC",
+		"SELECT t.* FROM t",
+		"SELECT SUM(z) OVER (PARTITION BY x) FROM d",
+		"SELECT AVG(z) OVER (ORDER BY t) FROM d",
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s, err := Parse("SELECT x FROM d WHERE a OR b AND c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := s.Where.(*BinaryExpr)
+	if !ok || top.Op != OpOr {
+		t.Fatalf("OR should bind loosest, got %s", s.Where.SQL())
+	}
+	s, err = Parse("SELECT 1 + 2 * 3 FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, ok := s.Items[0].Expr.(*BinaryExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("+ should be top, got %s", s.Items[0].Expr.SQL())
+	}
+}
+
+func TestParseRightAssocParens(t *testing.T) {
+	// a - (b - c) must keep its parentheses through printing.
+	s := roundTrip(t, "SELECT a - (b - c) FROM d")
+	be := s.Items[0].Expr.(*BinaryExpr)
+	if _, ok := be.R.(*BinaryExpr); !ok {
+		t.Fatalf("right side should be nested binary, got %#v", be.R)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	s, err := Parse("SELECT 1, 2.5, 1e3, -7 FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []schema.Value{
+		schema.Int(1), schema.Float(2.5), schema.Float(1000), schema.Int(-7),
+	}
+	for i, want := range vals {
+		lit, ok := s.Items[i].Expr.(*Literal)
+		if !ok {
+			t.Fatalf("item %d not literal: %#v", i, s.Items[i].Expr)
+		}
+		if !lit.Value.Identical(want) {
+			t.Fatalf("item %d = %s, want %s", i, lit.Value.Format(), want.Format())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM d",
+		"SELECT x FROM",
+		"SELECT x FROM d WHERE",
+		"SELECT x FROM d GROUP x",
+		"SELECT x FRO d",
+		"SELECT x FROM d WHERE x >",
+		"SELECT x FROM (SELECT y FROM t",
+		"SELECT x FROM d LIMIT x",
+		"SELECT f(x FROM d",
+		"SELECT x FROM d WHERE s = 'unterminated",
+		"SELECT CASE END FROM d",
+		"INSERT INTO t VALUES (1)",
+		"SELECT x FROM d; SELECT y FROM d",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseExprStandalone(t *testing.T) {
+	e, err := ParseExpr("x > y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ok := e.(*BinaryExpr)
+	if !ok || be.Op != OpGt {
+		t.Fatalf("want x > y, got %#v", e)
+	}
+	if _, err := ParseExpr("x >"); err == nil {
+		t.Fatal("want error for incomplete expression")
+	}
+	if _, err := ParseExpr("x > y AND"); err == nil {
+		t.Fatal("want error for trailing AND")
+	}
+	// Policy conditions from Figure 4.
+	for _, c := range []string{"x>y", "z<2", "SUM(z)>100"} {
+		if _, err := ParseExpr(c); err != nil {
+			t.Errorf("ParseExpr(%q): %v", c, err)
+		}
+	}
+}
+
+func TestErrSyntaxWrapped(t *testing.T) {
+	_, err := Parse("SELECT x FROM d WHERE x >")
+	if !errors.Is(err, ErrSyntax) {
+		t.Fatalf("want ErrSyntax, got %v", err)
+	}
+}
+
+func TestConjunctsAndAndAll(t *testing.T) {
+	e, err := ParseExpr("a > 1 AND b < 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("want 3 conjuncts, got %d", len(cs))
+	}
+	back := AndAll(cs)
+	if back.SQL() != e.SQL() {
+		t.Fatalf("AndAll mismatch: %s vs %s", back.SQL(), e.SQL())
+	}
+	if AndAll(nil) != nil {
+		t.Fatal("AndAll(nil) should be nil")
+	}
+	if got := And(nil, cs[0]); got.SQL() != cs[0].SQL() {
+		t.Fatalf("And(nil, x) = %s", got.SQL())
+	}
+}
+
+func TestCloneSelectIndependence(t *testing.T) {
+	s, err := Parse("SELECT x, AVG(z) AS za FROM (SELECT x, z FROM d WHERE z < 2) GROUP BY x HAVING SUM(z) > 1 ORDER BY x LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CloneSelect(s)
+	if c.SQL() != s.SQL() {
+		t.Fatalf("clone differs: %s vs %s", c.SQL(), s.SQL())
+	}
+	// Mutate the clone; original must not change.
+	c.Items[0].Alias = "mut"
+	c.GroupBy[0].(*ColumnRef).Name = "q"
+	inner := InnermostSelect(c)
+	inner.Where = nil
+	if s.Items[0].Alias == "mut" || s.GroupBy[0].(*ColumnRef).Name == "q" {
+		t.Fatal("mutating clone changed original")
+	}
+	if InnermostSelect(s).Where == nil {
+		t.Fatal("mutating clone FROM changed original")
+	}
+}
+
+func TestColumnHelpers(t *testing.T) {
+	e, err := ParseExpr("x > y AND z + x < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := ColumnNames(e)
+	want := []string{"x", "y", "z"}
+	if len(names) != len(want) {
+		t.Fatalf("ColumnNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ColumnNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestAggregateDetection(t *testing.T) {
+	e, _ := ParseExpr("SUM(z) > 100")
+	if !ContainsAggregate(e) {
+		t.Fatal("SUM(z) > 100 contains an aggregate")
+	}
+	w, _ := ParseExpr("AVG(z) OVER (PARTITION BY x)")
+	if ContainsAggregate(w) {
+		t.Fatal("window AVG is not a plain aggregate")
+	}
+	if !ContainsWindow(w) {
+		t.Fatal("window AVG should be detected")
+	}
+	if n := len(WindowCalls(w)); n != 1 {
+		t.Fatalf("want 1 window call, got %d", n)
+	}
+}
+
+func TestBaseTables(t *testing.T) {
+	s, err := Parse("SELECT x FROM (SELECT x FROM d1 JOIN d2 ON d1.k = d2.k) WHERE x > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := BaseTables(s)
+	if len(bt) != 2 || bt[0] != "d1" || bt[1] != "d2" {
+		t.Fatalf("BaseTables = %v", bt)
+	}
+}
+
+func TestInnermostSelect(t *testing.T) {
+	s, err := Parse("SELECT a FROM (SELECT b FROM (SELECT c FROM base))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := InnermostSelect(s)
+	tn, ok := in.From.(*TableName)
+	if !ok || tn.Name != "base" {
+		t.Fatalf("innermost FROM = %#v", in.From)
+	}
+}
+
+func TestCommentsAndCase(t *testing.T) {
+	q := `select X, Y -- trailing comment
+	      from D /* block
+	      comment */ where X > 1`
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Items[0].Expr.(*ColumnRef).Name != "x" {
+		t.Fatal("identifiers should be lower-cased")
+	}
+	tn := s.From.(*TableName)
+	if tn.Name != "d" {
+		t.Fatal("table names should be lower-cased")
+	}
+}
+
+func TestQuotedIdentifier(t *testing.T) {
+	s := roundTrip(t, `SELECT "Weird Col" FROM d`)
+	if s.Items[0].Expr.(*ColumnRef).Name != "Weird Col" {
+		t.Fatalf("quoted ident mishandled: %#v", s.Items[0].Expr)
+	}
+}
+
+func TestSemicolonAccepted(t *testing.T) {
+	if _, err := Parse("SELECT x FROM d;"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualExpr(t *testing.T) {
+	a, _ := ParseExpr("x > y")
+	b, _ := ParseExpr("x  >  y")
+	c, _ := ParseExpr("x < y")
+	if !EqualExpr(a, b) {
+		t.Fatal("whitespace-equal expressions should be equal")
+	}
+	if EqualExpr(a, c) {
+		t.Fatal("different ops should differ")
+	}
+	if !EqualExpr(nil, nil) || EqualExpr(a, nil) {
+		t.Fatal("nil handling broken")
+	}
+}
+
+func FuzzParsePrint(f *testing.F) {
+	seeds := []string{
+		"SELECT x FROM d",
+		"SELECT * FROM stream WHERE z < 2",
+		"SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM (SELECT x, y, z, t FROM d)",
+		"SELECT x, y, AVG(z) AS zavg FROM d WHERE x > y GROUP BY x, y HAVING SUM(z) > 100",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		printed := s.SQL()
+		s2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed SQL does not reparse: %q -> %q: %v", in, printed, err)
+		}
+		if s2.SQL() != printed {
+			t.Fatalf("not a fixpoint: %q -> %q -> %q", in, printed, s2.SQL())
+		}
+	})
+}
+
+func TestParseLexerEdgeCases(t *testing.T) {
+	if _, err := Parse("SELECT x FROM d WHERE x > 1 /* unterminated"); err == nil {
+		t.Fatal("unterminated block comment should fail")
+	}
+	if _, err := Parse(`SELECT "unterminated FROM d`); err == nil {
+		t.Fatal("unterminated quoted identifier should fail")
+	}
+	if _, err := Parse("SELECT x FROM d WHERE x > 1 @"); err == nil {
+		t.Fatal("stray @ should fail")
+	}
+	// != is accepted as <>
+	s, err := Parse("SELECT x FROM d WHERE x != 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.SQL(), "<>") {
+		t.Fatalf("!= should print as <>: %s", s.SQL())
+	}
+}

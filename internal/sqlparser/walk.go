@@ -1,0 +1,328 @@
+package sqlparser
+
+// WalkExpr calls fn for e and every sub-expression, pre-order. If fn returns
+// false the children of the current node are skipped.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *UnaryExpr:
+		WalkExpr(x.X, fn)
+	case *IsNull:
+		WalkExpr(x.X, fn)
+	case *Between:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Lo, fn)
+		WalkExpr(x.Hi, fn)
+	case *InList:
+		WalkExpr(x.X, fn)
+		for _, it := range x.List {
+			WalkExpr(it, fn)
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Then, fn)
+		}
+		WalkExpr(x.Else, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+		if x.Over != nil {
+			for _, pe := range x.Over.PartitionBy {
+				WalkExpr(pe, fn)
+			}
+			for _, o := range x.Over.OrderBy {
+				WalkExpr(o.Expr, fn)
+			}
+		}
+	}
+}
+
+// RewriteExpr rebuilds the expression bottom-up, replacing every node by
+// fn(node). fn receives a node whose children are already rewritten.
+// A nil input yields nil.
+func RewriteExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		return fn(&BinaryExpr{Op: x.Op, L: RewriteExpr(x.L, fn), R: RewriteExpr(x.R, fn)})
+	case *UnaryExpr:
+		return fn(&UnaryExpr{Op: x.Op, X: RewriteExpr(x.X, fn)})
+	case *IsNull:
+		return fn(&IsNull{X: RewriteExpr(x.X, fn), Not: x.Not})
+	case *Between:
+		return fn(&Between{X: RewriteExpr(x.X, fn), Lo: RewriteExpr(x.Lo, fn), Hi: RewriteExpr(x.Hi, fn), Not: x.Not})
+	case *InList:
+		list := make([]Expr, len(x.List))
+		for i, it := range x.List {
+			list[i] = RewriteExpr(it, fn)
+		}
+		return fn(&InList{X: RewriteExpr(x.X, fn), List: list, Not: x.Not})
+	case *CaseExpr:
+		whens := make([]CaseWhen, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i] = CaseWhen{Cond: RewriteExpr(w.Cond, fn), Then: RewriteExpr(w.Then, fn)}
+		}
+		return fn(&CaseExpr{Whens: whens, Else: RewriteExpr(x.Else, fn)})
+	case *FuncCall:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = RewriteExpr(a, fn)
+		}
+		nf := &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct, Args: args}
+		if x.Over != nil {
+			ws := &WindowSpec{}
+			for _, pe := range x.Over.PartitionBy {
+				ws.PartitionBy = append(ws.PartitionBy, RewriteExpr(pe, fn))
+			}
+			for _, o := range x.Over.OrderBy {
+				ws.OrderBy = append(ws.OrderBy, OrderItem{Expr: RewriteExpr(o.Expr, fn), Desc: o.Desc})
+			}
+			nf.Over = ws
+		}
+		return fn(nf)
+	case *ColumnRef:
+		return fn(&ColumnRef{Table: x.Table, Name: x.Name})
+	case *Literal:
+		return fn(&Literal{Value: x.Value})
+	case *Star:
+		return fn(&Star{Table: x.Table})
+	default:
+		return fn(e)
+	}
+}
+
+// CloneExpr deep-copies an expression.
+func CloneExpr(e Expr) Expr {
+	return RewriteExpr(e, func(x Expr) Expr { return x })
+}
+
+// CloneSelect deep-copies a SELECT statement.
+func CloneSelect(s *Select) *Select {
+	if s == nil {
+		return nil
+	}
+	out := &Select{Distinct: s.Distinct}
+	for _, it := range s.Items {
+		out.Items = append(out.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias})
+	}
+	out.From = CloneTableRef(s.From)
+	out.Where = CloneExpr(s.Where)
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, CloneExpr(g))
+	}
+	out.Having = CloneExpr(s.Having)
+	for _, o := range s.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+	}
+	if s.Limit != nil {
+		l := *s.Limit
+		out.Limit = &l
+	}
+	return out
+}
+
+// CloneTableRef deep-copies a table reference tree.
+func CloneTableRef(t TableRef) TableRef {
+	switch x := t.(type) {
+	case nil:
+		return nil
+	case *TableName:
+		return &TableName{Name: x.Name, Alias: x.Alias}
+	case *Subquery:
+		return &Subquery{Select: CloneSelect(x.Select), Alias: x.Alias}
+	case *Join:
+		return &Join{Type: x.Type, Left: CloneTableRef(x.Left), Right: CloneTableRef(x.Right), On: CloneExpr(x.On)}
+	default:
+		return t
+	}
+}
+
+// ColumnRefs returns every column reference in the expression, pre-order.
+func ColumnRefs(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	WalkExpr(e, func(x Expr) bool {
+		if c, ok := x.(*ColumnRef); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// ColumnNames returns the distinct unqualified column names referenced by
+// the expression, in first-appearance order.
+func ColumnNames(e Expr) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range ColumnRefs(e) {
+		if !seen[c.Name] {
+			seen[c.Name] = true
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Conjuncts splits a boolean expression at top-level ANDs.
+// A nil expression yields nil.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll combines expressions conjunctively; nil entries are skipped and an
+// empty list yields nil.
+func AndAll(exprs []Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// And conjoins two expressions, tolerating nils.
+func And(a, b Expr) Expr { return AndAll([]Expr{a, b}) }
+
+// ContainsAggregate reports whether the expression contains an aggregate
+// function call that is not a window function.
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && f.IsAggregate() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ContainsWindow reports whether the expression contains a window function.
+func ContainsWindow(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && f.IsWindow() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Aggregates returns every aggregate (non-window) function call in the
+// expression.
+func Aggregates(e Expr) []*FuncCall {
+	var out []*FuncCall
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && f.IsAggregate() {
+			out = append(out, f)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// WindowCalls returns every window function call in the expression.
+func WindowCalls(e Expr) []*FuncCall {
+	var out []*FuncCall
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && f.IsWindow() {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+// EqualExpr reports structural equality of two expressions. Rendering to
+// canonical SQL keeps this simple and is precise for the ASTs this parser
+// produces (printing is deterministic).
+func EqualExpr(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.SQL() == b.SQL()
+}
+
+// WalkSelects calls fn for s and every nested derived-table SELECT,
+// outermost first.
+func WalkSelects(s *Select, fn func(*Select)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	walkTableRefSelects(s.From, fn)
+}
+
+func walkTableRefSelects(t TableRef, fn func(*Select)) {
+	switch x := t.(type) {
+	case *Subquery:
+		WalkSelects(x.Select, fn)
+	case *Join:
+		walkTableRefSelects(x.Left, fn)
+		walkTableRefSelects(x.Right, fn)
+	}
+}
+
+// InnermostSelect follows the FROM chain of derived tables and returns the
+// deepest SELECT (the one closest to base tables). When the FROM clause is a
+// join, the statement itself is its own innermost SELECT.
+func InnermostSelect(s *Select) *Select {
+	cur := s
+	for {
+		sq, ok := cur.From.(*Subquery)
+		if !ok {
+			return cur
+		}
+		cur = sq.Select
+	}
+}
+
+// BaseTables returns the names of all base tables referenced anywhere in the
+// statement, in first-appearance order.
+func BaseTables(s *Select) []string {
+	seen := make(map[string]bool)
+	var out []string
+	WalkSelects(s, func(q *Select) {
+		collectBaseTables(q.From, seen, &out)
+	})
+	return out
+}
+
+func collectBaseTables(t TableRef, seen map[string]bool, out *[]string) {
+	switch x := t.(type) {
+	case *TableName:
+		if !seen[x.Name] {
+			seen[x.Name] = true
+			*out = append(*out, x.Name)
+		}
+	case *Join:
+		collectBaseTables(x.Left, seen, out)
+		collectBaseTables(x.Right, seen, out)
+	case *Subquery:
+		// handled by WalkSelects
+	}
+}

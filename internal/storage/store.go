@@ -1,0 +1,219 @@
+// Package storage provides the in-memory tables that back the integrated
+// sensor database d of the smart environment, plus CSV import/export used
+// by the CLI tools. Tables are safe for concurrent readers and writers,
+// matching the ingestion pattern of sensor streams feeding queries.
+package storage
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"paradise/internal/schema"
+)
+
+// ErrNoTable is returned when a referenced table does not exist.
+var ErrNoTable = errors.New("storage: no such table")
+
+// ErrArity is returned when a row's width does not match the table schema.
+var ErrArity = errors.New("storage: row arity mismatch")
+
+// Table is an append-only in-memory relation.
+type Table struct {
+	mu     sync.RWMutex
+	schema *schema.Relation
+	rows   schema.Rows
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(rel *schema.Relation) *Table {
+	return &Table{schema: rel}
+}
+
+// Schema returns the table schema. The returned value must not be mutated.
+func (t *Table) Schema() *schema.Relation { return t.schema }
+
+// Append adds rows, validating arity.
+func (t *Table) Append(rows ...schema.Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range rows {
+		if len(r) != t.schema.Arity() {
+			return fmt.Errorf("%w: table %s has %d columns, row has %d",
+				ErrArity, t.schema.Name, t.schema.Arity(), len(r))
+		}
+		t.rows = append(t.rows, r)
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Snapshot returns a stable copy-on-read view of the rows. The slice header
+// is copied; rows themselves are immutable by convention.
+func (t *Table) Snapshot() schema.Rows {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(schema.Rows, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+}
+
+// WireSize is the simulated serialized size of the whole table.
+func (t *Table) WireSize() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows.WireSize()
+}
+
+// Store is a named collection of tables: the database d of one environment
+// node. It implements the engine's Source interface.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Create registers a new empty table and returns it. An existing table with
+// the same name is replaced.
+func (s *Store) Create(rel *schema.Relation) *Table {
+	t := NewTable(rel)
+	s.mu.Lock()
+	s.tables[strings.ToLower(rel.Name)] = t
+	s.mu.Unlock()
+	return t
+}
+
+// Put registers an existing table under its schema name.
+func (s *Store) Put(t *Table) {
+	s.mu.Lock()
+	s.tables[strings.ToLower(t.Schema().Name)] = t
+	s.mu.Unlock()
+}
+
+// Table finds a table by name (case-insensitive).
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Relation implements the engine Source: it returns schema and a row
+// snapshot for the named table.
+func (s *Store) Relation(name string) (*schema.Relation, schema.Rows, error) {
+	t, err := s.Table(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t.Schema(), t.Snapshot(), nil
+}
+
+// Names lists table names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Catalog builds a schema catalog over all tables, for the rewriter and
+// fragmenter.
+func (s *Store) Catalog() *schema.Catalog {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := schema.NewCatalog()
+	for _, t := range s.tables {
+		c.Register(t.Schema())
+	}
+	return c
+}
+
+// WriteCSV writes a table as CSV with a header row.
+func WriteCSV(w io.Writer, rel *schema.Relation, rows schema.Rows) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.ColumnNames()); err != nil {
+		return fmt.Errorf("storage: write csv header: %w", err)
+	}
+	rec := make([]string, rel.Arity())
+	for _, r := range rows {
+		for i, v := range r {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.Format()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads CSV data (with header) into rows following the relation's
+// declared column order and types. Header names must match the schema.
+func ReadCSV(r io.Reader, rel *schema.Relation) (schema.Rows, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: read csv header: %w", err)
+	}
+	if len(header) != rel.Arity() {
+		return nil, fmt.Errorf("storage: csv header has %d columns, schema %s has %d",
+			len(header), rel.Name, rel.Arity())
+	}
+	for i, h := range header {
+		if !strings.EqualFold(h, rel.Columns[i].Name) {
+			return nil, fmt.Errorf("storage: csv column %d is %q, schema expects %q",
+				i, h, rel.Columns[i].Name)
+		}
+	}
+	var rows schema.Rows
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: read csv row: %w", err)
+		}
+		row := make(schema.Row, rel.Arity())
+		for i, f := range rec {
+			v, err := schema.ParseValue(f, rel.Columns[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("storage: csv row %d col %s: %w", len(rows)+1, rel.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+}

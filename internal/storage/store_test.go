@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"paradise/internal/schema"
+)
+
+func sampleRelation() *schema.Relation {
+	return schema.NewRelation("d",
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("n", schema.TypeInt),
+		schema.Col("s", schema.TypeString),
+	)
+}
+
+func TestTableAppendAndSnapshot(t *testing.T) {
+	tab := NewTable(sampleRelation())
+	if err := tab.Append(
+		schema.Row{schema.Float(1), schema.Int(2), schema.String("a")},
+		schema.Row{schema.Float(3), schema.Int(4), schema.String("b")},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	snap := tab.Snapshot()
+	if err := tab.Append(schema.Row{schema.Float(5), schema.Int(6), schema.String("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 2 {
+		t.Fatal("snapshot must be stable after later appends")
+	}
+}
+
+func TestTableArityValidation(t *testing.T) {
+	tab := NewTable(sampleRelation())
+	err := tab.Append(schema.Row{schema.Float(1)})
+	if !errors.Is(err, ErrArity) {
+		t.Fatalf("want ErrArity, got %v", err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tab := NewTable(sampleRelation())
+	_ = tab.Append(schema.Row{schema.Float(1), schema.Int(2), schema.String("a")})
+	tab.Truncate()
+	if tab.Len() != 0 {
+		t.Fatal("truncate should empty the table")
+	}
+}
+
+func TestStoreLookup(t *testing.T) {
+	st := NewStore()
+	st.Create(sampleRelation())
+	if _, err := st.Table("D"); err != nil {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, err := st.Table("nope"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("want ErrNoTable, got %v", err)
+	}
+	rel, rows, err := st.Relation("d")
+	if err != nil || rel.Name != "d" || len(rows) != 0 {
+		t.Fatalf("Relation: %v %v %v", rel, rows, err)
+	}
+	names := st.Names()
+	if len(names) != 1 || names[0] != "d" {
+		t.Fatalf("Names = %v", names)
+	}
+	cat := st.Catalog()
+	if _, ok := cat.Lookup("d"); !ok {
+		t.Fatal("catalog missing d")
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	tab := NewTable(sampleRelation())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = tab.Append(schema.Row{schema.Float(1), schema.Int(2), schema.String("x")})
+				_ = tab.Snapshot()
+				_ = tab.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if tab.Len() != 800 {
+		t.Fatalf("len = %d, want 800", tab.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rel := sampleRelation()
+	rows := schema.Rows{
+		{schema.Float(1.5), schema.Int(7), schema.String("hello")},
+		{schema.Null(), schema.Int(-2), schema.String("with,comma")},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rel, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if !got[0][0].Identical(rows[0][0]) || !got[1][2].Identical(rows[1][2]) {
+		t.Fatal("values corrupted in round trip")
+	}
+	if !got[1][0].IsNull() {
+		t.Fatal("NULL not preserved")
+	}
+}
+
+func TestCSVHeaderValidation(t *testing.T) {
+	rel := sampleRelation()
+	if _, err := ReadCSV(strings.NewReader("x,n\n1,2\n"), rel); err == nil {
+		t.Fatal("short header should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("x,n,wrong\n1,2,a\n"), rel); err == nil {
+		t.Fatal("wrong header name should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("x,n,s\nnotanumber,2,a\n"), rel); err == nil {
+		t.Fatal("bad value should error")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	tab := NewTable(sampleRelation())
+	_ = tab.Append(schema.Row{schema.Float(1), schema.Int(2), schema.String("abc")})
+	if tab.WireSize() == 0 {
+		t.Fatal("non-empty table should have wire size")
+	}
+}

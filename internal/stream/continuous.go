@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"fmt"
+
+	"paradise/internal/engine"
+	"paradise/internal/policy"
+	"paradise/internal/schema"
+)
+
+// ContinuousQuery is a standing sensor-level query: every IntervalMs of
+// stream time the SensorQuery runs over the buffer and emits its result to
+// the next node up. The policy's stream rules (§3.3) gate the execution:
+// queries arriving faster than the allowed interval are dropped, and raw
+// (non-aggregated) emission is refused when the policy demands a minimum
+// aggregation window.
+type ContinuousQuery struct {
+	// Module names the analysis module for rate limiting.
+	Module string
+	// Query is the sensor-level query to run.
+	Query *SensorQuery
+	// IntervalMs is the desired execution period in stream time.
+	IntervalMs int64
+	// Rules are the policy's stream rules; nil means unrestricted.
+	Rules *policy.StreamRules
+}
+
+// Emission is one continuous-query result.
+type Emission struct {
+	AtMs   int64
+	Result *engine.Result
+	// Dropped marks executions suppressed by the policy gate.
+	Dropped bool
+	// Reason explains a drop.
+	Reason string
+}
+
+// Validate checks the standing query against the sensor capability and the
+// policy's stream rules.
+func (cq *ContinuousQuery) Validate() error {
+	if cq.IntervalMs <= 0 {
+		return fmt.Errorf("%w: continuous query needs a positive interval", ErrStream)
+	}
+	if err := cq.Query.Validate(); err != nil {
+		return err
+	}
+	if cq.Rules != nil {
+		if cq.Rules.MinAggregationWindowMs > 0 {
+			if cq.Query.Aggregate == nil {
+				return fmt.Errorf("%w: policy requires aggregation over >= %dms before values leave the sensor",
+					ErrStream, cq.Rules.MinAggregationWindowMs)
+			}
+			if cq.Query.WindowMs < cq.Rules.MinAggregationWindowMs {
+				return fmt.Errorf("%w: aggregation window %dms below policy minimum %dms",
+					ErrStream, cq.Query.WindowMs, cq.Rules.MinAggregationWindowMs)
+			}
+		}
+	}
+	return nil
+}
+
+// Replay feeds the given rows (which must be in timestamp order) into a
+// fresh stream of the given capacity and runs the continuous query at its
+// interval, returning every emission. It models one sensor's lifetime
+// without real time: stream time is driven by the data, exactly like the
+// deterministic trace generator.
+func (cq *ContinuousQuery) Replay(rel *schema.Relation, rows schema.Rows, capacity int) ([]Emission, error) {
+	if err := cq.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := New(rel, capacity)
+	if err != nil {
+		return nil, err
+	}
+	var gate *Gate
+	if cq.Rules != nil {
+		gate = NewGate(cq.Rules.MinQueryIntervalMs)
+	} else {
+		gate = NewGate(0)
+	}
+
+	tsIdx, err := rel.Index("t")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+
+	var out []Emission
+	nextFire := cq.IntervalMs
+	for _, row := range rows {
+		if err := s.Push(row); err != nil {
+			return nil, err
+		}
+		now := row[tsIdx].AsInt()
+		for now >= nextFire {
+			em := Emission{AtMs: nextFire}
+			if err := gate.Admit(cq.Module, nextFire); err != nil {
+				em.Dropped = true
+				em.Reason = err.Error()
+			} else {
+				res, err := cq.Query.Run(s)
+				if err != nil {
+					return nil, err
+				}
+				em.Result = res
+			}
+			out = append(out, em)
+			nextFire += cq.IntervalMs
+		}
+	}
+	return out, nil
+}

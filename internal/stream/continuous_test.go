@@ -1,0 +1,163 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+
+	"paradise/internal/policy"
+	"paradise/internal/schema"
+	"paradise/internal/sensors"
+	"paradise/internal/sqlparser"
+)
+
+func tagRows(n int, stepMs int64) schema.Rows {
+	rows := make(schema.Rows, n)
+	for i := range rows {
+		z := 1.2
+		if i%5 == 0 {
+			z = 2.4
+		}
+		rows[i] = schema.Row{
+			schema.Int(1), schema.Float(float64(i) / 10), schema.Float(0),
+			schema.Float(z), schema.Int(int64(i) * stepMs),
+		}
+	}
+	return rows
+}
+
+func avgZ() *sqlparser.FuncCall {
+	return &sqlparser.FuncCall{Name: "avg", Args: []sqlparser.Expr{&sqlparser.ColumnRef{Name: "z"}}}
+}
+
+func TestContinuousReplayEmitsAtInterval(t *testing.T) {
+	rel := sensors.StreamSchema()
+	rows := tagRows(200, 50) // 10 s of data at 20 Hz
+	cq := &ContinuousQuery{
+		Module:     "ActionFilter",
+		Query:      &SensorQuery{Aggregate: avgZ(), WindowMs: 1000},
+		IntervalMs: 1000,
+	}
+	ems, err := cq.Replay(rel, rows, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 s of data, 1 Hz emissions: ~9-10 firings.
+	if len(ems) < 8 || len(ems) > 10 {
+		t.Fatalf("emissions = %d", len(ems))
+	}
+	for _, e := range ems {
+		if e.Dropped {
+			t.Fatalf("no gate configured; emission at %d dropped: %s", e.AtMs, e.Reason)
+		}
+		if len(e.Result.Rows) != 1 {
+			t.Fatalf("aggregate emission should be one row")
+		}
+	}
+}
+
+func TestContinuousGateDropsFastQueries(t *testing.T) {
+	rel := sensors.StreamSchema()
+	rows := tagRows(200, 50)
+	cq := &ContinuousQuery{
+		Module:     "ActionFilter",
+		Query:      &SensorQuery{Aggregate: avgZ(), WindowMs: 2000},
+		IntervalMs: 500, // twice as fast as the policy allows
+		Rules:      &policy.StreamRules{MinQueryIntervalMs: 1000},
+	}
+	ems, err := cq.Replay(rel, rows, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, fired := 0, 0
+	for _, e := range ems {
+		if e.Dropped {
+			dropped++
+			if e.Reason == "" {
+				t.Fatal("dropped emission must carry a reason")
+			}
+		} else {
+			fired++
+		}
+	}
+	if dropped == 0 || fired == 0 {
+		t.Fatalf("gate should drop roughly every other firing: fired=%d dropped=%d", fired, dropped)
+	}
+	// Roughly alternating.
+	if dropped < fired/2 {
+		t.Fatalf("too few drops: fired=%d dropped=%d", fired, dropped)
+	}
+}
+
+func TestContinuousPolicyRequiresAggregation(t *testing.T) {
+	rel := sensors.StreamSchema()
+	filter, _ := sqlparser.ParseExpr("z < 2")
+	cq := &ContinuousQuery{
+		Module:     "ActionFilter",
+		Query:      &SensorQuery{Filter: filter}, // raw rows, no aggregate
+		IntervalMs: 1000,
+		Rules:      &policy.StreamRules{MinAggregationWindowMs: 60_000},
+	}
+	if _, err := cq.Replay(rel, tagRows(10, 50), 64); !errors.Is(err, ErrStream) {
+		t.Fatalf("raw emission must be refused under a min aggregation window, got %v", err)
+	}
+
+	// Window below the minimum is refused too.
+	cq.Query = &SensorQuery{Aggregate: avgZ(), WindowMs: 1000}
+	if _, err := cq.Replay(rel, tagRows(10, 50), 64); !errors.Is(err, ErrStream) {
+		t.Fatal("short window must be refused")
+	}
+
+	// Compliant window passes.
+	cq.Query = &SensorQuery{Aggregate: avgZ(), WindowMs: 60_000}
+	if _, err := cq.Replay(rel, tagRows(10, 50), 64); err != nil {
+		t.Fatalf("compliant query refused: %v", err)
+	}
+}
+
+func TestContinuousValidation(t *testing.T) {
+	cq := &ContinuousQuery{Query: &SensorQuery{}, IntervalMs: 0}
+	if err := cq.Validate(); !errors.Is(err, ErrStream) {
+		t.Fatal("zero interval must fail")
+	}
+}
+
+func TestContinuousFromGeneratedTrace(t *testing.T) {
+	// End-to-end: the simulated apartment's UbiSense stream drives a
+	// standing policy-gated average-height query.
+	tr, err := sensors.Generate(sensors.Apartment(20_000_000_000, false, 5)) // 20 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sensors.StreamSchema()
+	var rows schema.Rows
+	for _, r := range tr.Device[sensors.DeviceUbisense] {
+		if r[5].AsBool() {
+			rows = append(rows, schema.Row{r[0], r[2], r[3], r[4], r[1]})
+		}
+	}
+	cq := &ContinuousQuery{
+		Module:     "ActionFilter",
+		Query:      &SensorQuery{Aggregate: avgZ(), WindowMs: 5_000},
+		IntervalMs: 5_000,
+		Rules:      &policy.StreamRules{MinQueryIntervalMs: 5_000, MinAggregationWindowMs: 1_000},
+	}
+	ems, err := cq.Replay(rel, rows, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ems) < 2 {
+		t.Fatalf("expected several emissions over 20 s, got %d", len(ems))
+	}
+	for _, e := range ems {
+		if e.Dropped {
+			continue
+		}
+		v := e.Result.Rows[0][0]
+		if v.IsNull() {
+			continue
+		}
+		if h := v.AsFloat(); h < 0.1 || h > 2.0 {
+			t.Fatalf("implausible average tag height %v", h)
+		}
+	}
+}

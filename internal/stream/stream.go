@@ -1,0 +1,201 @@
+// Package stream implements the sensor-level (E4) processing of Table 1:
+// bounded time-ordered buffers fed by the sensor hardware, constant-only
+// filters, and simple aggregates over sliding windows "over the last
+// seconds". It also enforces the stream extensions of the privacy policy
+// (§3.3): the allowed query interval and the minimum aggregation window
+// before values may leave the sensor.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"paradise/internal/engine"
+	"paradise/internal/fragment"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// ErrStream wraps stream processing errors.
+var ErrStream = errors.New("stream: error")
+
+// ErrRateLimited is returned when a query violates the policy's minimum
+// query interval.
+var ErrRateLimited = errors.New("stream: query interval below policy minimum")
+
+// Stream is a bounded, time-ordered buffer of sensor rows. The timestamp
+// column t holds milliseconds since scenario start (monotone per stream).
+type Stream struct {
+	mu       sync.RWMutex
+	rel      *schema.Relation
+	tsIdx    int
+	capacity int
+	buf      schema.Rows // oldest first; len <= capacity
+	lastTs   int64
+}
+
+// New creates a stream with the given schema (which must contain an integer
+// column t) and buffer capacity.
+func New(rel *schema.Relation, capacity int) (*Stream, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: capacity must be positive", ErrStream)
+	}
+	ti, err := rel.Index("t")
+	if err != nil {
+		return nil, fmt.Errorf("%w: stream schema needs a t column: %v", ErrStream, err)
+	}
+	return &Stream{rel: rel, tsIdx: ti, capacity: capacity}, nil
+}
+
+// Schema returns the stream's relation schema.
+func (s *Stream) Schema() *schema.Relation { return s.rel }
+
+// Push appends one reading; out-of-order rows (t going backwards) are
+// rejected, mirroring real sensor firmware.
+func (s *Stream) Push(row schema.Row) error {
+	if len(row) != s.rel.Arity() {
+		return fmt.Errorf("%w: row arity %d != schema arity %d", ErrStream, len(row), s.rel.Arity())
+	}
+	if row[s.tsIdx].Type() != schema.TypeInt {
+		return fmt.Errorf("%w: timestamp must be integer milliseconds", ErrStream)
+	}
+	ts := row[s.tsIdx].AsInt()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts < s.lastTs {
+		return fmt.Errorf("%w: out-of-order timestamp %d after %d", ErrStream, ts, s.lastTs)
+	}
+	s.lastTs = ts
+	s.buf = append(s.buf, row)
+	if len(s.buf) > s.capacity {
+		s.buf = s.buf[len(s.buf)-s.capacity:]
+	}
+	return nil
+}
+
+// Len returns the buffered row count.
+func (s *Stream) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buf)
+}
+
+// Now returns the newest timestamp seen.
+func (s *Stream) Now() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastTs
+}
+
+// Window returns the rows of the last sizeMs milliseconds (relative to the
+// newest timestamp), oldest first.
+func (s *Stream) Window(sizeMs int64) schema.Rows {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cut := s.lastTs - sizeMs
+	// Binary search would work; the buffer is small (sensor memory).
+	start := 0
+	for start < len(s.buf) && s.buf[start][s.tsIdx].AsInt() <= cut {
+		start++
+	}
+	out := make(schema.Rows, len(s.buf)-start)
+	copy(out, s.buf[start:])
+	return out
+}
+
+// SensorQuery is the only query shape a sensor can run (Table 1, row E4):
+// SELECT * (optionally aggregated) over a recent window, filtered by
+// attribute-vs-constant predicates.
+type SensorQuery struct {
+	// Filter must be a conjunction of attribute-vs-constant comparisons
+	// (z < 2 in the paper's example); nil means no filter.
+	Filter sqlparser.Expr
+	// Aggregate, when set, reduces the window to a single value (e.g.
+	// AVG(z) over the last minute). Nil ships the raw filtered rows.
+	Aggregate *sqlparser.FuncCall
+	// WindowMs bounds the query to the last WindowMs milliseconds;
+	// 0 means the whole buffer.
+	WindowMs int64
+}
+
+// Validate checks the query against the sensor capability.
+func (q *SensorQuery) Validate() error {
+	if !fragment.IsSensorPredicate(q.Filter) {
+		return fmt.Errorf("%w: sensor filters may only compare attributes with constants: %s",
+			ErrStream, q.Filter.SQL())
+	}
+	if q.Aggregate != nil && !q.Aggregate.IsAggregate() {
+		return fmt.Errorf("%w: %s is not an aggregate", ErrStream, q.Aggregate.SQL())
+	}
+	if q.WindowMs < 0 {
+		return fmt.Errorf("%w: negative window", ErrStream)
+	}
+	return nil
+}
+
+// Run evaluates the sensor query against the stream's current content.
+// With an aggregate the result is a single row (value); otherwise the
+// filtered window rows ship as-is (SELECT * — sensors cannot project).
+func (q *SensorQuery) Run(s *Stream) (*engine.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var rows schema.Rows
+	if q.WindowMs > 0 {
+		rows = s.Window(q.WindowMs)
+	} else {
+		rows = s.Window(s.Now() + 1) // whole buffer
+	}
+	if q.Filter != nil {
+		var kept schema.Rows
+		for _, r := range rows {
+			ok, err := engine.EvalPredicate(s.rel, r, q.Filter)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrStream, err)
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	if q.Aggregate == nil {
+		return &engine.Result{Schema: s.rel, Rows: rows}, nil
+	}
+	v, err := engine.EvalAggregate(s.rel, rows, q.Aggregate)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	rel := schema.NewRelation("", schema.Col(q.Aggregate.Name, v.Type()))
+	return &engine.Result{Schema: rel, Rows: schema.Rows{{v}}}, nil
+}
+
+// Gate enforces the policy's minimum query interval per module (§3.3): a
+// module may only query the stream every MinIntervalMs milliseconds.
+type Gate struct {
+	mu            sync.Mutex
+	minIntervalMs int64
+	lastQuery     map[string]int64
+}
+
+// NewGate builds a gate with the given minimum interval; 0 disables
+// rate limiting.
+func NewGate(minIntervalMs int64) *Gate {
+	return &Gate{minIntervalMs: minIntervalMs, lastQuery: make(map[string]int64)}
+}
+
+// Admit checks whether the module may query at time nowMs; admission
+// records the query. The first query of a module is always admitted.
+func (g *Gate) Admit(module string, nowMs int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.minIntervalMs > 0 {
+		if last, ok := g.lastQuery[module]; ok && nowMs-last < g.minIntervalMs {
+			return fmt.Errorf("%w: module %q queried %dms after previous (minimum %dms)",
+				ErrRateLimited, module, nowMs-last, g.minIntervalMs)
+		}
+	}
+	g.lastQuery[module] = nowMs
+	return nil
+}

@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"paradise/internal/schema"
+	"paradise/internal/sensors"
+	"paradise/internal/sqlparser"
+)
+
+func newTestStream(t *testing.T, capacity int) *Stream {
+	t.Helper()
+	s, err := New(sensors.StreamSchema(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func push(t *testing.T, s *Stream, tag int64, x, y, z float64, ts int64) {
+	t.Helper()
+	if err := s.Push(schema.Row{
+		schema.Int(tag), schema.Float(x), schema.Float(y), schema.Float(z), schema.Int(ts),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushAndWindow(t *testing.T) {
+	s := newTestStream(t, 100)
+	for i := int64(0); i < 50; i++ {
+		push(t, s, 1, float64(i), 0, 1.0, i*100)
+	}
+	if s.Len() != 50 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Now() != 4900 {
+		t.Fatalf("now = %d", s.Now())
+	}
+	w := s.Window(1000) // readings with t > 3900
+	if len(w) != 10 {
+		t.Fatalf("window = %d rows, want 10", len(w))
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	s := newTestStream(t, 10)
+	for i := int64(0); i < 25; i++ {
+		push(t, s, 1, 0, 0, 1, i)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("capacity not enforced: %d", s.Len())
+	}
+	w := s.Window(s.Now() + 1)
+	if w[0][4].AsInt() != 15 {
+		t.Fatalf("oldest surviving row t = %d, want 15", w[0][4].AsInt())
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	s := newTestStream(t, 10)
+	push(t, s, 1, 0, 0, 1, 100)
+	err := s.Push(schema.Row{
+		schema.Int(1), schema.Float(0), schema.Float(0), schema.Float(1), schema.Int(50),
+	})
+	if !errors.Is(err, ErrStream) {
+		t.Fatalf("want ErrStream, got %v", err)
+	}
+}
+
+func TestBadRows(t *testing.T) {
+	s := newTestStream(t, 10)
+	if err := s.Push(schema.Row{schema.Int(1)}); !errors.Is(err, ErrStream) {
+		t.Fatal("short row should error")
+	}
+	if _, err := New(schema.NewRelation("x", schema.Col("a", schema.TypeInt)), 5); !errors.Is(err, ErrStream) {
+		t.Fatal("schema without t should error")
+	}
+	if _, err := New(sensors.StreamSchema(), 0); !errors.Is(err, ErrStream) {
+		t.Fatal("zero capacity should error")
+	}
+}
+
+func TestSensorQueryPaperExample(t *testing.T) {
+	// SELECT * FROM stream WHERE z < 2 — the lowest fragment of §4.2.
+	s := newTestStream(t, 100)
+	for i := int64(0); i < 20; i++ {
+		z := 1.0
+		if i%4 == 0 {
+			z = 2.5
+		}
+		push(t, s, 1, 0, 0, z, i*50)
+	}
+	filter, err := sqlparser.ParseExpr("z < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &SensorQuery{Filter: filter}
+	res, err := q.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 15 {
+		t.Fatalf("want 15 rows with z < 2, got %d", len(res.Rows))
+	}
+	// Sensors ship all attributes (SELECT *).
+	if res.Schema.Arity() != s.Schema().Arity() {
+		t.Fatal("sensor result must keep all attributes")
+	}
+}
+
+func TestSensorQueryRejectsAttrComparison(t *testing.T) {
+	s := newTestStream(t, 10)
+	push(t, s, 1, 2, 1, 1, 0)
+	filter, _ := sqlparser.ParseExpr("x > y")
+	q := &SensorQuery{Filter: filter}
+	if _, err := q.Run(s); !errors.Is(err, ErrStream) {
+		t.Fatal("attribute-vs-attribute filter must be rejected at the sensor")
+	}
+}
+
+func TestSensorWindowAggregate(t *testing.T) {
+	// "average of last minute" — the paper's example of a sensor window
+	// function.
+	s := newTestStream(t, 1000)
+	for i := int64(0); i < 120; i++ {
+		push(t, s, 1, 0, 0, float64(i), i*1000) // one reading per second
+	}
+	agg := &sqlparser.FuncCall{Name: "avg", Args: []sqlparser.Expr{&sqlparser.ColumnRef{Name: "z"}}}
+	q := &SensorQuery{Aggregate: agg, WindowMs: 60_000}
+	res, err := q.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("aggregate should yield one row, got %d", len(res.Rows))
+	}
+	// Last 60 s: t in (59000, 119000] -> z values 60..119, mean 89.5.
+	got := res.Rows[0][0].AsFloat()
+	if math.Abs(got-89.5) > 1e-9 {
+		t.Fatalf("window avg = %v, want 89.5", got)
+	}
+}
+
+func TestSensorQueryValidation(t *testing.T) {
+	notAgg := &sqlparser.FuncCall{Name: "upper", Args: []sqlparser.Expr{&sqlparser.ColumnRef{Name: "z"}}}
+	q := &SensorQuery{Aggregate: notAgg}
+	if err := q.Validate(); !errors.Is(err, ErrStream) {
+		t.Fatal("non-aggregate should fail validation")
+	}
+	q = &SensorQuery{WindowMs: -1}
+	if err := q.Validate(); !errors.Is(err, ErrStream) {
+		t.Fatal("negative window should fail")
+	}
+}
+
+func TestGateEnforcesInterval(t *testing.T) {
+	g := NewGate(1000)
+	if err := g.Admit("ActionFilter", 0); err != nil {
+		t.Fatal("first query must be admitted")
+	}
+	if err := g.Admit("ActionFilter", 500); !errors.Is(err, ErrRateLimited) {
+		t.Fatal("early query must be rejected")
+	}
+	if err := g.Admit("ActionFilter", 1200); err != nil {
+		t.Fatal("query after the interval must pass")
+	}
+	// Other modules are independent.
+	if err := g.Admit("OtherModule", 1201); err != nil {
+		t.Fatal("modules must be rate-limited independently")
+	}
+	// Disabled gate admits everything.
+	g0 := NewGate(0)
+	for i := int64(0); i < 5; i++ {
+		if err := g0.Admit("m", i); err != nil {
+			t.Fatal("disabled gate must admit")
+		}
+	}
+}
