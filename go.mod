@@ -1,0 +1,3 @@
+module paradise
+
+go 1.23

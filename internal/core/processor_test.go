@@ -8,6 +8,7 @@ import (
 
 	"paradise/internal/anonymize"
 	"paradise/internal/audit"
+	"paradise/internal/engine"
 	"paradise/internal/policy"
 	"paradise/internal/recognition"
 	"paradise/internal/sensors"
@@ -66,6 +67,52 @@ func TestProcessPaperQuery(t *testing.T) {
 	}
 	if !strings.Contains(out.Summary(), "rewritten") {
 		t.Error("summary incomplete")
+	}
+}
+
+// TestProcessorUnchangedByStreamingExecutor pins the Figure-2 contract the
+// batch-iterator refactor must honour: running the same query twice yields
+// identical results, byte accounting and reduction factor, and the numbers
+// agree between the chain execution and a direct monolithic evaluation.
+func TestProcessorUnchangedByStreamingExecutor(t *testing.T) {
+	p, _ := apartmentProcessor(t, AnonConfig{})
+	const q = "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM (SELECT x, y, z, t FROM d)"
+	a, err := p.Process(q, "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Process(q, "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Net.EgressBytes != b.Net.EgressBytes || a.Net.RawBytes != b.Net.RawBytes {
+		t.Fatalf("byte accounting not deterministic: %d/%d vs %d/%d",
+			a.Net.EgressBytes, a.Net.RawBytes, b.Net.EgressBytes, b.Net.RawBytes)
+	}
+	if a.Net.Reduction() != b.Net.Reduction() {
+		t.Fatalf("reduction not deterministic: %v vs %v", a.Net.Reduction(), b.Net.Reduction())
+	}
+	if len(a.Result.Rows) != len(b.Result.Rows) {
+		t.Fatalf("result cardinality not deterministic: %d vs %d",
+			len(a.Result.Rows), len(b.Result.Rows))
+	}
+	// The chain's pre-anonymization answer matches the rewritten query run
+	// monolithically over the store.
+	direct, err := engine.New(p.store).Query(a.RewrittenSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Rows) != len(a.PreAnonymization.Rows) {
+		t.Fatalf("chain result %d rows, monolithic %d rows",
+			len(a.PreAnonymization.Rows), len(direct.Rows))
+	}
+	for i := range direct.Rows {
+		for j := range direct.Rows[i] {
+			if !direct.Rows[i][j].Identical(a.PreAnonymization.Rows[i][j]) {
+				t.Fatalf("row %d col %d: chain %v != monolithic %v", i, j,
+					a.PreAnonymization.Rows[i][j].Format(), direct.Rows[i][j].Format())
+			}
+		}
 	}
 }
 

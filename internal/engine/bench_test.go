@@ -9,7 +9,7 @@ import (
 )
 
 // benchStore builds an n-row position table plus a small dimension table.
-func benchStore(b *testing.B, n int) *storage.Store {
+func benchStore(b testing.TB, n int) *storage.Store {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	st := storage.NewStore()
@@ -48,6 +48,7 @@ func benchStore(b *testing.B, n int) *storage.Store {
 func benchQuery(b *testing.B, sql string) {
 	b.Helper()
 	eng := New(benchStore(b, 10_000))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Query(sql); err != nil {
@@ -90,4 +91,8 @@ func BenchmarkDistinct(b *testing.B) {
 
 func BenchmarkNestedSubquery(b *testing.B) {
 	benchQuery(b, "SELECT AVG(s) FROM (SELECT x + y AS s, z FROM d WHERE z < 1.5) WHERE s > 3")
+}
+
+func BenchmarkLimitEarlyTermination(b *testing.B) {
+	benchQuery(b, "SELECT x, y FROM d LIMIT 10")
 }

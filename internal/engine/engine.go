@@ -3,6 +3,14 @@
 // on every node of the vertical architecture, from the cloud server down to
 // an appliance; only the *fragment* of the query a node receives differs
 // (capability enforcement happens in the fragment package, not here).
+//
+// Execution is a pull-based, batch-at-a-time iterator pipeline (volcano
+// with row batches): scans, filters, projections, join probes, DISTINCT and
+// LIMIT stream; GROUP BY, window functions and ORDER BY are pipeline
+// breakers that materialize their input. Engine.Select drains the pipeline
+// into a materialized Result; Engine.Open exposes the pipeline itself so
+// fragment chains and network nodes can process batches without holding
+// whole intermediate relations.
 package engine
 
 import (
@@ -17,7 +25,9 @@ import (
 var ErrQuery = errors.New("engine: query error")
 
 // Source supplies base relations by name. storage.Store implements it;
-// the network simulator implements it per node.
+// the network simulator implements it per node. Sources that additionally
+// implement BatchSource are scanned batch-at-a-time with projection and
+// predicate pushdown instead of being materialized.
 type Source interface {
 	Relation(name string) (*schema.Relation, schema.Rows, error)
 }
@@ -48,36 +58,84 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return e.Select(sel)
 }
 
-// Select executes a parsed statement.
+// Select executes a parsed statement, materializing the full result.
 func (e *Engine) Select(sel *sqlparser.Select) (*Result, error) {
-	b, rows, err := e.evalFrom(sel.From)
+	rel, it, err := e.Open(sel)
 	if err != nil {
 		return nil, err
 	}
+	rows, err := schema.DrainIterator(it)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: rel, Rows: rows}, nil
+}
 
-	if sel.Where != nil {
-		if sqlparser.ContainsAggregate(sel.Where) {
-			return nil, fmt.Errorf("%w: aggregate in WHERE clause", ErrQuery)
-		}
-		rows, err = filterRows(b, rows, sel.Where)
-		if err != nil {
-			return nil, err
-		}
+// Open compiles a parsed statement into its output schema and a pull-based
+// batch iterator. The caller owns the iterator and must Close it (or drain
+// it with schema.DrainIterator, which closes on exhaustion); closing early
+// stops upstream scans. Intermediate memory is bounded by the batch size
+// except at pipeline breakers (GROUP BY, windows, ORDER BY), which buffer
+// their own input.
+func (e *Engine) Open(sel *sqlparser.Select) (*schema.Relation, schema.RowIterator, error) {
+	if sel.Where != nil && sqlparser.ContainsAggregate(sel.Where) {
+		return nil, nil, fmt.Errorf("%w: aggregate in WHERE clause", ErrQuery)
+	}
+
+	b, it, err := e.openFrom(sel)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || itemsContainAggregate(sel)
+	if grouped || itemsContainWindow(sel) || len(sel.OrderBy) > 0 {
+		rel, rows, err := e.evalBroken(sel, b, it, grouped)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rel, schema.IterateRows(rows, schema.DefaultBatchSize), nil
+	}
+
+	p, err := buildProjector(sel, b)
+	if err != nil {
+		it.Close()
+		return nil, nil, err
+	}
+	out := schema.RowIterator(&projIter{src: it, p: p, env: &rowEnv{b: b}})
+	if sel.Distinct {
+		out = &distinctIter{src: out, seen: make(map[string]bool)}
+	}
+	if sel.Limit != nil {
+		n := int(*sel.Limit)
+		if n < 0 {
+			n = 0
+		}
+		out = &limitIter{src: out, remaining: n}
+	}
+	return p.rel, out, nil
+}
+
+// evalBroken is the pipeline-breaker path: grouping, window functions and
+// ORDER BY need the whole input (ORDER BY + LIMIT sorts fully before
+// truncating), so the upstream pipeline is drained here and the classic
+// materialized operators run over it.
+func (e *Engine) evalBroken(sel *sqlparser.Select, b *binding, it schema.RowIterator, grouped bool) (*schema.Relation, schema.Rows, error) {
+	rows, err := schema.DrainIterator(it)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	var out *Result
 	var orderRows schema.Rows // rows aligned with out.Rows for ORDER BY fallback
 	if grouped {
 		out, err = e.evalGrouped(sel, b, rows)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		orderRows = nil
 	} else {
 		out, orderRows, err = e.evalProjection(sel, b, rows)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -88,7 +146,7 @@ func (e *Engine) Select(sel *sqlparser.Select) (*Result, error) {
 
 	if len(sel.OrderBy) > 0 {
 		if err := sortResult(out, orderRows, b, sel.OrderBy); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -101,7 +159,7 @@ func (e *Engine) Select(sel *sqlparser.Select) (*Result, error) {
 			out.Rows = out.Rows[:n]
 		}
 	}
-	return out, nil
+	return out.Schema, out.Rows, nil
 }
 
 func itemsContainAggregate(sel *sqlparser.Select) bool {
@@ -113,14 +171,75 @@ func itemsContainAggregate(sel *sqlparser.Select) bool {
 	return false
 }
 
-// evalFrom evaluates a FROM clause into a binding and its rows.
-func (e *Engine) evalFrom(t sqlparser.TableRef) (*binding, schema.Rows, error) {
+func itemsContainWindow(sel *sqlparser.Select) bool {
+	for _, it := range sel.Items {
+		if sqlparser.ContainsWindow(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// openFrom opens the FROM clause as a batch pipeline and applies the WHERE
+// filter — pushed into the scan when FROM is a single table, wrapped as a
+// filter operator otherwise.
+func (e *Engine) openFrom(sel *sqlparser.Select) (*binding, schema.RowIterator, error) {
+	if tn, ok := sel.From.(*sqlparser.TableName); ok {
+		return e.openTableScan(tn, sel)
+	}
+	b, it, err := e.openRef(sel.From)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sel.Where != nil {
+		it = &filterIter{src: it, env: &rowEnv{b: b}, cond: sel.Where}
+	}
+	return b, it, nil
+}
+
+// openTableScan opens a single-table FROM with the WHERE predicate compiled
+// to a row closure and the set of referenced columns pushed down into the
+// source's scan. The returned binding reflects the projected layout.
+func (e *Engine) openTableScan(tn *sqlparser.TableName, sel *sqlparser.Select) (*binding, schema.RowIterator, error) {
+	rel, err := RelationSchema(e.src, tn.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	qual := tn.Name
+	if tn.Alias != "" {
+		qual = tn.Alias
+	}
+	full := bindingFromRelation(rel, qual)
+
+	var sc schema.Scan
+	if sel.Where != nil {
+		env := &rowEnv{b: full}
+		cond := sel.Where
+		sc.Filter = func(r schema.Row) (bool, error) {
+			env.row = r
+			return truthy(env, cond)
+		}
+	}
+	b := full
+	if cols, ok := pushdownColumns(sel, full); ok {
+		sc.Columns = cols
+		b = bindingFromRelation(rel.Project(cols), qual)
+	}
+	it, err := OpenScan(e.src, tn.Name, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, it, nil
+}
+
+// openRef opens one FROM item (without any WHERE handling).
+func (e *Engine) openRef(t sqlparser.TableRef) (*binding, schema.RowIterator, error) {
 	switch x := t.(type) {
 	case nil:
 		// SELECT without FROM: one empty row.
-		return &binding{}, schema.Rows{{}}, nil
+		return &binding{}, schema.IterateRows(schema.Rows{{}}, 1), nil
 	case *sqlparser.TableName:
-		rel, rows, err := e.src.Relation(x.Name)
+		rel, err := RelationSchema(e.src, x.Name)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -128,94 +247,70 @@ func (e *Engine) evalFrom(t sqlparser.TableRef) (*binding, schema.Rows, error) {
 		if x.Alias != "" {
 			qual = x.Alias
 		}
-		return bindingFromRelation(rel, qual), rows, nil
-	case *sqlparser.Subquery:
-		res, err := e.Select(x.Select)
+		it, err := OpenScan(e.src, x.Name, schema.Scan{})
 		if err != nil {
 			return nil, nil, err
 		}
-		return bindingFromRelation(res.Schema, x.Alias), res.Rows, nil
+		return bindingFromRelation(rel, qual), it, nil
+	case *sqlparser.Subquery:
+		rel, it, err := e.Open(x.Select)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bindingFromRelation(rel, x.Alias), it, nil
 	case *sqlparser.Join:
-		return e.evalJoin(x)
+		return e.openJoin(x)
 	default:
 		return nil, nil, fmt.Errorf("%w: unsupported FROM item %T", ErrQuery, t)
 	}
 }
 
-// evalJoin evaluates inner, left and cross joins. Equi-joins on plain column
-// references use a hash join; everything else falls back to nested loops.
-func (e *Engine) evalJoin(j *sqlparser.Join) (*binding, schema.Rows, error) {
-	lb, lrows, err := e.evalFrom(j.Left)
+// openJoin builds a streaming join: the right (build) side is materialized,
+// the left (probe) side streams batch-at-a-time. Equi-joins on plain column
+// references use a hash index; everything else falls back to nested loops.
+func (e *Engine) openJoin(j *sqlparser.Join) (*binding, schema.RowIterator, error) {
+	lb, lit, err := e.openRef(j.Left)
 	if err != nil {
 		return nil, nil, err
 	}
-	rb, rrows, err := e.evalFrom(j.Right)
+	rb, rit, err := e.openRef(j.Right)
 	if err != nil {
+		lit.Close()
+		return nil, nil, err
+	}
+	rrows, err := schema.DrainIterator(rit)
+	if err != nil {
+		lit.Close()
 		return nil, nil, err
 	}
 	cb := lb.concat(rb)
 
 	if j.Type == sqlparser.JoinCross {
-		var out schema.Rows
-		for _, lr := range lrows {
-			for _, rr := range rrows {
-				out = append(out, joinRow(lr, rr))
-			}
-		}
-		return cb, out, nil
+		return cb, &loopJoinIter{left: lit, rrows: rrows, cb: cb}, nil
 	}
 
 	// Hash join fast path: ON is a conjunction containing at least one
 	// left.col = right.col equality.
 	eqL, eqR, rest := splitEquiJoin(j.On, lb, rb)
-	var out schema.Rows
 	if len(eqL) > 0 {
-		index := make(map[string][]int)
+		index := make(map[string][]int, len(rrows))
 		for ri, rr := range rrows {
-			index[rowKey(rr, eqR)] = append(index[rowKey(rr, eqR)], ri)
+			key := rr.GroupKey(eqR)
+			index[key] = append(index[key], ri)
 		}
-		for _, lr := range lrows {
-			matched := false
-			for _, ri := range index[rowKey(lr, eqL)] {
-				combined := joinRow(lr, rrows[ri])
-				ok, err := residualOK(cb, combined, rest)
-				if err != nil {
-					return nil, nil, err
-				}
-				if ok {
-					out = append(out, combined)
-					matched = true
-				}
-			}
-			if !matched && j.Type == sqlparser.JoinLeft {
-				out = append(out, joinRow(lr, nullRow(len(rb.cols))))
-			}
-		}
-		return cb, out, nil
+		return cb, &hashJoinIter{
+			left: lit, rrows: rrows, index: index,
+			eqL: eqL, rest: rest, cb: cb,
+			leftJoin: j.Type == sqlparser.JoinLeft,
+			nullR:    nullRow(len(rb.cols)),
+		}, nil
 	}
 
-	// Nested loop.
-	for _, lr := range lrows {
-		matched := false
-		for _, rr := range rrows {
-			combined := joinRow(lr, rr)
-			ok := true
-			if j.On != nil {
-				ok, err = truthy(&rowEnv{b: cb, row: combined}, j.On)
-				if err != nil {
-					return nil, nil, err
-				}
-			}
-			if ok {
-				out = append(out, combined)
-				matched = true
-			}
-		}
-		if !matched && j.Type == sqlparser.JoinLeft {
-			out = append(out, joinRow(lr, nullRow(len(rb.cols))))
-		}
-	}
-	return cb, out, nil
+	return cb, &loopJoinIter{
+		left: lit, rrows: rrows, on: j.On, cb: cb,
+		leftJoin: j.Type == sqlparser.JoinLeft,
+		nullR:    nullRow(len(rb.cols)),
+	}, nil
 }
 
 func joinRow(l, r schema.Row) schema.Row {
@@ -232,8 +327,6 @@ func nullRow(n int) schema.Row {
 	}
 	return out
 }
-
-func rowKey(r schema.Row, idx []int) string { return r.GroupKey(idx) }
 
 // splitEquiJoin extracts left.col = right.col equalities from the ON
 // condition. It returns aligned index slices into the left and right
@@ -284,38 +377,33 @@ func residualOK(b *binding, row schema.Row, rest []sqlparser.Expr) (bool, error)
 	return true, nil
 }
 
-func filterRows(b *binding, rows schema.Rows, cond sqlparser.Expr) (schema.Rows, error) {
-	out := rows[:0:0]
-	for _, r := range rows {
-		ok, err := truthy(&rowEnv{b: b, row: r}, cond)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, r)
-		}
-	}
-	return out, nil
+// outCol is one output column of a projection: either an expression to
+// evaluate or a direct star expansion of an input position.
+type outCol struct {
+	expr    sqlparser.Expr
+	name    string
+	typ     schema.Type
+	sens    bool
+	starIdx int // >=0 when the column is a direct star expansion
 }
 
-// evalProjection handles the non-grouped case, including window functions.
-// It returns the result plus the input rows aligned 1:1 with output rows so
-// ORDER BY can fall back to input columns.
-func (e *Engine) evalProjection(sel *sqlparser.Select, b *binding, rows schema.Rows) (*Result, schema.Rows, error) {
-	// Expand stars into concrete output columns.
-	type outCol struct {
-		expr    sqlparser.Expr
-		name    string
-		typ     schema.Type
-		sens    bool
-		starIdx int // >=0 when the column is a direct star expansion
-	}
+// projector is the compiled select list of a non-grouped SELECT: output
+// columns, output schema, and whether the projection is the identity.
+type projector struct {
+	cols     []outCol
+	rel      *schema.Relation
+	identity bool
+}
+
+// buildProjector expands stars and precomputes the output schema once, so
+// per-batch projection only evaluates expressions.
+func buildProjector(sel *sqlparser.Select, b *binding) (*projector, error) {
 	var cols []outCol
 	for i, it := range sel.Items {
 		if st, ok := it.Expr.(*sqlparser.Star); ok {
 			idxs, err := b.starIndexes(st)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			for _, idx := range idxs {
 				c := b.cols[idx]
@@ -327,6 +415,16 @@ func (e *Engine) evalProjection(sel *sqlparser.Select, b *binding, rows schema.R
 		if name == "" {
 			name = outputName(it.Expr, i)
 		}
+		// A plain column reference is a direct index copy: resolve it once
+		// here instead of re-resolving per row (on failure, keep the
+		// expression so the original runtime error surfaces).
+		if c, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+			if idx, err := b.resolve(c); err == nil {
+				bc := b.cols[idx]
+				cols = append(cols, outCol{name: name, typ: bc.typ, sens: bc.sens, starIdx: idx})
+				continue
+			}
+		}
 		cols = append(cols, outCol{
 			expr:    it.Expr,
 			name:    name,
@@ -336,38 +434,66 @@ func (e *Engine) evalProjection(sel *sqlparser.Select, b *binding, rows schema.R
 		})
 	}
 
+	rel := &schema.Relation{Columns: make([]schema.Column, len(cols))}
+	identity := len(cols) == len(b.cols)
+	for i, c := range cols {
+		rel.Columns[i] = schema.Column{Name: c.name, Type: c.typ, Sensitive: c.sens}
+		if c.starIdx != i {
+			identity = false
+		}
+	}
+	return &projector{cols: cols, rel: rel, identity: identity}, nil
+}
+
+// projectRow evaluates one output row against the environment's current row.
+func (p *projector) projectRow(env *rowEnv) (schema.Row, error) {
+	if p.identity {
+		return env.row, nil
+	}
+	orow := make(schema.Row, len(p.cols))
+	for ci, c := range p.cols {
+		if c.starIdx >= 0 {
+			orow[ci] = env.row[c.starIdx]
+			continue
+		}
+		v, err := evalExpr(env, c.expr)
+		if err != nil {
+			return nil, err
+		}
+		orow[ci] = v
+	}
+	return orow, nil
+}
+
+// evalProjection handles the materialized non-grouped case, including window
+// functions. It returns the result plus the input rows aligned 1:1 with
+// output rows so ORDER BY can fall back to input columns.
+func (e *Engine) evalProjection(sel *sqlparser.Select, b *binding, rows schema.Rows) (*Result, schema.Rows, error) {
+	p, err := buildProjector(sel, b)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	// Precompute window values per row.
 	winVals, err := e.evalWindows(sel, b, rows)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	rel := &schema.Relation{Columns: make([]schema.Column, len(cols))}
-	for i, c := range cols {
-		rel.Columns[i] = schema.Column{Name: c.name, Type: c.typ, Sensitive: c.sens}
-	}
-
 	out := make(schema.Rows, len(rows))
+	env := &rowEnv{b: b}
 	for ri, row := range rows {
-		env := &rowEnv{b: b, row: row}
+		env.row = row
 		if winVals != nil {
 			env.win = winVals[ri]
 		}
-		orow := make(schema.Row, len(cols))
-		for ci, c := range cols {
-			if c.starIdx >= 0 {
-				orow[ci] = row[c.starIdx]
-				continue
-			}
-			v, err := evalExpr(env, c.expr)
-			if err != nil {
-				return nil, nil, err
-			}
-			orow[ci] = v
+		orow, err := p.projectRow(env)
+		if err != nil {
+			return nil, nil, err
 		}
 		out[ri] = orow
 	}
-	return &Result{Schema: rel, Rows: out}, rows, nil
+	return &Result{Schema: p.rel, Rows: out}, rows, nil
 }
 
 func distinctRows(rows schema.Rows) schema.Rows {

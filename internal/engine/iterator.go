@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// This file holds the streaming side of the engine: the BatchSource
+// extension of Source, and the volcano-style operators (filter, project,
+// distinct, limit, join probe) that pull row batches through the pipeline
+// built by Engine.Open. Sort, grouping and window evaluation are pipeline
+// breakers and stay in their materialized form (sort.go, group.go,
+// window.go).
+
+// BatchSource is an optional extension of Source: relations can be opened
+// as pulled batch scans with projection and predicate pushdown, and schemas
+// inspected without materializing rows. storage.Store implements it; the
+// fragment and network packages implement it for intermediate stage outputs.
+type BatchSource interface {
+	Source
+	// RelationSchema returns the schema of the named relation without
+	// touching its rows.
+	RelationSchema(name string) (*schema.Relation, error)
+	// OpenScan opens a batch scan. The scan's Filter sees full-width rows;
+	// Columns projects after filtering.
+	OpenScan(name string, sc schema.Scan) (schema.RowIterator, error)
+}
+
+// RelationSchema returns the schema of a named relation, avoiding row
+// materialization when the source supports it.
+func RelationSchema(src Source, name string) (*schema.Relation, error) {
+	if bs, ok := src.(BatchSource); ok {
+		return bs.RelationSchema(name)
+	}
+	rel, _, err := src.Relation(name)
+	return rel, err
+}
+
+// OpenScan opens a streaming scan over any Source, adapting sources that
+// only materialize with an in-memory scan.
+func OpenScan(src Source, name string, sc schema.Scan) (schema.RowIterator, error) {
+	if bs, ok := src.(BatchSource); ok {
+		return bs.OpenScan(name, sc)
+	}
+	_, rows, err := src.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	return schema.ScanRows(rows, sc), nil
+}
+
+// filterIter drops rows failing a predicate, for filters that could not be
+// pushed into the scan (joins, subquery outputs).
+type filterIter struct {
+	src  schema.RowIterator
+	env  *rowEnv
+	cond sqlparser.Expr
+	buf  schema.Rows
+}
+
+func (f *filterIter) Next() (schema.Rows, error) {
+	for {
+		in, err := f.src.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		out := f.buf[:0]
+		for _, r := range in {
+			f.env.row = r
+			ok, err := truthy(f.env, f.cond)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		if len(out) > 0 {
+			f.buf = out
+			return out, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() { f.src.Close() }
+
+// projIter evaluates the select list per batch. An identity projection
+// (SELECT * over the whole binding) passes batches through untouched.
+type projIter struct {
+	src schema.RowIterator
+	p   *projector
+	env *rowEnv
+	buf schema.Rows
+}
+
+func (pi *projIter) Next() (schema.Rows, error) {
+	in, err := pi.src.Next()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	if pi.p.identity {
+		return in, nil
+	}
+	out := pi.buf[:0]
+	for _, r := range in {
+		pi.env.row = r
+		or, err := pi.p.projectRow(pi.env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, or)
+	}
+	pi.buf = out
+	return out, nil
+}
+
+func (pi *projIter) Close() { pi.src.Close() }
+
+// SizeHint forwards the source hint: projection is 1:1.
+func (pi *projIter) SizeHint() int {
+	if h, ok := pi.src.(schema.SizeHinter); ok {
+		return h.SizeHint()
+	}
+	return 0
+}
+
+// distinctIter streams DISTINCT: rows are emitted on first occurrence, so
+// order is preserved and memory is bounded by the number of distinct rows.
+type distinctIter struct {
+	src  schema.RowIterator
+	seen map[string]bool
+	idx  []int
+	buf  schema.Rows
+}
+
+func (d *distinctIter) Next() (schema.Rows, error) {
+	for {
+		in, err := d.src.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		out := d.buf[:0]
+		for _, r := range in {
+			if d.idx == nil {
+				d.idx = allIndexes(len(r))
+			}
+			key := r.GroupKey(d.idx)
+			if !d.seen[key] {
+				d.seen[key] = true
+				out = append(out, r)
+			}
+		}
+		if len(out) > 0 {
+			d.buf = out
+			return out, nil
+		}
+	}
+}
+
+func (d *distinctIter) Close() { d.src.Close() }
+
+// limitIter truncates the stream after n rows and closes its source as soon
+// as the limit is reached, so upstream scans stop pulling — a LIMIT-n query
+// over a large base relation reads O(n + batch) rows from storage.
+type limitIter struct {
+	src       schema.RowIterator
+	remaining int
+}
+
+func (l *limitIter) Next() (schema.Rows, error) {
+	if l.remaining <= 0 {
+		l.src.Close()
+		return nil, nil
+	}
+	in, err := l.src.Next()
+	if err != nil || in == nil {
+		l.remaining = 0
+		return nil, err
+	}
+	if len(in) >= l.remaining {
+		// Copy before closing: Close may drain upstream (stage accounting),
+		// which reuses the batch buffer this slice aliases.
+		out := make(schema.Rows, l.remaining)
+		copy(out, in)
+		l.remaining = 0
+		l.src.Close()
+		return out, nil
+	}
+	l.remaining -= len(in)
+	return in, nil
+}
+
+func (l *limitIter) Close() {
+	l.remaining = 0
+	l.src.Close()
+}
+
+// hashJoinIter probes a materialized build side (the right input) with
+// streamed left batches. Inner and left joins with at least one equi-key.
+type hashJoinIter struct {
+	left     schema.RowIterator
+	rrows    schema.Rows
+	index    map[string][]int
+	eqL      []int
+	rest     []sqlparser.Expr
+	cb       *binding
+	leftJoin bool
+	nullR    schema.Row
+	buf      schema.Rows
+}
+
+func (h *hashJoinIter) Next() (schema.Rows, error) {
+	for {
+		in, err := h.left.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		out := h.buf[:0]
+		for _, lr := range in {
+			matched := false
+			for _, ri := range h.index[lr.GroupKey(h.eqL)] {
+				combined := joinRow(lr, h.rrows[ri])
+				ok, err := residualOK(h.cb, combined, h.rest)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, combined)
+					matched = true
+				}
+			}
+			if !matched && h.leftJoin {
+				out = append(out, joinRow(lr, h.nullR))
+			}
+		}
+		if len(out) > 0 {
+			h.buf = out
+			return out, nil
+		}
+	}
+}
+
+func (h *hashJoinIter) Close() { h.left.Close() }
+
+// loopJoinIter is the nested-loop fallback (and, with a nil condition, the
+// cross join): the right side is materialized, the left side streams.
+type loopJoinIter struct {
+	left     schema.RowIterator
+	rrows    schema.Rows
+	on       sqlparser.Expr
+	cb       *binding
+	leftJoin bool
+	nullR    schema.Row
+	buf      schema.Rows
+}
+
+func (l *loopJoinIter) Next() (schema.Rows, error) {
+	for {
+		in, err := l.left.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		out := l.buf[:0]
+		env := &rowEnv{b: l.cb}
+		for _, lr := range in {
+			matched := false
+			for _, rr := range l.rrows {
+				combined := joinRow(lr, rr)
+				ok := true
+				if l.on != nil {
+					env.row = combined
+					ok, err = truthy(env, l.on)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if ok {
+					out = append(out, combined)
+					matched = true
+				}
+			}
+			if !matched && l.leftJoin {
+				out = append(out, joinRow(lr, l.nullR))
+			}
+		}
+		if len(out) > 0 {
+			l.buf = out
+			return out, nil
+		}
+	}
+}
+
+func (l *loopJoinIter) Close() { l.left.Close() }
+
+// pushdownColumns decides the projection to push into a single-table scan.
+// Projecting inside the scan costs one row allocation per surviving row, so
+// it only pays when it makes the downstream projection the identity: every
+// select item must be a plain column reference (distinct positions, so the
+// projected layout has unambiguous names) and no other clause may need
+// columns the items drop (no GROUP BY / HAVING / ORDER BY — the WHERE
+// filter runs before projection and always sees the full row). The
+// positions are returned in select-list order; ok is false when pushdown
+// does not apply or would be a no-op.
+func pushdownColumns(sel *sqlparser.Select, b *binding) ([]int, bool) {
+	if len(sel.GroupBy) > 0 || sel.Having != nil || len(sel.OrderBy) > 0 {
+		return nil, false
+	}
+	cols := make([]int, 0, len(sel.Items))
+	seen := make(map[int]bool, len(sel.Items))
+	identity := len(sel.Items) == len(b.cols)
+	for pos, it := range sel.Items {
+		c, ok := it.Expr.(*sqlparser.ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		i, err := b.resolve(c)
+		if err != nil || seen[i] {
+			return nil, false
+		}
+		seen[i] = true
+		cols = append(cols, i)
+		if i != pos {
+			identity = false
+		}
+	}
+	if identity {
+		return nil, false // full-width in order: nothing to project
+	}
+	return cols, true
+}

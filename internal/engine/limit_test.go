@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"testing"
+
+	"paradise/internal/schema"
+	"paradise/internal/storage"
+)
+
+// countingSource wraps a store and counts the rows its scans actually hand
+// to the engine, so tests can assert how much a query pulled from storage.
+type countingSource struct {
+	st      *storage.Store
+	scanned int
+}
+
+func (c *countingSource) Relation(name string) (*schema.Relation, schema.Rows, error) {
+	return c.st.Relation(name)
+}
+
+func (c *countingSource) RelationSchema(name string) (*schema.Relation, error) {
+	return c.st.RelationSchema(name)
+}
+
+func (c *countingSource) OpenScan(name string, sc schema.Scan) (schema.RowIterator, error) {
+	it, err := c.st.OpenScan(name, sc)
+	if err != nil {
+		return nil, err
+	}
+	return &countingIter{src: it, n: &c.scanned}, nil
+}
+
+type countingIter struct {
+	src schema.RowIterator
+	n   *int
+}
+
+func (c *countingIter) Next() (schema.Rows, error) {
+	b, err := c.src.Next()
+	*c.n += len(b)
+	return b, err
+}
+
+func (c *countingIter) Close() { c.src.Close() }
+
+// TestLimitStopsScanEarly is the headline streaming property: a LIMIT-n
+// query over a large base relation pulls only O(n + batch) rows from
+// storage instead of scanning it fully.
+func TestLimitStopsScanEarly(t *testing.T) {
+	src := &countingSource{st: benchStore(t, 10_000)}
+	res, err := New(src).Query("SELECT x, y FROM d LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("want 10 rows, got %d", len(res.Rows))
+	}
+	if src.scanned > 2*schema.DefaultBatchSize {
+		t.Fatalf("LIMIT 10 pulled %d rows from storage, want <= %d",
+			src.scanned, 2*schema.DefaultBatchSize)
+	}
+}
+
+// TestLimitStopsThroughSubquery: early termination propagates through a
+// derived-table pipeline — the inner scan stops too.
+func TestLimitStopsThroughSubquery(t *testing.T) {
+	src := &countingSource{st: benchStore(t, 10_000)}
+	res, err := New(src).Query("SELECT s FROM (SELECT x + y AS s FROM d) LIMIT 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("want 7 rows, got %d", len(res.Rows))
+	}
+	if src.scanned > 2*schema.DefaultBatchSize {
+		t.Fatalf("nested LIMIT 7 pulled %d rows from storage", src.scanned)
+	}
+}
+
+// TestOrderByLimitSortsFully: ORDER BY is a pipeline breaker — the scan
+// must read the whole relation and sort before LIMIT truncates, so the
+// result is the true top-n, not the first n.
+func TestOrderByLimitSortsFully(t *testing.T) {
+	src := &countingSource{st: benchStore(t, 10_000)}
+	res, err := New(src).Query("SELECT x FROM d ORDER BY x DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.scanned != 10_000 {
+		t.Fatalf("ORDER BY + LIMIT must scan everything, scanned %d of 10000", src.scanned)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][0].AsFloat() > res.Rows[i-1][0].AsFloat() {
+			t.Fatalf("rows not sorted descending: %v after %v",
+				res.Rows[i][0].Format(), res.Rows[i-1][0].Format())
+		}
+	}
+	// Cross-check against the full sorted result.
+	full, err := New(src.st).Query("SELECT x FROM d ORDER BY x DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if !res.Rows[i][0].Identical(full.Rows[i][0]) {
+			t.Fatalf("row %d: limited %v != full-sort %v",
+				i, res.Rows[i][0].Format(), full.Rows[i][0].Format())
+		}
+	}
+}
+
+// TestLimitWithFilterKeepsSemantics: a pushed-down predicate composes with
+// streaming LIMIT — same rows as materialize-then-truncate, scanning less
+// than the whole table when matches come early.
+func TestLimitWithFilterKeepsSemantics(t *testing.T) {
+	st := benchStore(t, 10_000)
+	limited, err := New(st).Query("SELECT x, z FROM d WHERE z < 1.9 LIMIT 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(st).Query("SELECT x, z FROM d WHERE z < 1.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Rows) != 20 {
+		t.Fatalf("want 20 rows, got %d", len(limited.Rows))
+	}
+	for i, r := range limited.Rows {
+		if !r[0].Identical(full.Rows[i][0]) || !r[1].Identical(full.Rows[i][1]) {
+			t.Fatalf("row %d diverges from materialized baseline", i)
+		}
+	}
+}
+
+// TestProjectionPushdownIntoScan: a narrow projection over a wide table is
+// applied inside the scan — the schema and values still match.
+func TestProjectionPushdownIntoScan(t *testing.T) {
+	st := benchStore(t, 100)
+	res, err := New(st).Query("SELECT cell FROM d WHERE t < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Arity() != 1 || res.Schema.Columns[0].Name != "cell" {
+		t.Fatalf("schema = %s", res.Schema)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("want 10 rows, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if len(r) != 1 {
+			t.Fatalf("projected row has %d values", len(r))
+		}
+	}
+}

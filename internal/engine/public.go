@@ -67,7 +67,7 @@ func (e *Engine) bindFrom(t sqlparser.TableRef) (*binding, error) {
 	case nil:
 		return &binding{}, nil
 	case *sqlparser.TableName:
-		rel, _, err := e.src.Relation(x.Name)
+		rel, err := RelationSchema(e.src, x.Name)
 		if err != nil {
 			return nil, err
 		}

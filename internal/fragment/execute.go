@@ -1,6 +1,7 @@
 package fragment
 
 import (
+	"errors"
 	"fmt"
 
 	"paradise/internal/engine"
@@ -31,48 +32,181 @@ func (e *Execution) BytesShipped() int {
 	return total
 }
 
-// stageSource exposes the previous stage's output under its relation name,
-// falling back to the base source for stage 1 (and for any base relation a
-// join references).
-type stageSource struct {
-	base engine.Source
-	name string
-	rel  *schema.Relation
-	rows schema.Rows
+// stageErr marks an error already attributed to a fragment stage so outer
+// stages do not re-wrap it as it propagates up the iterator chain.
+type stageErr struct{ err error }
+
+func (e *stageErr) Error() string { return e.err.Error() }
+func (e *stageErr) Unwrap() error { return e.err }
+
+func wrapStage(f *Fragment, err error) error {
+	var se *stageErr
+	if errors.As(err, &se) {
+		return err
+	}
+	return &stageErr{err: fmt.Errorf("fragment: stage %d (%s): %w", f.Stage, f.Description, err)}
 }
 
+// stageIter wraps one fragment's output pipeline: it counts rows and wire
+// bytes per batch for the stage accounting, and attributes errors to its
+// stage. Close drains the remainder first — the producing node ships its
+// whole output up the chain regardless of how much the consumer reads, so
+// per-stage stats match the fully materialized baseline exactly even when a
+// later stage stops early (LIMIT).
+type stageIter struct {
+	src    schema.RowIterator
+	f      *Fragment
+	rows   int
+	bytes  int
+	closed bool
+	err    error // runtime error surfaced while draining on Close
+}
+
+func (s *stageIter) Next() (schema.Rows, error) {
+	batch, err := s.src.Next()
+	if err != nil {
+		return nil, wrapStage(s.f, err)
+	}
+	s.rows += len(batch)
+	s.bytes += batch.WireSize()
+	return batch, nil
+}
+
+func (s *stageIter) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for {
+		batch, err := s.src.Next()
+		if err != nil {
+			// The baseline would have evaluated this row and failed the
+			// whole execution: record the error for Execute to surface.
+			s.err = wrapStage(s.f, err)
+			break
+		}
+		if batch == nil {
+			break
+		}
+		s.rows += len(batch)
+		s.bytes += batch.WireSize()
+	}
+	s.src.Close()
+}
+
+// stageSource exposes the previous stage's output iterator under its
+// relation name, falling back to the base source for any base relation a
+// join references. The stage output is one-shot: fragment plans read each
+// intermediate exactly once.
+type stageSource struct {
+	base     engine.Source
+	name     string
+	rel      *schema.Relation
+	it       *stageIter
+	consumed bool
+}
+
+func (s *stageSource) take() (*stageIter, error) {
+	if s.consumed {
+		return nil, fmt.Errorf("%w: stage output %q read twice", ErrFragment, s.name)
+	}
+	s.consumed = true
+	return s.it, nil
+}
+
+func (s *stageSource) RelationSchema(name string) (*schema.Relation, error) {
+	if name == s.name {
+		return s.rel, nil
+	}
+	return engine.RelationSchema(s.base, name)
+}
+
+func (s *stageSource) OpenScan(name string, sc schema.Scan) (schema.RowIterator, error) {
+	if name == s.name {
+		it, err := s.take()
+		if err != nil {
+			return nil, err
+		}
+		return schema.FilterProject(it, sc), nil
+	}
+	return engine.OpenScan(s.base, name, sc)
+}
+
+// Relation is the materialized fallback of the engine's Source interface;
+// the engine only takes this path for sources without batch scans, but the
+// interface contract requires it.
 func (s *stageSource) Relation(name string) (*schema.Relation, schema.Rows, error) {
-	if s.rel != nil && name == s.name {
-		return s.rel, s.rows, nil
+	if name == s.name {
+		it, err := s.take()
+		if err != nil {
+			return nil, nil, err
+		}
+		rows, err := schema.DrainIterator(it)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s.rel, rows, nil
 	}
 	return s.base.Relation(name)
 }
 
-// Execute runs the plan bottom-up against the base source, materializing
-// each fragment's result and feeding it to the next stage under its output
-// name. It returns the final result and per-stage accounting. Execution is
-// semantically equivalent to evaluating the original query directly (the
-// property tests in this package assert exactly that).
+// Execute runs the plan bottom-up against the base source as one chained
+// batch pipeline: each fragment's iterator feeds the next stage's scan, so
+// no intermediate relation is materialized in full (memory is bounded by
+// batch size plus any pipeline breakers inside a stage). The final result
+// is materialized for the caller, and per-stage row/byte accounting is
+// collected from the streamed batches. Execution is semantically equivalent
+// to evaluating the original query directly (the property tests in this
+// package assert exactly that).
 func Execute(plan *Plan, base engine.Source) (*Execution, error) {
-	exec := &Execution{}
-	src := &stageSource{base: base}
+	if len(plan.Fragments) == 0 {
+		return nil, fmt.Errorf("%w: empty plan", ErrFragment)
+	}
+
+	var src engine.Source = base
+	stages := make([]*stageIter, 0, len(plan.Fragments))
+	var rel *schema.Relation
 	for _, f := range plan.Fragments {
-		eng := engine.New(src)
-		res, err := eng.Select(f.Query)
+		stageRel, it, err := engine.New(src).Open(f.Query)
 		if err != nil {
-			return nil, fmt.Errorf("fragment: stage %d (%s): %w", f.Stage, f.Description, err)
+			// Abandon the chain. Open's own cleanup may already have
+			// closed (and thereby drained) upstream stages; the stats are
+			// discarded with the error, so only release what remains.
+			for _, s := range stages {
+				s.src.Close()
+			}
+			return nil, wrapStage(f, err)
 		}
-		out := res.Schema.Clone(f.Output)
-		src = &stageSource{base: base, name: f.Output, rel: out, rows: res.Rows}
+		rel = stageRel.Clone(f.Output)
+		st := &stageIter{src: it, f: f}
+		stages = append(stages, st)
+		src = &stageSource{base: base, name: f.Output, rel: rel, it: st}
+	}
+
+	last := stages[len(stages)-1]
+	rows, err := schema.DrainIterator(last)
+	if err != nil {
+		return nil, err
+	}
+	// Drain-close the whole chain so every stage's accounting is final even
+	// if a downstream LIMIT stopped pulling early — and fail if the drain
+	// hit a row the materialized baseline would have choked on.
+	for i := len(stages) - 1; i >= 0; i-- {
+		stages[i].Close()
+	}
+	for _, st := range stages {
+		if st.err != nil {
+			return nil, st.err
+		}
+	}
+
+	exec := &Execution{Result: &engine.Result{Schema: rel, Rows: rows}}
+	for i, f := range plan.Fragments {
 		exec.Stages = append(exec.Stages, StageResult{
 			Fragment: f,
-			Rows:     len(res.Rows),
-			Bytes:    res.Rows.WireSize(),
+			Rows:     stages[i].rows,
+			Bytes:    stages[i].bytes,
 		})
-		exec.Result = &engine.Result{Schema: out, Rows: res.Rows}
-	}
-	if exec.Result == nil {
-		return nil, fmt.Errorf("%w: empty plan", ErrFragment)
 	}
 	return exec, nil
 }

@@ -1,0 +1,131 @@
+package fragment
+
+import (
+	"strings"
+	"testing"
+
+	"paradise/internal/engine"
+	"paradise/internal/schema"
+	"paradise/internal/storage"
+)
+
+// materializedBaseline replays the plan the pre-streaming way: each stage's
+// full result materialized into an overlay source, stats from len/WireSize.
+// The streamed Execute must report exactly the same per-stage accounting.
+func materializedBaseline(t *testing.T, plan *Plan, base engine.Source) []StageResult {
+	t.Helper()
+	type overlay struct {
+		base engine.Source
+		name string
+		rel  *schema.Relation
+		rows schema.Rows
+	}
+	var cur *overlay
+	var out []StageResult
+	for _, f := range plan.Fragments {
+		src := base
+		if cur != nil {
+			src = sourceFunc(func(name string) (*schema.Relation, schema.Rows, error) {
+				if name == cur.name {
+					return cur.rel, cur.rows, nil
+				}
+				return base.Relation(name)
+			})
+		}
+		res, err := engine.New(src).Select(f.Query)
+		if err != nil {
+			t.Fatalf("baseline stage %d: %v", f.Stage, err)
+		}
+		cur = &overlay{base: base, name: f.Output, rel: res.Schema.Clone(f.Output), rows: res.Rows}
+		out = append(out, StageResult{Fragment: f, Rows: len(res.Rows), Bytes: res.Rows.WireSize()})
+	}
+	return out
+}
+
+// sourceFunc adapts a closure to engine.Source. Deliberately NOT a
+// BatchSource: the baseline takes the fully materialized path.
+type sourceFunc func(string) (*schema.Relation, schema.Rows, error)
+
+func (f sourceFunc) Relation(name string) (*schema.Relation, schema.Rows, error) { return f(name) }
+
+// TestStreamedStatsMatchMaterializedBaseline pins the accounting contract:
+// chaining stage iterators must not change per-stage row/byte stats — even
+// when a later stage carries a LIMIT that stops pulling early, because the
+// producing node ships its whole output regardless.
+func TestStreamedStatsMatchMaterializedBaseline(t *testing.T) {
+	st := testStore(t)
+	queries := []string{
+		"SELECT x, y FROM d WHERE x > y AND z < 2",
+		"SELECT x, y, AVG(z) AS zavg FROM d WHERE x > y GROUP BY x, y HAVING SUM(z) > 1",
+		"SELECT s FROM (SELECT x + y AS s, z FROM d WHERE z < 1.5) LIMIT 2",
+		"SELECT s FROM (SELECT x + y AS s FROM d WHERE z < 2) WHERE s > 8",
+		"SELECT x, y FROM d WHERE x > y ORDER BY x DESC LIMIT 3",
+		"SELECT DISTINCT x FROM d WHERE z < 2",
+	}
+	for _, q := range queries {
+		t.Run(q, func(t *testing.T) {
+			plan := mustFragment(t, q)
+			exec, err := Execute(plan, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := materializedBaseline(t, plan, st)
+			if len(exec.Stages) != len(want) {
+				t.Fatalf("stage count %d != %d", len(exec.Stages), len(want))
+			}
+			for i := range want {
+				if exec.Stages[i].Rows != want[i].Rows || exec.Stages[i].Bytes != want[i].Bytes {
+					t.Fatalf("stage %d: streamed rows=%d bytes=%d, baseline rows=%d bytes=%d",
+						i+1, exec.Stages[i].Rows, exec.Stages[i].Bytes, want[i].Rows, want[i].Bytes)
+				}
+			}
+		})
+	}
+}
+
+// TestExecuteEmptyPlan preserves the empty-plan error.
+func TestExecuteEmptyPlan(t *testing.T) {
+	if _, err := Execute(&Plan{}, testStore(t)); err == nil {
+		t.Fatal("empty plan must error")
+	}
+}
+
+// TestExecuteErrorBeyondLimitStillSurfaces: a runtime error past the rows a
+// downstream LIMIT consumed must still fail the execution — the
+// materialized baseline would have evaluated every row of every stage.
+func TestExecuteErrorBeyondLimitStillSurfaces(t *testing.T) {
+	st := storage.NewStore()
+	d := st.Create(schema.NewRelation("d",
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+	))
+	rows := make(schema.Rows, 0, 600)
+	for i := 0; i < 600; i++ {
+		z := 1.0
+		if i == 500 {
+			z = 0 // division by zero deep in the table
+		}
+		rows = append(rows, schema.Row{schema.Float(float64(i)), schema.Float(z)})
+	}
+	if err := d.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	plan := mustFragment(t, "SELECT s FROM (SELECT x / z AS s FROM d) LIMIT 1")
+	if _, err := Execute(plan, st); err == nil {
+		t.Fatal("division by zero beyond the LIMIT must fail the execution")
+	}
+}
+
+// TestExecuteStageErrorAttribution: runtime errors carry the stage that
+// caused them, once, even though they surface lazily through the chain.
+func TestExecuteStageErrorAttribution(t *testing.T) {
+	st := testStore(t)
+	plan := mustFragment(t, "SELECT x / 0 AS bad FROM d WHERE z < 2")
+	_, err := Execute(plan, st)
+	if err == nil {
+		t.Fatal("division by zero must surface")
+	}
+	if got := err.Error(); strings.Count(got, "fragment: stage") != 1 {
+		t.Fatalf("error should be attributed to exactly one stage: %q", got)
+	}
+}

@@ -245,25 +245,33 @@ func Run(topo *Topology, plan *fragment.Plan, src engine.Source) (*RunStats, err
 		used[pos] = true
 		node := topo.Nodes[pos]
 
-		// Execute the fragment on this node.
+		// Execute the fragment on this node. The engine pipeline streams
+		// batch-at-a-time, so the node's intermediates stay bounded by
+		// batch size; the node is a store-and-forward hop, so its full
+		// output is still collected before it ships up the chain.
 		stageSrc := engine.Source(src)
 		if curRel != nil {
 			stageSrc = &overlaySource{base: src, name: curName, rel: curRel, rows: curRows}
 		}
-		res, err := engine.New(stageSrc).Select(f.Query)
+		outRel, it, err := engine.New(stageSrc).Open(f.Query)
 		if err != nil {
 			return nil, fmt.Errorf("network: Q%d on %s: %w", f.Stage, node.Name, err)
 		}
+		outRows, err := schema.DrainIterator(it)
+		if err != nil {
+			return nil, fmt.Errorf("network: Q%d on %s: %w", f.Stage, node.Name, err)
+		}
+		outBytes := outRows.WireSize()
 		if node.Power > 0 {
 			simMs += float64(inRows) / node.Power / 1000
 		}
 
 		curName = f.Output
-		curRel = res.Schema.Clone(f.Output)
-		curRows = res.Rows
+		curRel = outRel.Clone(f.Output)
+		curRows = outRows
 		stats.Assignments = append(stats.Assignments, Assignment{
 			Fragment: f, Node: node, InRows: inRows,
-			OutRows: len(res.Rows), OutBytes: res.Rows.WireSize(),
+			OutRows: len(outRows), OutBytes: outBytes,
 			FellBack: fellBack,
 		})
 		stats.Result = &engine.Result{Schema: curRel, Rows: curRows}
@@ -331,7 +339,9 @@ func RunNaive(topo *Topology, q *sqlparser.Select, src engine.Source) (*RunStats
 }
 
 // overlaySource exposes an intermediate result under its stage name on top
-// of the base source.
+// of the base source. It implements engine.BatchSource so the next
+// fragment's scan streams the overlay rows (with any pushed-down filter and
+// projection) instead of re-materializing them.
 type overlaySource struct {
 	base engine.Source
 	name string
@@ -344,6 +354,20 @@ func (o *overlaySource) Relation(name string) (*schema.Relation, schema.Rows, er
 		return o.rel, o.rows, nil
 	}
 	return o.base.Relation(name)
+}
+
+func (o *overlaySource) RelationSchema(name string) (*schema.Relation, error) {
+	if name == o.name {
+		return o.rel, nil
+	}
+	return engine.RelationSchema(o.base, name)
+}
+
+func (o *overlaySource) OpenScan(name string, sc schema.Scan) (schema.RowIterator, error) {
+	if name == o.name {
+		return schema.ScanRows(o.rows, sc), nil
+	}
+	return engine.OpenScan(o.base, name, sc)
 }
 
 // rawSize measures the wire size of every base relation the plan reads.

@@ -1,0 +1,92 @@
+package schema
+
+import (
+	"errors"
+	"testing"
+)
+
+func iterRows(n int) Rows {
+	out := make(Rows, n)
+	for i := range out {
+		out[i] = Row{Int(int64(i))}
+	}
+	return out
+}
+
+func TestIterateRowsBatches(t *testing.T) {
+	it := IterateRows(iterRows(10), 3)
+	var total, batches int
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		batches++
+		total += len(b)
+	}
+	if total != 10 || batches != 4 {
+		t.Fatalf("total=%d batches=%d", total, batches)
+	}
+}
+
+func TestIterateRowsEmpty(t *testing.T) {
+	it := IterateRows(nil, 4)
+	if b, err := it.Next(); err != nil || b != nil {
+		t.Fatalf("empty iterator yielded %v, %v", b, err)
+	}
+}
+
+func TestScanRowsFilterProject(t *testing.T) {
+	rows := make(Rows, 20)
+	for i := range rows {
+		rows[i] = Row{Int(int64(i)), String("v")}
+	}
+	it := ScanRows(rows, Scan{
+		Columns:   []int{0},
+		Filter:    func(r Row) (bool, error) { return r[0].AsInt()%2 == 0, nil },
+		BatchSize: 4,
+	})
+	got, err := DrainIterator(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("want 10 even rows, got %d", len(got))
+	}
+	for i, r := range got {
+		if len(r) != 1 || r[0].AsInt() != int64(2*i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestScanRowsFilterError(t *testing.T) {
+	wantErr := errors.New("boom")
+	it := ScanRows(iterRows(5), Scan{
+		Filter: func(Row) (bool, error) { return false, wantErr },
+	})
+	if _, err := DrainIterator(it); !errors.Is(err, wantErr) {
+		t.Fatalf("want filter error, got %v", err)
+	}
+}
+
+func TestFilterProjectEmptyScanPassthrough(t *testing.T) {
+	src := IterateRows(iterRows(3), 2)
+	if FilterProject(src, Scan{}) != src {
+		t.Fatal("empty scan should not wrap the iterator")
+	}
+}
+
+func TestProjectRelation(t *testing.T) {
+	rel := NewRelation("r", Col("a", TypeInt), Col("b", TypeFloat), Col("c", TypeString))
+	p := rel.Project([]int{2, 0})
+	if p.Arity() != 2 || p.Columns[0].Name != "c" || p.Columns[1].Name != "a" {
+		t.Fatalf("projected = %s", p)
+	}
+	if rel.Project(nil) != rel {
+		t.Fatal("nil projection should return the relation unchanged")
+	}
+}

@@ -68,6 +68,69 @@ func (t *Table) Snapshot() schema.Rows {
 	return out
 }
 
+// Scan opens an incremental batch scan over the table with the given
+// projection and predicate pushed down. Unlike Snapshot, a scan never copies
+// the whole table: each pull reads one batch of the append-only row slice
+// under the read lock and applies filter and projection outside it, so a
+// consumer that stops early (LIMIT) leaves the remaining rows untouched.
+// Rows appended after the scan starts may or may not be observed.
+func (t *Table) Scan(sc schema.Scan) schema.RowIterator {
+	batch := sc.BatchSize
+	if batch <= 0 {
+		batch = schema.DefaultBatchSize
+	}
+	// The raw scan only pulls locked subslices; filter and projection run
+	// outside the lock in the shared schema-layer wrapper.
+	return schema.FilterProject(&tableScan{t: t, batch: batch}, sc)
+}
+
+// tableScan pulls batches straight off the table's row slice. Returning a
+// subslice is safe after unlocking: the table is append-only (existing
+// elements are never overwritten) and Truncate replaces the slice wholesale.
+type tableScan struct {
+	t     *Table
+	batch int
+	pos   int
+	done  bool
+}
+
+func (s *tableScan) Next() (schema.Rows, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	n := len(s.t.rows)
+	if s.pos >= n { // exhausted, or the table was truncated mid-scan
+		s.done = true
+		return nil, nil
+	}
+	end := s.pos + s.batch
+	if end >= n {
+		end = n
+		s.done = true
+	}
+	raw := s.t.rows[s.pos:end]
+	s.pos = end
+	return raw, nil
+}
+
+func (s *tableScan) Close() { s.done = true }
+
+// SizeHint reports the exact remaining row count.
+func (s *tableScan) SizeHint() int {
+	if s.done {
+		return 0
+	}
+	s.t.mu.RLock()
+	n := len(s.t.rows)
+	s.t.mu.RUnlock()
+	if s.pos >= n {
+		return 0
+	}
+	return n - s.pos
+}
+
 // Truncate removes all rows.
 func (t *Table) Truncate() {
 	t.mu.Lock()
@@ -130,6 +193,27 @@ func (s *Store) Relation(name string) (*schema.Relation, schema.Rows, error) {
 		return nil, nil, err
 	}
 	return t.Schema(), t.Snapshot(), nil
+}
+
+// RelationSchema returns just the schema of the named table, without
+// touching rows. Together with OpenScan it makes the store a streaming
+// (engine.BatchSource) relation source.
+func (s *Store) RelationSchema(name string) (*schema.Relation, error) {
+	t, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema(), nil
+}
+
+// OpenScan opens an incremental batch scan over the named table with
+// projection and predicate pushdown.
+func (s *Store) OpenScan(name string, sc schema.Scan) (schema.RowIterator, error) {
+	t, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Scan(sc), nil
 }
 
 // Names lists table names in sorted order.

@@ -84,13 +84,22 @@ func (cq *ContinuousQuery) Replay(rel *schema.Relation, rows schema.Rows, capaci
 		return nil, fmt.Errorf("%w: %v", ErrStream, err)
 	}
 
+	// Arriving tuples feed the stream as batches: rows are pushed in runs
+	// that end at each firing boundary (the run includes the row whose
+	// timestamp crosses it, exactly like the per-row arrival loop), so the
+	// buffer is rebuilt once per firing instead of once per tuple.
 	var out []Emission
 	nextFire := cq.IntervalMs
-	for _, row := range rows {
-		if err := s.Push(row); err != nil {
+	start := 0
+	for i, row := range rows {
+		now := row[tsIdx].AsInt()
+		if now < nextFire {
+			continue
+		}
+		if err := s.PushBatch(rows[start : i+1]); err != nil {
 			return nil, err
 		}
-		now := row[tsIdx].AsInt()
+		start = i + 1
 		for now >= nextFire {
 			em := Emission{AtMs: nextFire}
 			if err := gate.Admit(cq.Module, nextFire); err != nil {
@@ -105,6 +114,11 @@ func (cq *ContinuousQuery) Replay(rel *schema.Relation, rows schema.Rows, capaci
 			}
 			out = append(out, em)
 			nextFire += cq.IntervalMs
+		}
+	}
+	if start < len(rows) {
+		if err := s.PushBatch(rows[start:]); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

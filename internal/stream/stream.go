@@ -54,21 +54,32 @@ func (s *Stream) Schema() *schema.Relation { return s.rel }
 // Push appends one reading; out-of-order rows (t going backwards) are
 // rejected, mirroring real sensor firmware.
 func (s *Stream) Push(row schema.Row) error {
-	if len(row) != s.rel.Arity() {
-		return fmt.Errorf("%w: row arity %d != schema arity %d", ErrStream, len(row), s.rel.Arity())
-	}
-	if row[s.tsIdx].Type() != schema.TypeInt {
-		return fmt.Errorf("%w: timestamp must be integer milliseconds", ErrStream)
-	}
-	ts := row[s.tsIdx].AsInt()
+	return s.PushBatch(schema.Rows{row})
+}
+
+// PushBatch appends a batch of readings under one lock acquisition — the
+// arrival path of the batch pipeline. Rows must be in timestamp order;
+// the first out-of-order row rejects with everything before it applied.
+func (s *Stream) PushBatch(rows schema.Rows) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if ts < s.lastTs {
-		return fmt.Errorf("%w: out-of-order timestamp %d after %d", ErrStream, ts, s.lastTs)
+	for _, row := range rows {
+		if len(row) != s.rel.Arity() {
+			return fmt.Errorf("%w: row arity %d != schema arity %d", ErrStream, len(row), s.rel.Arity())
+		}
+		if row[s.tsIdx].Type() != schema.TypeInt {
+			return fmt.Errorf("%w: timestamp must be integer milliseconds", ErrStream)
+		}
+		ts := row[s.tsIdx].AsInt()
+		if ts < s.lastTs {
+			return fmt.Errorf("%w: out-of-order timestamp %d after %d", ErrStream, ts, s.lastTs)
+		}
+		s.lastTs = ts
+		s.buf = append(s.buf, row)
 	}
-	s.lastTs = ts
-	s.buf = append(s.buf, row)
 	if len(s.buf) > s.capacity {
+		// Reslice instead of copying: rows are immutable and the backing
+		// array is shared safely with any in-flight window iterators.
 		s.buf = s.buf[len(s.buf)-s.capacity:]
 	}
 	return nil
@@ -91,6 +102,23 @@ func (s *Stream) Now() int64 {
 // Window returns the rows of the last sizeMs milliseconds (relative to the
 // newest timestamp), oldest first.
 func (s *Stream) Window(sizeMs int64) schema.Rows {
+	tail := s.windowTail(sizeMs)
+	out := make(schema.Rows, len(tail))
+	copy(out, tail)
+	return out
+}
+
+// WindowIter streams the current window batch-at-a-time without copying it:
+// the tail of the append-only buffer is snapshotted as a slice header under
+// the read lock and served in batches. Rows pushed after the call are not
+// observed; the snapshot stays valid because rows are immutable and
+// eviction reslices rather than overwrites.
+func (s *Stream) WindowIter(sizeMs int64, batchSize int) schema.RowIterator {
+	return schema.IterateRows(s.windowTail(sizeMs), batchSize)
+}
+
+// windowTail locates the window start and returns the shared buffer tail.
+func (s *Stream) windowTail(sizeMs int64) schema.Rows {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	cut := s.lastTs - sizeMs
@@ -99,9 +127,7 @@ func (s *Stream) Window(sizeMs int64) schema.Rows {
 	for start < len(s.buf) && s.buf[start][s.tsIdx].AsInt() <= cut {
 		start++
 	}
-	out := make(schema.Rows, len(s.buf)-start)
-	copy(out, s.buf[start:])
-	return out
+	return s.buf[start:]
 }
 
 // SensorQuery is the only query shape a sensor can run (Table 1, row E4):
@@ -137,28 +163,27 @@ func (q *SensorQuery) Validate() error {
 // Run evaluates the sensor query against the stream's current content.
 // With an aggregate the result is a single row (value); otherwise the
 // filtered window rows ship as-is (SELECT * — sensors cannot project).
+// The window feeds through as batches — the full window is never copied,
+// only the rows that survive the filter are collected.
 func (q *SensorQuery) Run(s *Stream) (*engine.Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	var rows schema.Rows
-	if q.WindowMs > 0 {
-		rows = s.Window(q.WindowMs)
-	} else {
-		rows = s.Window(s.Now() + 1) // whole buffer
+	sizeMs := q.WindowMs
+	if sizeMs <= 0 {
+		sizeMs = s.Now() + 1 // whole buffer
 	}
+	it := s.WindowIter(sizeMs, schema.DefaultBatchSize)
 	if q.Filter != nil {
-		var kept schema.Rows
-		for _, r := range rows {
-			ok, err := engine.EvalPredicate(s.rel, r, q.Filter)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrStream, err)
-			}
-			if ok {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
+		filter := q.Filter
+		rel := s.rel
+		it = schema.FilterProject(it, schema.Scan{Filter: func(r schema.Row) (bool, error) {
+			return engine.EvalPredicate(rel, r, filter)
+		}})
+	}
+	rows, err := schema.DrainIterator(it)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStream, err)
 	}
 	if q.Aggregate == nil {
 		return &engine.Result{Schema: s.rel, Rows: rows}, nil

@@ -59,6 +59,80 @@ func TestCapacityEviction(t *testing.T) {
 	}
 }
 
+func TestPushBatchMatchesPerRowPush(t *testing.T) {
+	one := newTestStream(t, 20)
+	batch := newTestStream(t, 20)
+	rows := make(schema.Rows, 0, 30)
+	for i := int64(0); i < 30; i++ {
+		rows = append(rows, schema.Row{
+			schema.Int(1), schema.Float(float64(i)), schema.Float(0), schema.Float(1), schema.Int(i * 10),
+		})
+	}
+	for _, r := range rows {
+		if err := one.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.PushBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if one.Len() != batch.Len() || one.Now() != batch.Now() {
+		t.Fatalf("batch push diverges: len %d/%d now %d/%d",
+			one.Len(), batch.Len(), one.Now(), batch.Now())
+	}
+	a, b := one.Window(100), batch.Window(100)
+	if len(a) != len(b) {
+		t.Fatalf("windows diverge: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestPushBatchRejectsOutOfOrderMidBatch(t *testing.T) {
+	s := newTestStream(t, 20)
+	err := s.PushBatch(schema.Rows{
+		{schema.Int(1), schema.Float(0), schema.Float(0), schema.Float(1), schema.Int(100)},
+		{schema.Int(1), schema.Float(0), schema.Float(0), schema.Float(1), schema.Int(50)},
+	})
+	if !errors.Is(err, ErrStream) {
+		t.Fatalf("want ErrStream, got %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("rows before the bad one are applied: len = %d", s.Len())
+	}
+}
+
+func TestWindowIterStreamsBatches(t *testing.T) {
+	s := newTestStream(t, 100)
+	for i := int64(0); i < 50; i++ {
+		push(t, s, 1, float64(i), 0, 1.0, i*100)
+	}
+	it := s.WindowIter(1000, 4) // same rows as Window(1000): t > 3900
+	total := 0
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		total += len(b)
+	}
+	if total != 10 {
+		t.Fatalf("window iterator yielded %d rows, want 10", total)
+	}
+	// The snapshot stays valid while new rows arrive.
+	it = s.WindowIter(1000, 4)
+	first, err := it.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first[0][4].AsInt()
+	push(t, s, 1, 0, 0, 1.0, 10_000)
+	if first[0][4].AsInt() != want {
+		t.Fatal("window snapshot corrupted by concurrent push")
+	}
+}
+
 func TestOutOfOrderRejected(t *testing.T) {
 	s := newTestStream(t, 10)
 	push(t, s, 1, 0, 0, 1, 100)
