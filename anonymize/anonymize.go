@@ -1,0 +1,57 @@
+// Package anonymize is the public face of the postprocessing algorithms A
+// of §3.2, for callers that want to study or apply anonymization outside a
+// paradise Session (a Session applies them automatically via
+// paradise.WithAnonymization): k-anonymity (multidimensional Mondrian and
+// full-domain generalization), l-diversity, slicing and the Laplace
+// mechanism for differential privacy, plus quasi-identifier detection.
+package anonymize
+
+import (
+	"math/rand"
+
+	paradise "paradise"
+	"paradise/internal/anonymize"
+)
+
+// DetectQuasiIdentifiers returns the columns whose value combinations make
+// rows re-identifiable above the risk threshold.
+func DetectQuasiIdentifiers(rel *paradise.Relation, rows paradise.Rows, riskThreshold float64) []string {
+	return anonymize.DetectQuasiIdentifiers(rel, rows, riskThreshold)
+}
+
+// Mondrian enforces k-anonymity over the quasi-identifiers by
+// multidimensional median partitioning.
+func Mondrian(rel *paradise.Relation, rows paradise.Rows, qi []string, k int) (paradise.Rows, error) {
+	return anonymize.Mondrian(rel, rows, qi, k)
+}
+
+// FullDomain enforces k-anonymity by full-domain generalization (Samarati),
+// suppressing at most maxSuppress rows; it returns the anonymized rows and
+// the suppression count.
+func FullDomain(rel *paradise.Relation, rows paradise.Rows, qi []string, k, maxSuppress int) (paradise.Rows, int, error) {
+	return anonymize.FullDomain(rel, rows, qi, k, maxSuppress)
+}
+
+// EnforceLDiversity suppresses equivalence classes with fewer than l
+// distinct sensitive values (homogeneity-attack defence).
+func EnforceLDiversity(rel *paradise.Relation, rows paradise.Rows, qi []string, sensitive string, l int) (paradise.Rows, int, error) {
+	return anonymize.EnforceLDiversity(rel, rows, qi, sensitive, l)
+}
+
+// Slice permutes column groups within buckets (Li et al.), breaking
+// linkage while preserving marginals.
+func Slice(rel *paradise.Relation, rows paradise.Rows, colGroups [][]string, bucketSize int, rng *rand.Rand) (paradise.Rows, error) {
+	return anonymize.Slice(rel, rows, colGroups, bucketSize, rng)
+}
+
+// NoisyRows adds Laplace noise calibrated to sensitivity/epsilon to the
+// named numeric columns.
+func NoisyRows(rel *paradise.Relation, rows paradise.Rows, cols []string, sensitivity, epsilon float64, rng *rand.Rand) (paradise.Rows, error) {
+	return anonymize.NoisyRows(rel, rows, cols, sensitivity, epsilon, rng)
+}
+
+// IsKAnonymous checks whether every equivalence class over the
+// quasi-identifiers has at least k members.
+func IsKAnonymous(rel *paradise.Relation, rows paradise.Rows, qi []string, k int) (bool, error) {
+	return anonymize.IsKAnonymous(rel, rows, qi, k)
+}

@@ -7,6 +7,7 @@
 package paradise
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -228,7 +229,7 @@ func BenchmarkNetwork_ChainExecution(b *testing.B) {
 	topo := network.DefaultApartment()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := network.Run(topo, plan, st); err != nil {
+		if _, err := network.Run(context.Background(), topo, plan, st); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,8 +16,8 @@ import (
 	"os"
 	"time"
 
-	"paradise/internal/experiments"
-	"paradise/internal/sensors"
+	"paradise/experiments"
+	"paradise/sensorsim"
 )
 
 const seed = 2016
@@ -91,7 +91,7 @@ func figure1() {
 	}
 	fmt.Printf("scenario %s: %d persons, %v, generated in %v\n\n",
 		res.Scenario, res.Persons, res.Duration, res.Elapsed.Round(time.Millisecond))
-	for _, dev := range sensors.AllDevices {
+	for _, dev := range sensorsim.AllDevices {
 		fmt.Printf("  %-13s %7d rows\n", dev, res.PerDevice[dev])
 	}
 	fmt.Printf("  %-13s %7d rows\n", "d (integrated)", res.Integrated)

@@ -22,24 +22,59 @@
 //	-rows      print up to N result rows (default 10)
 //	-audit     violating query to check against the released d'
 //	-journal   write the audit journal as JSON to this file
+//
+// Exit codes: 0 success, 2 usage error, 3 SQL parse error, 4 policy
+// violation, 1 any other failure.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
 
-	"paradise/internal/audit"
-	"paradise/internal/core"
-	"paradise/internal/policy"
-	"paradise/internal/sensors"
+	paradise "paradise"
+	"paradise/sensorsim"
+)
+
+// Exit codes, mapped from the facade's typed errors.
+const (
+	exitOK     = 0
+	exitOther  = 1
+	exitUsage  = 2
+	exitParse  = 3
+	exitPolicy = 4
 )
 
 func main() {
-	log.SetFlags(0)
+	os.Exit(run())
+}
+
+// exitCode classifies an error into the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, paradise.ErrUsage):
+		return exitUsage
+	case errors.Is(err, paradise.ErrParse):
+		return exitParse
+	case errors.Is(err, paradise.ErrPolicyViolation):
+		return exitPolicy
+	default:
+		return exitOther
+	}
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, err)
+	return exitCode(err)
+}
+
+func run() int {
 	var (
 		query    = flag.String("query", "", "SQL query to process (required)")
 		module   = flag.String("module", "ActionFilter", "policy module to apply")
@@ -57,55 +92,57 @@ func main() {
 	flag.Parse()
 	if *query == "" {
 		flag.Usage()
-		os.Exit(2)
+		return exitUsage
 	}
+	ctx := context.Background()
 
 	sc, err := buildScenario(*scenario, *duration, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return fail(fmt.Errorf("%w: %v", paradise.ErrUsage, err))
 	}
-	trace, err := sensors.Generate(sc)
+	trace, err := sensorsim.Generate(sc)
 	if err != nil {
-		log.Fatalf("generate trace: %v", err)
+		return fail(fmt.Errorf("generate trace: %w", err))
 	}
-	store, err := sensors.BuildStore(trace)
+	store, err := sensorsim.BuildStore(trace)
 	if err != nil {
-		log.Fatalf("build store: %v", err)
+		return fail(fmt.Errorf("build store: %w", err))
 	}
 
-	pol := policy.Figure4()
+	pol := paradise.Figure4Policy()
 	if *polPath != "" {
 		f, err := os.Open(*polPath)
 		if err != nil {
-			log.Fatalf("open policy: %v", err)
+			return fail(fmt.Errorf("open policy: %w", err))
 		}
-		pol, err = policy.Parse(f)
+		pol, err = paradise.ParsePolicy(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("parse policy: %v", err)
+			return fail(fmt.Errorf("parse policy: %w", err))
 		}
 	}
 
-	journal := audit.NewJournal()
-	proc, err := core.New(core.Config{
-		Store:  store,
-		Policy: pol,
-		Anon: core.AnonConfig{
-			Method:  core.AnonMethod(*anon),
+	journal := paradise.NewJournal()
+	sess, err := paradise.Open(store,
+		paradise.WithPolicy(pol),
+		paradise.WithJournal(journal),
+		paradise.WithAnonymization(paradise.AnonConfig{
+			Method:  paradise.AnonMethod(*anon),
 			K:       *k,
 			Epsilon: *epsilon,
 			Seed:    *seed,
-		},
-		Journal: journal,
-	})
+		}),
+	)
 	if err != nil {
-		log.Fatalf("processor: %v", err)
+		return fail(fmt.Errorf("open session: %w", err))
 	}
 
-	out, err := proc.Process(*query, *module)
+	out, err := sess.Process(ctx, *query, paradise.Module(*module))
 	if err != nil {
-		writeJournal(journal, *journalP)
-		log.Fatalf("process: %v", err)
+		if jerr := writeJournal(journal, *journalP); jerr != nil {
+			fmt.Fprintln(os.Stderr, jerr)
+		}
+		return fail(fmt.Errorf("process: %w", err))
 	}
 
 	fmt.Print(out.Summary())
@@ -113,42 +150,46 @@ func main() {
 	printResult(out, *rows)
 
 	if *auditQ != "" {
-		v, err := proc.ResidualRisk(*auditQ, out)
+		v, err := sess.ResidualRisk(*auditQ, out)
 		if err != nil {
-			log.Fatalf("audit: %v", err)
+			return fail(fmt.Errorf("audit: %w", err))
 		}
 		fmt.Printf("\nresidual-risk audit of %q:\n  %s\n", *auditQ, v)
 	}
-	writeJournal(journal, *journalP)
+	if err := writeJournal(journal, *journalP); err != nil {
+		return fail(err)
+	}
+	return exitOK
 }
 
-func writeJournal(j *audit.Journal, path string) {
+func writeJournal(j *paradise.Journal, path string) error {
 	if path == "" {
-		return
+		return nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatalf("journal: %v", err)
+		return fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
 	if err := j.WriteJSON(f); err != nil {
-		log.Fatalf("journal: %v", err)
+		return fmt.Errorf("journal: %w", err)
 	}
 	fmt.Printf("\naudit journal (%d entries) written to %s\n", j.Len(), path)
+	return nil
 }
 
-func buildScenario(name string, dur time.Duration, seed int64) (*sensors.Scenario, error) {
+func buildScenario(name string, dur time.Duration, seed int64) (*sensorsim.Scenario, error) {
 	switch name {
 	case "apartment":
-		sc := sensors.Apartment(dur, true, seed)
+		sc := sensorsim.Apartment(dur, true, seed)
 		sc.PositionGridM = 0.25
 		return sc, nil
 	case "meeting":
-		sc := sensors.Meeting(5, dur, seed)
+		sc := sensorsim.Meeting(5, dur, seed)
 		sc.PositionGridM = 0.25
 		return sc, nil
 	case "lecture":
-		sc := sensors.Lecture(8, dur, seed)
+		sc := sensorsim.Lecture(8, dur, seed)
 		sc.PositionGridM = 0.25
 		return sc, nil
 	default:
@@ -156,7 +197,7 @@ func buildScenario(name string, dur time.Duration, seed int64) (*sensors.Scenari
 	}
 }
 
-func printResult(out *core.Outcome, limit int) {
+func printResult(out *paradise.Outcome, limit int) {
 	res := out.Result
 	names := res.Schema.ColumnNames()
 	fmt.Printf("result (%d rows):\n  %s\n", len(res.Rows), strings.Join(names, " | "))

@@ -15,8 +15,8 @@ import (
 	"path/filepath"
 	"time"
 
-	"paradise/internal/sensors"
-	"paradise/internal/storage"
+	paradise "paradise"
+	"paradise/sensorsim"
 )
 
 func main() {
@@ -31,22 +31,22 @@ func main() {
 	)
 	flag.Parse()
 
-	var sc *sensors.Scenario
+	var sc *sensorsim.Scenario
 	switch *scenario {
 	case "meeting":
-		sc = sensors.Meeting(*persons, *duration, *seed)
+		sc = sensorsim.Meeting(*persons, *duration, *seed)
 	case "apartment":
-		sc = sensors.Apartment(*duration, false, *seed)
+		sc = sensorsim.Apartment(*duration, false, *seed)
 	case "apartment-fall":
-		sc = sensors.Apartment(*duration, true, *seed)
+		sc = sensorsim.Apartment(*duration, true, *seed)
 	case "lecture":
-		sc = sensors.Lecture(*persons, *duration, *seed)
+		sc = sensorsim.Lecture(*persons, *duration, *seed)
 	default:
 		log.Fatalf("unknown scenario %q", *scenario)
 	}
 	sc.PositionGridM = *grid
 
-	trace, err := sensors.Generate(sc)
+	trace, err := sensorsim.Generate(sc)
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
@@ -55,15 +55,15 @@ func main() {
 	}
 
 	total := 0
-	for _, dev := range sensors.AllDevices {
-		rel := sensors.DeviceSchema(dev)
+	for _, dev := range sensorsim.AllDevices {
+		rel := sensorsim.DeviceSchema(dev)
 		rows := trace.Device[dev]
 		path := filepath.Join(*out, string(dev)+".csv")
 		f, err := os.Create(path)
 		if err != nil {
 			log.Fatalf("create %s: %v", path, err)
 		}
-		if err := storage.WriteCSV(f, rel, rows); err != nil {
+		if err := paradise.WriteCSV(f, rel, rows); err != nil {
 			log.Fatalf("write %s: %v", path, err)
 		}
 		f.Close()
@@ -76,7 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("create %s: %v", dPath, err)
 	}
-	if err := storage.WriteCSV(f, sensors.IntegratedSchema(), trace.Integrated); err != nil {
+	if err := paradise.WriteCSV(f, sensorsim.IntegratedSchema(), trace.Integrated); err != nil {
 		log.Fatalf("write %s: %v", dPath, err)
 	}
 	f.Close()

@@ -1,0 +1,113 @@
+package paradise
+
+import (
+	"paradise/internal/core"
+	"paradise/internal/schema"
+)
+
+// Cursor streams the result of a Session.Query row by row, wired directly
+// onto the engine's pull-based batch pipeline: each advance that exhausts
+// the current batch pulls the next one through the fragment chain, down to
+// the storage scans. The usual loop:
+//
+//	cur, err := sess.Query(ctx, sql)
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//	        row := cur.Row()
+//	        ...
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// Rows returned by Row are immutable and may be retained. A Cursor is not
+// safe for concurrent use.
+type Cursor struct {
+	stream  *core.Stream
+	session *Session
+	module  string
+	batch   schema.Rows
+	idx     int
+	row     Row
+	err     error
+	done    bool
+	closed  bool
+}
+
+// Next advances to the next row, pulling the next batch through the chain
+// when the current one is spent. It returns false when the stream is
+// exhausted, the context is cancelled, or an error occurs — check Err
+// afterwards.
+func (c *Cursor) Next() bool {
+	if c.err != nil || c.done {
+		return false
+	}
+	for c.idx >= len(c.batch) {
+		batch, err := c.stream.Next()
+		if err != nil {
+			c.err = c.session.wrapModErr(err, c.module)
+			c.done = true
+			return false
+		}
+		if batch == nil {
+			c.done = true
+			return false
+		}
+		c.batch, c.idx = batch, 0
+	}
+	c.row = c.batch[c.idx]
+	c.idx++
+	return true
+}
+
+// Row returns the current row. Only valid after a true Next.
+func (c *Cursor) Row() Row { return c.row }
+
+// Err returns the first error the cursor hit, or nil. Exhaustion and an
+// explicit Close are not errors; a cancelled context is (ctx.Err, wrapped).
+func (c *Cursor) Err() error { return c.err }
+
+// Schema describes the columns of the streamed rows.
+func (c *Cursor) Schema() *Relation { return c.stream.Schema() }
+
+// Close releases the cursor. The chain drains its remainder first — every
+// node ships its whole output regardless of how much the requester reads —
+// so the Figure 3 accounting (Stats, Outcome) is final afterwards. Close
+// is idempotent: the first call decides the result, later calls return it
+// again.
+func (c *Cursor) Close() error {
+	if c.closed {
+		return c.err
+	}
+	c.closed = true
+	c.done = true
+	c.stream.Close()
+	if _, err := c.stream.Outcome(); err != nil && c.err == nil {
+		c.err = c.session.wrapModErr(err, c.module)
+	}
+	return c.err
+}
+
+// Outcome returns the audit trail of the streamed query: rewrite report,
+// fragment plan and transfer stats. It closes the cursor if the caller has
+// not already (the accounting is only final once the chain is drained).
+// On the pure streaming path Outcome.Result is nil — the rows went to the
+// consumer; use Stats for the Figure 3 numbers.
+func (c *Cursor) Outcome() (*Outcome, error) {
+	c.Close()
+	out, err := c.stream.Outcome()
+	if err != nil {
+		return nil, c.session.wrapModErr(err, c.module)
+	}
+	return out, nil
+}
+
+// Stats returns the Figure 3 transfer accounting of the fully drained
+// chain, closing the cursor if needed. The numbers are identical to what
+// Session.Process reports for the same query.
+func (c *Cursor) Stats() (*RunStats, error) {
+	out, err := c.Outcome()
+	if err != nil {
+		return nil, err
+	}
+	return out.Net, nil
+}

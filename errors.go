@@ -1,0 +1,114 @@
+package paradise
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"paradise/internal/core"
+	"paradise/internal/fragment"
+	"paradise/internal/rewrite"
+	"paradise/internal/sqlparser"
+)
+
+// The facade classifies every error of the processing pipeline into a
+// small set of sentinels so callers branch with errors.Is and drill into
+// details with errors.As, never by matching strings:
+//
+//	cur, err := sess.Query(ctx, sql)
+//	switch {
+//	case errors.Is(err, paradise.ErrPolicyViolation):
+//	        var v *paradise.PolicyViolation
+//	        errors.As(err, &v) // v.Rule, v.Columns, v.Module
+//	case errors.Is(err, paradise.ErrParse):
+//	        // bad SQL
+//	}
+//
+// The original internal error stays in the chain, so errors.Is also keeps
+// working against any internal sentinel a test may hold.
+var (
+	// ErrPolicyViolation marks queries the privacy policy refuses to
+	// answer at all (a denied attribute is load-bearing, or every
+	// projected attribute is denied). The chain carries a
+	// *PolicyViolation with the violated rule and the offending columns.
+	ErrPolicyViolation = errors.New("paradise: query violates the privacy policy")
+	// ErrParse marks SQL the parser rejects.
+	ErrParse = errors.New("paradise: cannot parse query")
+	// ErrUnsupported marks query shapes the processor cannot handle
+	// safely — the rewriter or fragmenter refuses rather than guessing.
+	ErrUnsupported = errors.New("paradise: unsupported query shape")
+	// ErrUsage marks API misuse: nil store, missing policy module.
+	ErrUsage = errors.New("paradise: invalid usage")
+)
+
+// PolicyViolation carries the details of an ErrPolicyViolation.
+type PolicyViolation struct {
+	// Module is the policy module the query was checked against.
+	Module string
+	// Rule describes the violated rule, e.g. "denied attribute used in
+	// WHERE".
+	Rule string
+	// Columns are the offending attribute names.
+	Columns []string
+	// err is the underlying rewrite error.
+	err error
+}
+
+func (e *PolicyViolation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %s", ErrPolicyViolation, e.Rule)
+	if len(e.Columns) > 0 {
+		fmt.Fprintf(&b, " (attributes %s)", strings.Join(e.Columns, ", "))
+	}
+	if e.Module != "" {
+		fmt.Fprintf(&b, " under module %q", e.Module)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying rewrite error, keeping internal sentinels
+// reachable through the chain.
+func (e *PolicyViolation) Unwrap() error { return e.err }
+
+// Is ties the struct to the ErrPolicyViolation sentinel.
+func (e *PolicyViolation) Is(target error) bool { return target == ErrPolicyViolation }
+
+// wrapErr classifies an internal error into the facade's typed errors. The
+// internal error stays wrapped underneath.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var denial *rewrite.Denial
+	switch {
+	case errors.As(err, &denial):
+		return &PolicyViolation{
+			Module:  denial.Module,
+			Rule:    denial.Rule,
+			Columns: denial.Columns,
+			err:     err,
+		}
+	case errors.Is(err, rewrite.ErrDenied):
+		return &PolicyViolation{Rule: "query denied by privacy policy", err: err}
+	case errors.Is(err, sqlparser.ErrSyntax):
+		return fmt.Errorf("%w: %w", ErrParse, err)
+	case errors.Is(err, rewrite.ErrUnsupported), errors.Is(err, fragment.ErrFragment):
+		return fmt.Errorf("%w: %w", ErrUnsupported, err)
+	case errors.Is(err, core.ErrProcessor):
+		// Processor configuration errors: unknown policy module, invalid
+		// anonymization method, pipeline without a SQLable part.
+		return fmt.Errorf("%w: %w", ErrUsage, err)
+	default:
+		return err
+	}
+}
+
+// wrapModErr is wrapErr plus the module context for policy violations.
+func (s *Session) wrapModErr(err error, module string) error {
+	err = wrapErr(err)
+	var v *PolicyViolation
+	if errors.As(err, &v) && v.Module == "" {
+		v.Module = module
+	}
+	return err
+}

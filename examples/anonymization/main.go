@@ -7,35 +7,44 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
-	"paradise/internal/anonymize"
-	"paradise/internal/engine"
-	"paradise/internal/privmetrics"
-	"paradise/internal/sensors"
+	paradise "paradise"
+	"paradise/anonymize"
+	"paradise/privmetrics"
+	"paradise/sensorsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	trace, err := sensors.Generate(sensors.Meeting(6, 45*time.Second, 31))
+	trace, err := sensorsim.Generate(sensorsim.Meeting(6, 45*time.Second, 31))
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
-	store, err := sensors.BuildStore(trace)
+	store, err := sensorsim.BuildStore(trace)
 	if err != nil {
 		log.Fatalf("store: %v", err)
 	}
-	eng := engine.New(store)
+
+	// An unrestricted session (no WithPolicy): the query passes through
+	// untransformed, so the study isolates the postprocessor.
+	sess, err := paradise.Open(store)
+	if err != nil {
+		log.Fatalf("open session: %v", err)
+	}
 
 	// The result set to publish: per-sample positions.
-	res, err := eng.Query("SELECT x, y, z, t FROM d")
+	out, err := sess.Process(ctx, "SELECT x, y, z, t FROM d")
 	if err != nil {
 		log.Fatalf("query: %v", err)
 	}
+	res := out.Result
 	qi := anonymize.DetectQuasiIdentifiers(res.Schema, res.Rows, 0.2)
 	fmt.Printf("publishing %d rows; detected quasi-identifiers: %v\n\n", len(res.Rows), qi)
 

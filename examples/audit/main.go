@@ -7,39 +7,40 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"paradise/internal/core"
-	"paradise/internal/policy"
-	"paradise/internal/privmetrics"
-	"paradise/internal/sensors"
+	paradise "paradise"
+	"paradise/privmetrics"
+	"paradise/sensorsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	scenario := sensors.Apartment(600*time.Second, false, 11)
+	scenario := sensorsim.Apartment(600*time.Second, false, 11)
 	scenario.PositionGridM = 0.25 // UbiSense cell grid; see quickstart
-	trace, err := sensors.Generate(scenario)
+	trace, err := sensorsim.Generate(scenario)
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
-	store, err := sensors.BuildStore(trace)
+	store, err := sensorsim.BuildStore(trace)
 	if err != nil {
 		log.Fatalf("store: %v", err)
 	}
 
-	proc, err := core.New(core.Config{Store: store, Policy: policy.Figure4()})
+	sess, err := paradise.Open(store, paradise.WithPolicy(paradise.Figure4Policy()))
 	if err != nil {
-		log.Fatalf("processor: %v", err)
+		log.Fatalf("open session: %v", err)
 	}
 
 	// The provider's query, processed under the Figure 4 policy.
-	out, err := proc.Process(
+	out, err := sess.Process(ctx,
 		"SELECT x, y, z, t, regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) AS trend FROM (SELECT x, y, z, t FROM d)",
-		"ActionFilter")
+		paradise.Module("ActionFilter"))
 	if err != nil {
 		log.Fatalf("process: %v", err)
 	}
@@ -60,7 +61,7 @@ func main() {
 	}
 	fmt.Println("residual-risk audit (query containment, conservative):")
 	for _, a := range attacks {
-		v, err := proc.ResidualRisk(a.sql, out)
+		v, err := sess.ResidualRisk(a.sql, out)
 		if err != nil {
 			log.Fatalf("audit %q: %v", a.what, err)
 		}
@@ -92,18 +93,18 @@ func main() {
 	// Contrast: a permissive module (only the identity denied) releases
 	// per-sample positions. The audit flags the movement trace as
 	// answerable, so A must be extended — with Mondrian k-anonymity here.
-	permissive := &policy.Policy{Modules: []*policy.Module{
-		policy.DefaultModule("Permissive", store.Catalog().MustLookup("d")),
+	permissive := &paradise.Policy{Modules: []*paradise.PolicyModule{
+		paradise.DefaultPolicyModule("Permissive", store.Catalog().MustLookup("d")),
 	}}
-	procP, err := core.New(core.Config{Store: store, Policy: permissive})
+	sessP, err := paradise.Open(store, paradise.WithPolicy(permissive))
 	if err != nil {
-		log.Fatalf("processor: %v", err)
+		log.Fatalf("open session: %v", err)
 	}
-	outP, err := procP.Process("SELECT x, y, z, t FROM d", "Permissive")
+	outP, err := sessP.Process(ctx, "SELECT x, y, z, t FROM d", paradise.Module("Permissive"))
 	if err != nil {
 		log.Fatalf("process permissive: %v", err)
 	}
-	vp, err := procP.ResidualRisk("SELECT x, y, t FROM d", outP)
+	vp, err := sessP.ResidualRisk("SELECT x, y, t FROM d", outP)
 	if err != nil {
 		log.Fatalf("audit permissive: %v", err)
 	}
@@ -113,14 +114,16 @@ func main() {
 	fmt.Printf("the movement-trace query %s on this d' -> anonymization A must be extended.\n",
 		map[bool]string{true: "IS ANSWERABLE", false: "is blocked"}[vp.Answerable])
 
-	procK, err := core.New(core.Config{
-		Store: store, Policy: permissive,
-		Anon: core.AnonConfig{Method: core.AnonMondrian, K: 5, QuasiIdentifiers: qi},
-	})
+	sessK, err := paradise.Open(store,
+		paradise.WithPolicy(permissive),
+		paradise.WithAnonymization(paradise.AnonConfig{
+			Method: paradise.AnonMondrian, K: 5, QuasiIdentifiers: qi,
+		}),
+	)
 	if err != nil {
-		log.Fatalf("processor: %v", err)
+		log.Fatalf("open session: %v", err)
 	}
-	outK, err := procK.Process("SELECT x, y, z, t FROM d", "Permissive")
+	outK, err := sessK.Process(ctx, "SELECT x, y, z, t FROM d", paradise.Module("Permissive"))
 	if err != nil {
 		log.Fatalf("process with k-anonymity: %v", err)
 	}

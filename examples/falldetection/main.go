@@ -6,28 +6,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"paradise/internal/core"
-	"paradise/internal/engine"
-	"paradise/internal/network"
-	"paradise/internal/policy"
-	"paradise/internal/recognition"
-	"paradise/internal/sensors"
-	"paradise/internal/sqlparser"
+	paradise "paradise"
+	"paradise/recognition"
+	"paradise/sensorsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// A day (scaled down) in the life of the resident — ending in a fall.
-	trace, err := sensors.Generate(sensors.Apartment(90*time.Second, true, 7))
+	trace, err := sensorsim.Generate(sensorsim.Apartment(90*time.Second, true, 7))
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
-	store, err := sensors.BuildStore(trace)
+	store, err := sensorsim.BuildStore(trace)
 	if err != nil {
 		log.Fatalf("store: %v", err)
 	}
@@ -35,17 +33,6 @@ func main() {
 	// Poodle's fall-detection query: positions low above the floor.
 	// (The service needs positions and times, nothing else.)
 	const fallQuery = "SELECT x, y, z, t FROM d WHERE z < 0.6"
-
-	// --- Without PArADISE: raw data to the cloud. ---
-	topo := network.DefaultApartment()
-	sel, err := sqlparser.Parse(fallQuery)
-	if err != nil {
-		log.Fatalf("parse: %v", err)
-	}
-	naive, err := network.RunNaive(topo, sel, store)
-	if err != nil {
-		log.Fatalf("naive: %v", err)
-	}
 
 	// --- With PArADISE: policy for the FallDetection module. ---
 	// The user reveals positions only below 0.6 m (fall posture) and never
@@ -61,21 +48,28 @@ func main() {
     <attribute name="t"><allow>true</allow></attribute>
   </attributeList>
 </module>`
-	pol, err := policy.ParseBytes([]byte(fallPolicy))
+	pol, err := paradise.ParsePolicyBytes([]byte(fallPolicy))
 	if err != nil {
 		log.Fatalf("policy: %v", err)
 	}
-	proc, err := core.New(core.Config{Store: store, Policy: pol, Topology: topo})
+	sess, err := paradise.Open(store, paradise.WithPolicy(pol))
 	if err != nil {
-		log.Fatalf("processor: %v", err)
+		log.Fatalf("open session: %v", err)
 	}
-	out, err := proc.Process(fallQuery, "FallDetection")
+
+	// --- Without PArADISE: raw data to the cloud. ---
+	naive, err := sess.RunNaive(ctx, fallQuery)
+	if err != nil {
+		log.Fatalf("naive: %v", err)
+	}
+
+	out, err := sess.Process(ctx, fallQuery, paradise.Module("FallDetection"))
 	if err != nil {
 		log.Fatalf("process: %v", err)
 	}
 
 	// Both paths must detect the fall.
-	detect := func(res *engine.Result) int {
+	detect := func(res *paradise.Result) int {
 		acts, err := recognition.Annotate(res)
 		if err != nil {
 			// The result lacks entity columns; classify by height alone.
@@ -93,7 +87,7 @@ func main() {
 		}
 		n := 0
 		for _, a := range acts {
-			if a == sensors.ActivityFall {
+			if a == sensorsim.ActivityFall {
 				n++
 			}
 		}

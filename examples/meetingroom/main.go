@@ -1,36 +1,38 @@
-// Meetingroom reproduces the Smart Meeting Room setting of §1: the full
-// device ensemble generates a meeting trace; the automatic policy generator
-// derives default privacy modules for every device; and the room's
-// intention-recognition queries run through the privacy-aware processor,
-// including a cross-device join (who stands at the smart board while a pen
-// is taken?).
+// Meetingroom reproduces the Smart Meeting Room setting of §1 through the
+// public facade: the full device ensemble generates a meeting trace; the
+// automatic policy generator derives default privacy modules for every
+// device; and the room's intention-recognition queries run through the
+// privacy-aware processor, including a policy-tripping tracking attempt
+// that surfaces as a typed paradise.ErrPolicyViolation.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
 
-	"paradise/internal/core"
-	"paradise/internal/policy"
-	"paradise/internal/sensors"
+	paradise "paradise"
+	"paradise/sensorsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// 1. A meeting with five participants in the instrumented room.
-	trace, err := sensors.Generate(sensors.Meeting(5, 60*time.Second, 99))
+	trace, err := sensorsim.Generate(sensorsim.Meeting(5, 60*time.Second, 99))
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
-	store, err := sensors.BuildStore(trace)
+	store, err := sensorsim.BuildStore(trace)
 	if err != nil {
 		log.Fatalf("store: %v", err)
 	}
 
 	fmt.Println("Smart Meeting Room trace (per device):")
-	for _, dev := range sensors.AllDevices {
+	for _, dev := range sensorsim.AllDevices {
 		fmt.Printf("  %-13s %6d rows\n", dev, len(trace.Device[dev]))
 	}
 	fmt.Printf("  %-13s %6d rows (integrated)\n\n", "d", len(trace.Integrated))
@@ -38,14 +40,14 @@ func main() {
 	// 2. Automatic generation of privacy settings (§3): one default module
 	// per relation, sensitive columns denied. The user then tightens the
 	// ubisense module: positions only as averages per coordinate cell.
-	pol := policy.GenerateForCatalog(store.Catalog())
+	pol := paradise.GeneratePolicy(store.Catalog())
 	fmt.Printf("auto-generated policy: %d modules\n", len(pol.Modules))
 	ubi, _ := pol.ModuleByID("ubisense")
 	fmt.Printf("  ubisense: tag_id allowed=%v (sensitive -> denied by default)\n\n", ubi.Allowed("tag_id"))
 
-	proc, err := core.New(core.Config{Store: store, Policy: pol})
+	sess, err := paradise.Open(store, paradise.WithPolicy(pol))
 	if err != nil {
-		log.Fatalf("processor: %v", err)
+		log.Fatalf("open session: %v", err)
 	}
 
 	// 3. Room-control queries of the intention recognition.
@@ -58,7 +60,7 @@ func main() {
 			"device activity"},
 	}
 	for _, q := range queries {
-		out, err := proc.Process(q.sql, q.module)
+		out, err := sess.Process(ctx, q.sql, paradise.Module(q.module))
 		if err != nil {
 			log.Fatalf("%s: %v", q.what, err)
 		}
@@ -69,8 +71,14 @@ func main() {
 			len(out.Result.Rows), out.Net.EgressBytes, out.Net.RawBytes, out.Net.Reduction())
 	}
 
-	// 4. A query that trips the policy: tracking a specific person.
-	_, err = proc.Process("SELECT tag_id, x, y FROM ubisense WHERE tag_id = 100", "ubisense")
+	// 4. A query that trips the policy: tracking a specific person. The
+	// facade classifies the denial — no string matching needed.
+	_, err = sess.Process(ctx, "SELECT tag_id, x, y FROM ubisense WHERE tag_id = 100",
+		paradise.Module("ubisense"))
 	fmt.Println("== tracking attempt ==")
 	fmt.Printf("  SELECT tag_id, x, y FROM ubisense WHERE tag_id = 100\n  -> %v\n", err)
+	var v *paradise.PolicyViolation
+	if errors.As(err, &v) {
+		fmt.Printf("  typed: rule %q, offending attributes %v\n", v.Rule, v.Columns)
+	}
 }

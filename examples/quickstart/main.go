@@ -1,47 +1,45 @@
-// Quickstart runs the paper's §4.2 use case end to end: the Poodle cloud's
-// activity-recognition pipeline — an R Kalman-filter analysis with an
-// embedded SQL query — is checked against the Figure 4 privacy policy,
-// rewritten, vertically fragmented across sensor → appliance → media center
-// → PC, and executed; only the reduced, policy-compliant d′ leaves the
-// apartment.
+// Quickstart runs the paper's §4.2 use case end to end through the public
+// facade: the Poodle cloud's activity-recognition pipeline — an R
+// Kalman-filter analysis with an embedded SQL query — is checked against
+// the Figure 4 privacy policy, rewritten, vertically fragmented across
+// sensor → appliance → media center → PC, and executed; only the reduced,
+// policy-compliant d′ leaves the apartment.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"paradise/internal/core"
-	"paradise/internal/policy"
-	"paradise/internal/recognition"
-	"paradise/internal/sensors"
+	paradise "paradise"
+	"paradise/recognition"
+	"paradise/sensorsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// 1. Simulate the apartment: a resident moving through a daily routine.
 	// Positions snap to a 25 cm UbiSense grid so GROUP BY x, y forms real
 	// grouping sets (the Figure 4 HAVING safeguard presumes that).
-	scenario := sensors.Apartment(120*time.Second, false, 2016)
+	scenario := sensorsim.Apartment(120*time.Second, false, 2016)
 	scenario.PositionGridM = 0.25
-	trace, err := sensors.Generate(scenario)
+	trace, err := sensorsim.Generate(scenario)
 	if err != nil {
 		log.Fatalf("generate trace: %v", err)
 	}
-	store, err := sensors.BuildStore(trace)
+	store, err := sensorsim.BuildStore(trace)
 	if err != nil {
 		log.Fatalf("build store: %v", err)
 	}
 	fmt.Printf("apartment database d: %d position samples\n\n", len(trace.Integrated))
 
-	// 2. Assemble the PArADISE processor with the paper's Figure 4 policy.
-	proc, err := core.New(core.Config{
-		Store:  store,
-		Policy: policy.Figure4(),
-	})
+	// 2. Open a session with the paper's Figure 4 policy.
+	sess, err := paradise.Open(store, paradise.WithPolicy(paradise.Figure4Policy()))
 	if err != nil {
-		log.Fatalf("processor: %v", err)
+		log.Fatalf("open session: %v", err)
 	}
 
 	// 3. The provider's analysis pipeline (the paper's R excerpt).
@@ -55,7 +53,7 @@ func main() {
 
 	// 4. Process: policy rewrite, vertical fragmentation, chain execution,
 	// residual R on the cloud.
-	out, err := proc.ProcessPipeline(pipeline, "ActionFilter")
+	out, err := sess.ProcessPipeline(ctx, pipeline, paradise.Module("ActionFilter"))
 	if err != nil {
 		log.Fatalf("process: %v", err)
 	}

@@ -1,0 +1,93 @@
+// Streaming consumes a long-running query through the Session.Query
+// cursor under a deadline: rows arrive batch-at-a-time straight from the
+// fragment chain (no materialized result), and when the context expires
+// the cursor stops — the underlying storage scans halt within one batch.
+// It also shows that a cursor drained to completion reports exactly the
+// transfer stats Process would.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	paradise "paradise"
+	"paradise/sensorsim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A long trace: ten simulated minutes of apartment life.
+	trace, err := sensorsim.Generate(sensorsim.Apartment(600*time.Second, false, 42))
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	store, err := sensorsim.BuildStore(trace)
+	if err != nil {
+		log.Fatalf("store: %v", err)
+	}
+	sess, err := paradise.Open(store) // unrestricted: study the cursor itself
+	if err != nil {
+		log.Fatalf("open session: %v", err)
+	}
+	fmt.Printf("database d: %d rows\n\n", len(trace.Integrated))
+
+	const sql = "SELECT x, y, z, t FROM d WHERE z < 2"
+
+	// --- 1. Stream under a deadline. ---
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+
+	cur, err := sess.Query(ctx, sql)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	rows := 0
+	for cur.Next() {
+		rows++
+		if rows <= 3 {
+			r := cur.Row()
+			fmt.Printf("  row %d: x=%s y=%s z=%s\n", rows, r[0].Format(), r[1].Format(), r[2].Format())
+		}
+		// A slow consumer: the deadline expires mid-stream.
+		time.Sleep(200 * time.Microsecond)
+	}
+	cur.Close()
+	fmt.Printf("consumed %d rows before the deadline\n", rows)
+	if errors.Is(cur.Err(), context.DeadlineExceeded) {
+		fmt.Println("cursor stopped: context deadline exceeded (storage scans halted)")
+	} else if cur.Err() != nil {
+		log.Fatalf("cursor: %v", cur.Err())
+	} else {
+		fmt.Println("(fast machine: the stream finished before the deadline)")
+	}
+	fmt.Println()
+
+	// --- 2. Drain without a deadline: cursor == Process, stats included. ---
+	cur2, err := sess.Query(context.Background(), sql)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	drained := 0
+	for cur2.Next() {
+		drained++
+	}
+	if err := cur2.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	stats, err := cur2.Stats()
+	if err != nil {
+		log.Fatalf("stats: %v", err)
+	}
+
+	out, err := sess.Process(context.Background(), sql)
+	if err != nil {
+		log.Fatalf("process: %v", err)
+	}
+	fmt.Printf("full drain: %d rows (Process: %d)\n", drained, len(out.Result.Rows))
+	fmt.Printf("cursor egress %d bytes == process egress %d bytes: %v\n",
+		stats.EgressBytes, out.Net.EgressBytes, stats.EgressBytes == out.Net.EgressBytes)
+}

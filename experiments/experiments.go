@@ -1,0 +1,108 @@
+// Package experiments is the public face of the reproduction harness: it
+// regenerates every exhibit of the paper (Table 1, Figures 1-4, the §4.2
+// staged pushdown, the §3.2 information-loss study and the DESIGN.md
+// ablations) as structured rows. cmd/benchrunner formats them; the root
+// package's benchmarks measure them.
+package experiments
+
+import (
+	"time"
+
+	paradise "paradise"
+	"paradise/internal/experiments"
+)
+
+type (
+	// Table1Row is one rung of the capability ladder E1..E4.
+	Table1Row = experiments.Table1Row
+	// Figure1Result summarizes one Smart Appliance Lab trace generation.
+	Figure1Result = experiments.Figure1Result
+	// Figure2Result holds the per-stage latencies of the processor.
+	Figure2Result = experiments.Figure2Result
+	// Figure3Row compares naive and fragmented egress at one data size.
+	Figure3Row = experiments.Figure3Row
+	// LadderRow is one granularity step of the fragmentation ablation.
+	LadderRow = experiments.LadderRow
+	// FanInRow is one sensor-count step of the fan-in study.
+	FanInRow = experiments.FanInRow
+	// Figure4Result checks the policy rewrite against the published one.
+	Figure4Result = experiments.Figure4Result
+	// StageCheck compares one pushdown stage against the paper's listing.
+	StageCheck = experiments.StageCheck
+	// UseCaseResult is the §4.2 staged pushdown verification.
+	UseCaseResult = experiments.UseCaseResult
+	// Sec32Row is one method/parameter point of the §3.2 study.
+	Sec32Row = experiments.Sec32Row
+	// OpenProblemRow is one audited query of the §4.1/§5 open problem.
+	OpenProblemRow = experiments.OpenProblemRow
+	// PlacementRow is one step of the condition-placement ablation.
+	PlacementRow = experiments.PlacementRow
+	// FallbackRow is one configuration of the weak-node fallback ablation.
+	FallbackRow = experiments.FallbackRow
+	// GoldenPathRow is one variant of the intended-analysis quality study.
+	GoldenPathRow = experiments.GoldenPathRow
+)
+
+// UseCaseQuery is the rewritten §4.2 query; OriginalUseCaseQuery the one
+// the provider submits.
+const (
+	UseCaseQuery         = experiments.UseCaseQuery
+	OriginalUseCaseQuery = experiments.OriginalUseCaseQuery
+)
+
+// SyntheticDB builds the n-row synthetic database d used by the exhibits.
+func SyntheticDB(n int, seed int64) *paradise.Store { return experiments.SyntheticDB(n, seed) }
+
+// Table1 probes one representative query per capability rung.
+func Table1(n int, seed int64) ([]Table1Row, error) { return experiments.Table1(n, seed) }
+
+// Figure1 generates the full device-ensemble trace and reports sizes.
+func Figure1(personCount int, dur time.Duration, seed int64) (*Figure1Result, error) {
+	return experiments.Figure1(personCount, dur, seed)
+}
+
+// Figure2 measures the stage latencies of the privacy-aware processor.
+func Figure2(n int, seed int64) (*Figure2Result, error) { return experiments.Figure2(n, seed) }
+
+// Figure3 measures data leaving the apartment with and without
+// fragmentation at several database sizes.
+func Figure3(sizes []int, seed int64) ([]Figure3Row, error) { return experiments.Figure3(sizes, seed) }
+
+// Figure3Ladder ablates fragmentation granularity at one size.
+func Figure3Ladder(n int, seed int64) ([]LadderRow, error) { return experiments.Figure3Ladder(n, seed) }
+
+// Figure3FanIn spreads the base data over many sensors (Table 1 node
+// counts) and measures the fan-in.
+func Figure3FanIn(n int, sensorCounts []int, seed int64) ([]FanInRow, error) {
+	return experiments.Figure3FanIn(n, sensorCounts, seed)
+}
+
+// Figure4 checks the policy rewrite against the published transformation.
+func Figure4(n int, seed int64) (*Figure4Result, error) { return experiments.Figure4(n, seed) }
+
+// UseCase verifies the §4.2 staged pushdown stage by stage.
+func UseCase(n int, seed int64) (*UseCaseResult, error) { return experiments.UseCase(n, seed) }
+
+// Sec32 runs the §3.2 information-loss-versus-privacy study.
+func Sec32(n int, seed int64) ([]Sec32Row, error) { return experiments.Sec32(n, seed) }
+
+// OpenProblem audits a battery of queries against the released view.
+func OpenProblem(n int, seed int64) ([]OpenProblemRow, error) {
+	return experiments.OpenProblem(n, seed)
+}
+
+// GoldenPath measures intended-analysis quality under privacy processing.
+func GoldenPath(dur time.Duration, seed int64) ([]GoldenPathRow, error) {
+	return experiments.GoldenPath(dur, seed)
+}
+
+// AblationConditionPlacement compares innermost vs outermost condition
+// placement.
+func AblationConditionPlacement(n int, seed int64) ([]PlacementRow, error) {
+	return experiments.AblationConditionPlacement(n, seed)
+}
+
+// AblationWeakNode studies the §3.2 weak-node fallback.
+func AblationWeakNode(n int, seed int64) ([]FallbackRow, error) {
+	return experiments.AblationWeakNode(n, seed)
+}

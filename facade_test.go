@@ -1,0 +1,539 @@
+package paradise_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	paradise "paradise"
+	"paradise/experiments"
+	"paradise/internal/schema"
+)
+
+// testStore builds a deterministic integrated database d of n rows using
+// only the public facade.
+func testStore(t testing.TB, n int) *paradise.Store {
+	t.Helper()
+	store := paradise.NewStore()
+	tab := store.Create(paradise.NewRelation("d",
+		paradise.SensitiveCol("user", paradise.TypeString),
+		paradise.Col("x", paradise.TypeFloat),
+		paradise.Col("y", paradise.TypeFloat),
+		paradise.Col("z", paradise.TypeFloat),
+		paradise.Col("t", paradise.TypeInt),
+	))
+	users := []string{"alice", "bob", "carol"}
+	rows := make(paradise.Rows, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, paradise.Row{
+			paradise.String(users[i%len(users)]),
+			paradise.Float(float64(i % 8)),
+			paradise.Float(float64(i % 6)),
+			paradise.Float(0.5 + float64(i%30)/10),
+			paradise.Int(int64(i) * 50),
+		})
+	}
+	if err := tab.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func drainCursor(t *testing.T, cur *paradise.Cursor) paradise.Rows {
+	t.Helper()
+	var rows paradise.Rows
+	for cur.Next() {
+		rows = append(rows, cur.Row())
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("cursor: %v", err)
+	}
+	return rows
+}
+
+func sameStats(t *testing.T, got, want *paradise.RunStats) {
+	t.Helper()
+	if got.RawBytes != want.RawBytes || got.EgressBytes != want.EgressBytes {
+		t.Fatalf("raw/egress: got %d/%d, want %d/%d",
+			got.RawBytes, got.EgressBytes, want.RawBytes, want.EgressBytes)
+	}
+	if got.SimTime != want.SimTime {
+		t.Fatalf("sim time: got %v, want %v", got.SimTime, want.SimTime)
+	}
+	if len(got.Traffic) != len(want.Traffic) {
+		t.Fatalf("traffic hops: got %d, want %d", len(got.Traffic), len(want.Traffic))
+	}
+	for i := range got.Traffic {
+		if got.Traffic[i].Bytes != want.Traffic[i].Bytes || got.Traffic[i].Rows != want.Traffic[i].Rows {
+			t.Fatalf("hop %d: got %d bytes/%d rows, want %d bytes/%d rows", i,
+				got.Traffic[i].Bytes, got.Traffic[i].Rows, want.Traffic[i].Bytes, want.Traffic[i].Rows)
+		}
+	}
+	if len(got.Assignments) != len(want.Assignments) {
+		t.Fatalf("assignments: got %d, want %d", len(got.Assignments), len(want.Assignments))
+	}
+	for i := range got.Assignments {
+		g, w := got.Assignments[i], want.Assignments[i]
+		if g.Node.Name != w.Node.Name || g.InRows != w.InRows ||
+			g.OutRows != w.OutRows || g.OutBytes != w.OutBytes || g.FellBack != w.FellBack {
+			t.Fatalf("assignment %d: got %s in=%d out=%d bytes=%d fb=%v, want %s in=%d out=%d bytes=%d fb=%v",
+				i, g.Node.Name, g.InRows, g.OutRows, g.OutBytes, g.FellBack,
+				w.Node.Name, w.InRows, w.OutRows, w.OutBytes, w.FellBack)
+		}
+	}
+}
+
+func sameRows(t *testing.T, got, want paradise.Rows) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("rows: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d arity: got %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if !got[i][j].Identical(want[i][j]) {
+				t.Fatalf("row %d col %d: got %s, want %s",
+					i, j, got[i][j].Format(), want[i][j].Format())
+			}
+		}
+	}
+}
+
+// TestCursorDrainEquivalence is the headline acceptance property: a fully
+// drained cursor yields exactly the rows of Process, and its Figure 3
+// transfer stats are identical field by field.
+func TestCursorDrainEquivalence(t *testing.T) {
+	queries := []string{
+		"SELECT x, y, z FROM d WHERE x > y AND z < 2", // policy rewrites z to its mandated aggregate
+		"SELECT x, y FROM d",
+		"SELECT x, AVG(z) AS za FROM d GROUP BY x",
+	}
+	sess, err := paradise.Open(testStore(t, 3000),
+		paradise.WithPolicy(paradise.Figure4Policy()),
+		paradise.WithDefaultModule("ActionFilter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range queries {
+		t.Run(sql, func(t *testing.T) {
+			ctx := context.Background()
+			cur, err := sess.Query(ctx, sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := drainCursor(t, cur)
+			if err := cur.Close(); err != nil {
+				t.Fatal(err)
+			}
+			stats, err := cur.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			out, err := sess.Process(ctx, sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRows(t, rows, out.Result.Rows)
+			sameStats(t, stats, out.Net)
+		})
+	}
+}
+
+// TestCursorEarlyCloseStats: a cursor closed after a few rows still
+// reports the full transfer stats — the chain nodes ship their whole
+// outputs regardless of how much the requester reads.
+func TestCursorEarlyCloseStats(t *testing.T) {
+	sess, err := paradise.Open(testStore(t, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sql = "SELECT x, y FROM d WHERE z < 2"
+	ctx := context.Background()
+
+	cur, err := sess.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3 && cur.Next(); i++ {
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cur.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Process(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStats(t, stats, out.Net)
+}
+
+// TestCursorCancellationStopsWithinOneBatch: cancelling the context
+// mid-stream stops the cursor within one batch of rows and surfaces the
+// context error.
+func TestCursorCancellationStopsWithinOneBatch(t *testing.T) {
+	sess, err := paradise.Open(testStore(t, 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cur, err := sess.Query(ctx, "SELECT x, y, z FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatalf("first row: %v", cur.Err())
+	}
+	cancel()
+
+	// The already-delivered batch may finish serving; after that the next
+	// pull must fail with the context error.
+	extra := 0
+	for cur.Next() {
+		extra++
+	}
+	if extra > schema.DefaultBatchSize {
+		t.Fatalf("cursor delivered %d rows after cancel, want <= %d (one batch)",
+			extra, schema.DefaultBatchSize)
+	}
+	if !errors.Is(cur.Err(), context.Canceled) {
+		t.Fatalf("cursor error = %v, want context.Canceled", cur.Err())
+	}
+	cur.Close()
+}
+
+// TestCursorDoubleClose: Close is idempotent — the satellite regression
+// for the easy caller mistake cursors invite.
+func TestCursorDoubleClose(t *testing.T) {
+	sess, err := paradise.Open(testStore(t, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sess.Query(context.Background(), "SELECT x FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatalf("first row: %v", cur.Err())
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if cur.Next() {
+		t.Fatal("Next after Close must be false")
+	}
+	// Stats must be stable across repeated calls after double-Close.
+	s1, err := cur.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cur.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.EgressBytes != s2.EgressBytes {
+		t.Fatalf("stats changed across calls: %d != %d", s1.EgressBytes, s2.EgressBytes)
+	}
+}
+
+// TestAnonymizedCursorMatchesProcess: with a postprocessor configured the
+// cursor materializes lazily but still serves exactly the anonymized rows
+// Process returns, and its Outcome carries the anonymization report.
+func TestAnonymizedCursorMatchesProcess(t *testing.T) {
+	open := func() *paradise.Session {
+		sess, err := paradise.Open(testStore(t, 2000),
+			paradise.WithAnonymization(paradise.AnonConfig{
+				Method:           paradise.AnonMondrian,
+				K:                5,
+				QuasiIdentifiers: []string{"x", "y"},
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+	const sql = "SELECT x, y, z FROM d WHERE z < 2"
+	ctx := context.Background()
+
+	cur, err := open().Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainCursor(t, cur)
+	got, err := cur.Outcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Anon == nil || got.Anon.Method != paradise.AnonMondrian {
+		t.Fatalf("anon report missing: %+v", got.Anon)
+	}
+
+	out, err := open().Process(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, rows, out.Result.Rows)
+	sameStats(t, got.Net, out.Net)
+
+	// A cursor closed before the first read still owes the postprocessed
+	// outcome: the anonymization report and result cardinality must match
+	// Process, regardless of consumer read behaviour.
+	unread, err := open().Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := unread.Close(); err != nil {
+		t.Fatal(err)
+	}
+	uout, err := unread.Outcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uout.Anon == nil || uout.Anon.Method != paradise.AnonMondrian {
+		t.Fatalf("unread cursor lost the anon report: %+v", uout.Anon)
+	}
+	if len(uout.Result.Rows) != len(out.Result.Rows) {
+		t.Fatalf("unread cursor outcome has %d rows, Process has %d",
+			len(uout.Result.Rows), len(out.Result.Rows))
+	}
+}
+
+// TestTypedErrors: the facade's sentinels classify failures without
+// string matching.
+func TestTypedErrors(t *testing.T) {
+	sess, err := paradise.Open(testStore(t, 100),
+		paradise.WithPolicy(paradise.Figure4Policy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := sess.Process(ctx, "SELECT FROM WHERE"); !errors.Is(err, paradise.ErrParse) {
+		t.Fatalf("parse error = %v, want ErrParse", err)
+	}
+	if _, err := sess.Query(ctx, "SELECT x FROM"); !errors.Is(err, paradise.ErrParse) {
+		t.Fatalf("query parse error = %v, want ErrParse", err)
+	}
+
+	_, err = sess.Process(ctx, "SELECT user FROM d")
+	if !errors.Is(err, paradise.ErrPolicyViolation) {
+		t.Fatalf("denied query error = %v, want ErrPolicyViolation", err)
+	}
+	var v *paradise.PolicyViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("denied query error %v does not carry *PolicyViolation", err)
+	}
+	if v.Module != "ActionFilter" {
+		t.Fatalf("violation module = %q, want ActionFilter", v.Module)
+	}
+	if len(v.Columns) != 1 || v.Columns[0] != "user" {
+		t.Fatalf("violation columns = %v, want [user]", v.Columns)
+	}
+	if v.Rule == "" {
+		t.Fatal("violation rule is empty")
+	}
+
+	_, err = sess.Process(ctx, "SELECT x, y FROM d WHERE user = 'alice'")
+	if !errors.Is(err, paradise.ErrPolicyViolation) {
+		t.Fatalf("WHERE-denied error = %v, want ErrPolicyViolation", err)
+	}
+
+	if _, err := paradise.Open(nil); !errors.Is(err, paradise.ErrUsage) {
+		t.Fatalf("Open(nil) = %v, want ErrUsage", err)
+	}
+	if _, err := sess.Process(ctx, "SELECT x FROM d", paradise.Module("NoSuch")); !errors.Is(err, paradise.ErrUsage) {
+		t.Fatalf("unknown module error = %v, want ErrUsage", err)
+	}
+}
+
+// TestModuleResolution: single-module policies resolve implicitly,
+// multi-module policies require Module(...).
+func TestModuleResolution(t *testing.T) {
+	store := testStore(t, 100)
+	multi := &paradise.Policy{Modules: []*paradise.PolicyModule{
+		paradise.DefaultPolicyModule("A", store.Catalog().MustLookup("d")),
+		paradise.DefaultPolicyModule("B", store.Catalog().MustLookup("d")),
+	}}
+	sess, err := paradise.Open(store, paradise.WithPolicy(multi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Process(context.Background(), "SELECT x FROM d"); !errors.Is(err, paradise.ErrUsage) {
+		t.Fatalf("ambiguous module error = %v, want ErrUsage", err)
+	}
+	if _, err := sess.Process(context.Background(), "SELECT x FROM d", paradise.Module("A")); err != nil {
+		t.Fatalf("explicit module: %v", err)
+	}
+}
+
+// TestJournalCoversCursorQueries: streamed queries are journaled with the
+// delivered row count, and denials are recorded for both paths.
+func TestJournalCoversCursorQueries(t *testing.T) {
+	journal := paradise.NewJournal()
+	sess, err := paradise.Open(testStore(t, 1000),
+		paradise.WithPolicy(paradise.Figure4Policy()),
+		paradise.WithJournal(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cur, err := sess.Query(ctx, "SELECT x, y FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainCursor(t, cur)
+	cur.Close()
+	if journal.Len() != 1 {
+		t.Fatalf("journal has %d entries, want 1", journal.Len())
+	}
+	e := journal.All()[0]
+	if e.Denied || e.ResultRows != len(rows) {
+		t.Fatalf("journal entry = %+v, want %d rows, not denied", e, len(rows))
+	}
+
+	if _, err := sess.Query(ctx, "SELECT user FROM d"); err == nil {
+		t.Fatal("denied query must fail")
+	}
+	if len(journal.Denials()) != 1 {
+		t.Fatalf("journal has %d denials, want 1", len(journal.Denials()))
+	}
+
+	// An early-closed cursor journals the produced cardinality (what a
+	// full drain delivers), matching Process on the same query.
+	cur, err = sess.Query(ctx, "SELECT x, y FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Next()
+	cur.Close()
+	early := journal.All()[journal.Len()-1]
+	if early.ResultRows != len(rows) {
+		t.Fatalf("early-close journal rows = %d, want %d", early.ResultRows, len(rows))
+	}
+
+	// A cancelled query is a failure, not a policy denial.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	cur, err = sess.Query(cctx, "SELECT x, y FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur.Next() {
+	}
+	cur.Close()
+	last := journal.All()[journal.Len()-1]
+	if last.Denied || !last.Failed {
+		t.Fatalf("cancelled query journaled as denied=%v failed=%v, want failure", last.Denied, last.Failed)
+	}
+	if len(journal.Denials()) != 1 {
+		t.Fatalf("cancellation polluted the denial log: %d denials", len(journal.Denials()))
+	}
+}
+
+// TestUnrestrictedSessionPassThrough: without WithPolicy the session runs
+// queries untransformed.
+func TestUnrestrictedSessionPassThrough(t *testing.T) {
+	sess, err := paradise.Open(testStore(t, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Process(context.Background(), "SELECT x, y FROM d WHERE z < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OriginalSQL != out.RewrittenSQL {
+		t.Fatalf("unrestricted session rewrote the query:\n  %s\n  %s",
+			out.OriginalSQL, out.RewrittenSQL)
+	}
+}
+
+// TestFacadeMatchesSyntheticWorkload cross-checks the facade against the
+// reproduction harness database (the Figure 3 workload) for a non-trivial
+// plan with window functions in the mix.
+func TestFacadeMatchesSyntheticWorkload(t *testing.T) {
+	store := experiments.SyntheticDB(4000, 2016)
+	sess, err := paradise.Open(store, paradise.WithPolicy(paradise.Figure4Policy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cur, err := sess.Query(ctx, experiments.OriginalUseCaseQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainCursor(t, cur)
+	stats, err := cur.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Process(ctx, experiments.OriginalUseCaseQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, rows, out.Result.Rows)
+	sameStats(t, stats, out.Net)
+	if stats.EgressBytes >= stats.RawBytes {
+		t.Fatalf("no reduction: egress %d >= raw %d", stats.EgressBytes, stats.RawBytes)
+	}
+}
+
+// TestRunNaiveBaseline: the naive baseline ships the raw data, so the
+// privacy-aware path must beat it.
+func TestRunNaiveBaseline(t *testing.T) {
+	sess, err := paradise.Open(testStore(t, 1000),
+		paradise.WithPolicy(paradise.Figure4Policy()),
+		paradise.WithDefaultModule("ActionFilter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const sql = "SELECT x, y, z FROM d WHERE x > y AND z < 2"
+	naive, err := sess.RunNaive(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Process(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Net.EgressBytes >= naive.EgressBytes {
+		t.Fatalf("fragmented egress %d >= naive egress %d", out.Net.EgressBytes, naive.EgressBytes)
+	}
+}
+
+func BenchmarkCursorStream(b *testing.B) {
+	sess, err := paradise.Open(testStore(b, 10_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := sess.Query(ctx, "SELECT x, y FROM d WHERE z < 2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for cur.Next() {
+			n++
+		}
+		if err := cur.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal(fmt.Errorf("empty stream"))
+		}
+	}
+}

@@ -32,6 +32,10 @@ type Entry struct {
 	Denied bool `json:"denied,omitempty"`
 	// DenyReason carries the refusal cause.
 	DenyReason string `json:"deny_reason,omitempty"`
+	// Failed marks queries that errored for non-policy reasons
+	// (cancellation, execution failure); FailReason carries the cause.
+	Failed     bool   `json:"failed,omitempty"`
+	FailReason string `json:"fail_reason,omitempty"`
 	// RawBytes and EgressBytes quantify the Figure 3 reduction.
 	RawBytes    int `json:"raw_bytes"`
 	EgressBytes int `json:"egress_bytes"`

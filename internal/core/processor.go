@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -171,37 +172,49 @@ type Outcome struct {
 }
 
 // Process runs the full Figure 2 pipeline for a SQL query under the named
-// policy module.
-func (p *Processor) Process(sql, moduleID string) (*Outcome, error) {
+// policy module. The whole vertical — rewrite evaluation, fragment chain,
+// storage scans — is bound to ctx; cancellation is checked per batch.
+func (p *Processor) Process(ctx context.Context, sql, moduleID string) (*Outcome, error) {
 	sel, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return p.ProcessSelect(sel, moduleID)
+	return p.ProcessSelect(ctx, sel, moduleID)
 }
 
 // ProcessSelect is Process for an already-parsed statement.
-func (p *Processor) ProcessSelect(sel *sqlparser.Select, moduleID string) (*Outcome, error) {
-	out, err := p.processSelect(sel, moduleID)
+func (p *Processor) ProcessSelect(ctx context.Context, sel *sqlparser.Select, moduleID string) (*Outcome, error) {
+	out, err := p.processSelect(ctx, sel, moduleID)
 	if p.journal != nil {
-		p.journal.Append(journalEntry(sel, moduleID, out, err))
+		rows := 0
+		if err == nil {
+			rows = len(out.Result.Rows)
+		}
+		p.journal.Append(journalEntry(sel, moduleID, out, rows, err))
 	}
 	return out, err
 }
 
 // journalEntry builds the audit record for one processed (or denied) query.
-func journalEntry(sel *sqlparser.Select, moduleID string, out *Outcome, err error) audit.Entry {
+// Policy refusals are recorded as denials; other errors (cancellation,
+// execution failure) as failures, so the denial log stays meaningful.
+func journalEntry(sel *sqlparser.Select, moduleID string, out *Outcome, resultRows int, err error) audit.Entry {
 	e := audit.Entry{Module: moduleID, OriginalSQL: sel.SQL()}
 	if err != nil {
-		e.Denied = true
-		e.DenyReason = err.Error()
+		if errors.Is(err, rewrite.ErrDenied) {
+			e.Denied = true
+			e.DenyReason = err.Error()
+		} else {
+			e.Failed = true
+			e.FailReason = err.Error()
+		}
 		return e
 	}
 	e.RewrittenSQL = out.RewrittenSQL
 	e.RewriteSummary = out.RewriteReport.Summary()
 	e.RawBytes = out.Net.RawBytes
 	e.EgressBytes = out.Net.EgressBytes
-	e.ResultRows = len(out.Result.Rows)
+	e.ResultRows = resultRows
 	e.Satisfactory = out.Satisfactory
 	if out.Anon != nil {
 		e.AnonMethod = string(out.Anon.Method)
@@ -210,10 +223,13 @@ func journalEntry(sel *sqlparser.Select, moduleID string, out *Outcome, err erro
 	return e
 }
 
-func (p *Processor) processSelect(sel *sqlparser.Select, moduleID string) (*Outcome, error) {
+// prepare runs the preprocessing common to the materialized and streaming
+// paths: module lookup, policy rewrite, satisfaction check, fragmentation.
+// The returned Outcome carries everything known before execution.
+func (p *Processor) prepare(ctx context.Context, sel *sqlparser.Select, moduleID string) (*Outcome, *fragment.Plan, error) {
 	mod, ok := p.pol.ModuleByID(moduleID)
 	if !ok {
-		return nil, fmt.Errorf("%w: no policy module %q", ErrProcessor, moduleID)
+		return nil, nil, fmt.Errorf("%w: no policy module %q", ErrProcessor, moduleID)
 	}
 
 	out := &Outcome{OriginalSQL: sel.SQL(), Satisfactory: true, InfoLoss: -1}
@@ -221,27 +237,37 @@ func (p *Processor) processSelect(sel *sqlparser.Select, moduleID string) (*Outc
 	// --- Preprocessing: policy rewrite (§3.1). ---
 	rewritten, rep, err := p.rewriter.Rewrite(sel, mod)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out.RewrittenSQL = rewritten.SQL()
 	out.RewriteReport = rep
 
 	// Satisfaction check: compare original and rewritten answers.
 	if p.maxLoss > 0 {
-		loss, err := p.infoLoss(sel, rewritten)
+		loss, err := p.infoLoss(ctx, sel, rewritten)
 		if err == nil {
 			out.InfoLoss = loss
 			out.Satisfactory = loss <= p.maxLoss
 		}
 	}
 
-	// --- Vertical fragmentation and chain execution (§4). ---
+	// --- Vertical fragmentation (§4). ---
 	plan, err := fragment.New().Fragment(rewritten)
+	if err != nil {
+		return nil, nil, err
+	}
+	out.Plan = plan
+	return out, plan, nil
+}
+
+func (p *Processor) processSelect(ctx context.Context, sel *sqlparser.Select, moduleID string) (*Outcome, error) {
+	out, plan, err := p.prepare(ctx, sel, moduleID)
 	if err != nil {
 		return nil, err
 	}
-	out.Plan = plan
-	stats, err := network.Run(p.topo, plan, p.store)
+
+	// --- Chain execution (§4). ---
+	stats, err := network.Run(ctx, p.topo, plan, p.store)
 	if err != nil {
 		return nil, err
 	}
@@ -261,13 +287,13 @@ func (p *Processor) processSelect(sel *sqlparser.Select, moduleID string) (*Outc
 // infoLoss measures the §3.1 information-loss estimate: the maximum KL
 // divergence over the numeric columns shared by the original and rewritten
 // answers.
-func (p *Processor) infoLoss(orig, rewritten *sqlparser.Select) (float64, error) {
+func (p *Processor) infoLoss(ctx context.Context, orig, rewritten *sqlparser.Select) (float64, error) {
 	eng := engine.New(p.store)
-	or, err := eng.Select(orig)
+	or, err := eng.Select(ctx, orig)
 	if err != nil {
 		return 0, err
 	}
-	rr, err := eng.Select(rewritten)
+	rr, err := eng.Select(ctx, rewritten)
 	if err != nil {
 		return 0, err
 	}
@@ -435,18 +461,18 @@ type PipelineOutcome struct {
 // the SQLable part is extracted ([Weu16]), privacy-rewritten, fragmented and
 // executed down the chain; the residual R code (filterByClass) runs on the
 // cloud against the shipped d′.
-func (p *Processor) ProcessPipeline(pl recognition.Node, moduleID string) (*PipelineOutcome, error) {
+func (p *Processor) ProcessPipeline(ctx context.Context, pl recognition.Node, moduleID string) (*PipelineOutcome, error) {
 	sel, ok := recognition.ExtractSQL(pl)
 	if !ok {
 		return nil, fmt.Errorf("%w: pipeline has no SQLable part", ErrProcessor)
 	}
-	out, err := p.ProcessSelect(sel, moduleID)
+	out, err := p.ProcessSelect(ctx, sel, moduleID)
 	if err != nil {
 		return nil, err
 	}
 	residual := recognition.Residual(pl, "d'")
 	frames := map[string]*engine.Result{"d'": out.Result}
-	final, err := recognition.Run(residual, engine.New(p.store), frames)
+	final, err := recognition.Run(ctx, residual, engine.New(p.store), frames)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -42,7 +43,7 @@ func Figure4PolicyForTest() *policy.Policy { return policy.Figure4() }
 
 func TestProcessPaperQuery(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{})
-	out, err := p.Process(
+	out, err := p.Process(context.Background(),
 		"SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM (SELECT x, y, z, t FROM d)",
 		"ActionFilter")
 	if err != nil {
@@ -77,11 +78,11 @@ func TestProcessPaperQuery(t *testing.T) {
 func TestProcessorUnchangedByStreamingExecutor(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{})
 	const q = "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM (SELECT x, y, z, t FROM d)"
-	a, err := p.Process(q, "ActionFilter")
+	a, err := p.Process(context.Background(), q, "ActionFilter")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.Process(q, "ActionFilter")
+	b, err := p.Process(context.Background(), q, "ActionFilter")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestProcessorUnchangedByStreamingExecutor(t *testing.T) {
 	}
 	// The chain's pre-anonymization answer matches the rewritten query run
 	// monolithically over the store.
-	direct, err := engine.New(p.store).Query(a.RewrittenSQL)
+	direct, err := engine.New(p.store).Query(context.Background(), a.RewrittenSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestProcessorUnchangedByStreamingExecutor(t *testing.T) {
 
 func TestProcessDeniedQuery(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{})
-	_, err := p.Process("SELECT user FROM d", "ActionFilter")
+	_, err := p.Process(context.Background(), "SELECT user FROM d", "ActionFilter")
 	if err == nil {
 		t.Fatal("user-only query must be denied")
 	}
@@ -126,7 +127,7 @@ func TestProcessDeniedQuery(t *testing.T) {
 
 func TestProcessUnknownModule(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{})
-	if _, err := p.Process("SELECT x FROM d", "NoSuchModule"); !errors.Is(err, ErrProcessor) {
+	if _, err := p.Process(context.Background(), "SELECT x FROM d", "NoSuchModule"); !errors.Is(err, ErrProcessor) {
 		t.Fatalf("want ErrProcessor, got %v", err)
 	}
 }
@@ -135,7 +136,7 @@ func TestProcessWithMondrian(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{
 		Method: AnonMondrian, K: 5, QuasiIdentifiers: []string{"x", "y"}, Seed: 1,
 	})
-	out, err := p.Process("SELECT x, y, t FROM d", "ActionFilter")
+	out, err := p.Process(context.Background(), "SELECT x, y, t FROM d", "ActionFilter")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestProcessWithDP(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{
 		Method: AnonDifferential, Epsilon: 1, Sensitivity: 0.5, Seed: 7,
 	})
-	out, err := p.Process("SELECT x, y, t FROM d", "ActionFilter")
+	out, err := p.Process(context.Background(), "SELECT x, y, t FROM d", "ActionFilter")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestProcessWithSlicing(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{
 		Method: AnonSlicing, BucketSize: 4, QuasiIdentifiers: []string{"x", "y"}, Seed: 3,
 	})
-	out, err := p.Process("SELECT x, y, t FROM d", "ActionFilter")
+	out, err := p.Process(context.Background(), "SELECT x, y, t FROM d", "ActionFilter")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestProcessPipelineEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := p.ProcessPipeline(pl, "ActionFilter")
+	out, err := p.ProcessPipeline(context.Background(), pl, "ActionFilter")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestProcessPipelineEndToEnd(t *testing.T) {
 func TestInfoLossSatisfactionCheck(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{})
 	// A query the policy transforms heavily: info loss measured.
-	out, err := p.Process("SELECT x, y, t FROM d", "ActionFilter")
+	out, err := p.Process(context.Background(), "SELECT x, y, t FROM d", "ActionFilter")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestResidualRisk(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{})
 	// The wide pipeline query releases (x, y, zavg, t, trend) after the
 	// policy rewrite.
-	out, err := p.Process(
+	out, err := p.Process(context.Background(),
 		"SELECT x, y, z, t, regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) AS trend FROM (SELECT x, y, z, t FROM d)",
 		"ActionFilter")
 	if err != nil {
@@ -292,7 +293,7 @@ func TestLDiversityPostprocessing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := p.Process("SELECT x, y, z, t FROM d", "Permissive")
+	out, err := p.Process(context.Background(), "SELECT x, y, z, t FROM d", "Permissive")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,10 +323,10 @@ func TestJournalRecordsQueriesAndDenials(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Process("SELECT x, y, t FROM d", "ActionFilter"); err != nil {
+	if _, err := p.Process(context.Background(), "SELECT x, y, t FROM d", "ActionFilter"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Process("SELECT user FROM d", "ActionFilter"); err == nil {
+	if _, err := p.Process(context.Background(), "SELECT user FROM d", "ActionFilter"); err == nil {
 		t.Fatal("user query should be denied")
 	}
 	if j.Len() != 2 {
@@ -345,7 +346,7 @@ func TestJournalRecordsQueriesAndDenials(t *testing.T) {
 
 func TestUnknownAnonMethod(t *testing.T) {
 	p, _ := apartmentProcessor(t, AnonConfig{Method: AnonMethod("bogus")})
-	if _, err := p.Process("SELECT x, y, t FROM d", "ActionFilter"); !errors.Is(err, ErrProcessor) {
+	if _, err := p.Process(context.Background(), "SELECT x, y, t FROM d", "ActionFilter"); !errors.Is(err, ErrProcessor) {
 		t.Fatal("unknown method must fail")
 	}
 }

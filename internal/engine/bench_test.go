@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -51,7 +52,7 @@ func benchQuery(b *testing.B, sql string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Query(sql); err != nil {
+		if _, err := eng.Query(context.Background(), sql); err != nil {
 			b.Fatal(err)
 		}
 	}

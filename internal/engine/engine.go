@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -50,17 +51,17 @@ type Engine struct {
 func New(src Source) *Engine { return &Engine{src: src} }
 
 // Query parses and executes a SQL string.
-func (e *Engine) Query(sql string) (*Result, error) {
+func (e *Engine) Query(ctx context.Context, sql string) (*Result, error) {
 	sel, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Select(sel)
+	return e.Select(ctx, sel)
 }
 
 // Select executes a parsed statement, materializing the full result.
-func (e *Engine) Select(sel *sqlparser.Select) (*Result, error) {
-	rel, it, err := e.Open(sel)
+func (e *Engine) Select(ctx context.Context, sel *sqlparser.Select) (*Result, error) {
+	rel, it, err := e.Open(ctx, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -77,12 +78,17 @@ func (e *Engine) Select(sel *sqlparser.Select) (*Result, error) {
 // stops upstream scans. Intermediate memory is bounded by the batch size
 // except at pipeline breakers (GROUP BY, windows, ORDER BY), which buffer
 // their own input.
-func (e *Engine) Open(sel *sqlparser.Select) (*schema.Relation, schema.RowIterator, error) {
+//
+// The pipeline is bound to ctx at every scan: cancellation is checked per
+// batch, so a cancelled consumer stops pulling from storage within one
+// batch (including inside pipeline breakers, which drain their input
+// through the same ctx-bound scans).
+func (e *Engine) Open(ctx context.Context, sel *sqlparser.Select) (*schema.Relation, schema.RowIterator, error) {
 	if sel.Where != nil && sqlparser.ContainsAggregate(sel.Where) {
 		return nil, nil, fmt.Errorf("%w: aggregate in WHERE clause", ErrQuery)
 	}
 
-	b, it, err := e.openFrom(sel)
+	b, it, err := e.openFrom(ctx, sel)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,7 +99,7 @@ func (e *Engine) Open(sel *sqlparser.Select) (*schema.Relation, schema.RowIterat
 		if err != nil {
 			return nil, nil, err
 		}
-		return rel, schema.IterateRows(rows, schema.DefaultBatchSize), nil
+		return rel, schema.WithContext(ctx, schema.IterateRows(rows, schema.DefaultBatchSize)), nil
 	}
 
 	p, err := buildProjector(sel, b)
@@ -112,7 +118,10 @@ func (e *Engine) Open(sel *sqlparser.Select) (*schema.Relation, schema.RowIterat
 		}
 		out = &limitIter{src: out, remaining: n}
 	}
-	return p.rel, out, nil
+	// Bind the pipeline head to ctx as well: sources are contracted to
+	// check ctx inside their scans, but this guarantees cancellation for
+	// any Source implementation (overlays, fan-in shards, adapters).
+	return p.rel, schema.WithContext(ctx, out), nil
 }
 
 // evalBroken is the pipeline-breaker path: grouping, window functions and
@@ -183,11 +192,11 @@ func itemsContainWindow(sel *sqlparser.Select) bool {
 // openFrom opens the FROM clause as a batch pipeline and applies the WHERE
 // filter — pushed into the scan when FROM is a single table, wrapped as a
 // filter operator otherwise.
-func (e *Engine) openFrom(sel *sqlparser.Select) (*binding, schema.RowIterator, error) {
+func (e *Engine) openFrom(ctx context.Context, sel *sqlparser.Select) (*binding, schema.RowIterator, error) {
 	if tn, ok := sel.From.(*sqlparser.TableName); ok {
-		return e.openTableScan(tn, sel)
+		return e.openTableScan(ctx, tn, sel)
 	}
-	b, it, err := e.openRef(sel.From)
+	b, it, err := e.openRef(ctx, sel.From)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -200,7 +209,7 @@ func (e *Engine) openFrom(sel *sqlparser.Select) (*binding, schema.RowIterator, 
 // openTableScan opens a single-table FROM with the WHERE predicate compiled
 // to a row closure and the set of referenced columns pushed down into the
 // source's scan. The returned binding reflects the projected layout.
-func (e *Engine) openTableScan(tn *sqlparser.TableName, sel *sqlparser.Select) (*binding, schema.RowIterator, error) {
+func (e *Engine) openTableScan(ctx context.Context, tn *sqlparser.TableName, sel *sqlparser.Select) (*binding, schema.RowIterator, error) {
 	rel, err := RelationSchema(e.src, tn.Name)
 	if err != nil {
 		return nil, nil, err
@@ -225,7 +234,7 @@ func (e *Engine) openTableScan(tn *sqlparser.TableName, sel *sqlparser.Select) (
 		sc.Columns = cols
 		b = bindingFromRelation(rel.Project(cols), qual)
 	}
-	it, err := OpenScan(e.src, tn.Name, sc)
+	it, err := OpenScan(ctx, e.src, tn.Name, sc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -233,7 +242,7 @@ func (e *Engine) openTableScan(tn *sqlparser.TableName, sel *sqlparser.Select) (
 }
 
 // openRef opens one FROM item (without any WHERE handling).
-func (e *Engine) openRef(t sqlparser.TableRef) (*binding, schema.RowIterator, error) {
+func (e *Engine) openRef(ctx context.Context, t sqlparser.TableRef) (*binding, schema.RowIterator, error) {
 	switch x := t.(type) {
 	case nil:
 		// SELECT without FROM: one empty row.
@@ -247,19 +256,19 @@ func (e *Engine) openRef(t sqlparser.TableRef) (*binding, schema.RowIterator, er
 		if x.Alias != "" {
 			qual = x.Alias
 		}
-		it, err := OpenScan(e.src, x.Name, schema.Scan{})
+		it, err := OpenScan(ctx, e.src, x.Name, schema.Scan{})
 		if err != nil {
 			return nil, nil, err
 		}
 		return bindingFromRelation(rel, qual), it, nil
 	case *sqlparser.Subquery:
-		rel, it, err := e.Open(x.Select)
+		rel, it, err := e.Open(ctx, x.Select)
 		if err != nil {
 			return nil, nil, err
 		}
 		return bindingFromRelation(rel, x.Alias), it, nil
 	case *sqlparser.Join:
-		return e.openJoin(x)
+		return e.openJoin(ctx, x)
 	default:
 		return nil, nil, fmt.Errorf("%w: unsupported FROM item %T", ErrQuery, t)
 	}
@@ -268,12 +277,12 @@ func (e *Engine) openRef(t sqlparser.TableRef) (*binding, schema.RowIterator, er
 // openJoin builds a streaming join: the right (build) side is materialized,
 // the left (probe) side streams batch-at-a-time. Equi-joins on plain column
 // references use a hash index; everything else falls back to nested loops.
-func (e *Engine) openJoin(j *sqlparser.Join) (*binding, schema.RowIterator, error) {
-	lb, lit, err := e.openRef(j.Left)
+func (e *Engine) openJoin(ctx context.Context, j *sqlparser.Join) (*binding, schema.RowIterator, error) {
+	lb, lit, err := e.openRef(ctx, j.Left)
 	if err != nil {
 		return nil, nil, err
 	}
-	rb, rit, err := e.openRef(j.Right)
+	rb, rit, err := e.openRef(ctx, j.Right)
 	if err != nil {
 		lit.Close()
 		return nil, nil, err

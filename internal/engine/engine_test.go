@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -68,7 +69,7 @@ func testStore(t testing.TB) *storage.Store {
 
 func mustQuery(t testing.TB, e *Engine, sql string) *Result {
 	t.Helper()
-	res, err := e.Query(sql)
+	res, err := e.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatalf("Query(%q): %v", sql, err)
 	}
@@ -540,7 +541,7 @@ func TestErrorCases(t *testing.T) {
 		"SELECT x FROM d WHERE x > 'text'",
 	}
 	for _, q := range bad {
-		if _, err := e.Query(q); err == nil {
+		if _, err := e.Query(context.Background(), q); err == nil {
 			t.Errorf("Query(%q) should fail", q)
 		}
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"paradise/internal/schema"
 	"paradise/internal/sqlparser"
 )
@@ -21,9 +23,10 @@ type BatchSource interface {
 	// RelationSchema returns the schema of the named relation without
 	// touching its rows.
 	RelationSchema(name string) (*schema.Relation, error)
-	// OpenScan opens a batch scan. The scan's Filter sees full-width rows;
-	// Columns projects after filtering.
-	OpenScan(name string, sc schema.Scan) (schema.RowIterator, error)
+	// OpenScan opens a batch scan bound to ctx. The scan's Filter sees
+	// full-width rows; Columns projects after filtering. Implementations
+	// must check ctx per batch so cancellation stops the scan promptly.
+	OpenScan(ctx context.Context, name string, sc schema.Scan) (schema.RowIterator, error)
 }
 
 // RelationSchema returns the schema of a named relation, avoiding row
@@ -37,16 +40,16 @@ func RelationSchema(src Source, name string) (*schema.Relation, error) {
 }
 
 // OpenScan opens a streaming scan over any Source, adapting sources that
-// only materialize with an in-memory scan.
-func OpenScan(src Source, name string, sc schema.Scan) (schema.RowIterator, error) {
+// only materialize with an in-memory scan bound to ctx.
+func OpenScan(ctx context.Context, src Source, name string, sc schema.Scan) (schema.RowIterator, error) {
 	if bs, ok := src.(BatchSource); ok {
-		return bs.OpenScan(name, sc)
+		return bs.OpenScan(ctx, name, sc)
 	}
 	_, rows, err := src.Relation(name)
 	if err != nil {
 		return nil, err
 	}
-	return schema.ScanRows(rows, sc), nil
+	return schema.FilterProject(schema.WithContext(ctx, schema.IterateRows(rows, sc.BatchSize)), sc), nil
 }
 
 // filterIter drops rows failing a predicate, for filters that could not be

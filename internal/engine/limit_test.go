@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
 	"paradise/internal/storage"
 )
 
@@ -22,8 +25,8 @@ func (c *countingSource) RelationSchema(name string) (*schema.Relation, error) {
 	return c.st.RelationSchema(name)
 }
 
-func (c *countingSource) OpenScan(name string, sc schema.Scan) (schema.RowIterator, error) {
-	it, err := c.st.OpenScan(name, sc)
+func (c *countingSource) OpenScan(ctx context.Context, name string, sc schema.Scan) (schema.RowIterator, error) {
+	it, err := c.st.OpenScan(ctx, name, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +51,7 @@ func (c *countingIter) Close() { c.src.Close() }
 // storage instead of scanning it fully.
 func TestLimitStopsScanEarly(t *testing.T) {
 	src := &countingSource{st: benchStore(t, 10_000)}
-	res, err := New(src).Query("SELECT x, y FROM d LIMIT 10")
+	res, err := New(src).Query(context.Background(), "SELECT x, y FROM d LIMIT 10")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +68,7 @@ func TestLimitStopsScanEarly(t *testing.T) {
 // derived-table pipeline — the inner scan stops too.
 func TestLimitStopsThroughSubquery(t *testing.T) {
 	src := &countingSource{st: benchStore(t, 10_000)}
-	res, err := New(src).Query("SELECT s FROM (SELECT x + y AS s FROM d) LIMIT 7")
+	res, err := New(src).Query(context.Background(), "SELECT s FROM (SELECT x + y AS s FROM d) LIMIT 7")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +85,7 @@ func TestLimitStopsThroughSubquery(t *testing.T) {
 // result is the true top-n, not the first n.
 func TestOrderByLimitSortsFully(t *testing.T) {
 	src := &countingSource{st: benchStore(t, 10_000)}
-	res, err := New(src).Query("SELECT x FROM d ORDER BY x DESC LIMIT 3")
+	res, err := New(src).Query(context.Background(), "SELECT x FROM d ORDER BY x DESC LIMIT 3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +102,7 @@ func TestOrderByLimitSortsFully(t *testing.T) {
 		}
 	}
 	// Cross-check against the full sorted result.
-	full, err := New(src.st).Query("SELECT x FROM d ORDER BY x DESC")
+	full, err := New(src.st).Query(context.Background(), "SELECT x FROM d ORDER BY x DESC")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +119,11 @@ func TestOrderByLimitSortsFully(t *testing.T) {
 // than the whole table when matches come early.
 func TestLimitWithFilterKeepsSemantics(t *testing.T) {
 	st := benchStore(t, 10_000)
-	limited, err := New(st).Query("SELECT x, z FROM d WHERE z < 1.9 LIMIT 20")
+	limited, err := New(st).Query(context.Background(), "SELECT x, z FROM d WHERE z < 1.9 LIMIT 20")
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := New(st).Query("SELECT x, z FROM d WHERE z < 1.9")
+	full, err := New(st).Query(context.Background(), "SELECT x, z FROM d WHERE z < 1.9")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +141,7 @@ func TestLimitWithFilterKeepsSemantics(t *testing.T) {
 // applied inside the scan — the schema and values still match.
 func TestProjectionPushdownIntoScan(t *testing.T) {
 	st := benchStore(t, 100)
-	res, err := New(st).Query("SELECT cell FROM d WHERE t < 10")
+	res, err := New(st).Query(context.Background(), "SELECT cell FROM d WHERE t < 10")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,5 +155,79 @@ func TestProjectionPushdownIntoScan(t *testing.T) {
 		if len(r) != 1 {
 			t.Fatalf("projected row has %d values", len(r))
 		}
+	}
+}
+
+// TestCancelStopsScanWithinOneBatch is the streaming-cancellation property:
+// cancelling the context mid-stream stops the storage scan within one
+// batch, no matter how much of the relation remains.
+func TestCancelStopsScanWithinOneBatch(t *testing.T) {
+	src := &countingSource{st: benchStore(t, 10_000)}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sel, err := sqlparser.Parse("SELECT x, y FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, it, err := New(src).Open(ctx, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	if _, err := it.Next(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	cancel()
+	if _, err := it.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Next = %v, want context.Canceled", err)
+	}
+	if src.scanned > 2*schema.DefaultBatchSize {
+		t.Fatalf("cancelled scan pulled %d rows from storage, want <= %d",
+			src.scanned, 2*schema.DefaultBatchSize)
+	}
+}
+
+// TestCancelStopsBreakerDrain: pipeline breakers (GROUP BY) drain their
+// input through the same ctx-bound scans, so cancellation interrupts even
+// the materializing paths mid-scan.
+func TestCancelStopsBreakerDrain(t *testing.T) {
+	src := &countingSource{st: benchStore(t, 10_000)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the breaker starts draining
+
+	sel, err := sqlparser.Parse("SELECT x, AVG(z) FROM d GROUP BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := New(src).Open(ctx, sel); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Open under cancelled ctx = %v, want context.Canceled", err)
+	}
+	if src.scanned > schema.DefaultBatchSize {
+		t.Fatalf("cancelled breaker pulled %d rows from storage", src.scanned)
+	}
+}
+
+// TestPipelineCloseIdempotent: closing an engine pipeline twice is safe,
+// including the LIMIT iterator, which already closed its upstream eagerly
+// when the limit was reached.
+func TestPipelineCloseIdempotent(t *testing.T) {
+	src := &countingSource{st: benchStore(t, 1_000)}
+	sel, err := sqlparser.Parse("SELECT x, y FROM d LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, it, err := New(src).Open(context.Background(), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	it.Close()
+	if b, err := it.Next(); b != nil || err != nil {
+		t.Fatalf("Next after double Close = %v, %v; want nil, nil", b, err)
 	}
 }

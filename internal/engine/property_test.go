@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,15 +42,15 @@ func TestPropertyFilterMonotone(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		st := randomStore(rng, 50+int(lim))
 		eng := New(st)
-		all, err := eng.Query("SELECT * FROM d")
+		all, err := eng.Query(context.Background(), "SELECT * FROM d")
 		if err != nil {
 			return false
 		}
-		one, err := eng.Query("SELECT * FROM d WHERE a > 3")
+		one, err := eng.Query(context.Background(), "SELECT * FROM d WHERE a > 3")
 		if err != nil {
 			return false
 		}
-		two, err := eng.Query("SELECT * FROM d WHERE a > 3 AND b < 7")
+		two, err := eng.Query(context.Background(), "SELECT * FROM d WHERE a > 3 AND b < 7")
 		if err != nil {
 			return false
 		}
@@ -67,11 +68,11 @@ func TestPropertyGroupPartition(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		st := randomStore(rng, 120)
 		eng := New(st)
-		total, err := eng.Query("SELECT COUNT(*) FROM d")
+		total, err := eng.Query(context.Background(), "SELECT COUNT(*) FROM d")
 		if err != nil {
 			return false
 		}
-		groups, err := eng.Query("SELECT c, COUNT(*) AS n FROM d GROUP BY c")
+		groups, err := eng.Query(context.Background(), "SELECT c, COUNT(*) AS n FROM d GROUP BY c")
 		if err != nil {
 			return false
 		}
@@ -92,7 +93,7 @@ func TestPropertyAggregateConsistency(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		st := randomStore(rng, 80)
 		eng := New(st)
-		res, err := eng.Query("SELECT MIN(a), MAX(a), AVG(a), SUM(a), COUNT(a) FROM d")
+		res, err := eng.Query(context.Background(), "SELECT MIN(a), MAX(a), AVG(a), SUM(a), COUNT(a) FROM d")
 		if err != nil {
 			return false
 		}
@@ -113,11 +114,11 @@ func TestPropertyWindowCumulative(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		st := randomStore(rng, 60)
 		eng := New(st)
-		all, err := eng.Query("SELECT SUM(a) FROM d")
+		all, err := eng.Query(context.Background(), "SELECT SUM(a) FROM d")
 		if err != nil {
 			return false
 		}
-		win, err := eng.Query("SELECT SUM(a) OVER (ORDER BY c, a, b) AS rs FROM d ORDER BY rs")
+		win, err := eng.Query(context.Background(), "SELECT SUM(a) OVER (ORDER BY c, a, b) AS rs FROM d ORDER BY rs")
 		if err != nil {
 			return false
 		}
@@ -138,11 +139,11 @@ func TestPropertyDistinct(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		st := randomStore(rng, 100)
 		eng := New(st)
-		plain, err := eng.Query("SELECT a, b FROM d")
+		plain, err := eng.Query(context.Background(), "SELECT a, b FROM d")
 		if err != nil {
 			return false
 		}
-		dist, err := eng.Query("SELECT DISTINCT a, b FROM d")
+		dist, err := eng.Query(context.Background(), "SELECT DISTINCT a, b FROM d")
 		if err != nil {
 			return false
 		}
@@ -172,7 +173,7 @@ func TestPropertyOrderLimit(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		st := randomStore(rng, 70)
 		eng := New(st)
-		res, err := eng.Query(fmt.Sprintf("SELECT a FROM d ORDER BY a DESC LIMIT %d", lim))
+		res, err := eng.Query(context.Background(), fmt.Sprintf("SELECT a FROM d ORDER BY a DESC LIMIT %d", lim))
 		if err != nil {
 			return false
 		}
@@ -198,11 +199,11 @@ func TestPropertySubqueryTransparent(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		st := randomStore(rng, 90)
 		eng := New(st)
-		direct, err := eng.Query("SELECT a, b FROM d WHERE a > 2")
+		direct, err := eng.Query(context.Background(), "SELECT a, b FROM d WHERE a > 2")
 		if err != nil {
 			return false
 		}
-		nested, err := eng.Query("SELECT a, b FROM (SELECT a, b, c FROM d) WHERE a > 2")
+		nested, err := eng.Query(context.Background(), "SELECT a, b FROM (SELECT a, b, c FROM d) WHERE a > 2")
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -154,7 +155,7 @@ func UseCase(n int, seed int64) (*UseCaseResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats, err := network.Run(network.DefaultApartment(), plan, st)
+	stats, err := network.Run(context.Background(), network.DefaultApartment(), plan, st)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +195,7 @@ func UseCase(n int, seed int64) (*UseCaseResult, error) {
 	}
 
 	// Equivalence with the monolithic evaluation.
-	direct, err := engine.New(st).Select(sel)
+	direct, err := engine.New(st).Select(context.Background(), sel)
 	if err != nil {
 		return nil, err
 	}
@@ -420,7 +421,7 @@ func AblationConditionPlacement(n int, seed int64) ([]PlacementRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats, err := network.Run(topo, plan, st)
+		stats, err := network.Run(context.Background(), topo, plan, st)
 		if err != nil {
 			return nil, err
 		}
@@ -467,7 +468,7 @@ func AblationWeakNode(n int, seed int64) ([]FallbackRow, error) {
 	} {
 		topo := network.DefaultApartment()
 		topo.Nodes[1].MemRows = tc.memRows
-		stats, err := network.Run(topo, plan, st)
+		stats, err := network.Run(context.Background(), topo, plan, st)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -115,7 +116,7 @@ func Table1(n int, seed int64) ([]Table1Row, error) {
 	out := make([]Table1Row, 0, len(probes))
 	for _, p := range probes {
 		start := time.Now()
-		res, err := eng.Query(p.query)
+		res, err := eng.Query(context.Background(), p.query)
 		if err != nil {
 			return nil, fmt.Errorf("table1 probe %q: %w", p.query, err)
 		}
@@ -221,7 +222,7 @@ func Figure2(n int, seed int64) (*Figure2Result, error) {
 	out.Fragment = time.Since(start)
 
 	start = time.Now()
-	stats, err := network.Run(network.DefaultApartment(), plan, st)
+	stats, err := network.Run(context.Background(), network.DefaultApartment(), plan, st)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +231,7 @@ func Figure2(n int, seed int64) (*Figure2Result, error) {
 	start = time.Now()
 	// Anonymize the pre-aggregation appliance output (the raw-est data a
 	// weak node might have to ship, per §3.2): generalize positions.
-	res, err := engine.New(st).Query("SELECT x, y, z, t FROM d WHERE z < 2")
+	res, err := engine.New(st).Query(context.Background(), "SELECT x, y, z, t FROM d WHERE z < 2")
 	if err != nil {
 		return nil, err
 	}
@@ -279,11 +280,11 @@ func Figure3(sizes []int, seed int64) ([]Figure3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		frag, err := network.Run(topo, plan, st)
+		frag, err := network.Run(context.Background(), topo, plan, st)
 		if err != nil {
 			return nil, err
 		}
-		naive, err := network.RunNaive(topo, orig, st)
+		naive, err := network.RunNaive(context.Background(), topo, orig, st)
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +347,7 @@ func Figure3Ladder(n int, seed int64) ([]LadderRow, error) {
 	}
 	var out []LadderRow
 	for _, tc := range topos {
-		stats, err := network.Run(tc.topo, plan, st)
+		stats, err := network.Run(context.Background(), tc.topo, plan, st)
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +355,7 @@ func Figure3Ladder(n int, seed int64) ([]LadderRow, error) {
 	}
 	// Baseline: no home processing at all.
 	orig, _ := sqlparser.Parse(OriginalUseCaseQuery)
-	naive, err := network.RunNaive(network.DefaultApartment(), orig, st)
+	naive, err := network.RunNaive(context.Background(), network.DefaultApartment(), orig, st)
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +390,7 @@ func Figure3FanIn(n int, sensorCounts []int, seed int64) ([]FanInRow, error) {
 	topo := network.DefaultApartment()
 	var out []FanInRow
 	for _, sc := range sensorCounts {
-		stats, err := network.RunFanIn(topo, plan, st, sc)
+		stats, err := network.RunFanIn(context.Background(), topo, plan, st, sc)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -42,7 +43,7 @@ func GoldenPath(dur time.Duration, seed int64) ([]GoldenPathRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw, err := engine.New(st).Query("SELECT user, x, y, z, t FROM d")
+	raw, err := engine.New(st).Query(context.Background(), "SELECT user, x, y, z, t FROM d")
 	if err != nil {
 		return nil, err
 	}

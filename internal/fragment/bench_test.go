@@ -1,6 +1,7 @@
 package fragment
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -51,7 +52,7 @@ func benchExecute(b *testing.B, q string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Execute(plan, st); err != nil {
+		if _, err := Execute(context.Background(), plan, st); err != nil {
 			b.Fatal(err)
 		}
 	}

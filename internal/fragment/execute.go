@@ -1,6 +1,7 @@
 package fragment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -121,7 +122,7 @@ func (s *stageSource) RelationSchema(name string) (*schema.Relation, error) {
 	return engine.RelationSchema(s.base, name)
 }
 
-func (s *stageSource) OpenScan(name string, sc schema.Scan) (schema.RowIterator, error) {
+func (s *stageSource) OpenScan(ctx context.Context, name string, sc schema.Scan) (schema.RowIterator, error) {
 	if name == s.name {
 		it, err := s.take()
 		if err != nil {
@@ -129,7 +130,7 @@ func (s *stageSource) OpenScan(name string, sc schema.Scan) (schema.RowIterator,
 		}
 		return schema.FilterProject(it, sc), nil
 	}
-	return engine.OpenScan(s.base, name, sc)
+	return engine.OpenScan(ctx, s.base, name, sc)
 }
 
 // Relation is the materialized fallback of the engine's Source interface;
@@ -150,15 +151,24 @@ func (s *stageSource) Relation(name string) (*schema.Relation, schema.Rows, erro
 	return s.base.Relation(name)
 }
 
-// Execute runs the plan bottom-up against the base source as one chained
-// batch pipeline: each fragment's iterator feeds the next stage's scan, so
-// no intermediate relation is materialized in full (memory is bounded by
-// batch size plus any pipeline breakers inside a stage). The final result
-// is materialized for the caller, and per-stage row/byte accounting is
-// collected from the streamed batches. Execution is semantically equivalent
-// to evaluating the original query directly (the property tests in this
-// package assert exactly that).
-func Execute(plan *Plan, base engine.Source) (*Execution, error) {
+// Chain is an opened fragment plan: the stages wired into one lazy batch
+// pipeline whose final iterator the caller pulls. Each fragment's iterator
+// feeds the next stage's scan, so no intermediate relation is materialized
+// in full (memory is bounded by batch size plus any pipeline breakers
+// inside a stage). Per-stage row/byte accounting accrues as batches flow
+// and is finalized by Close, which drains every stage — the accounting of a
+// fully drained chain matches the materialized baseline exactly even when
+// the consumer stopped early (LIMIT, cursor Close).
+type Chain struct {
+	rel    *schema.Relation
+	stages []*stageIter
+	closed bool
+}
+
+// OpenChain wires the plan's fragments into one lazy pipeline over the base
+// source, bound to ctx (cancellation is checked per batch at every scan).
+// The caller pulls Iterator and must Close the chain; Close is idempotent.
+func OpenChain(ctx context.Context, plan *Plan, base engine.Source) (*Chain, error) {
 	if len(plan.Fragments) == 0 {
 		return nil, fmt.Errorf("%w: empty plan", ErrFragment)
 	}
@@ -167,7 +177,7 @@ func Execute(plan *Plan, base engine.Source) (*Execution, error) {
 	stages := make([]*stageIter, 0, len(plan.Fragments))
 	var rel *schema.Relation
 	for _, f := range plan.Fragments {
-		stageRel, it, err := engine.New(src).Open(f.Query)
+		stageRel, it, err := engine.New(src).Open(ctx, f.Query)
 		if err != nil {
 			// Abandon the chain. Open's own cleanup may already have
 			// closed (and thereby drained) upstream stages; the stats are
@@ -182,31 +192,69 @@ func Execute(plan *Plan, base engine.Source) (*Execution, error) {
 		stages = append(stages, st)
 		src = &stageSource{base: base, name: f.Output, rel: rel, it: st}
 	}
+	return &Chain{rel: rel, stages: stages}, nil
+}
 
-	last := stages[len(stages)-1]
-	rows, err := schema.DrainIterator(last)
+// Schema is the output relation of the final fragment.
+func (c *Chain) Schema() *schema.Relation { return c.rel }
+
+// Iterator is the final stage's batch iterator. Closing it closes (and
+// drains) the whole chain; prefer Chain.Close, which also surfaces drain
+// errors.
+func (c *Chain) Iterator() schema.RowIterator { return c.stages[len(c.stages)-1] }
+
+// Close drain-closes the whole chain so every stage's accounting is final
+// even if the consumer stopped pulling early, and reports any error the
+// drain hit — a row the materialized baseline would have choked on, or the
+// context cancelled mid-drain. Close is idempotent; later calls return the
+// first result.
+func (c *Chain) Close() error {
+	if !c.closed {
+		c.closed = true
+		for i := len(c.stages) - 1; i >= 0; i-- {
+			c.stages[i].Close()
+		}
+	}
+	for _, st := range c.stages {
+		if st.err != nil {
+			return st.err
+		}
+	}
+	return nil
+}
+
+// Stages returns the per-stage accounting. Only final after Close (or after
+// the final iterator is exhausted and Close confirmed no drain error).
+func (c *Chain) Stages() []StageResult {
+	out := make([]StageResult, len(c.stages))
+	for i, st := range c.stages {
+		out[i] = StageResult{Fragment: st.f, Rows: st.rows, Bytes: st.bytes}
+	}
+	return out
+}
+
+// Execute runs the plan bottom-up against the base source as one chained
+// batch pipeline (see OpenChain). The final result is materialized for the
+// caller, and per-stage row/byte accounting is collected from the streamed
+// batches. Execution is semantically equivalent to evaluating the original
+// query directly (the property tests in this package assert exactly that).
+func Execute(ctx context.Context, plan *Plan, base engine.Source) (*Execution, error) {
+	chain, err := OpenChain(ctx, plan, base)
 	if err != nil {
 		return nil, err
 	}
-	// Drain-close the whole chain so every stage's accounting is final even
-	// if a downstream LIMIT stopped pulling early — and fail if the drain
-	// hit a row the materialized baseline would have choked on.
-	for i := len(stages) - 1; i >= 0; i-- {
-		stages[i].Close()
+	rows, err := schema.DrainIterator(chain.Iterator())
+	if err != nil {
+		chain.Close()
+		return nil, err
 	}
-	for _, st := range stages {
-		if st.err != nil {
-			return nil, st.err
-		}
+	// Fail if the drain-close hit a row the materialized baseline would
+	// have choked on.
+	if err := chain.Close(); err != nil {
+		return nil, err
 	}
-
-	exec := &Execution{Result: &engine.Result{Schema: rel, Rows: rows}}
-	for i, f := range plan.Fragments {
-		exec.Stages = append(exec.Stages, StageResult{
-			Fragment: f,
-			Rows:     stages[i].rows,
-			Bytes:    stages[i].bytes,
-		})
-	}
-	return exec, nil
+	return &Execution{
+		Result: &engine.Result{Schema: chain.Schema(), Rows: rows},
+		Stages: chain.Stages(),
+	}, nil
 }

@@ -1,6 +1,8 @@
 package fragment
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -32,7 +34,7 @@ func materializedBaseline(t *testing.T, plan *Plan, base engine.Source) []StageR
 				return base.Relation(name)
 			})
 		}
-		res, err := engine.New(src).Select(f.Query)
+		res, err := engine.New(src).Select(context.Background(), f.Query)
 		if err != nil {
 			t.Fatalf("baseline stage %d: %v", f.Stage, err)
 		}
@@ -65,7 +67,7 @@ func TestStreamedStatsMatchMaterializedBaseline(t *testing.T) {
 	for _, q := range queries {
 		t.Run(q, func(t *testing.T) {
 			plan := mustFragment(t, q)
-			exec, err := Execute(plan, st)
+			exec, err := Execute(context.Background(), plan, st)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -85,7 +87,7 @@ func TestStreamedStatsMatchMaterializedBaseline(t *testing.T) {
 
 // TestExecuteEmptyPlan preserves the empty-plan error.
 func TestExecuteEmptyPlan(t *testing.T) {
-	if _, err := Execute(&Plan{}, testStore(t)); err == nil {
+	if _, err := Execute(context.Background(), &Plan{}, testStore(t)); err == nil {
 		t.Fatal("empty plan must error")
 	}
 }
@@ -111,7 +113,7 @@ func TestExecuteErrorBeyondLimitStillSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	plan := mustFragment(t, "SELECT s FROM (SELECT x / z AS s FROM d) LIMIT 1")
-	if _, err := Execute(plan, st); err == nil {
+	if _, err := Execute(context.Background(), plan, st); err == nil {
 		t.Fatal("division by zero beyond the LIMIT must fail the execution")
 	}
 }
@@ -121,11 +123,67 @@ func TestExecuteErrorBeyondLimitStillSurfaces(t *testing.T) {
 func TestExecuteStageErrorAttribution(t *testing.T) {
 	st := testStore(t)
 	plan := mustFragment(t, "SELECT x / 0 AS bad FROM d WHERE z < 2")
-	_, err := Execute(plan, st)
+	_, err := Execute(context.Background(), plan, st)
 	if err == nil {
 		t.Fatal("division by zero must surface")
 	}
 	if got := err.Error(); strings.Count(got, "fragment: stage") != 1 {
 		t.Fatalf("error should be attributed to exactly one stage: %q", got)
+	}
+}
+
+// TestChainCloseIdempotent: a chain (and its stage iterators) tolerates
+// repeated Close, keeps its accounting stable, and a consumer that closed
+// early still sees the fully drained per-stage stats.
+func TestChainCloseIdempotent(t *testing.T) {
+	st := testStore(t)
+	plan := mustFragment(t, "SELECT x, y FROM d WHERE x > y AND z < 2")
+	chain, err := OpenChain(context.Background(), plan, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Iterator().Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first := chain.Stages()
+	if err := chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	second := chain.Stages()
+	for i := range first {
+		if first[i].Rows != second[i].Rows || first[i].Bytes != second[i].Bytes {
+			t.Fatalf("stage %d accounting changed across Close calls: %+v vs %+v",
+				i+1, first[i], second[i])
+		}
+	}
+	// The drain-on-close accounting matches a full materialized run.
+	want := materializedBaseline(t, plan, st)
+	for i := range want {
+		if first[i].Rows != want[i].Rows || first[i].Bytes != want[i].Bytes {
+			t.Fatalf("stage %d: closed-early rows=%d bytes=%d, baseline rows=%d bytes=%d",
+				i+1, first[i].Rows, first[i].Bytes, want[i].Rows, want[i].Bytes)
+		}
+	}
+	// Closing the final iterator directly (as DrainIterator does) must
+	// also be safe after the chain closed.
+	chain.Iterator().Close()
+}
+
+// TestChainCancelledContext: a cancelled context surfaces from Close as
+// the drain error.
+func TestChainCancelledContext(t *testing.T) {
+	st := testStore(t)
+	plan := mustFragment(t, "SELECT x, y FROM d WHERE x > y AND z < 2")
+	ctx, cancel := context.WithCancel(context.Background())
+	chain, err := OpenChain(ctx, plan, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := chain.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close after cancel = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package fragment
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -64,11 +65,11 @@ func mustFragment(t testing.TB, q string) *Plan {
 func equivalent(t *testing.T, st *storage.Store, q string) *Execution {
 	t.Helper()
 	plan := mustFragment(t, q)
-	exec, err := Execute(plan, st)
+	exec, err := Execute(context.Background(), plan, st)
 	if err != nil {
 		t.Fatalf("execute plan for %q: %v\nplan:\n%s", q, err, plan)
 	}
-	want, err := engine.New(st).Query(q)
+	want, err := engine.New(st).Query(context.Background(), q)
 	if err != nil {
 		t.Fatalf("monolithic %q: %v", q, err)
 	}

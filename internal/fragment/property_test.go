@@ -1,6 +1,7 @@
 package fragment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -132,7 +133,7 @@ func TestPropertyFragmentEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("generator produced invalid SQL %q: %v", q, err)
 		}
-		want, err := eng.Select(sel)
+		want, err := eng.Select(context.Background(), sel)
 		if err != nil {
 			t.Fatalf("direct execution of %q: %v", q, err)
 		}
@@ -140,7 +141,7 @@ func TestPropertyFragmentEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("fragmenting %q: %v", q, err)
 		}
-		got, err := Execute(plan, st)
+		got, err := Execute(context.Background(), plan, st)
 		if err != nil {
 			t.Fatalf("executing plan of %q: %v\n%s", q, err, plan)
 		}

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,7 +22,7 @@ import (
 // carries the sum of all shard outputs, while simulated time takes the
 // *maximum* shard (parallel sensors) plus the serialized radio transfers
 // (the sensors share the low-bandwidth medium).
-func RunFanIn(topo *Topology, plan *fragment.Plan, src engine.Source, sensorCount int) (*RunStats, error) {
+func RunFanIn(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.Source, sensorCount int) (*RunStats, error) {
 	if sensorCount < 1 {
 		return nil, fmt.Errorf("%w: sensor count must be >= 1", ErrNetwork)
 	}
@@ -35,7 +36,7 @@ func RunFanIn(topo *Topology, plan *fragment.Plan, src engine.Source, sensorCoun
 	if first.MinLevel > fragment.LevelSensor {
 		// The first fragment already needs an appliance (e.g. a join);
 		// fan-in degenerates to the plain run.
-		return Run(topo, plan, src)
+		return Run(ctx, topo, plan, src)
 	}
 
 	stats := &RunStats{RawBytes: rawSize(plan, src)}
@@ -47,7 +48,7 @@ func RunFanIn(topo *Topology, plan *fragment.Plan, src engine.Source, sensorCoun
 	// Shard the base relation(s) round-robin across the sensors.
 	tables := sqlparser.BaseTables(first.Query)
 	if len(tables) != 1 {
-		return Run(topo, plan, src)
+		return Run(ctx, topo, plan, src)
 	}
 	rel, rows, err := src.Relation(tables[0])
 	if err != nil {
@@ -67,7 +68,7 @@ func RunFanIn(topo *Topology, plan *fragment.Plan, src engine.Source, sensorCoun
 	inRows := 0
 	for _, shard := range shards {
 		shardSrc := &overlaySource{base: src, name: tables[0], rel: rel, rows: shard}
-		res, err := engine.New(shardSrc).Select(first.Query)
+		res, err := engine.New(shardSrc).Select(ctx, first.Query)
 		if err != nil {
 			return nil, fmt.Errorf("network: fan-in sensor fragment: %w", err)
 		}
@@ -124,7 +125,7 @@ func RunFanIn(topo *Topology, plan *fragment.Plan, src engine.Source, sensorCoun
 		node := topo.Nodes[pos]
 
 		stageSrc := &overlaySource{base: src, name: curName, rel: cur.Schema, rows: cur.Rows}
-		res, err := engine.New(stageSrc).Select(f.Query)
+		res, err := engine.New(stageSrc).Select(ctx, f.Query)
 		if err != nil {
 			return nil, fmt.Errorf("network: fan-in Q%d on %s: %w", f.Stage, node.Name, err)
 		}

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -14,11 +15,11 @@ func TestFanInEquivalentToSingleSensor(t *testing.T) {
 	plan := mustPlan(t, q)
 	topo := DefaultApartment()
 
-	single, err := Run(topo, plan, st)
+	single, err := Run(context.Background(), topo, plan, st)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fan, err := RunFanIn(topo, plan, st, 16)
+	fan, err := RunFanIn(context.Background(), topo, plan, st, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +64,11 @@ func TestFanInParallelSensorsComputeFaster(t *testing.T) {
 	plan := mustPlan(t, q)
 	topo := DefaultApartment()
 
-	single, err := RunFanIn(topo, plan, st, 1)
+	single, err := RunFanIn(context.Background(), topo, plan, st, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := RunFanIn(topo, plan, st, 64)
+	many, err := RunFanIn(context.Background(), topo, plan, st, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestFanInParallelSensorsComputeFaster(t *testing.T) {
 func TestFanInValidation(t *testing.T) {
 	st := testStore(t, 10)
 	plan := mustPlan(t, "SELECT x FROM d")
-	if _, err := RunFanIn(DefaultApartment(), plan, st, 0); err == nil {
+	if _, err := RunFanIn(context.Background(), DefaultApartment(), plan, st, 0); err == nil {
 		t.Fatal("zero sensors must fail")
 	}
 }
@@ -89,11 +90,11 @@ func TestFanInValidation(t *testing.T) {
 func TestFanInFirstLinkCarriesAllShards(t *testing.T) {
 	st := testStore(t, 1200)
 	plan := mustPlan(t, "SELECT * FROM d WHERE z < 1")
-	fan, err := RunFanIn(DefaultApartment(), plan, st, 8)
+	fan, err := RunFanIn(context.Background(), DefaultApartment(), plan, st, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := Run(DefaultApartment(), plan, st)
+	single, err := Run(context.Background(), DefaultApartment(), plan, st)
 	if err != nil {
 		t.Fatal(err)
 	}

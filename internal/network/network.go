@@ -13,6 +13,7 @@
 package network
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -185,13 +186,132 @@ func (r *RunStats) Summary() string {
 // the lowest node at or above the current data position that satisfies its
 // capability level and memory cap; the fragment's input ships hop by hop to
 // that node, with bytes and time accounted per link.
-func Run(topo *Topology, plan *fragment.Plan, src engine.Source) (*RunStats, error) {
+//
+// Run is Open followed by a full drain: the streaming path and this
+// materialized path share one pipeline and one accounting routine, so a
+// cursor that drains a Stream observes byte-identical RunStats.
+func Run(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.Source) (*RunStats, error) {
+	st, err := Open(ctx, topo, plan, src)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := schema.DrainIterator(st) // closes st, also on error
+	if err != nil {
+		return nil, err
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		return nil, err
+	}
+	stats.Result = &engine.Result{Schema: st.Schema(), Rows: rows}
+	return stats, nil
+}
+
+// Stream is an opened chain execution: the plan's fragments wired into one
+// lazy batch pipeline (fragment.OpenChain) whose final output the consumer
+// pulls batch-at-a-time. Node placement, per-link traffic and simulated
+// time — the Figure 3 quantities — are derived from the per-stage
+// accounting once the chain is drained, so they are exactly the stats a
+// materialized Run would report.
+//
+// The consumer must Close the stream (idempotent); Close drains the
+// remaining pipeline first, because every node is a store-and-forward hop
+// that ships its whole output regardless of how much the requester reads.
+type Stream struct {
+	topo   *Topology
+	plan   *fragment.Plan
+	chain  *fragment.Chain
+	baseIn int // input rows of the first fragment (base relations)
+	raw    int // wire size of the base relations the plan reads
+	stats  *RunStats
+	err    error
+	closed bool
+}
+
+// Open validates the topology (including that every fragment's capability
+// level is satisfiable at all — infeasible plans fail here, not after the
+// consumer has seen rows) and wires the plan into a lazy pipeline bound to
+// ctx. No query execution happens yet — the accounting does probe the base
+// relations once up front to size |d| (raw bytes and first-fragment input
+// rows); cancellation is checked per batch at every scan once the consumer
+// starts pulling.
+func Open(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.Source) (*Stream, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
-	stats := &RunStats{}
-	stats.RawBytes = rawSize(plan, src)
+	top := topo.Nodes[topo.CloudIndex()]
+	for _, f := range plan.Fragments {
+		if f.MinLevel > top.Level {
+			return nil, fmt.Errorf("%w: no node can run fragment Q%d (needs %s)",
+				ErrNetwork, f.Stage, f.MinLevel)
+		}
+	}
+	chain, err := fragment.OpenChain(ctx, plan, src)
+	if err != nil {
+		return nil, fmt.Errorf("network: open chain: %w", err)
+	}
+	baseIn, raw := baseStats(plan, src)
+	return &Stream{
+		topo:   topo,
+		plan:   plan,
+		chain:  chain,
+		baseIn: baseIn,
+		raw:    raw,
+	}, nil
+}
 
+// Schema is the output relation of the final fragment.
+func (s *Stream) Schema() *schema.Relation { return s.chain.Schema() }
+
+// Next pulls the next batch of the final fragment's output. A nil batch
+// means the chain is exhausted; the caller should then Close and read
+// Stats.
+func (s *Stream) Next() (schema.Rows, error) {
+	if s.closed {
+		return nil, s.err
+	}
+	batch, err := s.chain.Iterator().Next()
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	return batch, err
+}
+
+// Close drains the remaining pipeline (finalizing every stage's
+// accounting), then derives the placement stats. Idempotent.
+func (s *Stream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if err := s.chain.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.err != nil {
+		return
+	}
+	s.stats, s.err = placeStats(s.topo, s.plan, s.chain.Stages(), s.baseIn, s.raw)
+}
+
+// Stats returns the Figure 3 accounting of the fully drained chain,
+// closing the stream if the caller has not already. Stats.Result is nil on
+// the streaming path — the rows went to the consumer, batch by batch.
+func (s *Stream) Stats() (*RunStats, error) {
+	s.Close()
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.stats, nil
+}
+
+// placeStats replays the paper's placement walk over the recorded per-stage
+// accounting: each fragment runs on the lowest unused node at or above the
+// current data position that satisfies its capability level and memory cap
+// — each node runs at most one fragment except the cloud, which absorbs any
+// overflow — and the fragment's input ships hop by hop to that node, with
+// bytes and time accounted per link.
+func placeStats(topo *Topology, plan *fragment.Plan, stages []fragment.StageResult, baseIn, raw int) (*RunStats, error) {
+	stats := &RunStats{RawBytes: raw}
 	hop := make([]HopTraffic, len(topo.Links))
 	for i := range hop {
 		hop[i] = HopTraffic{Link: topo.Links[i]}
@@ -199,25 +319,17 @@ func Run(topo *Topology, plan *fragment.Plan, src engine.Source) (*RunStats, err
 
 	pos := 0 // index of the node currently holding the data
 	used := make([]bool, len(topo.Nodes))
-	var curName string
-	var curRel *schema.Relation
-	var curRows schema.Rows
 	var simMs float64
+	prevRows, prevBytes := 0, 0
 
-	for _, f := range plan.Fragments {
-		// Input row count for memory checks: base relations are only
-		// known to the engine, so measure via the materialized input when
-		// available; the first fragment reads base data directly.
-		inRows := len(curRows)
-		if curRel == nil {
-			inRows = baseRows(f, src)
+	for i, f := range plan.Fragments {
+		// Input row count for memory checks: the first fragment reads base
+		// data directly, later fragments read the previous stage's output.
+		inRows := prevRows
+		if i == 0 {
+			inRows = baseIn
 		}
 
-		// Find the execution node: the lowest unused node at or above the
-		// current data position that is capable and strong enough. Each
-		// node runs at most one fragment — the paper's chain assigns the
-		// appliance and the media center consecutive fragments — except
-		// the cloud, which absorbs any overflow.
 		exec := pos
 		fellBack := false
 		for exec < topo.CloudIndex() &&
@@ -232,59 +344,34 @@ func Run(topo *Topology, plan *fragment.Plan, src engine.Source) (*RunStats, err
 				ErrNetwork, f.Stage, f.MinLevel)
 		}
 
-		// Ship current data up to the execution node.
-		if curRel != nil {
-			bytes := curRows.WireSize()
-			for i := pos; i < exec; i++ {
-				hop[i].Bytes += bytes
-				hop[i].Rows += len(curRows)
-				simMs += topo.Links[i].LatencyMs + float64(bytes)/topo.Links[i].BytesPerMs
+		// Ship the current data up to the execution node.
+		if i > 0 {
+			for h := pos; h < exec; h++ {
+				hop[h].Bytes += prevBytes
+				hop[h].Rows += prevRows
+				simMs += topo.Links[h].LatencyMs + float64(prevBytes)/topo.Links[h].BytesPerMs
 			}
 		}
 		pos = exec
 		used[pos] = true
 		node := topo.Nodes[pos]
-
-		// Execute the fragment on this node. The engine pipeline streams
-		// batch-at-a-time, so the node's intermediates stay bounded by
-		// batch size; the node is a store-and-forward hop, so its full
-		// output is still collected before it ships up the chain.
-		stageSrc := engine.Source(src)
-		if curRel != nil {
-			stageSrc = &overlaySource{base: src, name: curName, rel: curRel, rows: curRows}
-		}
-		outRel, it, err := engine.New(stageSrc).Open(f.Query)
-		if err != nil {
-			return nil, fmt.Errorf("network: Q%d on %s: %w", f.Stage, node.Name, err)
-		}
-		outRows, err := schema.DrainIterator(it)
-		if err != nil {
-			return nil, fmt.Errorf("network: Q%d on %s: %w", f.Stage, node.Name, err)
-		}
-		outBytes := outRows.WireSize()
 		if node.Power > 0 {
 			simMs += float64(inRows) / node.Power / 1000
 		}
 
-		curName = f.Output
-		curRel = outRel.Clone(f.Output)
-		curRows = outRows
 		stats.Assignments = append(stats.Assignments, Assignment{
 			Fragment: f, Node: node, InRows: inRows,
-			OutRows: len(outRows), OutBytes: outBytes,
+			OutRows: stages[i].Rows, OutBytes: stages[i].Bytes,
 			FellBack: fellBack,
 		})
-		stats.Result = &engine.Result{Schema: curRel, Rows: curRows}
+		prevRows, prevBytes = stages[i].Rows, stages[i].Bytes
 	}
 
 	// The final result always travels to the cloud (the requester).
-	if curRel != nil && pos < topo.CloudIndex() {
-		bytes := curRows.WireSize()
-		for i := pos; i < topo.CloudIndex(); i++ {
-			hop[i].Bytes += bytes
-			hop[i].Rows += len(curRows)
-			simMs += topo.Links[i].LatencyMs + float64(bytes)/topo.Links[i].BytesPerMs
-		}
+	for h := pos; h < topo.CloudIndex(); h++ {
+		hop[h].Bytes += prevBytes
+		hop[h].Rows += prevRows
+		simMs += topo.Links[h].LatencyMs + float64(prevBytes)/topo.Links[h].BytesPerMs
 	}
 
 	stats.Traffic = hop
@@ -295,7 +382,7 @@ func Run(topo *Topology, plan *fragment.Plan, src engine.Source) (*RunStats, err
 
 // RunNaive simulates the baseline without fragmentation: the raw base data
 // ships all the way to the cloud, which executes the whole query there.
-func RunNaive(topo *Topology, q *sqlparser.Select, src engine.Source) (*RunStats, error) {
+func RunNaive(ctx context.Context, topo *Topology, q *sqlparser.Select, src engine.Source) (*RunStats, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -321,7 +408,7 @@ func RunNaive(topo *Topology, q *sqlparser.Select, src engine.Source) (*RunStats
 		simMs += topo.Links[i].LatencyMs + float64(raw)/topo.Links[i].BytesPerMs
 	}
 
-	res, err := engine.New(src).Select(q)
+	res, err := engine.New(src).Select(ctx, q)
 	if err != nil {
 		return nil, fmt.Errorf("network: naive cloud execution: %w", err)
 	}
@@ -363,36 +450,64 @@ func (o *overlaySource) RelationSchema(name string) (*schema.Relation, error) {
 	return engine.RelationSchema(o.base, name)
 }
 
-func (o *overlaySource) OpenScan(name string, sc schema.Scan) (schema.RowIterator, error) {
+func (o *overlaySource) OpenScan(ctx context.Context, name string, sc schema.Scan) (schema.RowIterator, error) {
 	if name == o.name {
 		return schema.ScanRows(o.rows, sc), nil
 	}
-	return engine.OpenScan(o.base, name, sc)
+	return engine.OpenScan(ctx, o.base, name, sc)
 }
 
-// rawSize measures the wire size of every base relation the plan reads.
+// rawSize measures the wire size of every base relation the plan reads —
+// the |d| of Figure 3. One definition for every run flavour: it delegates
+// to baseStats so streaming, materialized and fan-in stats can never
+// disagree on what counts as raw data.
 func rawSize(plan *fragment.Plan, src engine.Source) int {
-	total := 0
+	_, raw := baseStats(plan, src)
+	return raw
+}
+
+// relationStatser is the optional fast path for sizing base relations:
+// storage.Store implements it with O(1) cached counters, so opening a
+// streaming run does not materialize (or even walk) the base tables.
+type relationStatser interface {
+	RelationStats(name string) (rows, wireBytes int, err error)
+}
+
+// baseStats measures, in one pass over the base relations, the input row
+// count of the first fragment and the wire size of every base relation the
+// plan reads — the |d| of Figure 3. Sources without the O(1) stats fast
+// path are materialized once per distinct table.
+func baseStats(plan *fragment.Plan, src engine.Source) (baseIn, raw int) {
+	type stat struct{ rows, bytes int }
+	cache := map[string]stat{}
+	load := func(t string) stat {
+		if s, ok := cache[t]; ok {
+			return s
+		}
+		var s stat
+		if rs, ok := src.(relationStatser); ok {
+			if rows, bytes, err := rs.RelationStats(t); err == nil {
+				s = stat{rows: rows, bytes: bytes}
+				cache[t] = s
+				return s
+			}
+		}
+		if _, rows, err := src.Relation(t); err == nil {
+			s = stat{rows: len(rows), bytes: rows.WireSize()}
+		}
+		cache[t] = s
+		return s
+	}
+	for _, t := range sqlparser.BaseTables(plan.Fragments[0].Query) {
+		baseIn += load(t).rows
+	}
 	seen := map[string]bool{}
 	for _, t := range sqlparser.BaseTables(plan.Original) {
 		if seen[t] {
 			continue
 		}
 		seen[t] = true
-		if _, rows, err := src.Relation(t); err == nil {
-			total += rows.WireSize()
-		}
+		raw += load(t).bytes
 	}
-	return total
-}
-
-// baseRows counts the input rows of a fragment reading base relations.
-func baseRows(f *fragment.Fragment, src engine.Source) int {
-	total := 0
-	for _, t := range sqlparser.BaseTables(f.Query) {
-		if _, rows, err := src.Relation(t); err == nil {
-			total += len(rows)
-		}
-	}
-	return total
+	return baseIn, raw
 }

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -80,11 +81,11 @@ func TestRunMatchesDirectExecution(t *testing.T) {
 	st := testStore(t, 500)
 	q := "SELECT x, y, AVG(z) AS zavg FROM d WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 1"
 	plan := mustPlan(t, q)
-	stats, err := Run(DefaultApartment(), plan, st)
+	stats, err := Run(context.Background(), DefaultApartment(), plan, st)
 	if err != nil {
 		t.Fatal(err)
 	}
-	exec, err := fragment.Execute(plan, st)
+	exec, err := fragment.Execute(context.Background(), plan, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +101,12 @@ func TestFragmentedEgressBeatsNaive(t *testing.T) {
 	plan := mustPlan(t, q)
 	topo := DefaultApartment()
 
-	frag, err := Run(topo, plan, st)
+	frag, err := Run(context.Background(), topo, plan, st)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sel, _ := sqlparser.Parse(q)
-	naive, err := RunNaive(topo, sel, st)
+	naive, err := RunNaive(context.Background(), topo, sel, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestAssignmentsRespectLevels(t *testing.T) {
 	q := `SELECT regr_intercept(y, x) OVER (PARTITION BY zavg ORDER BY t)
 	      FROM (SELECT x, y, AVG(z) AS zavg, t FROM d
 	            WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 0.1)`
-	stats, err := Run(DefaultApartment(), mustPlan(t, q), st)
+	stats, err := Run(context.Background(), DefaultApartment(), mustPlan(t, q), st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestWeakNodeFallback(t *testing.T) {
 	// Cripple the appliance: it cannot hold the sensor output.
 	topo.Nodes[1].MemRows = 10
 	q := "SELECT x, y FROM d WHERE x > y"
-	stats, err := Run(topo, mustPlan(t, q), st)
+	stats, err := Run(context.Background(), topo, mustPlan(t, q), st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestWeakNodeFallback(t *testing.T) {
 
 func TestTrafficAccounting(t *testing.T) {
 	st := testStore(t, 400)
-	stats, err := Run(DefaultApartment(), mustPlan(t, "SELECT x FROM d WHERE z < 1"), st)
+	stats, err := Run(context.Background(), DefaultApartment(), mustPlan(t, "SELECT x FROM d WHERE z < 1"), st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestLargerTracesIncreaseReduction(t *testing.T) {
 	q := "SELECT x, y, AVG(z) AS zavg FROM d WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 1"
 	reduction := func(n int) float64 {
 		st := testStore(t, n)
-		stats, err := Run(DefaultApartment(), mustPlan(t, q), st)
+		stats, err := Run(context.Background(), DefaultApartment(), mustPlan(t, q), st)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +220,7 @@ func TestLargerTracesIncreaseReduction(t *testing.T) {
 func TestRunNaiveShipsEverything(t *testing.T) {
 	st := testStore(t, 100)
 	sel, _ := sqlparser.Parse("SELECT x FROM d WHERE z < 0.1")
-	stats, err := RunNaive(DefaultApartment(), sel, st)
+	stats, err := RunNaive(context.Background(), DefaultApartment(), sel, st)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package recognition
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -161,10 +162,10 @@ func stripSQL(n Node, dataName string) Node {
 
 // Run evaluates a pipeline: SQL nodes execute on the engine, DataNodes read
 // a pre-materialized frame, Kalman and filterByClass stages run in Go.
-func Run(n Node, eng *engine.Engine, frames map[string]*engine.Result) (*engine.Result, error) {
+func Run(ctx context.Context, n Node, eng *engine.Engine, frames map[string]*engine.Result) (*engine.Result, error) {
 	switch x := n.(type) {
 	case *SQLNode:
-		res, err := eng.Select(x.Query)
+		res, err := eng.Select(ctx, x.Query)
 		if err != nil {
 			return nil, fmt.Errorf("%w: sqldf: %v", ErrPipeline, err)
 		}
@@ -176,13 +177,13 @@ func Run(n Node, eng *engine.Engine, frames map[string]*engine.Result) (*engine.
 		}
 		return res, nil
 	case *KalmanNode:
-		in, err := Run(x.Input, eng, frames)
+		in, err := Run(ctx, x.Input, eng, frames)
 		if err != nil {
 			return nil, err
 		}
 		return kalmanSmooth(in, x.ProcessVar, x.MeasureVar)
 	case *FilterByClassNode:
-		in, err := Run(x.Input, eng, frames)
+		in, err := Run(ctx, x.Input, eng, frames)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package recognition
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -124,7 +125,7 @@ func TestClassify(t *testing.T) {
 
 func TestAnnotateAndAccuracyOnTrace(t *testing.T) {
 	tr, eng := apartmentStore(t, true)
-	res, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	res, err := eng.Query(context.Background(), "SELECT user, x, y, z, t FROM d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestAnnotateAndAccuracyOnTrace(t *testing.T) {
 
 func TestFilterByClassFindsWalks(t *testing.T) {
 	_, eng := apartmentStore(t, false)
-	res, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	res, err := eng.Query(context.Background(), "SELECT user, x, y, z, t FROM d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestFilterByClassFindsWalks(t *testing.T) {
 
 func TestFallDetection(t *testing.T) {
 	_, eng := apartmentStore(t, true)
-	res, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	res, err := eng.Query(context.Background(), "SELECT user, x, y, z, t FROM d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestFallDetection(t *testing.T) {
 	}
 	// And the no-fall scenario must not produce (many) falls.
 	_, engNF := apartmentStore(t, false)
-	resNF, err := engNF.Query("SELECT user, x, y, z, t FROM d")
+	resNF, err := engNF.Query(context.Background(), "SELECT user, x, y, z, t FROM d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestRunPipelineEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Run(pl, eng, nil)
+	out, err := Run(context.Background(), pl, eng, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,12 +208,12 @@ func TestRunPipelineEndToEnd(t *testing.T) {
 
 func TestRunWithDataFrame(t *testing.T) {
 	_, eng := apartmentStore(t, false)
-	base, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	base, err := eng.Query(context.Background(), "SELECT user, x, y, z, t FROM d")
 	if err != nil {
 		t.Fatal(err)
 	}
 	node := &FilterByClassNode{Input: &DataNode{Name: "d'"}, Action: sensors.ActivityWalk}
-	out, err := Run(node, eng, map[string]*engine.Result{"d'": base})
+	out, err := Run(context.Background(), node, eng, map[string]*engine.Result{"d'": base})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,19 +221,19 @@ func TestRunWithDataFrame(t *testing.T) {
 		t.Fatal("frame-based run found nothing")
 	}
 	// Unknown frame errors.
-	if _, err := Run(&DataNode{Name: "nope"}, eng, nil); !errors.Is(err, ErrPipeline) {
+	if _, err := Run(context.Background(), &DataNode{Name: "nope"}, eng, nil); !errors.Is(err, ErrPipeline) {
 		t.Fatal("unknown frame should error")
 	}
 }
 
 func TestKalmanNodeSmoothsZ(t *testing.T) {
 	_, eng := apartmentStore(t, false)
-	raw, err := eng.Query("SELECT user, x, y, z, t FROM d")
+	raw, err := eng.Query(context.Background(), "SELECT user, x, y, z, t FROM d")
 	if err != nil {
 		t.Fatal(err)
 	}
 	node := &KalmanNode{Input: &DataNode{Name: "raw"}, ProcessVar: 1e-4, MeasureVar: 0.05}
-	smooth, err := Run(node, eng, map[string]*engine.Result{"raw": raw})
+	smooth, err := Run(context.Background(), node, eng, map[string]*engine.Result{"raw": raw})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,12 +279,12 @@ func TestAnnotateRequiresColumns(t *testing.T) {
 
 func TestAccuracyErrors(t *testing.T) {
 	tr, eng := apartmentStore(t, false)
-	res, _ := eng.Query("SELECT x, y, z, t FROM d") // no entity column
+	res, _ := eng.Query(context.Background(), "SELECT x, y, z, t FROM d") // no entity column
 	acts := make([]sensors.Activity, len(res.Rows))
 	if _, err := Accuracy(tr, res, acts); !errors.Is(err, ErrPipeline) {
 		t.Fatal("missing entity column should error")
 	}
-	res2, _ := eng.Query("SELECT user, x, y, z, t FROM d")
+	res2, _ := eng.Query(context.Background(), "SELECT user, x, y, z, t FROM d")
 	if _, err := Accuracy(tr, res2, acts[:1]); !errors.Is(err, ErrPipeline) {
 		t.Fatal("length mismatch should error")
 	}

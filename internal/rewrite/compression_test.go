@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -90,7 +91,7 @@ func TestCompressionExecutesOnEngine(t *testing.T) {
 	}
 	rw := New(st.Catalog(), Options{})
 	out, _ := mustRewrite(t, rw, "SELECT x FROM d", compressionModule(t, 0.25))
-	res, err := engine.New(st).Select(out)
+	res, err := engine.New(st).Select(context.Background(), out)
 	if err != nil {
 		t.Fatal(err)
 	}

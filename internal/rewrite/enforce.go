@@ -110,7 +110,12 @@ func (rw *Rewriter) enforceProjection(chain []level, avail []map[string]bool, mo
 			}
 		}
 		if len(kept) == 0 {
-			return fmt.Errorf("%w: every projected attribute of %q is denied", ErrDenied, lv.sel.SQL())
+			return &Denial{
+				Module:  mod.ID,
+				Rule:    "every projected attribute is denied",
+				Columns: setToSorted(removed),
+				Query:   lv.sel.SQL(),
+			}
 		}
 		lv.sel.Items = kept
 	}
@@ -137,8 +142,12 @@ func (rw *Rewriter) rejectDeniedUsage(chain []level, avail []map[string]bool, mo
 	check := func(e sqlparser.Expr, clause string, q *sqlparser.Select) error {
 		for _, c := range sqlparser.ColumnRefs(e) {
 			if deniedName(c.Name, baseCols, mod) {
-				return fmt.Errorf("%w: denied attribute %q used in %s of %q",
-					ErrDenied, c.Name, clause, q.SQL())
+				return &Denial{
+					Module:  mod.ID,
+					Rule:    "denied attribute used in " + clause,
+					Columns: []string{c.Name},
+					Query:   q.SQL(),
+				}
 			}
 		}
 		return nil

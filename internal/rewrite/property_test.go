@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -101,8 +102,8 @@ func TestPropertyRewriteSoundness(t *testing.T) {
 		// (4) Narrowing: without mandated aggregation, the rewritten rows
 		// are a sub-multiset of the original projected accordingly.
 		if len(rep.EnforcedAggregations) == 0 {
-			origRes, err1 := eng.Select(sel)
-			newRes, err2 := eng.Select(out)
+			origRes, err1 := eng.Select(context.Background(), sel)
+			newRes, err2 := eng.Select(context.Background(), out)
 			if err1 == nil && err2 == nil {
 				if len(newRes.Rows) > len(origRes.Rows) {
 					t.Fatalf("rewrite widened the result: %q (%d -> %d rows)",

@@ -33,6 +33,36 @@ import (
 // (e.g. a denied attribute is load-bearing in WHERE or GROUP BY).
 var ErrDenied = errors.New("rewrite: query denied by privacy policy")
 
+// Denial is the structured form of an ErrDenied: which rule of the policy
+// module the query violates and which attributes trip it. Every denial the
+// rewriter emits is a *Denial, so callers can errors.As for the details;
+// errors.Is(err, ErrDenied) keeps working.
+type Denial struct {
+	// Module is the ID of the policy module the query was checked against.
+	Module string
+	// Rule describes the violated rule ("denied attribute used in WHERE",
+	// "every projected attribute is denied").
+	Rule string
+	// Columns are the offending attribute names, deduplicated.
+	Columns []string
+	// Query is the (sub)query the violation was found in.
+	Query string
+}
+
+func (d *Denial) Error() string {
+	msg := fmt.Sprintf("%v: %s", ErrDenied, d.Rule)
+	if len(d.Columns) > 0 {
+		msg += fmt.Sprintf(" (attributes %s)", strings.Join(d.Columns, ", "))
+	}
+	if d.Query != "" {
+		msg += fmt.Sprintf(" in %q", d.Query)
+	}
+	return msg
+}
+
+// Unwrap ties the structured denial into the ErrDenied chain.
+func (d *Denial) Unwrap() error { return ErrDenied }
+
 // ErrUnsupported is returned for query shapes the rewriter cannot transform
 // safely (it refuses rather than guessing).
 var ErrUnsupported = errors.New("rewrite: unsupported query shape")

@@ -1,5 +1,7 @@
 package schema
 
+import "context"
+
 // This file defines the batch-iterator vocabulary shared by the storage,
 // engine, fragment, network and stream layers: relations flow through the
 // execution pipeline as pulled batches of rows instead of fully materialized
@@ -170,6 +172,38 @@ func (s *scanIterator) SizeHint() int {
 		return 0 // a filter may drop anything; no useful bound
 	}
 	if h, ok := s.src.(SizeHinter); ok {
+		return h.SizeHint()
+	}
+	return 0
+}
+
+// WithContext binds an iterator to a context: every pull first checks the
+// context and surfaces ctx.Err() once it is cancelled, so a cancelled
+// consumer stops within one batch no matter how much input remains. A
+// context that can never be cancelled (Background, TODO) adds no wrapper.
+func WithContext(ctx context.Context, it RowIterator) RowIterator {
+	if ctx == nil || ctx.Done() == nil {
+		return it
+	}
+	return &ctxIterator{ctx: ctx, src: it}
+}
+
+type ctxIterator struct {
+	ctx context.Context
+	src RowIterator
+}
+
+func (c *ctxIterator) Next() (Rows, error) {
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.src.Next()
+}
+
+func (c *ctxIterator) Close() { c.src.Close() }
+
+func (c *ctxIterator) SizeHint() int {
+	if h, ok := c.src.(SizeHinter); ok {
 		return h.SizeHint()
 	}
 	return 0

@@ -1,6 +1,7 @@
 package schema
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -89,4 +90,37 @@ func TestProjectRelation(t *testing.T) {
 	if rel.Project(nil) != rel {
 		t.Fatal("nil projection should return the relation unchanged")
 	}
+}
+
+// TestIteratorCloseIdempotent: every iterator of this package tolerates a
+// double Close and stays exhausted afterwards — cursors make double-Close
+// an easy caller mistake, so the whole stack must absorb it.
+func TestIteratorCloseIdempotent(t *testing.T) {
+	rows := Rows{{Int(1)}, {Int(2)}, {Int(3)}}
+	iters := map[string]RowIterator{
+		"slice":  IterateRows(rows, 2),
+		"scan":   ScanRows(rows, Scan{Filter: func(Row) (bool, error) { return true, nil }}),
+		"ctx":    WithContext(cancelledCtx(), IterateRows(rows, 2)),
+		"filter": FilterProject(IterateRows(rows, 2), Scan{Columns: []int{0}}),
+	}
+	for name, it := range iters {
+		it.Close()
+		it.Close() // must not panic or resurrect the stream
+		b, err := it.Next()
+		if name == "ctx" {
+			if err == nil {
+				t.Errorf("%s: Next after Close should keep the ctx error", name)
+			}
+			continue
+		}
+		if b != nil || err != nil {
+			t.Errorf("%s: Next after double Close = %v, %v; want nil, nil", name, b, err)
+		}
+	}
+}
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
 }

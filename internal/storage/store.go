@@ -5,6 +5,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -27,6 +28,10 @@ type Table struct {
 	mu     sync.RWMutex
 	schema *schema.Relation
 	rows   schema.Rows
+	// wire caches the cumulative serialized size of rows, maintained on
+	// Append/Truncate so WireSize is O(1). Rows are immutable, so the
+	// cache can never go stale.
+	wire int
 }
 
 // NewTable creates an empty table with the given schema.
@@ -47,6 +52,7 @@ func (t *Table) Append(rows ...schema.Row) error {
 				ErrArity, t.schema.Name, t.schema.Arity(), len(r))
 		}
 		t.rows = append(t.rows, r)
+		t.wire += r.WireSize()
 	}
 	return nil
 }
@@ -74,14 +80,17 @@ func (t *Table) Snapshot() schema.Rows {
 // under the read lock and applies filter and projection outside it, so a
 // consumer that stops early (LIMIT) leaves the remaining rows untouched.
 // Rows appended after the scan starts may or may not be observed.
-func (t *Table) Scan(sc schema.Scan) schema.RowIterator {
+//
+// The scan is bound to ctx: cancellation is checked on every pull, so a
+// cancelled query stops reading the table within one batch.
+func (t *Table) Scan(ctx context.Context, sc schema.Scan) schema.RowIterator {
 	batch := sc.BatchSize
 	if batch <= 0 {
 		batch = schema.DefaultBatchSize
 	}
 	// The raw scan only pulls locked subslices; filter and projection run
 	// outside the lock in the shared schema-layer wrapper.
-	return schema.FilterProject(&tableScan{t: t, batch: batch}, sc)
+	return schema.FilterProject(schema.WithContext(ctx, &tableScan{t: t, batch: batch}), sc)
 }
 
 // tableScan pulls batches straight off the table's row slice. Returning a
@@ -136,13 +145,15 @@ func (t *Table) Truncate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.rows = nil
+	t.wire = 0
 }
 
-// WireSize is the simulated serialized size of the whole table.
+// WireSize is the simulated serialized size of the whole table. O(1): the
+// size is maintained incrementally on Append.
 func (t *Table) WireSize() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows.WireSize()
+	return t.wire
 }
 
 // Store is a named collection of tables: the database d of one environment
@@ -195,6 +206,19 @@ func (s *Store) Relation(name string) (*schema.Relation, schema.Rows, error) {
 	return t.Schema(), t.Snapshot(), nil
 }
 
+// RelationStats returns the row count and serialized size of the named
+// table without materializing (or even walking) its rows. The network
+// simulator uses it to size |d| when opening a streaming run.
+func (s *Store) RelationStats(name string) (rows, wireBytes int, err error) {
+	t, err := s.Table(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows), t.wire, nil
+}
+
 // RelationSchema returns just the schema of the named table, without
 // touching rows. Together with OpenScan it makes the store a streaming
 // (engine.BatchSource) relation source.
@@ -207,13 +231,13 @@ func (s *Store) RelationSchema(name string) (*schema.Relation, error) {
 }
 
 // OpenScan opens an incremental batch scan over the named table with
-// projection and predicate pushdown.
-func (s *Store) OpenScan(name string, sc schema.Scan) (schema.RowIterator, error) {
+// projection and predicate pushdown, bound to ctx (see Table.Scan).
+func (s *Store) OpenScan(ctx context.Context, name string, sc schema.Scan) (schema.RowIterator, error) {
 	t, err := s.Table(name)
 	if err != nil {
 		return nil, err
 	}
-	return t.Scan(sc), nil
+	return t.Scan(ctx, sc), nil
 }
 
 // Names lists table names in sorted order.

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -159,7 +160,7 @@ func scanTable(t *testing.T, n int) *Table {
 
 func TestTableScanBatches(t *testing.T) {
 	tab := scanTable(t, 10)
-	it := tab.Scan(schema.Scan{BatchSize: 4})
+	it := tab.Scan(context.Background(), schema.Scan{BatchSize: 4})
 	var sizes []int
 	total := 0
 	for {
@@ -180,7 +181,7 @@ func TestTableScanBatches(t *testing.T) {
 
 func TestTableScanFilterAndProjection(t *testing.T) {
 	tab := scanTable(t, 100)
-	it := tab.Scan(schema.Scan{
+	it := tab.Scan(context.Background(), schema.Scan{
 		Columns:   []int{1},
 		Filter:    func(r schema.Row) (bool, error) { return r[0].AsFloat() < 10, nil },
 		BatchSize: 7,
@@ -204,7 +205,7 @@ func TestTableScanFilterAndProjection(t *testing.T) {
 
 func TestTableScanStopsEarly(t *testing.T) {
 	tab := scanTable(t, 1000)
-	it := tab.Scan(schema.Scan{BatchSize: 16})
+	it := tab.Scan(context.Background(), schema.Scan{BatchSize: 16})
 	b, err := it.Next()
 	if err != nil || len(b) != 16 {
 		t.Fatalf("first batch: %d rows, err %v", len(b), err)
@@ -217,7 +218,7 @@ func TestTableScanStopsEarly(t *testing.T) {
 
 func TestTableScanSeesConcurrentAppendsSafely(t *testing.T) {
 	tab := scanTable(t, 50)
-	it := tab.Scan(schema.Scan{BatchSize: 8})
+	it := tab.Scan(context.Background(), schema.Scan{BatchSize: 8})
 	first, err := it.Next()
 	if err != nil {
 		t.Fatal(err)
@@ -238,5 +239,44 @@ func TestTableScanSeesConcurrentAppendsSafely(t *testing.T) {
 		if b == nil {
 			break
 		}
+	}
+}
+
+// TestScanHonoursContext: a cancelled context stops a table scan within
+// one batch — the bottom of the streaming-cancellation vertical.
+func TestScanHonoursContext(t *testing.T) {
+	tab := NewTable(schema.NewRelation("s", schema.Col("v", schema.TypeInt)))
+	for i := 0; i < 3*schema.DefaultBatchSize; i++ {
+		if err := tab.Append(schema.Row{schema.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	it := tab.Scan(ctx, schema.Scan{})
+	defer it.Close()
+
+	b, err := it.Next()
+	if err != nil || len(b) != schema.DefaultBatchSize {
+		t.Fatalf("first batch: %d rows, err %v", len(b), err)
+	}
+	cancel()
+	if _, err := it.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Next = %v, want context.Canceled", err)
+	}
+}
+
+// TestScanCloseIdempotent: closing a scan twice is safe and final.
+func TestScanCloseIdempotent(t *testing.T) {
+	tab := NewTable(schema.NewRelation("s", schema.Col("v", schema.TypeInt)))
+	for i := 0; i < 10; i++ {
+		if err := tab.Append(schema.Row{schema.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := tab.Scan(context.Background(), schema.Scan{})
+	it.Close()
+	it.Close()
+	if b, err := it.Next(); b != nil || err != nil {
+		t.Fatalf("Next after double Close = %v, %v; want nil, nil", b, err)
 	}
 }

@@ -1,0 +1,40 @@
+// Package privmetrics is the public face of the paper's information-loss
+// and privacy-risk metrics (§3.2, "Golden Path"): the Direct Distance
+// between an original and an anonymized result, KL-divergence-based column
+// information loss, and the linkage risk of re-identification over a set
+// of quasi-identifiers.
+package privmetrics
+
+import (
+	paradise "paradise"
+	"paradise/internal/privmetrics"
+)
+
+// DirectDistance counts the cells that differ between the original and the
+// anonymized rows (the paper's DD quality measure; shapes must match).
+func DirectDistance(orig, anon paradise.Rows) (int, error) {
+	return privmetrics.DirectDistance(orig, anon)
+}
+
+// DirectDistanceRatio is DirectDistance normalized to [0, 1].
+func DirectDistanceRatio(orig, anon paradise.Rows) (float64, error) {
+	return privmetrics.DirectDistanceRatio(orig, anon)
+}
+
+// ColumnKL measures the KL divergence between the original and anonymized
+// distribution of one numeric column, over the given histogram bins.
+func ColumnKL(rel *paradise.Relation, orig, anon paradise.Rows, column string, bins int) (float64, error) {
+	return privmetrics.ColumnKL(rel, orig, anon, column, bins)
+}
+
+// LinkageRisk estimates re-identification risk over the quasi-identifiers:
+// the expected probability of linking a row to its individual.
+func LinkageRisk(rel *paradise.Relation, rows paradise.Rows, qi []string) (float64, error) {
+	return privmetrics.LinkageRisk(rel, rows, qi)
+}
+
+// AvgClassSize is the mean equivalence-class size over the
+// quasi-identifiers.
+func AvgClassSize(rel *paradise.Relation, rows paradise.Rows, qi []string) (float64, error) {
+	return privmetrics.AvgClassSize(rel, rows, qi)
+}

@@ -1,0 +1,44 @@
+// Package recognition is the public face of the paper's analysis-pipeline
+// substrate (§4.2): R-style pipelines with an embedded SQL part (the
+// Poodle cloud's Kalman-filter activity recognition), plus the activity
+// classifier used to check that the privacy-processed d′ still supports
+// the intended analysis. Pipelines are processed end to end with
+// paradise.Session.ProcessPipeline.
+package recognition
+
+import (
+	paradise "paradise"
+	"paradise/internal/recognition"
+	"paradise/internal/sensors"
+)
+
+type (
+	// Node is one stage of an analysis pipeline.
+	Node = recognition.Node
+	// SQLNode embeds a SQL query (the sqldf part that PArADISE extracts,
+	// rewrites and pushes down).
+	SQLNode = recognition.SQLNode
+	// FilterByClassNode keeps rows whose classified activity matches.
+	FilterByClassNode = recognition.FilterByClassNode
+	// KalmanNode smooths the height signal with a scalar Kalman filter.
+	KalmanNode = recognition.KalmanNode
+	// DataNode reads a pre-materialized frame by name.
+	DataNode = recognition.DataNode
+)
+
+// PaperPipeline returns the paper's §4.2 example analysis: a Kalman filter
+// over an embedded SQL query, filtered to walking.
+func PaperPipeline() (*FilterByClassNode, error) { return recognition.PaperPipeline() }
+
+// Annotate classifies every row of a result into an activity; it needs
+// entity and time columns (falls back with an error otherwise).
+func Annotate(in *paradise.Result) ([]sensors.Activity, error) { return recognition.Annotate(in) }
+
+// Classify maps a height and speed to an activity — the simple recognizer
+// behind Annotate.
+func Classify(z, speed float64) sensors.Activity { return recognition.Classify(z, speed) }
+
+// Accuracy compares annotated activities against a trace's ground truth.
+func Accuracy(tr *sensors.Trace, in *paradise.Result, acts []sensors.Activity) (float64, error) {
+	return recognition.Accuracy(tr, in, acts)
+}

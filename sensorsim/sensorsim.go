@@ -1,0 +1,81 @@
+// Package sensorsim is the public face of the simulated Smart Appliance
+// Lab (§1): deterministic sensor traces for meetings, lectures and
+// apartment scenarios, the device ensemble's schemas, and the integrated
+// database d that the paradise Session queries. It replaces the paper's
+// physical testbed; all generation is seeded and reproducible.
+//
+// Typical use:
+//
+//	trace, _ := sensorsim.Generate(sensorsim.Apartment(2*time.Minute, false, 2016))
+//	store, _ := sensorsim.BuildStore(trace)
+//	sess, _ := paradise.Open(store, paradise.WithPolicy(paradise.Figure4Policy()))
+package sensorsim
+
+import (
+	"time"
+
+	paradise "paradise"
+	"paradise/internal/sensors"
+)
+
+type (
+	// Scenario parameterizes one simulated environment (rooms, persons,
+	// duration, grids). Adjust fields like PositionGridM before Generate.
+	Scenario = sensors.Scenario
+	// Trace is a generated sensor trace: per-device rows, the integrated
+	// database d, and the ground-truth activity intervals.
+	Trace = sensors.Trace
+	// GroundTruth is one labelled activity interval of a trace.
+	GroundTruth = sensors.GroundTruth
+	// Device identifies one sensor family of the lab ensemble.
+	Device = sensors.Device
+	// Activity labels what a person is doing at an instant.
+	Activity = sensors.Activity
+	// Person, Room, Step and Point build custom scenarios.
+	Person = sensors.Person
+	// Room is one room of the environment.
+	Room = sensors.Room
+	// Step is one phase of a person's routine.
+	Step = sensors.Step
+	// Point is a position in metres.
+	Point = sensors.Point
+)
+
+// The recognized activities.
+const (
+	ActivityWalk    = sensors.ActivityWalk
+	ActivityStand   = sensors.ActivityStand
+	ActivitySit     = sensors.ActivitySit
+	ActivityFall    = sensors.ActivityFall
+	ActivityPresent = sensors.ActivityPresent
+)
+
+// AllDevices lists the lab's device families in a stable order.
+var AllDevices = sensors.AllDevices
+
+// Meeting builds the Smart Meeting Room scenario with n participants.
+func Meeting(n int, dur time.Duration, seed int64) *Scenario { return sensors.Meeting(n, dur, seed) }
+
+// Apartment builds the AAL apartment scenario — one resident moving
+// through a daily routine, optionally ending in a fall.
+func Apartment(dur time.Duration, withFall bool, seed int64) *Scenario {
+	return sensors.Apartment(dur, withFall, seed)
+}
+
+// Lecture builds the smart lecture hall scenario with the given audience.
+func Lecture(audience int, dur time.Duration, seed int64) *Scenario {
+	return sensors.Lecture(audience, dur, seed)
+}
+
+// Generate runs the simulation and returns the trace.
+func Generate(sc *Scenario) (*Trace, error) { return sensors.Generate(sc) }
+
+// BuildStore loads a trace into a database: one table per device family
+// plus the integrated relation d.
+func BuildStore(tr *Trace) (*paradise.Store, error) { return sensors.BuildStore(tr) }
+
+// DeviceSchema returns the relation schema of one device family.
+func DeviceSchema(d Device) *paradise.Relation { return sensors.DeviceSchema(d) }
+
+// IntegratedSchema returns the schema of the integrated database d.
+func IntegratedSchema() *paradise.Relation { return sensors.IntegratedSchema() }
