@@ -20,6 +20,8 @@
 //	-k         k for the k-anonymity methods (default 5)
 //	-epsilon   epsilon for dp (default 1.0)
 //	-rows      print up to N result rows (default 10)
+//	-explain   print the optimized logical plan (with policy provenance)
+//	           and the per-fragment plan trees
 //	-audit     violating query to check against the released d'
 //	-journal   write the audit journal as JSON to this file
 //
@@ -86,6 +88,7 @@ func run() int {
 		k        = flag.Int("k", 5, "k for k-anonymity methods")
 		epsilon  = flag.Float64("epsilon", 1.0, "epsilon for differential privacy")
 		rows     = flag.Int("rows", 10, "print up to N result rows")
+		explain  = flag.Bool("explain", false, "print the optimized logical plan and per-fragment plan trees")
 		auditQ   = flag.String("audit", "", "violating query to audit against the released d' (query containment)")
 		journalP = flag.String("journal", "", "write the audit journal as JSON to this file")
 	)
@@ -147,6 +150,10 @@ func run() int {
 
 	fmt.Print(out.Summary())
 	fmt.Println()
+	if *explain {
+		fmt.Print(out.Explain())
+		fmt.Println()
+	}
 	printResult(out, *rows)
 
 	if *auditQ != "" {

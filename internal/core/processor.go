@@ -20,6 +20,7 @@ import (
 	"paradise/internal/engine"
 	"paradise/internal/fragment"
 	"paradise/internal/network"
+	logical "paradise/internal/plan"
 	"paradise/internal/policy"
 	"paradise/internal/privmetrics"
 	"paradise/internal/recognition"
@@ -153,6 +154,10 @@ type Outcome struct {
 	RewrittenSQL string
 	// RewriteReport details the applied policy transformations.
 	RewriteReport *rewrite.Report
+	// Logical is the optimized logical plan of the rewritten query, with
+	// policy transformations annotated as operator provenance (the -explain
+	// view). It is informational; execution runs over Plan's fragments.
+	Logical logical.Node
 	// Plan is the vertical fragmentation.
 	Plan *fragment.Plan
 	// Net is the simulated chain execution with byte accounting.
@@ -234,13 +239,20 @@ func (p *Processor) prepare(ctx context.Context, sel *sqlparser.Select, moduleID
 
 	out := &Outcome{OriginalSQL: sel.SQL(), Satisfactory: true, InfoLoss: -1}
 
-	// --- Preprocessing: policy rewrite (§3.1). ---
+	// --- Preprocessing: policy rewrite (§3.1), lowered to the logical
+	// plan IR with policy provenance on the operators it introduced. ---
 	rewritten, rep, err := p.rewriter.Rewrite(sel, mod)
 	if err != nil {
 		return nil, nil, err
 	}
 	out.RewrittenSQL = rewritten.SQL()
 	out.RewriteReport = rep
+
+	root, err := logical.FromAST(rewritten)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Annotate(root, mod.ID)
 
 	// Satisfaction check: compare original and rewritten answers.
 	if p.maxLoss > 0 {
@@ -251,12 +263,20 @@ func (p *Processor) prepare(ctx context.Context, sel *sqlparser.Select, moduleID
 		}
 	}
 
-	// --- Vertical fragmentation (§4). ---
-	plan, err := fragment.New().Fragment(rewritten)
+	// --- Vertical fragmentation (§4): split the plan tree into stages. ---
+	plan, err := fragment.New().FromPlan(root)
 	if err != nil {
 		return nil, nil, err
 	}
 	out.Plan = plan
+
+	// The -explain view: a second lowering (the fragments share subtrees of
+	// the first), annotated and optimized against the store's catalog so
+	// pruned scan columns and pushed predicates are visible.
+	if expl, err := logical.FromAST(rewritten); err == nil {
+		rep.Annotate(expl, mod.ID)
+		out.Logical = logical.Optimize(expl, logical.Options{Catalog: engine.New(p.store).Catalog()})
+	}
 	return out, plan, nil
 }
 
@@ -481,6 +501,25 @@ func (p *Processor) ProcessPipeline(ctx context.Context, pl recognition.Node, mo
 		ResidualR: residual.Describe(),
 		Final:     final,
 	}, nil
+}
+
+// Explain renders the EXPLAIN view of the processed query: the optimized
+// logical plan of the rewritten statement (policy transformations appear as
+// operator provenance lines) followed by the per-fragment plan trees and
+// their placement levels.
+func (o *Outcome) Explain() string {
+	var b strings.Builder
+	b.WriteString("logical plan (rewritten, optimized):\n")
+	if o.Logical != nil {
+		for _, line := range strings.Split(strings.TrimRight(logical.String(o.Logical), "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	b.WriteString("fragment plans (placement):\n")
+	if o.Plan != nil {
+		b.WriteString(o.Plan.Explain())
+	}
+	return b.String()
 }
 
 // Summary renders the audit trail.

@@ -1,23 +1,28 @@
-// Package engine executes the SQL subset produced by sqlparser over
-// in-memory relations. It is the query processor that runs — identically —
-// on every node of the vertical architecture, from the cloud server down to
-// an appliance; only the *fragment* of the query a node receives differs
-// (capability enforcement happens in the fragment package, not here).
+// Package engine executes logical query plans over in-memory relations. It
+// is the query processor that runs — identically — on every node of the
+// vertical architecture, from the cloud server down to an appliance; only
+// the *fragment* of the query a node receives differs (capability
+// enforcement happens in the fragment package, not here).
 //
-// Execution is a pull-based, batch-at-a-time iterator pipeline (volcano
-// with row batches): scans, filters, projections, join probes, DISTINCT and
-// LIMIT stream; GROUP BY, window functions and ORDER BY are pipeline
-// breakers that materialize their input. Engine.Select drains the pipeline
-// into a materialized Result; Engine.Open exposes the pipeline itself so
-// fragment chains and network nodes can process batches without holding
-// whole intermediate relations.
+// The engine compiles a plan.Node tree (the shared logical IR produced by
+// plan.FromAST and rewritten by plan.Optimize) into a pull-based,
+// batch-at-a-time iterator pipeline (volcano with row batches): scans,
+// filters, projections, join probes, DISTINCT and LIMIT stream; GROUP BY,
+// window functions and ORDER BY are pipeline breakers that materialize
+// their input. Scan nodes carry pruned column sets and pushed predicates
+// into the source's scans, so unused columns never leave storage.
+// Engine.Select drains the pipeline into a materialized Result; Engine.Open
+// exposes the pipeline itself so fragment chains and network nodes can
+// process batches without holding whole intermediate relations.
 package engine
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
+	"paradise/internal/plan"
 	"paradise/internal/schema"
 	"paradise/internal/sqlparser"
 )
@@ -42,7 +47,7 @@ type Result struct {
 // WireSize is the simulated serialized size of the result in bytes.
 func (r *Result) WireSize() int { return r.Rows.WireSize() }
 
-// Engine evaluates SELECT statements against a Source.
+// Engine evaluates query plans against a Source.
 type Engine struct {
 	src Source
 }
@@ -50,7 +55,20 @@ type Engine struct {
 // New creates an engine over the given source.
 func New(src Source) *Engine { return &Engine{src: src} }
 
-// Query parses and executes a SQL string.
+// Catalog adapts the engine's source into the optimizer's catalog: column
+// names per base relation, used for projection pruning and join-side
+// attribution.
+func (e *Engine) Catalog() plan.Catalog {
+	return func(table string) ([]string, bool) {
+		rel, err := RelationSchema(e.src, table)
+		if err != nil {
+			return nil, false
+		}
+		return rel.ColumnNames(), true
+	}
+}
+
+// Query parses, lowers, optimizes and executes a SQL string.
 func (e *Engine) Query(ctx context.Context, sql string) (*Result, error) {
 	sel, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -61,10 +79,23 @@ func (e *Engine) Query(ctx context.Context, sql string) (*Result, error) {
 
 // Select executes a parsed statement, materializing the full result.
 func (e *Engine) Select(ctx context.Context, sel *sqlparser.Select) (*Result, error) {
-	rel, it, err := e.Open(ctx, sel)
+	rel, it, err := e.OpenSelect(ctx, sel)
 	if err != nil {
 		return nil, err
 	}
+	return drainResult(rel, it)
+}
+
+// SelectPlan executes an already-lowered plan, materializing the result.
+func (e *Engine) SelectPlan(ctx context.Context, root plan.Node) (*Result, error) {
+	rel, it, err := e.Open(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	return drainResult(rel, it)
+}
+
+func drainResult(rel *schema.Relation, it schema.RowIterator) (*Result, error) {
 	rows, err := schema.DrainIterator(it)
 	if err != nil {
 		return nil, err
@@ -72,47 +103,125 @@ func (e *Engine) Select(ctx context.Context, sel *sqlparser.Select) (*Result, er
 	return &Result{Schema: rel, Rows: rows}, nil
 }
 
-// Open compiles a parsed statement into its output schema and a pull-based
+// OpenSelect lowers a parsed statement into the logical plan IR, optimizes
+// it against this engine's catalog (constant folding, predicate pushdown
+// into the scans, projection pruning) and opens the compiled pipeline.
+func (e *Engine) OpenSelect(ctx context.Context, sel *sqlparser.Select) (*schema.Relation, schema.RowIterator, error) {
+	root, err := plan.FromAST(sel)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrQuery, err)
+	}
+	root = plan.Optimize(root, plan.Options{Catalog: e.Catalog(), CrossBlock: true})
+	return e.Open(ctx, root)
+}
+
+// Open compiles a logical plan into its output schema and a pull-based
 // batch iterator. The caller owns the iterator and must Close it (or drain
 // it with schema.DrainIterator, which closes on exhaustion); closing early
 // stops upstream scans. Intermediate memory is bounded by the batch size
 // except at pipeline breakers (GROUP BY, windows, ORDER BY), which buffer
-// their own input.
+// their own input. The plan tree is only read, never modified, so one plan
+// can be opened concurrently.
 //
 // The pipeline is bound to ctx at every scan: cancellation is checked per
 // batch, so a cancelled consumer stops pulling from storage within one
 // batch (including inside pipeline breakers, which drain their input
 // through the same ctx-bound scans).
-func (e *Engine) Open(ctx context.Context, sel *sqlparser.Select) (*schema.Relation, schema.RowIterator, error) {
-	if sel.Where != nil && sqlparser.ContainsAggregate(sel.Where) {
-		return nil, nil, fmt.Errorf("%w: aggregate in WHERE clause", ErrQuery)
-	}
+func (e *Engine) Open(ctx context.Context, root plan.Node) (*schema.Relation, schema.RowIterator, error) {
+	return e.openBlock(ctx, root)
+}
 
-	b, it, err := e.openFrom(ctx, sel)
+// blockSpec is one query block of a plan, gathered back into clause form:
+// the operator tail above a source node, in the canonical lowering order.
+type blockSpec struct {
+	items    []sqlparser.SelectItem
+	groupBy  []sqlparser.Expr
+	having   sqlparser.Expr
+	orderBy  []sqlparser.OrderItem
+	distinct bool
+	limit    *int64
+	grouped  bool             // an Aggregate node is present
+	windowed bool             // a Window node is present
+	filters  []sqlparser.Expr // residual filters above the source, bottom-up
+}
+
+// gatherBlock decomposes one query block: [Limit] [Sort] [Distinct]
+// [Aggregate|Window|Project] [Filter*] source. Residual filters (those the
+// optimizer left above a join or derived table) are collected bottom-up so
+// conjunct order matches the original WHERE.
+func gatherBlock(top plan.Node) (*blockSpec, plan.Node) {
+	spec := &blockSpec{}
+	cur := top
+	if l, ok := cur.(*plan.Limit); ok {
+		n := l.N
+		spec.limit = &n
+		cur = l.Input
+	}
+	if s, ok := cur.(*plan.Sort); ok {
+		spec.orderBy = s.By
+		cur = s.Input
+	}
+	if d, ok := cur.(*plan.Distinct); ok {
+		spec.distinct = true
+		cur = d.Input
+	}
+	switch x := cur.(type) {
+	case *plan.Aggregate:
+		spec.items = x.Items
+		spec.groupBy = x.GroupBy
+		spec.having = x.Having
+		spec.grouped = true
+		cur = x.Input
+	case *plan.Window:
+		spec.items = x.Items
+		spec.windowed = true
+		cur = x.Input
+	case *plan.Project:
+		spec.items = x.Items
+		cur = x.Input
+	default:
+		// Bare source (no projection operator): identity output.
+		spec.items = []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}
+	}
+	for {
+		f, ok := cur.(*plan.Filter)
+		if !ok {
+			break
+		}
+		spec.filters = append([]sqlparser.Expr{f.Cond}, spec.filters...)
+		cur = f.Input
+	}
+	return spec, cur
+}
+
+// openBlock compiles one query block into its output schema and iterator.
+func (e *Engine) openBlock(ctx context.Context, top plan.Node) (*schema.Relation, schema.RowIterator, error) {
+	spec, src := gatherBlock(top)
+
+	b, it, err := e.openSource(ctx, src, spec)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || itemsContainAggregate(sel)
-	if grouped || itemsContainWindow(sel) || len(sel.OrderBy) > 0 {
-		rel, rows, err := e.evalBroken(sel, b, it, grouped)
+	if spec.grouped || spec.windowed || len(spec.orderBy) > 0 {
+		rel, rows, err := e.evalBroken(spec, b, it)
 		if err != nil {
 			return nil, nil, err
 		}
 		return rel, schema.WithContext(ctx, schema.IterateRows(rows, schema.DefaultBatchSize)), nil
 	}
 
-	p, err := buildProjector(sel, b)
+	p, err := buildProjector(spec.items, b)
 	if err != nil {
 		it.Close()
 		return nil, nil, err
 	}
-	out := schema.RowIterator(&projIter{src: it, p: p, env: &rowEnv{b: b}})
-	if sel.Distinct {
+	out := schema.RowIterator(&projIter{src: it, p: p, env: (&rowEnv{b: b}).reuse()})
+	if spec.distinct {
 		out = &distinctIter{src: out, seen: make(map[string]bool)}
 	}
-	if sel.Limit != nil {
-		n := int(*sel.Limit)
+	if spec.limit != nil {
+		n := int(*spec.limit)
 		if n < 0 {
 			n = 0
 		}
@@ -124,11 +233,254 @@ func (e *Engine) Open(ctx context.Context, sel *sqlparser.Select) (*schema.Relat
 	return p.rel, schema.WithContext(ctx, out), nil
 }
 
+// openSource compiles a block's source node and applies the block's residual
+// filters — pushed into the scan when the source is a single relation,
+// wrapped as filter operators otherwise.
+func (e *Engine) openSource(ctx context.Context, src plan.Node, spec *blockSpec) (*binding, schema.RowIterator, error) {
+	switch x := src.(type) {
+	case *plan.Scan:
+		return e.openPlanScan(ctx, x, spec)
+	case *plan.Values:
+		b := &binding{}
+		var it schema.RowIterator = schema.IterateRows(schema.Rows{{}}, 1)
+		return b, filterWrap(it, b, spec.filters), nil
+	case *plan.Derived:
+		rel, it, err := e.openBlock(ctx, x.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		b := bindingFromRelation(rel, x.Alias)
+		return b, filterWrap(it, b, spec.filters), nil
+	case *plan.Join:
+		b, it, err := e.openJoin(ctx, x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, filterWrap(it, b, spec.filters), nil
+	default:
+		// A nested operator chain without a Derived marker: compile it as
+		// its own block and bind the output unqualified.
+		rel, it, err := e.openBlock(ctx, src)
+		if err != nil {
+			return nil, nil, err
+		}
+		b := bindingFromRelation(rel, "")
+		return b, filterWrap(it, b, spec.filters), nil
+	}
+}
+
+// filterWrap applies residual filter conditions as streaming operators.
+func filterWrap(it schema.RowIterator, b *binding, conds []sqlparser.Expr) schema.RowIterator {
+	for _, c := range conds {
+		it = &filterIter{src: it, env: (&rowEnv{b: b}).reuse(), cond: c}
+	}
+	return it
+}
+
+// openPlanScan opens a single-relation scan with the node's pushed
+// predicate, the block's residual filters, and a pruned column set — the
+// node's own Columns when the optimizer set them, otherwise derived from
+// what the block reads — pushed down into the source's scan. The returned
+// binding reflects the projected layout.
+func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, spec *blockSpec) (*binding, schema.RowIterator, error) {
+	rel, err := RelationSchema(e.src, s.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	qual := s.Table
+	if s.Alias != "" {
+		qual = s.Alias
+	}
+	full := bindingFromRelation(rel, qual)
+
+	// The scan predicate (and any residual block filters — a single
+	// relation is always in scope) runs inside the scan, against the
+	// full-width row, before projection.
+	conds := make([]sqlparser.Expr, 0, 1+len(spec.filters))
+	if s.Predicate != nil {
+		conds = append(conds, s.Predicate)
+	}
+	conds = append(conds, spec.filters...)
+
+	var sc schema.Scan
+	if len(conds) > 0 {
+		env := (&rowEnv{b: full}).reuse()
+		cond := sqlparser.AndAll(conds)
+		sc.Filter = func(r schema.Row) (bool, error) {
+			env.row = r
+			return truthy(env, cond)
+		}
+	}
+
+	b := full
+	cols := e.scanColumns(s, spec, full)
+	if cols != nil {
+		sc.Columns = cols
+		b = bindingFromRelation(rel.Project(cols), qual)
+	}
+	it, err := OpenScan(ctx, e.src, s.Table, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, it, nil
+}
+
+// scanColumns decides the projection pushed into a scan: the plan's pruned
+// set when the optimizer recorded one, otherwise derived from the block
+// spec. nil keeps the full width.
+func (e *Engine) scanColumns(s *plan.Scan, spec *blockSpec, full *binding) []int {
+	if s.Columns != nil {
+		idxs := make([]int, 0, len(s.Columns))
+		for _, name := range s.Columns {
+			i, err := full.resolve(&sqlparser.ColumnRef{Name: name})
+			if err != nil {
+				return nil // stale pruning: fall back to the full width
+			}
+			idxs = append(idxs, i)
+		}
+		return idxs
+	}
+	return derivePushdown(spec, full)
+}
+
+// derivePushdown computes the column positions a block actually reads from
+// its single-table source, so the scan projects early and unused columns
+// never leave storage. It returns positions in select-list-first order
+// (making the downstream projection an identity whenever possible); nil
+// means no pushdown (star projection, unresolvable reference, or nothing to
+// prune). The scan's filter runs before projection, so filter-only columns
+// need not be kept.
+func derivePushdown(spec *blockSpec, b *binding) []int {
+	var idxs []int
+	seen := make(map[int]bool)
+	add := func(c *sqlparser.ColumnRef) bool {
+		i, err := b.resolve(c)
+		if err != nil {
+			return false // let the original resolution error surface downstream
+		}
+		if !seen[i] {
+			seen[i] = true
+			idxs = append(idxs, i)
+		}
+		return true
+	}
+	addExpr := func(e sqlparser.Expr) bool {
+		if e == nil {
+			return true
+		}
+		ok := true
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			switch c := x.(type) {
+			case *sqlparser.Star:
+				ok = false
+				return false
+			case *sqlparser.ColumnRef:
+				if !add(c) {
+					ok = false
+					return false
+				}
+			}
+			return ok
+		})
+		return ok
+	}
+
+	outputNames := make([]string, len(spec.items))
+	for i, it := range spec.items {
+		if !addExpr(it.Expr) {
+			return nil
+		}
+		name := it.Alias
+		if name == "" {
+			name = outputName(it.Expr, i)
+		}
+		outputNames[i] = name
+	}
+	for _, g := range spec.groupBy {
+		if !addExpr(g) {
+			return nil
+		}
+	}
+	if !addExpr(spec.having) {
+		return nil
+	}
+	for _, o := range spec.orderBy {
+		if spec.grouped {
+			// Grouped blocks sort over their own output, but aggregate
+			// calls in ORDER BY are evaluated over input rows — their
+			// argument columns must survive the scan.
+			for _, f := range sqlparser.Aggregates(o.Expr) {
+				for _, a := range f.Args {
+					if !addExpr(a) {
+						return nil
+					}
+				}
+			}
+			continue
+		}
+		// ORDER BY may reach back to input columns; references that resolve
+		// in the output (aliases, projected names) are served there and do
+		// not constrain the scan.
+		for _, c := range sqlparser.ColumnRefs(o.Expr) {
+			if c.Table == "" && nameIn(outputNames, c.Name) {
+				continue
+			}
+			if !add(c) {
+				return nil
+			}
+		}
+	}
+
+	if len(idxs) >= len(b.cols) {
+		// Full width: only worthwhile when it reorders into an identity
+		// projection of plain column references (the classic SELECT y, x
+		// case); otherwise the scan copy costs more than it saves.
+		if !allPlainItems(spec) || identityOrder(idxs) {
+			return nil
+		}
+	}
+	if len(idxs) == 0 {
+		// COUNT(*)-style blocks read no columns at all; ship empty rows.
+		return []int{}
+	}
+	return idxs
+}
+
+func allPlainItems(spec *blockSpec) bool {
+	if spec.grouped || spec.windowed || len(spec.orderBy) > 0 || spec.having != nil {
+		return false
+	}
+	for _, it := range spec.items {
+		if _, ok := it.Expr.(*sqlparser.ColumnRef); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func identityOrder(idxs []int) bool {
+	for i, v := range idxs {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+func nameIn(names []string, name string) bool {
+	for _, n := range names {
+		if n != "" && strings.EqualFold(n, name) {
+			return true
+		}
+	}
+	return false
+}
+
 // evalBroken is the pipeline-breaker path: grouping, window functions and
 // ORDER BY need the whole input (ORDER BY + LIMIT sorts fully before
 // truncating), so the upstream pipeline is drained here and the classic
 // materialized operators run over it.
-func (e *Engine) evalBroken(sel *sqlparser.Select, b *binding, it schema.RowIterator, grouped bool) (*schema.Relation, schema.Rows, error) {
+func (e *Engine) evalBroken(spec *blockSpec, b *binding, it schema.RowIterator) (*schema.Relation, schema.Rows, error) {
 	rows, err := schema.DrainIterator(it)
 	if err != nil {
 		return nil, nil, err
@@ -136,31 +488,31 @@ func (e *Engine) evalBroken(sel *sqlparser.Select, b *binding, it schema.RowIter
 
 	var out *Result
 	var orderRows schema.Rows // rows aligned with out.Rows for ORDER BY fallback
-	if grouped {
-		out, err = e.evalGrouped(sel, b, rows)
+	if spec.grouped {
+		out, err = e.evalGrouped(spec, b, rows)
 		if err != nil {
 			return nil, nil, err
 		}
 	} else {
-		out, orderRows, err = e.evalProjection(sel, b, rows)
+		out, orderRows, err = e.evalProjection(spec, b, rows)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
 
-	if sel.Distinct {
+	if spec.distinct {
 		out.Rows = distinctRows(out.Rows)
 		orderRows = nil
 	}
 
-	if len(sel.OrderBy) > 0 {
-		if err := sortResult(out, orderRows, b, sel.OrderBy); err != nil {
+	if len(spec.orderBy) > 0 {
+		if err := sortResult(out, orderRows, b, spec.orderBy); err != nil {
 			return nil, nil, err
 		}
 	}
 
-	if sel.Limit != nil {
-		n := int(*sel.Limit)
+	if spec.limit != nil {
+		n := int(*spec.limit)
 		if n < 0 {
 			n = 0
 		}
@@ -171,118 +523,15 @@ func (e *Engine) evalBroken(sel *sqlparser.Select, b *binding, it schema.RowIter
 	return out.Schema, out.Rows, nil
 }
 
-func itemsContainAggregate(sel *sqlparser.Select) bool {
-	for _, it := range sel.Items {
-		if sqlparser.ContainsAggregate(it.Expr) {
-			return true
-		}
-	}
-	return false
-}
-
-func itemsContainWindow(sel *sqlparser.Select) bool {
-	for _, it := range sel.Items {
-		if sqlparser.ContainsWindow(it.Expr) {
-			return true
-		}
-	}
-	return false
-}
-
-// openFrom opens the FROM clause as a batch pipeline and applies the WHERE
-// filter — pushed into the scan when FROM is a single table, wrapped as a
-// filter operator otherwise.
-func (e *Engine) openFrom(ctx context.Context, sel *sqlparser.Select) (*binding, schema.RowIterator, error) {
-	if tn, ok := sel.From.(*sqlparser.TableName); ok {
-		return e.openTableScan(ctx, tn, sel)
-	}
-	b, it, err := e.openRef(ctx, sel.From)
-	if err != nil {
-		return nil, nil, err
-	}
-	if sel.Where != nil {
-		it = &filterIter{src: it, env: &rowEnv{b: b}, cond: sel.Where}
-	}
-	return b, it, nil
-}
-
-// openTableScan opens a single-table FROM with the WHERE predicate compiled
-// to a row closure and the set of referenced columns pushed down into the
-// source's scan. The returned binding reflects the projected layout.
-func (e *Engine) openTableScan(ctx context.Context, tn *sqlparser.TableName, sel *sqlparser.Select) (*binding, schema.RowIterator, error) {
-	rel, err := RelationSchema(e.src, tn.Name)
-	if err != nil {
-		return nil, nil, err
-	}
-	qual := tn.Name
-	if tn.Alias != "" {
-		qual = tn.Alias
-	}
-	full := bindingFromRelation(rel, qual)
-
-	var sc schema.Scan
-	if sel.Where != nil {
-		env := &rowEnv{b: full}
-		cond := sel.Where
-		sc.Filter = func(r schema.Row) (bool, error) {
-			env.row = r
-			return truthy(env, cond)
-		}
-	}
-	b := full
-	if cols, ok := pushdownColumns(sel, full); ok {
-		sc.Columns = cols
-		b = bindingFromRelation(rel.Project(cols), qual)
-	}
-	it, err := OpenScan(ctx, e.src, tn.Name, sc)
-	if err != nil {
-		return nil, nil, err
-	}
-	return b, it, nil
-}
-
-// openRef opens one FROM item (without any WHERE handling).
-func (e *Engine) openRef(ctx context.Context, t sqlparser.TableRef) (*binding, schema.RowIterator, error) {
-	switch x := t.(type) {
-	case nil:
-		// SELECT without FROM: one empty row.
-		return &binding{}, schema.IterateRows(schema.Rows{{}}, 1), nil
-	case *sqlparser.TableName:
-		rel, err := RelationSchema(e.src, x.Name)
-		if err != nil {
-			return nil, nil, err
-		}
-		qual := x.Name
-		if x.Alias != "" {
-			qual = x.Alias
-		}
-		it, err := OpenScan(ctx, e.src, x.Name, schema.Scan{})
-		if err != nil {
-			return nil, nil, err
-		}
-		return bindingFromRelation(rel, qual), it, nil
-	case *sqlparser.Subquery:
-		rel, it, err := e.Open(ctx, x.Select)
-		if err != nil {
-			return nil, nil, err
-		}
-		return bindingFromRelation(rel, x.Alias), it, nil
-	case *sqlparser.Join:
-		return e.openJoin(ctx, x)
-	default:
-		return nil, nil, fmt.Errorf("%w: unsupported FROM item %T", ErrQuery, t)
-	}
-}
-
 // openJoin builds a streaming join: the right (build) side is materialized,
 // the left (probe) side streams batch-at-a-time. Equi-joins on plain column
 // references use a hash index; everything else falls back to nested loops.
-func (e *Engine) openJoin(ctx context.Context, j *sqlparser.Join) (*binding, schema.RowIterator, error) {
-	lb, lit, err := e.openRef(ctx, j.Left)
+func (e *Engine) openJoin(ctx context.Context, j *plan.Join) (*binding, schema.RowIterator, error) {
+	lb, lit, err := e.openJoinSide(ctx, j.Left)
 	if err != nil {
 		return nil, nil, err
 	}
-	rb, rit, err := e.openRef(ctx, j.Right)
+	rb, rit, err := e.openJoinSide(ctx, j.Right)
 	if err != nil {
 		lit.Close()
 		return nil, nil, err
@@ -320,6 +569,35 @@ func (e *Engine) openJoin(ctx context.Context, j *sqlparser.Join) (*binding, sch
 		leftJoin: j.Type == sqlparser.JoinLeft,
 		nullR:    nullRow(len(rb.cols)),
 	}, nil
+}
+
+// openJoinSide compiles one side of a join: a scan, a derived block, a
+// nested join, or any of those under side-pushed filters.
+func (e *Engine) openJoinSide(ctx context.Context, n plan.Node) (*binding, schema.RowIterator, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return e.openPlanScan(ctx, x, &blockSpec{items: []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}})
+	case *plan.Derived:
+		rel, it, err := e.openBlock(ctx, x.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bindingFromRelation(rel, x.Alias), it, nil
+	case *plan.Join:
+		return e.openJoin(ctx, x)
+	case *plan.Filter:
+		b, it, err := e.openJoinSide(ctx, x.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, &filterIter{src: it, env: (&rowEnv{b: b}).reuse(), cond: x.Cond}, nil
+	default:
+		rel, it, err := e.openBlock(ctx, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bindingFromRelation(rel, ""), it, nil
+	}
 }
 
 func joinRow(l, r schema.Row) schema.Row {
@@ -373,9 +651,10 @@ func splitEquiJoin(on sqlparser.Expr, lb, rb *binding) (eqL, eqR []int, rest []s
 	return eqL, eqR, rest
 }
 
-func residualOK(b *binding, row schema.Row, rest []sqlparser.Expr) (bool, error) {
+func residualOK(env *rowEnv, row schema.Row, rest []sqlparser.Expr) (bool, error) {
+	env.row = row
 	for _, c := range rest {
-		ok, err := truthy(&rowEnv{b: b, row: row}, c)
+		ok, err := truthy(env, c)
 		if err != nil {
 			return false, err
 		}
@@ -396,7 +675,7 @@ type outCol struct {
 	starIdx int // >=0 when the column is a direct star expansion
 }
 
-// projector is the compiled select list of a non-grouped SELECT: output
+// projector is the compiled select list of a non-grouped block: output
 // columns, output schema, and whether the projection is the identity.
 type projector struct {
 	cols     []outCol
@@ -406,9 +685,9 @@ type projector struct {
 
 // buildProjector expands stars and precomputes the output schema once, so
 // per-batch projection only evaluates expressions.
-func buildProjector(sel *sqlparser.Select, b *binding) (*projector, error) {
+func buildProjector(items []sqlparser.SelectItem, b *binding) (*projector, error) {
 	var cols []outCol
-	for i, it := range sel.Items {
+	for i, it := range items {
 		if st, ok := it.Expr.(*sqlparser.Star); ok {
 			idxs, err := b.starIndexes(st)
 			if err != nil {
@@ -454,50 +733,57 @@ func buildProjector(sel *sqlparser.Select, b *binding) (*projector, error) {
 	return &projector{cols: cols, rel: rel, identity: identity}, nil
 }
 
-// projectRow evaluates one output row against the environment's current row.
-func (p *projector) projectRow(env *rowEnv) (schema.Row, error) {
-	if p.identity {
-		return env.row, nil
-	}
-	orow := make(schema.Row, len(p.cols))
+// projectInto evaluates one output row into a caller-provided destination,
+// so batch loops can back many rows with one allocation.
+func (p *projector) projectInto(env *rowEnv, dst schema.Row) error {
 	for ci, c := range p.cols {
 		if c.starIdx >= 0 {
-			orow[ci] = env.row[c.starIdx]
+			dst[ci] = env.row[c.starIdx]
 			continue
 		}
 		v, err := evalExpr(env, c.expr)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		orow[ci] = v
+		dst[ci] = v
 	}
-	return orow, nil
+	return nil
 }
 
 // evalProjection handles the materialized non-grouped case, including window
 // functions. It returns the result plus the input rows aligned 1:1 with
 // output rows so ORDER BY can fall back to input columns.
-func (e *Engine) evalProjection(sel *sqlparser.Select, b *binding, rows schema.Rows) (*Result, schema.Rows, error) {
-	p, err := buildProjector(sel, b)
+func (e *Engine) evalProjection(spec *blockSpec, b *binding, rows schema.Rows) (*Result, schema.Rows, error) {
+	p, err := buildProjector(spec.items, b)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	// Precompute window values per row.
-	winVals, err := e.evalWindows(sel, b, rows)
+	winVals, err := e.evalWindows(spec.items, b, rows)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	out := make(schema.Rows, len(rows))
-	env := &rowEnv{b: b}
+	env := (&rowEnv{b: b}).reuse()
+	nc := len(p.cols)
+	var vals []schema.Value
+	if !p.identity {
+		// One backing array for the whole materialized projection.
+		vals = make([]schema.Value, len(rows)*nc)
+	}
 	for ri, row := range rows {
 		env.row = row
 		if winVals != nil {
 			env.win = winVals[ri]
 		}
-		orow, err := p.projectRow(env)
-		if err != nil {
+		if p.identity {
+			out[ri] = row
+			continue
+		}
+		orow := vals[ri*nc : (ri+1)*nc : (ri+1)*nc]
+		if err := p.projectInto(env, orow); err != nil {
 			return nil, nil, err
 		}
 		out[ri] = orow

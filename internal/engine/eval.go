@@ -11,12 +11,43 @@ import (
 
 // rowEnv carries everything needed to evaluate an expression against one
 // row: the binding, the row itself, and precomputed values for aggregate and
-// window calls (keyed by their canonical SQL text).
+// window calls (keyed by their canonical SQL text). Long-lived environments
+// (one per operator, reused across every row of the stream) memoize column
+// resolution per expression node in idx — resolve walks the binding with
+// case folding, which is far too slow to repeat per row.
 type rowEnv struct {
 	b   *binding
 	row schema.Row
 	agg map[string]schema.Value
 	win map[string]schema.Value
+	idx map[*sqlparser.ColumnRef]int
+}
+
+// reuse marks the environment as long-lived, enabling per-node memoization
+// of column resolution. Per-row throwaway environments skip the map (its
+// allocation would cost more than one resolve).
+func (env *rowEnv) reuse() *rowEnv {
+	env.idx = make(map[*sqlparser.ColumnRef]int, 8)
+	return env
+}
+
+// colIndex resolves a column reference, memoized when the environment is
+// long-lived. Failed resolutions are not cached (they carry per-call error
+// context and only happen once before the query errors out).
+func (env *rowEnv) colIndex(c *sqlparser.ColumnRef) (int, error) {
+	if env.idx != nil {
+		if i, ok := env.idx[c]; ok {
+			return i, nil
+		}
+	}
+	i, err := env.b.resolve(c)
+	if err != nil {
+		return i, err
+	}
+	if env.idx != nil {
+		env.idx[c] = i
+	}
+	return i, nil
 }
 
 // evalExpr evaluates a scalar or boolean expression with SQL NULL
@@ -26,7 +57,7 @@ func evalExpr(env *rowEnv, e sqlparser.Expr) (schema.Value, error) {
 	case *sqlparser.Literal:
 		return x.Value, nil
 	case *sqlparser.ColumnRef:
-		i, err := env.b.resolve(x)
+		i, err := env.colIndex(x)
 		if err != nil {
 			return schema.Null(), err
 		}

@@ -13,10 +13,10 @@ type group struct {
 	rows schema.Rows
 }
 
-// evalGrouped handles SELECT statements with GROUP BY, HAVING or aggregate
-// functions in the select list. Output is one row per surviving group.
-func (e *Engine) evalGrouped(sel *sqlparser.Select, b *binding, rows schema.Rows) (*Result, error) {
-	for _, it := range sel.Items {
+// evalGrouped handles blocks with GROUP BY, HAVING or aggregate functions in
+// the select list. Output is one row per surviving group.
+func (e *Engine) evalGrouped(spec *blockSpec, b *binding, rows schema.Rows) (*Result, error) {
+	for _, it := range spec.items {
 		if _, ok := it.Expr.(*sqlparser.Star); ok {
 			return nil, fmt.Errorf("%w: SELECT * is not valid in a grouped query", ErrQuery)
 		}
@@ -25,7 +25,7 @@ func (e *Engine) evalGrouped(sel *sqlparser.Select, b *binding, rows schema.Rows
 		}
 	}
 
-	groups, err := buildGroups(b, rows, sel.GroupBy)
+	groups, err := buildGroups(b, rows, spec.groupBy)
 	if err != nil {
 		return nil, err
 	}
@@ -41,17 +41,17 @@ func (e *Engine) evalGrouped(sel *sqlparser.Select, b *binding, rows schema.Rows
 			}
 		}
 	}
-	for _, it := range sel.Items {
+	for _, it := range spec.items {
 		collect(it.Expr)
 	}
-	collect(sel.Having)
-	for _, o := range sel.OrderBy {
+	collect(spec.having)
+	for _, o := range spec.orderBy {
 		collect(o.Expr)
 	}
 
 	// Output schema.
-	rel := &schema.Relation{Columns: make([]schema.Column, len(sel.Items))}
-	for i, it := range sel.Items {
+	rel := &schema.Relation{Columns: make([]schema.Column, len(spec.items))}
+	for i, it := range spec.items {
 		name := it.Alias
 		if name == "" {
 			name = outputName(it.Expr, i)
@@ -64,6 +64,7 @@ func (e *Engine) evalGrouped(sel *sqlparser.Select, b *binding, rows schema.Rows
 	}
 
 	var out schema.Rows
+	env := (&rowEnv{b: b}).reuse()
 	for _, g := range groups {
 		aggVals := make(map[string]schema.Value, len(aggCalls))
 		for _, f := range aggCalls {
@@ -73,9 +74,9 @@ func (e *Engine) evalGrouped(sel *sqlparser.Select, b *binding, rows schema.Rows
 			}
 			aggVals[f.SQL()] = v
 		}
-		env := &rowEnv{b: b, row: g.rep, agg: aggVals}
-		if sel.Having != nil {
-			ok, err := truthy(env, sel.Having)
+		env.row, env.agg = g.rep, aggVals
+		if spec.having != nil {
+			ok, err := truthy(env, spec.having)
 			if err != nil {
 				return nil, err
 			}
@@ -83,8 +84,8 @@ func (e *Engine) evalGrouped(sel *sqlparser.Select, b *binding, rows schema.Rows
 				continue
 			}
 		}
-		orow := make(schema.Row, len(sel.Items))
-		for i, it := range sel.Items {
+		orow := make(schema.Row, len(spec.items))
+		for i, it := range spec.items {
 			v, err := evalExpr(env, it.Expr)
 			if err != nil {
 				return nil, err
@@ -109,8 +110,9 @@ func buildGroups(b *binding, rows schema.Rows, exprs []sqlparser.Expr) ([]*group
 	}
 	index := make(map[string]*group)
 	var order []*group
+	env := (&rowEnv{b: b}).reuse()
 	for _, r := range rows {
-		env := &rowEnv{b: b, row: r}
+		env.row = r
 		key := ""
 		for _, ex := range exprs {
 			v, err := evalExpr(env, ex)

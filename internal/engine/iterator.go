@@ -104,14 +104,18 @@ func (pi *projIter) Next() (schema.Rows, error) {
 	if pi.p.identity {
 		return in, nil
 	}
+	// One backing array per batch (rows may be retained downstream, so the
+	// array is fresh each pull; only the header buffer is reused).
+	nc := len(pi.p.cols)
+	vals := make([]schema.Value, len(in)*nc)
 	out := pi.buf[:0]
-	for _, r := range in {
+	for i, r := range in {
 		pi.env.row = r
-		or, err := pi.p.projectRow(pi.env)
-		if err != nil {
+		orow := vals[i*nc : (i+1)*nc : (i+1)*nc]
+		if err := pi.p.projectInto(pi.env, orow); err != nil {
 			return nil, err
 		}
-		out = append(out, or)
+		out = append(out, orow)
 	}
 	pi.buf = out
 	return out, nil
@@ -207,6 +211,7 @@ type hashJoinIter struct {
 	eqL      []int
 	rest     []sqlparser.Expr
 	cb       *binding
+	env      *rowEnv
 	leftJoin bool
 	nullR    schema.Row
 	buf      schema.Rows
@@ -218,12 +223,15 @@ func (h *hashJoinIter) Next() (schema.Rows, error) {
 		if err != nil || in == nil {
 			return nil, err
 		}
+		if h.env == nil {
+			h.env = (&rowEnv{b: h.cb}).reuse()
+		}
 		out := h.buf[:0]
 		for _, lr := range in {
 			matched := false
 			for _, ri := range h.index[lr.GroupKey(h.eqL)] {
 				combined := joinRow(lr, h.rrows[ri])
-				ok, err := residualOK(h.cb, combined, h.rest)
+				ok, err := residualOK(h.env, combined, h.rest)
 				if err != nil {
 					return nil, err
 				}
@@ -252,6 +260,7 @@ type loopJoinIter struct {
 	rrows    schema.Rows
 	on       sqlparser.Expr
 	cb       *binding
+	env      *rowEnv
 	leftJoin bool
 	nullR    schema.Row
 	buf      schema.Rows
@@ -263,8 +272,11 @@ func (l *loopJoinIter) Next() (schema.Rows, error) {
 		if err != nil || in == nil {
 			return nil, err
 		}
+		if l.env == nil {
+			l.env = (&rowEnv{b: l.cb}).reuse()
+		}
 		out := l.buf[:0]
-		env := &rowEnv{b: l.cb}
+		env := l.env
 		for _, lr := range in {
 			matched := false
 			for _, rr := range l.rrows {
@@ -294,40 +306,3 @@ func (l *loopJoinIter) Next() (schema.Rows, error) {
 }
 
 func (l *loopJoinIter) Close() { l.left.Close() }
-
-// pushdownColumns decides the projection to push into a single-table scan.
-// Projecting inside the scan costs one row allocation per surviving row, so
-// it only pays when it makes the downstream projection the identity: every
-// select item must be a plain column reference (distinct positions, so the
-// projected layout has unambiguous names) and no other clause may need
-// columns the items drop (no GROUP BY / HAVING / ORDER BY — the WHERE
-// filter runs before projection and always sees the full row). The
-// positions are returned in select-list order; ok is false when pushdown
-// does not apply or would be a no-op.
-func pushdownColumns(sel *sqlparser.Select, b *binding) ([]int, bool) {
-	if len(sel.GroupBy) > 0 || sel.Having != nil || len(sel.OrderBy) > 0 {
-		return nil, false
-	}
-	cols := make([]int, 0, len(sel.Items))
-	seen := make(map[int]bool, len(sel.Items))
-	identity := len(sel.Items) == len(b.cols)
-	for pos, it := range sel.Items {
-		c, ok := it.Expr.(*sqlparser.ColumnRef)
-		if !ok {
-			return nil, false
-		}
-		i, err := b.resolve(c)
-		if err != nil || seen[i] {
-			return nil, false
-		}
-		seen[i] = true
-		cols = append(cols, i)
-		if i != pos {
-			identity = false
-		}
-	}
-	if identity {
-		return nil, false // full-width in order: nothing to project
-	}
-	return cols, true
-}

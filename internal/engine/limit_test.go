@@ -170,7 +170,7 @@ func TestCancelStopsScanWithinOneBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, it, err := New(src).Open(ctx, sel)
+	_, it, err := New(src).OpenSelect(ctx, sel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestCancelStopsBreakerDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := New(src).Open(ctx, sel); !errors.Is(err, context.Canceled) {
+	if _, _, err := New(src).OpenSelect(ctx, sel); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Open under cancelled ctx = %v, want context.Canceled", err)
 	}
 	if src.scanned > schema.DefaultBatchSize {
@@ -218,7 +218,7 @@ func TestPipelineCloseIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, it, err := New(src).Open(context.Background(), sel)
+	_, it, err := New(src).OpenSelect(context.Background(), sel)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"fmt"
+
+	"paradise/internal/plan"
 	"paradise/internal/schema"
 	"paradise/internal/sqlparser"
 )
@@ -27,72 +30,91 @@ func EvalAggregate(rel *schema.Relation, rows schema.Rows, f *sqlparser.FuncCall
 }
 
 // OutputSchema computes the output relation a SELECT statement produces
-// against the source, without executing it (it does execute subqueries'
-// schema derivation recursively but touches no rows). Used by the rewriter
-// and fragmenter for schema reasoning.
+// against the source, without executing it: the statement is lowered to the
+// plan IR and the schema is derived operator by operator (no rows are
+// touched). Used by the rewriter and fragmenter for schema reasoning.
 func (e *Engine) OutputSchema(sel *sqlparser.Select) (*schema.Relation, error) {
-	b, err := e.bindFrom(sel.From)
+	root, err := plan.FromAST(sel)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrQuery, err)
+	}
+	return e.PlanSchema(root)
+}
+
+// PlanSchema derives the output relation of a plan without executing it.
+func (e *Engine) PlanSchema(root plan.Node) (*schema.Relation, error) {
+	spec, src := gatherBlock(root)
+	b, err := e.bindSource(src)
 	if err != nil {
 		return nil, err
 	}
-	rel := &schema.Relation{}
-	for i, it := range sel.Items {
-		if st, ok := it.Expr.(*sqlparser.Star); ok {
-			idxs, err := b.starIndexes(st)
-			if err != nil {
-				return nil, err
+	if spec.grouped {
+		rel := &schema.Relation{Columns: make([]schema.Column, len(spec.items))}
+		for i, it := range spec.items {
+			name := it.Alias
+			if name == "" {
+				name = outputName(it.Expr, i)
 			}
-			for _, idx := range idxs {
-				c := b.cols[idx]
-				rel.Columns = append(rel.Columns, schema.Column{Name: c.name, Type: c.typ, Sensitive: c.sens})
+			rel.Columns[i] = schema.Column{
+				Name:      name,
+				Type:      b.staticType(it.Expr),
+				Sensitive: b.sensitiveExpr(it.Expr),
 			}
-			continue
 		}
-		name := it.Alias
-		if name == "" {
-			name = outputName(it.Expr, i)
-		}
-		rel.Columns = append(rel.Columns, schema.Column{
-			Name:      name,
-			Type:      b.staticType(it.Expr),
-			Sensitive: b.sensitiveExpr(it.Expr),
-		})
+		return rel, nil
 	}
-	return rel, nil
+	p, err := buildProjector(spec.items, b)
+	if err != nil {
+		return nil, err
+	}
+	return p.rel, nil
 }
 
-// bindFrom derives the binding of a FROM clause without evaluating rows.
-func (e *Engine) bindFrom(t sqlparser.TableRef) (*binding, error) {
-	switch x := t.(type) {
-	case nil:
+// bindSource derives the binding of a plan source node without opening any
+// scans.
+func (e *Engine) bindSource(src plan.Node) (*binding, error) {
+	switch x := src.(type) {
+	case *plan.Values:
 		return &binding{}, nil
-	case *sqlparser.TableName:
-		rel, err := RelationSchema(e.src, x.Name)
+	case *plan.Scan:
+		rel, err := RelationSchema(e.src, x.Table)
 		if err != nil {
 			return nil, err
 		}
-		qual := x.Name
+		qual := x.Table
 		if x.Alias != "" {
 			qual = x.Alias
 		}
-		return bindingFromRelation(rel, qual), nil
-	case *sqlparser.Subquery:
-		rel, err := e.OutputSchema(x.Select)
+		b := bindingFromRelation(rel, qual)
+		if x.Columns != nil {
+			if idxs := e.scanColumns(x, &blockSpec{}, b); idxs != nil {
+				b = bindingFromRelation(rel.Project(idxs), qual)
+			}
+		}
+		return b, nil
+	case *plan.Derived:
+		rel, err := e.PlanSchema(x.Input)
 		if err != nil {
 			return nil, err
 		}
 		return bindingFromRelation(rel, x.Alias), nil
-	case *sqlparser.Join:
-		lb, err := e.bindFrom(x.Left)
+	case *plan.Join:
+		lb, err := e.bindSource(x.Left)
 		if err != nil {
 			return nil, err
 		}
-		rb, err := e.bindFrom(x.Right)
+		rb, err := e.bindSource(x.Right)
 		if err != nil {
 			return nil, err
 		}
 		return lb.concat(rb), nil
+	case *plan.Filter:
+		return e.bindSource(x.Input)
 	default:
-		return nil, ErrQuery
+		rel, err := e.PlanSchema(src)
+		if err != nil {
+			return nil, err
+		}
+		return bindingFromRelation(rel, ""), nil
 	}
 }

@@ -15,11 +15,17 @@ func sortResult(res *Result, inputRows schema.Rows, b *binding, items []sqlparse
 	n := len(res.Rows)
 	keys := make([][]schema.Value, n)
 	outB := bindingFromRelation(res.Schema, "")
+	outEnv := (&rowEnv{b: outB}).reuse()
+	var inEnv *rowEnv
+	if b != nil {
+		inEnv = (&rowEnv{b: b}).reuse()
+	}
 
+	kvals := make([]schema.Value, n*len(items))
 	for ri := 0; ri < n; ri++ {
-		ks := make([]schema.Value, len(items))
+		ks := kvals[ri*len(items) : (ri+1)*len(items) : (ri+1)*len(items)]
 		for i, it := range items {
-			v, err := orderKey(res, outB, inputRows, b, ri, it.Expr)
+			v, err := orderKey(res, outEnv, inputRows, inEnv, ri, it.Expr)
 			if err != nil {
 				return err
 			}
@@ -45,8 +51,9 @@ func sortResult(res *Result, inputRows schema.Rows, b *binding, items []sqlparse
 }
 
 // orderKey computes one ORDER BY key for one row, preferring output columns
-// and falling back to the input row.
-func orderKey(res *Result, outB *binding, inputRows schema.Rows, b *binding, ri int, ex sqlparser.Expr) (schema.Value, error) {
+// and falling back to the input row. The environments are reused across
+// rows (resolution is memoized per expression node).
+func orderKey(res *Result, outEnv *rowEnv, inputRows schema.Rows, inEnv *rowEnv, ri int, ex sqlparser.Expr) (schema.Value, error) {
 	// A plain column reference that names an output column orders by it.
 	if c, ok := ex.(*sqlparser.ColumnRef); ok && c.Table == "" {
 		if i, err := res.Schema.Index(c.Name); err == nil {
@@ -55,13 +62,15 @@ func orderKey(res *Result, outB *binding, inputRows schema.Rows, b *binding, ri 
 	}
 	// Try the full expression against the output schema (covers ORDER BY on
 	// computed aliases spelled out again).
-	if v, err := evalExpr(&rowEnv{b: outB, row: res.Rows[ri]}, ex); err == nil {
+	outEnv.row = res.Rows[ri]
+	if v, err := evalExpr(outEnv, ex); err == nil {
 		return v, nil
 	}
 	// Fall back to the aligned input row when available.
-	if inputRows != nil && b != nil {
-		return evalExpr(&rowEnv{b: b, row: inputRows[ri]}, ex)
+	if inputRows != nil && inEnv != nil {
+		inEnv.row = inputRows[ri]
+		return evalExpr(inEnv, ex)
 	}
 	// Surface the output-schema error.
-	return evalExpr(&rowEnv{b: outB, row: res.Rows[ri]}, ex)
+	return evalExpr(outEnv, ex)
 }

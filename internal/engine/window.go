@@ -17,10 +17,10 @@ import (
 // — equal order keys — share the frame); without ORDER BY the frame is the
 // whole partition. This is exactly what the paper's running example
 // (regr_intercept OVER (PARTITION BY z ORDER BY t)) requires.
-func (e *Engine) evalWindows(sel *sqlparser.Select, b *binding, rows schema.Rows) ([]map[string]schema.Value, error) {
+func (e *Engine) evalWindows(items []sqlparser.SelectItem, b *binding, rows schema.Rows) ([]map[string]schema.Value, error) {
 	var calls []*sqlparser.FuncCall
 	seen := make(map[string]bool)
-	for _, it := range sel.Items {
+	for _, it := range items {
 		for _, f := range sqlparser.WindowCalls(it.Expr) {
 			if !seen[f.SQL()] {
 				seen[f.SQL()] = true
@@ -49,8 +49,9 @@ func (e *Engine) evalOneWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCa
 	// Partition rows.
 	parts := make(map[string][]int)
 	var order []string
+	env := (&rowEnv{b: b}).reuse()
 	for ri, row := range rows {
-		env := &rowEnv{b: b, row: row}
+		env.row = row
 		pk := ""
 		for _, pe := range f.Over.PartitionBy {
 			v, err := evalExpr(env, pe)

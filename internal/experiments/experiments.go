@@ -15,6 +15,7 @@ import (
 	"paradise/internal/engine"
 	"paradise/internal/fragment"
 	"paradise/internal/network"
+	logical "paradise/internal/plan"
 	"paradise/internal/policy"
 	"paradise/internal/rewrite"
 	"paradise/internal/schema"
@@ -284,7 +285,11 @@ func Figure3(sizes []int, seed int64) ([]Figure3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		naive, err := network.RunNaive(context.Background(), topo, orig, st)
+		origRoot, err := logical.FromAST(orig)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := network.RunNaive(context.Background(), topo, origRoot, st)
 		if err != nil {
 			return nil, err
 		}
@@ -355,7 +360,11 @@ func Figure3Ladder(n int, seed int64) ([]LadderRow, error) {
 	}
 	// Baseline: no home processing at all.
 	orig, _ := sqlparser.Parse(OriginalUseCaseQuery)
-	naive, err := network.RunNaive(context.Background(), network.DefaultApartment(), orig, st)
+	origRoot, err := logical.FromAST(orig)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := network.RunNaive(context.Background(), network.DefaultApartment(), origRoot, st)
 	if err != nil {
 		return nil, err
 	}

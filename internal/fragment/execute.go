@@ -177,7 +177,7 @@ func OpenChain(ctx context.Context, plan *Plan, base engine.Source) (*Chain, err
 	stages := make([]*stageIter, 0, len(plan.Fragments))
 	var rel *schema.Relation
 	for _, f := range plan.Fragments {
-		stageRel, it, err := engine.New(src).Open(ctx, f.Query)
+		stageRel, it, err := engine.New(src).Open(ctx, f.Root)
 		if err != nil {
 			// Abandon the chain. Open's own cleanup may already have
 			// closed (and thereby drained) upstream stages; the stats are

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	logical "paradise/internal/plan"
 	"paradise/internal/sqlparser"
 )
 
@@ -19,7 +20,12 @@ type Fragment struct {
 	Stage int
 	// MinLevel is the least capable rung that can execute the fragment.
 	MinLevel Level
-	// Query is the fragment's SQL; its FROM references Input.
+	// Root is the fragment's logical plan subtree; its scans reference
+	// Input. The engine compiles Root directly — fragments ship plan trees,
+	// not SQL strings.
+	Root logical.Node
+	// Query is the SQL surface of Root (rendered via plan.ToSelect), kept
+	// for reports, the CLI and the paper-match exhibits.
 	Query *sqlparser.Select
 	// Input is the relation the fragment reads: a base table for stage 1,
 	// else the previous fragment's Output.
@@ -38,7 +44,10 @@ func (f *Fragment) SQL() string { return f.Query.SQL() }
 type Plan struct {
 	// Fragments bottom-up: Fragments[0] runs at the sensor.
 	Fragments []*Fragment
-	// Original is the query the plan decomposes (already privacy-rewritten).
+	// Root is the logical plan the decomposition was derived from (already
+	// privacy-rewritten).
+	Root logical.Node
+	// Original is the SQL surface of Root, for reports.
 	Original *sqlparser.Select
 }
 
@@ -64,42 +73,90 @@ func (p *Plan) String() string {
 	return b.String()
 }
 
+// Explain renders every fragment's logical plan tree, for -explain output.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	for _, f := range p.Fragments {
+		fmt.Fprintf(&b, "Q%d @ %s — %s (reads %s, emits %s)\n", f.Stage, f.MinLevel, f.Description, f.Input, f.Output)
+		for _, line := range strings.Split(strings.TrimRight(logical.String(f.Root), "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	return b.String()
+}
+
 // Fragmenter decomposes queries along the capability ladder.
 type Fragmenter struct{}
 
 // New creates a Fragmenter.
 func New() *Fragmenter { return &Fragmenter{} }
 
-// Fragment decomposes a (rewritten) query into the maximal pushed-down
-// chain. The input is not modified. Decomposition walks the FROM spine of
-// nested derived tables: the innermost SELECT is split into sensor-level
-// constant filters, appliance-level attribute filters and projections, and
-// an appliance-level aggregation; every enclosing SELECT becomes one
-// fragment at the level its features require.
-func (fr *Fragmenter) Fragment(q *sqlparser.Select) (*Plan, error) {
-	q = sqlparser.CloneSelect(q)
+// block is one query block of the logical plan, in clause form: the
+// operator tail between two Derived boundaries.
+type block struct {
+	items    []sqlparser.SelectItem
+	groupBy  []sqlparser.Expr
+	having   sqlparser.Expr
+	orderBy  []sqlparser.OrderItem
+	distinct bool
+	limit    *int64
+	grouped  bool
+	filters  []sqlparser.Expr     // WHERE conjuncts, in original order
+	prov     []logical.Provenance // provenance of policy-injected conjuncts
+	src      logical.Node         // *plan.Scan, *plan.Join or *plan.Values for the innermost block, nil for outer blocks (they read the next block)
+}
 
-	// Collect the spine, innermost last.
-	var spine []*sqlparser.Select
-	cur := q
+// Fragment parses the statement's logical structure and decomposes it.
+// The input is not modified.
+func (fr *Fragmenter) Fragment(q *sqlparser.Select) (*Plan, error) {
+	root, err := logical.FromAST(q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFragment, err)
+	}
+	return fr.FromPlan(root)
+}
+
+// FromPlan decomposes a logical plan into the maximal pushed-down chain.
+// Decomposition walks the plan's block spine (Derived boundaries — the
+// nesting of the source SQL): the innermost block is split into
+// sensor-level constant filters, appliance-level attribute filters and
+// projections, and an appliance-level aggregation; every enclosing block
+// becomes one fragment at the level its operators require. The plan tree is
+// not modified; fragment Roots are fresh trees.
+func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
+	orig, err := logical.ToSelect(root)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFragment, err)
+	}
+
+	// Collect the block spine, outermost first.
+	var spine []*block
+	cur := root
 	for {
-		spine = append(spine, cur)
-		sq, ok := cur.From.(*sqlparser.Subquery)
-		if !ok {
-			break
+		b, src := gatherBlock(cur)
+		spine = append(spine, b)
+		if d, ok := src.(*logical.Derived); ok {
+			cur = d.Input
+			continue
 		}
-		cur = sq.Select
+		b.src = src
+		break
 	}
 	inner := spine[len(spine)-1]
 
-	plan := &Plan{Original: q}
+	plan := &Plan{Root: root, Original: orig}
 	next := 1
 	output := func() string { return fmt.Sprintf("d%d", next) }
 
-	addFragment := func(sel *sqlparser.Select, lvl Level, desc string, input string) *Fragment {
+	addFragment := func(node logical.Node, lvl Level, desc string, input string) (*Fragment, error) {
+		sel, err := logical.ToSelect(node)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFragment, err)
+		}
 		f := &Fragment{
 			Stage:       next,
 			MinLevel:    lvl,
+			Root:        node,
 			Query:       sel,
 			Input:       input,
 			Output:      output(),
@@ -107,165 +164,281 @@ func (fr *Fragmenter) Fragment(q *sqlparser.Select) (*Plan, error) {
 		}
 		plan.Fragments = append(plan.Fragments, f)
 		next++
-		return f
+		return f, nil
 	}
 
-	// --- Innermost SELECT decomposition ---
-	baseName, err := baseInput(inner.From)
+	baseName, err := baseInput(inner.src)
 	if err != nil {
 		return nil, err
 	}
 
-	// A join in the innermost FROM cannot run on a single sensor, and
+	// A join in the innermost block cannot run on a single sensor, and
 	// splitting it would lose the column qualifiers its clauses rely on:
-	// the whole SELECT becomes one appliance-level fragment (sensors still
+	// the whole block becomes one appliance-level fragment (sensors still
 	// only ship their own streams; the join happens one hop up).
-	if _, isJoin := inner.From.(*sqlparser.Join); isJoin {
-		joinSel := sqlparser.CloneSelect(inner)
+	if _, isJoin := inner.src.(*logical.Join); isJoin {
 		lvl := LevelAppliance
-		if itemsWindow(inner) || len(inner.OrderBy) > 0 || inner.Limit != nil || inner.Distinct {
+		if itemsWindow(inner.items) || len(inner.orderBy) > 0 || inner.limit != nil || inner.distinct {
 			lvl = LevelPC
 		}
-		prev := addFragment(joinSel, lvl, "appliance join", baseName)
-		for i := len(spine) - 2; i >= 0; i-- {
-			s := sqlparser.CloneSelect(spine[i])
-			s.From = &sqlparser.TableName{Name: prev.Output}
-			prev = addFragment(s, levelOfSelect(s), descOfSelect(s), prev.Output)
+		prev, err := addFragment(inner.rebuild(inner.src), lvl, "appliance join", baseName)
+		if err != nil {
+			return nil, err
 		}
-		return plan, nil
+		return plan, fr.addSpine(plan, spine, prev, addFragment)
 	}
 
-	constConj, otherConj := splitConjuncts(inner.Where)
+	scan, ok := inner.src.(*logical.Scan)
+	if !ok {
+		return nil, fmt.Errorf("%w: SELECT without FROM", ErrFragment)
+	}
+
+	constConj, otherConj := splitConjuncts(inner.filters)
 
 	// Stage 1 (E4): SELECT * FROM base WHERE <constant filters>.
-	sensorSel := &sqlparser.Select{
+	sensorRoot := &logical.Project{
 		Items: []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}},
-		From:  sqlparser.CloneTableRef(inner.From),
-		Where: sqlparser.AndAll(constConj),
+		Input: &logical.Scan{
+			Table:     scan.Table,
+			Alias:     scan.Alias,
+			Predicate: sqlparser.AndAll(constConj),
+			Prov:      provFiltered(inner.prov, constConj),
+		},
 	}
 	desc := "sensor scan"
 	if len(constConj) > 0 {
 		desc = "sensor filter (attr vs const)"
 	}
-	prev := addFragment(sensorSel, LevelSensor, desc, baseName)
+	prev, err := addFragment(sensorRoot, LevelSensor, desc, baseName)
+	if err != nil {
+		return nil, err
+	}
 
-	hasAgg := len(inner.GroupBy) > 0 || inner.Having != nil || itemsAggregate(inner)
-	hasWin := itemsWindow(inner)
+	hasAgg := inner.grouped
+	hasWin := itemsWindow(inner.items)
 
 	// Above the sensor stage the single base table is renamed d1, d2, ...;
 	// qualified references to the original name would dangle, and with one
 	// table they are redundant, so they are stripped.
-	stripQualifiers(inner)
+	inner.stripQualifiers()
 	otherConj = stripExprQualifiers(otherConj)
 
 	switch {
 	case hasWin:
 		// Rare shape: innermost with windows — keep it whole above the
 		// sensor filter.
-		rest := sqlparser.CloneSelect(inner)
-		rest.From = &sqlparser.TableName{Name: prev.Output}
-		rest.Where = sqlparser.AndAll(otherConj)
-		addFragment(rest, LevelPC, "window evaluation", prev.Output)
+		rest := *inner
+		rest.filters = otherConj
+		prev, err = addFragment(rest.rebuild(&logical.Scan{Table: prev.Output}), LevelPC, "window evaluation", prev.Output)
+		if err != nil {
+			return nil, err
+		}
 	case hasAgg:
 		// Stage 2 (E3): attribute filter + projection of the raw columns
 		// the aggregation needs.
-		needed := neededColumns(inner)
-		projSel := &sqlparser.Select{
+		needed := inner.neededColumns()
+		projRoot := &logical.Project{
 			Items: columnsToItems(needed),
-			From:  &sqlparser.TableName{Name: prev.Output},
-			Where: sqlparser.AndAll(otherConj),
+			Input: &logical.Scan{
+				Table:     prev.Output,
+				Predicate: sqlparser.AndAll(otherConj),
+				Prov:      provFiltered(inner.prov, otherConj),
+			},
 		}
 		desc := "appliance projection"
 		if len(otherConj) > 0 {
 			desc = "appliance filter + projection"
 		}
-		prev = addFragment(projSel, LevelAppliance, desc, prev.Output)
+		prev, err = addFragment(projRoot, LevelAppliance, desc, prev.Output)
+		if err != nil {
+			return nil, err
+		}
 
 		// Stage 3 (E3): the aggregation itself (the media center's part).
-		aggSel := &sqlparser.Select{
-			Items:   cloneItems(inner.Items),
-			From:    &sqlparser.TableName{Name: prev.Output},
-			GroupBy: cloneExprs(inner.GroupBy),
-			Having:  sqlparser.CloneExpr(inner.Having),
-			OrderBy: cloneOrder(inner.OrderBy),
-			Limit:   cloneLimit(inner.Limit),
+		agg := &block{
+			items:   cloneItems(inner.items),
+			groupBy: cloneExprs(inner.groupBy),
+			having:  sqlparser.CloneExpr(inner.having),
+			orderBy: cloneOrder(inner.orderBy),
+			limit:   cloneLimit(inner.limit),
+			grouped: true,
 		}
 		lvl := LevelAppliance
-		if len(inner.OrderBy) > 0 || inner.Limit != nil {
+		if len(inner.orderBy) > 0 || inner.limit != nil {
 			lvl = LevelPC
 		}
-		prev = addFragment(aggSel, lvl, "aggregation (GROUP BY/HAVING)", prev.Output)
+		prev, err = addFragment(agg.rebuild(&logical.Scan{Table: prev.Output}), lvl, "aggregation (GROUP BY/HAVING)", prev.Output)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		// Stage 2 (E3): attribute filters + the final projection of this
-		// SELECT in one appliance fragment.
-		projSel := &sqlparser.Select{
-			Distinct: inner.Distinct,
-			Items:    cloneItems(inner.Items),
-			From:     &sqlparser.TableName{Name: prev.Output},
-			Where:    sqlparser.AndAll(otherConj),
-			OrderBy:  cloneOrder(inner.OrderBy),
-			Limit:    cloneLimit(inner.Limit),
-		}
+		// block in one appliance fragment.
 		lvl := LevelAppliance
-		if len(inner.OrderBy) > 0 || inner.Limit != nil || inner.Distinct {
+		if len(inner.orderBy) > 0 || inner.limit != nil || inner.distinct {
 			lvl = LevelPC
 		}
-		if onlyStarItems(inner.Items) && len(otherConj) == 0 && lvl == LevelAppliance {
+		if onlyStarItems(inner.items) && len(otherConj) == 0 && lvl == LevelAppliance {
 			// Nothing left to do at this level; skip the no-op fragment.
 			break
 		}
-		prev = addFragment(projSel, lvl, "appliance filter + projection", prev.Output)
-	}
-
-	// --- Enclosing spine SELECTs, inner to outer ---
-	for i := len(spine) - 2; i >= 0; i-- {
-		s := sqlparser.CloneSelect(spine[i])
-		s.From = &sqlparser.TableName{Name: prev.Output}
-		lvl := levelOfSelect(s)
-		prev = addFragment(s, lvl, descOfSelect(s), prev.Output)
-	}
-
-	return plan, nil
-}
-
-// baseInput names the base relation the innermost SELECT reads. Joins are
-// supported by treating the join as the sensor-level input is not possible —
-// a join already needs E3 — so for joins the "sensor" fragment degenerates
-// to the join itself at E3.
-func baseInput(t sqlparser.TableRef) (string, error) {
-	switch x := t.(type) {
-	case *sqlparser.TableName:
-		return x.Name, nil
-	case *sqlparser.Join:
-		names := collectJoinTables(x)
-		return strings.Join(names, "+"), nil
-	case nil:
-		return "", fmt.Errorf("%w: SELECT without FROM", ErrFragment)
-	default:
-		return "", fmt.Errorf("%w: unexpected FROM item %T", ErrFragment, t)
-	}
-}
-
-func collectJoinTables(j *sqlparser.Join) []string {
-	var out []string
-	var walk func(t sqlparser.TableRef)
-	walk = func(t sqlparser.TableRef) {
-		switch x := t.(type) {
-		case *sqlparser.TableName:
-			out = append(out, x.Name)
-		case *sqlparser.Join:
-			walk(x.Left)
-			walk(x.Right)
+		proj := *inner
+		proj.filters = otherConj
+		prev, err = addFragment(proj.rebuild(&logical.Scan{Table: prev.Output}), lvl, "appliance filter + projection", prev.Output)
+		if err != nil {
+			return nil, err
 		}
 	}
-	walk(j)
-	return out
+
+	return plan, fr.addSpine(plan, spine, prev, addFragment)
 }
 
-// splitConjuncts partitions a WHERE into sensor-capable constant filters and
-// the rest.
-func splitConjuncts(where sqlparser.Expr) (constConj, other []sqlparser.Expr) {
-	for _, c := range sqlparser.Conjuncts(where) {
+// addSpine appends one fragment per enclosing spine block, inner to outer.
+func (fr *Fragmenter) addSpine(plan *Plan, spine []*block, prev *Fragment,
+	addFragment func(logical.Node, Level, string, string) (*Fragment, error)) error {
+	for i := len(spine) - 2; i >= 0; i-- {
+		b := spine[i]
+		node := b.rebuild(&logical.Scan{Table: prev.Output})
+		f, err := addFragment(node, b.level(), b.describe(), prev.Output)
+		if err != nil {
+			return err
+		}
+		prev = f
+	}
+	return nil
+}
+
+// gatherBlock decomposes one query block of the plan: [Limit] [Sort]
+// [Distinct] [Aggregate|Window|Project] [Filter*] source.
+func gatherBlock(top logical.Node) (*block, logical.Node) {
+	b := &block{}
+	cur := top
+	if l, ok := cur.(*logical.Limit); ok {
+		n := l.N
+		b.limit = &n
+		cur = l.Input
+	}
+	if s, ok := cur.(*logical.Sort); ok {
+		b.orderBy = cloneOrder(s.By)
+		cur = s.Input
+	}
+	if d, ok := cur.(*logical.Distinct); ok {
+		b.distinct = true
+		cur = d.Input
+	}
+	switch x := cur.(type) {
+	case *logical.Aggregate:
+		b.items = cloneItems(x.Items)
+		b.groupBy = cloneExprs(x.GroupBy)
+		b.having = sqlparser.CloneExpr(x.Having)
+		b.grouped = true
+		cur = x.Input
+	case *logical.Window:
+		b.items = cloneItems(x.Items)
+		cur = x.Input
+	case *logical.Project:
+		b.items = cloneItems(x.Items)
+		cur = x.Input
+	default:
+		b.items = []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}
+	}
+	for {
+		f, ok := cur.(*logical.Filter)
+		if !ok {
+			break
+		}
+		conjs := make([]sqlparser.Expr, 0, 1)
+		for _, c := range sqlparser.Conjuncts(f.Cond) {
+			conjs = append(conjs, sqlparser.CloneExpr(c))
+		}
+		b.filters = append(conjs, b.filters...)
+		b.prov = append(b.prov, f.Prov...)
+		cur = f.Input
+	}
+	if s, ok := cur.(*logical.Scan); ok && s.Predicate != nil {
+		// A predicate already pushed into the scan joins the conjunct list
+		// ahead of the filters above it.
+		var conjs []sqlparser.Expr
+		for _, c := range sqlparser.Conjuncts(s.Predicate) {
+			conjs = append(conjs, sqlparser.CloneExpr(c))
+		}
+		b.filters = append(conjs, b.filters...)
+		b.prov = append(b.prov, s.Prov...)
+	}
+	return b, cur
+}
+
+// rebuild assembles the block's operator chain over the given source; the
+// block's filters become the scan predicate (single-relation sources) or a
+// filter node.
+func (b *block) rebuild(src logical.Node) logical.Node {
+	n := src
+	if cond := sqlparser.AndAll(b.filters); cond != nil {
+		if s, ok := n.(*logical.Scan); ok {
+			s.Predicate = sqlparser.And(s.Predicate, cond)
+		} else {
+			n = &logical.Filter{Input: n, Cond: cond}
+		}
+	}
+	switch {
+	case b.grouped:
+		n = &logical.Aggregate{Input: n, GroupBy: b.groupBy, Items: b.items, Having: b.having}
+	case itemsWindow(b.items):
+		n = &logical.Window{Input: n, Items: b.items}
+	default:
+		n = &logical.Project{Input: n, Items: b.items}
+	}
+	if b.distinct {
+		n = &logical.Distinct{Input: n}
+	}
+	if len(b.orderBy) > 0 {
+		n = &logical.Sort{Input: n, By: b.orderBy}
+	}
+	if b.limit != nil {
+		n = &logical.Limit{Input: n, N: *b.limit}
+	}
+	return n
+}
+
+// level classifies one already-isolated block.
+func (b *block) level() Level {
+	if itemsWindow(b.items) || len(b.orderBy) > 0 || b.limit != nil || b.distinct {
+		return LevelPC
+	}
+	return LevelAppliance
+}
+
+func (b *block) describe() string {
+	switch {
+	case itemsWindow(b.items):
+		return "window/analytic evaluation"
+	case b.grouped:
+		return "aggregation (GROUP BY/HAVING)"
+	case len(b.orderBy) > 0 || b.limit != nil:
+		return "sort/limit"
+	default:
+		return "filter + projection"
+	}
+}
+
+// baseInput names the base relation(s) the innermost block reads.
+func baseInput(src logical.Node) (string, error) {
+	switch x := src.(type) {
+	case *logical.Scan:
+		return x.Table, nil
+	case *logical.Join:
+		return strings.Join(logical.BaseTables(x), "+"), nil
+	case *logical.Values, nil:
+		return "", fmt.Errorf("%w: SELECT without FROM", ErrFragment)
+	default:
+		return "", fmt.Errorf("%w: unexpected source %T", ErrFragment, src)
+	}
+}
+
+// splitConjuncts partitions the block's WHERE conjuncts into sensor-capable
+// constant filters and the rest.
+func splitConjuncts(conjs []sqlparser.Expr) (constConj, other []sqlparser.Expr) {
+	for _, c := range conjs {
 		if isConstFilter(c) {
 			constConj = append(constConj, sqlparser.CloneExpr(c))
 		} else {
@@ -275,13 +448,35 @@ func splitConjuncts(where sqlparser.Expr) (constConj, other []sqlparser.Expr) {
 	return constConj, other
 }
 
+// provFiltered keeps the provenance entries describing one of the given
+// conjuncts, so policy annotations follow their conditions into the stage
+// that evaluates them.
+func provFiltered(prov []logical.Provenance, conjs []sqlparser.Expr) []logical.Provenance {
+	if len(prov) == 0 || len(conjs) == 0 {
+		return nil
+	}
+	var out []logical.Provenance
+	for _, p := range prov {
+		if p.Detail == "" {
+			continue
+		}
+		for _, c := range conjs {
+			if strings.EqualFold(p.Detail, c.SQL()) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // neededColumns lists the raw columns an aggregation stage consumes: every
 // column referenced in items, GROUP BY and HAVING, plus ORDER BY references
 // that are not output aliases (ORDER BY peak sorts the stage's own output
 // column, not an input one).
-func neededColumns(q *sqlparser.Select) []string {
+func (b *block) neededColumns() []string {
 	aliases := map[string]bool{}
-	for _, it := range q.Items {
+	for _, it := range b.items {
 		if it.Alias != "" {
 			aliases[it.Alias] = true
 		}
@@ -296,14 +491,14 @@ func neededColumns(q *sqlparser.Select) []string {
 			}
 		}
 	}
-	for _, it := range q.Items {
+	for _, it := range b.items {
 		add(it.Expr)
 	}
-	for _, g := range q.GroupBy {
+	for _, g := range b.groupBy {
 		add(g)
 	}
-	add(q.Having)
-	for _, o := range q.OrderBy {
+	add(b.having)
+	for _, o := range b.orderBy {
 		for _, c := range sqlparser.ColumnRefs(o.Expr) {
 			if aliases[c.Name] {
 				continue
@@ -334,6 +529,9 @@ func cloneItems(items []sqlparser.SelectItem) []sqlparser.SelectItem {
 }
 
 func cloneExprs(es []sqlparser.Expr) []sqlparser.Expr {
+	if es == nil {
+		return nil
+	}
 	out := make([]sqlparser.Expr, len(es))
 	for i, e := range es {
 		out[i] = sqlparser.CloneExpr(e)
@@ -342,6 +540,9 @@ func cloneExprs(es []sqlparser.Expr) []sqlparser.Expr {
 }
 
 func cloneOrder(os []sqlparser.OrderItem) []sqlparser.OrderItem {
+	if os == nil {
+		return nil
+	}
 	out := make([]sqlparser.OrderItem, len(os))
 	for i, o := range os {
 		out[i] = sqlparser.OrderItem{Expr: sqlparser.CloneExpr(o.Expr), Desc: o.Desc}
@@ -357,9 +558,9 @@ func cloneLimit(l *int64) *int64 {
 	return &v
 }
 
-// stripQualifiers removes table qualifiers from every clause of one SELECT
-// (valid only when the SELECT reads a single base table).
-func stripQualifiers(q *sqlparser.Select) {
+// stripQualifiers removes table qualifiers from every clause of the block
+// (valid only when the block reads a single base table).
+func (b *block) stripQualifiers() {
 	strip := func(e sqlparser.Expr) sqlparser.Expr {
 		return sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
 			if c, ok := x.(*sqlparser.ColumnRef); ok && c.Table != "" {
@@ -371,16 +572,15 @@ func stripQualifiers(q *sqlparser.Select) {
 			return x
 		})
 	}
-	for i := range q.Items {
-		q.Items[i].Expr = strip(q.Items[i].Expr)
+	for i := range b.items {
+		b.items[i].Expr = strip(b.items[i].Expr)
 	}
-	q.Where = strip(q.Where)
-	for i := range q.GroupBy {
-		q.GroupBy[i] = strip(q.GroupBy[i])
+	for i := range b.groupBy {
+		b.groupBy[i] = strip(b.groupBy[i])
 	}
-	q.Having = strip(q.Having)
-	for i := range q.OrderBy {
-		q.OrderBy[i].Expr = strip(q.OrderBy[i].Expr)
+	b.having = strip(b.having)
+	for i := range b.orderBy {
+		b.orderBy[i].Expr = strip(b.orderBy[i].Expr)
 	}
 }
 
@@ -397,17 +597,8 @@ func stripExprQualifiers(es []sqlparser.Expr) []sqlparser.Expr {
 	return out
 }
 
-func itemsAggregate(q *sqlparser.Select) bool {
-	for _, it := range q.Items {
-		if sqlparser.ContainsAggregate(it.Expr) {
-			return true
-		}
-	}
-	return false
-}
-
-func itemsWindow(q *sqlparser.Select) bool {
-	for _, it := range q.Items {
+func itemsWindow(items []sqlparser.SelectItem) bool {
+	for _, it := range items {
 		if sqlparser.ContainsWindow(it.Expr) {
 			return true
 		}
@@ -422,26 +613,4 @@ func onlyStarItems(items []sqlparser.SelectItem) bool {
 		}
 	}
 	return true
-}
-
-// levelOfSelect classifies one already-isolated spine SELECT.
-func levelOfSelect(s *sqlparser.Select) Level {
-	lvl := LevelAppliance
-	if itemsWindow(s) || len(s.OrderBy) > 0 || s.Limit != nil || s.Distinct {
-		lvl = LevelPC
-	}
-	return lvl
-}
-
-func descOfSelect(s *sqlparser.Select) string {
-	switch {
-	case itemsWindow(s):
-		return "window/analytic evaluation"
-	case len(s.GroupBy) > 0 || itemsAggregate(s):
-		return "aggregation (GROUP BY/HAVING)"
-	case len(s.OrderBy) > 0 || s.Limit != nil:
-		return "sort/limit"
-	default:
-		return "filter + projection"
-	}
 }

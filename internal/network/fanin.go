@@ -7,8 +7,8 @@ import (
 
 	"paradise/internal/engine"
 	"paradise/internal/fragment"
+	logical "paradise/internal/plan"
 	"paradise/internal/schema"
-	"paradise/internal/sqlparser"
 )
 
 // RunFanIn simulates the paper's real node-count situation (Table 1: >= 100
@@ -46,7 +46,7 @@ func RunFanIn(ctx context.Context, topo *Topology, plan *fragment.Plan, src engi
 	}
 
 	// Shard the base relation(s) round-robin across the sensors.
-	tables := sqlparser.BaseTables(first.Query)
+	tables := logical.BaseTables(first.Root)
 	if len(tables) != 1 {
 		return Run(ctx, topo, plan, src)
 	}
@@ -68,7 +68,7 @@ func RunFanIn(ctx context.Context, topo *Topology, plan *fragment.Plan, src engi
 	inRows := 0
 	for _, shard := range shards {
 		shardSrc := &overlaySource{base: src, name: tables[0], rel: rel, rows: shard}
-		res, err := engine.New(shardSrc).Select(ctx, first.Query)
+		res, err := engine.New(shardSrc).SelectPlan(ctx, first.Root)
 		if err != nil {
 			return nil, fmt.Errorf("network: fan-in sensor fragment: %w", err)
 		}
@@ -125,7 +125,7 @@ func RunFanIn(ctx context.Context, topo *Topology, plan *fragment.Plan, src engi
 		node := topo.Nodes[pos]
 
 		stageSrc := &overlaySource{base: src, name: curName, rel: cur.Schema, rows: cur.Rows}
-		res, err := engine.New(stageSrc).Select(ctx, f.Query)
+		res, err := engine.New(stageSrc).SelectPlan(ctx, f.Root)
 		if err != nil {
 			return nil, fmt.Errorf("network: fan-in Q%d on %s: %w", f.Stage, node.Name, err)
 		}

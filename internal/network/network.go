@@ -21,8 +21,8 @@ import (
 
 	"paradise/internal/engine"
 	"paradise/internal/fragment"
+	logical "paradise/internal/plan"
 	"paradise/internal/schema"
-	"paradise/internal/sqlparser"
 )
 
 // ErrNetwork wraps simulation errors.
@@ -381,8 +381,10 @@ func placeStats(topo *Topology, plan *fragment.Plan, stages []fragment.StageResu
 }
 
 // RunNaive simulates the baseline without fragmentation: the raw base data
-// ships all the way to the cloud, which executes the whole query there.
-func RunNaive(ctx context.Context, topo *Topology, q *sqlparser.Select, src engine.Source) (*RunStats, error) {
+// ships all the way to the cloud, which executes the whole logical plan
+// there. The plan is optimized against the source before execution; the
+// caller cedes ownership of the tree.
+func RunNaive(ctx context.Context, topo *Topology, root logical.Node, src engine.Source) (*RunStats, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -391,7 +393,7 @@ func RunNaive(ctx context.Context, topo *Topology, q *sqlparser.Select, src engi
 	// Total raw bytes of every base relation the query touches.
 	raw := 0
 	rawRows := 0
-	for _, tbl := range sqlparser.BaseTables(q) {
+	for _, tbl := range logical.BaseTables(root) {
 		_, rows, err := src.Relation(tbl)
 		if err != nil {
 			return nil, fmt.Errorf("network: naive run: %w", err)
@@ -408,7 +410,9 @@ func RunNaive(ctx context.Context, topo *Topology, q *sqlparser.Select, src engi
 		simMs += topo.Links[i].LatencyMs + float64(raw)/topo.Links[i].BytesPerMs
 	}
 
-	res, err := engine.New(src).Select(ctx, q)
+	eng := engine.New(src)
+	root = logical.Optimize(root, logical.Options{Catalog: eng.Catalog(), CrossBlock: true})
+	res, err := eng.SelectPlan(ctx, root)
 	if err != nil {
 		return nil, fmt.Errorf("network: naive cloud execution: %w", err)
 	}
@@ -498,11 +502,11 @@ func baseStats(plan *fragment.Plan, src engine.Source) (baseIn, raw int) {
 		cache[t] = s
 		return s
 	}
-	for _, t := range sqlparser.BaseTables(plan.Fragments[0].Query) {
+	for _, t := range logical.BaseTables(plan.Fragments[0].Root) {
 		baseIn += load(t).rows
 	}
 	seen := map[string]bool{}
-	for _, t := range sqlparser.BaseTables(plan.Original) {
+	for _, t := range logical.BaseTables(plan.Root) {
 		if seen[t] {
 			continue
 		}

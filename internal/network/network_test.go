@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"paradise/internal/fragment"
+	logical "paradise/internal/plan"
 	"paradise/internal/schema"
 	"paradise/internal/sqlparser"
 	"paradise/internal/storage"
@@ -106,7 +107,11 @@ func TestFragmentedEgressBeatsNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 	sel, _ := sqlparser.Parse(q)
-	naive, err := RunNaive(context.Background(), topo, sel, st)
+	selRoot, err := logical.FromAST(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := RunNaive(context.Background(), topo, selRoot, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +225,11 @@ func TestLargerTracesIncreaseReduction(t *testing.T) {
 func TestRunNaiveShipsEverything(t *testing.T) {
 	st := testStore(t, 100)
 	sel, _ := sqlparser.Parse("SELECT x FROM d WHERE z < 0.1")
-	stats, err := RunNaive(context.Background(), DefaultApartment(), sel, st)
+	selRoot, err := logical.FromAST(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunNaive(context.Background(), DefaultApartment(), selRoot, st)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,199 @@
+package plan
+
+import (
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// foldExpr rewrites constant sub-expressions into literals. Folding is
+// conservative: it only evaluates operations whose runtime semantics are
+// reproduced exactly here (literal comparisons, arithmetic, boolean logic,
+// NOT/negation, concatenation) and leaves anything that could raise a
+// runtime error (division by zero, incomparable types) untouched so errors
+// still surface at execution time.
+func foldExpr(e sqlparser.Expr) sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	return sqlparser.RewriteExpr(e, foldNode)
+}
+
+func foldNode(e sqlparser.Expr) sqlparser.Expr {
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		return foldBinary(x)
+	case *sqlparser.UnaryExpr:
+		return foldUnary(x)
+	}
+	return e
+}
+
+func literal(e sqlparser.Expr) (schema.Value, bool) {
+	l, ok := e.(*sqlparser.Literal)
+	if !ok {
+		return schema.Value{}, false
+	}
+	return l.Value, true
+}
+
+func lit(v schema.Value) sqlparser.Expr { return &sqlparser.Literal{Value: v} }
+
+func foldBinary(x *sqlparser.BinaryExpr) sqlparser.Expr {
+	l, lok := literal(x.L)
+	r, rok := literal(x.R)
+
+	// Boolean connectives: fold identities even when only one side is a
+	// literal (TRUE AND p → p, FALSE OR p → p, ...), respecting SQL
+	// three-valued logic (NULL AND p must not fold to p).
+	if x.Op == sqlparser.OpAnd || x.Op == sqlparser.OpOr {
+		if lok {
+			if folded, ok := foldAndOrSide(x.Op, l, x.R); ok {
+				return folded
+			}
+		}
+		if rok {
+			if folded, ok := foldAndOrSide(x.Op, r, x.L); ok {
+				return folded
+			}
+		}
+		return x
+	}
+
+	if !lok || !rok {
+		return x
+	}
+	if l.IsNull() || r.IsNull() {
+		return lit(schema.Null())
+	}
+	if x.Op.Comparison() {
+		c, ok := l.Compare(r)
+		if !ok {
+			return x // incomparable: keep the runtime error
+		}
+		switch x.Op {
+		case sqlparser.OpEq:
+			return lit(schema.Bool(c == 0))
+		case sqlparser.OpNeq:
+			return lit(schema.Bool(c != 0))
+		case sqlparser.OpLt:
+			return lit(schema.Bool(c < 0))
+		case sqlparser.OpLeq:
+			return lit(schema.Bool(c <= 0))
+		case sqlparser.OpGt:
+			return lit(schema.Bool(c > 0))
+		case sqlparser.OpGeq:
+			return lit(schema.Bool(c >= 0))
+		}
+	}
+	if x.Op == sqlparser.OpConcat {
+		return lit(schema.String(l.Format() + r.Format()))
+	}
+	return foldArith(x, l, r)
+}
+
+// foldAndOrSide folds one literal side of an AND/OR. ok is false when the
+// literal does not decide or absorb into the other side.
+func foldAndOrSide(op sqlparser.BinaryOp, v schema.Value, other sqlparser.Expr) (sqlparser.Expr, bool) {
+	b, isNull := boolOrNull(v)
+	if isNull {
+		return nil, false // NULL AND p / NULL OR p depend on p's value
+	}
+	if op == sqlparser.OpAnd {
+		if !b {
+			return lit(schema.Bool(false)), true
+		}
+		return other, true // TRUE AND p → p
+	}
+	if b {
+		return lit(schema.Bool(true)), true
+	}
+	return other, true // FALSE OR p → p
+}
+
+func boolOrNull(v schema.Value) (b bool, isNull bool) {
+	if v.IsNull() {
+		return false, true
+	}
+	switch v.Type() {
+	case schema.TypeBool:
+		return v.AsBool(), false
+	case schema.TypeInt:
+		return v.AsInt() != 0, false
+	case schema.TypeFloat:
+		return v.AsFloat() != 0, false
+	default:
+		return false, true
+	}
+}
+
+func foldArith(x *sqlparser.BinaryExpr, l, r schema.Value) sqlparser.Expr {
+	if !l.Type().Numeric() || !r.Type().Numeric() {
+		return x // keep the runtime type error
+	}
+	// Division and modulo are not folded when the divisor is zero: the
+	// runtime raises there.
+	if (x.Op == sqlparser.OpDiv || x.Op == sqlparser.OpMod) && r.AsFloat() == 0 {
+		return x
+	}
+	if l.Type() == schema.TypeInt && r.Type() == schema.TypeInt && x.Op != sqlparser.OpDiv {
+		a, b := l.AsInt(), r.AsInt()
+		switch x.Op {
+		case sqlparser.OpAdd:
+			return lit(schema.Int(a + b))
+		case sqlparser.OpSub:
+			return lit(schema.Int(a - b))
+		case sqlparser.OpMul:
+			return lit(schema.Int(a * b))
+		case sqlparser.OpMod:
+			return lit(schema.Int(a % b))
+		}
+		return x
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch x.Op {
+	case sqlparser.OpAdd:
+		return lit(schema.Float(a + b))
+	case sqlparser.OpSub:
+		return lit(schema.Float(a - b))
+	case sqlparser.OpMul:
+		return lit(schema.Float(a * b))
+	case sqlparser.OpDiv:
+		return lit(schema.Float(a / b))
+	}
+	return x
+}
+
+func foldUnary(x *sqlparser.UnaryExpr) sqlparser.Expr {
+	v, ok := literal(x.X)
+	if !ok {
+		return x
+	}
+	if v.IsNull() {
+		return lit(schema.Null())
+	}
+	if x.Op == sqlparser.UnaryNot {
+		b, isNull := boolOrNull(v)
+		if isNull {
+			return lit(schema.Null())
+		}
+		return lit(schema.Bool(!b))
+	}
+	switch v.Type() {
+	case schema.TypeInt:
+		return lit(schema.Int(-v.AsInt()))
+	case schema.TypeFloat:
+		return lit(schema.Float(-v.AsFloat()))
+	}
+	return x
+}
+
+// isTrueLiteral reports whether the expression is a constant that a filter
+// would accept for every row.
+func isTrueLiteral(e sqlparser.Expr) bool {
+	v, ok := literal(e)
+	if !ok || v.IsNull() {
+		return false
+	}
+	b, isNull := boolOrNull(v)
+	return !isNull && b
+}

@@ -1,0 +1,244 @@
+package plan
+
+import (
+	"fmt"
+
+	"paradise/internal/sqlparser"
+)
+
+// FromAST lowers a parsed SELECT statement into the logical operator tree.
+// The input AST is not modified or aliased: every expression is deep-copied,
+// so the plan can be rewritten freely while the AST keeps rendering the
+// original SQL.
+//
+// Lowering order fixes the operator semantics the engine implements:
+//
+//	Scan/Join/Derived/Values → Filter(WHERE)
+//	  → Aggregate(GROUP BY/HAVING/aggregated items)
+//	  | Window(items with OVER)
+//	  | Project(items)
+//	  → Distinct → Sort → Limit
+func FromAST(sel *sqlparser.Select) (Node, error) {
+	if sel == nil {
+		return nil, fmt.Errorf("%w: nil statement", ErrPlan)
+	}
+	if sel.Where != nil && sqlparser.ContainsAggregate(sel.Where) {
+		return nil, fmt.Errorf("%w: aggregate in WHERE clause", ErrPlan)
+	}
+
+	n, err := lowerFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Where != nil {
+		n = &Filter{Input: n, Cond: sqlparser.CloneExpr(sel.Where)}
+	}
+
+	items := cloneItems(sel.Items)
+	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || itemsContainAggregate(sel.Items)
+	switch {
+	case grouped:
+		n = &Aggregate{
+			Input:   n,
+			GroupBy: cloneExprs(sel.GroupBy),
+			Items:   items,
+			Having:  sqlparser.CloneExpr(sel.Having),
+		}
+	case itemsContainWindow(sel.Items):
+		n = &Window{Input: n, Items: items}
+	default:
+		n = &Project{Input: n, Items: items}
+	}
+
+	if sel.Distinct {
+		n = &Distinct{Input: n}
+	}
+	if len(sel.OrderBy) > 0 {
+		n = &Sort{Input: n, By: cloneOrder(sel.OrderBy)}
+	}
+	if sel.Limit != nil {
+		n = &Limit{Input: n, N: *sel.Limit}
+	}
+	return n, nil
+}
+
+func lowerFrom(t sqlparser.TableRef) (Node, error) {
+	switch x := t.(type) {
+	case nil:
+		return &Values{}, nil
+	case *sqlparser.TableName:
+		return &Scan{Table: x.Name, Alias: x.Alias}, nil
+	case *sqlparser.Subquery:
+		inner, err := FromAST(x.Select)
+		if err != nil {
+			return nil, err
+		}
+		return &Derived{Input: inner, Alias: x.Alias}, nil
+	case *sqlparser.Join:
+		l, err := lowerFrom(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lowerFrom(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &Join{Type: x.Type, Left: l, Right: r, On: sqlparser.CloneExpr(x.On)}, nil
+	default:
+		return nil, fmt.Errorf("%w: unsupported FROM item %T", ErrPlan, t)
+	}
+}
+
+// ToSelect renders a plan back into an equivalent SELECT statement — the SQL
+// surface of a plan subtree. Fragment stages use it so every pushed-down
+// piece still has a printable (and re-parseable) query; optimizer artifacts
+// that do not change the result (pruned Scan.Columns) are not rendered.
+// Predicates pushed into scans come back as WHERE conjuncts.
+func ToSelect(root Node) (*sqlparser.Select, error) {
+	sel := &sqlparser.Select{}
+	cur := root
+
+	if l, ok := cur.(*Limit); ok {
+		n := l.N
+		sel.Limit = &n
+		cur = l.Input
+	}
+	if s, ok := cur.(*Sort); ok {
+		sel.OrderBy = cloneOrder(s.By)
+		cur = s.Input
+	}
+	if d, ok := cur.(*Distinct); ok {
+		sel.Distinct = true
+		cur = d.Input
+	}
+
+	switch x := cur.(type) {
+	case *Aggregate:
+		sel.Items = cloneItems(x.Items)
+		sel.GroupBy = cloneExprs(x.GroupBy)
+		sel.Having = sqlparser.CloneExpr(x.Having)
+		cur = x.Input
+	case *Window:
+		sel.Items = cloneItems(x.Items)
+		cur = x.Input
+	case *Project:
+		sel.Items = cloneItems(x.Items)
+		cur = x.Input
+	default:
+		sel.Items = []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}
+	}
+
+	// Collect filters (outermost first) down to the source.
+	var conds []sqlparser.Expr
+	for {
+		f, ok := cur.(*Filter)
+		if !ok {
+			break
+		}
+		conds = append([]sqlparser.Expr{sqlparser.CloneExpr(f.Cond)}, conds...)
+		cur = f.Input
+	}
+
+	from, scanPred, err := toTableRef(cur)
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+	if scanPred != nil {
+		conds = append([]sqlparser.Expr{scanPred}, conds...)
+	}
+	sel.Where = sqlparser.AndAll(conds)
+	return sel, nil
+}
+
+// toTableRef renders a source subtree as a FROM item, surfacing any
+// scan-pushed predicate so it can rejoin the WHERE clause.
+func toTableRef(n Node) (sqlparser.TableRef, sqlparser.Expr, error) {
+	switch x := n.(type) {
+	case *Values:
+		return nil, nil, nil
+	case *Scan:
+		return &sqlparser.TableName{Name: x.Table, Alias: x.Alias}, sqlparser.CloneExpr(x.Predicate), nil
+	case *Derived:
+		inner, err := ToSelect(x.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &sqlparser.Subquery{Select: inner, Alias: x.Alias}, nil, nil
+	case *Join:
+		l, lp, err := toTableRef(x.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rp, err := toTableRef(x.Right)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &sqlparser.Join{Type: x.Type, Left: l, Right: r, On: sqlparser.CloneExpr(x.On)},
+			sqlparser.And(lp, rp), nil
+	case *Filter:
+		// A filter pushed onto one join side: fold it into the surfaced
+		// predicate of that side's source.
+		ref, p, err := toTableRef(x.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ref, sqlparser.And(p, sqlparser.CloneExpr(x.Cond)), nil
+	default:
+		// A bare operator chain used as a source (no Derived marker):
+		// render it as an anonymous derived table.
+		inner, err := ToSelect(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &sqlparser.Subquery{Select: inner}, nil, nil
+	}
+}
+
+func itemsContainAggregate(items []sqlparser.SelectItem) bool {
+	for _, it := range items {
+		if sqlparser.ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func itemsContainWindow(items []sqlparser.SelectItem) bool {
+	for _, it := range items {
+		if sqlparser.ContainsWindow(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneItems(items []sqlparser.SelectItem) []sqlparser.SelectItem {
+	out := make([]sqlparser.SelectItem, len(items))
+	for i, it := range items {
+		out[i] = sqlparser.SelectItem{Expr: sqlparser.CloneExpr(it.Expr), Alias: it.Alias}
+	}
+	return out
+}
+
+func cloneExprs(es []sqlparser.Expr) []sqlparser.Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]sqlparser.Expr, len(es))
+	for i, e := range es {
+		out[i] = sqlparser.CloneExpr(e)
+	}
+	return out
+}
+
+func cloneOrder(os []sqlparser.OrderItem) []sqlparser.OrderItem {
+	if os == nil {
+		return nil
+	}
+	out := make([]sqlparser.OrderItem, len(os))
+	for i, o := range os {
+		out[i] = sqlparser.OrderItem{Expr: sqlparser.CloneExpr(o.Expr), Desc: o.Desc}
+	}
+	return out
+}

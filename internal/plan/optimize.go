@@ -1,0 +1,658 @@
+package plan
+
+import (
+	"strconv"
+	"strings"
+
+	"paradise/internal/sqlparser"
+)
+
+// Catalog resolves the column names of a base relation; ok is false for
+// unknown tables. The optimizer consults it to prune scan columns safely and
+// to decide which join side owns an unqualified column reference.
+type Catalog func(table string) (cols []string, ok bool)
+
+// Options tune Optimize.
+type Options struct {
+	// Catalog enables projection pruning (Scan.Columns) and unqualified
+	// column attribution in join pushdown; nil disables both.
+	Catalog Catalog
+	// CrossBlock lets predicates migrate through Derived boundaries into
+	// inner query blocks (after rewriting them through the inner projection).
+	// The fragmenter keeps this off so block boundaries — the paper's query
+	// nesting — stay exactly where the rewriter placed them.
+	CrossBlock bool
+}
+
+// Optimize rewrites the plan in place and returns its (possibly new) root.
+// Rules: constant folding over every expression, predicate pushdown toward
+// the scans (filters merge downward, split across join sides, and — with
+// CrossBlock — migrate into derived blocks), and projection pruning
+// (Scan.Columns narrows to the columns the block above actually reads).
+// The tree must be owned by the caller; provenance annotations travel with
+// the conjuncts they describe.
+func Optimize(root Node, opts Options) Node {
+	root = foldNodeExprs(root)
+	root = pushFilters(root, opts)
+	pruneScans(root, opts.Catalog)
+	return root
+}
+
+// foldNodeExprs applies constant folding to every expression in the tree and
+// drops filters that folded to constant TRUE.
+func foldNodeExprs(n Node) Node {
+	if n == nil {
+		return nil
+	}
+	switch x := n.(type) {
+	case *Scan:
+		x.Predicate = foldExpr(x.Predicate)
+		if x.Predicate != nil && isTrueLiteral(x.Predicate) {
+			x.Predicate = nil
+		}
+	case *Derived:
+		x.Input = foldNodeExprs(x.Input)
+	case *Join:
+		x.Left = foldNodeExprs(x.Left)
+		x.Right = foldNodeExprs(x.Right)
+		x.On = foldExpr(x.On)
+	case *Filter:
+		x.Input = foldNodeExprs(x.Input)
+		x.Cond = foldExpr(x.Cond)
+		if isTrueLiteral(x.Cond) {
+			return x.Input
+		}
+	case *Project:
+		x.Input = foldNodeExprs(x.Input)
+		for i := range x.Items {
+			x.Items[i].Expr = foldExpr(x.Items[i].Expr)
+		}
+	case *Aggregate:
+		x.Input = foldNodeExprs(x.Input)
+		for i := range x.Items {
+			x.Items[i].Expr = foldExpr(x.Items[i].Expr)
+		}
+		for i := range x.GroupBy {
+			x.GroupBy[i] = foldExpr(x.GroupBy[i])
+		}
+		x.Having = foldExpr(x.Having)
+	case *Window:
+		x.Input = foldNodeExprs(x.Input)
+		for i := range x.Items {
+			x.Items[i].Expr = foldExpr(x.Items[i].Expr)
+		}
+	case *Distinct:
+		x.Input = foldNodeExprs(x.Input)
+	case *Sort:
+		x.Input = foldNodeExprs(x.Input)
+		for i := range x.By {
+			x.By[i].Expr = foldExpr(x.By[i].Expr)
+		}
+	case *Limit:
+		x.Input = foldNodeExprs(x.Input)
+	}
+	return n
+}
+
+// pushFilters moves Filter nodes as close to the scans as semantics allow.
+func pushFilters(n Node, opts Options) Node {
+	if n == nil {
+		return nil
+	}
+	switch x := n.(type) {
+	case *Filter:
+		in := pushFilters(x.Input, opts)
+		return pushFilterInto(in, x.Cond, x.Prov, opts)
+	case *Derived:
+		x.Input = pushFilters(x.Input, opts)
+	case *Join:
+		x.Left = pushFilters(x.Left, opts)
+		x.Right = pushFilters(x.Right, opts)
+	case *Project:
+		x.Input = pushFilters(x.Input, opts)
+	case *Aggregate:
+		x.Input = pushFilters(x.Input, opts)
+	case *Window:
+		x.Input = pushFilters(x.Input, opts)
+	case *Distinct:
+		x.Input = pushFilters(x.Input, opts)
+	case *Sort:
+		x.Input = pushFilters(x.Input, opts)
+	case *Limit:
+		x.Input = pushFilters(x.Input, opts)
+	}
+	return n
+}
+
+// pushFilterInto sinks a filter condition into the given input node,
+// carrying its provenance along.
+func pushFilterInto(in Node, cond sqlparser.Expr, prov []Provenance, opts Options) Node {
+	switch t := in.(type) {
+	case *Scan:
+		// A single-relation filter always merges into the scan: the scan
+		// predicate sees full-width rows, so every column the condition
+		// references is in scope.
+		t.Predicate = sqlparser.And(t.Predicate, cond)
+		t.Prov = append(t.Prov, prov...)
+		return t
+	case *Filter:
+		// Adjacent filters merge downward (outer conjuncts after inner ones).
+		return pushFilterInto(t.Input, sqlparser.And(t.Cond, cond), append(t.Prov, prov...), opts)
+	case *Join:
+		return pushIntoJoin(t, cond, prov, opts)
+	case *Derived:
+		if opts.CrossBlock {
+			if pushed := pushThroughDerived(t, cond, prov, opts); pushed {
+				return t
+			}
+		}
+		return &Filter{Input: in, Cond: cond, Prov: prov}
+	default:
+		return &Filter{Input: in, Cond: cond, Prov: prov}
+	}
+}
+
+// pushIntoJoin distributes filter conjuncts onto the join sides that own all
+// of their (qualified) column references. Conjuncts on the null-extended
+// side of a LEFT JOIN stay above the join — pushing them below would turn
+// filtered rows into spurious null-extensions.
+func pushIntoJoin(j *Join, cond sqlparser.Expr, prov []Provenance, opts Options) Node {
+	leftQuals := sourceQuals(j.Left)
+	rightQuals := sourceQuals(j.Right)
+	var keep []sqlparser.Expr
+	for _, c := range sqlparser.Conjuncts(cond) {
+		side := conjunctSide(c, leftQuals, rightQuals, opts.Catalog)
+		switch {
+		case side < 0:
+			j.Left = pushFilterInto(j.Left, c, provFor(prov, c), opts)
+		case side > 0 && j.Type != sqlparser.JoinLeft:
+			j.Right = pushFilterInto(j.Right, c, provFor(prov, c), opts)
+		default:
+			keep = append(keep, c)
+		}
+	}
+	if len(keep) == 0 {
+		return j
+	}
+	return &Filter{Input: j, Cond: sqlparser.AndAll(keep), Prov: prov}
+}
+
+// provFor keeps the provenance entries that describe the given conjunct.
+func provFor(prov []Provenance, c sqlparser.Expr) []Provenance {
+	if len(prov) == 0 {
+		return nil
+	}
+	sql := strings.ToLower(c.SQL())
+	var out []Provenance
+	for _, p := range prov {
+		if p.Detail == "" || strings.ToLower(p.Detail) == sql {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sourceQuals collects the qualifiers (aliases or table names) a join side
+// exposes, lower-cased.
+func sourceQuals(n Node) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *Scan:
+			q := x.Alias
+			if q == "" {
+				q = x.Table
+			}
+			out[strings.ToLower(q)] = true
+		case *Derived:
+			out[strings.ToLower(x.Alias)] = true
+		case *Join:
+			walk(x.Left)
+			walk(x.Right)
+		case *Filter:
+			walk(x.Input)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// conjunctSide decides which join side owns every column the conjunct
+// references: -1 left, +1 right, 0 undecidable (stay above the join).
+// Qualified references resolve by qualifier; unqualified ones resolve
+// through the catalog when exactly one side's base tables define the name.
+func conjunctSide(c sqlparser.Expr, leftQuals, rightQuals map[string]bool, cat Catalog) int {
+	refs := sqlparser.ColumnRefs(c)
+	if len(refs) == 0 {
+		return 0
+	}
+	side := 0
+	for _, r := range refs {
+		var s int
+		if r.Table != "" {
+			q := strings.ToLower(r.Table)
+			switch {
+			case leftQuals[q]:
+				s = -1
+			case rightQuals[q]:
+				s = 1
+			default:
+				return 0
+			}
+		} else {
+			s = unqualifiedSide(r.Name, leftQuals, rightQuals, cat)
+			if s == 0 {
+				return 0
+			}
+		}
+		if side == 0 {
+			side = s
+		} else if side != s {
+			return 0
+		}
+	}
+	return side
+}
+
+// unqualifiedSide attributes an unqualified column to the single join side
+// whose base tables define it, via the catalog.
+func unqualifiedSide(name string, leftQuals, rightQuals map[string]bool, cat Catalog) int {
+	if cat == nil {
+		return 0
+	}
+	has := func(quals map[string]bool) int {
+		n := 0
+		for q := range quals {
+			cols, ok := cat(q)
+			if !ok {
+				return 2 // derived or unknown side: cannot attribute safely
+			}
+			for _, c := range cols {
+				if strings.EqualFold(c, name) {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	l, r := has(leftQuals), has(rightQuals)
+	if l == 1 && r == 0 {
+		return -1
+	}
+	if l == 0 && r == 1 {
+		return 1
+	}
+	return 0
+}
+
+// pushThroughDerived migrates a filter into a derived block when the block
+// is a pure projection chain (Project over Filters over a source — no
+// aggregation, windows, DISTINCT, ORDER BY or LIMIT) and every referenced
+// output column maps to a rewritable item. The condition is rewritten
+// through the projection (aliases substitute their defining expressions)
+// and sinks further toward the scan inside the block.
+func pushThroughDerived(d *Derived, cond sqlparser.Expr, prov []Provenance, opts Options) bool {
+	p, ok := d.Input.(*Project)
+	if !ok {
+		return false
+	}
+	subst := map[string]sqlparser.Expr{}
+	for _, it := range p.Items {
+		if _, isStar := it.Expr.(*sqlparser.Star); isStar {
+			return false
+		}
+		name := it.Alias
+		if name == "" {
+			if c, okc := it.Expr.(*sqlparser.ColumnRef); okc {
+				name = c.Name
+			} else {
+				continue
+			}
+		}
+		subst[strings.ToLower(name)] = it.Expr
+	}
+	// Every referenced column must map to an item, and qualifiers (if any)
+	// must name the derived table itself.
+	for _, r := range sqlparser.ColumnRefs(cond) {
+		if r.Table != "" && !strings.EqualFold(r.Table, d.Alias) {
+			return false
+		}
+		if _, okr := subst[strings.ToLower(r.Name)]; !okr {
+			return false
+		}
+	}
+	rewritten := sqlparser.RewriteExpr(cond, func(e sqlparser.Expr) sqlparser.Expr {
+		if c, okc := e.(*sqlparser.ColumnRef); okc {
+			return sqlparser.CloneExpr(subst[strings.ToLower(c.Name)])
+		}
+		return e
+	})
+	p.Input = pushFilterInto(p.Input, rewritten, rewriteProv(prov, rewritten), opts)
+	return true
+}
+
+// rewriteProv re-details provenance entries whose condition was rewritten
+// through a projection.
+func rewriteProv(prov []Provenance, rewritten sqlparser.Expr) []Provenance {
+	if len(prov) == 0 {
+		return nil
+	}
+	out := make([]Provenance, len(prov))
+	copy(out, prov)
+	for i := range out {
+		if out[i].Detail != "" {
+			out[i].Detail += " => " + rewritten.SQL()
+		}
+	}
+	return out
+}
+
+// pruneScans narrows Scan.Columns throughout the tree. It works block by
+// block: the operators directly above a scan (or above the scans of a join)
+// determine which columns are read; everything else never leaves storage.
+// The scan predicate runs before projection, so its columns need not be
+// kept. Pruning requires the catalog — without the full column list the
+// identity case (nothing to prune) cannot be detected.
+func pruneScans(n Node, cat Catalog) {
+	if n == nil || cat == nil {
+		return
+	}
+	blockTop, src := splitBlock(n)
+	switch s := src.(type) {
+	case *Scan:
+		pruneSingleScan(blockTop, s, cat)
+	case *Derived:
+		pruneScans(s.Input, cat)
+	case *Join:
+		pruneJoinScans(blockTop, s, cat)
+		// Recurse into derived blocks nested under the join.
+		var walkSides func(Node)
+		walkSides = func(side Node) {
+			switch x := side.(type) {
+			case *Derived:
+				pruneScans(x.Input, cat)
+			case *Join:
+				walkSides(x.Left)
+				walkSides(x.Right)
+			case *Filter:
+				walkSides(x.Input)
+			}
+		}
+		walkSides(s.Left)
+		walkSides(s.Right)
+	}
+}
+
+// blockOps is the operator tail of one query block, outermost first,
+// excluding filters (which sit on the scan by the time pruning runs).
+type blockOps struct {
+	limit    *Limit
+	sort     *Sort
+	distinct *Distinct
+	agg      *Aggregate
+	win      *Window
+	proj     *Project
+	filters  []*Filter
+}
+
+// splitBlock walks one query block from its top node down to its source
+// (Scan, Join, Derived or Values), gathering the operator tail.
+func splitBlock(n Node) (*blockOps, Node) {
+	ops := &blockOps{}
+	cur := n
+	if l, ok := cur.(*Limit); ok {
+		ops.limit = l
+		cur = l.Input
+	}
+	if s, ok := cur.(*Sort); ok {
+		ops.sort = s
+		cur = s.Input
+	}
+	if d, ok := cur.(*Distinct); ok {
+		ops.distinct = d
+		cur = d.Input
+	}
+	switch x := cur.(type) {
+	case *Aggregate:
+		ops.agg = x
+		cur = x.Input
+	case *Window:
+		ops.win = x
+		cur = x.Input
+	case *Project:
+		ops.proj = x
+		cur = x.Input
+	}
+	for {
+		f, ok := cur.(*Filter)
+		if !ok {
+			break
+		}
+		ops.filters = append(ops.filters, f)
+		cur = f.Input
+	}
+	return ops, cur
+}
+
+// requirements lists the columns a block tail reads from its source, in
+// first-use order (select-list first, so a pruned scan lines up with the
+// projection and the downstream projection becomes an identity). ok is
+// false when the requirements cannot be determined (star projection).
+func (ops *blockOps) requirements() (refs []*sqlparser.ColumnRef, ok bool) {
+	var items []sqlparser.SelectItem
+	var outputNames []string
+	add := func(e sqlparser.Expr) bool {
+		if e == nil {
+			return true
+		}
+		star := false
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if _, isStar := x.(*sqlparser.Star); isStar {
+				star = true
+			}
+			return true
+		})
+		if star {
+			return false
+		}
+		refs = append(refs, sqlparser.ColumnRefs(e)...)
+		return true
+	}
+
+	switch {
+	case ops.agg != nil:
+		items = ops.agg.Items
+	case ops.win != nil:
+		items = ops.win.Items
+	case ops.proj != nil:
+		items = ops.proj.Items
+	default:
+		return nil, false // bare source: full-width output
+	}
+	for i, it := range items {
+		if !add(it.Expr) {
+			return nil, false
+		}
+		name := it.Alias
+		if name == "" {
+			name = outputName(it.Expr, i)
+		}
+		outputNames = append(outputNames, name)
+	}
+	if ops.agg != nil {
+		for _, g := range ops.agg.GroupBy {
+			if !add(g) {
+				return nil, false
+			}
+		}
+		if !add(ops.agg.Having) {
+			return nil, false
+		}
+	}
+	if ops.sort != nil {
+		for _, o := range ops.sort.By {
+			if ops.agg != nil {
+				// Above an Aggregate the sort sees the grouped output, but
+				// aggregate calls in ORDER BY are evaluated over the input
+				// rows — their argument columns must survive the scan.
+				for _, f := range sqlparser.Aggregates(o.Expr) {
+					for _, a := range f.Args {
+						if !add(a) {
+							return nil, false
+						}
+					}
+				}
+				continue
+			}
+			// ORDER BY may reference input columns that were projected away;
+			// references that resolve in the output (aliases, projected
+			// names) do not hit the scan.
+			for _, r := range sqlparser.ColumnRefs(o.Expr) {
+				if r.Table == "" && nameIn(outputNames, r.Name) {
+					continue
+				}
+				refs = append(refs, r)
+			}
+		}
+	}
+	// Residual filters run above the scan, over already-projected rows:
+	// their columns must survive the projection (unlike the scan predicate,
+	// which runs inside the scan over full-width rows).
+	for _, f := range ops.filters {
+		if !add(f.Cond) {
+			return nil, false
+		}
+	}
+	return refs, true
+}
+
+func nameIn(names []string, name string) bool {
+	for _, n := range names {
+		if strings.EqualFold(n, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func outputName(e sqlparser.Expr, idx int) string {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		return x.Name
+	case *sqlparser.FuncCall:
+		return x.Name
+	default:
+		return "col" + strconv.Itoa(idx+1)
+	}
+}
+
+// pruneSingleScan narrows one single-table block's scan.
+func pruneSingleScan(ops *blockOps, s *Scan, cat Catalog) {
+	if s.Columns != nil {
+		return
+	}
+	cols, ok := cat(s.Table)
+	if !ok {
+		return
+	}
+	refs, ok := ops.requirements()
+	if !ok {
+		return
+	}
+	qual := s.Alias
+	if qual == "" {
+		qual = s.Table
+	}
+	var needed []string
+	seen := map[string]bool{}
+	for _, r := range refs {
+		if r.Table != "" && !strings.EqualFold(r.Table, qual) {
+			return // reference escapes this scan: bail out
+		}
+		key := strings.ToLower(r.Name)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if !nameIn(cols, r.Name) {
+			return // not a column of the relation (will error downstream)
+		}
+		needed = append(needed, r.Name)
+	}
+	if len(needed) >= len(cols) {
+		return // full width: nothing to prune
+	}
+	s.Columns = needed
+}
+
+// pruneJoinScans narrows the scans under a join. Only references qualified
+// with a side's alias can be attributed, so any unqualified reference in
+// the block disables pruning.
+func pruneJoinScans(ops *blockOps, j *Join, cat Catalog) {
+	refs, ok := ops.requirements()
+	if !ok {
+		return
+	}
+	var scans []*Scan
+	var collect func(Node)
+	collect = func(n Node) {
+		switch x := n.(type) {
+		case *Scan:
+			scans = append(scans, x)
+		case *Join:
+			refs = append(refs, sqlparser.ColumnRefs(x.On)...)
+			collect(x.Left)
+			collect(x.Right)
+		case *Filter:
+			refs = append(refs, sqlparser.ColumnRefs(x.Cond)...)
+			collect(x.Input)
+		}
+	}
+	refs = append(refs, sqlparser.ColumnRefs(j.On)...)
+	collect(j.Left)
+	collect(j.Right)
+
+	for _, r := range refs {
+		if r.Table == "" {
+			return // cannot attribute unqualified references across a join
+		}
+	}
+	for _, s := range scans {
+		if s.Columns != nil {
+			continue
+		}
+		cols, ok := cat(s.Table)
+		if !ok {
+			continue
+		}
+		qual := s.Alias
+		if qual == "" {
+			qual = s.Table
+		}
+		var needed []string
+		seen := map[string]bool{}
+		usable := true
+		for _, r := range refs {
+			if !strings.EqualFold(r.Table, qual) {
+				continue
+			}
+			key := strings.ToLower(r.Name)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if !nameIn(cols, r.Name) {
+				usable = false
+				break
+			}
+			needed = append(needed, r.Name)
+		}
+		if !usable || len(needed) == 0 || len(needed) >= len(cols) {
+			continue
+		}
+		// The scan predicate runs pre-projection; its columns need not stay.
+		s.Columns = needed
+	}
+}

@@ -1,0 +1,150 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"paradise/internal/plan"
+	"paradise/internal/policy"
+	"paradise/internal/sqlparser"
+)
+
+// RewritePlan rewrites the statement under the policy module and lowers the
+// result straight into the logical plan IR, with every policy-introduced
+// transformation annotated on the operator that carries it: injected
+// conditions become provenance on Filter nodes (or on the Scan they are
+// pushed into), suppressed attributes and compression rewrites annotate the
+// projection, mandated aggregations annotate the Aggregate node. Denials
+// are structured (*Denial) exactly as with Rewrite, so PolicyViolation
+// reporting is unchanged.
+func (rw *Rewriter) RewritePlan(sel *sqlparser.Select, mod *policy.Module) (plan.Node, *Report, error) {
+	rewritten, rep, err := rw.Rewrite(sel, mod)
+	if err != nil {
+		return nil, nil, err
+	}
+	root, err := plan.FromAST(rewritten)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	rep.Annotate(root, mod.ID)
+	return root, rep, nil
+}
+
+// Annotate attaches policy provenance to a lowered plan of the rewritten
+// query: every operator (or conjunct) this report introduced is marked with
+// origin, module, rule and the affected columns, so EXPLAIN output and
+// audits can point at the exact plan node a policy produced. Conditions are
+// matched by their canonical SQL, which is how the rewriter recorded them.
+func (rep *Report) Annotate(root plan.Node, moduleID string) {
+	injectedWhere := sqlSet(rep.InjectedWhere)
+	injectedHaving := sqlSet(rep.InjectedHaving)
+
+	annotatedProjection := false
+	plan.Walk(root, func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Filter:
+			x.Prov = append(x.Prov, condProvenance(x.Cond, injectedWhere, moduleID)...)
+		case *plan.Scan:
+			x.Prov = append(x.Prov, condProvenance(x.Predicate, injectedWhere, moduleID)...)
+		case *plan.Aggregate:
+			x.Prov = append(x.Prov, condProvenance(x.Having, injectedHaving, moduleID)...)
+			rep.annotateAggregation(x, moduleID)
+			rep.annotateItems(x.Items, &x.Prov, moduleID)
+			if !annotatedProjection {
+				annotatedProjection = rep.annotateRemoved(&x.Prov, moduleID)
+			}
+		case *plan.Project:
+			rep.annotateItems(x.Items, &x.Prov, moduleID)
+			if !annotatedProjection {
+				annotatedProjection = rep.annotateRemoved(&x.Prov, moduleID)
+			}
+		}
+	})
+}
+
+// annotateRemoved documents projection control on the outermost projection.
+func (rep *Report) annotateRemoved(prov *[]plan.Provenance, moduleID string) bool {
+	if len(rep.RemovedAttributes) == 0 {
+		return true
+	}
+	*prov = append(*prov, plan.Provenance{
+		Origin:  "policy",
+		Module:  moduleID,
+		Rule:    "projection control (suppressed attributes)",
+		Columns: append([]string(nil), rep.RemovedAttributes...),
+	})
+	return true
+}
+
+// annotateAggregation marks mandated-aggregation items on an Aggregate node.
+func (rep *Report) annotateAggregation(agg *plan.Aggregate, moduleID string) {
+	for attr, alias := range rep.EnforcedAggregations {
+		for _, it := range agg.Items {
+			if !strings.EqualFold(it.Alias, alias) {
+				continue
+			}
+			f, ok := it.Expr.(*sqlparser.FuncCall)
+			if !ok || !f.IsAggregate() {
+				continue
+			}
+			agg.Prov = append(agg.Prov, plan.Provenance{
+				Origin:  "policy",
+				Module:  moduleID,
+				Rule:    "mandated aggregation",
+				Columns: []string{attr},
+				Detail:  fmt.Sprintf("%s -> %s(%s) AS %s", attr, strings.ToUpper(f.Name), attr, alias),
+			})
+		}
+	}
+}
+
+// annotateItems marks §3.3 compression rewrites on projection items.
+func (rep *Report) annotateItems(items []sqlparser.SelectItem, prov *[]plan.Provenance, moduleID string) {
+	for attr, grid := range rep.CompressedAttributes {
+		for _, it := range items {
+			if !strings.EqualFold(it.Alias, attr) {
+				continue
+			}
+			if _, ok := it.Expr.(*sqlparser.BinaryExpr); !ok {
+				continue
+			}
+			*prov = append(*prov, plan.Provenance{
+				Origin:  "policy",
+				Module:  moduleID,
+				Rule:    "compression (grid snap)",
+				Columns: []string{attr},
+				Detail:  fmt.Sprintf("%s @ grid %g", attr, grid),
+			})
+		}
+	}
+}
+
+// condProvenance returns one provenance entry per conjunct of cond that the
+// policy injected.
+func condProvenance(cond sqlparser.Expr, injected map[string]bool, moduleID string) []plan.Provenance {
+	if cond == nil || len(injected) == 0 {
+		return nil
+	}
+	var out []plan.Provenance
+	for _, c := range sqlparser.Conjuncts(cond) {
+		if !injected[strings.ToLower(c.SQL())] {
+			continue
+		}
+		out = append(out, plan.Provenance{
+			Origin:  "policy",
+			Module:  moduleID,
+			Rule:    "selection control (injected condition)",
+			Columns: sqlparser.ColumnNames(c),
+			Detail:  c.SQL(),
+		})
+	}
+	return out
+}
+
+func sqlSet(conds []string) map[string]bool {
+	out := make(map[string]bool, len(conds))
+	for _, c := range conds {
+		out[strings.ToLower(c)] = true
+	}
+	return out
+}

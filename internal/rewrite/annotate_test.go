@@ -1,0 +1,90 @@
+package rewrite
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"paradise/internal/plan"
+)
+
+// TestRewritePlanProvenance: the rewriter's output plan carries policy
+// provenance on exactly the operators the policy introduced — injected
+// conditions on the Filter, the mandated aggregation on the Aggregate, the
+// injected HAVING on the Aggregate — so EXPLAIN can attribute every
+// privacy transformation to its rule and columns.
+func TestRewritePlanProvenance(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	root, rep, err := rw.RewritePlan(mustParse(t, "SELECT x, y, z, t FROM d WHERE t > 5"), actionFilter(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Changed() {
+		t.Fatal("Figure 4 policy should transform the query")
+	}
+
+	var filterProv, aggProv []plan.Provenance
+	plan.Walk(root, func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Filter:
+			filterProv = append(filterProv, x.Prov...)
+		case *plan.Scan:
+			filterProv = append(filterProv, x.Prov...)
+		case *plan.Aggregate:
+			aggProv = append(aggProv, x.Prov...)
+		}
+	})
+
+	wantConds := map[string]bool{"x > y": false, "z < 2": false}
+	for _, p := range filterProv {
+		if p.Origin != "policy" || p.Module != "ActionFilter" {
+			t.Fatalf("bad provenance origin: %+v", p)
+		}
+		if _, ok := wantConds[p.Detail]; ok {
+			wantConds[p.Detail] = true
+		}
+	}
+	for cond, seen := range wantConds {
+		if !seen {
+			t.Errorf("injected condition %q has no provenance on the plan", cond)
+		}
+	}
+
+	var sawAggregation, sawHaving bool
+	for _, p := range aggProv {
+		if p.Rule == "mandated aggregation" && len(p.Columns) == 1 && p.Columns[0] == "z" {
+			sawAggregation = true
+		}
+		if strings.Contains(p.Detail, "SUM(z) > 100") {
+			sawHaving = true
+		}
+	}
+	if !sawAggregation {
+		t.Errorf("mandated aggregation of z not annotated: %+v", aggProv)
+	}
+	if !sawHaving {
+		t.Errorf("injected HAVING not annotated: %+v", aggProv)
+	}
+
+	// Provenance must survive optimization (pushdown moves the conjuncts
+	// into the scan, annotations travel with them).
+	root = plan.Optimize(root, plan.Options{})
+	out := plan.String(root)
+	if !strings.Contains(out, "policy:ActionFilter") {
+		t.Fatalf("optimized plan lost provenance:\n%s", out)
+	}
+}
+
+// TestRewritePlanDenialUnchanged: RewritePlan refuses exactly like Rewrite,
+// with the structured Denial carrying rule + columns.
+func TestRewritePlanDenialUnchanged(t *testing.T) {
+	rw := New(testCatalog(), Options{})
+	_, _, err := rw.RewritePlan(mustParse(t, "SELECT user FROM d"), actionFilter(t))
+	var d *Denial
+	if !errors.As(err, &d) {
+		t.Fatalf("want *Denial, got %v", err)
+	}
+	if d.Module != "ActionFilter" || len(d.Columns) == 0 {
+		t.Fatalf("denial lacks rule context: %+v", d)
+	}
+}

@@ -136,6 +136,14 @@ func (s *scanIterator) Next() (Rows, error) {
 		if in == nil {
 			return nil, nil
 		}
+		// Projected rows share one backing array per batch: one allocation
+		// per pull instead of one per row. The array is fresh each batch —
+		// rows may be retained by consumers — only the header buffer is
+		// reused.
+		var vals []Value
+		if s.sc.Columns != nil {
+			vals = make([]Value, 0, len(in)*len(s.sc.Columns))
+		}
 		out := s.buf[:0]
 		for _, r := range in {
 			if s.sc.Filter != nil {
@@ -148,11 +156,11 @@ func (s *scanIterator) Next() (Rows, error) {
 				}
 			}
 			if s.sc.Columns != nil {
-				pr := make(Row, len(s.sc.Columns))
-				for i, c := range s.sc.Columns {
-					pr[i] = r[c]
+				start := len(vals)
+				for _, c := range s.sc.Columns {
+					vals = append(vals, r[c])
 				}
-				r = pr
+				r = vals[start:len(vals):len(vals)]
 			}
 			out = append(out, r)
 		}

@@ -1,0 +1,106 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"paradise/internal/schema"
+)
+
+// Corner cases the plan-lowering pass depends on: quoted identifiers keep
+// their case, stars survive joins, derived tables nest, and NULL literals
+// parse as typed NULL values (not identifiers).
+
+func TestQuotedIdentifiersKeepCase(t *testing.T) {
+	sel, err := Parse(`SELECT "Weird Name", x FROM d WHERE "Weird Name" > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := sel.Items[0].Expr.(*ColumnRef)
+	if !ok || c.Name != "Weird Name" {
+		t.Fatalf("quoted identifier lost: %#v", sel.Items[0].Expr)
+	}
+	// Rendering must re-quote so the canonical SQL re-parses identically.
+	re, err := Parse(sel.SQL())
+	if err != nil {
+		t.Fatalf("canonical SQL %q does not re-parse: %v", sel.SQL(), err)
+	}
+	if re.SQL() != sel.SQL() {
+		t.Fatalf("quoted round trip: %q != %q", re.SQL(), sel.SQL())
+	}
+}
+
+func TestStarWithJoinParses(t *testing.T) {
+	sel, err := Parse("SELECT * FROM d JOIN cells ON d.cell = cells.cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sel.Items[0].Expr.(*Star); !ok {
+		t.Fatalf("item = %#v, want *Star", sel.Items[0].Expr)
+	}
+	j, ok := sel.From.(*Join)
+	if !ok {
+		t.Fatalf("from = %#v, want *Join", sel.From)
+	}
+	if j.On == nil {
+		t.Fatal("join lost its ON condition")
+	}
+	// Qualified star too.
+	sel, err = Parse("SELECT d.* FROM d JOIN cells ON d.cell = cells.cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := sel.Items[0].Expr.(*Star)
+	if !ok || st.Table != "d" {
+		t.Fatalf("qualified star = %#v", sel.Items[0].Expr)
+	}
+}
+
+func TestNestedSubqueriesInFrom(t *testing.T) {
+	sel, err := Parse("SELECT v FROM (SELECT u AS v FROM (SELECT x AS u FROM d WHERE x > 0) AS inner1 WHERE u < 9) AS outer1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, ok := sel.From.(*Subquery)
+	if !ok || sq.Alias != "outer1" {
+		t.Fatalf("outer from = %#v", sel.From)
+	}
+	sq2, ok := sq.Select.From.(*Subquery)
+	if !ok || sq2.Alias != "inner1" {
+		t.Fatalf("inner from = %#v", sq.Select.From)
+	}
+	if InnermostSelect(sel).From.(*TableName).Name != "d" {
+		t.Fatal("innermost select does not read d")
+	}
+}
+
+func TestNullLiteralComparisons(t *testing.T) {
+	sel, err := Parse("SELECT x FROM d WHERE y = NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ok := sel.Where.(*BinaryExpr)
+	if !ok {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	lit, ok := be.R.(*Literal)
+	if !ok || !lit.Value.IsNull() || lit.Value.Type() != schema.TypeNull {
+		t.Fatalf("NULL literal = %#v", be.R)
+	}
+	// IS [NOT] NULL is a distinct node, not a comparison.
+	sel, err = Parse("SELECT x FROM d WHERE y IS NOT NULL AND z IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj := Conjuncts(sel.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	n1, ok := conj[0].(*IsNull)
+	if !ok || !n1.Not {
+		t.Fatalf("first conjunct = %#v", conj[0])
+	}
+	n2, ok := conj[1].(*IsNull)
+	if !ok || n2.Not {
+		t.Fatalf("second conjunct = %#v", conj[1])
+	}
+}

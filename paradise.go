@@ -7,6 +7,7 @@ import (
 
 	"paradise/internal/core"
 	"paradise/internal/network"
+	"paradise/internal/plan"
 	"paradise/internal/policy"
 	"paradise/internal/recognition"
 	"paradise/internal/sqlparser"
@@ -259,7 +260,11 @@ func (s *Session) RunNaive(ctx context.Context, sql string) (*RunStats, error) {
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	stats, err := network.RunNaive(ctx, s.topo, sel, s.store)
+	root, err := plan.FromAST(sel)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	stats, err := network.RunNaive(ctx, s.topo, root, s.store)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
