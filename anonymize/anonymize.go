@@ -1,9 +1,3 @@
-// Package anonymize is the public face of the postprocessing algorithms A
-// of §3.2, for callers that want to study or apply anonymization outside a
-// paradise Session (a Session applies them automatically via
-// paradise.WithAnonymization): k-anonymity (multidimensional Mondrian and
-// full-domain generalization), l-diversity, slicing and the Laplace
-// mechanism for differential privacy, plus quasi-identifier detection.
 package anonymize
 
 import (

@@ -20,6 +20,8 @@
 //	-k         k for the k-anonymity methods (default 5)
 //	-epsilon   epsilon for dp (default 1.0)
 //	-rows      print up to N result rows (default 10)
+//	-parallel  worker goroutines per query pipeline
+//	           (default 0 = all CPUs; 1 = serial)
 //	-explain   print the optimized logical plan (with policy provenance)
 //	           and the per-fragment plan trees
 //	-audit     violating query to check against the released d'
@@ -88,6 +90,7 @@ func run() int {
 		k        = flag.Int("k", 5, "k for k-anonymity methods")
 		epsilon  = flag.Float64("epsilon", 1.0, "epsilon for differential privacy")
 		rows     = flag.Int("rows", 10, "print up to N result rows")
+		parallel = flag.Int("parallel", 0, "worker goroutines per query pipeline (0 = all CPUs, 1 = serial)")
 		explain  = flag.Bool("explain", false, "print the optimized logical plan and per-fragment plan trees")
 		auditQ   = flag.String("audit", "", "violating query to audit against the released d' (query containment)")
 		journalP = flag.String("journal", "", "write the audit journal as JSON to this file")
@@ -129,6 +132,7 @@ func run() int {
 	sess, err := paradise.Open(store,
 		paradise.WithPolicy(pol),
 		paradise.WithJournal(journal),
+		paradise.WithParallelism(*parallel),
 		paradise.WithAnonymization(paradise.AnonConfig{
 			Method:  paradise.AnonMethod(*anon),
 			K:       *k,

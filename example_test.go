@@ -77,6 +77,73 @@ func ExampleSession_Query() {
 	// x=3 t=250
 }
 
+// Parallelism is a pure performance knob: a session opened with
+// WithParallelism(4) runs scans, filters, projections, join probes and
+// aggregation on four worker goroutines per query, yet returns exactly the
+// rows — same order, bit-identical values — and exactly the Figure 3
+// accounting of a serial session, because the engine's exchange re-emits
+// worker output in morsel order.
+func ExampleWithParallelism() {
+	store := exampleStore()
+	serial, err := paradise.Open(store, paradise.WithParallelism(1))
+	if err != nil {
+		panic(err)
+	}
+	parallel, err := paradise.Open(store, paradise.WithParallelism(4))
+	if err != nil {
+		panic(err)
+	}
+	sql := "SELECT x, AVG(z) AS za, COUNT(*) AS n FROM d GROUP BY x"
+	a, err := serial.Process(context.Background(), sql)
+	if err != nil {
+		panic(err)
+	}
+	b, err := parallel.Process(context.Background(), sql)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rows equal:", fmt.Sprint(a.Result.Rows) == fmt.Sprint(b.Result.Rows))
+	fmt.Println("egress equal:", a.Net.EgressBytes == b.Net.EgressBytes)
+	for _, r := range b.Result.Rows {
+		fmt.Printf("x=%s za=%s n=%s\n", r[0].Format(), r[1].Format(), r[2].Format())
+	}
+	// Output:
+	// rows equal: true
+	// egress equal: true
+	// x=2 za=30 n=3
+	// x=3 za=30 n=3
+}
+
+// The -explain view of cmd/paradise is Outcome.Explain: the optimized
+// logical plan of the rewritten query, policy transformations inline as
+// operator provenance, followed by the per-fragment plan trees and their
+// placement levels.
+func ExampleOutcome_Explain() {
+	sess, err := paradise.Open(exampleStore(),
+		paradise.WithPolicy(paradise.Figure4Policy()),
+		paradise.WithDefaultModule("ActionFilter"))
+	if err != nil {
+		panic(err)
+	}
+	out, err := sess.Process(context.Background(), "SELECT x, y FROM d")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(out.Explain())
+	// Output:
+	// logical plan (rewritten, optimized):
+	//   Project x, y
+	//     Scan d cols=[x, y] pushed=(x > y)
+	//       ^ policy:ActionFilter selection control (injected condition) [x, y] (x > y)
+	// fragment plans (placement):
+	// Q1 @ E4/sensor — sensor scan (reads d, emits d1)
+	//   Project *
+	//     Scan d
+	// Q2 @ E3/appliance — appliance filter + projection (reads d1, emits d2)
+	//   Project x, y
+	//     Scan d1 pushed=(x > y)
+}
+
 // Denied queries surface as typed errors: branch with errors.Is, read the
 // violated rule and offending columns with errors.As.
 func ExampleErrPolicyViolation() {

@@ -1,8 +1,3 @@
-// Package experiments is the public face of the reproduction harness: it
-// regenerates every exhibit of the paper (Table 1, Figures 1-4, the §4.2
-// staged pushdown, the §3.2 information-loss study and the DESIGN.md
-// ablations) as structured rows. cmd/benchrunner formats them; the root
-// package's benchmarks measure them.
 package experiments
 
 import (

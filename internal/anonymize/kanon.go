@@ -1,9 +1,3 @@
-// Package anonymize implements the postprocessing stage of the PArADISE
-// processor (§3.2): result-set anonymization with k-anonymity (Samarati) in
-// both full-domain-generalization and Mondrian multidimensional flavours,
-// column-wise slicing (Li, Li, Zhang & Molloy), and the Laplace mechanism of
-// differential privacy (Dwork) for aggregate releases, plus the
-// quasi-identifier detection the paper's summary mentions.
 package anonymize
 
 import (

@@ -1,9 +1,3 @@
-// Package audit keeps a provenance journal of every query the PArADISE
-// processor answers: who asked (module), what was asked, what the privacy
-// machinery did to it, and how much data left the apartment. The paper's
-// companion work (METIS in PArADISE, [Heu15]) motivates exactly this —
-// provenance management for sensor-data evaluations; the journal is the
-// minimal end a user needs to audit their assistive system.
 package audit
 
 import (

@@ -1,0 +1,24 @@
+// Package containment addresses the open problem the paper closes with
+// (§4.1/§5): "decide whether a privacy-violating query Q↓ can be performed
+// even on d′ instead of d. In this case, we have to extend the anonymization
+// step A already performed. This open problem results in a query containment
+// problem."
+//
+// Full query containment is undecidable for the SQL the engine supports, so
+// this package implements a *conservative* answerability test in the style
+// of view-based query answering over a single released view d′ (the output
+// of the rewritten, fragmented query):
+//
+//   - attribute coverage — every attribute Q↓ needs must survive into d′
+//     (an attribute replaced by its mandated aggregate is gone in raw form);
+//   - tuple coverage — the region Q↓ selects must be contained in the
+//     region d′ retains, checked by per-attribute interval implication over
+//     the conjunctive constant predicates;
+//   - aggregation compatibility — if d′ is grouped, Q↓ may only use the
+//     grouping attributes and aggregates derivable from the released ones.
+//
+// The test errs on the safe side in the *privacy* direction required here:
+// it may report "answerable" although a clever rewriting is impossible
+// (over-approximation), never the reverse. A privacy checker must
+// over-approximate the attacker.
+package containment

@@ -1,0 +1,8 @@
+// Package core assembles the PArADISE privacy-aware query processor of
+// Figure 2: a preprocessor that checks and rewrites queries against the
+// user's privacy policy, the vertical fragmentation and simulated execution
+// across the peer chain, and a postprocessor that anonymizes result sets and
+// scores the information loss ("Golden Path", §3.2). It is the public entry
+// point of this library; the cmd tools and examples drive everything through
+// the Processor type.
+package core

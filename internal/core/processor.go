@@ -1,10 +1,3 @@
-// Package core assembles the PArADISE privacy-aware query processor of
-// Figure 2: a preprocessor that checks and rewrites queries against the
-// user's privacy policy, the vertical fragmentation and simulated execution
-// across the peer chain, and a postprocessor that anonymizes result sets and
-// scores the information loss ("Golden Path", §3.2). It is the public entry
-// point of this library; the cmd tools and examples drive everything through
-// the Processor type.
 package core
 
 import (
@@ -12,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 
 	"paradise/internal/anonymize"
@@ -89,6 +83,11 @@ type Config struct {
 	// Journal, when set, records an audit entry for every processed query
 	// including denials (provenance, cf. [Heu15]).
 	Journal *audit.Journal
+	// Parallelism is the number of worker goroutines a query pipeline may
+	// use (morsel-driven, order-preserving — results and Figure 3
+	// accounting are identical to serial execution): <= 0 means
+	// runtime.GOMAXPROCS(0), 1 keeps execution serial.
+	Parallelism int
 }
 
 // Processor is the privacy-aware query processor.
@@ -100,6 +99,7 @@ type Processor struct {
 	anon     AnonConfig
 	maxLoss  float64
 	journal  *audit.Journal
+	par      int
 }
 
 // New validates the configuration and builds a Processor.
@@ -120,6 +120,10 @@ func New(cfg Config) (*Processor, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	return &Processor{
 		store:    cfg.Store,
 		pol:      cfg.Policy,
@@ -128,8 +132,13 @@ func New(cfg Config) (*Processor, error) {
 		anon:     cfg.Anon,
 		maxLoss:  cfg.MaxInfoLoss,
 		journal:  cfg.Journal,
+		par:      par,
 	}, nil
 }
+
+// Parallelism reports the worker count query pipelines run with (1 =
+// serial).
+func (p *Processor) Parallelism() int { return p.par }
 
 // Journal returns the configured audit journal, or nil.
 func (p *Processor) Journal() *audit.Journal { return p.journal }
@@ -287,7 +296,7 @@ func (p *Processor) processSelect(ctx context.Context, sel *sqlparser.Select, mo
 	}
 
 	// --- Chain execution (§4). ---
-	stats, err := network.Run(ctx, p.topo, plan, p.store)
+	stats, err := network.Run(ctx, p.topo, plan, p.store, network.WithParallelism(p.par))
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +317,7 @@ func (p *Processor) processSelect(ctx context.Context, sel *sqlparser.Select, mo
 // divergence over the numeric columns shared by the original and rewritten
 // answers.
 func (p *Processor) infoLoss(ctx context.Context, orig, rewritten *sqlparser.Select) (float64, error) {
-	eng := engine.New(p.store)
+	eng := engine.New(p.store).WithParallelism(p.par)
 	or, err := eng.Select(ctx, orig)
 	if err != nil {
 		return 0, err
@@ -492,7 +501,7 @@ func (p *Processor) ProcessPipeline(ctx context.Context, pl recognition.Node, mo
 	}
 	residual := recognition.Residual(pl, "d'")
 	frames := map[string]*engine.Result{"d'": out.Result}
-	final, err := recognition.Run(ctx, residual, engine.New(p.store), frames)
+	final, err := recognition.Run(ctx, residual, engine.New(p.store).WithParallelism(p.par), frames)
 	if err != nil {
 		return nil, err
 	}

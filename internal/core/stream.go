@@ -55,7 +55,7 @@ func (p *Processor) OpenSelect(ctx context.Context, sel *sqlparser.Select, modul
 	out, plan, err := p.prepare(ctx, sel, moduleID)
 	if err == nil {
 		var net *network.Stream
-		net, err = network.Open(ctx, p.topo, plan, p.store)
+		net, err = network.Open(ctx, p.topo, plan, p.store, network.WithParallelism(p.par))
 		if err == nil {
 			return &Stream{p: p, sel: sel, moduleID: moduleID, out: out, net: net}, nil
 		}

@@ -97,3 +97,39 @@ func BenchmarkNestedSubquery(b *testing.B) {
 func BenchmarkLimitEarlyTermination(b *testing.B) {
 	benchQuery(b, "SELECT x, y FROM d LIMIT 10")
 }
+
+// benchQueryPar is benchQuery on a 4-worker engine: the serial-vs-parallel
+// pairs below are the BENCH_4.json record. Run with -cpu 4 (or more) —
+// under GOMAXPROCS=1 the workers time-slice one core and parallel can only
+// measure its own overhead.
+func benchQueryPar(b *testing.B, sql string) {
+	b.Helper()
+	eng := New(benchStore(b, 10_000)).WithParallelism(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(context.Background(), sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanFilterParallel(b *testing.B) {
+	benchQueryPar(b, "SELECT * FROM d WHERE z < 1")
+}
+
+func BenchmarkProjectExpressionParallel(b *testing.B) {
+	benchQueryPar(b, "SELECT x + y AS s, z * 2 FROM d WHERE x > y")
+}
+
+func BenchmarkGroupByHavingParallel(b *testing.B) {
+	benchQueryPar(b, "SELECT cell, AVG(z) AS za, COUNT(*) AS n FROM d GROUP BY cell HAVING COUNT(*) > 10")
+}
+
+func BenchmarkHashJoinParallel(b *testing.B) {
+	benchQueryPar(b, "SELECT d.x, cells.label FROM d JOIN cells ON d.cell = cells.cell WHERE d.z < 1")
+}
+
+func BenchmarkDistinctParallel(b *testing.B) {
+	benchQueryPar(b, "SELECT DISTINCT cell FROM d")
+}

@@ -1,0 +1,29 @@
+// Package engine executes logical query plans over in-memory relations. It
+// is the query processor that runs — identically — on every node of the
+// vertical architecture, from the cloud server down to an appliance; only
+// the *fragment* of the query a node receives differs (capability
+// enforcement happens in the fragment package, not here).
+//
+// The engine compiles a plan.Node tree (the shared logical IR produced by
+// plan.FromAST and rewritten by plan.Optimize) into a pull-based,
+// batch-at-a-time iterator pipeline (volcano with row batches): scans,
+// filters, projections, join probes, DISTINCT and LIMIT stream; GROUP BY,
+// window functions and ORDER BY are pipeline breakers that materialize
+// their input. Scan nodes carry pruned column sets and pushed predicates
+// into the source's scans, so unused columns never leave storage.
+// Engine.Select drains the pipeline into a materialized Result; Engine.Open
+// exposes the pipeline itself so fragment chains and network nodes can
+// process batches without holding whole intermediate relations.
+//
+// With WithParallelism(n), n > 1, streamable segments run morsel-parallel
+// (parallel.go): n workers pull sequence-numbered morsels from a shared
+// cursor, apply per-worker scan/filter/probe/projection stages, and an
+// order-preserving exchange re-emits their output in morsel order. GROUP BY
+// partitions its key computation across workers and folds groups in
+// parallel; hash-join builds are hash-partitioned across workers. Because
+// the exchange restores serial order — and each group folds its rows in
+// serial order — parallel execution is row-identical (floats included) and
+// accounting-identical to serial execution: the worker count is purely a
+// performance knob. Blocks with a streaming LIMIT stay serial to preserve
+// their O(limit + batch) storage-read guarantee.
+package engine

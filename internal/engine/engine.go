@@ -1,25 +1,10 @@
-// Package engine executes logical query plans over in-memory relations. It
-// is the query processor that runs — identically — on every node of the
-// vertical architecture, from the cloud server down to an appliance; only
-// the *fragment* of the query a node receives differs (capability
-// enforcement happens in the fragment package, not here).
-//
-// The engine compiles a plan.Node tree (the shared logical IR produced by
-// plan.FromAST and rewritten by plan.Optimize) into a pull-based,
-// batch-at-a-time iterator pipeline (volcano with row batches): scans,
-// filters, projections, join probes, DISTINCT and LIMIT stream; GROUP BY,
-// window functions and ORDER BY are pipeline breakers that materialize
-// their input. Scan nodes carry pruned column sets and pushed predicates
-// into the source's scans, so unused columns never leave storage.
-// Engine.Select drains the pipeline into a materialized Result; Engine.Open
-// exposes the pipeline itself so fragment chains and network nodes can
-// process batches without holding whole intermediate relations.
 package engine
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"paradise/internal/plan"
@@ -50,10 +35,33 @@ func (r *Result) WireSize() int { return r.Rows.WireSize() }
 // Engine evaluates query plans against a Source.
 type Engine struct {
 	src Source
+	par int
 }
 
-// New creates an engine over the given source.
-func New(src Source) *Engine { return &Engine{src: src} }
+// New creates an engine over the given source. Execution is serial by
+// default; WithParallelism opts pipelines into morsel-driven parallel
+// execution.
+func New(src Source) *Engine { return &Engine{src: src, par: 1} }
+
+// WithParallelism sets the number of worker goroutines each compiled
+// pipeline may use for its streamable segments (scan, filter, projection,
+// join probe, DISTINCT, GROUP BY partitioning): n <= 0 means
+// runtime.GOMAXPROCS(0), 1 keeps execution serial. Parallel pipelines are
+// row- and order-identical to serial ones — the exchange re-emits worker
+// output in morsel order (see parallel.go) — so the setting is purely a
+// performance knob. It returns the engine for chaining and must be called
+// before Open; an Engine must not be reconfigured while pipelines are
+// open.
+func (e *Engine) WithParallelism(n int) *Engine {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.par = n
+	return e
+}
+
+// Parallelism reports the configured worker count (1 = serial).
+func (e *Engine) Parallelism() int { return e.par }
 
 // Catalog adapts the engine's source into the optimizer's catalog: column
 // names per base relation, used for projection pruning and join-side
@@ -194,9 +202,21 @@ func gatherBlock(top plan.Node) (*blockSpec, plan.Node) {
 	return spec, cur
 }
 
-// openBlock compiles one query block into its output schema and iterator.
+// openBlock compiles one query block into its output schema and iterator,
+// taking the morsel-parallel path (parallel.go) when the engine is
+// configured for it and the block shape is eligible.
 func (e *Engine) openBlock(ctx context.Context, top plan.Node) (*schema.Relation, schema.RowIterator, error) {
 	spec, src := gatherBlock(top)
+
+	if e.parallelizable(spec) {
+		rel, it, ok, err := e.openBlockParallel(ctx, spec, src)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			return rel, it, nil
+		}
+	}
 
 	b, it, err := e.openSource(ctx, src, spec)
 	if err != nil {
@@ -499,7 +519,13 @@ func (e *Engine) evalBroken(spec *blockSpec, b *binding, it schema.RowIterator) 
 			return nil, nil, err
 		}
 	}
+	return e.finishBroken(spec, b, out, orderRows)
+}
 
+// finishBroken applies the post-materialization clauses of a breaker block
+// — DISTINCT, ORDER BY, LIMIT — shared by the serial and parallel grouped
+// paths.
+func (e *Engine) finishBroken(spec *blockSpec, b *binding, out *Result, orderRows schema.Rows) (*schema.Relation, schema.Rows, error) {
 	if spec.distinct {
 		out.Rows = distinctRows(out.Rows)
 		orderRows = nil

@@ -16,21 +16,41 @@ type group struct {
 // evalGrouped handles blocks with GROUP BY, HAVING or aggregate functions in
 // the select list. Output is one row per surviving group.
 func (e *Engine) evalGrouped(spec *blockSpec, b *binding, rows schema.Rows) (*Result, error) {
-	for _, it := range spec.items {
-		if _, ok := it.Expr.(*sqlparser.Star); ok {
-			return nil, fmt.Errorf("%w: SELECT * is not valid in a grouped query", ErrQuery)
-		}
-		if sqlparser.ContainsWindow(it.Expr) {
-			return nil, fmt.Errorf("%w: window function over a grouped query is not supported", ErrQuery)
-		}
+	aggCalls, rel, err := groupSpecCompile(spec, b)
+	if err != nil {
+		return nil, err
 	}
-
 	groups, err := buildGroups(b, rows, spec.groupBy)
 	if err != nil {
 		return nil, err
 	}
+	var out schema.Rows
+	env := (&rowEnv{b: b}).reuse()
+	for _, g := range groups {
+		orow, keep, err := evalOneGroup(b, env, spec, aggCalls, g)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out = append(out, orow)
+		}
+	}
+	return &Result{Schema: rel, Rows: out}, nil
+}
 
-	// Collect every aggregate call appearing in items, HAVING and ORDER BY.
+// groupSpecCompile validates a grouped block's select list, collects every
+// aggregate call appearing in items, HAVING and ORDER BY, and builds the
+// output schema. Shared by the serial and parallel grouped paths.
+func groupSpecCompile(spec *blockSpec, b *binding) ([]*sqlparser.FuncCall, *schema.Relation, error) {
+	for _, it := range spec.items {
+		if _, ok := it.Expr.(*sqlparser.Star); ok {
+			return nil, nil, fmt.Errorf("%w: SELECT * is not valid in a grouped query", ErrQuery)
+		}
+		if sqlparser.ContainsWindow(it.Expr) {
+			return nil, nil, fmt.Errorf("%w: window function over a grouped query is not supported", ErrQuery)
+		}
+	}
+
 	var aggCalls []*sqlparser.FuncCall
 	seen := make(map[string]bool)
 	collect := func(ex sqlparser.Expr) {
@@ -49,7 +69,6 @@ func (e *Engine) evalGrouped(spec *blockSpec, b *binding, rows schema.Rows) (*Re
 		collect(o.Expr)
 	}
 
-	// Output schema.
 	rel := &schema.Relation{Columns: make([]schema.Column, len(spec.items))}
 	for i, it := range spec.items {
 		name := it.Alias
@@ -62,39 +81,42 @@ func (e *Engine) evalGrouped(spec *blockSpec, b *binding, rows schema.Rows) (*Re
 			Sensitive: b.sensitiveExpr(it.Expr),
 		}
 	}
+	return aggCalls, rel, nil
+}
 
-	var out schema.Rows
-	env := (&rowEnv{b: b}).reuse()
-	for _, g := range groups {
-		aggVals := make(map[string]schema.Value, len(aggCalls))
-		for _, f := range aggCalls {
-			v, err := evalAggregate(b, g.rows, f)
-			if err != nil {
-				return nil, err
-			}
-			aggVals[f.SQL()] = v
+// evalOneGroup folds one group's aggregates (over its rows in input
+// order), applies HAVING and evaluates the select list. keep is false when
+// HAVING rejected the group. env must belong to the calling goroutine;
+// groups are otherwise independent, which is what the parallel grouped
+// path exploits.
+func evalOneGroup(b *binding, env *rowEnv, spec *blockSpec, aggCalls []*sqlparser.FuncCall, g *group) (schema.Row, bool, error) {
+	aggVals := make(map[string]schema.Value, len(aggCalls))
+	for _, f := range aggCalls {
+		v, err := evalAggregate(b, g.rows, f)
+		if err != nil {
+			return nil, false, err
 		}
-		env.row, env.agg = g.rep, aggVals
-		if spec.having != nil {
-			ok, err := truthy(env, spec.having)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-		}
-		orow := make(schema.Row, len(spec.items))
-		for i, it := range spec.items {
-			v, err := evalExpr(env, it.Expr)
-			if err != nil {
-				return nil, err
-			}
-			orow[i] = v
-		}
-		out = append(out, orow)
+		aggVals[f.SQL()] = v
 	}
-	return &Result{Schema: rel, Rows: out}, nil
+	env.row, env.agg = g.rep, aggVals
+	if spec.having != nil {
+		ok, err := truthy(env, spec.having)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	orow := make(schema.Row, len(spec.items))
+	for i, it := range spec.items {
+		v, err := evalExpr(env, it.Expr)
+		if err != nil {
+			return nil, false, err
+		}
+		orow[i] = v
+	}
+	return orow, true, nil
 }
 
 // buildGroups partitions rows by the GROUP BY expressions. With no GROUP BY

@@ -1,9 +1,3 @@
-// Package experiments implements the reproduction harness: one entry point
-// per exhibit of the paper (Table 1, Figures 1-4, the §4.2 staged pushdown
-// and the §3.2 information-loss study) plus the ablations DESIGN.md calls
-// out. cmd/benchrunner formats the outputs; the repository-root benchmarks
-// wrap them in testing.B loops. Keeping the logic here guarantees the CLI
-// and the benches measure the same code.
 package experiments
 
 import (

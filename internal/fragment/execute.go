@@ -151,6 +151,22 @@ func (s *stageSource) Relation(name string) (*schema.Relation, schema.Rows, erro
 	return s.base.Relation(name)
 }
 
+// Option configures how a fragment plan executes.
+type Option func(*execConfig)
+
+type execConfig struct{ par int }
+
+// WithParallelism sets the number of worker goroutines each stage's engine
+// pipeline may use (morsel-driven, see the engine package): n <= 0 means
+// runtime.GOMAXPROCS(0), 1 (the default) keeps execution serial. Stage
+// outputs feed the next stage's workers through a shared morsel cursor, so
+// the per-stage row/byte accounting accrues under that cursor's lock —
+// batch sums are order-independent, making a parallel chain's accounting
+// bit-identical to the serial chain's.
+func WithParallelism(n int) Option {
+	return func(c *execConfig) { c.par = n }
+}
+
 // Chain is an opened fragment plan: the stages wired into one lazy batch
 // pipeline whose final iterator the caller pulls. Each fragment's iterator
 // feeds the next stage's scan, so no intermediate relation is materialized
@@ -168,16 +184,20 @@ type Chain struct {
 // OpenChain wires the plan's fragments into one lazy pipeline over the base
 // source, bound to ctx (cancellation is checked per batch at every scan).
 // The caller pulls Iterator and must Close the chain; Close is idempotent.
-func OpenChain(ctx context.Context, plan *Plan, base engine.Source) (*Chain, error) {
+func OpenChain(ctx context.Context, plan *Plan, base engine.Source, opts ...Option) (*Chain, error) {
 	if len(plan.Fragments) == 0 {
 		return nil, fmt.Errorf("%w: empty plan", ErrFragment)
+	}
+	cfg := execConfig{par: 1}
+	for _, o := range opts {
+		o(&cfg)
 	}
 
 	var src engine.Source = base
 	stages := make([]*stageIter, 0, len(plan.Fragments))
 	var rel *schema.Relation
 	for _, f := range plan.Fragments {
-		stageRel, it, err := engine.New(src).Open(ctx, f.Root)
+		stageRel, it, err := engine.New(src).WithParallelism(cfg.par).Open(ctx, f.Root)
 		if err != nil {
 			// Abandon the chain. Open's own cleanup may already have
 			// closed (and thereby drained) upstream stages; the stats are
@@ -238,8 +258,8 @@ func (c *Chain) Stages() []StageResult {
 // caller, and per-stage row/byte accounting is collected from the streamed
 // batches. Execution is semantically equivalent to evaluating the original
 // query directly (the property tests in this package assert exactly that).
-func Execute(ctx context.Context, plan *Plan, base engine.Source) (*Execution, error) {
-	chain, err := OpenChain(ctx, plan, base)
+func Execute(ctx context.Context, plan *Plan, base engine.Source, opts ...Option) (*Execution, error) {
+	chain, err := OpenChain(ctx, plan, base, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,16 +1,3 @@
-// Package fragment implements the vertical fragmentation of queries from
-// Grunert & Heuer §4: a (rewritten) query Q against the integrated sensor
-// database d is decomposed into pushed-down fragments Q1..Qj that execute as
-// close to the data sources as possible, plus a remainder Qδ for the more
-// powerful nodes — Q(d) → Qδ(d′). The capability ladder follows Table 1:
-//
-//	E1 cloud      — complex ML in R, SQL:2003 with UDFs
-//	E2 PC         — SQL-92 (we include window functions, which the paper's
-//	                local server executes for the regression analysis)
-//	E3 appliance  — "SQL light" with joins, attribute comparisons,
-//	                projections, grouping/aggregation (the media center)
-//	E4 sensor     — filters against constants and simple stream aggregates;
-//	                cannot project single attributes (SELECT * only)
 package fragment
 
 import (

@@ -22,12 +22,16 @@ import (
 // carries the sum of all shard outputs, while simulated time takes the
 // *maximum* shard (parallel sensors) plus the serialized radio transfers
 // (the sensors share the low-bandwidth medium).
-func RunFanIn(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.Source, sensorCount int) (*RunStats, error) {
+func RunFanIn(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.Source, sensorCount int, opts ...Option) (*RunStats, error) {
 	if sensorCount < 1 {
 		return nil, fmt.Errorf("%w: sensor count must be >= 1", ErrNetwork)
 	}
 	if err := topo.Validate(); err != nil {
 		return nil, err
+	}
+	cfg := runConfig{par: 1}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	if len(plan.Fragments) == 0 {
 		return nil, fmt.Errorf("%w: empty plan", ErrNetwork)
@@ -36,7 +40,7 @@ func RunFanIn(ctx context.Context, topo *Topology, plan *fragment.Plan, src engi
 	if first.MinLevel > fragment.LevelSensor {
 		// The first fragment already needs an appliance (e.g. a join);
 		// fan-in degenerates to the plain run.
-		return Run(ctx, topo, plan, src)
+		return Run(ctx, topo, plan, src, opts...)
 	}
 
 	stats := &RunStats{RawBytes: rawSize(plan, src)}
@@ -68,7 +72,7 @@ func RunFanIn(ctx context.Context, topo *Topology, plan *fragment.Plan, src engi
 	inRows := 0
 	for _, shard := range shards {
 		shardSrc := &overlaySource{base: src, name: tables[0], rel: rel, rows: shard}
-		res, err := engine.New(shardSrc).SelectPlan(ctx, first.Root)
+		res, err := engine.New(shardSrc).WithParallelism(cfg.par).SelectPlan(ctx, first.Root)
 		if err != nil {
 			return nil, fmt.Errorf("network: fan-in sensor fragment: %w", err)
 		}
@@ -125,7 +129,7 @@ func RunFanIn(ctx context.Context, topo *Topology, plan *fragment.Plan, src engi
 		node := topo.Nodes[pos]
 
 		stageSrc := &overlaySource{base: src, name: curName, rel: cur.Schema, rows: cur.Rows}
-		res, err := engine.New(stageSrc).SelectPlan(ctx, f.Root)
+		res, err := engine.New(stageSrc).WithParallelism(cfg.par).SelectPlan(ctx, f.Root)
 		if err != nil {
 			return nil, fmt.Errorf("network: fan-in Q%d on %s: %w", f.Stage, node.Name, err)
 		}

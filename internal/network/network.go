@@ -1,15 +1,3 @@
-// Package network simulates the vertical peer-to-peer processing chain of
-// Figure 3: sensors at the bottom, appliances and a home media center above
-// them, the apartment PC, and the provider's cloud server on top. Fragments
-// produced by the fragment package are placed on the lowest capable node and
-// executed bottom-up; the simulator accounts rows, bytes and time on every
-// link — in particular the bytes d′ that leave the apartment, the quantity
-// the paper's privacy argument is about.
-//
-// The paper's testbed (real sensors, a real apartment PC, a real cloud) is
-// replaced by this simulator; capability levels, relative compute power and
-// link bandwidths are modelled, so "who can run what" and "what ships where"
-// — the two quantities the paper reasons about — are measured exactly.
 package network
 
 import (
@@ -118,6 +106,21 @@ func DefaultApartment() *Topology {
 	}
 }
 
+// Option configures a simulated run.
+type Option func(*runConfig)
+
+type runConfig struct{ par int }
+
+// WithParallelism sets how many worker goroutines each node may use for
+// its fragment's pipeline (intra-fragment, morsel-driven parallelism —
+// the vertical placement is unchanged): n <= 0 means
+// runtime.GOMAXPROCS(0), 1 (the default) keeps execution serial. Results
+// and the Figure 3 accounting are identical either way; the knob only
+// changes wall-clock time on multi-core nodes.
+func WithParallelism(n int) Option {
+	return func(c *runConfig) { c.par = n }
+}
+
 // HopTraffic records bytes shipped over one link during a run.
 type HopTraffic struct {
 	Link  *Link
@@ -190,8 +193,8 @@ func (r *RunStats) Summary() string {
 // Run is Open followed by a full drain: the streaming path and this
 // materialized path share one pipeline and one accounting routine, so a
 // cursor that drains a Stream observes byte-identical RunStats.
-func Run(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.Source) (*RunStats, error) {
-	st, err := Open(ctx, topo, plan, src)
+func Run(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.Source, opts ...Option) (*RunStats, error) {
+	st, err := Open(ctx, topo, plan, src, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -235,9 +238,13 @@ type Stream struct {
 // relations once up front to size |d| (raw bytes and first-fragment input
 // rows); cancellation is checked per batch at every scan once the consumer
 // starts pulling.
-func Open(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.Source) (*Stream, error) {
+func Open(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.Source, opts ...Option) (*Stream, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
+	}
+	cfg := runConfig{par: 1}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	top := topo.Nodes[topo.CloudIndex()]
 	for _, f := range plan.Fragments {
@@ -246,7 +253,7 @@ func Open(ctx context.Context, topo *Topology, plan *fragment.Plan, src engine.S
 				ErrNetwork, f.Stage, f.MinLevel)
 		}
 	}
-	chain, err := fragment.OpenChain(ctx, plan, src)
+	chain, err := fragment.OpenChain(ctx, plan, src, fragment.WithParallelism(cfg.par))
 	if err != nil {
 		return nil, fmt.Errorf("network: open chain: %w", err)
 	}
@@ -384,9 +391,13 @@ func placeStats(topo *Topology, plan *fragment.Plan, stages []fragment.StageResu
 // ships all the way to the cloud, which executes the whole logical plan
 // there. The plan is optimized against the source before execution; the
 // caller cedes ownership of the tree.
-func RunNaive(ctx context.Context, topo *Topology, root logical.Node, src engine.Source) (*RunStats, error) {
+func RunNaive(ctx context.Context, topo *Topology, root logical.Node, src engine.Source, opts ...Option) (*RunStats, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
+	}
+	cfg := runConfig{par: 1}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	stats := &RunStats{}
 
@@ -410,7 +421,7 @@ func RunNaive(ctx context.Context, topo *Topology, root logical.Node, src engine
 		simMs += topo.Links[i].LatencyMs + float64(raw)/topo.Links[i].BytesPerMs
 	}
 
-	eng := engine.New(src)
+	eng := engine.New(src).WithParallelism(cfg.par)
 	root = logical.Optimize(root, logical.Options{Catalog: eng.Catalog(), CrossBlock: true})
 	res, err := eng.SelectPlan(ctx, root)
 	if err != nil {

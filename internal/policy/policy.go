@@ -1,10 +1,3 @@
-// Package policy implements the user-defined privacy policies of Grunert &
-// Heuer (§3.3, Figure 4): a P3P-inspired XML dialect that — per analysis
-// module and per attribute — states whether the attribute may be revealed,
-// under which atomic conditions, and whether it must be aggregated (with
-// mandatory GROUP BY and HAVING safeguards). Beyond the W3C P3P draft the
-// dialect adds stream settings: the allowed query interval and the possible
-// aggregation levels (§3.3).
 package policy
 
 import (

@@ -1,0 +1,7 @@
+// Package privmetrics implements the information-loss and privacy metrics
+// of §3.2: the paper's Direct Distance DD(R, R′), the Kullback–Leibler
+// divergence the preprocessor uses to judge whether enough information
+// survives for the intended analysis, plus the classic discernibility and
+// average-equivalence-class-size measures used to compare anonymization
+// operators.
+package privmetrics

@@ -1,14 +1,3 @@
-// Package recognition models the activity- and intention-recognition
-// analyses of the paper's smart environment: the R pipeline of §4.2
-// (filterByClass(sqldf(SELECT ...), action="walk", do.plot=F)), a Kalman
-// filter for position smoothing, a height/speed-based activity classifier,
-// and the detection of "SQLable" patterns inside the pipeline ([Weu16]).
-//
-// The paper notes that recognizing the maximal SQL part of an arbitrary R
-// program is undecidable in general; like the cited bachelor thesis it
-// therefore detects *explicit* SQL patterns. Our pipeline IR makes the
-// sqldf boundary first-class, which is exactly the structure those patterns
-// recover from R source.
 package recognition
 
 import (

@@ -1,21 +1,3 @@
-// Package rewrite implements the preprocessor of the PArADISE query
-// processor (Grunert & Heuer, §3.1 and §4.2): it analyzes an incoming query
-// against the affected user's privacy policy and rewrites it so that
-//
-//   - attributes the user does not reveal are removed from SELECT clauses
-//     (projection control),
-//   - the policy's atomic conditions are conjunctively merged into the
-//     WHERE/HAVING clauses of the *innermost possible* part of the nested
-//     query (selection control),
-//   - attributes restricted to aggregated form are replaced by their
-//     mandated aggregate with a new alias (e.g. AVG(z) AS zAVG) that is
-//     propagated to the outer query parts, together with the mandated
-//     GROUP BY and HAVING safeguards, and
-//   - a differently-permissioned sensor can be substituted in FROM.
-//
-// The rewriter never weakens a query: it only removes projections and adds
-// conjuncts, so the rewritten result is always a subset (tuple- and
-// attribute-wise) of the original.
 package rewrite
 
 import (

@@ -1,0 +1,21 @@
+// Package schema defines the value model, row representation and relation
+// schemas shared by every layer of PArADISE — the storage engine, the SQL
+// executor, the stream processor, the anonymizer and the privacy metrics —
+// plus the iterator vocabulary those layers stream rows through.
+//
+// Two execution contracts live here:
+//
+// The serial batch-iterator contract (iterator.go): relations flow as
+// pulled batches of rows (RowIterator); a batch is valid only until the
+// following Next call, while the rows inside it are immutable and may be
+// retained; consumers that stop early must Close, and Close propagates
+// upstream. WithContext binds a pipeline to a context checked per pull.
+//
+// The concurrent morsel contract (parallel.go): a relation is split into
+// sequence-numbered morsels handed out to worker goroutines through a
+// shared MorselSource. Workers own the morsels they pull, must never
+// mutate a batch in place, and transfer ownership of their output outright
+// — there is no reuse window across an exchange. The contract's ownership
+// rules are what let the engine run scans, filters, projections and probes
+// on N workers while remaining row-identical to serial execution.
+package schema

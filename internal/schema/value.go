@@ -1,6 +1,3 @@
-// Package schema defines the value model, row representation and relation
-// schemas shared by every layer of PArADISE: the storage engine, the SQL
-// executor, the stream processor, the anonymizer and the privacy metrics.
 package schema
 
 import (

@@ -1,11 +1,3 @@
-// Package sensors simulates the Smart Appliance Lab of Grunert & Heuer
-// (EDBT 2016, §1): the device ensemble of a smart meeting room or AAL
-// apartment, generating deterministic, seeded sensor traces with activity
-// ground truth. The real lab's hardware (UbiSense tags, SensFloor, EIB bus,
-// Extron switches) is unavailable, so this package produces relations with
-// the same schemas and statistical shape; every downstream component — the
-// query processor, the rewriter, the fragmenter, the anonymizer — only ever
-// sees these relations, so the substitution exercises identical code paths.
 package sensors
 
 import (

@@ -1,0 +1,7 @@
+// Package sqlparser implements a from-scratch lexer, recursive-descent
+// parser, AST and printer for the SQL subset PArADISE needs: nested SELECT
+// queries with joins, WHERE / GROUP BY / HAVING / ORDER BY / LIMIT,
+// aggregate functions and window functions with OVER (PARTITION BY ...
+// ORDER BY ...) clauses. The subset covers every query in Grunert & Heuer
+// (EDBT 2016) with headroom for the capability levels of Table 1.
+package sqlparser

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"paradise/internal/schema"
+)
+
+func morselStore(t *testing.T, n int) *Table {
+	t.Helper()
+	st := NewStore()
+	tab := st.Create(schema.NewRelation("m",
+		schema.Col("i", schema.TypeInt)))
+	rows := make(schema.Rows, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, schema.Row{schema.Int(int64(i))})
+	}
+	if err := tab.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestScanMorselsPartition: concurrent workers pulling from one morsel
+// source cover the table exactly once — every row served to exactly one
+// worker, seqs contiguous.
+func TestScanMorselsPartition(t *testing.T) {
+	const n = 1000
+	tab := morselStore(t, n)
+	src := tab.ScanMorsels(context.Background(), 64)
+
+	var mu sync.Mutex
+	got := make(map[int64]int)
+	seqs := make(map[int]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, err := src.NextMorsel()
+				if err != nil || m.Rows == nil {
+					return
+				}
+				mu.Lock()
+				seqs[m.Seq] = true
+				for _, r := range m.Rows {
+					got[r[0].AsInt()]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(got) != n {
+		t.Fatalf("workers saw %d distinct rows, want %d", len(got), n)
+	}
+	for v, c := range got {
+		if c != 1 {
+			t.Fatalf("row %d served %d times", v, c)
+		}
+	}
+	for s := 0; s < len(seqs); s++ {
+		if !seqs[s] {
+			t.Fatalf("seq %d missing (non-contiguous morsel numbering)", s)
+		}
+	}
+}
+
+// TestScanMorselsCancellation: after ctx cancel, the shared cursor hands
+// out no further morsels — an error is delivered exactly once and every
+// other worker observes exhaustion.
+func TestScanMorselsCancellation(t *testing.T) {
+	tab := morselStore(t, 10_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	src := tab.ScanMorsels(ctx, 256)
+
+	if m, err := src.NextMorsel(); err != nil || len(m.Rows) != 256 {
+		t.Fatalf("first morsel: rows=%d err=%v", len(m.Rows), err)
+	}
+	cancel()
+
+	var errCount, doneCount int
+	for i := 0; i < 4; i++ {
+		m, err := src.NextMorsel()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+			errCount++
+			continue
+		}
+		if m.Rows != nil {
+			t.Fatalf("morsel served after cancel")
+		}
+		doneCount++
+	}
+	if errCount != 1 || doneCount != 3 {
+		t.Fatalf("want exactly one error delivery then exhaustion, got %d errors / %d done", errCount, doneCount)
+	}
+}
+
+// TestScanPartitions: the partitioned Table.Scan applies filter and
+// projection per partition and the union of all partitions equals the
+// serial scan's row set.
+func TestScanPartitions(t *testing.T) {
+	tab := morselStore(t, 500)
+	sc := schema.Scan{
+		Filter: func(r schema.Row) (bool, error) { return r[0].AsInt()%2 == 0, nil },
+	}
+	want, err := schema.DrainIterator(tab.Scan(context.Background(), sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parts := tab.ScanPartitions(context.Background(), sc, 3)
+	var mu sync.Mutex
+	var union schema.Rows
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p schema.RowIterator) {
+			defer wg.Done()
+			rows, err := schema.DrainIterator(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			union = append(union, rows...)
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	if len(union) != len(want) {
+		t.Fatalf("partitions produced %d rows, serial scan %d", len(union), len(want))
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i][0].AsInt() < union[j][0].AsInt() })
+	for i := range want {
+		if union[i][0].AsInt() != want[i][0].AsInt() {
+			t.Fatalf("row %d: got %v, want %v", i, union[i], want[i])
+		}
+	}
+}

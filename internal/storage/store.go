@@ -1,7 +1,3 @@
-// Package storage provides the in-memory tables that back the integrated
-// sensor database d of the smart environment, plus CSV import/export used
-// by the CLI tools. Tables are safe for concurrent readers and writers,
-// matching the ingestion pattern of sensor streams feeding queries.
 package storage
 
 import (
@@ -140,6 +136,86 @@ func (s *tableScan) SizeHint() int {
 	return n - s.pos
 }
 
+// ScanMorsels opens a partitioned scan: the table is split into morsels
+// (sequence-numbered batches of the append-only row slice) handed out to
+// however many worker goroutines pull from the returned source. Each pull
+// takes one locked subslice — no copying, no per-morsel allocation — so the
+// serial fraction of a parallel scan is one short critical section per
+// batch. Filtering and projection are the workers' business (the engine
+// applies them per worker, outside the lock).
+//
+// The source is bound to ctx: cancellation is checked on every pull, so
+// after a cancel each worker stops reading the table within one batch (its
+// in-flight morsel) and no new morsels are handed out.
+func (t *Table) ScanMorsels(ctx context.Context, batchSize int) schema.MorselSource {
+	if batchSize <= 0 {
+		batchSize = schema.DefaultBatchSize
+	}
+	return &tableMorsels{ctx: ctx, scan: tableScan{t: t, batch: batchSize}}
+}
+
+// tableMorsels shares one table cursor between concurrent workers. Morsels
+// are raw subslices of the table's row slice, which is append-only (see
+// tableScan), so handing them out without copying is safe even while the
+// table keeps ingesting.
+type tableMorsels struct {
+	ctx  context.Context
+	mu   sync.Mutex
+	scan tableScan
+	seq  int
+}
+
+func (m *tableMorsels) NextMorsel() (schema.Morsel, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.scan.done {
+		return schema.Morsel{}, nil
+	}
+	if err := m.ctx.Err(); err != nil {
+		m.scan.done = true
+		return schema.Morsel{Seq: m.seq}, err
+	}
+	batch, err := m.scan.Next()
+	if err != nil {
+		m.scan.done = true
+		return schema.Morsel{Seq: m.seq}, err
+	}
+	if batch == nil {
+		return schema.Morsel{}, nil
+	}
+	out := schema.Morsel{Seq: m.seq, Rows: batch}
+	m.seq++
+	return out, nil
+}
+
+func (m *tableMorsels) Close() {
+	m.mu.Lock()
+	m.scan.done = true
+	m.mu.Unlock()
+}
+
+// ScanPartitions splits the table scan into n iterators sharing one morsel
+// cursor: each iterator pull claims the next unclaimed morsel and applies
+// the scan's filter and projection worker-side, so n goroutines draining
+// one iterator each cover the table exactly once. Row order across
+// partitions follows claim order, not table order; callers needing the
+// serial order must merge by morsel sequence (the engine's exchange does,
+// via ScanMorsels directly). Because one sc.Filter closure is shared by
+// all n partitions, it must be safe for concurrent calls (a pure function
+// of the row); stateful per-worker filters belong in per-partition stages
+// over ScanMorsels instead.
+func (t *Table) ScanPartitions(ctx context.Context, sc schema.Scan, n int) []schema.RowIterator {
+	if n < 1 {
+		n = 1
+	}
+	src := t.ScanMorsels(ctx, sc.BatchSize)
+	out := make([]schema.RowIterator, n)
+	for i := range out {
+		out[i] = schema.FilterProject(schema.IterateMorsels(src), sc)
+	}
+	return out
+}
+
 // Truncate removes all rows.
 func (t *Table) Truncate() {
 	t.mu.Lock()
@@ -238,6 +314,17 @@ func (s *Store) OpenScan(ctx context.Context, name string, sc schema.Scan) (sche
 		return nil, err
 	}
 	return t.Scan(ctx, sc), nil
+}
+
+// OpenMorsels opens a partitioned batch scan over the named table (see
+// Table.ScanMorsels). It is the storage fast path of the engine's parallel
+// scans: morsels are locked subslices, never copies.
+func (s *Store) OpenMorsels(ctx context.Context, name string, batchSize int) (schema.MorselSource, error) {
+	t, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.ScanMorsels(ctx, batchSize), nil
 }
 
 // Names lists table names in sorted order.

@@ -1,0 +1,7 @@
+// Package stream implements the sensor-level (E4) processing of Table 1:
+// bounded time-ordered buffers fed by the sensor hardware, constant-only
+// filters, and simple aggregates over sliding windows "over the last
+// seconds". It also enforces the stream extensions of the privacy policy
+// (§3.3): the allowed query interval and the minimum aggregation window
+// before values may leave the sensor.
+package stream

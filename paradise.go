@@ -24,6 +24,7 @@ type sessionConfig struct {
 	journal  *Journal
 	maxLoss  float64
 	defMod   string
+	parallel int  // worker goroutines per pipeline; <= 0 means GOMAXPROCS
 	explicit bool // a policy was supplied explicitly
 }
 
@@ -72,6 +73,24 @@ func WithInfoLossBudget(budget float64) Option {
 // uses that module and a multi-module policy requires Module on every call.
 func WithDefaultModule(id string) Option {
 	return func(c *sessionConfig) { c.defMod = id }
+}
+
+// WithParallelism sets how many worker goroutines each query pipeline may
+// use for morsel-driven parallel execution of its streamable operators
+// (scans, filters, projections, join probes, DISTINCT, GROUP BY
+// partitioning). The default — also chosen by any n <= 0 — is
+// runtime.GOMAXPROCS(0), i.e. all available CPUs; n = 1 keeps execution
+// serial.
+//
+// Parallelism is purely a performance knob: the engine's exchange re-emits
+// worker output in morsel order, so rows, row order, and the Figure 3
+// row/byte accounting are identical to serial execution, and a cancelled
+// context still stops the storage scans within one batch per worker.
+// Queries whose plan requires streaming order economics (a LIMIT with no
+// pipeline breaker below it) keep the serial pipeline regardless, which
+// preserves their O(limit + batch) storage-read guarantee.
+func WithParallelism(n int) Option {
+	return func(c *sessionConfig) { c.parallel = n }
 }
 
 // QueryOption configures one Query/Process call.
@@ -126,6 +145,7 @@ func Open(store *Store, opts ...Option) (*Session, error) {
 		Anon:        cfg.anon,
 		MaxInfoLoss: cfg.maxLoss,
 		Journal:     cfg.journal,
+		Parallelism: cfg.parallel,
 	})
 	if err != nil {
 		return nil, wrapErr(err)
@@ -264,7 +284,8 @@ func (s *Session) RunNaive(ctx context.Context, sql string) (*RunStats, error) {
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	stats, err := network.RunNaive(ctx, s.topo, root, s.store)
+	stats, err := network.RunNaive(ctx, s.topo, root, s.store,
+		network.WithParallelism(s.proc.Parallelism()))
 	if err != nil {
 		return nil, wrapErr(err)
 	}

@@ -1,0 +1,173 @@
+package paradise_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	paradise "paradise"
+)
+
+// parallelFacadeCorpus exercises the full Figure 2 vertical — rewrite,
+// fragmentation, chain execution, accounting — over the facade schema.
+var parallelFacadeCorpus = []string{
+	"SELECT x, y FROM d WHERE z < 2",
+	"SELECT x, AVG(z) AS za, COUNT(*) AS n FROM d GROUP BY x HAVING COUNT(*) > 2",
+	"SELECT DISTINCT x, y FROM d WHERE z < 2.5",
+	"SELECT x, y FROM d ORDER BY y DESC, x, t LIMIT 7",
+	"SELECT x + y AS s FROM d WHERE x > y",
+}
+
+// TestFacadeSerialParallelEquivalence runs every corpus query through two
+// sessions over the same store — one serial, one at 4 workers — and
+// requires identical rows (order included) and bit-identical Figure 3
+// stats from both Process and a drained Query cursor.
+func TestFacadeSerialParallelEquivalence(t *testing.T) {
+	store := testStore(t, 4_000)
+	serial, err := paradise.Open(store, paradise.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := paradise.Open(store, paradise.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, sql := range parallelFacadeCorpus {
+		want, err := serial.Process(ctx, sql)
+		if err != nil {
+			t.Fatalf("serial %q: %v", sql, err)
+		}
+		got, err := par.Process(ctx, sql)
+		if err != nil {
+			t.Fatalf("parallel %q: %v", sql, err)
+		}
+		if !reflect.DeepEqual(want.Result.Rows, got.Result.Rows) {
+			t.Fatalf("%q: parallel Process rows differ from serial", sql)
+		}
+		sameStats(t, got.Net, want.Net)
+
+		cur, err := par.Query(ctx, sql)
+		if err != nil {
+			t.Fatalf("parallel Query %q: %v", sql, err)
+		}
+		rows := drainCursor(t, cur)
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Result.Rows, rows) {
+			t.Fatalf("%q: parallel cursor rows differ from serial Process", sql)
+		}
+		stats, err := cur.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameStats(t, stats, want.Net)
+	}
+}
+
+// TestSessionConcurrentDrain is the race stress: one parallel Session,
+// many goroutines, each running its own mix of streamed and materialized
+// queries concurrently (run under -race in CI). A Session is documented
+// safe for concurrent use; a Cursor belongs to one goroutine.
+func TestSessionConcurrentDrain(t *testing.T) {
+	store := testStore(t, 2_000)
+	sess, err := paradise.Open(store, paradise.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Process(context.Background(), parallelFacadeCorpus[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sql := parallelFacadeCorpus[g%len(parallelFacadeCorpus)]
+			for i := 0; i < 4; i++ {
+				if g%2 == 0 {
+					cur, err := sess.Query(context.Background(), sql)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					for cur.Next() {
+						_ = cur.Row()
+					}
+					if err := cur.Err(); err != nil {
+						errs[g] = err
+						return
+					}
+					if err := cur.Close(); err != nil {
+						errs[g] = err
+						return
+					}
+				} else {
+					if _, err := sess.Process(context.Background(), sql); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}
+			// Cross-check one deterministic query against the pre-computed
+			// answer after the stampede.
+			out, err := sess.Process(context.Background(), parallelFacadeCorpus[0])
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !reflect.DeepEqual(out.Result.Rows, want.Result.Rows) {
+				errs[g] = errEqual
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+var errEqual = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent result differs from baseline" }
+
+// TestParallelCursorEarlyCloseStats: closing a parallel cursor after one
+// row still finalizes the full Figure 3 accounting (the chain drains on
+// close), identically to a serial session's.
+func TestParallelCursorEarlyCloseStats(t *testing.T) {
+	store := testStore(t, 4_000)
+	serial, err := paradise.Open(store, paradise.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := paradise.Open(store, paradise.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Process(context.Background(), "SELECT x, y FROM d WHERE z < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := par.Query(context.Background(), "SELECT x, y FROM d WHERE z < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatalf("no first row: %v", cur.Err())
+	}
+	stats, err := cur.Stats() // closes and drains
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStats(t, stats, want.Net)
+}

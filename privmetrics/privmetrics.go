@@ -1,8 +1,3 @@
-// Package privmetrics is the public face of the paper's information-loss
-// and privacy-risk metrics (§3.2, "Golden Path"): the Direct Distance
-// between an original and an anonymized result, KL-divergence-based column
-// information loss, and the linkage risk of re-identification over a set
-// of quasi-identifiers.
 package privmetrics
 
 import (

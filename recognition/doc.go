@@ -1,0 +1,7 @@
+// Package recognition is the public face of the paper's analysis-pipeline
+// substrate (§4.2): R-style pipelines with an embedded SQL part (the
+// Poodle cloud's Kalman-filter activity recognition), plus the activity
+// classifier used to check that the privacy-processed d′ still supports
+// the intended analysis. Pipelines are processed end to end with
+// paradise.Session.ProcessPipeline.
+package recognition

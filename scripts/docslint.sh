@@ -1,0 +1,41 @@
+#!/bin/sh
+# docslint: fail when any package in the module lacks a package comment.
+#
+# go doc renders the comment on the line(s) after the "package X" clause;
+# here we check the sources directly: every package directory must contain
+# at least one non-test .go file whose package clause is preceded by a
+# "// Package <name> ..." (or "// Command <name> ...", for main packages)
+# comment. Keeping this green keeps `go doc ./...` explaining every layer.
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    name=$(go list -f '{{.Name}}' "$dir")
+    found=0
+    for f in "$dir"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        [ -e "$f" ] || continue
+        if [ "$name" = "main" ]; then
+            # Commands: any doc comment directly above the package clause
+            # counts (the examples open with "// Quickstart ...", etc.).
+            if awk 'prev ~ /^\/\// && /^package main/ {ok=1} {prev=$0} END {exit !ok}' "$f"; then
+                found=1
+                break
+            fi
+        elif grep -q "^// Package $name" "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" = 0 ]; then
+        echo "missing package comment: $dir (package $name)"
+        fail=1
+    fi
+done
+if [ "$fail" = 1 ]; then
+    echo "docslint: add a '// Package <name> ...' comment (idiomatically in doc.go)"
+    exit 1
+fi
+echo "docslint: every package has a package comment"

@@ -1,0 +1,12 @@
+// Package sensorsim is the public face of the simulated Smart Appliance
+// Lab (§1): deterministic sensor traces for meetings, lectures and
+// apartment scenarios, the device ensemble's schemas, and the integrated
+// database d that the paradise Session queries. It replaces the paper's
+// physical testbed; all generation is seeded and reproducible.
+//
+// Typical use:
+//
+//	trace, _ := sensorsim.Generate(sensorsim.Apartment(2*time.Minute, false, 2016))
+//	store, _ := sensorsim.BuildStore(trace)
+//	sess, _ := paradise.Open(store, paradise.WithPolicy(paradise.Figure4Policy()))
+package sensorsim
