@@ -163,10 +163,6 @@ type Outcome struct {
 	RewrittenSQL string
 	// RewriteReport details the applied policy transformations.
 	RewriteReport *rewrite.Report
-	// Logical is the optimized logical plan of the rewritten query, with
-	// policy transformations annotated as operator provenance (the -explain
-	// view). It is informational; execution runs over Plan's fragments.
-	Logical logical.Node
 	// Plan is the vertical fragmentation.
 	Plan *fragment.Plan
 	// Net is the simulated chain execution with byte accounting.
@@ -177,12 +173,31 @@ type Outcome struct {
 	PreAnonymization *engine.Result
 	// Anon documents the postprocessing, nil when method is none.
 	Anon *AnonReport
+
+	// logical memoizes Logical(); logicalFn builds it on first use. The
+	// -explain view costs a second lowering + annotation + optimization, so
+	// plain Process/Query calls that never Explain must not pay for it.
+	logical   logical.Node
+	logicalFn func() logical.Node
 	// InfoLoss is the max per-column KL divergence between the original
 	// query's answer and the rewritten one (§3.1 satisfaction check);
 	// negative when the check was disabled or the original is denied.
 	InfoLoss float64
 	// Satisfactory is false when InfoLoss exceeded the configured budget.
 	Satisfactory bool
+}
+
+// Logical returns the optimized logical plan of the rewritten query, with
+// policy transformations annotated as operator provenance (the -explain
+// view). It is informational; execution runs over Plan's fragments. The
+// plan is built lazily on first call and memoized — Outcome is not safe for
+// concurrent first use of Logical/Explain.
+func (o *Outcome) Logical() logical.Node {
+	if o.logical == nil && o.logicalFn != nil {
+		o.logical = o.logicalFn()
+		o.logicalFn = nil
+	}
+	return o.logical
 }
 
 // Process runs the full Figure 2 pipeline for a SQL query under the named
@@ -237,6 +252,17 @@ func journalEntry(sel *sqlparser.Select, moduleID string, out *Outcome, resultRo
 	return e
 }
 
+// lowerPlan is the one place core lowers a statement into the plan IR;
+// tests hook it to prove how many plan trees a call path builds.
+var lowerPlanHook func()
+
+func lowerPlan(sel *sqlparser.Select) (logical.Node, error) {
+	if lowerPlanHook != nil {
+		lowerPlanHook()
+	}
+	return logical.FromAST(sel)
+}
+
 // prepare runs the preprocessing common to the materialized and streaming
 // paths: module lookup, policy rewrite, satisfaction check, fragmentation.
 // The returned Outcome carries everything known before execution.
@@ -257,7 +283,7 @@ func (p *Processor) prepare(ctx context.Context, sel *sqlparser.Select, moduleID
 	out.RewrittenSQL = rewritten.SQL()
 	out.RewriteReport = rep
 
-	root, err := logical.FromAST(rewritten)
+	root, err := lowerPlan(rewritten)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -281,10 +307,18 @@ func (p *Processor) prepare(ctx context.Context, sel *sqlparser.Select, moduleID
 
 	// The -explain view: a second lowering (the fragments share subtrees of
 	// the first), annotated and optimized against the store's catalog so
-	// pruned scan columns and pushed predicates are visible.
-	if expl, err := logical.FromAST(rewritten); err == nil {
-		rep.Annotate(expl, mod.ID)
-		out.Logical = logical.Optimize(expl, logical.Options{Catalog: engine.New(p.store).Catalog()})
+	// pruned scan columns and pushed predicates are visible. Deferred until
+	// Outcome.Logical/Explain actually asks for it — a plain Process/Query
+	// builds exactly one plan tree.
+	moduleID = mod.ID
+	store := p.store
+	out.logicalFn = func() logical.Node {
+		expl, err := lowerPlan(rewritten)
+		if err != nil {
+			return nil
+		}
+		rep.Annotate(expl, moduleID)
+		return logical.Optimize(expl, logical.Options{Catalog: engine.New(store).Catalog()})
 	}
 	return out, plan, nil
 }
@@ -519,8 +553,8 @@ func (p *Processor) ProcessPipeline(ctx context.Context, pl recognition.Node, mo
 func (o *Outcome) Explain() string {
 	var b strings.Builder
 	b.WriteString("logical plan (rewritten, optimized):\n")
-	if o.Logical != nil {
-		for _, line := range strings.Split(strings.TrimRight(logical.String(o.Logical), "\n"), "\n") {
+	if lp := o.Logical(); lp != nil {
+		for _, line := range strings.Split(strings.TrimRight(logical.String(lp), "\n"), "\n") {
 			b.WriteString("  " + line + "\n")
 		}
 	}

@@ -350,3 +350,67 @@ func TestUnknownAnonMethod(t *testing.T) {
 		t.Fatal("unknown method must fail")
 	}
 }
+
+// TestProcessBuildsExactlyOnePlanTree pins the lazy -explain contract: a
+// plain Process (no Explain call) lowers exactly one plan tree — the one
+// the fragmenter executes. The second tree (the optimized -explain view) is
+// only built when Outcome.Logical/Explain is actually used, and is then
+// memoized.
+func TestProcessBuildsExactlyOnePlanTree(t *testing.T) {
+	tr, err := sensors.Generate(sensors.Apartment(20*time.Second, false, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sensors.BuildStore(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Store: st, Policy: policy.Figure4()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lowered := 0
+	lowerPlanHook = func() { lowered++ }
+	defer func() { lowerPlanHook = nil }()
+
+	out, err := p.Process(context.Background(), "SELECT x, y, t FROM d", "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowered != 1 {
+		t.Fatalf("plain Process lowered %d plan trees, want exactly 1", lowered)
+	}
+
+	// First Explain builds the second tree; the result is memoized.
+	expl := out.Explain()
+	if lowered != 2 {
+		t.Fatalf("Explain lowered %d trees in total, want 2", lowered)
+	}
+	if !strings.Contains(expl, "logical plan (rewritten, optimized):") || out.Logical() == nil {
+		t.Fatalf("explain view incomplete:\n%s", expl)
+	}
+	if out.Explain() != expl || lowered != 2 {
+		t.Fatalf("Explain not memoized (lowered %d)", lowered)
+	}
+
+	// The streaming path shares prepare and therefore the same guarantee.
+	lowered = 0
+	s, err := p.Open(context.Background(), "SELECT x, y, t FROM d", "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		batch, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+	}
+	s.Close()
+	if lowered != 1 {
+		t.Fatalf("plain streaming Query lowered %d plan trees, want exactly 1", lowered)
+	}
+}

@@ -5,7 +5,9 @@
 // enforcement happens in the fragment package, not here).
 //
 // The engine compiles a plan.Node tree (the shared logical IR produced by
-// plan.FromAST and rewritten by plan.Optimize) into a pull-based,
+// plan.FromAST and rewritten by plan.Optimize) block by block — the block
+// decomposition and the column-requirement analysis behind scan pushdown
+// both come from plan.Block, never re-derived here — into a pull-based,
 // batch-at-a-time iterator pipeline (volcano with row batches): scans,
 // filters, projections, join probes, DISTINCT and LIMIT stream; GROUP BY,
 // window functions and ORDER BY are pipeline breakers that materialize

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 
 	"paradise/internal/plan"
 	"paradise/internal/schema"
@@ -139,77 +138,15 @@ func (e *Engine) Open(ctx context.Context, root plan.Node) (*schema.Relation, sc
 	return e.openBlock(ctx, root)
 }
 
-// blockSpec is one query block of a plan, gathered back into clause form:
-// the operator tail above a source node, in the canonical lowering order.
-type blockSpec struct {
-	items    []sqlparser.SelectItem
-	groupBy  []sqlparser.Expr
-	having   sqlparser.Expr
-	orderBy  []sqlparser.OrderItem
-	distinct bool
-	limit    *int64
-	grouped  bool             // an Aggregate node is present
-	windowed bool             // a Window node is present
-	filters  []sqlparser.Expr // residual filters above the source, bottom-up
-}
-
-// gatherBlock decomposes one query block: [Limit] [Sort] [Distinct]
-// [Aggregate|Window|Project] [Filter*] source. Residual filters (those the
-// optimizer left above a join or derived table) are collected bottom-up so
-// conjunct order matches the original WHERE.
-func gatherBlock(top plan.Node) (*blockSpec, plan.Node) {
-	spec := &blockSpec{}
-	cur := top
-	if l, ok := cur.(*plan.Limit); ok {
-		n := l.N
-		spec.limit = &n
-		cur = l.Input
-	}
-	if s, ok := cur.(*plan.Sort); ok {
-		spec.orderBy = s.By
-		cur = s.Input
-	}
-	if d, ok := cur.(*plan.Distinct); ok {
-		spec.distinct = true
-		cur = d.Input
-	}
-	switch x := cur.(type) {
-	case *plan.Aggregate:
-		spec.items = x.Items
-		spec.groupBy = x.GroupBy
-		spec.having = x.Having
-		spec.grouped = true
-		cur = x.Input
-	case *plan.Window:
-		spec.items = x.Items
-		spec.windowed = true
-		cur = x.Input
-	case *plan.Project:
-		spec.items = x.Items
-		cur = x.Input
-	default:
-		// Bare source (no projection operator): identity output.
-		spec.items = []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}
-	}
-	for {
-		f, ok := cur.(*plan.Filter)
-		if !ok {
-			break
-		}
-		spec.filters = append([]sqlparser.Expr{f.Cond}, spec.filters...)
-		cur = f.Input
-	}
-	return spec, cur
-}
-
-// openBlock compiles one query block into its output schema and iterator,
-// taking the morsel-parallel path (parallel.go) when the engine is
-// configured for it and the block shape is eligible.
+// openBlock compiles one query block (plan.SplitBlock — the single owner of
+// the block-shape rule) into its output schema and iterator, taking the
+// morsel-parallel path (parallel.go) when the engine is configured for it
+// and the block shape is eligible.
 func (e *Engine) openBlock(ctx context.Context, top plan.Node) (*schema.Relation, schema.RowIterator, error) {
-	spec, src := gatherBlock(top)
+	blk, src := plan.SplitBlock(top)
 
-	if e.parallelizable(spec) {
-		rel, it, ok, err := e.openBlockParallel(ctx, spec, src)
+	if e.parallelizable(blk) {
+		rel, it, ok, err := e.openBlockParallel(ctx, blk, src)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -218,30 +155,30 @@ func (e *Engine) openBlock(ctx context.Context, top plan.Node) (*schema.Relation
 		}
 	}
 
-	b, it, err := e.openSource(ctx, src, spec)
+	b, it, err := e.openSource(ctx, src, blk)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	if spec.grouped || spec.windowed || len(spec.orderBy) > 0 {
-		rel, rows, err := e.evalBroken(spec, b, it)
+	if blk.Agg != nil || blk.Win != nil || blk.Sort != nil {
+		rel, rows, err := e.evalBroken(blk, b, it)
 		if err != nil {
 			return nil, nil, err
 		}
 		return rel, schema.WithContext(ctx, schema.IterateRows(rows, schema.DefaultBatchSize)), nil
 	}
 
-	p, err := buildProjector(spec.items, b)
+	p, err := buildProjector(blk.Items(), b)
 	if err != nil {
 		it.Close()
 		return nil, nil, err
 	}
 	out := schema.RowIterator(&projIter{src: it, p: p, env: (&rowEnv{b: b}).reuse()})
-	if spec.distinct {
+	if blk.Distinct != nil {
 		out = &distinctIter{src: out, seen: make(map[string]bool)}
 	}
-	if spec.limit != nil {
-		n := int(*spec.limit)
+	if blk.Limit != nil {
+		n := int(blk.Limit.N)
 		if n < 0 {
 			n = 0
 		}
@@ -256,27 +193,29 @@ func (e *Engine) openBlock(ctx context.Context, top plan.Node) (*schema.Relation
 // openSource compiles a block's source node and applies the block's residual
 // filters — pushed into the scan when the source is a single relation,
 // wrapped as filter operators otherwise.
-func (e *Engine) openSource(ctx context.Context, src plan.Node, spec *blockSpec) (*binding, schema.RowIterator, error) {
+func (e *Engine) openSource(ctx context.Context, src plan.Node, blk *plan.Block) (*binding, schema.RowIterator, error) {
+	if s, ok := src.(*plan.Scan); ok {
+		return e.openPlanScan(ctx, s, blk) // folds the filters into the scan itself
+	}
+	filters := blk.FilterConds()
 	switch x := src.(type) {
-	case *plan.Scan:
-		return e.openPlanScan(ctx, x, spec)
 	case *plan.Values:
 		b := &binding{}
 		var it schema.RowIterator = schema.IterateRows(schema.Rows{{}}, 1)
-		return b, filterWrap(it, b, spec.filters), nil
+		return b, filterWrap(it, b, filters), nil
 	case *plan.Derived:
 		rel, it, err := e.openBlock(ctx, x.Input)
 		if err != nil {
 			return nil, nil, err
 		}
 		b := bindingFromRelation(rel, x.Alias)
-		return b, filterWrap(it, b, spec.filters), nil
+		return b, filterWrap(it, b, filters), nil
 	case *plan.Join:
 		b, it, err := e.openJoin(ctx, x)
 		if err != nil {
 			return nil, nil, err
 		}
-		return b, filterWrap(it, b, spec.filters), nil
+		return b, filterWrap(it, b, filters), nil
 	default:
 		// A nested operator chain without a Derived marker: compile it as
 		// its own block and bind the output unqualified.
@@ -285,7 +224,7 @@ func (e *Engine) openSource(ctx context.Context, src plan.Node, spec *blockSpec)
 			return nil, nil, err
 		}
 		b := bindingFromRelation(rel, "")
-		return b, filterWrap(it, b, spec.filters), nil
+		return b, filterWrap(it, b, filters), nil
 	}
 }
 
@@ -302,7 +241,7 @@ func filterWrap(it schema.RowIterator, b *binding, conds []sqlparser.Expr) schem
 // node's own Columns when the optimizer set them, otherwise derived from
 // what the block reads — pushed down into the source's scan. The returned
 // binding reflects the projected layout.
-func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, spec *blockSpec) (*binding, schema.RowIterator, error) {
+func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, blk *plan.Block) (*binding, schema.RowIterator, error) {
 	rel, err := RelationSchema(e.src, s.Table)
 	if err != nil {
 		return nil, nil, err
@@ -316,11 +255,12 @@ func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, spec *blockSpec
 	// The scan predicate (and any residual block filters — a single
 	// relation is always in scope) runs inside the scan, against the
 	// full-width row, before projection.
-	conds := make([]sqlparser.Expr, 0, 1+len(spec.filters))
+	filters := blk.FilterConds()
+	conds := make([]sqlparser.Expr, 0, 1+len(filters))
 	if s.Predicate != nil {
 		conds = append(conds, s.Predicate)
 	}
-	conds = append(conds, spec.filters...)
+	conds = append(conds, filters...)
 
 	var sc schema.Scan
 	if len(conds) > 0 {
@@ -333,7 +273,7 @@ func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, spec *blockSpec
 	}
 
 	b := full
-	cols := e.scanColumns(s, spec, full)
+	cols := e.scanColumns(s, blk, full)
 	if cols != nil {
 		sc.Columns = cols
 		b = bindingFromRelation(rel.Project(cols), qual)
@@ -346,9 +286,9 @@ func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, spec *blockSpec
 }
 
 // scanColumns decides the projection pushed into a scan: the plan's pruned
-// set when the optimizer recorded one, otherwise derived from the block
-// spec. nil keeps the full width.
-func (e *Engine) scanColumns(s *plan.Scan, spec *blockSpec, full *binding) []int {
+// set when the optimizer recorded one, otherwise resolved from the block's
+// own requirements. nil keeps the full width.
+func (e *Engine) scanColumns(s *plan.Scan, blk *plan.Block, full *binding) []int {
 	if s.Columns != nil {
 		idxs := make([]int, 0, len(s.Columns))
 		for _, name := range s.Columns {
@@ -360,94 +300,31 @@ func (e *Engine) scanColumns(s *plan.Scan, spec *blockSpec, full *binding) []int
 		}
 		return idxs
 	}
-	return derivePushdown(spec, full)
+	return scanPushdown(blk, full)
 }
 
-// derivePushdown computes the column positions a block actually reads from
-// its single-table source, so the scan projects early and unused columns
-// never leave storage. It returns positions in select-list-first order
-// (making the downstream projection an identity whenever possible); nil
-// means no pushdown (star projection, unresolvable reference, or nothing to
-// prune). The scan's filter runs before projection, so filter-only columns
-// need not be kept.
-func derivePushdown(spec *blockSpec, b *binding) []int {
+// scanPushdown resolves the block's column requirements (plan.Block's single
+// analysis) onto positions of its single-table source, so the scan projects
+// early and unused columns never leave storage. It returns positions in
+// select-list-first order (making the downstream projection an identity
+// whenever possible); nil means no pushdown (star projection, unresolvable
+// reference, or nothing to prune). The scan's filter runs before projection,
+// so filter-only columns (Requirements.FilterCols) need not be kept.
+func scanPushdown(blk *plan.Block, b *binding) []int {
+	reqs := blk.Requirements()
+	if !reqs.Prunable() {
+		return nil
+	}
 	var idxs []int
 	seen := make(map[int]bool)
-	add := func(c *sqlparser.ColumnRef) bool {
+	for _, c := range reqs.Cols {
 		i, err := b.resolve(c)
 		if err != nil {
-			return false // let the original resolution error surface downstream
+			return nil // let the original resolution error surface downstream
 		}
 		if !seen[i] {
 			seen[i] = true
 			idxs = append(idxs, i)
-		}
-		return true
-	}
-	addExpr := func(e sqlparser.Expr) bool {
-		if e == nil {
-			return true
-		}
-		ok := true
-		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
-			switch c := x.(type) {
-			case *sqlparser.Star:
-				ok = false
-				return false
-			case *sqlparser.ColumnRef:
-				if !add(c) {
-					ok = false
-					return false
-				}
-			}
-			return ok
-		})
-		return ok
-	}
-
-	outputNames := make([]string, len(spec.items))
-	for i, it := range spec.items {
-		if !addExpr(it.Expr) {
-			return nil
-		}
-		name := it.Alias
-		if name == "" {
-			name = outputName(it.Expr, i)
-		}
-		outputNames[i] = name
-	}
-	for _, g := range spec.groupBy {
-		if !addExpr(g) {
-			return nil
-		}
-	}
-	if !addExpr(spec.having) {
-		return nil
-	}
-	for _, o := range spec.orderBy {
-		if spec.grouped {
-			// Grouped blocks sort over their own output, but aggregate
-			// calls in ORDER BY are evaluated over input rows — their
-			// argument columns must survive the scan.
-			for _, f := range sqlparser.Aggregates(o.Expr) {
-				for _, a := range f.Args {
-					if !addExpr(a) {
-						return nil
-					}
-				}
-			}
-			continue
-		}
-		// ORDER BY may reach back to input columns; references that resolve
-		// in the output (aliases, projected names) are served there and do
-		// not constrain the scan.
-		for _, c := range sqlparser.ColumnRefs(o.Expr) {
-			if c.Table == "" && nameIn(outputNames, c.Name) {
-				continue
-			}
-			if !add(c) {
-				return nil
-			}
 		}
 	}
 
@@ -455,7 +332,7 @@ func derivePushdown(spec *blockSpec, b *binding) []int {
 		// Full width: only worthwhile when it reorders into an identity
 		// projection of plain column references (the classic SELECT y, x
 		// case); otherwise the scan copy costs more than it saves.
-		if !allPlainItems(spec) || identityOrder(idxs) {
+		if !allPlainItems(blk) || identityOrder(idxs) {
 			return nil
 		}
 	}
@@ -466,11 +343,11 @@ func derivePushdown(spec *blockSpec, b *binding) []int {
 	return idxs
 }
 
-func allPlainItems(spec *blockSpec) bool {
-	if spec.grouped || spec.windowed || len(spec.orderBy) > 0 || spec.having != nil {
+func allPlainItems(blk *plan.Block) bool {
+	if blk.Agg != nil || blk.Win != nil || blk.Sort != nil {
 		return false
 	}
-	for _, it := range spec.items {
+	for _, it := range blk.Items() {
 		if _, ok := it.Expr.(*sqlparser.ColumnRef); !ok {
 			return false
 		}
@@ -487,20 +364,11 @@ func identityOrder(idxs []int) bool {
 	return true
 }
 
-func nameIn(names []string, name string) bool {
-	for _, n := range names {
-		if n != "" && strings.EqualFold(n, name) {
-			return true
-		}
-	}
-	return false
-}
-
 // evalBroken is the pipeline-breaker path: grouping, window functions and
 // ORDER BY need the whole input (ORDER BY + LIMIT sorts fully before
 // truncating), so the upstream pipeline is drained here and the classic
 // materialized operators run over it.
-func (e *Engine) evalBroken(spec *blockSpec, b *binding, it schema.RowIterator) (*schema.Relation, schema.Rows, error) {
+func (e *Engine) evalBroken(blk *plan.Block, b *binding, it schema.RowIterator) (*schema.Relation, schema.Rows, error) {
 	rows, err := schema.DrainIterator(it)
 	if err != nil {
 		return nil, nil, err
@@ -508,37 +376,37 @@ func (e *Engine) evalBroken(spec *blockSpec, b *binding, it schema.RowIterator) 
 
 	var out *Result
 	var orderRows schema.Rows // rows aligned with out.Rows for ORDER BY fallback
-	if spec.grouped {
-		out, err = e.evalGrouped(spec, b, rows)
+	if blk.Agg != nil {
+		out, err = e.evalGrouped(blk, b, rows)
 		if err != nil {
 			return nil, nil, err
 		}
 	} else {
-		out, orderRows, err = e.evalProjection(spec, b, rows)
+		out, orderRows, err = e.evalProjection(blk, b, rows)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	return e.finishBroken(spec, b, out, orderRows)
+	return e.finishBroken(blk, b, out, orderRows)
 }
 
 // finishBroken applies the post-materialization clauses of a breaker block
 // — DISTINCT, ORDER BY, LIMIT — shared by the serial and parallel grouped
 // paths.
-func (e *Engine) finishBroken(spec *blockSpec, b *binding, out *Result, orderRows schema.Rows) (*schema.Relation, schema.Rows, error) {
-	if spec.distinct {
+func (e *Engine) finishBroken(blk *plan.Block, b *binding, out *Result, orderRows schema.Rows) (*schema.Relation, schema.Rows, error) {
+	if blk.Distinct != nil {
 		out.Rows = distinctRows(out.Rows)
 		orderRows = nil
 	}
 
-	if len(spec.orderBy) > 0 {
-		if err := sortResult(out, orderRows, b, spec.orderBy); err != nil {
+	if blk.Sort != nil {
+		if err := sortResult(out, orderRows, b, blk.Sort.By); err != nil {
 			return nil, nil, err
 		}
 	}
 
-	if spec.limit != nil {
-		n := int(*spec.limit)
+	if blk.Limit != nil {
+		n := int(blk.Limit.N)
 		if n < 0 {
 			n = 0
 		}
@@ -602,7 +470,7 @@ func (e *Engine) openJoin(ctx context.Context, j *plan.Join) (*binding, schema.R
 func (e *Engine) openJoinSide(ctx context.Context, n plan.Node) (*binding, schema.RowIterator, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
-		return e.openPlanScan(ctx, x, &blockSpec{items: []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}})
+		return e.openPlanScan(ctx, x, &plan.Block{})
 	case *plan.Derived:
 		rel, it, err := e.openBlock(ctx, x.Input)
 		if err != nil {
@@ -779,14 +647,15 @@ func (p *projector) projectInto(env *rowEnv, dst schema.Row) error {
 // evalProjection handles the materialized non-grouped case, including window
 // functions. It returns the result plus the input rows aligned 1:1 with
 // output rows so ORDER BY can fall back to input columns.
-func (e *Engine) evalProjection(spec *blockSpec, b *binding, rows schema.Rows) (*Result, schema.Rows, error) {
-	p, err := buildProjector(spec.items, b)
+func (e *Engine) evalProjection(blk *plan.Block, b *binding, rows schema.Rows) (*Result, schema.Rows, error) {
+	items := blk.Items()
+	p, err := buildProjector(items, b)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	// Precompute window values per row.
-	winVals, err := e.evalWindows(spec.items, b, rows)
+	winVals, err := e.evalWindows(items, b, rows)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"paradise/internal/plan"
 	"paradise/internal/schema"
 	"paradise/internal/sqlparser"
 )
@@ -15,19 +16,19 @@ type group struct {
 
 // evalGrouped handles blocks with GROUP BY, HAVING or aggregate functions in
 // the select list. Output is one row per surviving group.
-func (e *Engine) evalGrouped(spec *blockSpec, b *binding, rows schema.Rows) (*Result, error) {
-	aggCalls, rel, err := groupSpecCompile(spec, b)
+func (e *Engine) evalGrouped(blk *plan.Block, b *binding, rows schema.Rows) (*Result, error) {
+	aggCalls, rel, err := groupSpecCompile(blk, b)
 	if err != nil {
 		return nil, err
 	}
-	groups, err := buildGroups(b, rows, spec.groupBy)
+	groups, err := buildGroups(b, rows, blk.GroupBy())
 	if err != nil {
 		return nil, err
 	}
 	var out schema.Rows
 	env := (&rowEnv{b: b}).reuse()
 	for _, g := range groups {
-		orow, keep, err := evalOneGroup(b, env, spec, aggCalls, g)
+		orow, keep, err := evalOneGroup(b, env, blk, aggCalls, g)
 		if err != nil {
 			return nil, err
 		}
@@ -41,8 +42,9 @@ func (e *Engine) evalGrouped(spec *blockSpec, b *binding, rows schema.Rows) (*Re
 // groupSpecCompile validates a grouped block's select list, collects every
 // aggregate call appearing in items, HAVING and ORDER BY, and builds the
 // output schema. Shared by the serial and parallel grouped paths.
-func groupSpecCompile(spec *blockSpec, b *binding) ([]*sqlparser.FuncCall, *schema.Relation, error) {
-	for _, it := range spec.items {
+func groupSpecCompile(blk *plan.Block, b *binding) ([]*sqlparser.FuncCall, *schema.Relation, error) {
+	items := blk.Items()
+	for _, it := range items {
 		if _, ok := it.Expr.(*sqlparser.Star); ok {
 			return nil, nil, fmt.Errorf("%w: SELECT * is not valid in a grouped query", ErrQuery)
 		}
@@ -61,16 +63,16 @@ func groupSpecCompile(spec *blockSpec, b *binding) ([]*sqlparser.FuncCall, *sche
 			}
 		}
 	}
-	for _, it := range spec.items {
+	for _, it := range items {
 		collect(it.Expr)
 	}
-	collect(spec.having)
-	for _, o := range spec.orderBy {
+	collect(blk.Having())
+	for _, o := range blk.OrderBy() {
 		collect(o.Expr)
 	}
 
-	rel := &schema.Relation{Columns: make([]schema.Column, len(spec.items))}
-	for i, it := range spec.items {
+	rel := &schema.Relation{Columns: make([]schema.Column, len(items))}
+	for i, it := range items {
 		name := it.Alias
 		if name == "" {
 			name = outputName(it.Expr, i)
@@ -89,7 +91,7 @@ func groupSpecCompile(spec *blockSpec, b *binding) ([]*sqlparser.FuncCall, *sche
 // HAVING rejected the group. env must belong to the calling goroutine;
 // groups are otherwise independent, which is what the parallel grouped
 // path exploits.
-func evalOneGroup(b *binding, env *rowEnv, spec *blockSpec, aggCalls []*sqlparser.FuncCall, g *group) (schema.Row, bool, error) {
+func evalOneGroup(b *binding, env *rowEnv, blk *plan.Block, aggCalls []*sqlparser.FuncCall, g *group) (schema.Row, bool, error) {
 	aggVals := make(map[string]schema.Value, len(aggCalls))
 	for _, f := range aggCalls {
 		v, err := evalAggregate(b, g.rows, f)
@@ -99,8 +101,8 @@ func evalOneGroup(b *binding, env *rowEnv, spec *blockSpec, aggCalls []*sqlparse
 		aggVals[f.SQL()] = v
 	}
 	env.row, env.agg = g.rep, aggVals
-	if spec.having != nil {
-		ok, err := truthy(env, spec.having)
+	if having := blk.Having(); having != nil {
+		ok, err := truthy(env, having)
 		if err != nil {
 			return nil, false, err
 		}
@@ -108,8 +110,9 @@ func evalOneGroup(b *binding, env *rowEnv, spec *blockSpec, aggCalls []*sqlparse
 			return nil, false, nil
 		}
 	}
-	orow := make(schema.Row, len(spec.items))
-	for i, it := range spec.items {
+	items := blk.Items()
+	orow := make(schema.Row, len(items))
+	for i, it := range items {
 		v, err := evalExpr(env, it.Expr)
 		if err != nil {
 			return nil, false, err

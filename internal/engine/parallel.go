@@ -689,19 +689,19 @@ func parallelRanges(n, workers int, fn func(lo, hi int)) {
 // streaming LIMIT (no breaker below it) keeps the serial pipeline so its
 // early-termination guarantee — O(n + batch) rows read from storage —
 // survives; everything else is eligible.
-func (e *Engine) parallelizable(spec *blockSpec) bool {
+func (e *Engine) parallelizable(blk *plan.Block) bool {
 	if e.par < 2 {
 		return false
 	}
-	streamingLimit := spec.limit != nil && !spec.grouped && !spec.windowed && len(spec.orderBy) == 0
+	streamingLimit := blk.Limit != nil && blk.Agg == nil && blk.Win == nil && blk.Sort == nil
 	return !streamingLimit
 }
 
 // openBlockParallel compiles one query block onto the worker pipeline.
 // ok=false (with no error and nothing opened) means the block shape is not
 // worth parallelizing and the caller should take the serial path.
-func (e *Engine) openBlockParallel(ctx context.Context, spec *blockSpec, src plan.Node) (*schema.Relation, schema.RowIterator, bool, error) {
-	seg, ok, err := e.openParSource(ctx, src, spec)
+func (e *Engine) openBlockParallel(ctx context.Context, blk *plan.Block, src plan.Node) (*schema.Relation, schema.RowIterator, bool, error) {
+	seg, ok, err := e.openParSource(ctx, src, blk)
 	if err != nil {
 		return nil, nil, true, err
 	}
@@ -709,25 +709,25 @@ func (e *Engine) openBlockParallel(ctx context.Context, spec *blockSpec, src pla
 		return nil, nil, false, nil
 	}
 
-	if spec.grouped {
-		rel, rows, err := e.evalGroupedParallel(spec, seg)
+	if blk.Agg != nil {
+		rel, rows, err := e.evalGroupedParallel(blk, seg)
 		if err != nil {
 			return nil, nil, true, err
 		}
 		return rel, schema.WithContext(ctx, schema.IterateRows(rows, schema.DefaultBatchSize)), true, nil
 	}
-	if spec.windowed || len(spec.orderBy) > 0 {
+	if blk.Win != nil || blk.Sort != nil {
 		// The breaker evaluation stays serial, but its input is produced by
 		// the workers; the exchange's ordering makes the materialized input
 		// — and therefore sort ties and window frames — identical to serial.
-		rel, rows, err := e.evalBroken(spec, seg.b, seg.iterator(e.par))
+		rel, rows, err := e.evalBroken(blk, seg.b, seg.iterator(e.par))
 		if err != nil {
 			return nil, nil, true, err
 		}
 		return rel, schema.WithContext(ctx, schema.IterateRows(rows, schema.DefaultBatchSize)), true, nil
 	}
 
-	p, err := buildProjector(spec.items, seg.b)
+	p, err := buildProjector(blk.Items(), seg.b)
 	if err != nil {
 		seg.close()
 		return nil, nil, true, err
@@ -736,23 +736,25 @@ func (e *Engine) openBlockParallel(ctx context.Context, spec *blockSpec, src pla
 		seg.mk = append(seg.mk, projStage(p, seg.b))
 	}
 	var out schema.RowIterator
-	if spec.distinct {
+	if blk.Distinct != nil {
 		out = &distinctMergeIter{x: newExchange(seg, e.par, distinctKeys()), seen: make(map[string]bool)}
 	} else {
 		out = seg.iterator(e.par)
 	}
-	// spec.limit is nil here: streaming-limit blocks never take this path.
+	// blk.Limit is nil here: streaming-limit blocks never take this path.
 	return p.rel, schema.WithContext(ctx, out), true, nil
 }
 
 // openParSource compiles a block's source node into a segment, mirroring
 // openSource. Residual block filters become worker stages (single-relation
 // scans fold them into the scan stage itself).
-func (e *Engine) openParSource(ctx context.Context, src plan.Node, spec *blockSpec) (*parSeg, bool, error) {
-	switch x := src.(type) {
-	case *plan.Scan:
-		seg, err := e.openParScan(ctx, x, spec)
+func (e *Engine) openParSource(ctx context.Context, src plan.Node, blk *plan.Block) (*parSeg, bool, error) {
+	if s, ok := src.(*plan.Scan); ok {
+		seg, err := e.openParScan(ctx, s, blk) // folds the filters into the scan stage
 		return seg, true, err
+	}
+	filters := blk.FilterConds()
+	switch x := src.(type) {
 	case *plan.Values:
 		// A single synthetic row: nothing to parallelize.
 		return nil, false, nil
@@ -762,14 +764,14 @@ func (e *Engine) openParSource(ctx context.Context, src plan.Node, spec *blockSp
 			return nil, true, err
 		}
 		seg := &parSeg{b: bindingFromRelation(rel, x.Alias), it: it}
-		seg.addFilters(spec.filters)
+		seg.addFilters(filters)
 		return seg, true, nil
 	case *plan.Join:
 		seg, ok, err := e.openParJoin(ctx, x)
 		if err != nil || !ok {
 			return nil, ok, err
 		}
-		seg.addFilters(spec.filters)
+		seg.addFilters(filters)
 		return seg, true, nil
 	default:
 		rel, it, err := e.openBlock(ctx, src)
@@ -777,7 +779,7 @@ func (e *Engine) openParSource(ctx context.Context, src plan.Node, spec *blockSp
 			return nil, true, err
 		}
 		seg := &parSeg{b: bindingFromRelation(rel, ""), it: it}
-		seg.addFilters(spec.filters)
+		seg.addFilters(filters)
 		return seg, true, nil
 	}
 }
@@ -791,7 +793,7 @@ func (s *parSeg) addFilters(conds []sqlparser.Expr) {
 // openParScan is the parallel counterpart of openPlanScan: the source is
 // opened raw (no filter, no projection) as a morsel source, and the scan's
 // predicate, residual filters and pruned projection run per worker.
-func (e *Engine) openParScan(ctx context.Context, s *plan.Scan, spec *blockSpec) (*parSeg, error) {
+func (e *Engine) openParScan(ctx context.Context, s *plan.Scan, blk *plan.Block) (*parSeg, error) {
 	rel, err := RelationSchema(e.src, s.Table)
 	if err != nil {
 		return nil, err
@@ -802,14 +804,15 @@ func (e *Engine) openParScan(ctx context.Context, s *plan.Scan, spec *blockSpec)
 	}
 	full := bindingFromRelation(rel, qual)
 
-	conds := make([]sqlparser.Expr, 0, 1+len(spec.filters))
+	filters := blk.FilterConds()
+	conds := make([]sqlparser.Expr, 0, 1+len(filters))
 	if s.Predicate != nil {
 		conds = append(conds, s.Predicate)
 	}
-	conds = append(conds, spec.filters...)
+	conds = append(conds, filters...)
 
 	b := full
-	cols := e.scanColumns(s, spec, full)
+	cols := e.scanColumns(s, blk, full)
 	if cols != nil {
 		b = bindingFromRelation(rel.Project(cols), qual)
 	}
@@ -879,7 +882,7 @@ func (e *Engine) openParJoin(ctx context.Context, j *plan.Join) (*parSeg, bool, 
 func (e *Engine) openParJoinSide(ctx context.Context, n plan.Node) (*parSeg, bool, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
-		seg, err := e.openParScan(ctx, x, &blockSpec{items: []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}})
+		seg, err := e.openParScan(ctx, x, &plan.Block{})
 		return seg, true, err
 	case *plan.Derived:
 		rel, it, err := e.openBlock(ctx, x.Input)
@@ -914,13 +917,14 @@ func (e *Engine) openParJoinSide(ctx context.Context, n plan.Node) (*parSeg, boo
 // merge order makes group output order — and, because every group folds
 // its rows in serial order, every aggregate value — bit-identical to
 // serial execution.
-func (e *Engine) evalGroupedParallel(spec *blockSpec, seg *parSeg) (*schema.Relation, schema.Rows, error) {
+func (e *Engine) evalGroupedParallel(blk *plan.Block, seg *parSeg) (*schema.Relation, schema.Rows, error) {
+	groupBy := blk.GroupBy()
 	var kf keyFactory
-	if len(spec.groupBy) > 0 {
-		kf = groupKeys(seg.b, spec.groupBy)
+	if len(groupBy) > 0 {
+		kf = groupKeys(seg.b, groupBy)
 	}
 	x := newExchange(seg, e.par, kf)
-	groups, err := collectGroups(x, len(spec.groupBy) == 0)
+	groups, err := collectGroups(x, len(groupBy) == 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -929,15 +933,15 @@ func (e *Engine) evalGroupedParallel(spec *blockSpec, seg *parSeg) (*schema.Rela
 	// evalGrouped) also drains the whole input before validating the select
 	// list, so a query with both a scan error and an invalid grouped select
 	// list surfaces the same error either way.
-	aggCalls, rel, err := groupSpecCompile(spec, seg.b)
+	aggCalls, rel, err := groupSpecCompile(blk, seg.b)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := e.evalGroupsParallel(spec, seg.b, aggCalls, rel, groups)
+	out, err := e.evalGroupsParallel(blk, seg.b, aggCalls, rel, groups)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.finishBroken(spec, seg.b, out, nil)
+	return e.finishBroken(blk, seg.b, out, nil)
 }
 
 // collectGroups drains the exchange in morsel order, partitioning rows
@@ -986,7 +990,7 @@ func collectGroups(x *exchange, single bool) ([]*group, error) {
 // contiguous chunks of groups concurrently. Output slots are per-group, so
 // the compacted result preserves group order; on errors the lowest group
 // index wins, matching the group at which serial evaluation would stop.
-func (e *Engine) evalGroupsParallel(spec *blockSpec, b *binding, aggCalls []*sqlparser.FuncCall, rel *schema.Relation, groups []*group) (*Result, error) {
+func (e *Engine) evalGroupsParallel(blk *plan.Block, b *binding, aggCalls []*sqlparser.FuncCall, rel *schema.Relation, groups []*group) (*Result, error) {
 	n := len(groups)
 	workers := e.par
 	if workers > n {
@@ -996,7 +1000,7 @@ func (e *Engine) evalGroupsParallel(spec *blockSpec, b *binding, aggCalls []*sql
 		env := (&rowEnv{b: b}).reuse()
 		out := make(schema.Rows, 0, n)
 		for _, g := range groups {
-			row, keep, err := evalOneGroup(b, env, spec, aggCalls, g)
+			row, keep, err := evalOneGroup(b, env, blk, aggCalls, g)
 			if err != nil {
 				return nil, err
 			}
@@ -1027,7 +1031,7 @@ func (e *Engine) evalGroupsParallel(spec *blockSpec, b *binding, aggCalls []*sql
 			defer wg.Done()
 			env := (&rowEnv{b: b}).reuse()
 			for gi := lo; gi < hi; gi++ {
-				row, ok, err := evalOneGroup(b, env, spec, aggCalls, groups[gi])
+				row, ok, err := evalOneGroup(b, env, blk, aggCalls, groups[gi])
 				if err != nil {
 					errIdx[w], errs[w] = gi, err
 					return

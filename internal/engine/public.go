@@ -43,14 +43,15 @@ func (e *Engine) OutputSchema(sel *sqlparser.Select) (*schema.Relation, error) {
 
 // PlanSchema derives the output relation of a plan without executing it.
 func (e *Engine) PlanSchema(root plan.Node) (*schema.Relation, error) {
-	spec, src := gatherBlock(root)
+	blk, src := plan.SplitBlock(root)
 	b, err := e.bindSource(src)
 	if err != nil {
 		return nil, err
 	}
-	if spec.grouped {
-		rel := &schema.Relation{Columns: make([]schema.Column, len(spec.items))}
-		for i, it := range spec.items {
+	items := blk.Items()
+	if blk.Agg != nil {
+		rel := &schema.Relation{Columns: make([]schema.Column, len(items))}
+		for i, it := range items {
 			name := it.Alias
 			if name == "" {
 				name = outputName(it.Expr, i)
@@ -63,7 +64,7 @@ func (e *Engine) PlanSchema(root plan.Node) (*schema.Relation, error) {
 		}
 		return rel, nil
 	}
-	p, err := buildProjector(spec.items, b)
+	p, err := buildProjector(items, b)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +88,7 @@ func (e *Engine) bindSource(src plan.Node) (*binding, error) {
 		}
 		b := bindingFromRelation(rel, qual)
 		if x.Columns != nil {
-			if idxs := e.scanColumns(x, &blockSpec{}, b); idxs != nil {
+			if idxs := e.scanColumns(x, &plan.Block{}, b); idxs != nil {
 				b = bindingFromRelation(rel.Project(idxs), qual)
 			}
 		}

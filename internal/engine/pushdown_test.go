@@ -208,3 +208,43 @@ func TestPushdownKeepsResults(t *testing.T) {
 		}
 	}
 }
+
+// TestAmbiguousDerivedNameErrorsWithOptimization (regression, PR 3 bug):
+// duplicate derived-table output names must error "ambiguous" with the
+// optimizer on, exactly like the unoptimized plan — cross-block pushdown
+// used to resolve the reference to the last duplicate and return rows.
+func TestAmbiguousDerivedNameErrorsWithOptimization(t *testing.T) {
+	st := benchStore(t, 100)
+	q := "SELECT z FROM (SELECT x AS s, y AS s, z FROM d) WHERE s > 3"
+
+	_, optErr := New(st).Query(context.Background(), q)
+	if optErr == nil || !strings.Contains(optErr.Error(), "ambiguous") {
+		t.Fatalf("optimized plan: want ambiguous-column error, got %v", optErr)
+	}
+
+	sel, err := sqlparser.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := plan.FromAST(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plainErr := New(st).SelectPlan(context.Background(), root)
+	if plainErr == nil || !strings.Contains(plainErr.Error(), "ambiguous") {
+		t.Fatalf("unoptimized plan: want ambiguous-column error, got %v", plainErr)
+	}
+}
+
+// TestAmbiguousDerivedOutputNameErrors extends the duplicate-name guard to
+// derived (unaliased) output names: SELECT abs(x), y AS abs exposes "abs"
+// twice even though only one item is aliased. The push must bail so the
+// reference errors "ambiguous" like the unoptimized plan.
+func TestAmbiguousDerivedOutputNameErrors(t *testing.T) {
+	st := benchStore(t, 100)
+	q := "SELECT z FROM (SELECT abs(x), y AS abs, z FROM d) WHERE abs > 3"
+	_, err := New(st).Query(context.Background(), q)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("optimized plan: want ambiguous-column error, got %v", err)
+	}
+}

@@ -12,6 +12,10 @@
 //	E4 sensor     — filters against constants and simple stream aggregates;
 //	                cannot project single attributes (SELECT * only)
 //
+// Decomposition walks the plan's spine of query blocks with plan.SplitBlock
+// (the block-shape and column-requirement rules live in internal/plan;
+// this package only decides placement levels and conjunct partitioning).
+//
 // Execution side (execute.go): OpenChain wires a plan's fragments into one
 // lazy batch pipeline — each stage's output iterator feeds the next
 // stage's scan — with per-stage row/byte accounting that is finalized by

@@ -91,21 +91,6 @@ type Fragmenter struct{}
 // New creates a Fragmenter.
 func New() *Fragmenter { return &Fragmenter{} }
 
-// block is one query block of the logical plan, in clause form: the
-// operator tail between two Derived boundaries.
-type block struct {
-	items    []sqlparser.SelectItem
-	groupBy  []sqlparser.Expr
-	having   sqlparser.Expr
-	orderBy  []sqlparser.OrderItem
-	distinct bool
-	limit    *int64
-	grouped  bool
-	filters  []sqlparser.Expr     // WHERE conjuncts, in original order
-	prov     []logical.Provenance // provenance of policy-injected conjuncts
-	src      logical.Node         // *plan.Scan, *plan.Join or *plan.Values for the innermost block, nil for outer blocks (they read the next block)
-}
-
 // Fragment parses the statement's logical structure and decomposes it.
 // The input is not modified.
 func (fr *Fragmenter) Fragment(q *sqlparser.Select) (*Plan, error) {
@@ -118,11 +103,13 @@ func (fr *Fragmenter) Fragment(q *sqlparser.Select) (*Plan, error) {
 
 // FromPlan decomposes a logical plan into the maximal pushed-down chain.
 // Decomposition walks the plan's block spine (Derived boundaries — the
-// nesting of the source SQL): the innermost block is split into
-// sensor-level constant filters, appliance-level attribute filters and
-// projections, and an appliance-level aggregation; every enclosing block
-// becomes one fragment at the level its operators require. The plan tree is
-// not modified; fragment Roots are fresh trees.
+// nesting of the source SQL) with plan.SplitBlock — the block-shape rule
+// itself lives in internal/plan; this package only decides placement. The
+// innermost block is split into sensor-level constant filters,
+// appliance-level attribute filters and projections, and an appliance-level
+// aggregation; every enclosing block becomes one fragment at the level its
+// operators require. The plan tree is not modified; fragment Roots are
+// fresh trees (blocks are cloned before any mutation).
 func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
 	orig, err := logical.ToSelect(root)
 	if err != nil {
@@ -130,16 +117,15 @@ func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
 	}
 
 	// Collect the block spine, outermost first.
-	var spine []*block
+	var spine []*logical.Block
 	cur := root
 	for {
-		b, src := gatherBlock(cur)
-		spine = append(spine, b)
+		blk, src := logical.SplitBlock(cur)
+		spine = append(spine, blk)
 		if d, ok := src.(*logical.Derived); ok {
 			cur = d.Input
 			continue
 		}
-		b.src = src
 		break
 	}
 	inner := spine[len(spine)-1]
@@ -167,7 +153,7 @@ func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
 		return f, nil
 	}
 
-	baseName, err := baseInput(inner.src)
+	baseName, err := baseInput(inner.Src)
 	if err != nil {
 		return nil, err
 	}
@@ -176,24 +162,30 @@ func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
 	// splitting it would lose the column qualifiers its clauses rely on:
 	// the whole block becomes one appliance-level fragment (sensors still
 	// only ship their own streams; the join happens one hop up).
-	if _, isJoin := inner.src.(*logical.Join); isJoin {
+	if _, isJoin := inner.Src.(*logical.Join); isJoin {
 		lvl := LevelAppliance
-		if itemsWindow(inner.items) || len(inner.orderBy) > 0 || inner.limit != nil || inner.distinct {
+		if itemsWindow(inner.Items()) || inner.Sort != nil || inner.Limit != nil || inner.Distinct != nil {
 			lvl = LevelPC
 		}
-		prev, err := addFragment(inner.rebuild(inner.src), lvl, "appliance join", baseName)
+		conds, _ := inner.Conjuncts() // returns clones; no need to Clone the filters too
+		joinBlk := inner.Clone()
+		joinBlk.Filters = nil
+		prev, err := addFragment(rebuildOver(joinBlk, inner.Src, conds), lvl, "appliance join", baseName)
 		if err != nil {
 			return nil, err
 		}
 		return plan, fr.addSpine(plan, spine, prev, addFragment)
 	}
 
-	scan, ok := inner.src.(*logical.Scan)
+	scan, ok := inner.Src.(*logical.Scan)
 	if !ok {
 		return nil, fmt.Errorf("%w: SELECT without FROM", ErrFragment)
 	}
 
-	constConj, otherConj := splitConjuncts(inner.filters)
+	// The innermost WHERE surface (scan predicate + residual filters) as
+	// conjuncts with their policy provenance, re-partitioned across levels.
+	conds, prov := inner.Conjuncts()
+	constConj, otherConj := splitConjuncts(conds)
 
 	// Stage 1 (E4): SELECT * FROM base WHERE <constant filters>.
 	sensorRoot := &logical.Project{
@@ -202,7 +194,7 @@ func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
 			Table:     scan.Table,
 			Alias:     scan.Alias,
 			Predicate: sqlparser.AndAll(constConj),
-			Prov:      provFiltered(inner.prov, constConj),
+			Prov:      provFiltered(prov, constConj),
 		},
 	}
 	desc := "sensor scan"
@@ -214,35 +206,38 @@ func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
 		return nil, err
 	}
 
-	hasAgg := inner.grouped
-	hasWin := itemsWindow(inner.items)
+	hasAgg := inner.Agg != nil
+	hasWin := itemsWindow(inner.Items())
+
+	// The stages above the sensor work on an owned copy of the block (the
+	// input tree must not be mutated); their WHERE travels in otherConj.
+	work := inner.Clone()
+	work.Filters = nil
 
 	// Above the sensor stage the single base table is renamed d1, d2, ...;
 	// qualified references to the original name would dangle, and with one
 	// table they are redundant, so they are stripped.
-	inner.stripQualifiers()
+	stripQualifiers(work)
 	otherConj = stripExprQualifiers(otherConj)
 
 	switch {
 	case hasWin:
 		// Rare shape: innermost with windows — keep it whole above the
 		// sensor filter.
-		rest := *inner
-		rest.filters = otherConj
-		prev, err = addFragment(rest.rebuild(&logical.Scan{Table: prev.Output}), LevelPC, "window evaluation", prev.Output)
+		prev, err = addFragment(rebuildOver(work, &logical.Scan{Table: prev.Output}, otherConj), LevelPC, "window evaluation", prev.Output)
 		if err != nil {
 			return nil, err
 		}
 	case hasAgg:
 		// Stage 2 (E3): attribute filter + projection of the raw columns
 		// the aggregation needs.
-		needed := inner.neededColumns()
+		needed := neededColumns(work)
 		projRoot := &logical.Project{
 			Items: columnsToItems(needed),
 			Input: &logical.Scan{
 				Table:     prev.Output,
 				Predicate: sqlparser.AndAll(otherConj),
-				Prov:      provFiltered(inner.prov, otherConj),
+				Prov:      provFiltered(prov, otherConj),
 			},
 		}
 		desc := "appliance projection"
@@ -255,19 +250,16 @@ func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
 		}
 
 		// Stage 3 (E3): the aggregation itself (the media center's part).
-		agg := &block{
-			items:   cloneItems(inner.items),
-			groupBy: cloneExprs(inner.groupBy),
-			having:  sqlparser.CloneExpr(inner.having),
-			orderBy: cloneOrder(inner.orderBy),
-			limit:   cloneLimit(inner.limit),
-			grouped: true,
+		agg := &logical.Block{
+			Agg:   work.Agg,
+			Sort:  work.Sort,
+			Limit: work.Limit,
 		}
 		lvl := LevelAppliance
-		if len(inner.orderBy) > 0 || inner.limit != nil {
+		if work.Sort != nil || work.Limit != nil {
 			lvl = LevelPC
 		}
-		prev, err = addFragment(agg.rebuild(&logical.Scan{Table: prev.Output}), lvl, "aggregation (GROUP BY/HAVING)", prev.Output)
+		prev, err = addFragment(agg.Rebuild(&logical.Scan{Table: prev.Output}), lvl, "aggregation (GROUP BY/HAVING)", prev.Output)
 		if err != nil {
 			return nil, err
 		}
@@ -275,16 +267,14 @@ func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
 		// Stage 2 (E3): attribute filters + the final projection of this
 		// block in one appliance fragment.
 		lvl := LevelAppliance
-		if len(inner.orderBy) > 0 || inner.limit != nil || inner.distinct {
+		if work.Sort != nil || work.Limit != nil || work.Distinct != nil {
 			lvl = LevelPC
 		}
-		if onlyStarItems(inner.items) && len(otherConj) == 0 && lvl == LevelAppliance {
+		if onlyStarItems(work.Items()) && len(otherConj) == 0 && lvl == LevelAppliance {
 			// Nothing left to do at this level; skip the no-op fragment.
 			break
 		}
-		proj := *inner
-		proj.filters = otherConj
-		prev, err = addFragment(proj.rebuild(&logical.Scan{Table: prev.Output}), lvl, "appliance filter + projection", prev.Output)
+		prev, err = addFragment(rebuildOver(work, &logical.Scan{Table: prev.Output}, otherConj), lvl, "appliance filter + projection", prev.Output)
 		if err != nil {
 			return nil, err
 		}
@@ -294,12 +284,14 @@ func (fr *Fragmenter) FromPlan(root logical.Node) (*Plan, error) {
 }
 
 // addSpine appends one fragment per enclosing spine block, inner to outer.
-func (fr *Fragmenter) addSpine(plan *Plan, spine []*block, prev *Fragment,
+func (fr *Fragmenter) addSpine(plan *Plan, spine []*logical.Block, prev *Fragment,
 	addFragment func(logical.Node, Level, string, string) (*Fragment, error)) error {
 	for i := len(spine) - 2; i >= 0; i-- {
-		b := spine[i]
-		node := b.rebuild(&logical.Scan{Table: prev.Output})
-		f, err := addFragment(node, b.level(), b.describe(), prev.Output)
+		conds, _ := spine[i].Conjuncts() // returns clones; no need to Clone the filters too
+		b := spine[i].Clone()
+		b.Filters = nil
+		node := rebuildOver(b, &logical.Scan{Table: prev.Output}, conds)
+		f, err := addFragment(node, blockLevel(b), blockDescribe(b), prev.Output)
 		if err != nil {
 			return err
 		}
@@ -308,113 +300,37 @@ func (fr *Fragmenter) addSpine(plan *Plan, spine []*block, prev *Fragment,
 	return nil
 }
 
-// gatherBlock decomposes one query block of the plan: [Limit] [Sort]
-// [Distinct] [Aggregate|Window|Project] [Filter*] source.
-func gatherBlock(top logical.Node) (*block, logical.Node) {
-	b := &block{}
-	cur := top
-	if l, ok := cur.(*logical.Limit); ok {
-		n := l.N
-		b.limit = &n
-		cur = l.Input
-	}
-	if s, ok := cur.(*logical.Sort); ok {
-		b.orderBy = cloneOrder(s.By)
-		cur = s.Input
-	}
-	if d, ok := cur.(*logical.Distinct); ok {
-		b.distinct = true
-		cur = d.Input
-	}
-	switch x := cur.(type) {
-	case *logical.Aggregate:
-		b.items = cloneItems(x.Items)
-		b.groupBy = cloneExprs(x.GroupBy)
-		b.having = sqlparser.CloneExpr(x.Having)
-		b.grouped = true
-		cur = x.Input
-	case *logical.Window:
-		b.items = cloneItems(x.Items)
-		cur = x.Input
-	case *logical.Project:
-		b.items = cloneItems(x.Items)
-		cur = x.Input
-	default:
-		b.items = []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}
-	}
-	for {
-		f, ok := cur.(*logical.Filter)
-		if !ok {
-			break
-		}
-		conjs := make([]sqlparser.Expr, 0, 1)
-		for _, c := range sqlparser.Conjuncts(f.Cond) {
-			conjs = append(conjs, sqlparser.CloneExpr(c))
-		}
-		b.filters = append(conjs, b.filters...)
-		b.prov = append(b.prov, f.Prov...)
-		cur = f.Input
-	}
-	if s, ok := cur.(*logical.Scan); ok && s.Predicate != nil {
-		// A predicate already pushed into the scan joins the conjunct list
-		// ahead of the filters above it.
-		var conjs []sqlparser.Expr
-		for _, c := range sqlparser.Conjuncts(s.Predicate) {
-			conjs = append(conjs, sqlparser.CloneExpr(c))
-		}
-		b.filters = append(conjs, b.filters...)
-		b.prov = append(b.prov, s.Prov...)
-	}
-	return b, cur
-}
-
-// rebuild assembles the block's operator chain over the given source; the
-// block's filters become the scan predicate (single-relation sources) or a
-// filter node.
-func (b *block) rebuild(src logical.Node) logical.Node {
-	n := src
-	if cond := sqlparser.AndAll(b.filters); cond != nil {
-		if s, ok := n.(*logical.Scan); ok {
+// rebuildOver reassembles a block over the given source with the given
+// WHERE conjuncts, folding them into the scan predicate (single-relation
+// sources keep the paper's SELECT ... WHERE surface) or wrapping them as a
+// filter node otherwise. The block's own Filters slot must be empty — the
+// fragmenter always re-partitions conjuncts explicitly.
+func rebuildOver(b *logical.Block, src logical.Node, conds []sqlparser.Expr) logical.Node {
+	if cond := sqlparser.AndAll(conds); cond != nil {
+		if s, ok := src.(*logical.Scan); ok {
 			s.Predicate = sqlparser.And(s.Predicate, cond)
 		} else {
-			n = &logical.Filter{Input: n, Cond: cond}
+			src = &logical.Filter{Input: src, Cond: cond}
 		}
 	}
-	switch {
-	case b.grouped:
-		n = &logical.Aggregate{Input: n, GroupBy: b.groupBy, Items: b.items, Having: b.having}
-	case itemsWindow(b.items):
-		n = &logical.Window{Input: n, Items: b.items}
-	default:
-		n = &logical.Project{Input: n, Items: b.items}
-	}
-	if b.distinct {
-		n = &logical.Distinct{Input: n}
-	}
-	if len(b.orderBy) > 0 {
-		n = &logical.Sort{Input: n, By: b.orderBy}
-	}
-	if b.limit != nil {
-		n = &logical.Limit{Input: n, N: *b.limit}
-	}
-	return n
+	return b.Rebuild(src)
 }
 
-// level classifies one already-isolated block.
-func (b *block) level() Level {
-	if itemsWindow(b.items) || len(b.orderBy) > 0 || b.limit != nil || b.distinct {
+// blockLevel classifies one already-isolated block on the capability ladder.
+func blockLevel(b *logical.Block) Level {
+	if itemsWindow(b.Items()) || b.Sort != nil || b.Limit != nil || b.Distinct != nil {
 		return LevelPC
 	}
 	return LevelAppliance
 }
 
-func (b *block) describe() string {
+func blockDescribe(b *logical.Block) string {
 	switch {
-	case itemsWindow(b.items):
+	case itemsWindow(b.Items()):
 		return "window/analytic evaluation"
-	case b.grouped:
+	case b.Agg != nil:
 		return "aggregation (GROUP BY/HAVING)"
-	case len(b.orderBy) > 0 || b.limit != nil:
+	case b.Sort != nil || b.Limit != nil:
 		return "sort/limit"
 	default:
 		return "filter + projection"
@@ -435,14 +351,14 @@ func baseInput(src logical.Node) (string, error) {
 	}
 }
 
-// splitConjuncts partitions the block's WHERE conjuncts into sensor-capable
-// constant filters and the rest.
+// splitConjuncts partitions the block's WHERE conjuncts (already cloned by
+// plan.Block.Conjuncts) into sensor-capable constant filters and the rest.
 func splitConjuncts(conjs []sqlparser.Expr) (constConj, other []sqlparser.Expr) {
 	for _, c := range conjs {
 		if isConstFilter(c) {
-			constConj = append(constConj, sqlparser.CloneExpr(c))
+			constConj = append(constConj, c)
 		} else {
-			other = append(other, sqlparser.CloneExpr(c))
+			other = append(other, c)
 		}
 	}
 	return constConj, other
@@ -470,44 +386,22 @@ func provFiltered(prov []logical.Provenance, conjs []sqlparser.Expr) []logical.P
 	return out
 }
 
-// neededColumns lists the raw columns an aggregation stage consumes: every
-// column referenced in items, GROUP BY and HAVING, plus ORDER BY references
-// that are not output aliases (ORDER BY peak sorts the stage's own output
-// column, not an input one).
-func (b *block) neededColumns() []string {
-	aliases := map[string]bool{}
-	for _, it := range b.items {
-		if it.Alias != "" {
-			aliases[it.Alias] = true
-		}
-	}
+// neededColumns lists the raw columns an aggregation stage consumes, in
+// first-use order — the plan.Block requirements analysis projected onto
+// plain names. Stars (COUNT(*)) read no columns; ORDER BY references that
+// resolve in the stage's own output (aliases, projected names) do not need
+// to be shipped by the projection stage below it.
+func neededColumns(b *logical.Block) []string {
+	reqs := b.Requirements()
 	seen := map[string]bool{}
 	var out []string
-	add := func(e sqlparser.Expr) {
-		for _, c := range sqlparser.ColumnRefs(e) {
-			if !seen[c.Name] {
-				seen[c.Name] = true
-				out = append(out, c.Name)
-			}
+	for _, r := range reqs.Cols {
+		key := strings.ToLower(r.Name)
+		if seen[key] {
+			continue
 		}
-	}
-	for _, it := range b.items {
-		add(it.Expr)
-	}
-	for _, g := range b.groupBy {
-		add(g)
-	}
-	add(b.having)
-	for _, o := range b.orderBy {
-		for _, c := range sqlparser.ColumnRefs(o.Expr) {
-			if aliases[c.Name] {
-				continue
-			}
-			if !seen[c.Name] {
-				seen[c.Name] = true
-				out = append(out, c.Name)
-			}
-		}
+		seen[key] = true
+		out = append(out, r.Name)
 	}
 	return out
 }
@@ -520,47 +414,10 @@ func columnsToItems(cols []string) []sqlparser.SelectItem {
 	return out
 }
 
-func cloneItems(items []sqlparser.SelectItem) []sqlparser.SelectItem {
-	out := make([]sqlparser.SelectItem, len(items))
-	for i, it := range items {
-		out[i] = sqlparser.SelectItem{Expr: sqlparser.CloneExpr(it.Expr), Alias: it.Alias}
-	}
-	return out
-}
-
-func cloneExprs(es []sqlparser.Expr) []sqlparser.Expr {
-	if es == nil {
-		return nil
-	}
-	out := make([]sqlparser.Expr, len(es))
-	for i, e := range es {
-		out[i] = sqlparser.CloneExpr(e)
-	}
-	return out
-}
-
-func cloneOrder(os []sqlparser.OrderItem) []sqlparser.OrderItem {
-	if os == nil {
-		return nil
-	}
-	out := make([]sqlparser.OrderItem, len(os))
-	for i, o := range os {
-		out[i] = sqlparser.OrderItem{Expr: sqlparser.CloneExpr(o.Expr), Desc: o.Desc}
-	}
-	return out
-}
-
-func cloneLimit(l *int64) *int64 {
-	if l == nil {
-		return nil
-	}
-	v := *l
-	return &v
-}
-
-// stripQualifiers removes table qualifiers from every clause of the block
-// (valid only when the block reads a single base table).
-func (b *block) stripQualifiers() {
+// stripQualifiers removes table qualifiers from every clause of an owned
+// (cloned) block — valid only when the block reads a single base table,
+// whose name the chain replaces with d1, d2, ...
+func stripQualifiers(b *logical.Block) {
 	strip := func(e sqlparser.Expr) sqlparser.Expr {
 		return sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
 			if c, ok := x.(*sqlparser.ColumnRef); ok && c.Table != "" {
@@ -572,15 +429,27 @@ func (b *block) stripQualifiers() {
 			return x
 		})
 	}
-	for i := range b.items {
-		b.items[i].Expr = strip(b.items[i].Expr)
+	stripItems := func(items []sqlparser.SelectItem) {
+		for i := range items {
+			items[i].Expr = strip(items[i].Expr)
+		}
 	}
-	for i := range b.groupBy {
-		b.groupBy[i] = strip(b.groupBy[i])
+	switch {
+	case b.Agg != nil:
+		stripItems(b.Agg.Items)
+		for i := range b.Agg.GroupBy {
+			b.Agg.GroupBy[i] = strip(b.Agg.GroupBy[i])
+		}
+		b.Agg.Having = strip(b.Agg.Having)
+	case b.Win != nil:
+		stripItems(b.Win.Items)
+	case b.Proj != nil:
+		stripItems(b.Proj.Items)
 	}
-	b.having = strip(b.having)
-	for i := range b.orderBy {
-		b.orderBy[i].Expr = strip(b.orderBy[i].Expr)
+	if b.Sort != nil {
+		for i := range b.Sort.By {
+			b.Sort.By[i].Expr = strip(b.Sort.By[i].Expr)
+		}
 	}
 }
 

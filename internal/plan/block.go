@@ -1,0 +1,372 @@
+package plan
+
+import (
+	"strconv"
+	"strings"
+
+	"paradise/internal/sqlparser"
+)
+
+// Block is one query block of a plan: the operator tail
+//
+//	[Limit] [Sort] [Distinct] [Aggregate|Window|Project] [Filter*]
+//
+// above a source node (Scan, Join, Derived, Values, or a nested operator
+// chain without a Derived marker). It is the single owner of the block-shape
+// rule: the optimizer prunes per block, the engine compiles per block, and
+// the fragmenter cuts the plan spine at block boundaries — all through this
+// type, so the decomposition can never diverge between layers again.
+//
+// Each field is a typed slot holding the operator occupying that position
+// (nil when absent). At most one of Agg, Win and Proj is set — they share
+// the projection slot. Filters holds the residual filter operators between
+// the projection slot and the source, outermost first. Src is the source
+// node the tail sits on.
+//
+// A Block produced by SplitBlock aliases the nodes of the tree it was split
+// from; it must not be mutated unless the caller owns the tree (Clone gives
+// an owned copy).
+type Block struct {
+	Limit    *Limit
+	Sort     *Sort
+	Distinct *Distinct
+	Agg      *Aggregate
+	Win      *Window
+	Proj     *Project
+	Filters  []*Filter // outermost first
+	Src      Node
+}
+
+// SplitBlock walks one query block from its top node down to its source,
+// gathering the operator tail into typed slots. It returns the block and
+// the source node below the tail (also recorded as Block.Src). The tree is
+// not modified; the block's slots alias its nodes.
+func SplitBlock(n Node) (*Block, Node) {
+	b := &Block{}
+	cur := n
+	if l, ok := cur.(*Limit); ok {
+		b.Limit = l
+		cur = l.Input
+	}
+	if s, ok := cur.(*Sort); ok {
+		b.Sort = s
+		cur = s.Input
+	}
+	if d, ok := cur.(*Distinct); ok {
+		b.Distinct = d
+		cur = d.Input
+	}
+	switch x := cur.(type) {
+	case *Aggregate:
+		b.Agg = x
+		cur = x.Input
+	case *Window:
+		b.Win = x
+		cur = x.Input
+	case *Project:
+		b.Proj = x
+		cur = x.Input
+	}
+	for {
+		f, ok := cur.(*Filter)
+		if !ok {
+			break
+		}
+		b.Filters = append(b.Filters, f)
+		cur = f.Input
+	}
+	b.Src = cur
+	return b, cur
+}
+
+// Rebuild assembles a fresh operator chain for the block over the given
+// source — the inverse of SplitBlock: Rebuild of a just-split block over its
+// own source is structurally identical to the original node. New operator
+// nodes are allocated (the slot nodes are never mutated, so a block split
+// from a shared tree can be rebuilt safely); clause contents (items,
+// expressions) are shared, not cloned.
+func (b *Block) Rebuild(src Node) Node {
+	n := src
+	for i := len(b.Filters) - 1; i >= 0; i-- {
+		f := b.Filters[i]
+		n = &Filter{Input: n, Cond: f.Cond, Prov: f.Prov}
+	}
+	switch {
+	case b.Agg != nil:
+		n = &Aggregate{Input: n, GroupBy: b.Agg.GroupBy, Items: b.Agg.Items, Having: b.Agg.Having, Prov: b.Agg.Prov}
+	case b.Win != nil:
+		n = &Window{Input: n, Items: b.Win.Items}
+	case b.Proj != nil:
+		n = &Project{Input: n, Items: b.Proj.Items, Prov: b.Proj.Prov}
+	}
+	if b.Distinct != nil {
+		n = &Distinct{Input: n}
+	}
+	if b.Sort != nil {
+		n = &Sort{Input: n, By: b.Sort.By}
+	}
+	if b.Limit != nil {
+		n = &Limit{Input: n, N: b.Limit.N}
+	}
+	return n
+}
+
+// Clone deep-copies the block's clause content — every slot becomes a fresh
+// node with cloned expressions, so the clone can be mutated (the fragmenter
+// strips qualifiers, swaps filter lists) without touching the tree the block
+// was split from. Src is shared, not cloned; the slot nodes' Inputs are nil
+// (Rebuild reconnects them).
+func (b *Block) Clone() *Block {
+	out := &Block{Src: b.Src}
+	if b.Limit != nil {
+		out.Limit = &Limit{N: b.Limit.N}
+	}
+	if b.Sort != nil {
+		out.Sort = &Sort{By: cloneOrder(b.Sort.By)}
+	}
+	if b.Distinct != nil {
+		out.Distinct = &Distinct{}
+	}
+	switch {
+	case b.Agg != nil:
+		out.Agg = &Aggregate{
+			GroupBy: cloneExprs(b.Agg.GroupBy),
+			Items:   cloneItems(b.Agg.Items),
+			Having:  sqlparser.CloneExpr(b.Agg.Having),
+			Prov:    append([]Provenance(nil), b.Agg.Prov...),
+		}
+	case b.Win != nil:
+		out.Win = &Window{Items: cloneItems(b.Win.Items)}
+	case b.Proj != nil:
+		out.Proj = &Project{
+			Items: cloneItems(b.Proj.Items),
+			Prov:  append([]Provenance(nil), b.Proj.Prov...),
+		}
+	}
+	for _, f := range b.Filters {
+		out.Filters = append(out.Filters, &Filter{
+			Cond: sqlparser.CloneExpr(f.Cond),
+			Prov: append([]Provenance(nil), f.Prov...),
+		})
+	}
+	return out
+}
+
+// Items returns the block's select list — the items of whichever projection
+// slot is occupied. A bare block (no projection operator) returns the
+// identity star list, which is what lowering would have produced for it.
+func (b *Block) Items() []sqlparser.SelectItem {
+	switch {
+	case b.Agg != nil:
+		return b.Agg.Items
+	case b.Win != nil:
+		return b.Win.Items
+	case b.Proj != nil:
+		return b.Proj.Items
+	}
+	return []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}
+}
+
+// GroupBy returns the block's grouping expressions (nil when not grouped).
+func (b *Block) GroupBy() []sqlparser.Expr {
+	if b.Agg != nil {
+		return b.Agg.GroupBy
+	}
+	return nil
+}
+
+// Having returns the block's HAVING condition (nil when not grouped).
+func (b *Block) Having() sqlparser.Expr {
+	if b.Agg != nil {
+		return b.Agg.Having
+	}
+	return nil
+}
+
+// OrderBy returns the block's ORDER BY items (nil when unsorted).
+func (b *Block) OrderBy() []sqlparser.OrderItem {
+	if b.Sort != nil {
+		return b.Sort.By
+	}
+	return nil
+}
+
+// FilterConds returns the residual filter conditions bottom-up (innermost
+// first), so conjunct evaluation order matches the original WHERE.
+func (b *Block) FilterConds() []sqlparser.Expr {
+	if len(b.Filters) == 0 {
+		return nil
+	}
+	out := make([]sqlparser.Expr, 0, len(b.Filters))
+	for i := len(b.Filters) - 1; i >= 0; i-- {
+		out = append(out, b.Filters[i].Cond)
+	}
+	return out
+}
+
+// Conjuncts flattens the block's WHERE surface into cloned conjuncts in
+// original order: a predicate already pushed into the source scan comes
+// first, then the residual filters bottom-up, each split on AND. The
+// provenance entries attached to those conditions ride along so policy
+// annotations can follow their conjuncts into whichever stage re-evaluates
+// them. The fragmenter is the main consumer: it re-partitions the conjuncts
+// across capability levels.
+func (b *Block) Conjuncts() ([]sqlparser.Expr, []Provenance) {
+	var conds []sqlparser.Expr
+	var prov []Provenance
+	if s, ok := b.Src.(*Scan); ok && s.Predicate != nil {
+		for _, c := range sqlparser.Conjuncts(s.Predicate) {
+			conds = append(conds, sqlparser.CloneExpr(c))
+		}
+	}
+	for i := len(b.Filters) - 1; i >= 0; i-- {
+		for _, c := range sqlparser.Conjuncts(b.Filters[i].Cond) {
+			conds = append(conds, sqlparser.CloneExpr(c))
+		}
+	}
+	for _, f := range b.Filters {
+		prov = append(prov, f.Prov...)
+	}
+	if s, ok := b.Src.(*Scan); ok {
+		prov = append(prov, s.Prov...)
+	}
+	return conds, prov
+}
+
+// Requirements is the result of the block's column-requirement analysis —
+// which columns of the source the block's clauses read. There is exactly
+// one implementation of these rules (Block.Requirements); the optimizer's
+// projection pruning, the engine's scan pushdown and the fragmenter's
+// stage projections all consume it.
+type Requirements struct {
+	// Cols lists the columns read by the select list, GROUP BY, HAVING and
+	// ORDER BY, in first-use order with select-list columns first — so a
+	// scan pruned to exactly Cols lines up with the projection above it.
+	// Stars are skipped (see the Star flag).
+	Cols []*sqlparser.ColumnRef
+	// FilterCols lists the columns the residual filters read. They are kept
+	// separate because whether they must survive a scan projection depends
+	// on where the consumer evaluates the filters: a filter folded into the
+	// scan predicate runs pre-projection (its columns need not be kept),
+	// one evaluated above a join or derived table runs post-projection.
+	FilterCols []*sqlparser.ColumnRef
+	// Star reports that a star expression (SELECT *, t.*) appeared in the
+	// block's clauses: the block's reads cannot be narrowed to Cols, so
+	// scan pruning must keep the full width. COUNT(*) is not a star
+	// expression — it is a star-flagged call reading no columns at all.
+	Star bool
+	// Bare reports a block with no projection operator at all — identity
+	// output, full width by definition.
+	Bare bool
+}
+
+// Prunable reports whether Cols (plus, depending on the consumer,
+// FilterCols) is a complete account of what the block reads — the
+// precondition for narrowing a scan.
+func (r *Requirements) Prunable() bool { return !r.Star && !r.Bare }
+
+// Requirements computes the block's column requirements. The rules, in one
+// place for every layer:
+//
+//   - The select list, GROUP BY and HAVING contribute every column they
+//     reference.
+//   - ORDER BY above an Aggregate sorts the grouped output, but aggregate
+//     calls inside it are evaluated over input rows — only their argument
+//     columns count.
+//   - ORDER BY above a plain projection may reach back to input columns;
+//     references that resolve in the output (aliases, projected names) are
+//     served there and do not count.
+//   - Residual filter columns are reported separately (FilterCols).
+//   - A star expression makes the analysis inexact: Star is set and pruning
+//     consumers must bail, though Cols still lists the plainly referenced
+//     columns for consumers that only need those (the fragmenter's
+//     aggregation-stage projection).
+func (b *Block) Requirements() *Requirements {
+	r := &Requirements{}
+	var items []sqlparser.SelectItem
+	switch {
+	case b.Agg != nil:
+		items = b.Agg.Items
+	case b.Win != nil:
+		items = b.Win.Items
+	case b.Proj != nil:
+		items = b.Proj.Items
+	default:
+		r.Bare = true
+		return r
+	}
+
+	add := func(dst *[]*sqlparser.ColumnRef, e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if _, isStar := x.(*sqlparser.Star); isStar {
+				r.Star = true
+			}
+			return true
+		})
+		*dst = append(*dst, sqlparser.ColumnRefs(e)...)
+	}
+
+	outputNames := make([]string, len(items))
+	for i, it := range items {
+		add(&r.Cols, it.Expr)
+		name := it.Alias
+		if name == "" {
+			name = outputName(it.Expr, i)
+		}
+		outputNames[i] = name
+	}
+	if b.Agg != nil {
+		for _, g := range b.Agg.GroupBy {
+			add(&r.Cols, g)
+		}
+		add(&r.Cols, b.Agg.Having)
+	}
+	if b.Sort != nil {
+		for _, o := range b.Sort.By {
+			if b.Agg != nil {
+				for _, f := range sqlparser.Aggregates(o.Expr) {
+					for _, a := range f.Args {
+						add(&r.Cols, a)
+					}
+				}
+				continue
+			}
+			for _, c := range sqlparser.ColumnRefs(o.Expr) {
+				if c.Table == "" && nameIn(outputNames, c.Name) {
+					continue
+				}
+				r.Cols = append(r.Cols, c)
+			}
+		}
+	}
+	for _, f := range b.Filters {
+		add(&r.FilterCols, f.Cond)
+	}
+	return r
+}
+
+func nameIn(names []string, name string) bool {
+	for _, n := range names {
+		if strings.EqualFold(n, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// outputName derives the column name of an unaliased select item — the same
+// naming the engine uses for output schemas, so requirement analysis and
+// compilation agree on which ORDER BY references resolve in the output.
+func outputName(e sqlparser.Expr, idx int) string {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		return x.Name
+	case *sqlparser.FuncCall:
+		return x.Name
+	default:
+		return "col" + strconv.Itoa(idx+1)
+	}
+}

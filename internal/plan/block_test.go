@@ -1,0 +1,246 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"paradise/internal/plan"
+	"paradise/internal/sqlparser"
+)
+
+// shapeCorpus enumerates query-block shapes: every slot combination the
+// lowering can produce (Limit/Sort/Distinct × Aggregate|Window|Project ×
+// filters), plus window-vs-aggregate exclusivity and derived/join sources.
+// Shapes lowering cannot produce (multi-filter stacks, bare sources, scans
+// with pushed predicates) are covered by hand-built trees below.
+var shapeCorpus = []string{
+	"SELECT x FROM d",
+	"SELECT * FROM d",
+	"SELECT x, y FROM d WHERE z < 1",
+	"SELECT x FROM d WHERE z < 1 AND t > 2",
+	"SELECT DISTINCT x FROM d",
+	"SELECT x FROM d ORDER BY x",
+	"SELECT x FROM d LIMIT 3",
+	"SELECT DISTINCT x FROM d WHERE z < 1 ORDER BY x DESC LIMIT 3",
+	"SELECT cell, AVG(z) AS za FROM d GROUP BY cell",
+	"SELECT cell, AVG(z) AS za FROM d WHERE t > 0 GROUP BY cell HAVING SUM(z) > 1 ORDER BY za LIMIT 5",
+	"SELECT COUNT(*) FROM d",
+	"SELECT SUM(z) OVER (PARTITION BY cell ORDER BY t) FROM d",
+	"SELECT SUM(z) OVER (PARTITION BY cell) FROM d WHERE x > y ORDER BY t LIMIT 2",
+	"SELECT d.x, cells.label FROM d JOIN cells ON d.cell = cells.cell WHERE d.z < 1",
+	"SELECT s FROM (SELECT x + y AS s, z FROM d WHERE z < 1.5) WHERE s > 3",
+	"SELECT 1 FROM d",
+}
+
+// TestSplitRebuildRoundTrip: Rebuild is the exact inverse of SplitBlock —
+// the reassembled tree is structurally identical (same EXPLAIN rendering,
+// same SQL surface) without mutating the original.
+func TestSplitRebuildRoundTrip(t *testing.T) {
+	for _, q := range shapeCorpus {
+		root := mustLower(t, q)
+		before := plan.String(root)
+
+		blk, src := plan.SplitBlock(root)
+		if blk.Src != src {
+			t.Fatalf("%q: Src not recorded", q)
+		}
+		rebuilt := blk.Rebuild(src)
+
+		if got := plan.String(rebuilt); got != before {
+			t.Errorf("%q: rebuild changed the tree:\n got:\n%s\nwant:\n%s", q, got, before)
+		}
+		if got := plan.String(root); got != before {
+			t.Errorf("%q: rebuild mutated the original tree:\n%s", q, got)
+		}
+		selBefore, err := plan.ToSelect(root)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		selAfter, err := plan.ToSelect(rebuilt)
+		if err != nil {
+			t.Fatalf("%q (rebuilt): %v", q, err)
+		}
+		if selBefore.SQL() != selAfter.SQL() {
+			t.Errorf("%q: SQL surface diverged: %q vs %q", q, selBefore.SQL(), selAfter.SQL())
+		}
+	}
+}
+
+// TestSplitBlockSlots pins the slot assignment for one maximal shape and
+// the aggregate/window exclusivity.
+func TestSplitBlockSlots(t *testing.T) {
+	blk, src := plan.SplitBlock(mustLower(t,
+		"SELECT DISTINCT cell, AVG(z) AS za FROM d WHERE t > 0 GROUP BY cell ORDER BY za LIMIT 5"))
+	if blk.Limit == nil || blk.Sort == nil || blk.Distinct == nil || blk.Agg == nil {
+		t.Fatalf("missing slots: %+v", blk)
+	}
+	if blk.Win != nil || blk.Proj != nil {
+		t.Fatal("aggregate block must leave the window/project slots empty")
+	}
+	if len(blk.Filters) != 1 {
+		t.Fatalf("filters = %d, want 1", len(blk.Filters))
+	}
+	if _, ok := src.(*plan.Scan); !ok {
+		t.Fatalf("source = %T, want *plan.Scan", src)
+	}
+
+	blk, _ = plan.SplitBlock(mustLower(t, "SELECT SUM(z) OVER (PARTITION BY cell) FROM d"))
+	if blk.Win == nil || blk.Agg != nil || blk.Proj != nil {
+		t.Fatalf("window block slots wrong: %+v", blk)
+	}
+}
+
+// TestSplitRebuildHandBuiltShapes covers tree shapes lowering cannot emit:
+// multi-filter stacks, a bare scan (no projection operator), and a scan
+// carrying a pushed predicate.
+func TestSplitRebuildHandBuiltShapes(t *testing.T) {
+	cond1, err := sqlparser.ParseExpr("z < 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond2, err := sqlparser.ParseExpr("t > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := sqlparser.ParseExpr("x > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stacked filters over a predicated scan under a projection.
+	root := plan.Node(&plan.Project{
+		Items: []sqlparser.SelectItem{{Expr: &sqlparser.ColumnRef{Name: "x"}}},
+		Input: &plan.Filter{
+			Cond: cond1,
+			Input: &plan.Filter{
+				Cond:  cond2,
+				Input: &plan.Scan{Table: "d", Predicate: pred},
+			},
+		},
+	})
+	before := plan.String(root)
+	blk, src := plan.SplitBlock(root)
+	if len(blk.Filters) != 2 {
+		t.Fatalf("filters = %d, want 2", len(blk.Filters))
+	}
+	// FilterConds is bottom-up: innermost conjunct first.
+	conds := blk.FilterConds()
+	if conds[0].SQL() != "t > 2" || conds[1].SQL() != "z < 1" {
+		t.Fatalf("FilterConds order = [%s, %s], want bottom-up", conds[0].SQL(), conds[1].SQL())
+	}
+	if got := plan.String(blk.Rebuild(src)); got != before {
+		t.Errorf("multi-filter round trip:\n got:\n%s\nwant:\n%s", got, before)
+	}
+	// Conjuncts puts the scan predicate first, then filters bottom-up.
+	flat, _ := blk.Conjuncts()
+	var sqls []string
+	for _, c := range flat {
+		sqls = append(sqls, c.SQL())
+	}
+	if strings.Join(sqls, "; ") != "x > 0; t > 2; z < 1" {
+		t.Fatalf("Conjuncts order = %v", sqls)
+	}
+
+	// Bare scan: empty block, Rebuild is the identity.
+	bare, bsrc := plan.SplitBlock(&plan.Scan{Table: "d"})
+	if bare.Proj != nil || bare.Agg != nil || bare.Win != nil || len(bare.Filters) != 0 {
+		t.Fatalf("bare block not empty: %+v", bare)
+	}
+	if bare.Rebuild(bsrc) != bsrc {
+		t.Fatal("bare Rebuild must return the source unchanged")
+	}
+	if !bare.Requirements().Bare {
+		t.Fatal("bare block requirements must be flagged Bare")
+	}
+	// The identity star list stands in for the missing projection.
+	if items := bare.Items(); len(items) != 1 {
+		t.Fatalf("bare Items = %v", items)
+	} else if _, ok := items[0].Expr.(*sqlparser.Star); !ok {
+		t.Fatalf("bare Items = %v, want star", items)
+	}
+}
+
+// TestBlockCloneIsOwned: mutating a clone (the fragmenter strips qualifiers
+// in place) must not leak into the source tree.
+func TestBlockCloneIsOwned(t *testing.T) {
+	root := mustLower(t, "SELECT d.x FROM d WHERE d.z < 1 ORDER BY d.t")
+	before := plan.String(root)
+	blk, _ := plan.SplitBlock(root)
+	cl := blk.Clone()
+
+	cl.Proj.Items[0].Expr.(*sqlparser.ColumnRef).Table = ""
+	cl.Sort.By[0].Expr.(*sqlparser.ColumnRef).Table = ""
+	cl.Filters[0].Cond.(*sqlparser.BinaryExpr).L.(*sqlparser.ColumnRef).Table = ""
+
+	if got := plan.String(root); got != before {
+		t.Fatalf("clone aliased the original tree:\n%s", got)
+	}
+}
+
+// requirementsNames flattens a requirement list for comparison.
+func requirementsNames(refs []*sqlparser.ColumnRef) string {
+	parts := make([]string, len(refs))
+	for i, r := range refs {
+		parts[i] = r.Name
+		if r.Table != "" {
+			parts[i] = r.Table + "." + r.Name
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestRequirements pins the column-requirement analysis on representative
+// queries — the exact sets the pre-unification engine (its scan-pushdown
+// derivation) and optimizer (its per-block requirements) computed, so the
+// single implementation provably subsumes both.
+func TestRequirements(t *testing.T) {
+	cases := []struct {
+		q          string
+		cols       string // first-use order, select-list first (duplicates kept)
+		filterCols string
+		star       bool
+	}{
+		// Expression projection: both referenced columns, nothing else.
+		{q: "SELECT x + y AS s FROM d", cols: "x,y"},
+		// Residual filter columns are reported separately.
+		{q: "SELECT x + y AS s FROM d WHERE z < 1", cols: "x,y", filterCols: "z"},
+		// Star: analysis inexact, pruning must bail.
+		{q: "SELECT * FROM d WHERE z < 1", cols: "", filterCols: "z", star: true},
+		// Grouped: items, GROUP BY, HAVING, in that order.
+		{q: "SELECT cell, AVG(z) AS za FROM d GROUP BY cell HAVING SUM(z) > 1", cols: "cell,z,cell,z"},
+		// COUNT(*) is a star-flagged call, not a Star expression: it reads
+		// no columns, so the analysis stays exact and pruning proceeds.
+		{q: "SELECT cell, COUNT(*) AS n FROM d GROUP BY cell", cols: "cell,cell"},
+		// ORDER BY reaching back to an input column keeps it ...
+		{q: "SELECT x AS a FROM d ORDER BY z", cols: "x,z"},
+		// ... while aliases and projected names resolve in the output.
+		{q: "SELECT x AS a FROM d ORDER BY a", cols: "x"},
+		{q: "SELECT x FROM d ORDER BY x", cols: "x"},
+		// Grouped ORDER BY: only aggregate-call arguments hit the input.
+		{q: "SELECT cell, COUNT(z) AS n FROM d GROUP BY cell ORDER BY MAX(x)", cols: "cell,z,cell,x"},
+		{q: "SELECT cell, MAX(z) AS peak FROM d GROUP BY cell ORDER BY peak DESC", cols: "cell,z,cell"},
+		// Windows: call arguments plus partition/order keys.
+		{q: "SELECT SUM(z) OVER (PARTITION BY cell ORDER BY t) FROM d", cols: "z,cell,t"},
+		// No columns at all (constant projection).
+		{q: "SELECT 1 FROM d", cols: ""},
+	}
+	for _, c := range cases {
+		blk, _ := plan.SplitBlock(mustLower(t, c.q))
+		reqs := blk.Requirements()
+		if got := requirementsNames(reqs.Cols); got != c.cols {
+			t.Errorf("%q: Cols = %q, want %q", c.q, got, c.cols)
+		}
+		if got := requirementsNames(reqs.FilterCols); got != c.filterCols {
+			t.Errorf("%q: FilterCols = %q, want %q", c.q, got, c.filterCols)
+		}
+		if reqs.Star != c.star {
+			t.Errorf("%q: Star = %v, want %v", c.q, reqs.Star, c.star)
+		}
+		if reqs.Bare {
+			t.Errorf("%q: unexpectedly Bare", c.q)
+		}
+		if reqs.Prunable() == (c.star) {
+			t.Errorf("%q: Prunable = %v inconsistent with Star = %v", c.q, reqs.Prunable(), c.star)
+		}
+	}
+}

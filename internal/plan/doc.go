@@ -9,6 +9,14 @@
 // nodes carrying Provenance, so EXPLAIN output and audits can point at the
 // exact operator a policy injected.
 //
+// The package also owns the block algebra: Block is the typed decomposition
+// of one query block ([Limit][Sort][Distinct][Aggregate|Window|Project]
+// [Filter*] over a source), with SplitBlock/Rebuild as exact inverses and
+// Requirements as the single column-requirement analysis. The optimizer,
+// the engine and the fragmenter all consume Block, so the block-shape and
+// column-requirement rules have exactly one implementation (enforced in CI
+// by scripts/blockguard.sh and the golden plan snapshots in testdata/).
+//
 // Scalar expressions inside plan nodes reuse the sqlparser expression
 // vocabulary (ColumnRef, BinaryExpr, FuncCall, ...): the expression language
 // is shared between the SQL surface and the plan; what the plan replaces is

@@ -1,0 +1,78 @@
+package plan_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paradise/internal/plan"
+)
+
+// update regenerates the golden files:
+//
+//	go test ./internal/plan/ -run TestOptimizedPlanGoldens -update
+var update = flag.Bool("update", false, "rewrite golden plan snapshots")
+
+// goldenQueries is the snapshot corpus: every optimizer rule (folding,
+// pushdown, join-side split, cross-block migration, pruning) appears in at
+// least one optimized tree, so any unintended change to block decomposition
+// or requirement analysis shows up as a readable plan diff.
+var goldenQueries = []struct {
+	name       string
+	sql        string
+	crossBlock bool
+}{
+	{"filter_into_scan", "SELECT x FROM d WHERE z < 1 AND t > 2", false},
+	{"constant_folding", "SELECT x FROM d WHERE x > 1 + 2 AND 1 < 2", false},
+	{"projection_pruning", "SELECT x + y AS s FROM d WHERE z < 1", false},
+	{"star_no_pruning", "SELECT * FROM d WHERE z < 1", false},
+	{"grouped_pruning", "SELECT cell, AVG(z) AS za FROM d GROUP BY cell HAVING SUM(z) > 1", false},
+	{"count_star_pruning", "SELECT COUNT(*) FROM d WHERE z < 1", false},
+	{"orderby_reachback", "SELECT x AS a FROM d ORDER BY z LIMIT 3", false},
+	{"join_side_pushdown", "SELECT d.x, cells.label FROM d JOIN cells ON d.cell = cells.cell WHERE d.z < 1 AND cells.label = 'room'", false},
+	{"left_join_keeps_filter", "SELECT d.x FROM d LEFT JOIN cells ON d.cell = cells.cell WHERE cells.label = 'room'", false},
+	{"derived_block_boundary", "SELECT s FROM (SELECT x + y AS s, z FROM d WHERE z < 1.5) WHERE s > 3", false},
+	{"cross_block_migration", "SELECT s FROM (SELECT x + y AS s, z FROM d WHERE z < 1.5) WHERE s > 3", true},
+	{"cross_block_ambiguous_bails", "SELECT z FROM (SELECT x AS s, y AS s, z FROM d) WHERE s > 3", true},
+	{"window_block", "SELECT SUM(z) OVER (PARTITION BY cell ORDER BY t) FROM d WHERE x > y", false},
+	{"distinct_sort_limit", "SELECT DISTINCT x FROM d WHERE z < 1 ORDER BY x DESC LIMIT 3", false},
+}
+
+// TestOptimizedPlanGoldens snapshots the optimized logical plan trees. A
+// failure means block decomposition, requirement analysis or an optimizer
+// rule changed shape: inspect the diff, and only regenerate with -update
+// when the change is intended.
+func TestOptimizedPlanGoldens(t *testing.T) {
+	for _, c := range goldenQueries {
+		t.Run(c.name, func(t *testing.T) {
+			root := plan.Optimize(mustLower(t, c.sql),
+				plan.Options{Catalog: testCatalog(), CrossBlock: c.crossBlock})
+			got := "-- " + c.sql + "\n" + plan.String(root)
+
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("optimized plan changed (re-run with -update if intended):\n got:\n%s\nwant:\n%s",
+					indent(got), indent(string(want)))
+			}
+		})
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

@@ -95,51 +95,34 @@ func lowerFrom(t sqlparser.TableRef) (Node, error) {
 // that do not change the result (pruned Scan.Columns) are not rendered.
 // Predicates pushed into scans come back as WHERE conjuncts.
 func ToSelect(root Node) (*sqlparser.Select, error) {
+	blk, src := SplitBlock(root)
 	sel := &sqlparser.Select{}
-	cur := root
 
-	if l, ok := cur.(*Limit); ok {
-		n := l.N
+	if blk.Limit != nil {
+		n := blk.Limit.N
 		sel.Limit = &n
-		cur = l.Input
 	}
-	if s, ok := cur.(*Sort); ok {
-		sel.OrderBy = cloneOrder(s.By)
-		cur = s.Input
+	if blk.Sort != nil {
+		sel.OrderBy = cloneOrder(blk.Sort.By)
 	}
-	if d, ok := cur.(*Distinct); ok {
-		sel.Distinct = true
-		cur = d.Input
-	}
+	sel.Distinct = blk.Distinct != nil
 
-	switch x := cur.(type) {
-	case *Aggregate:
-		sel.Items = cloneItems(x.Items)
-		sel.GroupBy = cloneExprs(x.GroupBy)
-		sel.Having = sqlparser.CloneExpr(x.Having)
-		cur = x.Input
-	case *Window:
-		sel.Items = cloneItems(x.Items)
-		cur = x.Input
-	case *Project:
-		sel.Items = cloneItems(x.Items)
-		cur = x.Input
+	switch {
+	case blk.Agg != nil:
+		sel.Items = cloneItems(blk.Agg.Items)
+		sel.GroupBy = cloneExprs(blk.Agg.GroupBy)
+		sel.Having = sqlparser.CloneExpr(blk.Agg.Having)
 	default:
-		sel.Items = []sqlparser.SelectItem{{Expr: &sqlparser.Star{}}}
+		sel.Items = cloneItems(blk.Items())
 	}
 
-	// Collect filters (outermost first) down to the source.
+	// Residual filters, innermost first, behind any scan-pushed predicate:
+	// together they re-form the WHERE clause in original conjunct order.
 	var conds []sqlparser.Expr
-	for {
-		f, ok := cur.(*Filter)
-		if !ok {
-			break
-		}
-		conds = append([]sqlparser.Expr{sqlparser.CloneExpr(f.Cond)}, conds...)
-		cur = f.Input
+	for _, c := range blk.FilterConds() {
+		conds = append(conds, sqlparser.CloneExpr(c))
 	}
-
-	from, scanPred, err := toTableRef(cur)
+	from, scanPred, err := toTableRef(src)
 	if err != nil {
 		return nil, err
 	}

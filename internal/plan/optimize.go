@@ -1,7 +1,6 @@
 package plan
 
 import (
-	"strconv"
 	"strings"
 
 	"paradise/internal/sqlparser"
@@ -299,19 +298,31 @@ func pushThroughDerived(d *Derived, cond sqlparser.Expr, prov []Provenance, opts
 		return false
 	}
 	subst := map[string]sqlparser.Expr{}
-	for _, it := range p.Items {
+	names := map[string]bool{}
+	for i, it := range p.Items {
 		if _, isStar := it.Expr.(*sqlparser.Star); isStar {
 			return false
 		}
+		// Two output items sharing a name (aliased or derived — SELECT
+		// abs(x), y AS abs both expose "abs") make any reference to it
+		// ambiguous, and the unoptimized plan rejects it at resolution
+		// time. Never push through — substituting one of the duplicates
+		// would silently pick a side and change (or hide) the error.
 		name := it.Alias
 		if name == "" {
-			if c, okc := it.Expr.(*sqlparser.ColumnRef); okc {
-				name = c.Name
-			} else {
-				continue
+			name = outputName(it.Expr, i)
+		}
+		key := strings.ToLower(name)
+		if names[key] {
+			return false
+		}
+		names[key] = true
+		if it.Alias == "" {
+			if _, okc := it.Expr.(*sqlparser.ColumnRef); !okc {
+				continue // not substitutable; name still guards ambiguity
 			}
 		}
-		subst[strings.ToLower(name)] = it.Expr
+		subst[key] = it.Expr
 	}
 	// Every referenced column must map to an item, and qualifiers (if any)
 	// must name the derived table itself.
@@ -350,16 +361,16 @@ func rewriteProv(prov []Provenance, rewritten sqlparser.Expr) []Provenance {
 }
 
 // pruneScans narrows Scan.Columns throughout the tree. It works block by
-// block: the operators directly above a scan (or above the scans of a join)
-// determine which columns are read; everything else never leaves storage.
-// The scan predicate runs before projection, so its columns need not be
-// kept. Pruning requires the catalog — without the full column list the
-// identity case (nothing to prune) cannot be detected.
+// block (plan.SplitBlock): the operators directly above a scan (or above the
+// scans of a join) determine which columns are read; everything else never
+// leaves storage. The scan predicate runs before projection, so its columns
+// need not be kept. Pruning requires the catalog — without the full column
+// list the identity case (nothing to prune) cannot be detected.
 func pruneScans(n Node, cat Catalog) {
 	if n == nil || cat == nil {
 		return
 	}
-	blockTop, src := splitBlock(n)
+	blockTop, src := SplitBlock(n)
 	switch s := src.(type) {
 	case *Scan:
 		pruneSingleScan(blockTop, s, cat)
@@ -385,171 +396,24 @@ func pruneScans(n Node, cat Catalog) {
 	}
 }
 
-// blockOps is the operator tail of one query block, outermost first,
-// excluding filters (which sit on the scan by the time pruning runs).
-type blockOps struct {
-	limit    *Limit
-	sort     *Sort
-	distinct *Distinct
-	agg      *Aggregate
-	win      *Window
-	proj     *Project
-	filters  []*Filter
-}
-
-// splitBlock walks one query block from its top node down to its source
-// (Scan, Join, Derived or Values), gathering the operator tail.
-func splitBlock(n Node) (*blockOps, Node) {
-	ops := &blockOps{}
-	cur := n
-	if l, ok := cur.(*Limit); ok {
-		ops.limit = l
-		cur = l.Input
+// pruneRefs is the pruning view of a block's requirements: the clause
+// columns first, then the residual-filter columns. Filters above a derived
+// table or join run over already-projected rows, so their columns must
+// survive the projection (unlike the scan predicate, which runs inside the
+// scan over full-width rows); refs ordering keeps select-list columns first
+// so a pruned scan lines up with the projection above it.
+func pruneRefs(blk *Block) (refs []*sqlparser.ColumnRef, ok bool) {
+	reqs := blk.Requirements()
+	if !reqs.Prunable() {
+		return nil, false
 	}
-	if s, ok := cur.(*Sort); ok {
-		ops.sort = s
-		cur = s.Input
-	}
-	if d, ok := cur.(*Distinct); ok {
-		ops.distinct = d
-		cur = d.Input
-	}
-	switch x := cur.(type) {
-	case *Aggregate:
-		ops.agg = x
-		cur = x.Input
-	case *Window:
-		ops.win = x
-		cur = x.Input
-	case *Project:
-		ops.proj = x
-		cur = x.Input
-	}
-	for {
-		f, ok := cur.(*Filter)
-		if !ok {
-			break
-		}
-		ops.filters = append(ops.filters, f)
-		cur = f.Input
-	}
-	return ops, cur
-}
-
-// requirements lists the columns a block tail reads from its source, in
-// first-use order (select-list first, so a pruned scan lines up with the
-// projection and the downstream projection becomes an identity). ok is
-// false when the requirements cannot be determined (star projection).
-func (ops *blockOps) requirements() (refs []*sqlparser.ColumnRef, ok bool) {
-	var items []sqlparser.SelectItem
-	var outputNames []string
-	add := func(e sqlparser.Expr) bool {
-		if e == nil {
-			return true
-		}
-		star := false
-		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
-			if _, isStar := x.(*sqlparser.Star); isStar {
-				star = true
-			}
-			return true
-		})
-		if star {
-			return false
-		}
-		refs = append(refs, sqlparser.ColumnRefs(e)...)
-		return true
-	}
-
-	switch {
-	case ops.agg != nil:
-		items = ops.agg.Items
-	case ops.win != nil:
-		items = ops.win.Items
-	case ops.proj != nil:
-		items = ops.proj.Items
-	default:
-		return nil, false // bare source: full-width output
-	}
-	for i, it := range items {
-		if !add(it.Expr) {
-			return nil, false
-		}
-		name := it.Alias
-		if name == "" {
-			name = outputName(it.Expr, i)
-		}
-		outputNames = append(outputNames, name)
-	}
-	if ops.agg != nil {
-		for _, g := range ops.agg.GroupBy {
-			if !add(g) {
-				return nil, false
-			}
-		}
-		if !add(ops.agg.Having) {
-			return nil, false
-		}
-	}
-	if ops.sort != nil {
-		for _, o := range ops.sort.By {
-			if ops.agg != nil {
-				// Above an Aggregate the sort sees the grouped output, but
-				// aggregate calls in ORDER BY are evaluated over the input
-				// rows — their argument columns must survive the scan.
-				for _, f := range sqlparser.Aggregates(o.Expr) {
-					for _, a := range f.Args {
-						if !add(a) {
-							return nil, false
-						}
-					}
-				}
-				continue
-			}
-			// ORDER BY may reference input columns that were projected away;
-			// references that resolve in the output (aliases, projected
-			// names) do not hit the scan.
-			for _, r := range sqlparser.ColumnRefs(o.Expr) {
-				if r.Table == "" && nameIn(outputNames, r.Name) {
-					continue
-				}
-				refs = append(refs, r)
-			}
-		}
-	}
-	// Residual filters run above the scan, over already-projected rows:
-	// their columns must survive the projection (unlike the scan predicate,
-	// which runs inside the scan over full-width rows).
-	for _, f := range ops.filters {
-		if !add(f.Cond) {
-			return nil, false
-		}
-	}
+	refs = append(refs, reqs.Cols...)
+	refs = append(refs, reqs.FilterCols...)
 	return refs, true
 }
 
-func nameIn(names []string, name string) bool {
-	for _, n := range names {
-		if strings.EqualFold(n, name) {
-			return true
-		}
-	}
-	return false
-}
-
-func outputName(e sqlparser.Expr, idx int) string {
-	switch x := e.(type) {
-	case *sqlparser.ColumnRef:
-		return x.Name
-	case *sqlparser.FuncCall:
-		return x.Name
-	default:
-		return "col" + strconv.Itoa(idx+1)
-	}
-}
-
 // pruneSingleScan narrows one single-table block's scan.
-func pruneSingleScan(ops *blockOps, s *Scan, cat Catalog) {
+func pruneSingleScan(blk *Block, s *Scan, cat Catalog) {
 	if s.Columns != nil {
 		return
 	}
@@ -557,7 +421,7 @@ func pruneSingleScan(ops *blockOps, s *Scan, cat Catalog) {
 	if !ok {
 		return
 	}
-	refs, ok := ops.requirements()
+	refs, ok := pruneRefs(blk)
 	if !ok {
 		return
 	}
@@ -590,8 +454,8 @@ func pruneSingleScan(ops *blockOps, s *Scan, cat Catalog) {
 // pruneJoinScans narrows the scans under a join. Only references qualified
 // with a side's alias can be attributed, so any unqualified reference in
 // the block disables pruning.
-func pruneJoinScans(ops *blockOps, j *Join, cat Catalog) {
-	refs, ok := ops.requirements()
+func pruneJoinScans(blk *Block, j *Join, cat Catalog) {
+	refs, ok := pruneRefs(blk)
 	if !ok {
 		return
 	}

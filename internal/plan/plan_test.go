@@ -309,3 +309,17 @@ func TestLoweringCornerCases(t *testing.T) {
 		t.Fatalf("1 = NULL folded to %v, want NULL", sc.Predicate)
 	}
 }
+
+// TestCrossBlockPushdownAmbiguousNames (regression, PR 3 bug): when two
+// derived-table output items share a lower-cased name, a reference to any
+// output column of that block is potentially ambiguous — the push must bail
+// so the runtime resolves (and rejects) the reference exactly like the
+// unoptimized plan, instead of silently substituting the last duplicate.
+func TestCrossBlockPushdownAmbiguousNames(t *testing.T) {
+	root := plan.Optimize(mustLower(t,
+		"SELECT z FROM (SELECT x AS s, y AS s, z FROM d) WHERE s > 3"),
+		plan.Options{CrossBlock: true})
+	if _, ok := root.(*plan.Project).Input.(*plan.Filter); !ok {
+		t.Fatalf("filter pushed through a block with duplicate output names:\n%s", plan.String(root))
+	}
+}

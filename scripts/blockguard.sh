@@ -1,0 +1,22 @@
+#!/bin/sh
+# blockguard.sh — the block algebra has exactly one home.
+#
+# Query-block decomposition ([Limit][Sort][Distinct][Agg|Window|Project]
+# [Filter*]) and the column-requirement rules used to be implemented three
+# and two times respectively (plan.splitBlock, engine.gatherBlock,
+# fragment.gatherBlock; engine.derivePushdown, plan blockOps.requirements)
+# and diverged subtly. They were unified into plan.Block (SplitBlock /
+# Rebuild / Requirements). This guard fails the build if any of the old
+# names reappears in Go code — a sure sign a layer is growing its own copy
+# of the block rules again.
+set -eu
+cd "$(dirname "$0")/.."
+
+hits=$(grep -rn --include='*.go' 'gatherBlock\|splitBlock\|derivePushdown' . || true)
+if [ -n "$hits" ]; then
+	echo "block decomposition / column-requirement logic must live in internal/plan"
+	echo "(plan.Block, plan.SplitBlock, Block.Requirements) — found forks:"
+	echo "$hits"
+	exit 1
+fi
+echo "blockguard: ok (no duplicated block decomposition found)"
