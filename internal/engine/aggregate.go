@@ -55,17 +55,18 @@ func newAccumulator(f *sqlparser.FuncCall) (accumulator, error) {
 type distinctAcc struct {
 	inner accumulator
 	seen  map[string]bool
+	kbuf  []byte
 }
 
 func (d *distinctAcc) add(args []schema.Value) {
-	key := ""
+	d.kbuf = d.kbuf[:0]
 	for _, a := range args {
-		key += a.GroupKey() + "\x1f"
+		d.kbuf = a.AppendGroupKey(d.kbuf)
 	}
-	if d.seen[key] {
+	if d.seen[string(d.kbuf)] {
 		return
 	}
-	d.seen[key] = true
+	d.seen[string(d.kbuf)] = true
 	d.inner.add(args)
 }
 
@@ -271,29 +272,46 @@ func evalAggregate(b *binding, rows schema.Rows, f *sqlparser.FuncCall) (schema.
 	if err != nil {
 		return schema.Null(), err
 	}
+	af := newAggFeeder(b, f)
 	for _, row := range rows {
-		args, err := aggArgs(b, row, f)
-		if err != nil {
+		if err := af.feed(acc, row); err != nil {
 			return schema.Null(), err
 		}
-		acc.add(args)
 	}
 	return acc.result(), nil
 }
 
-// aggArgs evaluates the argument expressions of an aggregate for one row.
-func aggArgs(b *binding, row schema.Row, f *sqlparser.FuncCall) ([]schema.Value, error) {
-	if f.Star {
-		return nil, nil
+// aggFeeder evaluates one aggregate call's arguments row after row with a
+// single environment and argument buffer: accumulators consume the argument
+// values synchronously, so the buffer is safe to reuse across rows.
+type aggFeeder struct {
+	f    *sqlparser.FuncCall
+	env  *rowEnv
+	args []schema.Value
+}
+
+func newAggFeeder(b *binding, f *sqlparser.FuncCall) *aggFeeder {
+	af := &aggFeeder{f: f, env: (&rowEnv{b: b}).reuse()}
+	if !f.Star {
+		af.args = make([]schema.Value, len(f.Args))
 	}
-	env := &rowEnv{b: b, row: row}
-	args := make([]schema.Value, len(f.Args))
-	for i, a := range f.Args {
-		v, err := evalExpr(env, a)
+	return af
+}
+
+// feed evaluates the call's arguments against one row and adds them to acc.
+func (af *aggFeeder) feed(acc accumulator, row schema.Row) error {
+	if af.f.Star {
+		acc.add(nil)
+		return nil
+	}
+	af.env.row = row
+	for i, a := range af.f.Args {
+		v, err := evalExpr(af.env, a)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		args[i] = v
+		af.args[i] = v
 	}
-	return args, nil
+	acc.add(af.args)
+	return nil
 }

@@ -17,6 +17,19 @@
 // exposes the pipeline itself so fragment chains and network nodes can
 // process batches without holding whole intermediate relations.
 //
+// Over sources that serve column batches (ColScanner; storage.Store does),
+// the hot paths run vectorized: filter conjuncts compile into comparison
+// kernels over typed vectors refining a selection vector (vecscan.go, with
+// the non-kernelizable suffix evaluated row-at-a-time on pivoted
+// survivors), numeric projections evaluate vector-at-a-time
+// (vecproject.go), and simple DISTINCT and GROUP BY blocks skip row
+// pipelines entirely (vecblock.go, vecgroup.go). Every vectorized path is
+// an internal fast path pinned bit-identical to the row path — same rows,
+// order, and error text — and declines to the row path whenever exact
+// semantics would be at risk (windows, sorts, boxed vectors, non-numeric
+// expressions). Hashed operators share one key definition,
+// schema.AppendGroupKey, built alloc-free from rows or vectors alike.
+//
 // With WithParallelism(n), n > 1, streamable segments run morsel-parallel
 // (parallel.go): n workers pull sequence-numbered morsels from a shared
 // cursor, apply per-worker scan/filter/probe/projection stages, and an

@@ -155,6 +155,16 @@ func (e *Engine) openBlock(ctx context.Context, top plan.Node) (*schema.Relation
 		}
 	}
 
+	if s, ok := src.(*plan.Scan); ok {
+		rel, it, ok, err := e.openVecBlock(ctx, s, blk)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			return rel, it, nil
+		}
+	}
+
 	b, it, err := e.openSource(ctx, src, blk)
 	if err != nil {
 		return nil, nil, err
@@ -262,6 +272,26 @@ func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, blk *plan.Block
 	}
 	conds = append(conds, filters...)
 
+	b := full
+	cols := e.scanColumns(s, blk, full)
+	if cols != nil {
+		b = bindingFromRelation(rel.Project(cols), qual)
+	}
+
+	// Vectorized path: when the source serves column batches and at least
+	// one filter conjunct compiles to a kernel, run the filter columnar and
+	// pivot only the survivors. Without kernels the row path is equivalent
+	// (storage already prunes columns at the pivot), so don't bother.
+	if cs, ok := e.src.(ColScanner); ok {
+		if p, pok := compileVecScan(rel, qual, full, conds, cols); pok && len(p.kernels) > 0 {
+			ci, err := cs.OpenColScan(ctx, s.Table, p.loadCols(rel.Arity()), schema.DefaultBatchSize)
+			if err != nil {
+				return nil, nil, err
+			}
+			return b, &vecScanIter{src: ci, ex: newVecExec(p)}, nil
+		}
+	}
+
 	var sc schema.Scan
 	if len(conds) > 0 {
 		env := (&rowEnv{b: full}).reuse()
@@ -271,12 +301,16 @@ func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, blk *plan.Block
 			return truthy(env, cond)
 		}
 	}
-
-	b := full
-	cols := e.scanColumns(s, blk, full)
-	if cols != nil {
-		sc.Columns = cols
-		b = bindingFromRelation(rel.Project(cols), qual)
+	sc.Columns = cols
+	// Limit pushdown into the batch size: when nothing between the scan and
+	// the limit can drop or reorder rows (no filter, no breaker, no
+	// DISTINCT), the scan never needs to materialize more than N rows at
+	// once, so a small LIMIT stops after one small pivot.
+	if blk.Limit != nil && len(conds) == 0 &&
+		blk.Agg == nil && blk.Win == nil && blk.Sort == nil && blk.Distinct == nil {
+		if n := int(blk.Limit.N); n >= 0 && n < schema.DefaultBatchSize {
+			sc.BatchSize = n + 1 // never 0: 0 means "default"
+		}
 	}
 	it, err := OpenScan(ctx, e.src, s.Table, sc)
 	if err != nil {
@@ -446,9 +480,10 @@ func (e *Engine) openJoin(ctx context.Context, j *plan.Join) (*binding, schema.R
 	eqL, eqR, rest := splitEquiJoin(j.On, lb, rb)
 	if len(eqL) > 0 {
 		index := make(map[string][]int, len(rrows))
+		var kbuf []byte
 		for ri, rr := range rrows {
-			key := rr.GroupKey(eqR)
-			index[key] = append(index[key], ri)
+			kbuf = rr.AppendGroupKey(kbuf[:0], eqR)
+			index[string(kbuf)] = append(index[string(kbuf)], ri)
 		}
 		return cb, &hashJoinIter{
 			left: lit, rrows: rrows, index: index,
@@ -689,10 +724,15 @@ func (e *Engine) evalProjection(blk *plan.Block, b *binding, rows schema.Rows) (
 func distinctRows(rows schema.Rows) schema.Rows {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0:0]
+	var idx []int
+	var kbuf []byte
 	for _, r := range rows {
-		key := r.GroupKey(allIndexes(len(r)))
-		if !seen[key] {
-			seen[key] = true
+		if idx == nil {
+			idx = allIndexes(len(r))
+		}
+		kbuf = r.AppendGroupKey(kbuf[:0], idx)
+		if !seen[string(kbuf)] {
+			seen[string(kbuf)] = true
 			out = append(out, r)
 		}
 	}

@@ -136,20 +136,24 @@ func buildGroups(b *binding, rows schema.Rows, exprs []sqlparser.Expr) ([]*group
 	index := make(map[string]*group)
 	var order []*group
 	env := (&rowEnv{b: b}).reuse()
+	var kbuf []byte
 	for _, r := range rows {
 		env.row = r
-		key := ""
+		// Canonical byte keys are self-delimiting (see Value.AppendGroupKey),
+		// so concatenation needs no separator; the scratch buffer makes the
+		// per-row map lookup allocation-free.
+		kbuf = kbuf[:0]
 		for _, ex := range exprs {
 			v, err := evalExpr(env, ex)
 			if err != nil {
 				return nil, err
 			}
-			key += v.GroupKey() + "\x1f"
+			kbuf = v.AppendGroupKey(kbuf)
 		}
-		g, ok := index[key]
+		g, ok := index[string(kbuf)]
 		if !ok {
 			g = &group{rep: r}
-			index[key] = g
+			index[string(kbuf)] = g
 			order = append(order, g)
 		}
 		g.rows = append(g.rows, r)

@@ -138,6 +138,7 @@ type distinctIter struct {
 	seen map[string]bool
 	idx  []int
 	buf  schema.Rows
+	kbuf []byte
 }
 
 func (d *distinctIter) Next() (schema.Rows, error) {
@@ -151,9 +152,12 @@ func (d *distinctIter) Next() (schema.Rows, error) {
 			if d.idx == nil {
 				d.idx = allIndexes(len(r))
 			}
-			key := r.GroupKey(d.idx)
-			if !d.seen[key] {
-				d.seen[key] = true
+			// Canonical byte key in a reused scratch buffer: the map lookup
+			// on string(kbuf) compiles allocation-free, a string is built
+			// only when the row is new.
+			d.kbuf = r.AppendGroupKey(d.kbuf[:0], d.idx)
+			if !d.seen[string(d.kbuf)] {
+				d.seen[string(d.kbuf)] = true
 				out = append(out, r)
 			}
 		}
@@ -215,6 +219,7 @@ type hashJoinIter struct {
 	leftJoin bool
 	nullR    schema.Row
 	buf      schema.Rows
+	kbuf     []byte
 }
 
 func (h *hashJoinIter) Next() (schema.Rows, error) {
@@ -229,7 +234,8 @@ func (h *hashJoinIter) Next() (schema.Rows, error) {
 		out := h.buf[:0]
 		for _, lr := range in {
 			matched := false
-			for _, ri := range h.index[lr.GroupKey(h.eqL)] {
+			h.kbuf = lr.AppendGroupKey(h.kbuf[:0], h.eqL)
+			for _, ri := range h.index[string(h.kbuf)] {
 				combined := joinRow(lr, h.rrows[ri])
 				ok, err := residualOK(h.env, combined, h.rest)
 				if err != nil {

@@ -476,11 +476,13 @@ func projStage(p *projector, b *binding) stageFactory {
 func hashProbeStage(ix *joinIndex, rrows schema.Rows, eqL []int, rest []sqlparser.Expr, cb *binding, leftJoin bool, nullR schema.Row) stageFactory {
 	return func() batchFn {
 		env := (&rowEnv{b: cb}).reuse()
+		var kbuf []byte
 		return func(in schema.Rows) (schema.Rows, error) {
 			out := make(schema.Rows, 0, len(in))
 			for _, lr := range in {
 				matched := false
-				for _, ri := range ix.lookup(lr.GroupKey(eqL)) {
+				kbuf = lr.AppendGroupKey(kbuf[:0], eqL)
+				for _, ri := range ix.lookup(kbuf) {
 					combined := joinRow(lr, rrows[ri])
 					ok, err := residualOK(env, combined, rest)
 					if err != nil {
@@ -542,6 +544,7 @@ func loopProbeStage(rrows schema.Rows, on sqlparser.Expr, cb *binding, leftJoin 
 func distinctKeys() keyFactory {
 	return func() keyFn {
 		var idx []int
+		var kbuf []byte
 		local := make(map[string]bool)
 		return func(in schema.Rows) (schema.Rows, []string, error) {
 			out := make(schema.Rows, 0, len(in))
@@ -550,10 +553,13 @@ func distinctKeys() keyFactory {
 				if idx == nil {
 					idx = allIndexes(len(r))
 				}
-				k := r.GroupKey(idx)
-				if local[k] {
+				kbuf = r.AppendGroupKey(kbuf[:0], idx)
+				if local[string(kbuf)] {
 					continue
 				}
+				// Only a first occurrence materializes its key string — it
+				// is needed across batches (the local set and the merge).
+				k := string(kbuf)
 				local[k] = true
 				out = append(out, r)
 				keys = append(keys, k)
@@ -569,19 +575,20 @@ func distinctKeys() keyFactory {
 func groupKeys(b *binding, exprs []sqlparser.Expr) keyFactory {
 	return func() keyFn {
 		env := (&rowEnv{b: b}).reuse()
+		var kbuf []byte
 		return func(in schema.Rows) (schema.Rows, []string, error) {
 			keys := make([]string, len(in))
 			for i, r := range in {
 				env.row = r
-				key := ""
+				kbuf = kbuf[:0]
 				for _, ex := range exprs {
 					v, err := evalExpr(env, ex)
 					if err != nil {
 						return nil, nil, err
 					}
-					key += v.GroupKey() + "\x1f"
+					kbuf = v.AppendGroupKey(kbuf)
 				}
-				keys[i] = key
+				keys[i] = string(kbuf)
 			}
 			return in, keys, nil
 		}
@@ -616,9 +623,10 @@ func buildJoinIndex(rrows schema.Rows, eqR []int, workers int) *joinIndex {
 	if workers < 2 || n < 2*schema.DefaultBatchSize {
 		// Small build sides: one partition, built serially.
 		m := make(map[string][]int, n)
+		var kbuf []byte
 		for ri, rr := range rrows {
-			key := rr.GroupKey(eqR)
-			m[key] = append(m[key], ri)
+			kbuf = rr.AppendGroupKey(kbuf[:0], eqR)
+			m[string(kbuf)] = append(m[string(kbuf)], ri)
 		}
 		return &joinIndex{parts: []map[string][]int{m}}
 	}
@@ -626,8 +634,10 @@ func buildJoinIndex(rrows schema.Rows, eqR []int, workers int) *joinIndex {
 	keys := make([]string, n)
 	hs := make([]uint32, n)
 	parallelRanges(n, workers, func(lo, hi int) {
+		var kbuf []byte
 		for i := lo; i < hi; i++ {
-			keys[i] = rrows[i].GroupKey(eqR)
+			kbuf = rrows[i].AppendGroupKey(kbuf[:0], eqR)
+			keys[i] = string(kbuf)
 			hs[i] = fnv32a(keys[i])
 		}
 	})
@@ -653,11 +663,18 @@ func buildJoinIndex(rrows schema.Rows, eqR []int, workers int) *joinIndex {
 	return &joinIndex{parts: parts}
 }
 
-func (ix *joinIndex) lookup(key string) []int {
+// lookup probes by raw key bytes: the string(key) map accesses compile
+// allocation-free, so probing never copies the key.
+func (ix *joinIndex) lookup(key []byte) []int {
 	if len(ix.parts) == 1 {
-		return ix.parts[0][key]
+		return ix.parts[0][string(key)]
 	}
-	return ix.parts[fnv32a(key)%uint32(len(ix.parts))][key]
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return ix.parts[h%uint32(len(ix.parts))][string(key)]
 }
 
 // parallelRanges splits [0, n) into one contiguous range per worker and
@@ -818,6 +835,23 @@ func (e *Engine) openParScan(ctx context.Context, s *plan.Scan, blk *plan.Block)
 	}
 
 	seg := &parSeg{b: b}
+
+	// Vectorized path: a columnar morsel source runs the filter kernels and
+	// the survivor pivot on each claiming worker, replacing the full-width
+	// pivot plus row-at-a-time scan stage. Unlike the serial scan this pays
+	// off even without kernels, because the pruned pivot happens columnar
+	// per worker instead of full-width behind the shared cursor.
+	if cs, ok := e.src.(ColScanner); ok {
+		if p, pok := compileVecScan(rel, qual, full, conds, cols); pok {
+			ms, err := cs.OpenColMorsels(ctx, s.Table, p.loadCols(rel.Arity()), schema.DefaultBatchSize)
+			if err != nil {
+				return nil, err
+			}
+			seg.ms = &vecMorsels{src: ms, p: p}
+			return seg, nil
+		}
+	}
+
 	if msrc, ok := e.src.(MorselScanner); ok {
 		ms, err := msrc.OpenMorsels(ctx, s.Table, schema.DefaultBatchSize)
 		if err != nil {

@@ -1,0 +1,400 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// This file holds the vectorized filter kernels: predicate conjuncts
+// compiled into tight loops over typed column vectors, producing selection
+// vectors instead of evaluating the expression tree per row. The kernels
+// never pivot to row-major form — they read schema.ColVec payload slices
+// directly (scripts/vecguard.sh pins this).
+//
+// Semantics contract — a kernelized conjunct chain is bit-identical to the
+// row-at-a-time AND chain (truthy over evalBinary), including three-valued
+// logic and error positions:
+//
+//   - Kleene AND short-circuits on FALSE only. A conjunct yielding NULL for
+//     a row keeps the row as a *marked* candidate: later conjuncts still
+//     evaluate it (they may raise the error the row path would raise, or
+//     turn the whole AND to FALSE), but a row still marked after the last
+//     conjunct is NULL overall and is dropped, exactly like truthy.
+//   - A conjunct that errors on a row stops there: the kernel returns the
+//     physical row with the error, and its output selection holds only the
+//     survivors before that row. Later kernels run on that truncated set,
+//     so an error they raise is necessarily at an earlier row and wins —
+//     matching the row-at-a-time order, where the first erroring row
+//     surfaces and short-circuited rows never evaluate. The batch that
+//     carries a pending error produces no rows, exactly like the row scan,
+//     which discards the whole batch on a filter error.
+//
+// Only comparisons between column references and literals (and IS [NOT]
+// NULL on a column) compile to kernels; anything else stays row-at-a-time
+// residual. The kernelizable *prefix* of the conjunct list is taken — a
+// later kernelizable conjunct behind a non-kernelizable one must not run
+// early, because the row path would have short-circuited rows the earlier
+// conjunct rejects (or errors on).
+
+// selBuf is a selection vector under construction: the physical row indices
+// that survive a kernel, plus an optional parallel mark slice flagging rows
+// whose AND chain is NULL so far. marks == nil means no row is marked.
+type selBuf struct {
+	sel   []int
+	marks []bool
+}
+
+func (s *selBuf) reset() {
+	s.sel = s.sel[:0]
+	s.marks = nil
+}
+
+// keep appends a surviving row. The mark slice is materialized lazily on
+// the first marked row, so the common no-NULL case never touches it.
+func (s *selBuf) keep(i int, mark bool) {
+	if mark && s.marks == nil {
+		s.marks = make([]bool, len(s.sel), cap(s.sel)+1)
+	}
+	s.sel = append(s.sel, i)
+	if s.marks != nil {
+		s.marks = append(s.marks, mark)
+	}
+}
+
+// mark reports whether candidate position k is marked.
+func (s *selBuf) mark(k int) bool { return s.marks != nil && s.marks[k] }
+
+// kernel evaluates one conjunct over the candidate rows in `in`, writing
+// survivors to `out` (out is reset first). A non-nil error is positioned:
+// errRow is the physical row the evaluation failed at, and out holds the
+// survivors strictly before it.
+type kernel func(cb *schema.ColBatch, in, out *selBuf) (errRow int, err error)
+
+// operand is one side of a comparison: a column position in the loaded
+// batch (col >= 0) or a literal value.
+type operand struct {
+	col int
+	lit schema.Value
+}
+
+func (o operand) value(cb *schema.ColBatch, i int) schema.Value {
+	if o.col < 0 {
+		return o.lit
+	}
+	return cb.Vecs[o.col].Value(i)
+}
+
+func (o operand) typeAt(cb *schema.ColBatch, i int) schema.Type {
+	return o.value(cb, i).Type()
+}
+
+// operandOf compiles an expression into an operand. pos maps a column
+// reference to its position in the loaded batch layout.
+func operandOf(e sqlparser.Expr, pos func(*sqlparser.ColumnRef) (int, bool)) (operand, bool) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		return operand{col: -1, lit: x.Value}, true
+	case *sqlparser.ColumnRef:
+		if i, ok := pos(x); ok {
+			return operand{col: i}, true
+		}
+	}
+	return operand{}, false
+}
+
+// opTruth maps a comparison operator to its truth table over the sign of
+// Compare: the result is true when the comparison returns <0 / ==0 / >0 and
+// the corresponding flag is set.
+func opTruth(op sqlparser.BinaryOp) (lt, eq, gt, ok bool) {
+	switch op {
+	case sqlparser.OpEq:
+		return false, true, false, true
+	case sqlparser.OpNeq:
+		return true, false, true, true
+	case sqlparser.OpLt:
+		return true, false, false, true
+	case sqlparser.OpLeq:
+		return true, true, false, true
+	case sqlparser.OpGt:
+		return false, false, true, true
+	case sqlparser.OpGeq:
+		return false, true, true, true
+	}
+	return false, false, false, false
+}
+
+// compileConjKernel compiles one conjunct into a kernel, or reports that it
+// must stay residual.
+func compileConjKernel(c sqlparser.Expr, pos func(*sqlparser.ColumnRef) (int, bool)) (kernel, bool) {
+	switch x := c.(type) {
+	case *sqlparser.IsNull:
+		cr, ok := x.X.(*sqlparser.ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		col, ok := pos(cr)
+		if !ok {
+			return nil, false
+		}
+		return isNullKernel(col, x.Not), true
+	case *sqlparser.BinaryExpr:
+		lt, eq, gt, ok := opTruth(x.Op)
+		if !ok {
+			return nil, false
+		}
+		l, lok := operandOf(x.L, pos)
+		r, rok := operandOf(x.R, pos)
+		if !lok || !rok || (l.col < 0 && r.col < 0) {
+			return nil, false
+		}
+		swapped := false
+		if l.col < 0 {
+			// Literal on the left: evaluate as col <op'> lit with the
+			// comparison sense flipped. Error messages unswap the types.
+			l, r = r, l
+			lt, gt = gt, lt
+			swapped = true
+		}
+		if r.col < 0 && r.lit.IsNull() {
+			// Comparison with a NULL literal is NULL for every row: all
+			// candidates survive marked, none error.
+			return markAllKernel(), true
+		}
+		return cmpKernel(l, r, lt, eq, gt, swapped, x), true
+	}
+	return nil, false
+}
+
+// markAllKernel passes every candidate through marked (AND-with-NULL).
+func markAllKernel() kernel {
+	return func(cb *schema.ColBatch, in, out *selBuf) (int, error) {
+		out.reset()
+		for _, i := range in.sel {
+			out.keep(i, true)
+		}
+		return -1, nil
+	}
+}
+
+// isNullKernel compiles `col IS [NOT] NULL`. The result is always boolean
+// (never NULL, never an error), so marks pass through survivors untouched.
+func isNullKernel(col int, not bool) kernel {
+	return func(cb *schema.ColBatch, in, out *selBuf) (int, error) {
+		out.reset()
+		v := &cb.Vecs[col]
+		if !v.Boxed() && v.Nulls == nil {
+			if !not {
+				return -1, nil // IS NULL over a dense vector: nothing survives
+			}
+			// IS NOT NULL over a dense vector: everything survives.
+			out.sel = append(out.sel, in.sel...)
+			if in.marks != nil {
+				out.marks = append(out.marks, in.marks...)
+			}
+			return -1, nil
+		}
+		for k, i := range in.sel {
+			if v.Null(i) != not {
+				out.keep(i, in.mark(k))
+			}
+		}
+		return -1, nil
+	}
+}
+
+// cmpKernel compiles a comparison conjunct. The typed fast loops run when
+// the batch's vectors match a supported shape; everything else (boxed
+// vectors, booleans, timestamps, NaN literals) takes the generic Value loop,
+// which is still a kernel — no expression-tree walk, no row pivot.
+func cmpKernel(l, r operand, lt, eq, gt, swapped bool, at *sqlparser.BinaryExpr) kernel {
+	cmpErr := func(lv, rv schema.Value) error {
+		lt, rt := lv.Type(), rv.Type()
+		if swapped {
+			lt, rt = rt, lt
+		}
+		return fmt.Errorf("%w: cannot compare %s and %s in %s", ErrQuery, lt, rt, at.SQL())
+	}
+
+	return func(cb *schema.ColBatch, in, out *selBuf) (int, error) {
+		out.reset()
+		lv := &cb.Vecs[l.col]
+		if r.col >= 0 {
+			rv := &cb.Vecs[r.col]
+			if !lv.Boxed() && !rv.Boxed() {
+				switch {
+				case lv.Typ == schema.TypeFloat && rv.Typ == schema.TypeFloat:
+					return cmpFloatCols(lv, rv, in, out, lt, eq, gt, cmpErr)
+				case lv.Typ == schema.TypeInt && rv.Typ == schema.TypeInt:
+					return cmpIntCols(lv, rv, in, out, lt, eq, gt)
+				case lv.Typ == schema.TypeString && rv.Typ == schema.TypeString:
+					return cmpStrCols(lv, rv, in, out, lt, eq, gt)
+				}
+			}
+			return cmpGeneric(cb, l, r, in, out, lt, eq, gt, cmpErr)
+		}
+		if !lv.Boxed() {
+			rt := r.lit.Type()
+			switch {
+			case lv.Typ == schema.TypeFloat && rt.Numeric() && !math.IsNaN(r.lit.AsFloat()):
+				return cmpFloatLit(lv, r.lit, in, out, lt, eq, gt, cmpErr)
+			case lv.Typ == schema.TypeInt && rt == schema.TypeInt:
+				return cmpIntLit(lv, r.lit.AsInt(), in, out, lt, eq, gt)
+			case lv.Typ == schema.TypeInt && rt == schema.TypeFloat && !math.IsNaN(r.lit.AsFloat()):
+				return cmpIntFloatLit(lv, r.lit.AsFloat(), in, out, lt, eq, gt)
+			case lv.Typ == schema.TypeString && rt == schema.TypeString:
+				return cmpStrLit(lv, r.lit.AsString(), in, out, lt, eq, gt)
+			}
+		}
+		return cmpGeneric(cb, l, r, in, out, lt, eq, gt, cmpErr)
+	}
+}
+
+// cmpFloatLit: float column vs non-NaN numeric literal. A NaN column value
+// is incomparable (Value.Compare returns !ok) and errors like the row path.
+func cmpFloatLit(v *schema.ColVec, rlit schema.Value, in, out *selBuf, lt, eq, gt bool, cmpErr func(lv, rv schema.Value) error) (int, error) {
+	xs, nulls := v.Floats, v.Nulls
+	lit := rlit.AsFloat()
+	for k, i := range in.sel {
+		if nulls != nil && nulls[i] {
+			out.keep(i, true)
+			continue
+		}
+		x := xs[i]
+		if x != x {
+			return i, cmpErr(schema.Float(x), rlit)
+		}
+		if lt && x < lit || eq && x == lit || gt && x > lit {
+			out.keep(i, in.mark(k))
+		}
+	}
+	return -1, nil
+}
+
+// cmpIntLit: int column vs int literal. Exact comparison, never errors.
+func cmpIntLit(v *schema.ColVec, lit int64, in, out *selBuf, lt, eq, gt bool) (int, error) {
+	xs, nulls := v.Ints, v.Nulls
+	for k, i := range in.sel {
+		if nulls != nil && nulls[i] {
+			out.keep(i, true)
+			continue
+		}
+		x := xs[i]
+		if lt && x < lit || eq && x == lit || gt && x > lit {
+			out.keep(i, in.mark(k))
+		}
+	}
+	return -1, nil
+}
+
+// cmpIntFloatLit: int column vs non-NaN float literal, compared as float64
+// exactly like Value.Compare's cross-numeric branch. Never errors.
+func cmpIntFloatLit(v *schema.ColVec, lit float64, in, out *selBuf, lt, eq, gt bool) (int, error) {
+	xs, nulls := v.Ints, v.Nulls
+	for k, i := range in.sel {
+		if nulls != nil && nulls[i] {
+			out.keep(i, true)
+			continue
+		}
+		x := float64(xs[i])
+		if lt && x < lit || eq && x == lit || gt && x > lit {
+			out.keep(i, in.mark(k))
+		}
+	}
+	return -1, nil
+}
+
+// cmpStrLit: string column vs string literal. Never errors.
+func cmpStrLit(v *schema.ColVec, lit string, in, out *selBuf, lt, eq, gt bool) (int, error) {
+	xs, nulls := v.Strs, v.Nulls
+	for k, i := range in.sel {
+		if nulls != nil && nulls[i] {
+			out.keep(i, true)
+			continue
+		}
+		x := xs[i]
+		if lt && x < lit || eq && x == lit || gt && x > lit {
+			out.keep(i, in.mark(k))
+		}
+	}
+	return -1, nil
+}
+
+// cmpFloatCols: float column vs float column. NaN on either side errors.
+func cmpFloatCols(lv, rv *schema.ColVec, in, out *selBuf, lt, eq, gt bool, cmpErr func(lv, rv schema.Value) error) (int, error) {
+	xs, xnulls := lv.Floats, lv.Nulls
+	ys, ynulls := rv.Floats, rv.Nulls
+	for k, i := range in.sel {
+		if (xnulls != nil && xnulls[i]) || (ynulls != nil && ynulls[i]) {
+			out.keep(i, true)
+			continue
+		}
+		x, y := xs[i], ys[i]
+		if x != x || y != y {
+			return i, cmpErr(schema.Float(x), schema.Float(y))
+		}
+		if lt && x < y || eq && x == y || gt && x > y {
+			out.keep(i, in.mark(k))
+		}
+	}
+	return -1, nil
+}
+
+// cmpIntCols: int column vs int column. Exact, never errors.
+func cmpIntCols(lv, rv *schema.ColVec, in, out *selBuf, lt, eq, gt bool) (int, error) {
+	xs, xnulls := lv.Ints, lv.Nulls
+	ys, ynulls := rv.Ints, rv.Nulls
+	for k, i := range in.sel {
+		if (xnulls != nil && xnulls[i]) || (ynulls != nil && ynulls[i]) {
+			out.keep(i, true)
+			continue
+		}
+		x, y := xs[i], ys[i]
+		if lt && x < y || eq && x == y || gt && x > y {
+			out.keep(i, in.mark(k))
+		}
+	}
+	return -1, nil
+}
+
+// cmpStrCols: string column vs string column. Never errors.
+func cmpStrCols(lv, rv *schema.ColVec, in, out *selBuf, lt, eq, gt bool) (int, error) {
+	xs, xnulls := lv.Strs, lv.Nulls
+	ys, ynulls := rv.Strs, rv.Nulls
+	for k, i := range in.sel {
+		if (xnulls != nil && xnulls[i]) || (ynulls != nil && ynulls[i]) {
+			out.keep(i, true)
+			continue
+		}
+		x, y := xs[i], ys[i]
+		if lt && x < y || eq && x == y || gt && x > y {
+			out.keep(i, in.mark(k))
+		}
+	}
+	return -1, nil
+}
+
+// cmpGeneric is the Value-based loop: boxed vectors, mixed column types,
+// booleans, timestamps, NaN literals. It mirrors evalBinary's comparison
+// branch exactly — NULL on either side yields NULL (marked candidate),
+// incomparable values error.
+func cmpGeneric(cb *schema.ColBatch, l, r operand, in, out *selBuf, lt, eq, gt bool, cmpErr func(lv, rv schema.Value) error) (int, error) {
+	for k, i := range in.sel {
+		lval := l.value(cb, i)
+		rval := r.value(cb, i)
+		if lval.IsNull() || rval.IsNull() {
+			out.keep(i, true)
+			continue
+		}
+		c, ok := lval.Compare(rval)
+		if !ok {
+			return i, cmpErr(lval, rval)
+		}
+		if lt && c < 0 || eq && c == 0 || gt && c > 0 {
+			out.keep(i, in.mark(k))
+		}
+	}
+	return -1, nil
+}

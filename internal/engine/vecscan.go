@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"context"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// ColScanner is the optional source capability behind vectorized scans: a
+// source that can serve column batches (and columnar morsels) directly, so
+// filter kernels run over typed vectors and rejected rows are never pivoted
+// to row form. storage.Store implements it; fragment, stream and network
+// sources do not, and those scans silently stay on the row path.
+type ColScanner interface {
+	// OpenColScan opens a serial columnar scan over the named relation,
+	// restricted to the given column positions (nil keeps the full width).
+	OpenColScan(ctx context.Context, name string, cols []int, batchSize int) (schema.ColIterator, error)
+	// OpenColMorsels is the parallel twin: a partitioned columnar scan
+	// safe for concurrent claims.
+	OpenColMorsels(ctx context.Context, name string, cols []int, batchSize int) (schema.ColMorselSource, error)
+}
+
+// vecScanPlan is a compiled vectorized scan: which columns to load, the
+// kernelized prefix of the filter conjuncts, and the row-at-a-time residual
+// for whatever the kernels cannot express.
+//
+// The load layout is the m output columns first (in projection order),
+// followed by any extra columns only the residual reads. Batches arrive in
+// this layout; kernels and the residual address positions in it, and the
+// output pivot takes Vecs[:m].
+type vecScanPlan struct {
+	// load is the table column positions to fetch, output columns first.
+	load []int
+	// m is the output width: Vecs[:m] of a loaded batch is the result layout.
+	m int
+	// kernels is the compiled prefix of the filter conjuncts, in order.
+	kernels []kernel
+	// residual is the AND of the remaining conjuncts (nil when all conjuncts
+	// compiled); evaluated row-at-a-time on kernel survivors.
+	residual sqlparser.Expr
+	// lb binds the load layout for residual evaluation; lrel is its schema;
+	// orel is the output schema (load[:m]).
+	lb   *binding
+	lrel *schema.Relation
+	orel *schema.Relation
+}
+
+// compileVecScan builds a vectorized plan for a base-table scan with the
+// given filter conjuncts and output projection (outCols nil = full width).
+// It reports ok=false when the scan cannot be vectorized faithfully (an
+// unresolvable residual column); the caller then uses the row path.
+//
+// Kernels take the longest compilable *prefix* of the conjunct list: a
+// kernelizable conjunct behind a non-kernelizable one must not run early,
+// because the row path would have short-circuited rows the earlier conjunct
+// rejects or errors on.
+func compileVecScan(rel *schema.Relation, qual string, full *binding, conds []sqlparser.Expr, outCols []int) (*vecScanPlan, bool) {
+	p := &vecScanPlan{}
+	if outCols == nil {
+		p.load = make([]int, rel.Arity())
+		for i := range p.load {
+			p.load[i] = i
+		}
+	} else {
+		p.load = append([]int(nil), outCols...)
+	}
+	p.m = len(p.load)
+
+	// pos resolves a column reference to its position in the load layout,
+	// extending the layout for residual-only columns.
+	pos := func(c *sqlparser.ColumnRef) (int, bool) {
+		ti, err := full.resolve(c)
+		if err != nil {
+			return -1, false
+		}
+		for i, t := range p.load {
+			if t == ti {
+				return i, true
+			}
+		}
+		p.load = append(p.load, ti)
+		return len(p.load) - 1, true
+	}
+
+	conjs := sqlparser.Conjuncts(sqlparser.AndAll(conds))
+	for ci, c := range conjs {
+		k, ok := compileConjKernel(c, pos)
+		if !ok {
+			p.residual = sqlparser.AndAll(conjs[ci:])
+			break
+		}
+		p.kernels = append(p.kernels, k)
+	}
+	if p.residual != nil {
+		// Every residual column must live in the load layout.
+		for _, c := range sqlparser.ColumnRefs(p.residual) {
+			if _, ok := pos(c); !ok {
+				return nil, false
+			}
+		}
+	}
+
+	p.lrel = rel.Project(p.load)
+	p.orel = rel.Project(p.load[:p.m])
+	p.lb = bindingFromRelation(p.lrel, qual)
+	return p, true
+}
+
+// loadCols is the column set to request from the source: nil when the load
+// layout is the full identity, which lets the store serve full-width
+// windows with their row view attached.
+func (p *vecScanPlan) loadCols(arity int) []int {
+	if len(p.load) != arity {
+		return p.load
+	}
+	for i, c := range p.load {
+		if c != i {
+			return p.load
+		}
+	}
+	return nil
+}
+
+// vecExec runs a compiled scan plan over column batches. One instance is
+// single-goroutine state (selection scratch, residual env); parallel
+// morsels allocate one per claim.
+type vecExec struct {
+	p    *vecScanPlan
+	a, b selBuf
+	env  *rowEnv
+}
+
+func newVecExec(p *vecScanPlan) *vecExec {
+	x := &vecExec{p: p, env: (&rowEnv{b: p.lb}).reuse()}
+	// The scratch selections start non-nil: a computed selection that ends
+	// up empty must stay distinguishable from ColBatch's nil-means-all-rows.
+	x.a.sel = make([]int, 0, schema.DefaultBatchSize)
+	x.b.sel = make([]int, 0, schema.DefaultBatchSize)
+	return x
+}
+
+// filterSel runs the kernel chain and residual over one batch and returns
+// the surviving selection (physical row indices, ascending). The returned
+// slice is scratch owned by the executor — consume it before the next call.
+//
+// Error positions follow the row-at-a-time contract: a kernel error is held
+// pending while later conjuncts run over the survivors *before* the error
+// row, because any error they raise is at an earlier row — the one the
+// serial evaluation would have hit first. The whole batch yields no rows on
+// error, exactly like the row scan, whose filter aborts mid-batch.
+func (x *vecExec) filterSel(cb *schema.ColBatch) ([]int, error) {
+	p := x.p
+	if len(p.kernels) == 0 && p.residual == nil {
+		return cb.Sel, nil
+	}
+	in, out := &x.a, &x.b
+	in.reset()
+	if cb.Sel != nil {
+		in.sel = append(in.sel, cb.Sel...)
+	} else {
+		for i := 0; i < cb.N; i++ {
+			in.sel = append(in.sel, i)
+		}
+	}
+
+	var pendErr error
+	for _, k := range p.kernels {
+		_, err := k(cb, in, out)
+		if err != nil {
+			pendErr = err
+		}
+		in, out = out, in
+		if len(in.sel) == 0 {
+			if pendErr != nil {
+				return nil, pendErr
+			}
+			return in.sel, nil
+		}
+	}
+
+	if p.residual != nil {
+		tmp := schema.ColBatch{Rel: p.lrel, Vecs: cb.Vecs, N: cb.N, Sel: in.sel}
+		rows := tmp.Rows()
+		sel := out.sel[:0]
+		for k, i := range in.sel {
+			x.env.row = rows[k]
+			ok, err := truthy(x.env, p.residual)
+			if err != nil {
+				return nil, err
+			}
+			if ok && !in.mark(k) {
+				sel = append(sel, i)
+			}
+		}
+		out.sel = sel
+		if pendErr != nil {
+			return nil, pendErr
+		}
+		return sel, nil
+	}
+
+	if pendErr != nil {
+		return nil, pendErr
+	}
+	if in.marks == nil {
+		return in.sel, nil
+	}
+	// Rows still marked after the last conjunct are NULL overall: drop them.
+	sel := out.sel[:0]
+	for k, i := range in.sel {
+		if !in.marks[k] {
+			sel = append(sel, i)
+		}
+	}
+	out.sel = sel
+	return sel, nil
+}
+
+// apply filters one batch and pivots the survivors into the output layout.
+// The result is never nil.
+func (x *vecExec) apply(cb *schema.ColBatch) (schema.Rows, error) {
+	sel, err := x.filterSel(cb)
+	if err != nil {
+		return nil, err
+	}
+	out := schema.ColBatch{Rel: x.p.orel, Vecs: cb.Vecs[:x.p.m], N: cb.N, Sel: sel}
+	if x.p.m == len(cb.Vecs) {
+		// Full-width output: forward the store's row view (when present) so
+		// survivors are gathered as references, not re-materialized.
+		out.View = cb.View
+	}
+	return out.Rows(), nil
+}
+
+// vecScanIter adapts a columnar scan + compiled plan to the row-iterator
+// surface: filter kernels run columnar, only survivors pivot to rows.
+type vecScanIter struct {
+	src schema.ColIterator
+	ex  *vecExec
+}
+
+func (v *vecScanIter) Next() (schema.Rows, error) {
+	for {
+		cb, err := v.src.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if cb == nil {
+			return nil, nil
+		}
+		rows, err := v.ex.apply(cb)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) > 0 {
+			return rows, nil
+		}
+	}
+}
+
+func (v *vecScanIter) Close() { v.src.Close() }
+
+// vecMorsels adapts a columnar morsel source to the row-morsel surface:
+// each claim filters and pivots its batch on the claiming worker's
+// goroutine, so kernels run in parallel and the scan stage disappears.
+type vecMorsels struct {
+	src schema.ColMorselSource
+	p   *vecScanPlan
+}
+
+func (v *vecMorsels) NextMorsel() (schema.Morsel, error) {
+	cm, err := v.src.NextColMorsel()
+	if err != nil {
+		return schema.Morsel{Seq: cm.Seq}, err
+	}
+	if cm.Batch == nil {
+		return schema.Morsel{}, nil
+	}
+	rows, err := newVecExec(v.p).apply(cm.Batch)
+	if err != nil {
+		return schema.Morsel{Seq: cm.Seq}, err
+	}
+	return schema.Morsel{Seq: cm.Seq, Rows: rows}, nil
+}
+
+func (v *vecMorsels) Close() { v.src.Close() }

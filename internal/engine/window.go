@@ -50,20 +50,21 @@ func (e *Engine) evalOneWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCa
 	parts := make(map[string][]int)
 	var order []string
 	env := (&rowEnv{b: b}).reuse()
+	var kbuf []byte
 	for ri, row := range rows {
 		env.row = row
-		pk := ""
+		kbuf = kbuf[:0]
 		for _, pe := range f.Over.PartitionBy {
 			v, err := evalExpr(env, pe)
 			if err != nil {
 				return err
 			}
-			pk += v.GroupKey() + "\x1f"
+			kbuf = v.AppendGroupKey(kbuf)
 		}
-		if _, ok := parts[pk]; !ok {
-			order = append(order, pk)
+		if _, ok := parts[string(kbuf)]; !ok {
+			order = append(order, string(kbuf))
 		}
-		parts[pk] = append(parts[pk], ri)
+		parts[string(kbuf)] = append(parts[string(kbuf)], ri)
 	}
 
 	for _, pk := range order {
@@ -172,6 +173,7 @@ func runOrderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs,
 	if err != nil {
 		return err
 	}
+	af := newAggFeeder(b, f)
 	pos := 0
 	for pos < len(perm) {
 		// Find the peer group [pos, end).
@@ -180,11 +182,9 @@ func runOrderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs,
 			end++
 		}
 		for i := pos; i < end; i++ {
-			args, err := aggArgs(b, rows[idxs[perm[i]]], f)
-			if err != nil {
+			if err := af.feed(acc, rows[idxs[perm[i]]]); err != nil {
 				return err
 			}
-			acc.add(args)
 		}
 		v := acc.result()
 		for i := pos; i < end; i++ {
@@ -214,12 +214,11 @@ func runUnorderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idx
 	if err != nil {
 		return err
 	}
+	af := newAggFeeder(b, f)
 	for _, ri := range idxs {
-		args, err := aggArgs(b, rows[ri], f)
-		if err != nil {
+		if err := af.feed(acc, rows[ri]); err != nil {
 			return err
 		}
-		acc.add(args)
 	}
 	v := acc.result()
 	for _, ri := range idxs {

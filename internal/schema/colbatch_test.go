@@ -1,0 +1,200 @@
+package schema
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// rowsEqual compares two row sets value by value with GroupEqual-style
+// strictness relaxed to plain equality semantics: same type, same payload.
+func rowsEqual(a, b Rows) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for c := range a[i] {
+			x, y := a[i][c], b[i][c]
+			if x.Type() != y.Type() {
+				return false
+			}
+			if x.IsNull() {
+				continue
+			}
+			cmp, ok := x.Compare(y)
+			if !ok || cmp != 0 {
+				// NaN compares unequal to itself; treat matching NaNs as equal.
+				if x.Type() == TypeFloat && math.IsNaN(x.AsFloat()) && math.IsNaN(y.AsFloat()) {
+					continue
+				}
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func pivotRel() *Relation {
+	return NewRelation("p",
+		Col("b", TypeBool),
+		Col("i", TypeInt),
+		Col("f", TypeFloat),
+		Col("s", TypeString),
+		Col("t", TypeTime),
+	)
+}
+
+func pivotRows() Rows {
+	t0 := time.Date(2016, 3, 15, 12, 0, 0, 0, time.UTC)
+	return Rows{
+		{Bool(true), Int(1), Float(1.5), String("a"), Time(t0)},
+		{Bool(false), Int(-2), Float(math.NaN()), String(""), Time(t0.Add(time.Hour))},
+		{Null(), Null(), Null(), Null(), Null()},
+		{Bool(true), Int(math.MaxInt64), Float(math.Inf(-1)), String("a\x00b"), Time(time.Time{})},
+	}
+}
+
+// TestBatchRoundTripAllTypes pivots rows of every type (with NULLs mixed in)
+// to columns and back and requires an exact round trip.
+func TestBatchRoundTripAllTypes(t *testing.T) {
+	rel, rows := pivotRel(), pivotRows()
+	cb := BatchFromRows(rel, rows)
+	if cb.N != len(rows) || cb.Len() != len(rows) {
+		t.Fatalf("batch size: N=%d Len=%d, want %d", cb.N, cb.Len(), len(rows))
+	}
+	for _, v := range cb.Vecs {
+		if v.Boxed() {
+			t.Fatalf("homogeneous column degraded to boxed storage")
+		}
+	}
+	if got := cb.Rows(); !rowsEqual(got, rows) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, rows)
+	}
+	for i := range rows {
+		if got := cb.RowAt(i); !rowsEqual(Rows{got}, Rows{rows[i]}) {
+			t.Fatalf("RowAt(%d) = %v, want %v", i, got, rows[i])
+		}
+	}
+}
+
+// TestBatchBoxedDegradation inserts a value of the wrong runtime type into a
+// declared-int column; the vector must degrade to boxed storage and still
+// round-trip exactly.
+func TestBatchBoxedDegradation(t *testing.T) {
+	rel := NewRelation("p", Col("i", TypeInt))
+	rows := Rows{{Int(1)}, {String("not an int")}, {Null()}, {Int(2)}}
+	cb := BatchFromRows(rel, rows)
+	if !cb.Vecs[0].Boxed() {
+		t.Fatal("heterogeneous column must degrade to boxed storage")
+	}
+	if got := cb.Rows(); !rowsEqual(got, rows) {
+		t.Fatalf("boxed round trip mismatch:\n got %v\nwant %v", got, rows)
+	}
+	// Per-element accessors agree with the boxed values.
+	for i := range rows {
+		if cb.Vecs[0].Null(i) != rows[i][0].IsNull() {
+			t.Fatalf("Null(%d) mismatch", i)
+		}
+	}
+}
+
+// TestBatchSelectionEdges covers the selection-vector edge cases: nil
+// (all rows), empty non-nil (no rows), a single row, and a strict subset.
+func TestBatchSelectionEdges(t *testing.T) {
+	rel, rows := pivotRel(), pivotRows()
+	base := BatchFromRows(rel, rows)
+	cases := []struct {
+		name string
+		sel  []int
+		want Rows
+	}{
+		{"nil sel selects all", nil, rows},
+		{"empty sel selects none", []int{}, Rows{}},
+		{"single row", []int{2}, Rows{rows[2]}},
+		{"subset", []int{0, 3}, Rows{rows[0], rows[3]}},
+	}
+	for _, c := range cases {
+		cb := ColBatch{Rel: rel, Vecs: base.Vecs, N: base.N, Sel: c.sel}
+		if cb.Len() != len(c.want) {
+			t.Errorf("%s: Len = %d, want %d", c.name, cb.Len(), len(c.want))
+		}
+		got := cb.Rows()
+		if got == nil {
+			t.Errorf("%s: Rows() returned nil, want non-nil", c.name)
+		}
+		if !rowsEqual(got, c.want) {
+			t.Errorf("%s: rows mismatch:\n got %v\nwant %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestBatchViewGatherMatchesPivot pins the View contract: when a row-major
+// mirror is attached, Rows() must produce exactly what the pivot would.
+func TestBatchViewGatherMatchesPivot(t *testing.T) {
+	rel, rows := pivotRel(), pivotRows()
+	base := BatchFromRows(rel, rows)
+	for _, sel := range [][]int{nil, {}, {1}, {0, 2, 3}} {
+		plain := ColBatch{Rel: rel, Vecs: base.Vecs, N: base.N, Sel: sel}
+		viewed := ColBatch{Rel: rel, Vecs: base.Vecs, N: base.N, Sel: sel, View: rows}
+		if !rowsEqual(viewed.Rows(), plain.Rows()) {
+			t.Errorf("sel %v: view gather differs from pivot", sel)
+		}
+		for i := range rows {
+			if !rowsEqual(Rows{viewed.RowAt(i)}, Rows{plain.RowAt(i)}) {
+				t.Errorf("sel %v: RowAt(%d) differs between view and pivot", sel, i)
+			}
+		}
+	}
+}
+
+// TestColVecAppendGroupKeyMatchesValue pins the columnar key fast path to the
+// boxed definition: ColVec.AppendGroupKey(dst, i) must produce the same bytes
+// as boxing the element and calling Value.AppendGroupKey.
+func TestColVecAppendGroupKeyMatchesValue(t *testing.T) {
+	rel, rows := pivotRel(), pivotRows()
+	cb := BatchFromRows(rel, rows)
+	check := func(label string, v *ColVec) {
+		for i := 0; i < v.Len(); i++ {
+			fast := v.AppendGroupKey(nil, i)
+			slow := v.Value(i).AppendGroupKey(nil)
+			if !bytes.Equal(fast, slow) {
+				t.Errorf("%s[%d]: columnar key %q != boxed key %q", label, i, fast, slow)
+			}
+		}
+	}
+	for c := range cb.Vecs {
+		check(rel.Columns[c].Name, &cb.Vecs[c])
+	}
+	// Same contract on a boxed (degraded) vector.
+	boxed := NewColVec(TypeInt)
+	for _, v := range []Value{Int(1), String("x"), Null(), Float(1.0)} {
+		boxed.Append(v)
+	}
+	if !boxed.Boxed() {
+		t.Fatal("expected degraded vector")
+	}
+	check("boxed", &boxed)
+}
+
+// TestColVecWindow checks that windows alias the right elements and preserve
+// the NULL mask.
+func TestColVecWindow(t *testing.T) {
+	v := NewColVec(TypeInt)
+	for _, x := range []Value{Int(0), Null(), Int(2), Int(3)} {
+		v.Append(x)
+	}
+	w := v.Window(1, 3)
+	if w.Len() != 2 {
+		t.Fatalf("window len = %d, want 2", w.Len())
+	}
+	if !w.Null(0) || w.Null(1) {
+		t.Fatal("window null mask misaligned")
+	}
+	if w.Value(1).AsInt() != 2 {
+		t.Fatalf("window element = %v, want 2", w.Value(1))
+	}
+}

@@ -18,4 +18,20 @@
 // — there is no reuse window across an exchange. The contract's ownership
 // rules are what let the engine run scans, filters, projections and probes
 // on N workers while remaining row-identical to serial execution.
+//
+// The columnar contract (colbatch.go): relations can also flow as
+// ColBatches — typed column vectors (ColVec) plus a selection vector and
+// an optional row-major View mirror — pulled through ColIterator or
+// claimed concurrently through ColMorselSource. Batches are read-only
+// windows over append-only storage; refining a selection allocates a new
+// Sel (nil Sel means all rows live); pivoting back to rows happens at
+// operator boundaries, never inside kernels. A vector that receives a
+// wrong-typed value degrades to boxed storage and round-trips exactly.
+//
+// One more contract cuts across both: AppendGroupKey (value.go) defines
+// the canonical self-delimiting byte key every hashed operator uses to
+// decide "same group" — NULL groups with NULL, NaN with NaN, 1 with 1.0,
+// -0.0 apart from +0.0 — emitted identically from boxed values
+// (Value.AppendGroupKey), rows (Row.AppendGroupKey) and column vectors
+// (ColVec.AppendGroupKey).
 package schema

@@ -1,0 +1,160 @@
+package schema
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// The canonical grouping key is the single definition of "same group" for
+// every hashed operator (join, DISTINCT, GROUP BY, window partitioning).
+// These tables pin its semantics: which values share a key, which never do,
+// and that concatenated multi-column keys stay unambiguous.
+
+func key(v Value) string { return string(v.AppendGroupKey(nil)) }
+
+func TestGroupKeySameGroup(t *testing.T) {
+	nan2 := math.Float64frombits(0x7FF8000000000001) // different NaN payload
+	utc := time.Date(2016, 3, 15, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		a, b Value
+	}{
+		{"null with null", Null(), Null()},
+		{"int with equal float", Int(1), Float(1.0)},
+		{"int with itself", Int(-42), Int(-42)},
+		{"nan with other-payload nan", Float(math.NaN()), Float(nan2)},
+		{"plus zero with plus zero", Float(0.0), Float(0.0)},
+		{"int zero with float plus zero", Int(0), Float(0.0)},
+		{"string with equal string", String("a\x1fb"), String("a\x1fb")},
+		{"time across locations", Time(utc), Time(utc.In(time.FixedZone("x", 3600)))},
+		{"bool with bool", Bool(true), Bool(true)},
+	}
+	for _, c := range cases {
+		if key(c.a) != key(c.b) {
+			t.Errorf("%s: keys differ: %q vs %q", c.name, key(c.a), key(c.b))
+		}
+		if !c.a.GroupEqual(c.b) || !c.b.GroupEqual(c.a) {
+			t.Errorf("%s: GroupEqual false, but keys equal", c.name)
+		}
+	}
+}
+
+func TestGroupKeyDistinctGroups(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Value
+	}{
+		{"null vs int", Null(), Int(0)},
+		{"null vs empty string", Null(), String("")},
+		{"null vs false", Null(), Bool(false)},
+		{"minus zero vs plus zero", Float(math.Copysign(0, -1)), Float(0.0)},
+		{"nan vs inf", Float(math.NaN()), Float(math.Inf(1))},
+		{"int 1 vs int 2", Int(1), Int(2)},
+		{"bool vs int", Bool(true), Int(1)},
+		{"string vs its numeric value", String("1"), Int(1)},
+		{"string case sensitive", String("a"), String("A")},
+	}
+	for _, c := range cases {
+		if key(c.a) == key(c.b) {
+			t.Errorf("%s: keys collide: %q", c.name, key(c.a))
+		}
+		if c.a.GroupEqual(c.b) || c.b.GroupEqual(c.a) {
+			t.Errorf("%s: GroupEqual true, but keys differ", c.name)
+		}
+	}
+}
+
+// TestGroupEqualMatchesKeyEquality checks the contract that GroupEqual is
+// exactly key equality over a cross product of awkward values.
+func TestGroupEqualMatchesKeyEquality(t *testing.T) {
+	vals := []Value{
+		Null(), Bool(false), Bool(true),
+		Int(0), Int(1), Int(-1), Int(math.MaxInt64),
+		Float(0), Float(math.Copysign(0, -1)), Float(1), Float(1.5),
+		Float(math.NaN()), Float(math.Inf(1)), Float(math.Inf(-1)),
+		String(""), String("0"), String("a"), String("a\x1fb"),
+		Time(time.Unix(0, 0)), Time(time.Unix(1, 1)),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if a.GroupEqual(b) != (key(a) == key(b)) {
+				t.Errorf("GroupEqual(%s, %s) = %v, key equality = %v",
+					a.Format(), b.Format(), a.GroupEqual(b), key(a) == key(b))
+			}
+		}
+	}
+}
+
+// TestGroupKeySelfDelimiting pins the property the no-separator concatenation
+// relies on: distinct column tuples never concatenate to the same bytes,
+// even when the values contain the legacy 0x1f separator or each other's
+// prefixes.
+func TestGroupKeySelfDelimiting(t *testing.T) {
+	tuples := [][]Value{
+		{String("a"), String("b")},
+		{String("ab"), String("")},
+		{String(""), String("ab")},
+		{String("a\x1fb"), String("")},
+		{String("a"), String("\x1fb")},
+		{Int(1), Int(2)},
+		{Float(1.0), Int(2)}, // same group as {Int(1), Int(2)} — see below
+		{Null(), String("n")},
+		{String("n"), Null()},
+	}
+	keys := make([]string, len(tuples))
+	for i, tp := range tuples {
+		var buf []byte
+		for _, v := range tp {
+			buf = v.AppendGroupKey(buf)
+		}
+		keys[i] = string(buf)
+	}
+	for i := range tuples {
+		for j := range tuples {
+			if i == j {
+				continue
+			}
+			same := len(tuples[i]) == len(tuples[j])
+			if same {
+				for k := range tuples[i] {
+					if !tuples[i][k].GroupEqual(tuples[j][k]) {
+						same = false
+						break
+					}
+				}
+			}
+			if (keys[i] == keys[j]) != same {
+				t.Errorf("tuples %d and %d: key collision mismatch (same=%v, keys %q vs %q)",
+					i, j, same, keys[i], keys[j])
+			}
+		}
+	}
+}
+
+// TestRowAppendGroupKey checks the row helper agrees with per-value
+// concatenation over a column subset.
+func TestRowAppendGroupKey(t *testing.T) {
+	r := Row{Int(1), String("x"), Null(), Float(2.5)}
+	idx := []int{3, 0, 2}
+	var want []byte
+	for _, i := range idx {
+		want = r[i].AppendGroupKey(want)
+	}
+	got := r.AppendGroupKey(nil, idx)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Row.AppendGroupKey = %q, want %q", got, want)
+	}
+}
+
+func TestNumericKeyBitsCanonicalizesNaN(t *testing.T) {
+	a := NumericKeyBits(math.NaN())
+	b := NumericKeyBits(math.Float64frombits(0xFFF8000000000123))
+	if a != b {
+		t.Fatalf("NaN payloads map to different key bits: %x vs %x", a, b)
+	}
+	if NumericKeyBits(1.0) != math.Float64bits(1.0) {
+		t.Fatal("non-NaN bits must be the IEEE-754 bits")
+	}
+}

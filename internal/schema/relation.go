@@ -114,6 +114,18 @@ func (w Row) WireSize() int {
 	return n
 }
 
+// AppendGroupKey appends the canonical grouping keys of the selected
+// column positions to dst. The per-value keys are self-delimiting (see
+// Value.AppendGroupKey), so the concatenation is unambiguous without
+// separators. This is the allocation-free key builder the hashed operators
+// use; GroupKey remains as the legacy human-readable form.
+func (w Row) AppendGroupKey(dst []byte, idx []int) []byte {
+	for _, i := range idx {
+		dst = w[i].AppendGroupKey(dst)
+	}
+	return dst
+}
+
 // GroupKey concatenates the group keys of selected column positions.
 func (w Row) GroupKey(idx []int) string {
 	var b strings.Builder

@@ -1,6 +1,7 @@
 package schema
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"strconv"
@@ -270,6 +271,129 @@ func (v Value) GroupKey() string {
 		return "t" + strconv.FormatInt(v.t.UnixNano(), 10)
 	default:
 		return "?"
+	}
+}
+
+// Canonical grouping keys. Every hashed operator in the engine — join
+// build/probe, DISTINCT, GROUP BY, window partitioning — derives its map
+// key from this one encoding, so the grouping semantics are defined exactly
+// once:
+//
+//   - NULLs group together ('n'), and never with any non-NULL value.
+//   - Numbers group by value across int/float (1 groups with 1.0): both
+//     encode as 'f' + big-endian IEEE-754 bits of the float64 value.
+//   - Every NaN groups with every other NaN: NaN bits are canonicalized to
+//     one quiet-NaN pattern before encoding.
+//   - -0.0 and +0.0 group separately (distinct bit patterns), matching the
+//     legacy string encoding ("-0" vs "0").
+//   - Strings are length-prefixed ('s' + uvarint length + bytes), so
+//     concatenated multi-column keys are unambiguous without separators:
+//     every part is self-delimiting.
+//
+// The keys are byte slices appended into a caller-owned scratch buffer;
+// map lookups use the m[string(buf)] form, which Go compiles without
+// allocating. That replaces the per-row strconv.FormatFloat string building
+// of the legacy GroupKey, which dominated the hashed operators' profiles.
+
+// canonicalNaNBits is the single quiet-NaN pattern all NaNs collapse to for
+// grouping, so "NaN groups with NaN" holds across different NaN payloads.
+const canonicalNaNBits = 0x7FF8000000000000
+
+// NumericKeyBits returns the canonical grouping bit pattern of a float64:
+// its IEEE-754 bits, with every NaN collapsed to one pattern. Two numeric
+// values belong to the same group iff their NumericKeyBits are equal.
+func NumericKeyBits(f float64) uint64 {
+	if f != f {
+		return canonicalNaNBits
+	}
+	return math.Float64bits(f)
+}
+
+// AppendNullGroupKey appends the canonical key of SQL NULL.
+func AppendNullGroupKey(dst []byte) []byte { return append(dst, 'n') }
+
+// AppendBoolGroupKey appends the canonical key of a boolean.
+func AppendBoolGroupKey(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 'b', 1)
+	}
+	return append(dst, 'b', 0)
+}
+
+// AppendIntGroupKey appends the canonical key of an integer. Integers
+// encode through float64 so that 1 groups with 1.0, exactly as the legacy
+// string keys did (including the precision loss above 2^53, which keeps
+// partitions identical).
+func AppendIntGroupKey(dst []byte, i int64) []byte {
+	return AppendFloatGroupKey(dst, float64(i))
+}
+
+// AppendFloatGroupKey appends the canonical key of a float.
+func AppendFloatGroupKey(dst []byte, f float64) []byte {
+	dst = append(dst, 'f')
+	return binary.BigEndian.AppendUint64(dst, NumericKeyBits(f))
+}
+
+// AppendStringGroupKey appends the canonical key of a string,
+// length-prefixed so concatenated keys stay unambiguous.
+func AppendStringGroupKey(dst []byte, s string) []byte {
+	dst = append(dst, 's')
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendTimeGroupKey appends the canonical key of a timestamp
+// (nanoseconds since the epoch, location-insensitive like time.Equal).
+func AppendTimeGroupKey(dst []byte, t time.Time) []byte {
+	dst = append(dst, 't')
+	return binary.BigEndian.AppendUint64(dst, uint64(t.UnixNano()))
+}
+
+// AppendGroupKey appends the value's canonical grouping key to dst and
+// returns the extended slice. See the package comment block above for the
+// encoding; GroupEqual is the matching equality.
+func (v Value) AppendGroupKey(dst []byte) []byte {
+	switch v.typ {
+	case TypeNull:
+		return AppendNullGroupKey(dst)
+	case TypeBool:
+		return AppendBoolGroupKey(dst, v.b)
+	case TypeInt:
+		return AppendIntGroupKey(dst, v.i)
+	case TypeFloat:
+		return AppendFloatGroupKey(dst, v.f)
+	case TypeString:
+		return AppendStringGroupKey(dst, v.s)
+	case TypeTime:
+		return AppendTimeGroupKey(dst, v.t)
+	default:
+		return append(dst, '?')
+	}
+}
+
+// GroupEqual reports whether two values fall in the same group under the
+// canonical key: it is exactly key equality (NULL equals NULL, 1 equals
+// 1.0, NaN equals NaN, -0.0 differs from +0.0), computed without building
+// the keys.
+func (v Value) GroupEqual(o Value) bool {
+	if v.typ == TypeNull || o.typ == TypeNull {
+		return v.typ == o.typ
+	}
+	if v.typ.Numeric() && o.typ.Numeric() {
+		return NumericKeyBits(v.AsFloat()) == NumericKeyBits(o.AsFloat())
+	}
+	if v.typ != o.typ {
+		return false
+	}
+	switch v.typ {
+	case TypeBool:
+		return v.b == o.b
+	case TypeString:
+		return v.s == o.s
+	case TypeTime:
+		return v.t.UnixNano() == o.t.UnixNano()
+	default:
+		return false
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"paradise/internal/schema"
 )
@@ -19,26 +20,46 @@ var ErrNoTable = errors.New("storage: no such table")
 // ErrArity is returned when a row's width does not match the table schema.
 var ErrArity = errors.New("storage: row arity mismatch")
 
-// Table is an append-only in-memory relation.
+// Table is an append-only in-memory relation, stored column-major: one
+// typed vector per column (see schema.ColVec). Columnar storage serves the
+// engine's vectorized scan path directly — pruned columns are never
+// materialized, kernels loop over unboxed payload slices — while row-major
+// consumers get their rows by pivoting at the batch boundary.
+//
+// Alongside the vectors the table mirrors every row in row-major form. The
+// mirror is the pivot-elision cache: full-width windows attach it as the
+// batch View (see schema.ColBatch), so serving rows costs one reference
+// per row instead of re-materializing wide Value structs — scans that keep
+// most rows would otherwise spend their time in the pivot and the GC
+// behind it. The memory price is one extra Row header and one boxed Value
+// per element; both layouts share nothing mutable, since rows and vector
+// elements are immutable once appended.
 type Table struct {
 	mu     sync.RWMutex
 	schema *schema.Relation
+	cols   []schema.ColVec
 	rows   schema.Rows
+	nrows  int
 	// wire caches the cumulative serialized size of rows, maintained on
-	// Append/Truncate so WireSize is O(1). Rows are immutable, so the
-	// cache can never go stale.
+	// Append/Truncate so WireSize is O(1). Stored values are immutable, so
+	// the cache can never go stale.
 	wire int
 }
 
 // NewTable creates an empty table with the given schema.
 func NewTable(rel *schema.Relation) *Table {
-	return &Table{schema: rel}
+	t := &Table{schema: rel, cols: make([]schema.ColVec, rel.Arity())}
+	for i := range t.cols {
+		t.cols[i] = schema.NewColVec(rel.Columns[i].Type)
+	}
+	return t
 }
 
 // Schema returns the table schema. The returned value must not be mutated.
 func (t *Table) Schema() *schema.Relation { return t.schema }
 
-// Append adds rows, validating arity.
+// Append adds rows, validating arity. Values are copied into the column
+// vectors, so the caller keeps ownership of its row slices.
 func (t *Table) Append(rows ...schema.Row) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -47,7 +68,11 @@ func (t *Table) Append(rows ...schema.Row) error {
 			return fmt.Errorf("%w: table %s has %d columns, row has %d",
 				ErrArity, t.schema.Name, t.schema.Arity(), len(r))
 		}
-		t.rows = append(t.rows, r)
+		for i := range t.cols {
+			t.cols[i].Append(r[i])
+		}
+		t.rows = append(t.rows, r.Clone())
+		t.nrows++
 		t.wire += r.WireSize()
 	}
 	return nil
@@ -57,25 +82,51 @@ func (t *Table) Append(rows ...schema.Row) error {
 func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	return t.nrows
 }
 
-// Snapshot returns a stable copy-on-read view of the rows. The slice header
-// is copied; rows themselves are immutable by convention.
+// colWindowLocked builds a zero-copy columnar window over rows [lo, hi) of
+// the selected columns (nil cols keeps every column). Caller must hold at
+// least a read lock; the returned batch stays valid after unlocking because
+// vectors are append-only and Truncate replaces them wholesale.
+func (t *Table) colWindowLocked(lo, hi int, cols []int) *schema.ColBatch {
+	rel := t.schema
+	var vecs []schema.ColVec
+	var view schema.Rows
+	if cols == nil {
+		vecs = make([]schema.ColVec, len(t.cols))
+		for i := range t.cols {
+			vecs[i] = t.cols[i].Window(lo, hi)
+		}
+		// Full width in storage order: the row mirror aligns with the
+		// vectors, so consumers can gather references instead of pivoting.
+		view = t.rows[lo:hi]
+	} else {
+		rel = rel.Project(cols)
+		vecs = make([]schema.ColVec, len(cols))
+		for k, c := range cols {
+			vecs[k] = t.cols[c].Window(lo, hi)
+		}
+	}
+	return &schema.ColBatch{Rel: rel, Vecs: vecs, N: hi - lo, View: view}
+}
+
+// Snapshot returns a stable row-major copy of the table (a full pivot).
 func (t *Table) Snapshot() schema.Rows {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make(schema.Rows, len(t.rows))
-	copy(out, t.rows)
-	return out
+	b := t.colWindowLocked(0, t.nrows, nil)
+	t.mu.RUnlock()
+	return b.Rows()
 }
 
 // Scan opens an incremental batch scan over the table with the given
-// projection and predicate pushed down. Unlike Snapshot, a scan never copies
-// the whole table: each pull reads one batch of the append-only row slice
-// under the read lock and applies filter and projection outside it, so a
-// consumer that stops early (LIMIT) leaves the remaining rows untouched.
-// Rows appended after the scan starts may or may not be observed.
+// projection and predicate pushed down. Unlike Snapshot, a scan never
+// pivots the whole table: each pull windows one batch of the column vectors
+// under the read lock and pivots it to rows outside the lock. When the scan
+// has no predicate, the projection is applied at the pivot, so pruned
+// columns are never materialized at all; a predicate needs the full-width
+// row, so filtering scans pivot full width and project afterwards. Rows
+// appended after the scan starts may or may not be observed.
 //
 // The scan is bound to ctx: cancellation is checked on every pull, so a
 // cancelled query stops reading the table within one batch.
@@ -84,40 +135,63 @@ func (t *Table) Scan(ctx context.Context, sc schema.Scan) schema.RowIterator {
 	if batch <= 0 {
 		batch = schema.DefaultBatchSize
 	}
-	// The raw scan only pulls locked subslices; filter and projection run
-	// outside the lock in the shared schema-layer wrapper.
+	if sc.Filter == nil {
+		return schema.WithContext(ctx, &tableScan{t: t, cols: sc.Columns, batch: batch})
+	}
 	return schema.FilterProject(schema.WithContext(ctx, &tableScan{t: t, batch: batch}), sc)
 }
 
-// tableScan pulls batches straight off the table's row slice. Returning a
-// subslice is safe after unlocking: the table is append-only (existing
-// elements are never overwritten) and Truncate replaces the slice wholesale.
+// ScanColumns opens a columnar scan serving zero-copy windows of the
+// selected columns (nil keeps all). This is the engine's vectorized fast
+// path: no rows are built, kernels consume the vectors directly.
+func (t *Table) ScanColumns(ctx context.Context, cols []int, batchSize int) schema.ColIterator {
+	if batchSize <= 0 {
+		batchSize = schema.DefaultBatchSize
+	}
+	return &tableColScan{ctx: ctx, t: t, cols: cols, batch: batchSize}
+}
+
+// tableScan pivots batches off the table's column vectors. The window is
+// taken under the read lock; the pivot runs outside it (windows stay valid
+// because vectors are append-only and Truncate replaces them wholesale).
 type tableScan struct {
 	t     *Table
+	cols  []int
 	batch int
 	pos   int
 	done  bool
 }
 
-func (s *tableScan) Next() (schema.Rows, error) {
-	if s.done {
-		return nil, nil
-	}
+// claim advances the cursor over [pos, min(pos+batch, nrows)) and returns
+// the claimed window, or nil when the scan is exhausted (or the table was
+// truncated mid-scan).
+func (s *tableScan) claim() *schema.ColBatch {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
-	n := len(s.t.rows)
-	if s.pos >= n { // exhausted, or the table was truncated mid-scan
+	n := s.t.nrows
+	if s.pos >= n {
 		s.done = true
-		return nil, nil
+		return nil
 	}
 	end := s.pos + s.batch
 	if end >= n {
 		end = n
 		s.done = true
 	}
-	raw := s.t.rows[s.pos:end]
+	b := s.t.colWindowLocked(s.pos, end, s.cols)
 	s.pos = end
-	return raw, nil
+	return b
+}
+
+func (s *tableScan) Next() (schema.Rows, error) {
+	if s.done {
+		return nil, nil
+	}
+	b := s.claim()
+	if b == nil {
+		return nil, nil
+	}
+	return b.Rows(), nil
 }
 
 func (s *tableScan) Close() { s.done = true }
@@ -128,7 +202,7 @@ func (s *tableScan) SizeHint() int {
 		return 0
 	}
 	s.t.mu.RLock()
-	n := len(s.t.rows)
+	n := s.t.nrows
 	s.t.mu.RUnlock()
 	if s.pos >= n {
 		return 0
@@ -136,63 +210,184 @@ func (s *tableScan) SizeHint() int {
 	return n - s.pos
 }
 
+// tableColScan is the columnar twin of tableScan: same cursor, no pivot.
+type tableColScan struct {
+	ctx   context.Context
+	t     *Table
+	cols  []int
+	batch int
+	pos   int
+	done  bool
+}
+
+func (s *tableColScan) NextBatch() (*schema.ColBatch, error) {
+	if s.done {
+		return nil, nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.done = true
+		return nil, err
+	}
+	s.t.mu.RLock()
+	n := s.t.nrows
+	if s.pos >= n {
+		s.t.mu.RUnlock()
+		s.done = true
+		return nil, nil
+	}
+	end := s.pos + s.batch
+	if end >= n {
+		end = n
+		s.done = true
+	}
+	b := s.t.colWindowLocked(s.pos, end, s.cols)
+	s.t.mu.RUnlock()
+	s.pos = end
+	return b, nil
+}
+
+func (s *tableColScan) Close() { s.done = true }
+
 // ScanMorsels opens a partitioned scan: the table is split into morsels
-// (sequence-numbered batches of the append-only row slice) handed out to
-// however many worker goroutines pull from the returned source. Each pull
-// takes one locked subslice — no copying, no per-morsel allocation — so the
-// serial fraction of a parallel scan is one short critical section per
-// batch. Filtering and projection are the workers' business (the engine
-// applies them per worker, outside the lock).
+// (sequence-numbered row batches) handed out to however many worker
+// goroutines pull from the returned source. The cursor is one atomic
+// counter — claiming a morsel is a single fetch-and-add, so workers never
+// serialize on a lock (the previous implementation took a mutex per
+// 256-row morsel, which ROADMAP flagged as the scan's scalability ceiling).
+// The morsel index is the Seq, so numbering is contiguous by construction.
+// The row pivot runs on the claiming worker's goroutine, outside any lock.
+//
+// The source snapshots the table's row count and vector windows at open:
+// workers partition exactly the rows present then, and stay unaffected by
+// concurrent Append or Truncate.
 //
 // The source is bound to ctx: cancellation is checked on every pull, so
-// after a cancel each worker stops reading the table within one batch (its
-// in-flight morsel) and no new morsels are handed out.
+// after a cancel each worker stops within one batch (its in-flight morsel)
+// and no new morsels are handed out. The cancellation error is delivered
+// to exactly one caller; with concurrent pullers its Seq may race with an
+// in-flight claim, so order-sensitive consumers (the engine's exchange)
+// additionally bind their pipeline head to ctx, which guarantees the error
+// surfaces even if the morsel-level delivery is overtaken.
 func (t *Table) ScanMorsels(ctx context.Context, batchSize int) schema.MorselSource {
+	return &tableMorsels{cursor: t.openCursor(ctx, nil, batchSize)}
+}
+
+// ScanColMorsels is the columnar twin of ScanMorsels: workers claim
+// zero-copy column windows of the selected columns (nil keeps all) and run
+// their kernels without ever building rows.
+func (t *Table) ScanColMorsels(ctx context.Context, cols []int, batchSize int) schema.ColMorselSource {
+	return &tableColMorsels{cursor: t.openCursor(ctx, cols, batchSize)}
+}
+
+func (t *Table) openCursor(ctx context.Context, cols []int, batchSize int) *morselCursor {
 	if batchSize <= 0 {
 		batchSize = schema.DefaultBatchSize
 	}
-	return &tableMorsels{ctx: ctx, scan: tableScan{t: t, batch: batchSize}}
+	t.mu.RLock()
+	snap := t.colWindowLocked(0, t.nrows, cols)
+	t.mu.RUnlock()
+	return &morselCursor{ctx: ctx, snap: snap, batch: batchSize}
 }
 
-// tableMorsels shares one table cursor between concurrent workers. Morsels
-// are raw subslices of the table's row slice, which is append-only (see
-// tableScan), so handing them out without copying is safe even while the
-// table keeps ingesting.
-type tableMorsels struct {
-	ctx  context.Context
-	mu   sync.Mutex
-	scan tableScan
-	seq  int
+// morselCursor is the shared lock-free heart of both morsel sources: a
+// row-count snapshot plus one atomic claim counter. claim() is wait-free;
+// everything per-morsel (windowing, pivoting) happens on the caller's
+// goroutine.
+type morselCursor struct {
+	ctx     context.Context
+	snap    *schema.ColBatch
+	batch   int
+	next    atomic.Int64
+	errOnce atomic.Bool
+	closed  atomic.Bool
 }
+
+// claim reserves the next morsel range. The claimed index doubles as the
+// Seq: indices come from one fetch-and-add, so they are contiguous in claim
+// order across all workers.
+func (c *morselCursor) claim() (seq, lo, hi int, ok bool) {
+	if c.closed.Load() {
+		return 0, 0, 0, false
+	}
+	seq = int(c.next.Add(1) - 1)
+	lo = seq * c.batch
+	if lo >= c.snap.N {
+		return 0, 0, 0, false
+	}
+	hi = lo + c.batch
+	if hi > c.snap.N {
+		hi = c.snap.N
+	}
+	return seq, lo, hi, true
+}
+
+// cancelled checks ctx before a claim. The error is handed to exactly one
+// caller (CAS-guarded); every other caller observes exhaustion.
+func (c *morselCursor) cancelled() (int, error, bool) {
+	err := c.ctx.Err()
+	if err == nil {
+		return 0, nil, false
+	}
+	if c.errOnce.CompareAndSwap(false, true) {
+		c.closed.Store(true)
+		return int(c.next.Load()), err, true
+	}
+	return 0, nil, true
+}
+
+// window cuts [lo, hi) out of the snapshot. No lock: the snapshot's vector
+// windows are immutable headers over append-only storage.
+func (c *morselCursor) window(lo, hi int) *schema.ColBatch {
+	vecs := make([]schema.ColVec, len(c.snap.Vecs))
+	for i := range vecs {
+		vecs[i] = c.snap.Vecs[i].Window(lo, hi)
+	}
+	var view schema.Rows
+	if c.snap.View != nil {
+		view = c.snap.View[lo:hi]
+	}
+	return &schema.ColBatch{Rel: c.snap.Rel, Vecs: vecs, N: hi - lo, View: view}
+}
+
+func (c *morselCursor) close() { c.closed.Store(true) }
+
+// tableMorsels serves row-major morsels: claim, window, pivot worker-side.
+type tableMorsels struct{ cursor *morselCursor }
 
 func (m *tableMorsels) NextMorsel() (schema.Morsel, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.scan.done {
+	if seq, err, done := m.cursor.cancelled(); done {
+		if err != nil {
+			return schema.Morsel{Seq: seq}, err
+		}
 		return schema.Morsel{}, nil
 	}
-	if err := m.ctx.Err(); err != nil {
-		m.scan.done = true
-		return schema.Morsel{Seq: m.seq}, err
-	}
-	batch, err := m.scan.Next()
-	if err != nil {
-		m.scan.done = true
-		return schema.Morsel{Seq: m.seq}, err
-	}
-	if batch == nil {
+	seq, lo, hi, ok := m.cursor.claim()
+	if !ok {
 		return schema.Morsel{}, nil
 	}
-	out := schema.Morsel{Seq: m.seq, Rows: batch}
-	m.seq++
-	return out, nil
+	return schema.Morsel{Seq: seq, Rows: m.cursor.window(lo, hi).Rows()}, nil
 }
 
-func (m *tableMorsels) Close() {
-	m.mu.Lock()
-	m.scan.done = true
-	m.mu.Unlock()
+func (m *tableMorsels) Close() { m.cursor.close() }
+
+// tableColMorsels serves columnar morsels: claim and window only, no pivot.
+type tableColMorsels struct{ cursor *morselCursor }
+
+func (m *tableColMorsels) NextColMorsel() (schema.ColMorsel, error) {
+	if seq, err, done := m.cursor.cancelled(); done {
+		if err != nil {
+			return schema.ColMorsel{Seq: seq}, err
+		}
+		return schema.ColMorsel{}, nil
+	}
+	seq, lo, hi, ok := m.cursor.claim()
+	if !ok {
+		return schema.ColMorsel{}, nil
+	}
+	return schema.ColMorsel{Seq: seq, Batch: m.cursor.window(lo, hi)}, nil
 }
+
+func (m *tableColMorsels) Close() { m.cursor.close() }
 
 // ScanPartitions splits the table scan into n iterators sharing one morsel
 // cursor: each iterator pull claims the next unclaimed morsel and applies
@@ -216,11 +411,17 @@ func (t *Table) ScanPartitions(ctx context.Context, sc schema.Scan, n int) []sch
 	return out
 }
 
-// Truncate removes all rows.
+// Truncate removes all rows. The column vectors are replaced wholesale, so
+// windows held by in-flight scans keep reading the old (still immutable)
+// storage.
 func (t *Table) Truncate() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	for i := range t.cols {
+		t.cols[i] = schema.NewColVec(t.schema.Columns[i].Type)
+	}
 	t.rows = nil
+	t.nrows = 0
 	t.wire = 0
 }
 
@@ -292,7 +493,7 @@ func (s *Store) RelationStats(name string) (rows, wireBytes int, err error) {
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows), t.wire, nil
+	return t.nrows, t.wire, nil
 }
 
 // RelationSchema returns just the schema of the named table, without
@@ -325,6 +526,28 @@ func (s *Store) OpenMorsels(ctx context.Context, name string, batchSize int) (sc
 		return nil, err
 	}
 	return t.ScanMorsels(ctx, batchSize), nil
+}
+
+// OpenColScan opens a columnar scan over the named table: zero-copy typed
+// column windows of the selected positions (nil cols keeps all), bound to
+// ctx. It makes the store an engine.ColScanner, enabling the vectorized
+// scan path.
+func (s *Store) OpenColScan(ctx context.Context, name string, cols []int, batchSize int) (schema.ColIterator, error) {
+	t, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.ScanColumns(ctx, cols, batchSize), nil
+}
+
+// OpenColMorsels opens a partitioned columnar scan over the named table
+// (see Table.ScanColMorsels): the parallel twin of OpenColScan.
+func (s *Store) OpenColMorsels(ctx context.Context, name string, cols []int, batchSize int) (schema.ColMorselSource, error) {
+	t, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.ScanColMorsels(ctx, cols, batchSize), nil
 }
 
 // Names lists table names in sorted order.

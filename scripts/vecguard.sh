@@ -1,0 +1,22 @@
+#!/bin/sh
+# vecguard.sh — the filter kernels stay columnar.
+#
+# internal/engine/veckernel.go is the vectorized inner loop: comparison and
+# NULL-test kernels that refine selection vectors over typed column payloads.
+# Its whole reason to exist is that no row is ever pivoted before the filter
+# decides; the moment a kernel reaches for a row-major helper (ColBatch.Rows,
+# ColBatch.RowAt, schema.Row values) the batch gets re-materialized per row
+# and the vectorized path silently degrades to the row path with extra
+# steps. Pivoting belongs to the boundary layers (vecscan.go residuals,
+# vecblock.go/vecgroup.go output), never to the kernels.
+set -eu
+cd "$(dirname "$0")/.."
+
+hits=$(grep -n '\.Rows()\|RowAt\|schema\.Row\b' internal/engine/veckernel.go || true)
+if [ -n "$hits" ]; then
+	echo "veckernel.go must stay columnar — no row pivots inside kernels"
+	echo "(ColBatch.Rows / RowAt / schema.Row belong to the pivot boundary):"
+	echo "$hits"
+	exit 1
+fi
+echo "vecguard: ok (kernels are pivot-free)"
