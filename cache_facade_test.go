@@ -1,0 +1,104 @@
+package paradise_test
+
+import (
+	"context"
+	"testing"
+
+	paradise "paradise"
+)
+
+// TestPlanCacheExecutionEquivalence is the facade-level correctness
+// property of the prepared-plan cache: for a corpus of statement shapes, a
+// session with a cache produces — on the miss run AND on the hit run, via
+// Process AND via a drained Query cursor — exactly the rows and Figure 3
+// transfer stats of an uncached session over the same store.
+func TestPlanCacheExecutionEquivalence(t *testing.T) {
+	queries := []string{
+		"SELECT x, y, z FROM d WHERE x > y AND z < 2", // policy rewrites z to its mandated aggregate
+		"SELECT x, y FROM d",
+		"SELECT x, AVG(z) AS za FROM d GROUP BY x",
+		"SELECT x, y FROM d WHERE t > 1000",
+	}
+	store := testStore(t, 3000)
+	cache := paradise.NewPlanCache(0)
+	cached, err := paradise.Open(store,
+		paradise.WithPolicy(paradise.Figure4Policy()),
+		paradise.WithDefaultModule("ActionFilter"),
+		paradise.WithPlanCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := paradise.Open(store,
+		paradise.WithPolicy(paradise.Figure4Policy()),
+		paradise.WithDefaultModule("ActionFilter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, sql := range queries {
+		want, err := plain.Process(ctx, sql)
+		if err != nil {
+			t.Fatalf("%s: uncached: %v", sql, err)
+		}
+		// Miss run, then hit run: both must match the uncached outcome.
+		for _, run := range []string{"miss", "hit"} {
+			got, err := cached.Process(ctx, sql)
+			if err != nil {
+				t.Fatalf("%s: cached (%s): %v", sql, run, err)
+			}
+			sameRows(t, got.Result.Rows, want.Result.Rows)
+			sameStats(t, got.Net, want.Net)
+			if got.RewrittenSQL != want.RewrittenSQL {
+				t.Fatalf("%s: cached (%s) rewrite %q, want %q", sql, run, got.RewrittenSQL, want.RewrittenSQL)
+			}
+		}
+		// A streaming drain over the (now cached) plan matches too.
+		cur, err := cached.Query(ctx, sql)
+		if err != nil {
+			t.Fatalf("%s: cursor: %v", sql, err)
+		}
+		rows := drainCursor(t, cur)
+		stats, err := cur.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, rows, want.Result.Rows)
+		sameStats(t, stats, want.Net)
+	}
+
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("repeated statements never hit the cache: %+v", st)
+	}
+	if st.Misses != uint64(len(queries)) {
+		t.Fatalf("misses = %d, want one per distinct statement (%d)", st.Misses, len(queries))
+	}
+}
+
+// TestPlanCacheExplainAfterHit: the lazy -explain plan still builds on a
+// cache hit (it lowers a fresh tree from the shared rewritten statement).
+func TestPlanCacheExplainAfterHit(t *testing.T) {
+	sess, err := paradise.Open(testStore(t, 500),
+		paradise.WithPolicy(paradise.Figure4Policy()),
+		paradise.WithDefaultModule("ActionFilter"),
+		paradise.WithPlanCache(paradise.NewPlanCache(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const sql = "SELECT x, y FROM d"
+	if _, err := sess.Process(ctx, sql); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Process(ctx, sql) // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Logical() == nil {
+		t.Fatal("Logical() is nil on a cache-hit outcome")
+	}
+	if out.Explain() == "" {
+		t.Fatal("Explain() is empty on a cache-hit outcome")
+	}
+}

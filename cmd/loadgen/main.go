@@ -1,0 +1,272 @@
+// Command loadgen drives a running paradised server with a concurrent
+// query mix and reports latency percentiles and throughput.
+//
+// Each worker loops over the query mix round-robin (offset by worker
+// index so the statements interleave), posts to /v1/query, and drains the
+// full NDJSON stream; a query's latency is the time from request to the
+// stats trailer. At the end loadgen fetches /v1/stats and emits one JSON
+// record — configuration, latency distribution (mean/p50/p95/p99/max),
+// throughput, error counts by code, and the server's own counters
+// (plan-cache hit rate included) — to -out or stdout.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8780 [flags]
+//
+// Flags:
+//
+//	-addr        server base URL (required)
+//	-tenant      tenant to query (default "default")
+//	-module      policy module override (default: tenant's default)
+//	-concurrency concurrent workers (default 8)
+//	-duration    how long to generate load (default 10s)
+//	-queries     semicolon-separated query mix (default: a representative
+//	             projection / filter / aggregation mix)
+//	-timeout     per-query timeout (default 30s)
+//	-out         write the JSON record to this file (default stdout)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"paradise/server"
+)
+
+// defaultMix exercises the three plan shapes the engine serves most:
+// plain projection, selective filter, and grouped aggregation.
+const defaultMix = "SELECT x, y, z FROM d; " +
+	"SELECT x, y, z FROM d WHERE x > y AND z < 2; " +
+	"SELECT x, AVG(z) AS za FROM d GROUP BY x"
+
+// sample is one completed query.
+type sample struct {
+	latency time.Duration
+	rows    int
+	errCode string
+}
+
+// Record is the JSON document loadgen emits.
+type Record struct {
+	Benchmark string         `json:"benchmark"`
+	Config    RunConfig      `json:"config"`
+	Results   RunResults     `json:"results"`
+	Server    map[string]any `json:"server_stats,omitempty"`
+}
+
+// RunConfig echoes the generator settings.
+type RunConfig struct {
+	Addr        string   `json:"addr"`
+	Tenant      string   `json:"tenant"`
+	Concurrency int      `json:"concurrency"`
+	DurationS   float64  `json:"duration_s"`
+	Queries     []string `json:"queries"`
+}
+
+// RunResults aggregates the samples.
+type RunResults struct {
+	QueriesTotal int            `json:"queries_total"`
+	ErrorsTotal  int            `json:"errors_total"`
+	ErrorsByCode map[string]int `json:"errors_by_code,omitempty"`
+	RowsTotal    int64          `json:"rows_total"`
+	ThroughputQ  float64        `json:"throughput_qps"`
+	LatencyMs    LatencyMs      `json:"latency_ms"`
+}
+
+// LatencyMs is the latency distribution in milliseconds.
+type LatencyMs struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr        = flag.String("addr", "", "server base URL, e.g. http://127.0.0.1:8780 (required)")
+		tenant      = flag.String("tenant", "default", "tenant to query")
+		module      = flag.String("module", "", "policy module override")
+		concurrency = flag.Int("concurrency", 8, "concurrent workers")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		queriesFlag = flag.String("queries", defaultMix, "semicolon-separated query mix")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-query timeout")
+		out         = flag.String("out", "", "write the JSON record to this file (default stdout)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		flag.Usage()
+		return 2
+	}
+	var queries []string
+	for _, q := range strings.Split(*queriesFlag, ";") {
+		if q = strings.TrimSpace(q); q != "" {
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: empty query mix")
+		return 2
+	}
+	if *concurrency < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: concurrency must be >= 1")
+		return 2
+	}
+
+	client := &server.Client{Base: *addr}
+	ctx := context.Background()
+
+	// One warm-up probe: fail fast on an unreachable or misconfigured
+	// server instead of producing a record full of identical errors.
+	probeCtx, cancelProbe := context.WithTimeout(ctx, *timeout)
+	probe, err := client.Query(probeCtx, server.QueryRequest{
+		Tenant: *tenant, SQL: queries[0], Module: *module,
+	})
+	cancelProbe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: probe:", err)
+		return 1
+	}
+	if probe.Err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: probe query failed: %s: %s\n", probe.Err.Code, probe.Err.Message)
+		return 1
+	}
+
+	deadline := time.Now().Add(*duration)
+	perWorker := make([][]sample, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				sql := queries[i%len(queries)]
+				qctx, cancel := context.WithTimeout(ctx, *timeout)
+				t0 := time.Now()
+				res, err := client.Query(qctx, server.QueryRequest{
+					Tenant: *tenant, SQL: sql, Module: *module,
+				})
+				lat := time.Since(t0)
+				cancel()
+				s := sample{latency: lat}
+				switch {
+				case err != nil:
+					s.errCode = "transport"
+				case res.Err != nil:
+					s.errCode = res.Err.Code
+				default:
+					s.rows = len(res.Rows)
+				}
+				perWorker[w] = append(perWorker[w], s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var samples []sample
+	for _, ws := range perWorker {
+		samples = append(samples, ws...)
+	}
+	rec := Record{
+		Benchmark: "serving-layer-loadgen",
+		Config: RunConfig{
+			Addr: *addr, Tenant: *tenant, Concurrency: *concurrency,
+			DurationS: duration.Seconds(), Queries: queries,
+		},
+		Results: summarize(samples, elapsed),
+	}
+	if st, err := client.ServerStats(ctx); err == nil {
+		// Round-trip through JSON so the record embeds the server's own
+		// counters without a type dependency on its wire struct.
+		if b, err := json.Marshal(st); err == nil {
+			var m map[string]any
+			if json.Unmarshal(b, &m) == nil {
+				rec.Server = m
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return 0
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	fmt.Printf("loadgen: %d queries (%d errors), %.1f q/s, p95 %.2f ms -> %s\n",
+		rec.Results.QueriesTotal, rec.Results.ErrorsTotal,
+		rec.Results.ThroughputQ, rec.Results.LatencyMs.P95, *out)
+	return 0
+}
+
+// summarize folds the samples into the reported distribution.
+func summarize(samples []sample, elapsed time.Duration) RunResults {
+	res := RunResults{QueriesTotal: len(samples)}
+	if len(samples) == 0 {
+		return res
+	}
+	lats := make([]float64, 0, len(samples))
+	var sum float64
+	for _, s := range samples {
+		if s.errCode != "" {
+			res.ErrorsTotal++
+			if res.ErrorsByCode == nil {
+				res.ErrorsByCode = make(map[string]int)
+			}
+			res.ErrorsByCode[s.errCode]++
+			continue
+		}
+		res.RowsTotal += int64(s.rows)
+		ms := float64(s.latency) / float64(time.Millisecond)
+		lats = append(lats, ms)
+		sum += ms
+	}
+	if elapsed > 0 {
+		res.ThroughputQ = float64(len(samples)-res.ErrorsTotal) / elapsed.Seconds()
+	}
+	if len(lats) == 0 {
+		return res
+	}
+	sort.Float64s(lats)
+	res.LatencyMs = LatencyMs{
+		Mean: sum / float64(len(lats)),
+		P50:  percentile(lats, 0.50),
+		P95:  percentile(lats, 0.95),
+		P99:  percentile(lats, 0.99),
+		Max:  lats[len(lats)-1],
+	}
+	return res
+}
+
+// percentile reads the q-quantile from sorted values (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

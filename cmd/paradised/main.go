@@ -1,0 +1,191 @@
+// Command paradised serves the privacy-aware query processor over HTTP:
+// it loads a simulated smart-environment database and exposes it through
+// the server package's NDJSON streaming API.
+//
+// Two tenants are served from the one store: "default", governed by the
+// privacy policy (the paper's Figure 4 unless -policy names a file), and
+// "open", unrestricted — useful for comparing the policy-mandated rewrite
+// against the raw answer. All tenants share one prepared-plan cache.
+//
+// Usage:
+//
+//	paradised [flags]
+//
+// Flags:
+//
+//	-addr      listen address (default :8780; use :0 for an ephemeral port —
+//	           the actual address is printed on startup)
+//	-scenario  apartment | meeting | lecture (default apartment)
+//	-duration  simulated trace duration (default 60s)
+//	-seed      simulation seed (default 2016)
+//	-policy    path to a policy XML file (default: the paper's Figure 4)
+//	-module    default policy module for the "default" tenant (default ActionFilter)
+//	-parallel  worker goroutines per query pipeline (0 = all CPUs)
+//	-cache     prepared-plan cache capacity (0 = library default)
+//	-max-query execution ceiling per request (default 30s; 0 = none)
+//	-drain     grace period for in-flight queries on shutdown (default 5s)
+//	-journal   write the default tenant's audit journal as JSON to this
+//	           file on shutdown
+//
+// SIGINT/SIGTERM drain the server: new queries get 503 immediately,
+// in-flight streams finish within -drain and are then truncated with a
+// final NDJSON error line, the journal is written, and a last stats line
+// is logged.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	paradise "paradise"
+	"paradise/sensorsim"
+	"paradise/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", ":8780", "listen address (:0 for an ephemeral port)")
+		scenario = flag.String("scenario", "apartment", "apartment | meeting | lecture")
+		duration = flag.Duration("duration", 60*time.Second, "simulated trace duration")
+		seed     = flag.Int64("seed", 2016, "simulation seed")
+		polPath  = flag.String("policy", "", "policy XML file (default: paper Figure 4)")
+		module   = flag.String("module", "ActionFilter", "default policy module for the default tenant")
+		parallel = flag.Int("parallel", 0, "worker goroutines per query pipeline (0 = all CPUs)")
+		cacheSz  = flag.Int("cache", 0, "prepared-plan cache capacity (0 = library default)")
+		maxQuery = flag.Duration("max-query", 30*time.Second, "execution ceiling per request (0 = none)")
+		drain    = flag.Duration("drain", 5*time.Second, "shutdown grace period for in-flight queries")
+		journalP = flag.String("journal", "", "write the default tenant's audit journal to this file on shutdown")
+	)
+	flag.Parse()
+
+	sc, err := buildScenario(*scenario, *duration, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	trace, err := sensorsim.Generate(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generate trace:", err)
+		return 1
+	}
+	store, err := sensorsim.BuildStore(trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "build store:", err)
+		return 1
+	}
+
+	pol := paradise.Figure4Policy()
+	if *polPath != "" {
+		f, err := os.Open(*polPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open policy:", err)
+			return 2
+		}
+		pol, err = paradise.ParsePolicy(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parse policy:", err)
+			return 2
+		}
+	}
+
+	journal := paradise.NewJournal()
+	srv, err := server.New(server.Config{
+		Store: store,
+		Tenants: []server.TenantConfig{
+			{Name: "default", Policy: pol, DefaultModule: *module, Journal: journal},
+			{Name: "open"},
+		},
+		PlanCacheSize:    *cacheSz,
+		Parallelism:      *parallel,
+		MaxQueryDuration: *maxQuery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		return 1
+	}
+	fmt.Printf("paradised listening on http://%s (tenants: default, open)\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new queries, give in-flight streams the grace period,
+	// then truncate them; finally close the listener and write the journal.
+	fmt.Println("paradised draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Printf("drain deadline expired, in-flight streams truncated (%v)\n", err)
+	}
+	closeCtx, cancelClose := context.WithTimeout(context.Background(), time.Second)
+	defer cancelClose()
+	hs.Shutdown(closeCtx)
+
+	if *journalP != "" {
+		f, err := os.Create(*journalP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+			return 1
+		}
+		werr := journal.WriteJSON(f)
+		f.Close()
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "journal:", werr)
+			return 1
+		}
+		fmt.Printf("audit journal (%d entries) written to %s\n", journal.Len(), *journalP)
+	}
+
+	stats, _ := json.Marshal(srv.Stats())
+	fmt.Printf("final stats: %s\n", stats)
+	return 0
+}
+
+// buildScenario mirrors the cmd/paradise scenario presets so the served
+// database matches the CLI's.
+func buildScenario(name string, dur time.Duration, seed int64) (*sensorsim.Scenario, error) {
+	switch name {
+	case "apartment":
+		sc := sensorsim.Apartment(dur, true, seed)
+		sc.PositionGridM = 0.25
+		return sc, nil
+	case "meeting":
+		sc := sensorsim.Meeting(5, dur, seed)
+		sc.PositionGridM = 0.25
+		return sc, nil
+	case "lecture":
+		sc := sensorsim.Lecture(8, dur, seed)
+		sc.PositionGridM = 0.25
+		return sc, nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (apartment | meeting | lecture)", name)
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"paradise/internal/fragment"
+	"paradise/internal/policy"
+	"paradise/internal/rewrite"
+	"paradise/internal/sqlparser"
+)
+
+// prepared is the immutable product of the per-statement compilation
+// pipeline — rewrite → lower → annotate → fragment — for one statement
+// shape under one policy module. Everything in it is shared read-only
+// across the requests that hit the cache: fragment execution compiles the
+// plan trees into fresh operator pipelines without mutating them (the
+// plan.Block Rebuild invariant), and the rewrite report is only read after
+// construction. The satisfaction check and the chain execution stay
+// per-request — they depend on the data, not the statement.
+type prepared struct {
+	rewritten    *sqlparser.Select
+	rewrittenSQL string
+	report       *rewrite.Report
+	plan         *fragment.Plan
+}
+
+// CacheStats is a point-in-time snapshot of plan-cache effectiveness.
+type CacheStats struct {
+	// Hits and Misses count lookups; a miss is followed by a compile and,
+	// on success, an insert. Denied or malformed statements count as misses
+	// but are never inserted, so they recompile (and re-deny) every time.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries pushed out by the LRU capacity bound.
+	// Entries keyed by a stale schema epoch linger until evicted — they can
+	// never be looked up again, so staleness costs capacity, not
+	// correctness.
+	Evictions uint64 `json:"evictions"`
+	// Size and Capacity describe the current occupancy.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+// PlanCache memoizes prepared statements across the sessions that share it.
+// Keys combine the normalized SQL (the canonical rendering of the parsed
+// statement, so spelling variants collide), the policy module, the policy
+// fingerprint (sessions with different policies never share plans, even on
+// identical SQL) and the store's schema epoch (any DDL shifts the epoch,
+// orphaning every earlier entry). It is safe for concurrent use and bounded
+// by an LRU over lookup recency.
+//
+// A PlanCache is optional: sessions without one (the default) compile every
+// statement per call, exactly as before.
+type PlanCache struct {
+	mu        sync.Mutex
+	cap       int
+	entries   map[string]*list.Element
+	lru       *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	pr  *prepared
+}
+
+// DefaultPlanCacheSize bounds a NewPlanCache(0) cache: generous for any
+// realistic statement-shape population, small enough that stale-epoch
+// leftovers are irrelevant.
+const DefaultPlanCacheSize = 256
+
+// NewPlanCache creates a plan cache holding at most capacity prepared
+// statements (<= 0 selects DefaultPlanCacheSize).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached prepared statement for key, counting the lookup.
+func (c *PlanCache) get(key string) (*prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).pr, true
+}
+
+// put inserts a prepared statement, evicting the least recently used entry
+// beyond capacity. Concurrent compilers racing on the same key keep the
+// latest insert; both artifacts are equivalent, so either is correct.
+func (c *PlanCache) put(key string, pr *prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).pr = pr
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, pr: pr})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.lru.Len(),
+		Capacity:  c.cap,
+	}
+}
+
+// cacheKey builds the composite lookup key for one statement under one
+// module. The components are joined with NUL — none of them can contain it
+// (SQL rendering escapes control characters, module IDs are validated
+// identifiers, the fingerprint is hex, the epoch decimal) — so distinct
+// component tuples never collide.
+func (p *Processor) cacheKey(sel *sqlparser.Select, mod *policy.Module) string {
+	var b strings.Builder
+	b.WriteString(sel.SQL())
+	b.WriteByte(0)
+	b.WriteString(strings.ToLower(mod.ID))
+	b.WriteByte(0)
+	b.WriteString(p.polFP)
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatUint(p.store.Epoch(), 10))
+	return b.String()
+}
+
+// prepared returns the statement's compiled form — rewritten SQL, rewrite
+// report, fragment plan — consulting the plan cache when the processor has
+// one. Compile errors (policy denials, unsupported shapes) are never
+// cached: they recompile per request so every denial is re-derived and
+// journaled from a live evaluation.
+func (p *Processor) preparedFor(sel *sqlparser.Select, mod *policy.Module) (*prepared, error) {
+	var key string
+	if p.cache != nil {
+		key = p.cacheKey(sel, mod)
+		if pr, ok := p.cache.get(key); ok {
+			return pr, nil
+		}
+	}
+	rewritten, rep, err := p.rewriter.Rewrite(sel, mod)
+	if err != nil {
+		return nil, err
+	}
+	root, err := lowerPlan(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	rep.Annotate(root, mod.ID)
+	plan, err := fragment.New().FromPlan(root)
+	if err != nil {
+		return nil, err
+	}
+	pr := &prepared{
+		rewritten:    rewritten,
+		rewrittenSQL: rewritten.SQL(),
+		report:       rep,
+		plan:         plan,
+	}
+	if p.cache != nil {
+		p.cache.put(key, pr)
+	}
+	return pr, nil
+}

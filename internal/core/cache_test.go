@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"paradise/internal/policy"
+	"paradise/internal/rewrite"
+	"paradise/internal/schema"
+	"paradise/internal/storage"
+)
+
+// cacheStore builds a small deterministic d with a sensitive column, so
+// Figure 4 denials are reachable.
+func cacheStore(t testing.TB) *storage.Store {
+	t.Helper()
+	st := storage.NewStore()
+	tab := st.Create(schema.NewRelation("d",
+		schema.SensitiveCol("user", schema.TypeString),
+		schema.Col("x", schema.TypeFloat),
+		schema.Col("y", schema.TypeFloat),
+		schema.Col("z", schema.TypeFloat),
+		schema.Col("t", schema.TypeInt),
+	))
+	for i := 0; i < 64; i++ {
+		if err := tab.Append(schema.Row{
+			schema.String(fmt.Sprintf("u%d", i%3)),
+			schema.Float(float64(i % 8)),
+			schema.Float(float64(i % 6)),
+			schema.Float(0.5 + float64(i%30)/10),
+			schema.Int(int64(i) * 50),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func cachedProcessor(t testing.TB, st *storage.Store, pol *policy.Policy, c *PlanCache) *Processor {
+	t.Helper()
+	p, err := New(Config{Store: st, Policy: pol, Cache: c, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// allowAllActionFilter is a second policy under the same module ID as
+// Figure 4 but with different rules: everything plainly allowed. Same SQL,
+// same module — only the policy fingerprint tells cache entries apart.
+func allowAllActionFilter() *policy.Policy {
+	mod := &policy.Module{ID: "ActionFilter"}
+	for _, n := range []string{"user", "x", "y", "z", "t"} {
+		mod.Attributes = append(mod.Attributes, &policy.Attribute{Name: n, Allow: true})
+	}
+	return &policy.Policy{Modules: []*policy.Module{mod}}
+}
+
+func wantStats(t *testing.T, c *PlanCache, hits, misses uint64, size int) {
+	t.Helper()
+	s := c.Stats()
+	if s.Hits != hits || s.Misses != misses || s.Size != size {
+		t.Fatalf("cache stats = hits %d misses %d size %d, want %d/%d/%d",
+			s.Hits, s.Misses, s.Size, hits, misses, size)
+	}
+}
+
+// TestPlanCacheHitOnRepeat: the second run of the same statement shape is a
+// hit, including spelling variants that parse to the same normalized SQL.
+func TestPlanCacheHitOnRepeat(t *testing.T) {
+	c := NewPlanCache(0)
+	p := cachedProcessor(t, cacheStore(t), policy.Figure4(), c)
+	ctx := context.Background()
+
+	if _, err := p.Process(ctx, "SELECT x, y FROM d", "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	wantStats(t, c, 0, 1, 1)
+	if _, err := p.Process(ctx, "SELECT x, y FROM d", "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	wantStats(t, c, 1, 1, 1)
+	// Different raw spelling, same parse: whitespace and keyword case
+	// normalize away in the canonical rendering the key is built from.
+	if _, err := p.Process(ctx, "select  x,   y from d", "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	wantStats(t, c, 2, 1, 1)
+}
+
+// TestPlanCacheDifferentPolicyMisses: two processors sharing one cache and
+// one store, same SQL, same module ID, different policies — the second must
+// miss and compile its own plan (the Figure 4 session injects x > y, the
+// allow-all one must not inherit it).
+func TestPlanCacheDifferentPolicyMisses(t *testing.T) {
+	st := cacheStore(t)
+	c := NewPlanCache(0)
+	fig4 := cachedProcessor(t, st, policy.Figure4(), c)
+	open := cachedProcessor(t, st, allowAllActionFilter(), c)
+	ctx := context.Background()
+
+	const q = "SELECT x, y FROM d"
+	a, err := fig4.Process(ctx, q, "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := open.Process(ctx, q, "ActionFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats(t, c, 0, 2, 2)
+	if a.RewrittenSQL == b.RewrittenSQL {
+		t.Fatalf("policies shared a rewrite: %q", a.RewrittenSQL)
+	}
+	// Each processor now hits its own entry.
+	if _, err := fig4.Process(ctx, q, "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := open.Process(ctx, q, "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	wantStats(t, c, 2, 2, 2)
+}
+
+// TestPlanCacheEpochInvalidation: DDL on the store bumps the schema epoch,
+// so the statement recompiles; the stale entry stays behind until the LRU
+// evicts it (capacity, not correctness).
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	st := cacheStore(t)
+	c := NewPlanCache(0)
+	p := cachedProcessor(t, st, policy.Figure4(), c)
+	ctx := context.Background()
+
+	const q = "SELECT x, y FROM d"
+	if _, err := p.Process(ctx, q, "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Process(ctx, q, "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	wantStats(t, c, 1, 1, 1)
+
+	st.Create(schema.NewRelation("other", schema.Col("v", schema.TypeInt)))
+	if _, err := p.Process(ctx, q, "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	wantStats(t, c, 1, 2, 2) // recompiled under the new epoch; old entry lingers
+	if _, err := p.Process(ctx, q, "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	wantStats(t, c, 2, 2, 2)
+}
+
+// TestPlanCacheLRUBound: the cache never exceeds its capacity; the least
+// recently used entry goes first, and a re-run of the evicted statement is
+// a miss again.
+func TestPlanCacheLRUBound(t *testing.T) {
+	c := NewPlanCache(2)
+	p := cachedProcessor(t, cacheStore(t), policy.Figure4(), c)
+	ctx := context.Background()
+
+	queries := []string{
+		"SELECT x FROM d",
+		"SELECT y FROM d",
+		"SELECT t FROM d",
+	}
+	for _, q := range queries {
+		if _, err := p.Process(ctx, q, "ActionFilter"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Size != 2 || s.Evictions != 1 {
+		t.Fatalf("after 3 inserts at capacity 2: size %d evictions %d", s.Size, s.Evictions)
+	}
+	// The first statement was the LRU victim: running it again misses.
+	if _, err := p.Process(ctx, queries[0], "ActionFilter"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Misses != 4 || got.Hits != 0 {
+		t.Fatalf("evicted statement did not miss: %+v", got)
+	}
+}
+
+// TestPlanCacheNeverCachesDenials: a policy-denied statement recompiles
+// (and re-denies) on every run; nothing is inserted.
+func TestPlanCacheNeverCachesDenials(t *testing.T) {
+	c := NewPlanCache(0)
+	p := cachedProcessor(t, cacheStore(t), policy.Figure4(), c)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		_, err := p.Process(ctx, "SELECT user FROM d", "ActionFilter")
+		if !errors.Is(err, rewrite.ErrDenied) {
+			t.Fatalf("run %d: err = %v, want policy denial", i, err)
+		}
+	}
+	wantStats(t, c, 0, 2, 0)
+}
+
+// TestPolicyFingerprint: equal rule content gives equal fingerprints
+// regardless of instance identity; any rule difference changes it.
+func TestPolicyFingerprint(t *testing.T) {
+	a, b := policy.Figure4(), policy.Figure4()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("two Figure4 instances disagree on fingerprint")
+	}
+	if a.Fingerprint() == allowAllActionFilter().Fingerprint() {
+		t.Fatal("different policies share a fingerprint")
+	}
+}

@@ -88,6 +88,12 @@ type Config struct {
 	// accounting are identical to serial execution): <= 0 means
 	// runtime.GOMAXPROCS(0), 1 keeps execution serial.
 	Parallelism int
+	// Cache, when set, memoizes prepared statements (rewrite → lower →
+	// annotate → fragment) keyed by normalized SQL, policy module, policy
+	// fingerprint and the store's schema epoch. One cache may be shared by
+	// several processors over the same store — the policy fingerprint keeps
+	// their entries apart. Nil disables caching.
+	Cache *PlanCache
 }
 
 // Processor is the privacy-aware query processor.
@@ -100,6 +106,10 @@ type Processor struct {
 	maxLoss  float64
 	journal  *audit.Journal
 	par      int
+	cache    *PlanCache
+	// polFP is the policy fingerprint component of cache keys, computed
+	// once — the policy is immutable after validation.
+	polFP string
 }
 
 // New validates the configuration and builds a Processor.
@@ -133,8 +143,13 @@ func New(cfg Config) (*Processor, error) {
 		maxLoss:  cfg.MaxInfoLoss,
 		journal:  cfg.Journal,
 		par:      par,
+		cache:    cfg.Cache,
+		polFP:    cfg.Policy.Fingerprint(),
 	}, nil
 }
+
+// Cache returns the processor's plan cache, or nil.
+func (p *Processor) Cache() *PlanCache { return p.cache }
 
 // Parallelism reports the worker count query pipelines run with (1 =
 // serial).
@@ -265,7 +280,11 @@ func lowerPlan(sel *sqlparser.Select) (logical.Node, error) {
 
 // prepare runs the preprocessing common to the materialized and streaming
 // paths: module lookup, policy rewrite, satisfaction check, fragmentation.
-// The returned Outcome carries everything known before execution.
+// The returned Outcome carries everything known before execution. The
+// per-statement compilation (rewrite → lower → annotate → fragment) goes
+// through preparedFor, which memoizes it when the processor has a plan
+// cache; the satisfaction check stays per-call — it compares answers, not
+// statements.
 func (p *Processor) prepare(ctx context.Context, sel *sqlparser.Select, moduleID string) (*Outcome, *fragment.Plan, error) {
 	mod, ok := p.pol.ModuleByID(moduleID)
 	if !ok {
@@ -275,43 +294,33 @@ func (p *Processor) prepare(ctx context.Context, sel *sqlparser.Select, moduleID
 	out := &Outcome{OriginalSQL: sel.SQL(), Satisfactory: true, InfoLoss: -1}
 
 	// --- Preprocessing: policy rewrite (§3.1), lowered to the logical
-	// plan IR with policy provenance on the operators it introduced. ---
-	rewritten, rep, err := p.rewriter.Rewrite(sel, mod)
+	// plan IR with policy provenance on the operators it introduced,
+	// fragmented vertically (§4) — cached per statement shape. ---
+	pr, err := p.preparedFor(sel, mod)
 	if err != nil {
 		return nil, nil, err
 	}
-	out.RewrittenSQL = rewritten.SQL()
-	out.RewriteReport = rep
-
-	root, err := lowerPlan(rewritten)
-	if err != nil {
-		return nil, nil, err
-	}
-	rep.Annotate(root, mod.ID)
+	out.RewrittenSQL = pr.rewrittenSQL
+	out.RewriteReport = pr.report
+	out.Plan = pr.plan
 
 	// Satisfaction check: compare original and rewritten answers.
 	if p.maxLoss > 0 {
-		loss, err := p.infoLoss(ctx, sel, rewritten)
+		loss, err := p.infoLoss(ctx, sel, pr.rewritten)
 		if err == nil {
 			out.InfoLoss = loss
 			out.Satisfactory = loss <= p.maxLoss
 		}
 	}
 
-	// --- Vertical fragmentation (§4): split the plan tree into stages. ---
-	plan, err := fragment.New().FromPlan(root)
-	if err != nil {
-		return nil, nil, err
-	}
-	out.Plan = plan
-
-	// The -explain view: a second lowering (the fragments share subtrees of
-	// the first), annotated and optimized against the store's catalog so
-	// pruned scan columns and pushed predicates are visible. Deferred until
-	// Outcome.Logical/Explain actually asks for it — a plain Process/Query
-	// builds exactly one plan tree.
+	// The -explain view: a fresh lowering (the fragments share subtrees of
+	// the prepared one), annotated and optimized against the store's catalog
+	// so pruned scan columns and pushed predicates are visible. Deferred
+	// until Outcome.Logical/Explain actually asks for it — a plain
+	// Process/Query builds at most one plan tree (none on a cache hit).
 	moduleID = mod.ID
 	store := p.store
+	rewritten, rep := pr.rewritten, pr.report
 	out.logicalFn = func() logical.Node {
 		expl, err := lowerPlan(rewritten)
 		if err != nil {
@@ -320,7 +329,7 @@ func (p *Processor) prepare(ctx context.Context, sel *sqlparser.Select, moduleID
 		rep.Annotate(expl, moduleID)
 		return logical.Optimize(expl, logical.Options{Catalog: engine.New(store).Catalog()})
 	}
-	return out, plan, nil
+	return out, pr.plan, nil
 }
 
 func (p *Processor) processSelect(ctx context.Context, sel *sqlparser.Select, moduleID string) (*Outcome, error) {

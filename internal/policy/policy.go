@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strings"
@@ -105,6 +107,28 @@ func (m *Module) DeniedOf(names []string) []string {
 		}
 	}
 	return out
+}
+
+// Fingerprint returns a stable identity of the policy's rule content: two
+// policies whose modules, attributes, conditions, aggregation mandates,
+// compression grids and stream rules are equal share a fingerprint, and any
+// rule difference changes it. Plan caches use it as the policy component of
+// their keys, so sessions with different policies never share a prepared
+// plan even for identical SQL.
+//
+// The fingerprint is a hash of the canonical XML rendering (the same
+// surface Parse reads), so it is insensitive to pointer identity and to
+// how the policy was constructed.
+func (p *Policy) Fingerprint() string {
+	data, err := Marshal(p)
+	if err != nil {
+		// Marshal of these plain structs cannot fail in practice; if it
+		// ever does, fall back to pointer identity, which can only split
+		// cache entries, never alias two different policies.
+		return fmt.Sprintf("unfingerprintable:%p", p)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }
 
 // Conditions returns every atomic condition of every allowed attribute,

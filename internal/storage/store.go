@@ -438,6 +438,11 @@ func (t *Table) WireSize() int {
 type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// epoch counts schema-changing operations (Create, Put, Drop). Prepared
+	// plans embed the epoch they were built against in their cache key, so
+	// any DDL invalidates every cached plan without the store knowing who
+	// caches what.
+	epoch atomic.Uint64
 }
 
 // NewStore creates an empty store.
@@ -445,21 +450,43 @@ func NewStore() *Store {
 	return &Store{tables: make(map[string]*Table)}
 }
 
+// Epoch returns the store's schema epoch: a counter bumped by every
+// schema-changing operation (Create, Put, Drop). A prepared plan is valid
+// exactly as long as the epoch it was built under; consumers key their
+// caches by it instead of subscribing to invalidation events.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
 // Create registers a new empty table and returns it. An existing table with
-// the same name is replaced.
+// the same name is replaced. Bumps the schema epoch.
 func (s *Store) Create(rel *schema.Relation) *Table {
 	t := NewTable(rel)
 	s.mu.Lock()
 	s.tables[strings.ToLower(rel.Name)] = t
 	s.mu.Unlock()
+	s.epoch.Add(1)
 	return t
 }
 
-// Put registers an existing table under its schema name.
+// Put registers an existing table under its schema name. Bumps the schema
+// epoch.
 func (s *Store) Put(t *Table) {
 	s.mu.Lock()
 	s.tables[strings.ToLower(t.Schema().Name)] = t
 	s.mu.Unlock()
+	s.epoch.Add(1)
+}
+
+// Drop removes a table by name (case-insensitive). Dropping a missing table
+// is a no-op and does not bump the schema epoch.
+func (s *Store) Drop(name string) {
+	key := strings.ToLower(name)
+	s.mu.Lock()
+	_, ok := s.tables[key]
+	delete(s.tables, key)
+	s.mu.Unlock()
+	if ok {
+		s.epoch.Add(1)
+	}
 }
 
 // Table finds a table by name (case-insensitive).

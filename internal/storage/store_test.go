@@ -280,3 +280,44 @@ func TestScanCloseIdempotent(t *testing.T) {
 		t.Fatalf("Next after double Close = %v, %v; want nil, nil", b, err)
 	}
 }
+
+// TestSchemaEpoch: every DDL operation bumps the epoch exactly once;
+// data-path operations (Append, Truncate, scans) never do. Plan caches key
+// by the epoch, so these are the exact invalidation rules.
+func TestSchemaEpoch(t *testing.T) {
+	s := NewStore()
+	if s.Epoch() != 0 {
+		t.Fatalf("fresh store epoch = %d, want 0", s.Epoch())
+	}
+	tab := s.Create(schema.NewRelation("e", schema.Col("v", schema.TypeInt)))
+	if s.Epoch() != 1 {
+		t.Fatalf("after Create epoch = %d, want 1", s.Epoch())
+	}
+	if err := tab.Append(schema.Row{schema.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	tab.Truncate()
+	it := tab.Scan(context.Background(), schema.Scan{})
+	if _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if s.Epoch() != 1 {
+		t.Fatalf("data ops moved the epoch to %d, want 1", s.Epoch())
+	}
+	s.Put(NewTable(schema.NewRelation("f", schema.Col("w", schema.TypeFloat))))
+	if s.Epoch() != 2 {
+		t.Fatalf("after Put epoch = %d, want 2", s.Epoch())
+	}
+	s.Drop("missing") // no-op: nothing removed, nothing invalidated
+	if s.Epoch() != 2 {
+		t.Fatalf("no-op Drop moved the epoch to %d, want 2", s.Epoch())
+	}
+	s.Drop("F")
+	if s.Epoch() != 3 {
+		t.Fatalf("after Drop epoch = %d, want 3", s.Epoch())
+	}
+	if _, err := s.Table("f"); err == nil {
+		t.Fatal("dropped table still resolvable")
+	}
+}

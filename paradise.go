@@ -24,7 +24,8 @@ type sessionConfig struct {
 	journal  *Journal
 	maxLoss  float64
 	defMod   string
-	parallel int  // worker goroutines per pipeline; <= 0 means GOMAXPROCS
+	parallel int // worker goroutines per pipeline; <= 0 means GOMAXPROCS
+	cache    *PlanCache
 	explicit bool // a policy was supplied explicitly
 }
 
@@ -93,6 +94,24 @@ func WithParallelism(n int) Option {
 	return func(c *sessionConfig) { c.parallel = n }
 }
 
+// WithPlanCache attaches a prepared-plan cache to the session: the
+// per-statement compilation pipeline (policy rewrite, lowering to the plan
+// IR, provenance annotation, vertical fragmentation) runs once per
+// statement shape and is reused — read-only — by every later query that
+// parses to the same normalized SQL under the same policy module. Entries
+// are keyed by the policy's fingerprint and the store's schema epoch too,
+// so one cache can safely be shared by many sessions over one store (the
+// serving layer does exactly that, one cache across all tenants), and any
+// DDL on the store invalidates every earlier entry.
+//
+// Caching changes performance only: rows, row order, transfer stats and
+// audit journaling of a cached execution are identical to an uncached one.
+// Denied or malformed statements are never cached. Nil is a valid argument
+// and leaves caching off (the default).
+func WithPlanCache(c *PlanCache) Option {
+	return func(cfg *sessionConfig) { cfg.cache = c }
+}
+
 // QueryOption configures one Query/Process call.
 type QueryOption func(*queryConfig)
 
@@ -146,6 +165,7 @@ func Open(store *Store, opts ...Option) (*Session, error) {
 		MaxInfoLoss: cfg.maxLoss,
 		Journal:     cfg.journal,
 		Parallelism: cfg.parallel,
+		Cache:       cfg.cache,
 	})
 	if err != nil {
 		return nil, wrapErr(err)
@@ -294,6 +314,10 @@ func (s *Session) RunNaive(ctx context.Context, sql string) (*RunStats, error) {
 
 // Journal returns the configured audit journal, or nil.
 func (s *Session) Journal() *Journal { return s.proc.Journal() }
+
+// PlanCache returns the session's prepared-plan cache, or nil when the
+// session was opened without WithPlanCache.
+func (s *Session) PlanCache() *PlanCache { return s.proc.Cache() }
 
 // Store returns the session's database.
 func (s *Session) Store() *Store { return s.store }

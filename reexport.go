@@ -85,6 +85,15 @@ type (
 	// Verdict is the outcome of a residual-risk audit: whether a
 	// privacy-violating query is still answerable from the released d′.
 	Verdict = containment.Verdict
+
+	// PlanCache memoizes prepared statements — the rewrite → lower →
+	// annotate → fragment pipeline — across the sessions that share it
+	// (Open(..., WithPlanCache(c))). Keys include the normalized SQL, the
+	// policy module, the policy fingerprint and the store's schema epoch.
+	PlanCache = core.PlanCache
+	// PlanCacheStats is a snapshot of plan-cache effectiveness:
+	// hits, misses, evictions, occupancy.
+	PlanCacheStats = core.CacheStats
 )
 
 // Available postprocessing methods (§3.2 names them all).
@@ -131,6 +140,10 @@ func Time(t gotime.Time) Value { return schema.Time(t) }
 
 // NewJournal creates an empty audit journal, for Open(..., WithJournal(j)).
 func NewJournal() *Journal { return audit.NewJournal() }
+
+// NewPlanCache creates a prepared-plan cache holding at most capacity
+// entries (<= 0 selects a sensible default), for Open(..., WithPlanCache(c)).
+func NewPlanCache(capacity int) *PlanCache { return core.NewPlanCache(capacity) }
 
 // DefaultApartment builds the Figure 3 chain: sensor → appliance → media
 // center → apartment PC → cloud.

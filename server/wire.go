@@ -1,0 +1,137 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"time"
+
+	paradise "paradise"
+)
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Tenant selects the serving session; empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// SQL is the statement to process (required).
+	SQL string `json:"sql"`
+	// Module selects the policy module; empty uses the tenant's default.
+	Module string `json:"module,omitempty"`
+	// TimeoutMs bounds the execution; 0 inherits the server's ceiling.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// ColumnInfo describes one output column on the schema line.
+type ColumnInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Message is one NDJSON line of a query response — exactly one of the
+// Type-specific field groups is populated:
+//
+//	{"type":"schema","columns":[{"name":"x","type":"double"}, ...]}
+//	{"type":"row","values":[0.5, "alice", null, ...]}
+//	{"type":"stats","rows":12,"raw_bytes":...,"egress_bytes":...,"reduction":...,"sim_ms":...}
+//	{"type":"error","code":"policy_violation","message":"...","rule":"...","attributes":[...]}
+//
+// A successful stream is schema, rows, stats; a stream that dies mid-way
+// (cancellation, shutdown, execution failure) ends with an error line
+// instead of the stats trailer, so every response is well-formed NDJSON
+// with an unambiguous final line. Pre-execution failures skip the stream
+// entirely: the response is a non-2xx status whose body is a single error
+// Message.
+type Message struct {
+	Type string `json:"type"`
+
+	// Schema line.
+	Columns []ColumnInfo `json:"columns,omitempty"`
+
+	// Row line. Values are JSON-native: null, bool, number, string;
+	// timestamps are RFC 3339 strings; non-finite floats are the strings
+	// "NaN", "+Inf", "-Inf" (JSON has no spelling for them).
+	Values []any `json:"values,omitempty"`
+
+	// Stats trailer (the Figure 3 accounting of the drained chain).
+	Rows        int     `json:"rows,omitempty"`
+	RawBytes    int     `json:"raw_bytes,omitempty"`
+	EgressBytes int     `json:"egress_bytes,omitempty"`
+	Reduction   float64 `json:"reduction,omitempty"`
+	SimMs       float64 `json:"sim_ms,omitempty"`
+
+	// Error object.
+	Code       string   `json:"code,omitempty"`
+	Message    string   `json:"message,omitempty"`
+	Rule       string   `json:"rule,omitempty"`
+	Attributes []string `json:"attributes,omitempty"`
+	Module     string   `json:"module,omitempty"`
+}
+
+// StatsSnapshot is the body of GET /v1/stats: the serving layer's
+// observability surface.
+type StatsSnapshot struct {
+	PlanCache    paradise.PlanCacheStats `json:"plan_cache"`
+	Tenants      int                     `json:"tenants"`
+	InFlight     int64                   `json:"in_flight"`
+	QueriesTotal int64                   `json:"queries_total"`
+	RowsStreamed int64                   `json:"rows_streamed"`
+	ErrorsTotal  int64                   `json:"errors_total"`
+	Draining     bool                    `json:"draining"`
+	UptimeMs     int64                   `json:"uptime_ms"`
+}
+
+// schemaMessage renders the schema line for a result relation.
+func schemaMessage(rel *paradise.Relation) *Message {
+	cols := make([]ColumnInfo, len(rel.Columns))
+	for i, c := range rel.Columns {
+		cols[i] = ColumnInfo{Name: c.Name, Type: strings.ToLower(c.Type.String())}
+	}
+	return &Message{Type: "schema", Columns: cols}
+}
+
+// rowValues encodes one row into JSON-native values.
+func rowValues(r paradise.Row) []any {
+	out := make([]any, len(r))
+	for i, v := range r {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+// encodeValue maps one typed cell to its JSON representation.
+func encodeValue(v paradise.Value) any {
+	switch v.Type() {
+	case paradise.TypeBool:
+		return v.AsBool()
+	case paradise.TypeInt:
+		return v.AsInt()
+	case paradise.TypeFloat:
+		f := v.AsFloat()
+		switch {
+		case math.IsNaN(f):
+			return "NaN"
+		case math.IsInf(f, 1):
+			return "+Inf"
+		case math.IsInf(f, -1):
+			return "-Inf"
+		}
+		return f
+	case paradise.TypeString:
+		return v.AsString()
+	case paradise.TypeTime:
+		return v.AsTime().Format(time.RFC3339Nano)
+	default: // NULL
+		return nil
+	}
+}
+
+// statsMessage renders the trailer from the drained chain's accounting.
+func statsMessage(rows int, st *paradise.RunStats) *Message {
+	return &Message{
+		Type:        "stats",
+		Rows:        rows,
+		RawBytes:    st.RawBytes,
+		EgressBytes: st.EgressBytes,
+		Reduction:   st.Reduction(),
+		SimMs:       float64(st.SimTime) / float64(time.Millisecond),
+	}
+}
