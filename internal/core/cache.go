@@ -59,9 +59,20 @@ type PlanCache struct {
 	cap       int
 	entries   map[string]*list.Element
 	lru       *list.List // front = most recently used
+	inflight  map[string]*flight
 	hits      uint64
 	misses    uint64
 	evictions uint64
+}
+
+// flight coalesces concurrent compilations of one cold key: the first
+// misser becomes the leader and compiles; everyone else blocks on done and
+// shares the leader's artifact. pr is nil after a failed flight — waiters
+// then compile (and re-deny, re-journal) for themselves, preserving the
+// denials-are-never-cached contract per request.
+type flight struct {
+	done chan struct{}
+	pr   *prepared
 }
 
 type cacheEntry struct {
@@ -81,29 +92,51 @@ func NewPlanCache(capacity int) *PlanCache {
 		capacity = DefaultPlanCacheSize
 	}
 	return &PlanCache{
-		cap:     capacity,
-		entries: make(map[string]*list.Element, capacity),
-		lru:     list.New(),
+		cap:      capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
 	}
 }
 
-// get returns the cached prepared statement for key, counting the lookup.
-func (c *PlanCache) get(key string) (*prepared, bool) {
+// acquire is the singleflight lookup: a present key is a hit; a cold key is
+// a miss that either joins the in-progress flight for that key or starts a
+// new one (leader=true — the caller must compile and call complete). Every
+// lookup counts exactly one hit or one miss, leader or not.
+func (c *PlanCache) acquire(key string) (pr *prepared, fl *flight, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		return nil, false
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).pr, nil, false
 	}
-	c.hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).pr, true
+	c.misses++
+	if fl, ok := c.inflight[key]; ok {
+		return nil, fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	return nil, fl, true
+}
+
+// complete finishes a flight: a successful artifact is inserted before the
+// flight is retired, so lookups arriving in between hit the cache instead
+// of starting a redundant compile. Closing done releases the waiters (the
+// channel close orders fl.pr's publication before their reads).
+func (c *PlanCache) complete(key string, fl *flight, pr *prepared) {
+	if pr != nil {
+		c.put(key, pr)
+	}
+	c.mu.Lock()
+	fl.pr = pr
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(fl.done)
 }
 
 // put inserts a prepared statement, evicting the least recently used entry
-// beyond capacity. Concurrent compilers racing on the same key keep the
-// latest insert; both artifacts are equivalent, so either is correct.
+// beyond capacity.
 func (c *PlanCache) put(key string, pr *prepared) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -156,14 +189,35 @@ func (p *Processor) cacheKey(sel *sqlparser.Select, mod *policy.Module) string {
 // one. Compile errors (policy denials, unsupported shapes) are never
 // cached: they recompile per request so every denial is re-derived and
 // journaled from a live evaluation.
+//
+// Concurrent misses on one cold key are coalesced (singleflight): the first
+// misser compiles once for everyone, waiters block on the flight and share
+// the artifact. A failed flight releases its waiters to compile for
+// themselves — errors stay per-request, never shared, never cached.
 func (p *Processor) preparedFor(sel *sqlparser.Select, mod *policy.Module) (*prepared, error) {
-	var key string
-	if p.cache != nil {
-		key = p.cacheKey(sel, mod)
-		if pr, ok := p.cache.get(key); ok {
-			return pr, nil
-		}
+	if p.cache == nil {
+		return p.compileStatement(sel, mod)
 	}
+	key := p.cacheKey(sel, mod)
+	pr, fl, leader := p.cache.acquire(key)
+	if pr != nil {
+		return pr, nil
+	}
+	if !leader {
+		<-fl.done
+		if fl.pr != nil {
+			return fl.pr, nil
+		}
+		return p.compileStatement(sel, mod)
+	}
+	pr, err := p.compileStatement(sel, mod)
+	p.cache.complete(key, fl, pr)
+	return pr, err
+}
+
+// compileStatement runs the per-statement compilation pipeline: rewrite →
+// lower → annotate → fragment.
+func (p *Processor) compileStatement(sel *sqlparser.Select, mod *policy.Module) (*prepared, error) {
 	rewritten, rep, err := p.rewriter.Rewrite(sel, mod)
 	if err != nil {
 		return nil, err
@@ -177,14 +231,10 @@ func (p *Processor) preparedFor(sel *sqlparser.Select, mod *policy.Module) (*pre
 	if err != nil {
 		return nil, err
 	}
-	pr := &prepared{
+	return &prepared{
 		rewritten:    rewritten,
 		rewrittenSQL: rewritten.SQL(),
 		report:       rep,
 		plan:         plan,
-	}
-	if p.cache != nil {
-		p.cache.put(key, pr)
-	}
-	return pr, nil
+	}, nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"paradise/internal/policy"
@@ -198,6 +200,84 @@ func TestPlanCacheNeverCachesDenials(t *testing.T) {
 		}
 	}
 	wantStats(t, c, 0, 2, 0)
+}
+
+// TestPlanCacheSingleflight: N goroutines racing one cold key perform
+// exactly one compilation — the leader's — and all requests succeed with
+// the shared artifact. Run under -race this also proves the flight's
+// publication ordering.
+func TestPlanCacheSingleflight(t *testing.T) {
+	c := NewPlanCache(0)
+	p := cachedProcessor(t, cacheStore(t), policy.Figure4(), c)
+	ctx := context.Background()
+
+	var lowered atomic.Int64
+	lowerPlanHook = func() { lowered.Add(1) }
+	defer func() { lowerPlanHook = nil }()
+
+	const workers = 16
+	start := make(chan struct{})
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, errs[i] = p.Process(ctx, "SELECT x, y FROM d", "ActionFilter")
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if got := lowered.Load(); got != 1 {
+		t.Fatalf("lowered %d plan trees for one cold key, want 1", got)
+	}
+	s := c.Stats()
+	if s.Size != 1 {
+		t.Fatalf("cache size = %d, want 1", s.Size)
+	}
+	// Every lookup still counts exactly once; how many were hits depends on
+	// arrival timing, but at least the leader missed.
+	if s.Hits+s.Misses != workers || s.Misses < 1 {
+		t.Fatalf("lookup accounting off: hits %d misses %d, want %d total with >= 1 miss",
+			s.Hits, s.Misses, workers)
+	}
+}
+
+// TestPlanCacheSingleflightDenial: a failed flight caches nothing and every
+// racing request re-derives its own denial.
+func TestPlanCacheSingleflightDenial(t *testing.T) {
+	c := NewPlanCache(0)
+	p := cachedProcessor(t, cacheStore(t), policy.Figure4(), c)
+	ctx := context.Background()
+
+	const workers = 8
+	start := make(chan struct{})
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, errs[i] = p.Process(ctx, "SELECT user FROM d", "ActionFilter")
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, rewrite.ErrDenied) {
+			t.Fatalf("worker %d: err = %v, want policy denial", i, err)
+		}
+	}
+	if s := c.Stats(); s.Size != 0 {
+		t.Fatalf("denied statement was cached: size %d", s.Size)
+	}
 }
 
 // TestPolicyFingerprint: equal rule content gives equal fingerprints

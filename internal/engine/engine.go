@@ -184,6 +184,16 @@ func (e *Engine) openBlock(ctx context.Context, top plan.Node) (*schema.Relation
 		return nil, nil, err
 	}
 	out := schema.RowIterator(&projIter{src: it, p: p, env: (&rowEnv{b: b}).reuse()})
+	// An all-plain-column projection directly over a vectorized join folds
+	// into the join's output gather: the combined wide rows are never
+	// materialized and the projector stage disappears. Any filter between
+	// them wraps the iterator, so this only fires on the bare join head.
+	if vj, ok := it.(*vecJoinIter); ok && !p.identity {
+		if om, omOK := projOutMap(p); omOK {
+			vj.ex.core.retarget(om)
+			out = it
+		}
+	}
 	if blk.Distinct != nil {
 		out = &distinctIter{src: out, seen: make(map[string]bool)}
 	}
@@ -434,7 +444,15 @@ func (e *Engine) finishBroken(blk *plan.Block, b *binding, out *Result, orderRow
 	}
 
 	if blk.Sort != nil {
-		if err := sortResult(out, orderRows, b, blk.Sort.By); err != nil {
+		// A LIMIT below the sort turns it into top-K selection: sortResult
+		// only needs the first n rows of the full ordering.
+		limit := -1
+		if blk.Limit != nil {
+			if limit = int(blk.Limit.N); limit < 0 {
+				limit = 0
+			}
+		}
+		if err := sortResult(out, orderRows, b, blk.Sort.By, limit); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -452,9 +470,14 @@ func (e *Engine) finishBroken(blk *plan.Block, b *binding, out *Result, orderRow
 }
 
 // openJoin builds a streaming join: the right (build) side is materialized,
-// the left (probe) side streams batch-at-a-time. Equi-joins on plain column
-// references use a hash index; everything else falls back to nested loops.
+// the left (probe) side streams batch-at-a-time. Pure equi-joins over a
+// columnar probe scan run the vectorized probe (vecjoin.go); remaining
+// equi-joins on plain column references use the row-at-a-time hash index;
+// everything else falls back to nested loops.
 func (e *Engine) openJoin(ctx context.Context, j *plan.Join) (*binding, schema.RowIterator, error) {
+	if cb, it, ok, err := e.openVecJoin(ctx, j); ok || err != nil {
+		return cb, it, err
+	}
 	lb, lit, err := e.openJoinSide(ctx, j.Left)
 	if err != nil {
 		return nil, nil, err
@@ -469,10 +492,17 @@ func (e *Engine) openJoin(ctx context.Context, j *plan.Join) (*binding, schema.R
 		lit.Close()
 		return nil, nil, err
 	}
+	cb, it := joinFromBuild(j, lb, lit, rb, rrows)
+	return cb, it, nil
+}
+
+// joinFromBuild assembles the row-path probe over an already-drained build
+// side, shared by openJoin and openVecJoin's late declines.
+func joinFromBuild(j *plan.Join, lb *binding, lit schema.RowIterator, rb *binding, rrows schema.Rows) (*binding, schema.RowIterator) {
 	cb := lb.concat(rb)
 
 	if j.Type == sqlparser.JoinCross {
-		return cb, &loopJoinIter{left: lit, rrows: rrows, cb: cb}, nil
+		return cb, &loopJoinIter{left: lit, rrows: rrows, cb: cb}
 	}
 
 	// Hash join fast path: ON is a conjunction containing at least one
@@ -490,14 +520,14 @@ func (e *Engine) openJoin(ctx context.Context, j *plan.Join) (*binding, schema.R
 			eqL: eqL, rest: rest, cb: cb,
 			leftJoin: j.Type == sqlparser.JoinLeft,
 			nullR:    nullRow(len(rb.cols)),
-		}, nil
+		}
 	}
 
 	return cb, &loopJoinIter{
 		left: lit, rrows: rrows, on: j.On, cb: cb,
 		leftJoin: j.Type == sqlparser.JoinLeft,
 		nullR:    nullRow(len(rb.cols)),
-	}, nil
+	}
 }
 
 // openJoinSide compiles one side of a join: a scan, a derived block, a
@@ -703,11 +733,10 @@ func (e *Engine) evalProjection(blk *plan.Block, b *binding, rows schema.Rows) (
 		// One backing array for the whole materialized projection.
 		vals = make([]schema.Value, len(rows)*nc)
 	}
+	env.win = winVals
 	for ri, row := range rows {
 		env.row = row
-		if winVals != nil {
-			env.win = winVals[ri]
-		}
+		env.winRow = ri
 		if p.identity {
 			out[ri] = row
 			continue

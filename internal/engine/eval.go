@@ -19,8 +19,13 @@ type rowEnv struct {
 	b   *binding
 	row schema.Row
 	agg map[string]schema.Value
-	win map[string]schema.Value
-	idx map[*sqlparser.ColumnRef]int
+	// win holds window-call results as per-call columns aligned with the
+	// input rows (winTable from evalWindows); winRow selects the current
+	// row. One map for the whole materialized projection instead of one
+	// per row.
+	win    winTable
+	winRow int
+	idx    map[*sqlparser.ColumnRef]int
 }
 
 // reuse marks the environment as long-lived, enabling per-node memoization
@@ -341,8 +346,8 @@ func evalFunc(env *rowEnv, f *sqlparser.FuncCall) (schema.Value, error) {
 	key := f.SQL()
 	if f.IsWindow() {
 		if env.win != nil {
-			if v, ok := env.win[key]; ok {
-				return v, nil
+			if vs, ok := env.win[key]; ok {
+				return vs[env.winRow], nil
 			}
 		}
 		return schema.Null(), fmt.Errorf("%w: window function %s not allowed here", ErrQuery, key)

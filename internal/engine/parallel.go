@@ -641,7 +641,15 @@ func buildJoinIndex(rrows schema.Rows, eqR []int, workers int) *joinIndex {
 			hs[i] = fnv32a(keys[i])
 		}
 	})
+	return &joinIndex{parts: partitionKeyIndex(keys, hs, workers)}
+}
 
+// partitionKeyIndex is phase 2 of the partitioned build (shared with the
+// columnar build in vecjoin.go): each partition's worker inserts exactly
+// the rows hashing to it, scanning the shared key array in row order so
+// per-key row lists match the serial build order.
+func partitionKeyIndex(keys []string, hs []uint32, workers int) []map[string][]int {
+	n := len(keys)
 	parts := make([]map[string][]int, workers)
 	var wg sync.WaitGroup
 	for p := 0; p < workers; p++ {
@@ -660,7 +668,7 @@ func buildJoinIndex(rrows schema.Rows, eqR []int, workers int) *joinIndex {
 		}(p)
 	}
 	wg.Wait()
-	return &joinIndex{parts: parts}
+	return parts
 }
 
 // lookup probes by raw key bytes: the string(key) map accesses compile
@@ -750,7 +758,19 @@ func (e *Engine) openBlockParallel(ctx context.Context, blk *plan.Block, src pla
 		return nil, nil, true, err
 	}
 	if !p.identity {
-		seg.mk = append(seg.mk, projStage(p, seg.b))
+		// An all-plain-column projection directly over a vectorized join
+		// (no intervening worker stages — residual filters would see the
+		// combined layout) folds into the join's output gather.
+		retargeted := false
+		if vm, ok := seg.ms.(*vecJoinMorsels); ok && len(seg.mk) == 0 {
+			if om, omOK := projOutMap(p); omOK {
+				vm.core.retarget(om)
+				retargeted = true
+			}
+		}
+		if !retargeted {
+			seg.mk = append(seg.mk, projStage(p, seg.b))
+		}
 	}
 	var out schema.RowIterator
 	if blk.Distinct != nil {
@@ -876,6 +896,9 @@ func (e *Engine) openParScan(ctx context.Context, s *plan.Scan, blk *plan.Block)
 // probe (left) side extends its segment with a probe stage so each worker
 // probes its own morsels against the shared immutable index.
 func (e *Engine) openParJoin(ctx context.Context, j *plan.Join) (*parSeg, bool, error) {
+	if seg, handled, err := e.openParVecJoin(ctx, j); handled || err != nil {
+		return seg, handled, err
+	}
 	left, ok, err := e.openParJoinSide(ctx, j.Left)
 	if err != nil || !ok {
 		return nil, ok, err
@@ -890,6 +913,12 @@ func (e *Engine) openParJoin(ctx context.Context, j *plan.Join) (*parSeg, bool, 
 		left.close()
 		return nil, true, err
 	}
+	return e.parJoinFromBuild(j, left, rb, rrows), true, nil
+}
+
+// parJoinFromBuild appends the row-path probe stage for an already-drained
+// build side, shared by openParJoin and openParVecJoin's late declines.
+func (e *Engine) parJoinFromBuild(j *plan.Join, left *parSeg, rb *binding, rrows schema.Rows) *parSeg {
 	lb := left.b
 	cb := lb.concat(rb)
 	seg := left
@@ -897,7 +926,7 @@ func (e *Engine) openParJoin(ctx context.Context, j *plan.Join) (*parSeg, bool, 
 
 	if j.Type == sqlparser.JoinCross {
 		seg.mk = append(seg.mk, loopProbeStage(rrows, nil, cb, false, nil))
-		return seg, true, nil
+		return seg
 	}
 
 	eqL, eqR, rest := splitEquiJoin(j.On, lb, rb)
@@ -905,11 +934,11 @@ func (e *Engine) openParJoin(ctx context.Context, j *plan.Join) (*parSeg, bool, 
 		ix := buildJoinIndex(rrows, eqR, e.par)
 		seg.mk = append(seg.mk, hashProbeStage(ix, rrows, eqL, rest, cb,
 			j.Type == sqlparser.JoinLeft, nullRow(len(rb.cols))))
-		return seg, true, nil
+		return seg
 	}
 	seg.mk = append(seg.mk, loopProbeStage(rrows, j.On, cb,
 		j.Type == sqlparser.JoinLeft, nullRow(len(rb.cols))))
-	return seg, true, nil
+	return seg
 }
 
 // openParJoinSide compiles one probe-side input, mirroring openJoinSide.

@@ -7,31 +7,113 @@ import (
 	"paradise/internal/sqlparser"
 )
 
+// keySrc is the statically-planned source of one ORDER BY key: a direct
+// output-row column, a direct input-row column, or per-row expression
+// evaluation. The per-row decision chain in orderKey is row-independent for
+// plain column references, so it is hoisted out of the row loop here — the
+// hot path then extracts keys by plain slice indexing instead of resolving
+// (and, for projected-away columns, failing to resolve) per row.
+type keySrc struct {
+	kind int // srcOut | srcIn | srcEval
+	idx  int
+}
+
+const (
+	srcOut = iota
+	srcIn
+	srcEval
+)
+
 // sortResult orders the result rows by the ORDER BY items. Each item may
 // reference an output column (alias or projected name) or — when inputRows
 // is non-nil and aligned 1:1 with the output — any expression over the input
 // binding (SQL allows ordering by columns that were projected away).
-func sortResult(res *Result, inputRows schema.Rows, b *binding, items []sqlparser.OrderItem) error {
+//
+// Keys are extracted once into typed key columns (schema.KeyCol) and
+// compared unboxed; the comparator is pairwise-identical to the boxed
+// lessKeys/compareForSort path, so the stable sort's output is unchanged.
+// A non-negative limit additionally enables top-K selection — returning
+// only the first limit rows of the full sort — when no key contains NaN
+// (with NaN the comparison is not a strict weak order and only the full
+// stable sort is deterministic).
+func sortResult(res *Result, inputRows schema.Rows, b *binding, items []sqlparser.OrderItem, limit int) error {
 	n := len(res.Rows)
-	keys := make([][]schema.Value, n)
+	ks := newSortKeys(items)
+
+	srcs := make([]keySrc, len(items))
 	outB := bindingFromRelation(res.Schema, "")
-	outEnv := (&rowEnv{b: outB}).reuse()
-	var inEnv *rowEnv
-	if b != nil {
-		inEnv = (&rowEnv{b: b}).reuse()
+	needEval := false
+	for i, it := range items {
+		srcs[i] = keySrc{kind: srcEval}
+		c, ok := it.Expr.(*sqlparser.ColumnRef)
+		if !ok {
+			needEval = true
+			continue
+		}
+		// Mirror orderKey's chain: unqualified output name, then output
+		// binding resolution, then the aligned input row.
+		if c.Table == "" {
+			if j, err := res.Schema.Index(c.Name); err == nil {
+				srcs[i] = keySrc{kind: srcOut, idx: j}
+				continue
+			}
+		}
+		if j, err := outB.resolve(c); err == nil {
+			srcs[i] = keySrc{kind: srcOut, idx: j}
+			continue
+		}
+		if inputRows != nil && b != nil {
+			if j, err := b.resolve(c); err == nil {
+				srcs[i] = keySrc{kind: srcIn, idx: j}
+				continue
+			}
+		}
+		needEval = true
 	}
 
-	kvals := make([]schema.Value, n*len(items))
-	for ri := 0; ri < n; ri++ {
-		ks := kvals[ri*len(items) : (ri+1)*len(items) : (ri+1)*len(items)]
-		for i, it := range items {
-			v, err := orderKey(res, outEnv, inputRows, inEnv, ri, it.Expr)
-			if err != nil {
-				return err
-			}
-			ks[i] = v
+	// Expression keys first, row-major, so an evaluation error surfaces for
+	// the same (row, item) as the row-at-a-time path would report.
+	if needEval {
+		outEnv := (&rowEnv{b: outB}).reuse()
+		var inEnv *rowEnv
+		if b != nil {
+			inEnv = (&rowEnv{b: b}).reuse()
 		}
-		keys[ri] = ks
+		for ri := 0; ri < n; ri++ {
+			for i := range items {
+				if srcs[i].kind != srcEval {
+					continue
+				}
+				v, err := orderKey(res, outEnv, inputRows, inEnv, ri, items[i].Expr)
+				if err != nil {
+					return err
+				}
+				ks.cols[i].Append(v)
+			}
+		}
+	}
+	// Column keys column-major: no resolution, no errors, cache-friendly.
+	for i := range items {
+		switch srcs[i].kind {
+		case srcOut:
+			for ri := 0; ri < n; ri++ {
+				ks.cols[i].Append(res.Rows[ri][srcs[i].idx])
+			}
+		case srcIn:
+			for ri := 0; ri < n; ri++ {
+				ks.cols[i].Append(inputRows[ri][srcs[i].idx])
+			}
+		}
+	}
+
+	if limit >= 0 && limit < n && !ks.hasNaN() {
+		perm := ks.topK(n, limit)
+		sorted := make(schema.Rows, len(perm))
+		for i, p := range perm {
+			sorted[i] = res.Rows[p]
+		}
+		res.Rows = sorted
+		return nil
 	}
 
 	perm := make([]int, n)
@@ -39,7 +121,7 @@ func sortResult(res *Result, inputRows schema.Rows, b *binding, items []sqlparse
 		perm[i] = i
 	}
 	sort.SliceStable(perm, func(a, c int) bool {
-		return lessKeys(keys[perm[a]], keys[perm[c]], items)
+		return ks.less(perm[a], perm[c])
 	})
 
 	sorted := make(schema.Rows, n)
@@ -52,7 +134,9 @@ func sortResult(res *Result, inputRows schema.Rows, b *binding, items []sqlparse
 
 // orderKey computes one ORDER BY key for one row, preferring output columns
 // and falling back to the input row. The environments are reused across
-// rows (resolution is memoized per expression node).
+// rows (resolution is memoized per expression node). sortResult pre-plans
+// the column-reference cases; this remains the per-row path for expression
+// keys, and the definition the static plan must mirror.
 func orderKey(res *Result, outEnv *rowEnv, inputRows schema.Rows, inEnv *rowEnv, ri int, ex sqlparser.Expr) (schema.Value, error) {
 	// A plain column reference that names an output column orders by it.
 	if c, ok := ex.(*sqlparser.ColumnRef); ok && c.Table == "" {

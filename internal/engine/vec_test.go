@@ -27,9 +27,11 @@ func (r rowOnly) Relation(name string) (*schema.Relation, schema.Rows, error) {
 // query would take the row path twice); pin the capability at compile time.
 var _ ColScanner = (*storage.Store)(nil)
 
-// vecStore builds a table exercising every kernel type plus the awkward
+// vecStore builds two tables exercising every kernel type plus the awkward
 // values: NULLs in every column, NaN and infinities and -0.0 in floats, and
 // (optionally) a wrong-typed value that degrades a vector to boxed storage.
+// The second table w is the join build side: duplicate keys, a NULL key, and
+// a key no probe row matches.
 func vecStore(t testing.TB, boxed bool) *storage.Store {
 	t.Helper()
 	st := storage.NewStore()
@@ -54,6 +56,20 @@ func vecStore(t testing.TB, boxed bool) *storage.Store {
 		rows = append(rows, schema.Row{schema.String("boxed"), schema.Float(9), schema.String("d"), schema.Bool(false)})
 	}
 	if err := v.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	w := st.Create(schema.NewRelation("w",
+		schema.Col("k", schema.TypeInt),
+		schema.Col("t", schema.TypeString),
+	))
+	wrows := schema.Rows{
+		{schema.Int(1), schema.String("one")},
+		{schema.Int(1), schema.String("uno")}, // duplicate build key
+		{schema.Int(3), schema.String("three")},
+		{schema.Null(), schema.String("none")},  // NULL build key
+		{schema.Int(7), schema.String("seven")}, // matches no probe row
+	}
+	if err := w.Append(wrows...); err != nil {
 		t.Fatal(err)
 	}
 	return st
@@ -81,8 +97,16 @@ func sameValue(a, b schema.Value) bool {
 // schemas, row sets (in order) and errors.
 func checkEquivalence(t *testing.T, st *storage.Store, sql string) {
 	t.Helper()
+	checkEquivalenceEngine(t, New(st), st, sql)
+}
+
+// checkEquivalenceEngine is checkEquivalence with the vectorized side
+// supplied by the caller (e.g. with the morsel exchange enabled); the
+// reference side is always the serial, never-vectorized row path.
+func checkEquivalenceEngine(t *testing.T, veng *Engine, st *storage.Store, sql string) {
+	t.Helper()
 	ctx := context.Background()
-	vres, verr := New(st).Query(ctx, sql)
+	vres, verr := veng.Query(ctx, sql)
 	rres, rerr := New(rowOnly{st}).Query(ctx, sql)
 	if (verr == nil) != (rerr == nil) {
 		t.Fatalf("%q: error mismatch: vectorized=%v row=%v", sql, verr, rerr)
@@ -163,6 +187,46 @@ var equivalenceQueries = []string{
 	"SELECT COUNT(DISTINCT s) AS ds, COUNT(DISTINCT i) AS di FROM v",
 	"SELECT SUM(i) AS s FROM v",
 	"SELECT AVG(i) AS a FROM v GROUP BY b",
+	// Joins: the vectorized equi probe (inner, LEFT null-extension, kernel
+	// filters on the probe side, retargeted all-column projections) and
+	// every decline shape — residual ON conjunct, non-equi ON, cross join,
+	// derived probe side. NULL keys never match, duplicate build keys fan
+	// out in build order.
+	"SELECT v.i, v.s, w.t FROM v JOIN w ON v.i = w.k",
+	"SELECT v.i, w.t FROM v LEFT JOIN w ON v.i = w.k",
+	"SELECT v.i, w.t FROM v JOIN w ON v.i = w.k WHERE v.f < 2",
+	"SELECT v.i, w.t FROM v LEFT JOIN w ON v.i = w.k WHERE v.f >= 0 OR v.f IS NULL",
+	"SELECT w.t, v.i FROM v JOIN w ON v.i = w.k",             // reordered retarget
+	"SELECT v.i + w.k AS m FROM v JOIN w ON v.i = w.k",       // expression projection: no retarget
+	"SELECT v.i, w.k FROM v JOIN w ON v.i = w.k AND v.f > 0", // residual ON conjunct declines
+	"SELECT v.i, w.k FROM v JOIN w ON v.i < w.k",             // non-equi: loop join
+	"SELECT v.i, w.k FROM v CROSS JOIN w WHERE v.i = 1",
+	"SELECT d.i, w.t FROM (SELECT i FROM v WHERE f IS NOT NULL) AS d JOIN w ON d.i = w.k", // derived probe declines
+	"SELECT v.i, w.t FROM v JOIN w ON v.i = w.k ORDER BY w.t, v.i LIMIT 4",
+	// ORDER BY through the typed sort keys: NaN and -0.0 floats, NULLs,
+	// multi-key with DESC, expression keys, keys resolved from the input
+	// rows (projected-away columns), and top-K under LIMIT (declined when
+	// a NaN key is present).
+	"SELECT i, f FROM v ORDER BY f",
+	"SELECT i, f FROM v ORDER BY f DESC",
+	"SELECT i, f, s FROM v ORDER BY s, i DESC",
+	"SELECT s FROM v ORDER BY i, f",
+	"SELECT i, f FROM v ORDER BY i + f",
+	"SELECT i, f FROM v ORDER BY f LIMIT 3",
+	"SELECT i, f FROM v ORDER BY f DESC LIMIT 3",
+	"SELECT i, s FROM v ORDER BY i LIMIT 0",
+	"SELECT i, s FROM v ORDER BY i DESC LIMIT 100",
+	// Window shapes: plain-partition fast path, multi-column partitions,
+	// expression partitions, ranking and navigation calls, cumulative
+	// frames with peer groups over NaN order keys.
+	"SELECT s, SUM(i) OVER (PARTITION BY s) AS c FROM v",
+	"SELECT i, row_number() OVER (PARTITION BY b ORDER BY i) AS rn FROM v",
+	"SELECT i, rank() OVER (ORDER BY s) AS r, dense_rank() OVER (ORDER BY s) AS dr FROM v",
+	"SELECT s, i, SUM(f) OVER (PARTITION BY s, b ORDER BY i) AS c FROM v",
+	"SELECT i, SUM(i) OVER (PARTITION BY i % 2 ORDER BY f) AS c FROM v",
+	"SELECT i, lag(i) OVER (ORDER BY i) AS p, lead(i) OVER (ORDER BY i) AS nx FROM v",
+	"SELECT i, first_value(s) OVER (PARTITION BY b ORDER BY i) AS fv, last_value(s) OVER (PARTITION BY b ORDER BY i) AS lv FROM v",
+	"SELECT i, AVG(f) OVER (PARTITION BY s ORDER BY i) AS a FROM v ORDER BY i, a LIMIT 5",
 }
 
 func TestVectorizedMatchesRowPath(t *testing.T) {
@@ -178,6 +242,16 @@ func TestVectorizedMatchesRowPathBoxed(t *testing.T) {
 	st := vecStore(t, true)
 	for _, q := range equivalenceQueries {
 		checkEquivalence(t, st, q)
+	}
+}
+
+// TestVectorizedMatchesRowPathParallel runs the corpus with the morsel
+// exchange enabled: partitioned parallel builds feed the vectorized probe
+// and the seq-ordered merge must reproduce the serial row path exactly.
+func TestVectorizedMatchesRowPathParallel(t *testing.T) {
+	st := vecStore(t, false)
+	for _, q := range equivalenceQueries {
+		checkEquivalenceEngine(t, New(st).WithParallelism(4), st, q)
 	}
 }
 
@@ -215,6 +289,23 @@ func TestVectorizedMatchesRowPathFuzz(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		w := st.Create(schema.NewRelation("w",
+			schema.Col("k", schema.TypeInt),
+			schema.Col("t", schema.TypeString),
+		))
+		m := 1 + rng.Intn(40)
+		for r := 0; r < m; r++ {
+			row := schema.Row{
+				schema.Int(int64(rng.Intn(7) - 3)),
+				schema.String(words[rng.Intn(len(words))]),
+			}
+			if rng.Intn(8) == 0 {
+				row[0] = schema.Null()
+			}
+			if err := w.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
 		queries := []string{
 			"SELECT * FROM v WHERE f < 0.5",
 			"SELECT * FROM v WHERE i >= 0 AND f < 1",
@@ -222,6 +313,12 @@ func TestVectorizedMatchesRowPathFuzz(t *testing.T) {
 			"SELECT DISTINCT i, s FROM v",
 			"SELECT s, COUNT(*) AS n, SUM(f) AS sf FROM v GROUP BY s",
 			"SELECT i * 2 - 1 AS e FROM v WHERE f IS NOT NULL",
+			"SELECT v.i, v.f, w.t FROM v JOIN w ON v.i = w.k",
+			"SELECT v.i, w.t FROM v LEFT JOIN w ON v.i = w.k WHERE v.f < 1",
+			"SELECT i, f, s FROM v ORDER BY f, i DESC",
+			"SELECT i, f FROM v ORDER BY f LIMIT 7",
+			"SELECT s, SUM(i) OVER (PARTITION BY s) AS c FROM v",
+			"SELECT i, row_number() OVER (PARTITION BY b ORDER BY f) AS rn FROM v",
 		}
 		for _, q := range queries {
 			checkEquivalence(t, st, q)

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// sortKeys is the typed ORDER BY machinery: one schema.KeyCol per order
+// item, appended in row order, compared unboxed. It mirrors lessKeys /
+// equalKeys exactly — schema.KeyCol.Compare is pairwise-identical to
+// compareForSort — so swapping it under sort.SliceStable cannot change any
+// result, only the cost per comparison.
+type sortKeys struct {
+	cols []schema.KeyCol
+	desc []bool
+}
+
+func newSortKeys(items []sqlparser.OrderItem) *sortKeys {
+	ks := &sortKeys{cols: make([]schema.KeyCol, len(items)), desc: make([]bool, len(items))}
+	for i, it := range items {
+		ks.desc[i] = it.Desc
+	}
+	return ks
+}
+
+// less orders rows a and b like lessKeys orders their key tuples.
+func (ks *sortKeys) less(a, b int) bool {
+	for i := range ks.cols {
+		c := ks.cols[i].Compare(a, b)
+		if c == 0 {
+			continue
+		}
+		if ks.desc[i] {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// equal reports whether rows a and b are peers (all keys tie).
+func (ks *sortKeys) equal(a, b int) bool {
+	for i := range ks.cols {
+		if ks.cols[i].Compare(a, b) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// hasNaN reports whether any key column saw a float NaN. NaN ties with
+// every float-comparable value, which breaks transitivity — less is then
+// not a strict weak order. The full stable sort still matches the row path
+// exactly (both run the identical comparator through sort.SliceStable on
+// the same input order), but selection shortcuts like top-K would diverge,
+// so they must decline.
+func (ks *sortKeys) hasNaN() bool {
+	for i := range ks.cols {
+		if ks.cols[i].HasNaN() {
+			return true
+		}
+	}
+	return false
+}
+
+// lessStrict extends less to a strict total order by an original-index
+// tiebreak. Valid only when hasNaN() is false: less is then a strict weak
+// order, and under the tiebreak the first k elements of the full stable
+// sort are exactly the k smallest under lessStrict, in lessStrict order.
+func (ks *sortKeys) lessStrict(a, b int) bool {
+	for i := range ks.cols {
+		c := ks.cols[i].Compare(a, b)
+		if c == 0 {
+			continue
+		}
+		if ks.desc[i] {
+			return c > 0
+		}
+		return c < 0
+	}
+	return a < b
+}
+
+// topK selects the first k rows of the full stable sort of n rows without
+// sorting all n, using a bounded max-heap under lessStrict (the heap root
+// is the largest retained row; anything beating it displaces it). The
+// result is in final output order. Caller guarantees 0 <= k < n and
+// !hasNaN().
+func (ks *sortKeys) topK(n, k int) []int {
+	if k == 0 {
+		return nil
+	}
+	h := make([]int, k)
+	for i := 0; i < k; i++ {
+		h[i] = i
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		ks.siftDown(h, i)
+	}
+	for i := k; i < n; i++ {
+		if ks.lessStrict(i, h[0]) {
+			h[0] = i
+			ks.siftDown(h, 0)
+		}
+	}
+	// Heapsort extraction: repeatedly swap the max to the end. The array
+	// ends up ascending under lessStrict — the final output order.
+	for m := len(h) - 1; m > 0; m-- {
+		h[0], h[m] = h[m], h[0]
+		ks.siftDown(h[:m], 0)
+	}
+	return h
+}
+
+func (ks *sortKeys) siftDown(h []int, i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if r := c + 1; r < len(h) && ks.lessStrict(h[c], h[r]) {
+			c = r
+		}
+		if !ks.lessStrict(h[i], h[c]) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+	"paradise/internal/storage"
+)
+
+// stabilityStore builds a table whose sort keys collide heavily: repeated
+// floats, a +0.0/-0.0 pair (equal under comparison, bit-distinct), and
+// duplicate NULLs. seq records the input position.
+func stabilityStore(t *testing.T) *storage.Store {
+	t.Helper()
+	st := storage.NewStore()
+	tb := st.Create(schema.NewRelation("st",
+		schema.Col("k", schema.TypeFloat),
+		schema.Col("seq", schema.TypeInt),
+	))
+	for i := 0; i < 40; i++ {
+		var k schema.Value
+		switch i % 5 {
+		case 0:
+			k = schema.Float(1)
+		case 1:
+			k = schema.Float(0)
+		case 2:
+			k = schema.Float(math.Copysign(0, -1))
+		case 3:
+			k = schema.Null()
+		default:
+			k = schema.Float(2)
+		}
+		if err := tb.Append(schema.Row{k, schema.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestSortStabilityTypedKeys pins that equal-key rows keep their input order
+// through the typed-key sort: within every run of equal keys (including the
+// +0.0/-0.0 pair and the NULL group) seq must be strictly increasing, and
+// each key's original bit pattern must survive untouched.
+func TestSortStabilityTypedKeys(t *testing.T) {
+	st := stabilityStore(t)
+	res, err := New(st).Query(context.Background(), "SELECT k, seq FROM st ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 40 {
+		t.Fatalf("row count = %d, want 40", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		prev, cur := res.Rows[i-1], res.Rows[i]
+		switch c := compareForSort(prev[0], cur[0]); {
+		case c > 0:
+			t.Fatalf("row %d: keys out of order: %s after %s", i, cur[0].Format(), prev[0].Format())
+		case c == 0:
+			if prev[1].AsInt() >= cur[1].AsInt() {
+				t.Fatalf("row %d: equal keys reordered: seq %d before %d", i, prev[1].AsInt(), cur[1].AsInt())
+			}
+		}
+	}
+	// -0.0 sorts as equal to +0.0, so stability means the zeros appear in
+	// input order with their signs interleaved exactly as inserted: seq
+	// 1,2,6,7,11,12,... alternating +0.0, -0.0.
+	zeros := 0
+	for _, r := range res.Rows {
+		if r[0].Type() == schema.TypeFloat && r[0].AsFloat() == 0 {
+			wantNeg := zeros%2 == 1
+			if math.Signbit(r[0].AsFloat()) != wantNeg {
+				t.Fatalf("zero #%d: sign bit flipped or reordered (seq %d)", zeros, r[1].AsInt())
+			}
+			zeros++
+		}
+	}
+	if zeros != 16 {
+		t.Fatalf("saw %d zero keys, want 16", zeros)
+	}
+}
+
+// TestSortLimitMatchesTruncatedFullSort pins the top-K path (and, with
+// equal keys everywhere, its stability): ORDER BY ... LIMIT k must return
+// exactly the first k rows of the unlimited sort, bit-for-bit.
+func TestSortLimitMatchesTruncatedFullSort(t *testing.T) {
+	st := stabilityStore(t)
+	ctx := context.Background()
+	for _, sql := range []string{
+		"SELECT k, seq FROM st ORDER BY k",
+		"SELECT k, seq FROM st ORDER BY k DESC",
+		"SELECT k, seq FROM st ORDER BY k DESC, seq DESC",
+	} {
+		full, err := New(st).Query(ctx, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{0, 1, 7, 39, 40, 100} {
+			lim, err := New(st).Query(ctx, sqlWithLimit(sql, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := full.Rows
+			if k < len(want) {
+				want = want[:k]
+			}
+			if len(lim.Rows) != len(want) {
+				t.Fatalf("%s LIMIT %d: %d rows, want %d", sql, k, len(lim.Rows), len(want))
+			}
+			for i := range want {
+				for c := range want[i] {
+					if !sameValue(lim.Rows[i][c], want[i][c]) {
+						t.Fatalf("%s LIMIT %d row %d col %d: %s != %s",
+							sql, k, i, c, lim.Rows[i][c].Format(), want[i][c].Format())
+					}
+				}
+			}
+		}
+	}
+}
+
+func sqlWithLimit(sql string, k int) string {
+	return sql + " LIMIT " + schema.Int(int64(k)).Format()
+}
+
+// TestTopKDeclinesOnNaN drives sortResult directly with NaN keys in the mix:
+// the top-K shortcut must decline (the comparator is not a strict weak order
+// with NaN) and sortResult(limit) must still equal the full stable sort
+// truncated — for every limit, ascending and descending, including rounds
+// where Int and Float keys share a column (boxed degradation).
+func TestTopKDeclinesOnNaN(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160317))
+	rel := schema.NewRelation("t",
+		schema.Col("k", schema.TypeFloat),
+		schema.Col("seq", schema.TypeInt),
+	)
+	for round := 0; round < 24; round++ {
+		withNaN := round%2 == 0
+		items := []sqlparser.OrderItem{{
+			Expr: &sqlparser.ColumnRef{Name: "k"},
+			Desc: rng.Intn(2) == 1,
+		}}
+		n := 5 + rng.Intn(40)
+		rows := make(schema.Rows, n)
+		for i := range rows {
+			var k schema.Value
+			switch rng.Intn(4) {
+			case 0:
+				if withNaN {
+					k = schema.Float(math.NaN())
+				} else {
+					k = schema.Float(-1)
+				}
+			case 1:
+				k = schema.Float(float64(rng.Intn(5)))
+			case 2:
+				k = schema.Int(int64(rng.Intn(5))) // mixed types box the key column
+			default:
+				k = schema.Null()
+			}
+			rows[i] = schema.Row{k, schema.Int(int64(i))}
+		}
+		full := &Result{Schema: rel, Rows: append(schema.Rows{}, rows...)}
+		if err := sortResult(full, nil, nil, items, -1); err != nil {
+			t.Fatal(err)
+		}
+		for limit := 0; limit <= n; limit += 1 + rng.Intn(5) {
+			lim := &Result{Schema: rel, Rows: append(schema.Rows{}, rows...)}
+			if err := sortResult(lim, nil, nil, items, limit); err != nil {
+				t.Fatal(err)
+			}
+			// sortResult may return the full ordering (the caller truncates);
+			// top-K returns at most limit rows. Apply the caller's truncation.
+			if limit < len(lim.Rows) {
+				lim.Rows = lim.Rows[:limit]
+			}
+			want := full.Rows
+			if limit < len(want) {
+				want = want[:limit]
+			}
+			if len(lim.Rows) != len(want) {
+				t.Fatalf("round %d limit %d: %d rows, want %d", round, limit, len(lim.Rows), len(want))
+			}
+			for i := range want {
+				if !sameValue(lim.Rows[i][0], want[i][0]) || !sameValue(lim.Rows[i][1], want[i][1]) {
+					t.Fatalf("round %d limit %d row %d: (%s, %s) != (%s, %s)",
+						round, limit, i,
+						lim.Rows[i][0].Format(), lim.Rows[i][1].Format(),
+						want[i][0].Format(), want[i][1].Format())
+				}
+			}
+		}
+	}
+}

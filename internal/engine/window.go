@@ -8,16 +8,22 @@ import (
 	"paradise/internal/sqlparser"
 )
 
+// winTable holds computed window-call values as one column per distinct
+// call (keyed by its canonical SQL text), each aligned 1:1 with the input
+// rows. A single table serves the whole materialized projection — rowEnv
+// carries the table plus the current row index instead of one map per row.
+type winTable map[string][]schema.Value
+
 // evalWindows computes the value of every window call appearing in the
-// select list, for every input row. The result is indexed [row][call-SQL].
-// It returns nil when the statement has no window functions.
+// select list, for every input row. It returns nil when the statement has
+// no window functions.
 //
 // Semantics follow SQL's default frame: with an ORDER BY inside OVER(...)
 // the frame is RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW (peer rows
 // — equal order keys — share the frame); without ORDER BY the frame is the
 // whole partition. This is exactly what the paper's running example
 // (regr_intercept OVER (PARTITION BY z ORDER BY t)) requires.
-func (e *Engine) evalWindows(items []sqlparser.SelectItem, b *binding, rows schema.Rows) ([]map[string]schema.Value, error) {
+func (e *Engine) evalWindows(items []sqlparser.SelectItem, b *binding, rows schema.Rows) (winTable, error) {
 	var calls []*sqlparser.FuncCall
 	seen := make(map[string]bool)
 	for _, it := range items {
@@ -31,71 +37,97 @@ func (e *Engine) evalWindows(items []sqlparser.SelectItem, b *binding, rows sche
 	if len(calls) == 0 {
 		return nil, nil
 	}
-	out := make([]map[string]schema.Value, len(rows))
-	for i := range out {
-		out[i] = make(map[string]schema.Value, len(calls))
-	}
+	out := make(winTable, len(calls))
 	for _, f := range calls {
-		if err := e.evalOneWindow(b, rows, f, out); err != nil {
+		col := make([]schema.Value, len(rows))
+		if err := e.evalOneWindow(b, rows, f, col); err != nil {
 			return nil, err
 		}
+		out[f.SQL()] = col
 	}
 	return out, nil
 }
 
-func (e *Engine) evalOneWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, out []map[string]schema.Value) error {
-	key := f.SQL()
-
-	// Partition rows.
-	parts := make(map[string][]int)
-	var order []string
-	env := (&rowEnv{b: b}).reuse()
-	var kbuf []byte
-	for ri, row := range rows {
-		env.row = row
-		kbuf = kbuf[:0]
-		for _, pe := range f.Over.PartitionBy {
-			v, err := evalExpr(env, pe)
-			if err != nil {
-				return err
-			}
-			kbuf = v.AppendGroupKey(kbuf)
+func (e *Engine) evalOneWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, out []schema.Value) error {
+	// Partition rows. All-plain column partitions build their keys with the
+	// canonical group-key kernel straight off the rows — the same bytes the
+	// expression path produces value-by-value, without per-row evaluation.
+	pidx := make([]int, 0, len(f.Over.PartitionBy))
+	plain := true
+	for _, pe := range f.Over.PartitionBy {
+		c, ok := pe.(*sqlparser.ColumnRef)
+		if !ok {
+			plain = false
+			break
 		}
-		if _, ok := parts[string(kbuf)]; !ok {
-			order = append(order, string(kbuf))
+		i, err := b.resolve(c)
+		if err != nil {
+			plain = false // let the expression path surface the error
+			break
 		}
-		parts[string(kbuf)] = append(parts[string(kbuf)], ri)
+		pidx = append(pidx, i)
 	}
 
+	parts := make(map[string][]int)
+	var order []string
+	var kbuf []byte
+	if plain {
+		for ri, row := range rows {
+			kbuf = row.AppendGroupKey(kbuf[:0], pidx)
+			if _, ok := parts[string(kbuf)]; !ok {
+				order = append(order, string(kbuf))
+			}
+			parts[string(kbuf)] = append(parts[string(kbuf)], ri)
+		}
+	} else {
+		env := (&rowEnv{b: b}).reuse()
+		for ri, row := range rows {
+			env.row = row
+			kbuf = kbuf[:0]
+			for _, pe := range f.Over.PartitionBy {
+				v, err := evalExpr(env, pe)
+				if err != nil {
+					return err
+				}
+				kbuf = v.AppendGroupKey(kbuf)
+			}
+			if _, ok := parts[string(kbuf)]; !ok {
+				order = append(order, string(kbuf))
+			}
+			parts[string(kbuf)] = append(parts[string(kbuf)], ri)
+		}
+	}
+
+	env := (&rowEnv{b: b}).reuse()
 	for _, pk := range order {
 		idxs := parts[pk]
 		if len(f.Over.OrderBy) > 0 {
-			// Sort partition rows by the window ORDER BY, stably.
-			keys := make([][]schema.Value, len(idxs))
-			for i, ri := range idxs {
-				env := &rowEnv{b: b, row: rows[ri]}
-				ks := make([]schema.Value, len(f.Over.OrderBy))
+			// Extract the window ORDER BY keys into typed key columns
+			// (partition-local positions) and sort stably over them; the
+			// typed comparator is pairwise-identical to the boxed one.
+			ks := newSortKeys(f.Over.OrderBy)
+			for _, ri := range idxs {
+				env.row = rows[ri]
 				for j, o := range f.Over.OrderBy {
 					v, err := evalExpr(env, o.Expr)
 					if err != nil {
 						return err
 					}
-					ks[j] = v
+					ks.cols[j].Append(v)
 				}
-				keys[i] = ks
 			}
 			perm := make([]int, len(idxs))
 			for i := range perm {
 				perm[i] = i
 			}
 			sort.SliceStable(perm, func(a, c int) bool {
-				return lessKeys(keys[perm[a]], keys[perm[c]], f.Over.OrderBy)
+				return ks.less(perm[a], perm[c])
 			})
-			if err := runOrderedWindow(b, rows, f, idxs, perm, keys, key, out); err != nil {
+			if err := runOrderedWindow(b, rows, f, idxs, perm, ks, out); err != nil {
 				return err
 			}
 		} else {
-			if err := runUnorderedWindow(b, rows, f, idxs, key, out); err != nil {
+			if err := runUnorderedWindow(b, rows, f, idxs, out); err != nil {
 				return err
 			}
 		}
@@ -106,25 +138,26 @@ func (e *Engine) evalOneWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCa
 // runOrderedWindow computes cumulative (RANGE UNBOUNDED PRECEDING) values
 // along the sorted partition, assigning peer groups the same value. It also
 // implements the pure window functions row_number, rank, dense_rank, lag,
-// lead, first_value and last_value.
-func runOrderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs, perm []int, keys [][]schema.Value, key string, out []map[string]schema.Value) error {
+// lead, first_value and last_value. ks compares partition-local positions
+// (the values perm permutes).
+func runOrderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs, perm []int, ks *sortKeys, out []schema.Value) error {
 	switch f.Name {
 	case "row_number":
 		for pos, pi := range perm {
-			out[idxs[pi]][key] = schema.Int(int64(pos + 1))
+			out[idxs[pi]] = schema.Int(int64(pos + 1))
 		}
 		return nil
 	case "rank", "dense_rank":
 		rank, dense := 0, 0
 		for pos, pi := range perm {
-			if pos == 0 || !equalKeys(keys[perm[pos-1]], keys[pi]) {
+			if pos == 0 || !ks.equal(perm[pos-1], pi) {
 				rank = pos + 1
 				dense++
 			}
 			if f.Name == "rank" {
-				out[idxs[pi]][key] = schema.Int(int64(rank))
+				out[idxs[pi]] = schema.Int(int64(rank))
 			} else {
-				out[idxs[pi]][key] = schema.Int(int64(dense))
+				out[idxs[pi]] = schema.Int(int64(dense))
 			}
 		}
 		return nil
@@ -132,38 +165,40 @@ func runOrderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs,
 		if len(f.Args) < 1 {
 			return fmt.Errorf("%w: %s needs an argument", ErrQuery, f.Name)
 		}
+		env := (&rowEnv{b: b}).reuse()
 		for pos, pi := range perm {
 			src := pos - 1
 			if f.Name == "lead" {
 				src = pos + 1
 			}
 			if src < 0 || src >= len(perm) {
-				out[idxs[pi]][key] = schema.Null()
+				out[idxs[pi]] = schema.Null()
 				continue
 			}
-			env := &rowEnv{b: b, row: rows[idxs[perm[src]]]}
+			env.row = rows[idxs[perm[src]]]
 			v, err := evalExpr(env, f.Args[0])
 			if err != nil {
 				return err
 			}
-			out[idxs[pi]][key] = v
+			out[idxs[pi]] = v
 		}
 		return nil
 	case "first_value", "last_value":
 		if len(f.Args) < 1 {
 			return fmt.Errorf("%w: %s needs an argument", ErrQuery, f.Name)
 		}
+		env := (&rowEnv{b: b}).reuse()
 		for pos, pi := range perm {
 			src := 0
 			if f.Name == "last_value" {
 				src = pos // default frame ends at current row
 			}
-			env := &rowEnv{b: b, row: rows[idxs[perm[src]]]}
+			env.row = rows[idxs[perm[src]]]
 			v, err := evalExpr(env, f.Args[0])
 			if err != nil {
 				return err
 			}
-			out[idxs[pi]][key] = v
+			out[idxs[pi]] = v
 		}
 		return nil
 	}
@@ -178,7 +213,7 @@ func runOrderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs,
 	for pos < len(perm) {
 		// Find the peer group [pos, end).
 		end := pos + 1
-		for end < len(perm) && equalKeys(keys[perm[pos]], keys[perm[end]]) {
+		for end < len(perm) && ks.equal(perm[pos], perm[end]) {
 			end++
 		}
 		for i := pos; i < end; i++ {
@@ -188,7 +223,7 @@ func runOrderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs,
 		}
 		v := acc.result()
 		for i := pos; i < end; i++ {
-			out[idxs[perm[i]]][key] = v
+			out[idxs[perm[i]]] = v
 		}
 		pos = end
 	}
@@ -197,16 +232,16 @@ func runOrderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs,
 
 // runUnorderedWindow evaluates the aggregate over the whole partition and
 // assigns it to every row.
-func runUnorderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs []int, key string, out []map[string]schema.Value) error {
+func runUnorderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idxs []int, out []schema.Value) error {
 	switch f.Name {
 	case "row_number":
 		for pos, ri := range idxs {
-			out[ri][key] = schema.Int(int64(pos + 1))
+			out[ri] = schema.Int(int64(pos + 1))
 		}
 		return nil
 	case "rank", "dense_rank":
 		for _, ri := range idxs {
-			out[ri][key] = schema.Int(1)
+			out[ri] = schema.Int(1)
 		}
 		return nil
 	}
@@ -222,58 +257,15 @@ func runUnorderedWindow(b *binding, rows schema.Rows, f *sqlparser.FuncCall, idx
 	}
 	v := acc.result()
 	for _, ri := range idxs {
-		out[ri][key] = v
+		out[ri] = v
 	}
 	return nil
 }
 
-// lessKeys orders two order-by key tuples honouring ASC/DESC, with NULLs
-// sorting first (ascending).
-func lessKeys(a, b []schema.Value, items []sqlparser.OrderItem) bool {
-	for i := range items {
-		c := compareForSort(a[i], b[i])
-		if c == 0 {
-			continue
-		}
-		if items[i].Desc {
-			return c > 0
-		}
-		return c < 0
-	}
-	return false
-}
-
-func equalKeys(a, b []schema.Value) bool {
-	for i := range a {
-		if compareForSort(a[i], b[i]) != 0 {
-			return false
-		}
-	}
-	return true
-}
-
 // compareForSort totally orders values: NULL < everything, incomparable
-// types order by type tag so sorting is deterministic.
+// types order by type tag so sorting is deterministic. The implementation
+// lives in schema (schema.CompareForSort) so the typed key columns
+// (schema.KeyCol) can guarantee pairwise-identical comparisons.
 func compareForSort(a, b schema.Value) int {
-	if a.IsNull() || b.IsNull() {
-		switch {
-		case a.IsNull() && b.IsNull():
-			return 0
-		case a.IsNull():
-			return -1
-		default:
-			return 1
-		}
-	}
-	if c, ok := a.Compare(b); ok {
-		return c
-	}
-	switch {
-	case a.Type() < b.Type():
-		return -1
-	case a.Type() > b.Type():
-		return 1
-	default:
-		return 0
-	}
+	return schema.CompareForSort(a, b)
 }

@@ -341,6 +341,55 @@ func (v *ColVec) Fill(dst []Value, stride, n int, sel []int) {
 	}
 }
 
+// Gather is Fill for arbitrary gather lists: element k of sel is written to
+// dst[k*stride]. Unlike Fill's selection vectors, sel may repeat indices
+// (one probe row matching many build rows) and may contain -1, which leaves
+// the slot as the zero Value — SQL NULL — for left-join null extension.
+// NULL source positions are likewise skipped.
+func (v *ColVec) Gather(dst []Value, stride int, sel []int) {
+	if v.Box != nil {
+		for k, i := range sel {
+			if i >= 0 {
+				dst[k*stride] = v.Box[i]
+			}
+		}
+		return
+	}
+	nulls := v.Nulls
+	switch v.Typ {
+	case TypeBool:
+		for k, i := range sel {
+			if i >= 0 && (nulls == nil || !nulls[i]) {
+				dst[k*stride] = Value{typ: TypeBool, b: v.Bools[i]}
+			}
+		}
+	case TypeInt:
+		for k, i := range sel {
+			if i >= 0 && (nulls == nil || !nulls[i]) {
+				dst[k*stride] = Value{typ: TypeInt, i: v.Ints[i]}
+			}
+		}
+	case TypeFloat:
+		for k, i := range sel {
+			if i >= 0 && (nulls == nil || !nulls[i]) {
+				dst[k*stride] = Value{typ: TypeFloat, f: v.Floats[i]}
+			}
+		}
+	case TypeString:
+		for k, i := range sel {
+			if i >= 0 && (nulls == nil || !nulls[i]) {
+				dst[k*stride] = Value{typ: TypeString, s: v.Strs[i]}
+			}
+		}
+	case TypeTime:
+		for k, i := range sel {
+			if i >= 0 && (nulls == nil || !nulls[i]) {
+				dst[k*stride] = Value{typ: TypeTime, t: v.Times[i]}
+			}
+		}
+	}
+}
+
 // ColBatch is one unit of columnar data flow: a set of equally long column
 // vectors plus an optional selection vector restricting which physical rows
 // are live. N is the physical row count of the vectors; Sel, when non-nil,

@@ -1,22 +1,32 @@
 #!/bin/sh
-# vecguard.sh — the filter kernels stay columnar.
+# vecguard.sh — the vectorized kernels stay columnar.
 #
 # internal/engine/veckernel.go is the vectorized inner loop: comparison and
 # NULL-test kernels that refine selection vectors over typed column payloads.
-# Its whole reason to exist is that no row is ever pivoted before the filter
-# decides; the moment a kernel reaches for a row-major helper (ColBatch.Rows,
-# ColBatch.RowAt, schema.Row values) the batch gets re-materialized per row
-# and the vectorized path silently degrades to the row path with extra
-# steps. Pivoting belongs to the boundary layers (vecscan.go residuals,
-# vecblock.go/vecgroup.go output), never to the kernels.
+# internal/engine/vecjoin.go is the vectorized hash-join probe: group-key
+# construction, selection-vector matching and gather over the same payloads.
+# internal/engine/vecsort.go holds the typed sort keys (schema.KeyCol) the
+# ORDER BY and window paths compare unboxed.
+#
+# Their whole reason to exist is that no row is ever pivoted before the
+# kernel decides; the moment one reaches for a row-major helper
+# (ColBatch.Rows, ColBatch.RowAt, schema.Row values) the batch gets
+# re-materialized per row and the vectorized path silently degrades to the
+# row path with extra steps. Pivoting belongs to the boundary layers
+# (vecscan.go residuals, vecblock.go/vecgroup.go output, the join's
+# post-match gather into output rows), never to the kernels.
 set -eu
 cd "$(dirname "$0")/.."
 
-hits=$(grep -n '\.Rows()\|RowAt\|schema\.Row\b' internal/engine/veckernel.go || true)
-if [ -n "$hits" ]; then
-	echo "veckernel.go must stay columnar — no row pivots inside kernels"
-	echo "(ColBatch.Rows / RowAt / schema.Row belong to the pivot boundary):"
-	echo "$hits"
-	exit 1
-fi
+status=0
+for f in internal/engine/veckernel.go internal/engine/vecjoin.go internal/engine/vecsort.go; do
+	hits=$(grep -n '\.Rows()\|RowAt\|schema\.Row\b' "$f" || true)
+	if [ -n "$hits" ]; then
+		echo "$f must stay columnar — no row pivots inside kernels"
+		echo "(ColBatch.Rows / RowAt / schema.Row belong to the pivot boundary):"
+		echo "$hits"
+		status=1
+	fi
+done
+[ "$status" -eq 0 ] || exit "$status"
 echo "vecguard: ok (kernels are pivot-free)"
