@@ -136,10 +136,10 @@ func ExampleOutcome_Explain() {
 	//     Scan d cols=[x, y] pushed=(x > y)
 	//       ^ policy:ActionFilter selection control (injected condition) [x, y] (x > y)
 	// fragment plans (placement):
-	// Q1 @ E4/sensor — sensor scan (reads d, emits d1)
+	// Q1 @ E4/sensor — sensor scan (reads d, emits d1) [est 6 rows / 246 bytes]
 	//   Project *
 	//     Scan d
-	// Q2 @ E3/appliance — appliance filter + projection (reads d1, emits d2)
+	// Q2 @ E3/appliance — appliance filter + projection (reads d1, emits d2) [est 2 rows / 32 bytes]
 	//   Project x, y
 	//     Scan d1 pushed=(x > y)
 }

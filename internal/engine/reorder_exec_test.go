@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"paradise/internal/plan"
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+	"paradise/internal/storage"
+)
+
+// reorderStore builds three relations rigged with the shapes that break
+// naive join transformations: duplicate join keys on both sides (fan-out
+// must multiply identically in any order) and NULL keys (equi-joins never
+// match them, whichever side probes).
+func reorderStore(t testing.TB) *storage.Store {
+	t.Helper()
+	st := storage.NewStore()
+	a := st.Create(schema.NewRelation("a",
+		schema.Col("k", schema.TypeInt),
+		schema.Col("v", schema.TypeString),
+	))
+	b := st.Create(schema.NewRelation("b",
+		schema.Col("k", schema.TypeInt),
+		schema.Col("w", schema.TypeString),
+	))
+	c := st.Create(schema.NewRelation("c",
+		schema.Col("k", schema.TypeInt),
+		schema.Col("u", schema.TypeString),
+	))
+	appendRows := func(tab *storage.Table, rows []schema.Row) {
+		if err := tab.Append(rows...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendRows(a, []schema.Row{
+		{schema.Int(1), schema.String("a1")},
+		{schema.Int(1), schema.String("a1dup")}, // duplicate key
+		{schema.Int(2), schema.String("a2")},
+		{schema.Null(), schema.String("anull")}, // NULL never joins
+		{schema.Int(4), schema.String("a4")},
+	})
+	appendRows(b, []schema.Row{
+		{schema.Int(1), schema.String("b1")},
+		{schema.Int(1), schema.String("b1dup")},
+		{schema.Int(2), schema.String("b2")},
+		{schema.Null(), schema.String("bnull")},
+		{schema.Int(9), schema.String("b9")},
+	})
+	appendRows(c, []schema.Row{
+		{schema.Int(1), schema.String("c1")},
+		{schema.Int(2), schema.String("c2")},
+		{schema.Int(2), schema.String("c2dup")},
+		{schema.Null(), schema.String("cnull")},
+	})
+	return st
+}
+
+// reorderExecStats skews the statistics so the greedy order differs from
+// the written order (c is smallest, the query starts from a ⋈ b).
+func reorderExecStats(st *storage.Store) plan.Stats {
+	return func(table string) (*plan.TableStats, bool) {
+		ts, err := st.TableStats(table)
+		if err != nil {
+			return nil, false
+		}
+		out := &plan.TableStats{
+			Rows:     float64(ts.Rows),
+			RowBytes: float64(ts.Bytes) / float64(max(1, ts.Rows)),
+			Cols:     map[string]plan.ColStats{},
+		}
+		for _, c := range ts.Cols {
+			out.Cols[strings.ToLower(c.Name)] = plan.ColStats{
+				NDV:      float64(c.NDV),
+				HasRange: c.HasRange,
+				Min:      c.Min,
+				Max:      c.Max,
+				AvgBytes: c.AvgBytes(ts.Rows),
+			}
+		}
+		return out, true
+	}
+}
+
+func max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// rowMultiset renders rows into a sorted key list for order-insensitive
+// comparison.
+func rowMultiset(rows schema.Rows) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		var b []byte
+		for _, v := range r {
+			b = v.AppendGroupKey(b)
+		}
+		keys[i] = string(b)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestReorderRowIdentity executes each fixture query twice — original
+// order and greedily reordered — and requires identical row multisets,
+// duplicates and NULLs included.
+func TestReorderRowIdentity(t *testing.T) {
+	st := reorderStore(t)
+	e := New(st)
+	queries := []string{
+		"SELECT a.v, b.w, c.u FROM a JOIN b ON a.k = b.k JOIN c ON a.k = c.k",
+		"SELECT a.v, b.w, c.u FROM a JOIN b ON a.k = b.k JOIN c ON b.k = c.k",
+		"SELECT a.v, c.u FROM a JOIN b ON a.k = b.k JOIN c ON a.k = c.k WHERE b.w <> 'b9'",
+		"SELECT COUNT(*) AS n FROM a JOIN b ON a.k = b.k JOIN c ON a.k = c.k",
+		"SELECT a.k, COUNT(*) AS n FROM a JOIN b ON a.k = b.k JOIN c ON b.k = c.k GROUP BY a.k",
+	}
+	for _, sql := range queries {
+		sel, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		lower := func() plan.Node {
+			root, err := plan.FromAST(sel)
+			if err != nil {
+				t.Fatalf("%s: %v", sql, err)
+			}
+			return root
+		}
+		base := plan.Optimize(lower(), plan.Options{Catalog: e.Catalog(), CrossBlock: true})
+		reordered := plan.Optimize(lower(), plan.Options{
+			Catalog:      e.Catalog(),
+			CrossBlock:   true,
+			ReorderJoins: true,
+			Stats:        reorderExecStats(st),
+		})
+		want, err := e.SelectPlan(context.Background(), base)
+		if err != nil {
+			t.Fatalf("%s (base): %v", sql, err)
+		}
+		got, err := e.SelectPlan(context.Background(), reordered)
+		if err != nil {
+			t.Fatalf("%s (reordered): %v", sql, err)
+		}
+		wantKeys, gotKeys := rowMultiset(want.Rows), rowMultiset(got.Rows)
+		if len(wantKeys) != len(gotKeys) {
+			t.Fatalf("%s: %d rows reordered vs %d base", sql, len(gotKeys), len(wantKeys))
+		}
+		for i := range wantKeys {
+			if wantKeys[i] != gotKeys[i] {
+				t.Fatalf("%s: row multiset diverged at %d", sql, i)
+			}
+		}
+	}
+}

@@ -35,6 +35,26 @@ type Fragment struct {
 	Output string
 	// Description summarizes the fragment's role for reports and the CLI.
 	Description string
+	// Level is the placement decision: the rung the fragment should run
+	// at, chosen by PlaceCostBased to minimize modeled traffic. Zero means
+	// unplaced — execution falls back to MinLevel (the fixed policy).
+	// Level never goes below MinLevel: privacy and capability floors are
+	// hard, only the traffic model is negotiable.
+	Level Level
+	// EstRows and EstBytes are the modeled output size of the fragment
+	// (cardinality model over the plan IR), for explain output and the
+	// modeled-vs-measured harness. Zero when the plan was never placed.
+	EstRows  int64
+	EstBytes int64
+}
+
+// EffectiveLevel is the rung the fragment executes at: the cost-based
+// placement when one was computed, else the MinLevel floor.
+func (f *Fragment) EffectiveLevel() Level {
+	if f.Level > f.MinLevel {
+		return f.Level
+	}
+	return f.MinLevel
 }
 
 // SQL renders the fragment query.
@@ -64,20 +84,33 @@ func (p *Plan) Remainder(homeTop Level) []*Fragment {
 	return out
 }
 
-// String renders a human-readable plan.
+// String renders a human-readable plan. When cost-based placement moved a
+// fragment above its floor, the chosen rung is appended after the floor.
 func (p *Plan) String() string {
 	var b strings.Builder
 	for _, f := range p.Fragments {
-		fmt.Fprintf(&b, "Q%d @ %-12s %-28s %s\n", f.Stage, f.MinLevel, f.Description, f.SQL())
+		lvl := f.MinLevel.String()
+		if f.Level > f.MinLevel {
+			lvl += "->" + f.Level.String()
+		}
+		fmt.Fprintf(&b, "Q%d @ %-12s %-28s %s\n", f.Stage, lvl, f.Description, f.SQL())
 	}
 	return b.String()
 }
 
-// Explain renders every fragment's logical plan tree, for -explain output.
+// Explain renders every fragment's logical plan tree, for -explain output,
+// with the placement decision and modeled output size when available.
 func (p *Plan) Explain() string {
 	var b strings.Builder
 	for _, f := range p.Fragments {
-		fmt.Fprintf(&b, "Q%d @ %s — %s (reads %s, emits %s)\n", f.Stage, f.MinLevel, f.Description, f.Input, f.Output)
+		fmt.Fprintf(&b, "Q%d @ %s — %s (reads %s, emits %s)", f.Stage, f.MinLevel, f.Description, f.Input, f.Output)
+		if f.Level > f.MinLevel {
+			fmt.Fprintf(&b, " [placed %s]", f.Level)
+		}
+		if f.EstRows > 0 || f.EstBytes > 0 {
+			fmt.Fprintf(&b, " [est %d rows / %d bytes]", f.EstRows, f.EstBytes)
+		}
+		b.WriteByte('\n')
 		for _, line := range strings.Split(strings.TrimRight(logical.String(f.Root), "\n"), "\n") {
 			b.WriteString("  " + line + "\n")
 		}

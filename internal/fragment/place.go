@@ -1,0 +1,165 @@
+package fragment
+
+import (
+	"math"
+	"strings"
+
+	logical "paradise/internal/plan"
+)
+
+// Cost-based fragment placement.
+//
+// The fixed policy runs every fragment at its MinLevel — the lowest rung
+// capable of executing it. That minimizes how far raw data travels, which
+// is right exactly when every stage shrinks its input. A stage that
+// *expands* data (a fan-out join, a window that widens rows) inverts the
+// argument: shipping its small input one more hop and running it higher
+// is cheaper than producing the large output low and shipping that.
+//
+// PlaceCostBased searches the monotone level assignments
+//
+//	MinLevel_i <= l_i,  l_1 <= l_2 <= ... <= l_n <= E1
+//
+// minimizing the modeled bytes crossing level boundaries:
+//
+//	cost = in_1·(l_1 - E4) + Σ out_i·(l_{i+1} - l_i) + out_n·(E1 - l_n)
+//
+// where in_1 is the modeled size of the base relations (resident at the
+// sensor) and out_i is the modeled output of stage i, chained through the
+// cardinality model: stage i's estimate is derived with stage i-1's
+// derived output statistics standing in for its d<k> input relation.
+//
+// Invariants, pinned by the placement suites:
+//
+//   - l_i >= MinLevel_i always — the privacy/capability floor is hard;
+//     the search only ever moves a stage UP, never down.
+//   - l_i <= E2 (the apartment's top) unless MinLevel itself demands the
+//     cloud: placement never moves data across the apartment boundary
+//     that would not have crossed it anyway. Raw and intermediate data
+//     stay in-home, so the egress d′ — what the cloud sees — is
+//     byte-identical to the fixed policy, and privacy is never traded
+//     for traffic.
+//   - Ties break to the LOWEST level, so whenever the model shows no
+//     strict gain the placement equals the fixed baseline and the run is
+//     byte-identical to it.
+//   - Levels are monotone along the chain — data only flows up, exactly
+//     as the paper's Figure 3 topology requires.
+
+// PlaceCostBased computes per-fragment placement levels and modeled
+// output sizes from the given statistics source. A nil source (or an
+// empty plan) leaves the plan unplaced: every fragment keeps its
+// MinLevel and the run is identical to the fixed policy.
+func (p *Plan) PlaceCostBased(stats logical.Stats) {
+	n := len(p.Fragments)
+	if n == 0 || stats == nil {
+		return
+	}
+
+	// Chain the per-stage estimates: derived output statistics of stage i
+	// are the input statistics of stage i+1 (its scans read f.Output).
+	derived := make(map[string]*logical.TableStats, n)
+	src := func(name string) (*logical.TableStats, bool) {
+		if ts, ok := derived[strings.ToLower(name)]; ok {
+			return ts, true
+		}
+		return stats(name)
+	}
+	out := make([]float64, n)
+	for i, f := range p.Fragments {
+		ts := logical.Derive(f.Root, src)
+		rows := ts.Rows
+		bytes := ts.Rows * ts.RowBytes
+		f.EstRows = roundNonNeg(rows)
+		f.EstBytes = roundNonNeg(bytes)
+		out[i] = bytes
+		derived[strings.ToLower(f.Output)] = ts
+	}
+
+	// Modeled size of the base input: the relations stage 1 reads, sized
+	// straight from the statistics (exact for predicate-free scans).
+	baseBytes := 0.0
+	for _, tbl := range logical.BaseTables(p.Fragments[0].Root) {
+		if ts, ok := stats(tbl); ok {
+			baseBytes += ts.Rows * ts.RowBytes
+		}
+	}
+
+	const lo, hi = int(LevelSensor), int(LevelCloud)
+	inf := math.Inf(1)
+
+	// cost[i][l]: minimal modeled bytes to have run fragments 0..i with
+	// fragment i at level l. from[i][l] backtracks the choice for i-1.
+	cost := make([][hi + 1]float64, n)
+	from := make([][hi + 1]int, n)
+	for i := range cost {
+		for l := 0; l <= hi; l++ {
+			cost[i][l] = inf
+		}
+	}
+	// maxFor caps the search at the apartment's top rung (E2): a stage is
+	// only ever placed on the cloud when its floor already demands it, so
+	// the bytes crossing the apartment boundary — the egress d′ — are
+	// exactly the fixed policy's.
+	maxFor := func(f *Fragment) int {
+		if f.MinLevel > LevelPC {
+			return int(f.MinLevel)
+		}
+		return int(LevelPC)
+	}
+
+	for l := lo; l <= maxFor(p.Fragments[0]); l++ {
+		if Level(l) >= p.Fragments[0].MinLevel {
+			cost[0][l] = baseBytes * float64(l-lo)
+		}
+	}
+	for i := 1; i < n; i++ {
+		for l := lo; l <= maxFor(p.Fragments[i]); l++ {
+			if Level(l) < p.Fragments[i].MinLevel {
+				continue
+			}
+			for prev := lo; prev <= l; prev++ {
+				if math.IsInf(cost[i-1][prev], 1) {
+					continue
+				}
+				// Strict < with ascending prev: ties keep the lowest level.
+				c := cost[i-1][prev] + out[i-1]*float64(l-prev)
+				if c < cost[i][l] {
+					cost[i][l] = c
+					from[i][l] = prev
+				}
+			}
+		}
+	}
+
+	// Close the chain: the result always ships to the cloud. Strict <
+	// with ascending l keeps the last stage as low as possible on ties.
+	bestL, bestC := -1, inf
+	for l := lo; l <= hi; l++ {
+		if math.IsInf(cost[n-1][l], 1) {
+			continue
+		}
+		c := cost[n-1][l] + out[n-1]*float64(hi-l)
+		if c < bestC {
+			bestL, bestC = l, c
+		}
+	}
+	if bestL < 0 {
+		return // infeasible floor (MinLevel above cloud) — leave unplaced
+	}
+	for i := n - 1; i >= 0; i-- {
+		p.Fragments[i].Level = Level(bestL)
+		bestL = from[i][bestL]
+	}
+}
+
+// roundNonNeg converts a modeled float to a reportable int64, clamping
+// the junk cases (negative, NaN, Inf) the estimator already guards.
+func roundNonNeg(v float64) int64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(v + 0.5)
+}

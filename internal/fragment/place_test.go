@@ -1,0 +1,216 @@
+package fragment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	logical "paradise/internal/plan"
+	"paradise/internal/sqlparser"
+)
+
+// placePlan parses sql, lowers it, and fragments it — the same path the
+// processor takes before PlaceCostBased.
+func placePlan(t *testing.T, sql string) *Plan {
+	t.Helper()
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	root, err := logical.FromAST(sel)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	plan, err := New().FromPlan(root)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return plan
+}
+
+// dStats describes the test relation d(x, y, z, t): 400 rows, values
+// uniform over small ranges — every stage of a single-table query shrinks.
+func dStats() logical.Stats {
+	ts := &logical.TableStats{
+		Rows:     400,
+		RowBytes: 40,
+		Cols: map[string]logical.ColStats{
+			"x": {NDV: 8, HasRange: true, Min: 0, Max: 3.5, AvgBytes: 9},
+			"y": {NDV: 6, HasRange: true, Min: 0, Max: 3.5, AvgBytes: 9},
+			"z": {NDV: 30, HasRange: true, Min: 0.5, Max: 3.4, AvgBytes: 9},
+			"t": {NDV: 400, HasRange: true, Min: 0, Max: 20000, AvgBytes: 9},
+		},
+	}
+	return func(name string) (*logical.TableStats, bool) {
+		if name == "d" {
+			return ts, true
+		}
+		return nil, false
+	}
+}
+
+// TestPlaceShrinkingChainKeepsFloor: every stage of a plain single-table
+// chain shrinks its input, so the search finds no gain and the lowest-level
+// tie-break keeps each fragment at its MinLevel — the fixed baseline.
+func TestPlaceShrinkingChainKeepsFloor(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT x, y FROM d WHERE z < 2",
+		"SELECT x, AVG(z) AS a1 FROM d GROUP BY x HAVING COUNT(*) > 3",
+		"SELECT DISTINCT x FROM d ORDER BY x LIMIT 5",
+	} {
+		plan := placePlan(t, sql)
+		plan.PlaceCostBased(dStats())
+		for _, f := range plan.Fragments {
+			if f.EffectiveLevel() != f.MinLevel {
+				t.Errorf("%s: Q%d hoisted to %s with no modeled gain (floor %s)\n%s",
+					sql, f.Stage, f.EffectiveLevel(), f.MinLevel, plan)
+			}
+			if f.EstRows <= 0 || f.EstBytes <= 0 {
+				t.Errorf("%s: Q%d missing estimate: %d rows / %d bytes",
+					sql, f.Stage, f.EstRows, f.EstBytes)
+			}
+		}
+	}
+}
+
+// TestPlaceHoistsExpandingJoin: a fan-out join whose modeled output exceeds
+// its base input is hoisted to the apartment's top rung (E2/pc) — shipping
+// the small input up beats producing the large output low — but NEVER to
+// the cloud: the apartment boundary cap holds even though E1 would be
+// even "closer" to the final destination.
+func TestPlaceHoistsExpandingJoin(t *testing.T) {
+	plan := placePlan(t, "SELECT a.v, b.w FROM a JOIN b ON a.k = b.k")
+	small := func() *logical.TableStats {
+		return &logical.TableStats{
+			Rows:     100,
+			RowBytes: 30,
+			Cols: map[string]logical.ColStats{
+				"k": {NDV: 4, HasRange: true, Min: 0, Max: 3, AvgBytes: 9},
+				"v": {NDV: 50, AvgBytes: 12},
+				"w": {NDV: 50, AvgBytes: 12},
+			},
+		}
+	}
+	stats := func(name string) (*logical.TableStats, bool) {
+		if name == "a" || name == "b" {
+			return small(), true
+		}
+		return nil, false
+	}
+	plan.PlaceCostBased(stats)
+	// 100×100 rows over 4 key values ⇒ ~2500 output rows, far above the
+	// ~6000 base bytes; the join stage must sit at LevelPC.
+	hoisted := false
+	for _, f := range plan.Fragments {
+		lvl := f.EffectiveLevel()
+		if lvl > LevelPC {
+			t.Fatalf("Q%d crossed the apartment boundary: %s\n%s", f.Stage, lvl, plan)
+		}
+		if lvl == LevelPC && f.MinLevel < LevelPC {
+			hoisted = true
+		}
+	}
+	if !hoisted {
+		t.Fatalf("expanding join not hoisted:\n%s", plan)
+	}
+}
+
+// TestPlaceNilStatsLeavesUnplaced: without a statistics source the plan is
+// untouched — zero Level, zero estimates, EffectiveLevel == MinLevel.
+func TestPlaceNilStatsLeavesUnplaced(t *testing.T) {
+	plan := placePlan(t, "SELECT x, y FROM d WHERE z < 2")
+	plan.PlaceCostBased(nil)
+	for _, f := range plan.Fragments {
+		if f.Level != 0 || f.EstRows != 0 || f.EstBytes != 0 {
+			t.Fatalf("Q%d placed without stats: level %s, est %d/%d",
+				f.Stage, f.Level, f.EstRows, f.EstBytes)
+		}
+		if f.EffectiveLevel() != f.MinLevel {
+			t.Fatalf("Q%d effective level %s != floor %s", f.Stage, f.EffectiveLevel(), f.MinLevel)
+		}
+	}
+}
+
+// perturbedStats builds a deliberately hostile statistics source: negative
+// and NaN row counts, zero/negative/infinite NDVs, inverted ranges, NaN
+// widths. The placement search must absorb all of it.
+func perturbedStats(rng *rand.Rand) logical.Stats {
+	junkF := func() float64 {
+		switch rng.Intn(6) {
+		case 0:
+			return -rng.Float64() * 100
+		case 1:
+			return 0
+		case 2:
+			return math.NaN()
+		case 3:
+			return math.Inf(1)
+		default:
+			return rng.Float64() * 1000
+		}
+	}
+	col := func() logical.ColStats {
+		c := logical.ColStats{
+			NDV:      junkF(),
+			NullFrac: junkF(),
+			AvgBytes: junkF(),
+			HasRange: rng.Intn(2) == 0,
+		}
+		c.Min, c.Max = junkF(), junkF()
+		if rng.Intn(3) == 0 {
+			c.Min, c.Max = c.Max, c.Min // inverted range
+		}
+		return c
+	}
+	ts := &logical.TableStats{
+		Rows:     junkF(),
+		RowBytes: junkF(),
+		Cols: map[string]logical.ColStats{
+			"x": col(), "y": col(), "z": col(), "t": col(),
+		},
+	}
+	missing := rng.Intn(4) == 0
+	return func(name string) (*logical.TableStats, bool) {
+		if missing {
+			return nil, false
+		}
+		return ts, true
+	}
+}
+
+// TestPlaceFuzz: random queries × hostile statistics through the full
+// fragment + placement path. Whatever the stats claim, placement must not
+// panic, estimates stay non-negative, every level respects the privacy
+// floor and the apartment boundary cap, and the chain stays monotone.
+func TestPlaceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160316))
+	for trial := 0; trial < 500; trial++ {
+		q := randomQuery(rng)
+		plan := placePlan(t, q)
+		plan.PlaceCostBased(perturbedStats(rng))
+
+		prev := Level(0)
+		for _, f := range plan.Fragments {
+			if f.EstRows < 0 || f.EstBytes < 0 {
+				t.Fatalf("trial %d %q: Q%d negative estimate %d/%d",
+					trial, q, f.Stage, f.EstRows, f.EstBytes)
+			}
+			if f.Level != 0 && f.Level < f.MinLevel {
+				t.Fatalf("trial %d %q: Q%d placed at %s below floor %s",
+					trial, q, f.Stage, f.Level, f.MinLevel)
+			}
+			cap := LevelPC
+			if f.MinLevel > cap {
+				cap = f.MinLevel
+			}
+			if f.Level > cap {
+				t.Fatalf("trial %d %q: Q%d placed at %s above cap %s",
+					trial, q, f.Stage, f.Level, cap)
+			}
+			if f.EffectiveLevel() < prev {
+				t.Fatalf("trial %d %q: chain regresses at Q%d:\n%s", trial, q, f.Stage, plan)
+			}
+			prev = f.EffectiveLevel()
+		}
+	}
+}

@@ -173,8 +173,12 @@ func (r *RunStats) Summary() string {
 		if a.FellBack {
 			fb = " [fallback]"
 		}
-		fmt.Fprintf(&b, "Q%d @ %-12s in=%-8d out=%-8d bytes=%-10d%s\n",
-			a.Fragment.Stage, a.Node.Name, a.InRows, a.OutRows, a.OutBytes, fb)
+		est := ""
+		if a.Fragment.EstRows > 0 || a.Fragment.EstBytes > 0 {
+			est = fmt.Sprintf(" est=%d rows/%d bytes", a.Fragment.EstRows, a.Fragment.EstBytes)
+		}
+		fmt.Fprintf(&b, "Q%d @ %-12s in=%-8d out=%-8d bytes=%-10d%s%s\n",
+			a.Fragment.Stage, a.Node.Name, a.InRows, a.OutRows, a.OutBytes, est, fb)
 	}
 	for _, h := range r.Traffic {
 		fmt.Fprintf(&b, "link %-12s -> %-12s rows=%-8d bytes=%d\n", h.Link.From, h.Link.To, h.Rows, h.Bytes)
@@ -337,11 +341,15 @@ func placeStats(topo *Topology, plan *fragment.Plan, stages []fragment.StageResu
 			inRows = baseIn
 		}
 
+		// The cost-based placement (when computed) raises the target rung
+		// above the MinLevel floor; the floor itself is never lowered.
+		want := f.EffectiveLevel()
+
 		exec := pos
 		fellBack := false
 		for exec < topo.CloudIndex() &&
-			(topo.Nodes[exec].Level < f.MinLevel || topo.Nodes[exec].MemRows < inRows || used[exec]) {
-			if topo.Nodes[exec].Level >= f.MinLevel && topo.Nodes[exec].MemRows < inRows {
+			(topo.Nodes[exec].Level < want || topo.Nodes[exec].MemRows < inRows || used[exec]) {
+			if topo.Nodes[exec].Level >= want && topo.Nodes[exec].MemRows < inRows {
 				fellBack = true // capable but too weak: §3.2 fallback
 			}
 			exec++
@@ -351,13 +359,18 @@ func placeStats(topo *Topology, plan *fragment.Plan, stages []fragment.StageResu
 				ErrNetwork, f.Stage, f.MinLevel)
 		}
 
-		// Ship the current data up to the execution node.
-		if i > 0 {
-			for h := pos; h < exec; h++ {
-				hop[h].Bytes += prevBytes
-				hop[h].Rows += prevRows
-				simMs += topo.Links[h].LatencyMs + float64(prevBytes)/topo.Links[h].BytesPerMs
-			}
+		// Ship the current data up to the execution node. Stage 1's input
+		// is the raw base data resident at the bottom node — when the first
+		// fragment runs above it (a join needing an appliance, a placement
+		// decision), that shipment crosses links like any other.
+		shipRows, shipBytes := prevRows, prevBytes
+		if i == 0 {
+			shipRows, shipBytes = baseIn, raw
+		}
+		for h := pos; h < exec; h++ {
+			hop[h].Bytes += shipBytes
+			hop[h].Rows += shipRows
+			simMs += topo.Links[h].LatencyMs + float64(shipBytes)/topo.Links[h].BytesPerMs
 		}
 		pos = exec
 		used[pos] = true

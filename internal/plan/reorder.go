@@ -1,0 +1,313 @@
+package plan
+
+import (
+	"strings"
+
+	"paradise/internal/sqlparser"
+)
+
+// Join reordering: greedy smallest-intermediate-first over the equi-join
+// graph, ranked by the estimate.go cardinality model. The transformation
+// is deliberately conservative — it only fires on clusters where it is
+// provably safe:
+//
+//   - only maximal clusters of INNER joins are flattened; LEFT joins
+//     (null-extension is order-sensitive) and cross joins are never
+//     touched, and neither are the subtrees on their sides beyond being
+//     visited independently;
+//   - every leaf must be a base-table access (Scan, or Filter over Scan);
+//     a Derived leaf pins the whole cluster — block boundaries are the
+//     paper's query nesting and never move;
+//   - every ON conjunct must be a qualified equi-join predicate
+//     (side.col = otherside.col) whose two sides resolve to two distinct
+//     leaves; any non-equi or unattributable conjunct pins the cluster;
+//   - clusters of fewer than three leaves keep their order (both
+//     orientations of a two-way join ship the same intermediate bytes);
+//   - a SELECT * above the cluster pins it: star expansion is positional,
+//     and reordering changes the join output's column order.
+//
+// Within an admissible cluster the result is row-identical to the
+// original (inner equi-joins commute and associate; duplicates and NULLs
+// follow the same predicate evaluation either way) — pinned by the
+// NULL/duplicate fixtures in reorder_test.go.
+
+// ReorderJoins rewrites inner equi-join clusters into the greedy
+// smallest-intermediate-first left-deep order, ranked by stats. The tree
+// is rewritten in place where possible; the (possibly new) root is
+// returned. A nil stats source still reorders, using the estimator's
+// neutral defaults.
+func ReorderJoins(root Node, stats Stats) Node {
+	return reorderNode(root, stats, false)
+}
+
+// reorderNode walks the tree looking for join clusters. starAbove is set
+// while the nearest enclosing select list (Project/Aggregate/Window)
+// within the current block contains a star — positional expansion pins
+// any cluster below it.
+func reorderNode(n Node, stats Stats, starAbove bool) Node {
+	switch x := n.(type) {
+	case *Scan, *Values, nil:
+		return n
+	case *Derived:
+		// A new block scope: stars above the boundary expand the derived
+		// table's output, not the join's.
+		x.Input = reorderNode(x.Input, stats, false)
+		return x
+	case *Join:
+		return reorderCluster(x, stats, starAbove)
+	case *Filter:
+		x.Input = reorderNode(x.Input, stats, starAbove)
+		return x
+	case *Project:
+		x.Input = reorderNode(x.Input, stats, itemsHaveStar(x.Items))
+		return x
+	case *Aggregate:
+		x.Input = reorderNode(x.Input, stats, itemsHaveStar(x.Items))
+		return x
+	case *Window:
+		x.Input = reorderNode(x.Input, stats, itemsHaveStar(x.Items))
+		return x
+	case *Distinct:
+		x.Input = reorderNode(x.Input, stats, starAbove)
+		return x
+	case *Sort:
+		x.Input = reorderNode(x.Input, stats, starAbove)
+		return x
+	case *Limit:
+		x.Input = reorderNode(x.Input, stats, starAbove)
+		return x
+	default:
+		return n
+	}
+}
+
+// itemsHaveStar reports whether a select list contains a bare or
+// qualified star. COUNT(*) does not count: the star never expands.
+func itemsHaveStar(items []sqlparser.SelectItem) bool {
+	for _, it := range items {
+		if _, ok := it.Expr.(*sqlparser.Star); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// joinLeaf is one relation of a flattened cluster.
+type joinLeaf struct {
+	node  Node
+	quals map[string]bool // lower-cased alias/table names it exposes
+}
+
+// joinEdge is one equi-join conjunct linking two leaves.
+type joinEdge struct {
+	cond sqlparser.Expr
+	a, b int // leaf indices
+}
+
+// reorderCluster flattens the maximal inner-join cluster rooted at j and
+// rebuilds it greedily. Any admissibility failure returns the cluster
+// unchanged (after visiting non-cluster subtrees independently).
+func reorderCluster(j *Join, stats Stats, starAbove bool) Node {
+	var leaves []joinLeaf
+	var edges []joinEdge
+	ok := flattenJoins(j, &leaves, &edges)
+	if !ok || starAbove || len(leaves) < 3 {
+		// Keep the original shape; still visit below non-inner joins and
+		// derived boundaries so nested clusters get their chance.
+		visitJoinSides(j, stats)
+		return j
+	}
+	reordered := greedyOrder(leaves, edges, stats)
+	if reordered == nil {
+		visitJoinSides(j, stats)
+		return j
+	}
+	return reordered
+}
+
+// visitJoinSides recurses into a pinned join's children: derived inputs
+// and clusters under LEFT joins are still independently reorderable.
+func visitJoinSides(j *Join, stats Stats) {
+	j.Left = reorderNode(j.Left, stats, false)
+	j.Right = reorderNode(j.Right, stats, false)
+}
+
+// flattenJoins decomposes a maximal inner-join tree into leaves and
+// equi-join edges. Returns false as soon as anything inadmissible is
+// found: a LEFT or cross join inside the cluster, a non-relation leaf, a
+// non-equi or unattributable conjunct.
+func flattenJoins(n Node, leaves *[]joinLeaf, edges *[]joinEdge) bool {
+	j, isJoin := n.(*Join)
+	if isJoin && j.Type == sqlparser.JoinInner {
+		if !flattenJoins(j.Left, leaves, edges) {
+			return false
+		}
+		if !flattenJoins(j.Right, leaves, edges) {
+			return false
+		}
+		if j.On == nil {
+			return false // an inner join with no condition is a cross product
+		}
+		for _, c := range sqlparser.Conjuncts(j.On) {
+			e, ok := classifyEdge(c, *leaves)
+			if !ok {
+				return false
+			}
+			*edges = append(*edges, e)
+		}
+		return true
+	}
+	if isJoin {
+		return false // LEFT or cross join: the cluster is pinned
+	}
+	if !admissibleLeaf(n) {
+		return false
+	}
+	*leaves = append(*leaves, joinLeaf{node: n, quals: sourceQuals(n)})
+	return true
+}
+
+// admissibleLeaf accepts base-relation accesses only: a Scan, or a Filter
+// directly over a Scan (the shape before predicate pushdown merges it).
+func admissibleLeaf(n Node) bool {
+	switch x := n.(type) {
+	case *Scan:
+		return true
+	case *Filter:
+		_, ok := x.Input.(*Scan)
+		return ok
+	}
+	return false
+}
+
+// classifyEdge matches a conjunct as a qualified equi-join predicate
+// between two distinct leaves.
+func classifyEdge(c sqlparser.Expr, leaves []joinLeaf) (joinEdge, bool) {
+	b, ok := c.(*sqlparser.BinaryExpr)
+	if !ok || b.Op != sqlparser.OpEq {
+		return joinEdge{}, false
+	}
+	cl, okL := b.L.(*sqlparser.ColumnRef)
+	cr, okR := b.R.(*sqlparser.ColumnRef)
+	if !okL || !okR || cl.Table == "" || cr.Table == "" {
+		return joinEdge{}, false
+	}
+	a := leafOf(cl.Table, leaves)
+	z := leafOf(cr.Table, leaves)
+	if a < 0 || z < 0 || a == z {
+		return joinEdge{}, false
+	}
+	return joinEdge{cond: c, a: a, b: z}, true
+}
+
+// leafOf resolves a qualifier to its leaf index, or -1.
+func leafOf(qual string, leaves []joinLeaf) int {
+	q := strings.ToLower(qual)
+	for i, l := range leaves {
+		if l.quals[q] {
+			return i
+		}
+	}
+	return -1
+}
+
+// greedyOrder builds the left-deep join in smallest-intermediate-first
+// order. Returns nil when the join graph is disconnected (a reorder would
+// have to introduce a cross product the user never wrote).
+func greedyOrder(leaves []joinLeaf, edges []joinEdge, stats Stats) Node {
+	n := len(leaves)
+	used := make([]bool, n)
+	placed := make([]bool, len(edges))
+
+	// onFor collects the not-yet-placed edges fully covered once `add`
+	// joins the set `in`, and marks them placed.
+	onFor := func(in []bool, add int) sqlparser.Expr {
+		var conds []sqlparser.Expr
+		for ei, e := range edges {
+			if placed[ei] {
+				continue
+			}
+			aIn := in[e.a] || e.a == add
+			bIn := in[e.b] || e.b == add
+			if aIn && bIn {
+				conds = append(conds, e.cond)
+				placed[ei] = true
+			}
+		}
+		return sqlparser.AndAll(conds)
+	}
+
+	// Pick the starting pair: the edge whose two-leaf join is smallest.
+	bestA, bestB := -1, -1
+	bestRows := 0.0
+	for _, e := range edges {
+		probe := &Join{Type: sqlparser.JoinInner, Left: leaves[e.a].node, Right: leaves[e.b].node, On: e.cond}
+		rows := Estimate(probe, stats).Rows
+		if bestA < 0 || rows < bestRows {
+			bestA, bestB, bestRows = e.a, e.b, rows
+		}
+	}
+	if bestA < 0 {
+		return nil
+	}
+	used[bestA], used[bestB] = true, true
+	acc := &Join{
+		Type: sqlparser.JoinInner,
+		Left: leaves[bestA].node, Right: leaves[bestB].node,
+		On: onFor(used, -1),
+	}
+	var tree Node = acc
+
+	for placedCount := 2; placedCount < n; placedCount++ {
+		best := -1
+		bestRows = 0.0
+		var bestTree *Join
+		for i := 0; i < n; i++ {
+			if used[i] || !connected(i, used, edges, placed) {
+				continue
+			}
+			probe := &Join{Type: sqlparser.JoinInner, Left: tree, Right: leaves[i].node, On: coveredOn(i, used, edges, placed)}
+			rows := Estimate(probe, stats).Rows
+			if best < 0 || rows < bestRows {
+				best, bestRows, bestTree = i, rows, probe
+			}
+		}
+		if best < 0 {
+			return nil // disconnected join graph
+		}
+		used[best] = true
+		bestTree.On = onFor(used, -1) // re-derive, marking edges placed
+		tree = bestTree
+	}
+	return tree
+}
+
+// connected reports whether leaf i shares an unplaced edge with the set.
+func connected(i int, in []bool, edges []joinEdge, placed []bool) bool {
+	for ei, e := range edges {
+		if placed[ei] {
+			continue
+		}
+		if (e.a == i && in[e.b]) || (e.b == i && in[e.a]) {
+			return true
+		}
+	}
+	return false
+}
+
+// coveredOn previews the ON condition joining leaf i to the set, without
+// consuming the edges (the caller re-derives once the pick is final).
+func coveredOn(i int, in []bool, edges []joinEdge, placed []bool) sqlparser.Expr {
+	var conds []sqlparser.Expr
+	for ei, e := range edges {
+		if placed[ei] {
+			continue
+		}
+		aIn := in[e.a] || e.a == i
+		bIn := in[e.b] || e.b == i
+		if aIn && bIn {
+			conds = append(conds, e.cond)
+		}
+	}
+	return sqlparser.AndAll(conds)
+}

@@ -1,0 +1,197 @@
+package plan_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paradise/internal/plan"
+)
+
+// reorderCatalog extends the bench schema with a third relation so
+// three-way clusters exist: readings(t, val) joins d on t.
+func reorderCatalog() plan.Catalog {
+	tables := map[string][]string{
+		"d":        {"x", "y", "z", "t", "cell"},
+		"cells":    {"cell", "label"},
+		"readings": {"t", "val"},
+	}
+	return func(name string) ([]string, bool) {
+		cols, ok := tables[name]
+		return cols, ok
+	}
+}
+
+// reorderStats makes d⋈cells (1000 rows) far cheaper than d⋈readings
+// (5000 rows), so the greedy order starts with cells regardless of the
+// order the query spells the joins in.
+func reorderStats() plan.Stats {
+	m := map[string]*plan.TableStats{
+		"d": {
+			Rows: 1000, RowBytes: 42,
+			Cols: map[string]plan.ColStats{
+				"x":    {NDV: 1000, HasRange: true, Min: 0, Max: 10, AvgBytes: 8},
+				"y":    {NDV: 1000, HasRange: true, Min: 0, Max: 10, AvgBytes: 8},
+				"z":    {NDV: 1000, HasRange: true, Min: 0, Max: 10, AvgBytes: 8},
+				"t":    {NDV: 1000, HasRange: true, Min: 0, Max: 999, AvgBytes: 8},
+				"cell": {NDV: 10, AvgBytes: 10},
+			},
+		},
+		"cells": {
+			Rows: 10, RowBytes: 20,
+			Cols: map[string]plan.ColStats{
+				"cell":  {NDV: 10, AvgBytes: 10},
+				"label": {NDV: 5, AvgBytes: 10},
+			},
+		},
+		"readings": {
+			Rows: 5000, RowBytes: 16,
+			Cols: map[string]plan.ColStats{
+				"t":   {NDV: 1000, HasRange: true, Min: 0, Max: 999, AvgBytes: 8},
+				"val": {NDV: 5000, AvgBytes: 8},
+			},
+		},
+	}
+	return func(name string) (*plan.TableStats, bool) {
+		ts, ok := m[name]
+		return ts, ok
+	}
+}
+
+// reorderGoldens snapshots reordered trees; regenerate with -update.
+var reorderGoldens = []struct {
+	name string
+	sql  string
+}{
+	{"reorder_three_way_chain",
+		"SELECT d.x, readings.val, cells.label FROM d JOIN readings ON d.t = readings.t JOIN cells ON d.cell = cells.cell"},
+	{"reorder_with_filters",
+		"SELECT d.x, readings.val, cells.label FROM d JOIN readings ON d.t = readings.t JOIN cells ON d.cell = cells.cell WHERE d.z < 1 AND cells.label = 'room'"},
+}
+
+func TestReorderGoldens(t *testing.T) {
+	for _, c := range reorderGoldens {
+		t.Run(c.name, func(t *testing.T) {
+			root := plan.Optimize(mustLower(t, c.sql), plan.Options{
+				Catalog:      reorderCatalog(),
+				ReorderJoins: true,
+				Stats:        reorderStats(),
+			})
+			got := "-- " + c.sql + "\n" + plan.String(root)
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("reordered plan changed (re-run with -update if intended):\n got:\n%s\nwant:\n%s",
+					indent(got), indent(string(want)))
+			}
+		})
+	}
+}
+
+// TestReorderPicksSmallestFirst: the greedy order joins d with the tiny
+// cells table before the large readings table, whatever order the SQL
+// spells.
+func TestReorderPicksSmallestFirst(t *testing.T) {
+	sql := "SELECT d.x, readings.val, cells.label FROM d JOIN readings ON d.t = readings.t JOIN cells ON d.cell = cells.cell"
+	root := plan.Optimize(mustLower(t, sql), plan.Options{
+		Catalog:      reorderCatalog(),
+		ReorderJoins: true,
+		Stats:        reorderStats(),
+	})
+	before := plan.Optimize(mustLower(t, sql), plan.Options{Catalog: reorderCatalog()})
+	if plan.String(root) == plan.String(before) {
+		t.Fatalf("expected the cluster to be reordered, got the original shape:\n%s", plan.String(root))
+	}
+	// The innermost join must be d ⋈ cells (the modeled-smallest pair).
+	var inner *plan.Join
+	plan.Walk(root, func(n plan.Node) {
+		if j, ok := n.(*plan.Join); ok {
+			inner = j // last visited in pre-order depth is the deepest
+		}
+	})
+	if inner == nil {
+		t.Fatal("no join in reordered plan")
+	}
+	tables := map[string]bool{}
+	for _, side := range []plan.Node{inner.Left, inner.Right} {
+		if s, ok := side.(*plan.Scan); ok {
+			tables[s.Table] = true
+		}
+	}
+	if !tables["d"] || !tables["cells"] {
+		t.Fatalf("innermost join is not d ⋈ cells: %s", plan.String(root))
+	}
+}
+
+// pinnedQueries must come out of ReorderJoins identical to how they went
+// in: LEFT joins, non-equi joins, derived-table leaves, two-way clusters
+// and star projections are never reordered.
+var pinnedQueries = []struct {
+	name string
+	sql  string
+}{
+	{"left_join", "SELECT d.x FROM d LEFT JOIN cells ON d.cell = cells.cell LEFT JOIN readings ON d.t = readings.t"},
+	{"left_join_in_cluster", "SELECT d.x, readings.val FROM d JOIN readings ON d.t = readings.t LEFT JOIN cells ON d.cell = cells.cell"},
+	{"non_equi", "SELECT d.x FROM d JOIN readings ON d.t < readings.t JOIN cells ON d.cell = cells.cell"},
+	{"mixed_non_equi_conjunct", "SELECT d.x FROM d JOIN readings ON d.t = readings.t AND d.x < readings.val JOIN cells ON d.cell = cells.cell"},
+	{"derived_leaf", "SELECT q.s, readings.val, cells.label FROM (SELECT x + y AS s, t, cell FROM d) AS q JOIN readings ON q.t = readings.t JOIN cells ON q.cell = cells.cell"},
+	{"two_way", "SELECT d.x, cells.label FROM d JOIN cells ON d.cell = cells.cell"},
+	{"star_above", "SELECT * FROM d JOIN readings ON d.t = readings.t JOIN cells ON d.cell = cells.cell"},
+	{"unqualified_on", "SELECT d.x FROM d JOIN readings ON t = readings.t JOIN cells ON d.cell = cells.cell"},
+}
+
+func TestReorderPinsUnsafeShapes(t *testing.T) {
+	for _, c := range pinnedQueries {
+		t.Run(c.name, func(t *testing.T) {
+			opts := plan.Options{Catalog: reorderCatalog()}
+			before := plan.String(plan.Optimize(mustLower(t, c.sql), opts))
+			opts.ReorderJoins = true
+			opts.Stats = reorderStats()
+			after := plan.String(plan.Optimize(mustLower(t, c.sql), opts))
+			if before != after {
+				t.Errorf("pinned shape was reordered:\nbefore:\n%s\nafter:\n%s",
+					indent(before), indent(after))
+			}
+		})
+	}
+}
+
+// TestReorderInsideDerived: a cluster nested inside a derived table is
+// still reorderable — the boundary pins leaves, not inner blocks.
+func TestReorderInsideDerived(t *testing.T) {
+	sql := "SELECT v FROM (SELECT readings.val AS v FROM d JOIN readings ON d.t = readings.t JOIN cells ON d.cell = cells.cell) AS q"
+	opts := plan.Options{Catalog: reorderCatalog(), ReorderJoins: true, Stats: reorderStats()}
+	after := plan.String(plan.Optimize(mustLower(t, sql), opts))
+	before := plan.String(plan.Optimize(mustLower(t, sql), plan.Options{Catalog: reorderCatalog()}))
+	if before == after {
+		t.Fatalf("cluster inside the derived block was not reordered:\n%s", after)
+	}
+}
+
+// TestReorderNilStats: reordering with no statistics must not panic and
+// must produce a valid (possibly reordered) plan.
+func TestReorderNilStats(t *testing.T) {
+	sql := "SELECT d.x, readings.val, cells.label FROM d JOIN readings ON d.t = readings.t JOIN cells ON d.cell = cells.cell"
+	root := plan.Optimize(mustLower(t, sql), plan.Options{
+		Catalog:      reorderCatalog(),
+		ReorderJoins: true,
+	})
+	joins := 0
+	plan.Walk(root, func(n plan.Node) {
+		if _, ok := n.(*plan.Join); ok {
+			joins++
+		}
+	})
+	if joins != 2 {
+		t.Fatalf("reordered plan lost a join: %d joins\n%s", joins, plan.String(root))
+	}
+}

@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"container/heap"
+
+	"paradise/internal/schema"
+)
+
+// Per-column statistics power the optimizer's cardinality model (see
+// plan.Estimate). They are maintained incrementally on Append under the
+// table's write lock — the same discipline as the O(1) wire-size cache —
+// so reading them never walks rows. Like the plan cache, staleness is
+// governed by the store's schema epoch: DDL (Create/Put/Drop) bumps the
+// epoch and orphans any consumer that keyed on it, while plain appends
+// refresh the numbers in place without invalidating anything.
+
+// kmvK bounds the k-minimum-values sketch behind the NDV estimate. Below
+// kmvK distinct values the sketch degenerates to an exact distinct count
+// (every hash is kept); above it the estimate is (k-1)/R with R the k-th
+// smallest normalized hash — the standard KMV estimator, within a few
+// percent at this k.
+const kmvK = 1024
+
+// ColumnStats is a point-in-time statistical summary of one column.
+type ColumnStats struct {
+	Name  string
+	NDV   int64 // estimated count of distinct non-null values (>= 1 once a value was seen)
+	Nulls int64
+	// Min/Max bound the numeric values seen so far; valid only when
+	// HasRange is set (at least one non-null Int or Float was appended).
+	HasRange bool
+	Min, Max float64
+	// Bytes is the cumulative simulated wire size of this column's values.
+	Bytes int64
+}
+
+// AvgBytes is the mean wire size of one value of this column over the rows
+// counted by rows; 0 when the table is empty.
+func (c ColumnStats) AvgBytes(rows int64) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) / float64(rows)
+}
+
+// TableStats is a point-in-time statistical snapshot of a whole table:
+// the O(1) row/byte totals plus per-column summaries in schema order.
+type TableStats struct {
+	Rows  int64
+	Bytes int64
+	Cols  []ColumnStats
+}
+
+// hashHeap is a max-heap over hash values: the root is the largest kept
+// hash, i.e. the first to evict when a smaller one arrives.
+type hashHeap []uint64
+
+func (h hashHeap) Len() int            { return len(h) }
+func (h hashHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h hashHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hashHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *hashHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// colStat accumulates one column's statistics. All mutation happens under
+// the owning table's write lock.
+type colStat struct {
+	nulls    int64
+	bytes    int64
+	hasRange bool
+	min, max float64
+	// KMV sketch: the kmvK smallest distinct hashes seen so far.
+	seen map[uint64]struct{}
+	heap hashHeap
+}
+
+// observe folds one value into the column's statistics. keyBuf is a
+// scratch buffer shared across the row to avoid per-value allocation; the
+// (possibly grown) buffer is returned for reuse.
+func (c *colStat) observe(v schema.Value, keyBuf []byte) []byte {
+	c.bytes += int64(v.WireSize())
+	if v.IsNull() {
+		c.nulls++
+		return keyBuf
+	}
+	if t := v.Type(); t == schema.TypeInt || t == schema.TypeFloat {
+		f := v.AsFloat()
+		if !c.hasRange {
+			c.hasRange, c.min, c.max = true, f, f
+		} else {
+			if f < c.min {
+				c.min = f
+			}
+			if f > c.max {
+				c.max = f
+			}
+		}
+	}
+	keyBuf = v.AppendGroupKey(keyBuf[:0])
+	h := fnv64a(keyBuf)
+	if _, ok := c.seen[h]; ok {
+		return keyBuf
+	}
+	if len(c.heap) < kmvK {
+		if c.seen == nil {
+			c.seen = make(map[uint64]struct{}, 64)
+		}
+		c.seen[h] = struct{}{}
+		heap.Push(&c.heap, h)
+		return keyBuf
+	}
+	if h < c.heap[0] {
+		delete(c.seen, c.heap[0])
+		c.seen[h] = struct{}{}
+		c.heap[0] = h
+		heap.Fix(&c.heap, 0)
+	}
+	return keyBuf
+}
+
+// ndv estimates the distinct non-null count. Exact while the sketch is not
+// full (every distinct hash is still kept); KMV-extrapolated beyond.
+func (c *colStat) ndv() int64 {
+	n := len(c.heap)
+	if n < kmvK {
+		return int64(n)
+	}
+	// KMV: with R the k-th minimum hash normalized to (0, 1],
+	// NDV ~= (k-1)/R. The root of the max-heap is that k-th minimum.
+	r := float64(c.heap[0]) / float64(^uint64(0))
+	if r <= 0 {
+		return int64(n)
+	}
+	est := float64(kmvK-1) / r
+	if est < float64(n) {
+		return int64(n)
+	}
+	return int64(est)
+}
+
+func (c *colStat) reset() {
+	*c = colStat{}
+}
+
+// snapshot renders the accumulator as an immutable ColumnStats.
+func (c *colStat) snapshot(name string) ColumnStats {
+	return ColumnStats{
+		Name:     name,
+		NDV:      c.ndv(),
+		Nulls:    c.nulls,
+		HasRange: c.hasRange,
+		Min:      c.min,
+		Max:      c.max,
+		Bytes:    c.bytes,
+	}
+}
+
+// fnv64a is the FNV-1a 64-bit hash over the value's canonical group key —
+// the same byte encoding every hashed operator uses, so values that are
+// SQL-equal (Int 1 vs Float 1.0) hash identically here too.
+func fnv64a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// Stats snapshots the table's statistics: O(columns), no row access.
+func (t *Table) Stats() TableStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ts := TableStats{
+		Rows:  int64(t.nrows),
+		Bytes: int64(t.wire),
+		Cols:  make([]ColumnStats, len(t.stats)),
+	}
+	for i := range t.stats {
+		ts.Cols[i] = t.stats[i].snapshot(t.schema.Columns[i].Name)
+	}
+	return ts
+}
+
+// TableStats snapshots the named table's statistics (case-insensitive).
+func (s *Store) TableStats(name string) (TableStats, error) {
+	t, err := s.Table(name)
+	if err != nil {
+		return TableStats{}, err
+	}
+	return t.Stats(), nil
+}

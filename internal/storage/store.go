@@ -44,11 +44,19 @@ type Table struct {
 	// Append/Truncate so WireSize is O(1). Stored values are immutable, so
 	// the cache can never go stale.
 	wire int
+	// stats holds one incremental statistics accumulator per column (NDV
+	// sketch, min/max, null count — see stats.go), updated on Append and
+	// reset on Truncate under the same lock as the wire cache.
+	stats []colStat
 }
 
 // NewTable creates an empty table with the given schema.
 func NewTable(rel *schema.Relation) *Table {
-	t := &Table{schema: rel, cols: make([]schema.ColVec, rel.Arity())}
+	t := &Table{
+		schema: rel,
+		cols:   make([]schema.ColVec, rel.Arity()),
+		stats:  make([]colStat, rel.Arity()),
+	}
 	for i := range t.cols {
 		t.cols[i] = schema.NewColVec(rel.Columns[i].Type)
 	}
@@ -63,6 +71,7 @@ func (t *Table) Schema() *schema.Relation { return t.schema }
 func (t *Table) Append(rows ...schema.Row) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var keyBuf []byte
 	for _, r := range rows {
 		if len(r) != t.schema.Arity() {
 			return fmt.Errorf("%w: table %s has %d columns, row has %d",
@@ -70,6 +79,7 @@ func (t *Table) Append(rows ...schema.Row) error {
 		}
 		for i := range t.cols {
 			t.cols[i].Append(r[i])
+			keyBuf = t.stats[i].observe(r[i], keyBuf)
 		}
 		t.rows = append(t.rows, r.Clone())
 		t.nrows++
@@ -423,6 +433,9 @@ func (t *Table) Truncate() {
 	t.rows = nil
 	t.nrows = 0
 	t.wire = 0
+	for i := range t.stats {
+		t.stats[i].reset()
+	}
 }
 
 // WireSize is the simulated serialized size of the whole table. O(1): the

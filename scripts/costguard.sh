@@ -1,0 +1,39 @@
+#!/bin/sh
+# costguard.sh — the cost model never changes answers, only traffic.
+#
+# Cost-based placement (internal/fragment/place.go) and join reordering
+# (internal/plan/reorder.go) consume the cardinality model
+# (internal/plan/estimate.go). All three are allowed to move WORK around
+# — which node runs a stage, which join builds first — but never to change
+# WHAT the query returns or what leaves the apartment. This script runs
+# the suites that pin exactly that contract:
+#
+#   - placement equivalence: cost-based vs fixed MinLevel, rows + order +
+#     raw/egress/per-stage bytes identical, expanding shapes strictly
+#     cheaper on the wire, shrinking shapes byte-identical;
+#   - modeled vs measured: estimates exact for predicate-free scans,
+#     within the error band elsewhere, golden table unchanged;
+#   - reorder goldens + row identity on NULL/duplicate-key fixtures;
+#   - placement + estimator fuzz under hostile statistics.
+#
+# Everything runs serially AND under -race -cpu 1,4 so the placement
+# decisions are also exercised through the morsel-parallel exchange.
+set -eu
+cd "$(dirname "$0")/.."
+
+run='TestPlacementEquivalence|TestPlacementEquivalenceParallel|TestCostPlacementReducesLinkBytes|TestModeledVsMeasured'
+frag='TestPlace'
+plan='TestEstimate|TestReorder'
+eng='TestReorder'
+
+go test -run "$run" .
+go test -run "$frag" ./internal/fragment/
+go test -run "$plan" ./internal/plan/
+go test -run "$eng" ./internal/engine/
+
+go test -race -cpu 1,4 -run "$run" .
+go test -race -cpu 1,4 -run "$frag" ./internal/fragment/
+go test -race -cpu 1,4 -run "$plan" ./internal/plan/
+go test -race -cpu 1,4 -run "$eng" ./internal/engine/
+
+echo "costguard: ok (cost model moves traffic, never answers)"

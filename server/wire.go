@@ -52,11 +52,12 @@ type Message struct {
 	Values []any `json:"values,omitempty"`
 
 	// Stats trailer (the Figure 3 accounting of the drained chain).
-	Rows        int     `json:"rows,omitempty"`
-	RawBytes    int     `json:"raw_bytes,omitempty"`
-	EgressBytes int     `json:"egress_bytes,omitempty"`
-	Reduction   float64 `json:"reduction,omitempty"`
-	SimMs       float64 `json:"sim_ms,omitempty"`
+	Rows        int         `json:"rows,omitempty"`
+	RawBytes    int         `json:"raw_bytes,omitempty"`
+	EgressBytes int         `json:"egress_bytes,omitempty"`
+	Reduction   float64     `json:"reduction,omitempty"`
+	SimMs       float64     `json:"sim_ms,omitempty"`
+	Stages      []StageInfo `json:"stages,omitempty"`
 
 	// Error object.
 	Code       string   `json:"code,omitempty"`
@@ -77,6 +78,21 @@ type StatsSnapshot struct {
 	ErrorsTotal  int64                   `json:"errors_total"`
 	Draining     bool                    `json:"draining"`
 	UptimeMs     int64                   `json:"uptime_ms"`
+}
+
+// StageInfo is one fragment of the stats trailer's per-stage breakdown:
+// where the stage ran and its modeled (est_*) versus measured (out_*)
+// output, so clients can audit the traffic model against the wire.
+type StageInfo struct {
+	Stage    int    `json:"stage"`
+	Node     string `json:"node"`
+	MinLevel string `json:"min_level"`
+	Level    string `json:"level"`
+	InRows   int    `json:"in_rows"`
+	OutRows  int    `json:"out_rows"`
+	OutBytes int    `json:"out_bytes"`
+	EstRows  int64  `json:"est_rows,omitempty"`
+	EstBytes int64  `json:"est_bytes,omitempty"`
 }
 
 // schemaMessage renders the schema line for a result relation.
@@ -126,6 +142,20 @@ func encodeValue(v paradise.Value) any {
 
 // statsMessage renders the trailer from the drained chain's accounting.
 func statsMessage(rows int, st *paradise.RunStats) *Message {
+	stages := make([]StageInfo, len(st.Assignments))
+	for i, a := range st.Assignments {
+		stages[i] = StageInfo{
+			Stage:    a.Fragment.Stage,
+			Node:     a.Node.Name,
+			MinLevel: a.Fragment.MinLevel.String(),
+			Level:    a.Fragment.EffectiveLevel().String(),
+			InRows:   a.InRows,
+			OutRows:  a.OutRows,
+			OutBytes: a.OutBytes,
+			EstRows:  a.Fragment.EstRows,
+			EstBytes: a.Fragment.EstBytes,
+		}
+	}
 	return &Message{
 		Type:        "stats",
 		Rows:        rows,
@@ -133,5 +163,6 @@ func statsMessage(rows int, st *paradise.RunStats) *Message {
 		EgressBytes: st.EgressBytes,
 		Reduction:   st.Reduction(),
 		SimMs:       float64(st.SimTime) / float64(time.Millisecond),
+		Stages:      stages,
 	}
 }
