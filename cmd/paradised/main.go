@@ -26,6 +26,10 @@
 //	-drain     grace period for in-flight queries on shutdown (default 5s)
 //	-journal   write the default tenant's audit journal as JSON to this
 //	           file on shutdown
+//	-data      serve a persisted disk-backed store directory (as written
+//	           by gensensors) instead of simulating a scenario; sealed
+//	           segments are recovered from their footers and column data
+//	           is read lazily per scan
 //
 // SIGINT/SIGTERM drain the server: new queries get 503 immediately,
 // in-flight streams finish within -drain and are then truncated with a
@@ -67,23 +71,34 @@ func run() int {
 		maxQuery = flag.Duration("max-query", 30*time.Second, "execution ceiling per request (0 = none)")
 		drain    = flag.Duration("drain", 5*time.Second, "shutdown grace period for in-flight queries")
 		journalP = flag.String("journal", "", "write the default tenant's audit journal to this file on shutdown")
+		dataDir  = flag.String("data", "", "serve a persisted disk-backed store (e.g. from gensensors) instead of simulating")
 	)
 	flag.Parse()
 
-	sc, err := buildScenario(*scenario, *duration, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
-	}
-	trace, err := sensorsim.Generate(sc)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "generate trace:", err)
-		return 1
-	}
-	store, err := sensorsim.BuildStore(trace)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "build store:", err)
-		return 1
+	var store *paradise.Store
+	if *dataDir != "" {
+		var err error
+		store, err = paradise.NewStoreWith(paradise.StoreConfig{Dir: *dataDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open data dir:", err)
+			return 1
+		}
+	} else {
+		sc, err := buildScenario(*scenario, *duration, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		trace, err := sensorsim.Generate(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "generate trace:", err)
+			return 1
+		}
+		store, err = sensorsim.BuildStore(trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "build store:", err)
+			return 1
+		}
 	}
 
 	pol := paradise.Figure4Policy()

@@ -102,8 +102,11 @@ func NewPlanCache(capacity int) *PlanCache {
 
 // acquire is the singleflight lookup: a present key is a hit; a cold key is
 // a miss that either joins the in-progress flight for that key or starts a
-// new one (leader=true — the caller must compile and call complete). Every
-// lookup counts exactly one hit or one miss, leader or not.
+// new one (leader=true — the caller must compile and call complete). A
+// lookup that joins an existing flight is counted later, when the flight
+// resolves (coalescedHit/coalescedMiss) — whether it was effectively a hit
+// depends on whether the leader's compile succeeds. Every lookup still
+// counts exactly one hit or one miss.
 func (c *PlanCache) acquire(key string) (pr *prepared, fl *flight, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -112,13 +115,31 @@ func (c *PlanCache) acquire(key string) (pr *prepared, fl *flight, leader bool) 
 		c.lru.MoveToFront(el)
 		return el.Value.(*cacheEntry).pr, nil, false
 	}
-	c.misses++
 	if fl, ok := c.inflight[key]; ok {
 		return nil, fl, false
 	}
+	c.misses++
 	fl = &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	return nil, fl, true
+}
+
+// coalescedHit and coalescedMiss account a lookup that joined an in-flight
+// compilation, once its outcome is known: sharing the leader's artifact is
+// a hit (this lookup compiled nothing), while a failed flight's
+// per-request recompile is a miss. With this split, Misses counts actual
+// lookup-triggered compiles, so a burst of concurrent misses on one cold
+// key reports one miss and N−1 hits.
+func (c *PlanCache) coalescedHit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *PlanCache) coalescedMiss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
 }
 
 // complete finishes a flight: a successful artifact is inserted before the
@@ -216,8 +237,10 @@ func (p *Processor) preparedFor(sel *sqlparser.Select, mod *policy.Module) (*pre
 	if !leader {
 		<-fl.done
 		if fl.pr != nil {
+			p.cache.coalescedHit()
 			return fl.pr, nil
 		}
+		p.cache.coalescedMiss()
 		return p.compileStatement(sel, mod)
 	}
 	pr, err := p.compileStatement(sel, mod)

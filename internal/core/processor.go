@@ -192,7 +192,7 @@ func (p *Processor) statsSource() logical.Stats {
 			if ts.Rows > 0 {
 				nullFrac = float64(c.Nulls) / float64(ts.Rows)
 			}
-			out.Cols[strings.ToLower(c.Name)] = logical.ColStats{
+			cs := logical.ColStats{
 				NDV:      float64(c.NDV),
 				NullFrac: nullFrac,
 				HasRange: c.HasRange,
@@ -200,6 +200,10 @@ func (p *Processor) statsSource() logical.Stats {
 				Max:      c.Max,
 				AvgBytes: c.AvgBytes(ts.Rows),
 			}
+			if c.Hist != nil {
+				cs.Hist = c.Hist
+			}
+			out.Cols[strings.ToLower(c.Name)] = cs
 		}
 		return out, true
 	}

@@ -294,7 +294,7 @@ func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, blk *plan.Block
 	// (storage already prunes columns at the pivot), so don't bother.
 	if cs, ok := e.src.(ColScanner); ok {
 		if p, pok := compileVecScan(rel, qual, full, conds, cols); pok && len(p.kernels) > 0 {
-			ci, err := cs.OpenColScan(ctx, s.Table, p.loadCols(rel.Arity()), schema.DefaultBatchSize)
+			ci, err := cs.OpenColScan(ctx, s.Table, p.colScan(rel.Arity()))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -310,6 +310,9 @@ func (e *Engine) openPlanScan(ctx context.Context, s *plan.Scan, blk *plan.Block
 			env.row = r
 			return truthy(env, cond)
 		}
+		// The structured restatement of the filter's kernelizable prefix
+		// lets storage skip segments even on the row path.
+		sc.Predicate = prunePreds(full, sqlparser.Conjuncts(cond))
 	}
 	sc.Columns = cols
 	// Limit pushdown into the batch size: when nothing between the scan and

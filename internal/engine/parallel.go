@@ -863,7 +863,7 @@ func (e *Engine) openParScan(ctx context.Context, s *plan.Scan, blk *plan.Block)
 	// per worker instead of full-width behind the shared cursor.
 	if cs, ok := e.src.(ColScanner); ok {
 		if p, pok := compileVecScan(rel, qual, full, conds, cols); pok {
-			ms, err := cs.OpenColMorsels(ctx, s.Table, p.loadCols(rel.Arity()), schema.DefaultBatchSize)
+			ms, err := cs.OpenColMorsels(ctx, s.Table, p.colScan(rel.Arity()))
 			if err != nil {
 				return nil, err
 			}

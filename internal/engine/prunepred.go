@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"paradise/internal/schema"
+	"paradise/internal/sqlparser"
+)
+
+// Structured pruning predicates: the kernelizable conjunct prefix of a scan
+// filter, restated over base-table column positions so the storage layer
+// can consult segment zone maps (see schema.ColPred for the soundness
+// contract). The accepted forms mirror compileConjKernel exactly —
+// comparisons between column references and literals (either side), and
+// IS [NOT] NULL on a column — so the structured prefix and the kernel
+// prefix stop at the same conjunct.
+
+// prunePreds converts the longest convertible prefix of the conjunct list.
+// Conversion stopping early only weakens pruning, never soundness: the
+// prefix property (no conjunct past the first unconvertible one) is what
+// keeps error/short-circuit order intact.
+func prunePreds(full *binding, conjs []sqlparser.Expr) []schema.ColPred {
+	var out []schema.ColPred
+	for _, c := range conjs {
+		p, ok := prunePred(full, c)
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func prunePred(full *binding, c sqlparser.Expr) (schema.ColPred, bool) {
+	switch x := c.(type) {
+	case *sqlparser.IsNull:
+		cr, ok := x.X.(*sqlparser.ColumnRef)
+		if !ok {
+			return schema.ColPred{}, false
+		}
+		ti, err := full.resolve(cr)
+		if err != nil {
+			return schema.ColPred{}, false
+		}
+		op := schema.PredIsNull
+		if x.Not {
+			op = schema.PredNotNull
+		}
+		return schema.ColPred{Op: op, Col: ti, RCol: -1}, true
+	case *sqlparser.BinaryExpr:
+		op, ok := predOpOf(x.Op)
+		if !ok {
+			return schema.ColPred{}, false
+		}
+		l, lok := pruneOperand(full, x.L)
+		r, rok := pruneOperand(full, x.R)
+		if !lok || !rok || (l.col < 0 && r.col < 0) {
+			return schema.ColPred{}, false
+		}
+		if l.col < 0 {
+			// Literal on the left: normalize column-on-the-left with the
+			// comparison sense mirrored, exactly like the kernel compiler.
+			l, r = r, l
+			op = mirrorPredOp(op)
+		}
+		if r.col >= 0 {
+			return schema.ColPred{Op: op, Col: l.col, RCol: r.col}, true
+		}
+		return schema.ColPred{Op: op, Col: l.col, RCol: -1, Lit: r.lit}, true
+	}
+	return schema.ColPred{}, false
+}
+
+// pruneOperand compiles one comparison side to a base-table position or a
+// literal (col < 0).
+func pruneOperand(full *binding, e sqlparser.Expr) (operand, bool) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		return operand{col: -1, lit: x.Value}, true
+	case *sqlparser.ColumnRef:
+		ti, err := full.resolve(x)
+		if err != nil {
+			return operand{}, false
+		}
+		return operand{col: ti}, true
+	}
+	return operand{}, false
+}
+
+func predOpOf(op sqlparser.BinaryOp) (schema.PredOp, bool) {
+	switch op {
+	case sqlparser.OpEq:
+		return schema.PredEq, true
+	case sqlparser.OpNeq:
+		return schema.PredNe, true
+	case sqlparser.OpLt:
+		return schema.PredLt, true
+	case sqlparser.OpLeq:
+		return schema.PredLe, true
+	case sqlparser.OpGt:
+		return schema.PredGt, true
+	case sqlparser.OpGeq:
+		return schema.PredGe, true
+	}
+	return 0, false
+}
+
+// mirrorPredOp flips a comparison around its operands: x OP y == y OP' x.
+func mirrorPredOp(op schema.PredOp) schema.PredOp {
+	switch op {
+	case schema.PredLt:
+		return schema.PredGt
+	case schema.PredLe:
+		return schema.PredGe
+	case schema.PredGt:
+		return schema.PredLt
+	case schema.PredGe:
+		return schema.PredLe
+	}
+	return op // Eq and Ne are symmetric
+}

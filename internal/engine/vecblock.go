@@ -86,7 +86,7 @@ func (e *Engine) openVecDistinct(ctx context.Context, cs ColScanner, s *plan.Sca
 		srcIdx[i] = c.starIdx
 	}
 
-	ci, err := cs.OpenColScan(ctx, s.Table, p.loadCols(rel.Arity()), schema.DefaultBatchSize)
+	ci, err := cs.OpenColScan(ctx, s.Table, p.colScan(rel.Arity()))
 	if err != nil {
 		return nil, nil, false, err
 	}

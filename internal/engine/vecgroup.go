@@ -107,7 +107,7 @@ func (e *Engine) openVecGrouped(ctx context.Context, cs ColScanner, s *plan.Scan
 		return nil, nil, false, nil
 	}
 
-	ci, err := cs.OpenColScan(ctx, s.Table, p.loadCols(rel.Arity()), schema.DefaultBatchSize)
+	ci, err := cs.OpenColScan(ctx, s.Table, p.colScan(rel.Arity()))
 	if err != nil {
 		return nil, nil, false, err
 	}

@@ -301,7 +301,7 @@ func (e *Engine) openVecJoin(ctx context.Context, j *plan.Join) (*binding, schem
 		return cb, it, true, nil
 	}
 	core := newVecJoinCore(p, arity, rb, rrows, eqL, eqR, j.Type == sqlparser.JoinLeft, 1)
-	ci, err := e.src.(ColScanner).OpenColScan(ctx, s.Table, p.loadCols(arity), schema.DefaultBatchSize)
+	ci, err := e.src.(ColScanner).OpenColScan(ctx, s.Table, p.colScan(arity))
 	if err != nil {
 		return nil, nil, true, err
 	}
@@ -336,7 +336,7 @@ func (e *Engine) openParVecJoin(ctx context.Context, j *plan.Join) (*parSeg, boo
 		return e.parJoinFromBuild(j, left, rb, rrows), true, nil
 	}
 	core := newVecJoinCore(p, arity, rb, rrows, eqL, eqR, j.Type == sqlparser.JoinLeft, e.par)
-	ms, err := e.src.(ColScanner).OpenColMorsels(ctx, s.Table, p.loadCols(arity), schema.DefaultBatchSize)
+	ms, err := e.src.(ColScanner).OpenColMorsels(ctx, s.Table, p.colScan(arity))
 	if err != nil {
 		return nil, true, err
 	}

@@ -413,7 +413,7 @@ func (e *Engine) openVecProject(ctx context.Context, cs ColScanner, s *plan.Scan
 		return nil, nil, false, nil
 	}
 
-	ci, err := cs.OpenColScan(ctx, s.Table, p.loadCols(rel.Arity()), schema.DefaultBatchSize)
+	ci, err := cs.OpenColScan(ctx, s.Table, p.colScan(rel.Arity()))
 	if err != nil {
 		return nil, nil, false, err
 	}

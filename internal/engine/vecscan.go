@@ -13,12 +13,12 @@ import (
 // to row form. storage.Store implements it; fragment, stream and network
 // sources do not, and those scans silently stay on the row path.
 type ColScanner interface {
-	// OpenColScan opens a serial columnar scan over the named relation,
-	// restricted to the given column positions (nil keeps the full width).
-	OpenColScan(ctx context.Context, name string, cols []int, batchSize int) (schema.ColIterator, error)
+	// OpenColScan opens a serial columnar scan over the named relation with
+	// the given projection, structured pruning predicate and batch size.
+	OpenColScan(ctx context.Context, name string, sc schema.ColScan) (schema.ColIterator, error)
 	// OpenColMorsels is the parallel twin: a partitioned columnar scan
 	// safe for concurrent claims.
-	OpenColMorsels(ctx context.Context, name string, cols []int, batchSize int) (schema.ColMorselSource, error)
+	OpenColMorsels(ctx context.Context, name string, sc schema.ColScan) (schema.ColMorselSource, error)
 }
 
 // vecScanPlan is a compiled vectorized scan: which columns to load, the
@@ -36,6 +36,9 @@ type vecScanPlan struct {
 	m int
 	// kernels is the compiled prefix of the filter conjuncts, in order.
 	kernels []kernel
+	// preds is the same prefix restated over base-table positions: the
+	// pruning hint storage consults against segment zone maps.
+	preds []schema.ColPred
 	// residual is the AND of the remaining conjuncts (nil when all conjuncts
 	// compiled); evaluated row-at-a-time on kernel survivors.
 	residual sqlparser.Expr
@@ -92,6 +95,7 @@ func compileVecScan(rel *schema.Relation, qual string, full *binding, conds []sq
 		}
 		p.kernels = append(p.kernels, k)
 	}
+	p.preds = prunePreds(full, conjs[:len(p.kernels)])
 	if p.residual != nil {
 		// Every residual column must live in the load layout.
 		for _, c := range sqlparser.ColumnRefs(p.residual) {
@@ -120,6 +124,16 @@ func (p *vecScanPlan) loadCols(arity int) []int {
 		}
 	}
 	return nil
+}
+
+// colScan packages the plan's load layout and pruning predicate as the
+// pushed-down columnar scan request.
+func (p *vecScanPlan) colScan(arity int) schema.ColScan {
+	return schema.ColScan{
+		Columns:   p.loadCols(arity),
+		Predicate: p.preds,
+		BatchSize: schema.DefaultBatchSize,
+	}
 }
 
 // vecExec runs a compiled scan plan over column batches. One instance is

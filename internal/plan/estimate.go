@@ -27,6 +27,18 @@ const defaultSel = 1.0 / 3
 // value (numbers ship in 8 bytes plus bookkeeping).
 const exprBytes = 8
 
+// Hist is the estimator's view of a value-distribution histogram: enough
+// to turn a range bound into a fraction of rows. The storage layer's
+// equi-width segment histograms satisfy it; plan never learns the bucket
+// layout.
+type Hist interface {
+	// FracBelow estimates the fraction of counted values strictly below v:
+	// 0 at or below the histogram's minimum, 1 above its maximum.
+	FracBelow(v float64) float64
+	// Total is the number of counted values (0 means no information).
+	Total() int64
+}
+
 // ColStats summarizes one column for estimation.
 type ColStats struct {
 	// NDV is the estimated number of distinct non-null values (>= 1 when
@@ -39,6 +51,9 @@ type ColStats struct {
 	Min, Max float64
 	// AvgBytes is the mean wire size of one value.
 	AvgBytes float64
+	// Hist, when non-nil, refines range selectivities with the column's
+	// measured distribution instead of uniform min/max interpolation.
+	Hist Hist
 }
 
 // TableStats describes one relation (base table or derived stage output)
@@ -435,6 +450,13 @@ func selBetween(b *sqlparser.Between, ts *TableStats) float64 {
 	hi, okHi := b.Hi.(*sqlparser.Literal)
 	if okX && okLo && okHi && lo.Value.Type().Numeric() && hi.Value.Type().Numeric() {
 		if c, found := ts.Col(ref); found && c.HasRange {
+			if c.Hist != nil && c.Hist.Total() > 0 {
+				// BETWEEN hi is inclusive; nudging past hi approximates <=
+				// at histogram granularity.
+				span := c.Hist.FracBelow(math.Nextafter(hi.Value.AsFloat(), math.Inf(1))) -
+					c.Hist.FracBelow(lo.Value.AsFloat())
+				return clamp01(span)
+			}
 			width := c.Max - c.Min
 			if width <= 0 {
 				if lo.Value.AsFloat() <= c.Min && c.Min <= hi.Value.AsFloat() {
@@ -538,6 +560,18 @@ func selRange(c ColStats, op sqlparser.BinaryOp, lit schema.Value) float64 {
 		return defaultSel
 	}
 	v := lit.AsFloat()
+	if c.Hist != nil && c.Hist.Total() > 0 {
+		// Histogram path: the measured distribution replaces the uniform
+		// assumption. <= and < differ by at most one value's mass, below
+		// this model's resolution; the bucket interpolation absorbs it.
+		switch op {
+		case sqlparser.OpLt, sqlparser.OpLeq:
+			return clamp01(c.Hist.FracBelow(v))
+		case sqlparser.OpGt, sqlparser.OpGeq:
+			return clamp01(1 - c.Hist.FracBelow(v))
+		}
+		return defaultSel
+	}
 	width := c.Max - c.Min
 	if width <= 0 {
 		// Single-point column: the predicate either keeps it or not.

@@ -36,6 +36,12 @@ type Scan struct {
 	Columns []int
 	// Filter drops rows before projection; nil keeps every row.
 	Filter Predicate
+	// Predicate is the structured restatement of Filter's kernelizable
+	// conjunct prefix (see ColPred): a pruning hint that lets storage skip
+	// segments whose zone maps prove no row can pass. Filter remains
+	// authoritative — setting Predicate without an implying Filter is a
+	// caller bug. Must be nil when Filter is nil.
+	Predicate []ColPred
 	// BatchSize caps rows per pull; <= 0 means DefaultBatchSize.
 	BatchSize int
 }

@@ -2,17 +2,23 @@ package storage
 
 import (
 	"container/heap"
+	"math"
 
 	"paradise/internal/schema"
 )
 
 // Per-column statistics power the optimizer's cardinality model (see
-// plan.Estimate). They are maintained incrementally on Append under the
-// table's write lock — the same discipline as the O(1) wire-size cache —
-// so reading them never walks rows. Like the plan cache, staleness is
-// governed by the store's schema epoch: DDL (Create/Put/Drop) bumps the
-// epoch and orphans any consumer that keyed on it, while plain appends
-// refresh the numbers in place without invalidating anything.
+// plan.Estimate) and the segment zone maps (see segment.go). They are
+// maintained incrementally on Append under the table's write lock — the
+// same discipline as the O(1) wire-size cache — so reading them never
+// walks rows. Like the plan cache, staleness is governed by the store's
+// schema epoch: DDL (Create/Put/Drop) bumps the epoch and orphans any
+// consumer that keyed on it, while plain appends refresh the numbers in
+// place without invalidating anything.
+//
+// The table keeps two accumulators per column: a table-lifetime one (the
+// estimator's view) and a segment-local one that is reset at every seal —
+// its snapshot becomes the sealed segment's zone map entry.
 
 // kmvK bounds the k-minimum-values sketch behind the NDV estimate. Below
 // kmvK distinct values the sketch degenerates to an exact distinct count
@@ -27,11 +33,17 @@ type ColumnStats struct {
 	NDV   int64 // estimated count of distinct non-null values (>= 1 once a value was seen)
 	Nulls int64
 	// Min/Max bound the numeric values seen so far; valid only when
-	// HasRange is set (at least one non-null Int or Float was appended).
+	// HasRange is set (at least one non-null, non-NaN Int or Float was
+	// appended). NaNs never enter the range — they are counted apart.
 	HasRange bool
 	Min, Max float64
 	// Bytes is the cumulative simulated wire size of this column's values.
 	Bytes int64
+	// Hist is the merged equi-width histogram over the numeric values
+	// (sealed segments' seal-time histograms resampled onto the table's
+	// current [Min, Max], plus the active tail binned on demand). Nil when
+	// the column holds no histogrammable values.
+	Hist *Histogram
 }
 
 // AvgBytes is the mean wire size of one value of this column over the rows
@@ -74,37 +86,85 @@ type colStat struct {
 	bytes    int64
 	hasRange bool
 	min, max float64
+	// nans counts float values that are NaN: incomparable, excluded from
+	// the range, and a hard stop for zone-map pruning (comparisons error).
+	nans int64
+	// String range, for zone-map pruning of string comparisons.
+	hasStr         bool
+	strMin, strMax string
+	// Non-null runtime-type census. Zone-map pruning needs to prove a
+	// segment is type-clean before trusting a range (a stray string in a
+	// numeric column makes comparisons error, not filter).
+	ints, floats, strs, bools, times, others int64
 	// KMV sketch: the kmvK smallest distinct hashes seen so far.
 	seen map[uint64]struct{}
 	heap hashHeap
 }
 
-// observe folds one value into the column's statistics. keyBuf is a
-// scratch buffer shared across the row to avoid per-value allocation; the
-// (possibly grown) buffer is returned for reuse.
-func (c *colStat) observe(v schema.Value, keyBuf []byte) []byte {
+// foldNull folds one NULL value into the column's statistics.
+func (c *colStat) foldNull(v schema.Value) {
 	c.bytes += int64(v.WireSize())
-	if v.IsNull() {
-		c.nulls++
-		return keyBuf
-	}
-	if t := v.Type(); t == schema.TypeInt || t == schema.TypeFloat {
+	c.nulls++
+}
+
+// fold folds one non-NULL value into the column's statistics. h is the
+// FNV-1a hash of the value's canonical group key — hashed once by the
+// caller so both the table-lifetime and the segment-local accumulator can
+// share it.
+func (c *colStat) fold(v schema.Value, h uint64) {
+	c.bytes += int64(v.WireSize())
+	switch v.Type() {
+	case schema.TypeInt:
+		c.ints++
+		c.observeNum(v.AsFloat())
+	case schema.TypeFloat:
+		c.floats++
 		f := v.AsFloat()
-		if !c.hasRange {
-			c.hasRange, c.min, c.max = true, f, f
+		if math.IsNaN(f) {
+			c.nans++
 		} else {
-			if f < c.min {
-				c.min = f
+			c.observeNum(f)
+		}
+	case schema.TypeString:
+		c.strs++
+		s := v.AsString()
+		if !c.hasStr {
+			c.hasStr, c.strMin, c.strMax = true, s, s
+		} else {
+			if s < c.strMin {
+				c.strMin = s
 			}
-			if f > c.max {
-				c.max = f
+			if s > c.strMax {
+				c.strMax = s
 			}
 		}
+	case schema.TypeBool:
+		c.bools++
+	case schema.TypeTime:
+		c.times++
+	default:
+		c.others++
 	}
-	keyBuf = v.AppendGroupKey(keyBuf[:0])
-	h := fnv64a(keyBuf)
+	c.observeHash(h)
+}
+
+func (c *colStat) observeNum(f float64) {
+	if !c.hasRange {
+		c.hasRange, c.min, c.max = true, f, f
+		return
+	}
+	if f < c.min {
+		c.min = f
+	}
+	if f > c.max {
+		c.max = f
+	}
+}
+
+// observeHash folds one canonical-key hash into the KMV sketch.
+func (c *colStat) observeHash(h uint64) {
 	if _, ok := c.seen[h]; ok {
-		return keyBuf
+		return
 	}
 	if len(c.heap) < kmvK {
 		if c.seen == nil {
@@ -112,7 +172,7 @@ func (c *colStat) observe(v schema.Value, keyBuf []byte) []byte {
 		}
 		c.seen[h] = struct{}{}
 		heap.Push(&c.heap, h)
-		return keyBuf
+		return
 	}
 	if h < c.heap[0] {
 		delete(c.seen, c.heap[0])
@@ -120,7 +180,17 @@ func (c *colStat) observe(v schema.Value, keyBuf []byte) []byte {
 		c.heap[0] = h
 		heap.Fix(&c.heap, 0)
 	}
-	return keyBuf
+}
+
+// sketch snapshots the KMV hash set (unordered). Sealed segments persist
+// it so recovery can rebuild the table-level NDV estimate by merging
+// per-segment sketches — KMV sketches merge exactly (union, keep k
+// smallest).
+func (c *colStat) sketch() []uint64 {
+	if len(c.heap) == 0 {
+		return nil
+	}
+	return append([]uint64(nil), c.heap...)
 }
 
 // ndv estimates the distinct non-null count. Exact while the sketch is not
@@ -145,6 +215,43 @@ func (c *colStat) ndv() int64 {
 
 func (c *colStat) reset() {
 	*c = colStat{}
+}
+
+// restore rebuilds the accumulator from a recovered segment's zone entry
+// and persisted KMV sketch, as if the segment's rows had been observed.
+func (c *colStat) restore(z ZoneEntry, sketch []uint64) {
+	c.nulls += z.Nulls
+	c.bytes += z.Bytes
+	c.nans += z.NaNs
+	if z.HasNum {
+		if c.hasRange {
+			c.observeNum(z.NumMin)
+			c.observeNum(z.NumMax)
+		} else {
+			c.hasRange, c.min, c.max = true, z.NumMin, z.NumMax
+		}
+	}
+	if z.HasStr {
+		if !c.hasStr {
+			c.hasStr, c.strMin, c.strMax = true, z.StrMin, z.StrMax
+		} else {
+			if z.StrMin < c.strMin {
+				c.strMin = z.StrMin
+			}
+			if z.StrMax > c.strMax {
+				c.strMax = z.StrMax
+			}
+		}
+	}
+	c.ints += z.Ints
+	c.floats += z.Floats
+	c.strs += z.Strs
+	c.bools += z.Bools
+	c.times += z.Times
+	c.others += z.Others
+	for _, h := range sketch {
+		c.observeHash(h)
+	}
 }
 
 // snapshot renders the accumulator as an immutable ColumnStats.
@@ -176,7 +283,9 @@ func fnv64a(b []byte) uint64 {
 	return h
 }
 
-// Stats snapshots the table's statistics: O(columns), no row access.
+// Stats snapshots the table's statistics: O(columns + segments·buckets),
+// no sealed-row access (tail rows are binned on demand for the histogram,
+// bounded by the segment size).
 func (t *Table) Stats() TableStats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -187,6 +296,7 @@ func (t *Table) Stats() TableStats {
 	}
 	for i := range t.stats {
 		ts.Cols[i] = t.stats[i].snapshot(t.schema.Columns[i].Name)
+		ts.Cols[i].Hist = t.mergedHistLocked(i, ts.Cols[i])
 	}
 	return ts
 }

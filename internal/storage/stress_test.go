@@ -71,7 +71,7 @@ func TestScanColMorselsStress(t *testing.T) {
 		batch   = 37
 	)
 	tab := morselStore(t, n)
-	src := tab.ScanColMorsels(context.Background(), nil, batch)
+	src := tab.ScanColMorsels(context.Background(), schema.ColScan{BatchSize: batch})
 	defer src.Close()
 
 	var mu sync.Mutex
@@ -123,7 +123,7 @@ func TestScanColMorselsStress(t *testing.T) {
 func TestScanColMorselsConcurrentAppend(t *testing.T) {
 	const n = 10_000
 	tab := morselStore(t, n)
-	src := tab.ScanColMorsels(context.Background(), nil, 64)
+	src := tab.ScanColMorsels(context.Background(), schema.ColScan{BatchSize: 64})
 	defer src.Close()
 
 	done := make(chan struct{})

@@ -120,6 +120,38 @@ const (
 // NewStore creates an empty database.
 func NewStore() *Store { return storage.NewStore() }
 
+// StoreConfig tunes a store's segmented storage layer.
+type StoreConfig struct {
+	// Dir, when non-empty, persists sealed segments on disk under this
+	// directory (one file per segment, recovered on the next NewStoreWith).
+	// Empty keeps everything in memory.
+	Dir string
+	// SegmentRows is the seal threshold; <= 0 selects the default (4096).
+	SegmentRows int
+	// DisablePruning turns zone-map segment pruning off, for A/B
+	// measurement. Results are identical either way.
+	DisablePruning bool
+}
+
+// StorageStats aggregates a store's physical-layout and pruning counters.
+type StorageStats = storage.StorageStats
+
+// NewStoreWith creates a database with explicit storage configuration.
+// With a Dir, previously sealed tables are recovered before it returns:
+// schemas and statistics come from the segment footers, rows are served
+// lazily from disk.
+func NewStoreWith(cfg StoreConfig) (*Store, error) {
+	c := storage.Config{SegmentRows: cfg.SegmentRows, DisablePruning: cfg.DisablePruning}
+	if cfg.Dir != "" {
+		b, err := storage.NewDiskBackend(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		c.Backend = b
+	}
+	return storage.NewStoreWith(c)
+}
+
 // NewRelation builds a relation schema, for Store.Create.
 func NewRelation(name string, cols ...Column) *Relation { return schema.NewRelation(name, cols...) }
 

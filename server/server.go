@@ -63,6 +63,7 @@ type tenant struct {
 // concurrent queries is bounded by the HTTP layer, not the engine.
 type Server struct {
 	tenants map[string]*tenant
+	store   *paradise.Store
 	cache   *paradise.PlanCache
 	mux     *http.ServeMux
 	maxDur  time.Duration
@@ -94,6 +95,7 @@ func New(cfg Config) (*Server, error) {
 	baseCtx, kill := context.WithCancel(context.Background())
 	s := &Server{
 		tenants: make(map[string]*tenant, len(cfg.Tenants)),
+		store:   cfg.Store,
 		cache:   paradise.NewPlanCache(cfg.PlanCacheSize),
 		mux:     http.NewServeMux(),
 		maxDur:  cfg.MaxQueryDuration,
@@ -149,6 +151,7 @@ func (s *Server) PlanCache() *paradise.PlanCache { return s.cache }
 func (s *Server) Stats() StatsSnapshot {
 	return StatsSnapshot{
 		PlanCache:    s.cache.Stats(),
+		Storage:      s.store.StorageStats(),
 		Tenants:      len(s.tenants),
 		InFlight:     s.inFlight.Load(),
 		QueriesTotal: s.queriesTotal.Load(),

@@ -71,6 +71,7 @@ type Message struct {
 // observability surface.
 type StatsSnapshot struct {
 	PlanCache    paradise.PlanCacheStats `json:"plan_cache"`
+	Storage      paradise.StorageStats   `json:"storage"`
 	Tenants      int                     `json:"tenants"`
 	InFlight     int64                   `json:"in_flight"`
 	QueriesTotal int64                   `json:"queries_total"`
